@@ -1,0 +1,55 @@
+//! One Criterion benchmark per paper table/figure: times a reduced-budget
+//! cell of each experiment so regressions in any part of the
+//! reproduction pipeline (profile, plan, transform, simulate) show up as
+//! timing changes here. The full-budget regeneration lives in the
+//! `fig*`/`table2` binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rvp_core::{PaperScheme, Runner, UarchConfig};
+
+fn tiny_runner() -> Runner {
+    Runner { profile_insts: 40_000, measure_insts: 25_000, ..Runner::default() }
+}
+
+fn bench_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_cells");
+    g.sample_size(10);
+    let wl = rvp_core::by_name("li").expect("workload");
+
+    g.bench_function("fig1_reuse_measurement", |b| {
+        let r = tiny_runner();
+        b.iter(|| black_box(r.fig1(&wl).unwrap()));
+    });
+    g.bench_function("fig3_static_rvp_cell", |b| {
+        let r = tiny_runner();
+        b.iter(|| black_box(r.run(&wl, PaperScheme::SrvpDead).unwrap()));
+    });
+    g.bench_function("fig4_refetch_cell", |b| {
+        let r = Runner { recovery: rvp_core::Recovery::Refetch, ..tiny_runner() };
+        b.iter(|| black_box(r.run(&wl, PaperScheme::SrvpDead).unwrap()));
+    });
+    g.bench_function("fig5_drvp_loads_cell", |b| {
+        let r = tiny_runner();
+        b.iter(|| black_box(r.run(&wl, PaperScheme::DrvpDeadLv).unwrap()));
+    });
+    g.bench_function("fig6_drvp_all_cell", |b| {
+        let r = tiny_runner();
+        b.iter(|| black_box(r.run(&wl, PaperScheme::DrvpAllDeadLv).unwrap()));
+    });
+    g.bench_function("table2_gabbay_cell", |b| {
+        let r = tiny_runner();
+        b.iter(|| black_box(r.run(&wl, PaperScheme::GrpAll).unwrap()));
+    });
+    g.bench_function("fig7_realloc_cell", |b| {
+        let r = tiny_runner();
+        b.iter(|| black_box(r.run(&wl, PaperScheme::DrvpAllRealloc).unwrap()));
+    });
+    g.bench_function("fig8_wide16_cell", |b| {
+        let r = Runner { config: UarchConfig::wide16(), ..tiny_runner() };
+        b.iter(|| black_box(r.run(&wl, PaperScheme::DrvpAllDeadLv).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cells);
+criterion_main!(benches);

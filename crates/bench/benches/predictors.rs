@@ -1,0 +1,81 @@
+//! Microbenchmarks of the predictor and substrate structures: the
+//! per-access cost of everything the timing model touches every cycle.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rvp_core::{
+    BpredConfig, BranchPredictor, ConfidenceTable, DrvpConfig, DrvpPredictor, GabbayPredictor,
+    LastValuePredictor, LvpConfig, MemConfig, Reg, TableConfig,
+};
+use rvp_mem::Hierarchy;
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictors");
+
+    g.bench_function("lvp_train_predict", |b| {
+        let mut lvp = LastValuePredictor::new(LvpConfig::paper());
+        let mut pc = 0usize;
+        b.iter(|| {
+            pc = (pc + 97) & 0xffff;
+            lvp.train(pc, (pc as u64) & 7);
+            black_box(lvp.predict(pc))
+        });
+    });
+
+    g.bench_function("drvp_train_confident", |b| {
+        let mut rvp = DrvpPredictor::new(DrvpConfig::paper());
+        let mut pc = 0usize;
+        b.iter(|| {
+            pc = (pc + 97) & 0xffff;
+            rvp.train(pc, pc & 3 != 0);
+            black_box(rvp.confident(pc))
+        });
+    });
+
+    g.bench_function("gabbay_train_confident", |b| {
+        let mut gab = GabbayPredictor::paper();
+        let mut i = 0u8;
+        b.iter(|| {
+            i = (i + 1) % 31;
+            gab.train(Reg::int(i), i & 3 != 0);
+            black_box(gab.confident(Reg::int(i)))
+        });
+    });
+
+    g.bench_function("confidence_table_tagged", |b| {
+        let mut t = ConfidenceTable::new(TableConfig { tagged: true, ..TableConfig::default() });
+        let mut pc = 0usize;
+        b.iter(|| {
+            pc = (pc + 33) & 0x7ff;
+            t.train(pc, true);
+            black_box(t.confident(pc))
+        });
+    });
+
+    g.bench_function("gshare_update", |b| {
+        let mut bp = BranchPredictor::new(BpredConfig::table1());
+        let mut pc = 0usize;
+        b.iter(|| {
+            pc = (pc + 13) & 0xfff;
+            black_box(bp.update(
+                pc,
+                rvp_bpred::BranchKind::CondDirect { target: pc + 4 },
+                pc & 3 != 0,
+                pc + 4,
+            ))
+        });
+    });
+
+    g.bench_function("cache_hierarchy_access", |b| {
+        let mut h = Hierarchy::new(MemConfig::table1());
+        let mut a = 0u64;
+        b.iter(|| {
+            a = (a + 64) & 0xf_ffff;
+            black_box(h.access_data(a, false))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

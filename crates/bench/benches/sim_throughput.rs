@@ -1,0 +1,78 @@
+//! End-to-end throughput of the emulator, profiler and timing simulator,
+//! in simulated instructions per wall-clock second — the quantity that
+//! bounds how large an experiment budget is practical.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rvp_core::{
+    Emulator, Input, PredictionPlan, Profile, ProfileConfig, Recovery, Scheme, Simulator,
+    UarchConfig,
+};
+
+const INSTS: u64 = 50_000;
+
+fn bench_throughput(c: &mut Criterion) {
+    let wl = rvp_core::by_name("li").expect("workload");
+    let program = wl.program(Input::Ref);
+
+    let mut g = c.benchmark_group("throughput");
+    g.throughput(Throughput::Elements(INSTS));
+    g.sample_size(20);
+
+    g.bench_function("emulator", |b| {
+        b.iter(|| {
+            let mut emu = Emulator::new(&program);
+            black_box(emu.run(INSTS).unwrap())
+        });
+    });
+
+    g.bench_function("profiler", |b| {
+        b.iter(|| {
+            black_box(
+                Profile::collect(
+                    &program,
+                    &ProfileConfig { max_insts: INSTS, min_execs: 32 },
+                )
+                .unwrap(),
+            )
+        });
+    });
+
+    g.bench_function("sim_no_predict", |b| {
+        b.iter(|| {
+            black_box(
+                Simulator::new(UarchConfig::table1(), Scheme::NoPredict, Recovery::Selective)
+                    .run(&program, INSTS)
+                    .unwrap(),
+            )
+        });
+    });
+
+    g.bench_function("sim_drvp_all", |b| {
+        b.iter(|| {
+            black_box(
+                Simulator::new(
+                    UarchConfig::table1(),
+                    Scheme::drvp(rvp_core::Scope::AllInsts, PredictionPlan::new()),
+                    Recovery::Selective,
+                )
+                .run(&program, INSTS)
+                .unwrap(),
+            )
+        });
+    });
+
+    g.bench_function("sim_wide16", |b| {
+        b.iter(|| {
+            black_box(
+                Simulator::new(UarchConfig::wide16(), Scheme::NoPredict, Recovery::Selective)
+                    .run(&program, INSTS)
+                    .unwrap(),
+            )
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Beyond the paper: the related-work baselines it cites but excludes
+//! ("we do not compare it with schemes that add additional storage and
+//! complexity to what is required for last-value prediction"), plus the
+//! read-port sensitivity it argues away in Section 4.2.
+//!
+//! Part 1 — extended buffer predictors (stride, order-2 context, hybrid)
+//! vs dynamic RVP, all instructions.
+//!
+//! Part 2 — limiting predicted non-loads to 1 or 2 extra register read
+//! ports per cycle. The paper: dRVP averages 0.2–0.5 predictions per
+//! cycle, "so a single extra read port would likely suffice".
+
+use rvp_bench::{mean, print_header, print_row, print_workload_header, runner_from_env};
+use rvp_core::{
+    BufferConfig, ContextConfig, Input, LvpConfig, PaperScheme, PredictionPlan, Recovery,
+    Scheme, Scope, Simulator, StrideConfig, UarchConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = runner_from_env();
+    print_header("Beyond the paper: richer buffers and read-port limits", &runner);
+    let workloads = rvp_core::all_workloads();
+
+    // ---- Part 1: buffer-predictor zoo (speedup over no prediction). ----
+    println!("extended buffer predictors (all instructions, speedup over no_predict):");
+    print_workload_header(&workloads);
+    let mut base_ipc = Vec::new();
+    for wl in &workloads {
+        let program = wl.program(Input::Ref);
+        let s = Simulator::new(UarchConfig::table1(), Scheme::NoPredict, Recovery::Selective)
+            .run(&program, runner.measure_insts)?;
+        base_ipc.push(s.ipc());
+    }
+    let configs: [(&str, BufferConfig); 4] = [
+        ("lvp", BufferConfig::LastValue(LvpConfig::paper())),
+        ("stride", BufferConfig::Stride(StrideConfig::default())),
+        ("context(2)", BufferConfig::Context(ContextConfig::default())),
+        (
+            "hybrid",
+            BufferConfig::Hybrid(StrideConfig::default(), LvpConfig::paper()),
+        ),
+    ];
+    for (name, config) in configs {
+        let mut row = Vec::new();
+        for (wl, base) in workloads.iter().zip(&base_ipc) {
+            let program = wl.program(Input::Ref);
+            let s = Simulator::new(
+                UarchConfig::table1(),
+                Scheme::Buffer { scope: Scope::AllInsts, config },
+                Recovery::Selective,
+            )
+            .run(&program, runner.measure_insts)?;
+            row.push(s.ipc() / base);
+        }
+        print_row(name, &row);
+    }
+    // Hardware-learned register correlation (Jourdan et al. style): the
+    // "combine with RVP, no compiler needed" direction the paper's
+    // related-work section sketches.
+    let mut row = Vec::new();
+    for (wl, base) in workloads.iter().zip(&base_ipc) {
+        let program = wl.program(Input::Ref);
+        let s = Simulator::new(
+            UarchConfig::table1(),
+            Scheme::HwCorrelation {
+                scope: Scope::AllInsts,
+                config: rvp_core::CorrelationConfig::default(),
+            },
+            Recovery::Selective,
+        )
+        .run(&program, runner.measure_insts)?;
+        row.push(s.ipc() / base);
+    }
+    print_row("hw_correlation", &row);
+
+    // The paper's scheme, for reference.
+    let mut row = Vec::new();
+    for (wl, base) in workloads.iter().zip(&base_ipc) {
+        let res = runner.run(wl, PaperScheme::DrvpAllDeadLv)?;
+        row.push(res.stats.ipc() / base);
+    }
+    print_row("drvp_all_dead_lv", &row);
+
+    // ---- Part 2: read-port limits on predicted non-loads. ----
+    println!();
+    println!("read-port sensitivity of drvp_all (speedup over no_predict):");
+    println!("{:>14} | {:>9} {:>15}", "extra ports", "avg", "preds/cycle");
+    for ports in [Some(1usize), Some(2), None] {
+        let mut speedups = Vec::new();
+        let mut ppc = Vec::new();
+        for (wl, base) in workloads.iter().zip(&base_ipc) {
+            let program = wl.program(Input::Ref);
+            let config = UarchConfig { pred_ports: ports, ..UarchConfig::table1() };
+            let s = Simulator::new(
+                config,
+                Scheme::drvp(Scope::AllInsts, PredictionPlan::new()),
+                Recovery::Selective,
+            )
+            .run(&program, runner.measure_insts)?;
+            speedups.push(s.ipc() / base);
+            ppc.push(s.predictions as f64 / s.cycles as f64);
+        }
+        let label = ports.map_or("unlimited".to_owned(), |p| p.to_string());
+        println!(
+            "{:>14} | {:>9.4} {:>15.3}",
+            label,
+            mean(&speedups),
+            mean(&ppc)
+        );
+    }
+    println!();
+    println!(
+        "expected: context/hybrid buffers buy little over LVP on these codes at far\n\
+         higher cost, and one extra read port captures nearly all of dRVP's benefit\n\
+         (predictions per cycle stay well under 1) — the paper's Section 4.2 claim."
+    );
+    Ok(())
+}

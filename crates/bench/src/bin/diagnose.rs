@@ -1,0 +1,70 @@
+//! Diagnostic dump: per-(workload, scheme) pipeline statistics.
+//!
+//! Not a paper figure — a calibration and debugging aid that prints IPC,
+//! coverage, accuracy, recovery activity, branch accuracy and cache miss
+//! rates for any workload (all of them by default).
+//!
+//! Usage: `diagnose [workload ...]`
+
+use rvp_bench::{print_header, runner_from_env};
+use rvp_core::PaperScheme;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut runner = runner_from_env();
+    // Calibration overrides, e.g. RVP_IQ=256 to test window sensitivity.
+    if let Ok(v) = std::env::var("RVP_IQ") {
+        let n: usize = v.parse().expect("RVP_IQ must be a number");
+        runner.config.iq_int = n;
+        runner.config.iq_fp = n;
+    }
+    if let Ok(v) = std::env::var("RVP_ROB") {
+        let n: usize = v.parse().expect("RVP_ROB must be a number");
+        runner.config.rob_size = n;
+    }
+    print_header("diagnostics", &runner);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workloads: Vec<_> = if args.is_empty() {
+        rvp_core::all_workloads()
+    } else {
+        args.iter()
+            .map(|a| rvp_core::by_name(a).unwrap_or_else(|| panic!("unknown workload {a}")))
+            .collect()
+    };
+
+    println!(
+        "{:>10} {:>18} | {:>6} {:>7} {:>6} {:>6} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "program", "scheme", "ipc", "cycles", "cov%", "acc%", "costly",
+        "squash", "reissue", "br-acc", "l1d-mr", "l2-mr", "iq-occ", "fstall"
+    );
+    for wl in &workloads {
+        for scheme in [
+            PaperScheme::NoPredict,
+            PaperScheme::LvpAll,
+            PaperScheme::DrvpAll,
+            PaperScheme::DrvpAllDeadLv,
+            PaperScheme::DrvpAllRealloc,
+            PaperScheme::GrpAll,
+        ] {
+            let s = runner.run(wl, scheme)?.stats;
+            println!(
+                "{:>10} {:>18} | {:>6.3} {:>7} {:>6.1} {:>6.1} {:>8} {:>8} {:>8} {:>7.3} {:>7.3} {:>7.3} {:>7.2} {:>7.3}",
+                wl.name(),
+                scheme.label(),
+                s.ipc(),
+                s.cycles,
+                100.0 * s.coverage(),
+                100.0 * s.accuracy(),
+                s.costly_mispredictions,
+                s.squashed_insts,
+                s.reissued_insts,
+                s.branch.direction_accuracy(),
+                s.mem.l1d.miss_rate(),
+                s.mem.l2.miss_rate(),
+                s.avg_iq_int_occupancy(),
+                s.fetch_stall_fraction(),
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Figure 1: the degree of register-value reuse for loads.
+//!
+//! Prints, per benchmark and averaged per language group (the paper shows
+//! the "C SPEC" and "F SPEC" averages), the percentage of dynamic loads
+//! whose value was already in the same register, a dead register, any
+//! register, or any register ∪ the load's last value.
+
+use rvp_bench::{print_header, runner_from_env};
+use rvp_core::Lang;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = runner_from_env();
+    print_header("Figure 1: register-value reuse of loads", &runner);
+
+    println!(
+        "{:>10} {:>6} | {:>9} {:>9} {:>9} {:>9}",
+        "program", "lang", "same reg", "dead reg", "any reg", "reg|lvp"
+    );
+    type Columns = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+    let mut groups: [Columns; 2] = Default::default();
+    for wl in rvp_core::all_workloads() {
+        let row = runner.fig1(&wl)?;
+        let [same, dead, any, lvp] = row.fractions();
+        println!(
+            "{:>10} {:>6} | {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            wl.name(),
+            if wl.lang() == Lang::C { "C" } else { "F" },
+            100.0 * same,
+            100.0 * dead,
+            100.0 * any,
+            100.0 * lvp
+        );
+        let g = &mut groups[usize::from(wl.lang() == Lang::Fortran)];
+        g.0.push(same);
+        g.1.push(dead);
+        g.2.push(any);
+        g.3.push(lvp);
+    }
+    println!();
+    for (name, g) in [("C SPEC", &groups[0]), ("F SPEC", &groups[1])] {
+        println!(
+            "{:>10} {:>6} | {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            name,
+            "avg",
+            100.0 * rvp_bench::mean(&g.0),
+            100.0 * rvp_bench::mean(&g.1),
+            100.0 * rvp_bench::mean(&g.2),
+            100.0 * rvp_bench::mean(&g.3)
+        );
+    }
+    println!();
+    println!(
+        "paper shape: cumulative bars; \"at least 75% of the time, the value loaded \
+         from memory is either already in the register file, or was recently there\"."
+    );
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Figure 8: value prediction on the aggressive 16-wide machine —
+//! speedup over no prediction.
+//!
+//! Series: lvp_all, drvp_all, drvp_all_dead_lv, on a machine with doubled
+//! queues, units, renaming registers and fetch bandwidth (3 basic blocks
+//! per cycle).
+
+use rvp_bench::{ipc_row, print_header, print_row, print_workload_header, wide_runner_from_env};
+use rvp_core::PaperScheme;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = wide_runner_from_env();
+    print_header("Figure 8: 16-wide machine (speedup over no_predict)", &runner);
+    let workloads = rvp_core::all_workloads();
+    print_workload_header(&workloads);
+
+    let base = ipc_row(&runner, &workloads, PaperScheme::NoPredict)?;
+    for scheme in [
+        PaperScheme::LvpAll,
+        PaperScheme::DrvpAll,
+        PaperScheme::DrvpAllDeadLv,
+    ] {
+        let ipc = ipc_row(&runner, &workloads, scheme)?;
+        let speedup: Vec<f64> = ipc.iter().zip(&base).map(|(a, b)| a / b).collect();
+        print_row(scheme.label(), &speedup);
+    }
+    println!();
+    println!(
+        "paper shape: removing ILP limits amplifies RVP — ~15% over no prediction \
+         and ~5% over LVP; even unassisted drvp_all matches lvp_all here."
+    );
+    Ok(())
+}

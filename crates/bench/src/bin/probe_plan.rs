@@ -1,0 +1,49 @@
+//! Calibration probe: dump per-instruction reuse rates and the assist
+//! plan for one workload. Usage: `probe_plan <workload>`
+
+use rvp_core::{
+    reallocate, Assist, Input, PlanScope, Profile, ProfileConfig, ReallocOptions,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "hydro2d".into());
+    let do_realloc = std::env::args().any(|a| a == "--realloc");
+    let wl = rvp_core::by_name(&name).expect("workload");
+    let mut train = wl.program(Input::Train);
+    let profile =
+        Profile::collect(&train, &ProfileConfig { max_insts: 400_000, min_execs: 32 })?;
+    if do_realloc {
+        let out = reallocate(&train, &profile, &ReallocOptions::default());
+        println!(
+            "realloc: dead {}/{}, lv {}/{}",
+            out.dead_applied, out.dead_attempted, out.lv_applied, out.lv_attempted
+        );
+        train = out.program;
+    }
+    let profile =
+        Profile::collect(&train, &ProfileConfig { max_insts: 400_000, min_execs: 32 })?;
+    let plan = profile.assist_plan(&train, 0.8, PlanScope::AllInsts, Assist::DeadLv);
+
+    println!("pc | execs same lv bestdead | plan | inst");
+    for pc in 0..train.len() {
+        let s = &profile.stats()[pc];
+        if s.execs < 32 {
+            continue;
+        }
+        let dead = profile
+            .best_other_reg(&train, pc, true)
+            .map(|(r, rate)| format!("{r}:{rate:.2}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:4} | {:7} {:5.2} {:5.2} {:>9} | {:?} | {}",
+            pc,
+            s.execs,
+            profile.same_rate(pc),
+            profile.lv_rate(pc),
+            dead,
+            plan.kind(pc),
+            train.insts()[pc],
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Table 2: percentage of instructions predicted and prediction accuracy
+//! for dRVP (dead), dRVP (dead+lv), LVP and the Gabbay & Mendelson
+//! register predictor — all-instruction scope, as in the paper.
+//!
+//! Also prints the paper's tagged-vs-untagged RVP-counter comparison
+//! (Section 7.2: "untagged counters actually outperform tagged").
+
+use rvp_bench::{print_header, runner_from_env};
+use rvp_core::{
+    Assist, DrvpConfig, Input, PaperScheme, PlanScope, Profile, ProfileConfig, Recovery,
+    Scheme, Simulator,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = runner_from_env();
+    print_header("Table 2: coverage / accuracy (% insts predicted / pred. rate)", &runner);
+
+    println!(
+        "{:>10} | {:>12} {:>12} {:>12} {:>12}",
+        "program", "drvp dead", "dead lv", "lvp", "G&M RP"
+    );
+    for wl in rvp_core::all_workloads() {
+        let mut cells = Vec::new();
+        for scheme in [
+            PaperScheme::DrvpAllDead,
+            PaperScheme::DrvpAllDeadLv,
+            PaperScheme::LvpAll,
+            PaperScheme::GrpAll,
+        ] {
+            let res = runner.run(&wl, scheme)?;
+            cells.push(format!(
+                "{:>4.1}/{:<5.1}",
+                100.0 * res.stats.coverage(),
+                100.0 * res.stats.accuracy()
+            ));
+        }
+        println!(
+            "{:>10} | {:>12} {:>12} {:>12} {:>12}",
+            wl.name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+    }
+
+    // Ablation: tagged vs untagged dRVP confidence counters. The paper's
+    // SPEC binaries overflow a 1K table; our stand-ins are far smaller,
+    // so the table is scaled down (16 entries) to recreate the same
+    // aliasing pressure. The paper's claim: positive interference makes
+    // untagged RVP counters perform at least as well as tagged ones.
+    println!();
+    println!(
+        "ablation: dRVP confidence counters under aliasing pressure (16-entry table), \
+         untagged vs tagged (speedup over no_predict)"
+    );
+    println!("{:>10} | {:>9} {:>9}", "program", "untagged", "tagged");
+    for wl in rvp_core::all_workloads() {
+        let train = wl.program(Input::Train);
+        let profile = Profile::collect(
+            &train,
+            &ProfileConfig { max_insts: runner.profile_insts, min_execs: 32 },
+        )?;
+        let plan = profile.assist_plan(
+            &train,
+            runner.threshold,
+            PlanScope::AllInsts,
+            Assist::DeadLv,
+        );
+        let program = wl.program(Input::Ref);
+        let base = Simulator::new(runner.config.clone(), Scheme::NoPredict, Recovery::Selective)
+            .run(&program, runner.measure_insts)?;
+        let mut cells = Vec::new();
+        let small = |mut c: DrvpConfig| {
+            c.table.entries = 16;
+            c
+        };
+        for config in [small(DrvpConfig::paper()), small(DrvpConfig::paper_tagged())] {
+            let stats = Simulator::new(
+                runner.config.clone(),
+                Scheme::DynamicRvp {
+                    scope: rvp_core::Scope::AllInsts,
+                    plan: plan.clone(),
+                    config,
+                },
+                Recovery::Selective,
+            )
+            .run(&program, runner.measure_insts)?;
+            cells.push(stats.ipc() / base.ipc());
+        }
+        println!("{:>10} | {:>9.4} {:>9.4}", wl.name(), cells[0], cells[1]);
+    }
+    println!();
+    println!(
+        "paper shape: coverage correlates with performance more than accuracy; both \
+         dRVP and LVP exceed ~95% accuracy at threshold 7; G&M coverage collapses; \
+         untagged RVP counters perform at least as well as tagged."
+    );
+    Ok(())
+}

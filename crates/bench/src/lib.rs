@@ -1,0 +1,99 @@
+//! Shared driver code for the figure/table regeneration binaries and the
+//! Criterion benches.
+//!
+//! Every binary prints the same rows/series as the corresponding figure
+//! or table in the paper. Absolute numbers differ (the substrate is a
+//! synthetic-workload simulator, not the authors' Alpha testbed); the
+//! *shapes* — which scheme wins, by roughly what factor, and where — are
+//! the reproduction target recorded in `EXPERIMENTS.md`.
+//!
+//! Instruction budgets can be overridden with the environment variables
+//! `RVP_MEASURE_INSTS` and `RVP_PROFILE_INSTS`.
+
+use rvp_core::{PaperScheme, Runner, SimError, UarchConfig, Workload};
+
+/// Budgets read from the environment with sensible defaults.
+pub fn runner_from_env() -> Runner {
+    let mut r = Runner::default();
+    if let Some(v) = env_u64("RVP_MEASURE_INSTS") {
+        r.measure_insts = v;
+    }
+    if let Some(v) = env_u64("RVP_PROFILE_INSTS") {
+        r.profile_insts = v;
+    }
+    r
+}
+
+/// The 16-wide variant with the same environment overrides.
+pub fn wide_runner_from_env() -> Runner {
+    Runner { config: UarchConfig::wide16(), ..runner_from_env() }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// Prints the standard experiment header (machine + budgets).
+pub fn print_header(title: &str, runner: &Runner) {
+    println!("== {title} ==");
+    println!(
+        "machine: {}-wide fetch, {} int / {} fp IQ, {} int ({} ld/st) + {} fp units, \
+         {}-cycle mispredict penalty",
+        runner.config.fetch_width,
+        runner.config.iq_int,
+        runner.config.iq_fp,
+        runner.config.int_units,
+        runner.config.ldst_ports,
+        runner.config.fp_units,
+        runner.config.frontend_depth + 1,
+    );
+    println!(
+        "budgets: {} measured insts, {} profiled insts, threshold {:.2}, recovery {:?}",
+        runner.measure_insts, runner.profile_insts, runner.threshold, runner.recovery
+    );
+    println!();
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Runs one scheme across all workloads, returning per-workload IPC.
+///
+/// # Errors
+///
+/// Propagates the first simulator error.
+pub fn ipc_row(
+    runner: &Runner,
+    workloads: &[Workload],
+    scheme: PaperScheme,
+) -> Result<Vec<f64>, SimError> {
+    workloads
+        .iter()
+        .map(|wl| runner.run(wl, scheme).map(|r| r.stats.ipc()))
+        .collect()
+}
+
+/// Formats a row of a figure table: label + one value per workload +
+/// average.
+pub fn print_row(label: &str, values: &[f64]) {
+    print!("{label:>22}");
+    for v in values {
+        print!(" {v:7.3}");
+    }
+    println!(" {:7.3}", mean(values));
+}
+
+/// Prints the workload-name header row for figure tables.
+pub fn print_workload_header(workloads: &[Workload]) {
+    print!("{:>22}", "");
+    for wl in workloads {
+        print!(" {:>7}", wl.name());
+    }
+    println!(" {:>7}", "average");
+}

@@ -1,0 +1,176 @@
+//! `rvp-sim` — run an assembly file (or named workload) through the
+//! out-of-order simulator under any prediction scheme.
+//!
+//! ```text
+//! rvp-sim program.asm [options]
+//! rvp-sim --workload li [options]
+//!
+//! options:
+//!   --scheme S      no_predict | lvp | lvp_all | stride_all | context_all |
+//!                   hybrid_all | drvp | drvp_all | grp_all |
+//!                   hwcorr_all                                    [drvp_all]
+//!   --recovery R    refetch | reissue | selective                 [selective]
+//!   --machine M     table1 | wide16                               [table1]
+//!   --max-insts N   committed-instruction budget                  [1000000]
+//!   --emulate       run the functional emulator only
+//! ```
+
+use std::process::ExitCode;
+
+use rvp_core::{
+    BufferConfig, ContextConfig, Emulator, Input, LvpConfig, PredictionPlan, Program,
+    Recovery, Scheme, Scope, Simulator, StrideConfig, UarchConfig,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rvp-sim <program.asm | --workload NAME> [--scheme S] [--recovery R] \
+         [--machine M] [--max-insts N] [--emulate]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut workload: Option<String> = None;
+    let mut scheme = "drvp_all".to_owned();
+    let mut recovery = "selective".to_owned();
+    let mut machine = "table1".to_owned();
+    let mut max_insts: u64 = 1_000_000;
+    let mut emulate = false;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workload" => workload = it.next(),
+            "--scheme" => scheme = it.next().unwrap_or_default(),
+            "--recovery" => recovery = it.next().unwrap_or_default(),
+            "--machine" => machine = it.next().unwrap_or_default(),
+            "--max-insts" => {
+                max_insts = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage(),
+                }
+            }
+            "--emulate" => emulate = true,
+            "--help" | "-h" => return usage(),
+            other if !other.starts_with('-') && path.is_none() => path = Some(a),
+            _ => return usage(),
+        }
+    }
+
+    let program: Program = match (&path, &workload) {
+        (Some(p), None) => {
+            let src = match std::fs::read_to_string(p) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("rvp-sim: cannot read {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match rvp_core::parse_asm(&src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("rvp-sim: parse error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (None, Some(w)) => match rvp_core::by_name(w) {
+            Some(wl) => wl.program(Input::Ref),
+            None => {
+                eprintln!(
+                    "rvp-sim: unknown workload `{w}` (have: {})",
+                    rvp_core::all_workloads()
+                        .iter()
+                        .map(|w| w.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => return usage(),
+    };
+
+    if emulate {
+        let mut emu = Emulator::new(&program);
+        match emu.run(max_insts) {
+            Ok(s) => {
+                println!("committed {} instructions, halted: {}", s.committed, s.halted);
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("rvp-sim: emulation error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let scheme = match scheme.as_str() {
+        "no_predict" => Scheme::NoPredict,
+        "lvp" => Scheme::lvp_loads(),
+        "lvp_all" => Scheme::lvp_all(),
+        "stride_all" => Scheme::Buffer {
+            scope: Scope::AllInsts,
+            config: BufferConfig::Stride(StrideConfig::default()),
+        },
+        "context_all" => Scheme::Buffer {
+            scope: Scope::AllInsts,
+            config: BufferConfig::Context(ContextConfig::default()),
+        },
+        "hybrid_all" => Scheme::Buffer {
+            scope: Scope::AllInsts,
+            config: BufferConfig::Hybrid(StrideConfig::default(), LvpConfig::paper()),
+        },
+        "drvp" => Scheme::drvp(Scope::LoadsOnly, PredictionPlan::new()),
+        "drvp_all" => Scheme::drvp(Scope::AllInsts, PredictionPlan::new()),
+        "grp_all" => Scheme::Gabbay { scope: Scope::AllInsts },
+        "hwcorr_all" => Scheme::HwCorrelation {
+            scope: Scope::AllInsts,
+            config: rvp_core::CorrelationConfig::default(),
+        },
+        other => {
+            eprintln!("rvp-sim: unknown scheme `{other}`");
+            return usage();
+        }
+    };
+    let recovery = match recovery.as_str() {
+        "refetch" => Recovery::Refetch,
+        "reissue" => Recovery::Reissue,
+        "selective" => Recovery::Selective,
+        other => {
+            eprintln!("rvp-sim: unknown recovery `{other}`");
+            return usage();
+        }
+    };
+    let config = match machine.as_str() {
+        "table1" => UarchConfig::table1(),
+        "wide16" => UarchConfig::wide16(),
+        other => {
+            eprintln!("rvp-sim: unknown machine `{other}`");
+            return usage();
+        }
+    };
+
+    match Simulator::new(config, scheme, recovery).run(&program, max_insts) {
+        Ok(s) => {
+            println!("committed:       {}", s.committed);
+            println!("cycles:          {}", s.cycles);
+            println!("ipc:             {:.4}", s.ipc());
+            println!("predictions:     {} ({:.2}% of insts)", s.predictions, 100.0 * s.coverage());
+            println!("accuracy:        {:.2}%", 100.0 * s.accuracy());
+            println!("costly mispred.: {}", s.costly_mispredictions);
+            println!("squashed insts:  {}", s.squashed_insts);
+            println!("reissued insts:  {}", s.reissued_insts);
+            println!("branch accuracy: {:.2}%", 100.0 * s.branch.direction_accuracy());
+            println!("l1d miss rate:   {:.4}", s.mem.l1d.miss_rate());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rvp-sim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

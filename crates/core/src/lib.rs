@@ -1,0 +1,54 @@
+//! Experiment facade for the ISCA 1999 *Storageless Value Prediction
+//! Using Prior Register Values* reproduction.
+//!
+//! This crate wires the substrates together the way the paper's
+//! methodology does (Sections 5–6):
+//!
+//! 1. build a workload's **train** program and profile its register-value
+//!    reuse ([`rvp_profile`]);
+//! 2. derive the compiler product the scheme under test assumes — static
+//!    `rvp_` marking, an idealized reallocation plan, or a *real*
+//!    register reallocation ([`rvp_realloc`]);
+//! 3. simulate the **ref** program on the out-of-order machine
+//!    ([`rvp_uarch`]) under the chosen prediction scheme and recovery
+//!    model.
+//!
+//! The paper's figure legends map one-to-one onto [`PaperScheme`]
+//! variants, and [`Runner`] executes a (workload, scheme) cell of any
+//! figure.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use rvp_core::{PaperScheme, Runner};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let runner = Runner::default();
+//! let wl = rvp_workloads::by_name("li").expect("exists");
+//! let base = runner.run(&wl, PaperScheme::NoPredict)?;
+//! let drvp = runner.run(&wl, PaperScheme::DrvpAllDeadLv)?;
+//! println!("speedup: {:.3}", drvp.stats.speedup_over(&base.stats));
+//! # Ok(())
+//! # }
+//! ```
+
+mod runner;
+
+pub use runner::{PaperScheme, RunResult, Runner};
+
+pub use rvp_bpred::{BpredConfig, BranchPredictor};
+pub use rvp_emu::{Committed, EmuError, Emulator};
+pub use rvp_isa::{parse_asm, AsmError, Program, ProgramBuilder, Reg};
+pub use rvp_mem::{Hierarchy, MemConfig};
+pub use rvp_profile::{
+    Assist, Fig1Row, PlanScope, Profile, ProfileConfig, ReuseLists, SrvpLevel,
+};
+pub use rvp_realloc::{reallocate, ReallocOptions, ReallocOutcome};
+pub use rvp_uarch::{Latencies, Recovery, Scheme, SimError, SimStats, Simulator, UarchConfig};
+pub use rvp_vpred::{
+    BufferConfig, BufferPredictor, ConfidenceCounter, ConfidenceTable, ContextConfig,
+    ContextPredictor, CorrelationConfig, CorrelationPredictor, CounterPolicy, DrvpConfig,
+    DrvpPredictor, GabbayPredictor, LastValuePredictor, LvpConfig, PredictionPlan,
+    ReuseKind, Scope, StrideConfig, StridePredictor, TableConfig,
+};
+pub use rvp_workloads::{all as all_workloads, by_name, Input, Lang, Workload};

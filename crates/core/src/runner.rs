@@ -1,0 +1,342 @@
+use rvp_profile::{Assist, Fig1Row, PlanScope, Profile, ProfileConfig, SrvpLevel};
+use rvp_realloc::{reallocate, ReallocOptions};
+use rvp_uarch::{Recovery, Scheme, SimError, SimStats, Simulator, UarchConfig};
+use rvp_vpred::{DrvpConfig, LvpConfig, PredictionPlan, Scope};
+use rvp_workloads::{Input, Workload};
+
+/// The prediction configurations named in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperScheme {
+    /// `no_predict` — the baseline.
+    NoPredict,
+    /// `lvp` — last-value prediction of loads (Figs. 3, 5).
+    Lvp,
+    /// `lvp_all` — last-value prediction of all instructions (Figs. 6, 8).
+    LvpAll,
+    /// `srvp_same` — static RVP, natural same-register reuse only.
+    SrvpSame,
+    /// `srvp_dead` — plus dead-register correlation (Figs. 3, 4).
+    SrvpDead,
+    /// `srvp_live` — plus live-register correlation (move not charged).
+    SrvpLive,
+    /// `srvp_live_lv` — plus last-value registers.
+    SrvpLiveLv,
+    /// `drvp` — dynamic RVP of loads, no compiler support (Fig. 5).
+    Drvp,
+    /// `drvp_dead` — dynamic RVP of loads with dead-register
+    /// reallocation assumed (Fig. 5).
+    DrvpDead,
+    /// `drvp_dead_lv` — plus last-value reallocation (Fig. 5).
+    DrvpDeadLv,
+    /// `drvp_all` — dynamic RVP of all instructions (Figs. 6, 8).
+    DrvpAll,
+    /// `drvp_all_dead` — with dead-register reallocation (Fig. 6).
+    DrvpAllDead,
+    /// `drvp_all_dead_lv` — with dead + last-value reallocation
+    /// (Figs. 6, 8; the "ideal realloc" bar of Fig. 7).
+    DrvpAllDeadLv,
+    /// `Grp_all` — the Gabbay & Mendelson register predictor (Fig. 6).
+    GrpAll,
+    /// `drvp_all_dead_lv_realloc` — dynamic RVP over a program actually
+    /// transformed by the register-reallocation pass (Fig. 7's
+    /// "realistic" bar). No oracle plan: the hardware sees only
+    /// same-register reuse, which the transformation created.
+    DrvpAllRealloc,
+}
+
+impl PaperScheme {
+    /// The paper's label for this configuration.
+    pub fn label(self) -> &'static str {
+        match self {
+            PaperScheme::NoPredict => "no_predict",
+            PaperScheme::Lvp => "lvp",
+            PaperScheme::LvpAll => "lvp_all",
+            PaperScheme::SrvpSame => "srvp_same",
+            PaperScheme::SrvpDead => "srvp_dead",
+            PaperScheme::SrvpLive => "srvp_live",
+            PaperScheme::SrvpLiveLv => "srvp_live_lv",
+            PaperScheme::Drvp => "drvp",
+            PaperScheme::DrvpDead => "drvp_dead",
+            PaperScheme::DrvpDeadLv => "drvp_dead_lv",
+            PaperScheme::DrvpAll => "drvp_all",
+            PaperScheme::DrvpAllDead => "drvp_all_dead",
+            PaperScheme::DrvpAllDeadLv => "drvp_all_dead_lv",
+            PaperScheme::GrpAll => "Grp_all",
+            PaperScheme::DrvpAllRealloc => "drvp_all_realloc",
+        }
+    }
+
+    /// All schemes, in a stable order.
+    pub fn all() -> &'static [PaperScheme] {
+        &[
+            PaperScheme::NoPredict,
+            PaperScheme::Lvp,
+            PaperScheme::LvpAll,
+            PaperScheme::SrvpSame,
+            PaperScheme::SrvpDead,
+            PaperScheme::SrvpLive,
+            PaperScheme::SrvpLiveLv,
+            PaperScheme::Drvp,
+            PaperScheme::DrvpDead,
+            PaperScheme::DrvpDeadLv,
+            PaperScheme::DrvpAll,
+            PaperScheme::DrvpAllDead,
+            PaperScheme::DrvpAllDeadLv,
+            PaperScheme::GrpAll,
+            PaperScheme::DrvpAllRealloc,
+        ]
+    }
+}
+
+/// Result of one (workload, scheme) simulation.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Scheme simulated.
+    pub scheme: PaperScheme,
+    /// Timing and prediction statistics.
+    pub stats: SimStats,
+}
+
+/// Executes paper experiments: profile on train, measure on ref.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    /// Machine configuration (Table 1 by default).
+    pub config: UarchConfig,
+    /// Value-misprediction recovery model (the paper uses selective
+    /// reissue everywhere except Figure 4).
+    pub recovery: Recovery,
+    /// Profile threshold for candidate selection (0.80; Figure 4 uses
+    /// 0.90).
+    pub threshold: f64,
+    /// Committed-instruction budget for profiling runs.
+    pub profile_insts: u64,
+    /// Committed-instruction budget for measurement runs.
+    pub measure_insts: u64,
+}
+
+impl Default for Runner {
+    fn default() -> Runner {
+        Runner {
+            config: UarchConfig::table1(),
+            recovery: Recovery::Selective,
+            threshold: 0.8,
+            profile_insts: 1_500_000,
+            measure_insts: 400_000,
+        }
+    }
+}
+
+impl Runner {
+    /// A runner for the 16-wide machine of Figure 8.
+    pub fn wide16() -> Runner {
+        Runner { config: UarchConfig::wide16(), ..Runner::default() }
+    }
+
+    fn profile(&self, wl: &Workload) -> Result<Profile, SimError> {
+        let train = wl.program(Input::Train);
+        let cfg = ProfileConfig { max_insts: self.profile_insts, min_execs: 32 };
+        Profile::collect(&train, &cfg).map_err(SimError::Emu)
+    }
+
+    /// Runs one (workload, scheme) cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; these indicate workload or model
+    /// bugs, not expected outcomes.
+    pub fn run(&self, wl: &Workload, scheme: PaperScheme) -> Result<RunResult, SimError> {
+        use PaperScheme as P;
+        let mut program = wl.program(Input::Ref);
+        let train = wl.program(Input::Train);
+        debug_assert_eq!(
+            program.len(),
+            train.len(),
+            "train and ref must share static structure"
+        );
+
+        let needs_profile = !matches!(scheme, P::NoPredict | P::Lvp | P::LvpAll | P::GrpAll | P::Drvp | P::DrvpAll);
+        let profile = if needs_profile { Some(self.profile(wl)?) } else { None };
+
+        let sim_scheme = match scheme {
+            P::NoPredict => Scheme::NoPredict,
+            P::Lvp => Scheme::Lvp { scope: Scope::LoadsOnly, config: LvpConfig::paper() },
+            P::LvpAll => Scheme::Lvp { scope: Scope::AllInsts, config: LvpConfig::paper() },
+            P::SrvpSame | P::SrvpDead | P::SrvpLive | P::SrvpLiveLv => {
+                let level = match scheme {
+                    P::SrvpSame => SrvpLevel::Same,
+                    P::SrvpDead => SrvpLevel::Dead,
+                    P::SrvpLive => SrvpLevel::Live,
+                    _ => SrvpLevel::LiveLv,
+                };
+                let profile = profile.as_ref().expect("profiled");
+                let plan = profile.static_plan(&train, self.threshold, level);
+                // Mark the loads in the program text (`rvp_` opcodes).
+                program = program.map_insts(|pc, inst| {
+                    if plan.contains(pc) {
+                        inst.clone().with_rvp()
+                    } else {
+                        inst.clone()
+                    }
+                });
+                Scheme::StaticRvp { plan }
+            }
+            P::Drvp => Scheme::DynamicRvp {
+                scope: Scope::LoadsOnly,
+                plan: PredictionPlan::new(),
+                config: DrvpConfig::paper(),
+            },
+            P::DrvpAll => Scheme::DynamicRvp {
+                scope: Scope::AllInsts,
+                plan: PredictionPlan::new(),
+                config: DrvpConfig::paper(),
+            },
+            P::DrvpDead | P::DrvpDeadLv | P::DrvpAllDead | P::DrvpAllDeadLv => {
+                let scope = match scheme {
+                    P::DrvpDead | P::DrvpDeadLv => Scope::LoadsOnly,
+                    _ => Scope::AllInsts,
+                };
+                let assist = match scheme {
+                    P::DrvpDead | P::DrvpAllDead => Assist::Dead,
+                    _ => Assist::DeadLv,
+                };
+                let profile = profile.as_ref().expect("profiled");
+                let plan = profile.assist_plan(&train, self.threshold, scope, assist);
+                Scheme::DynamicRvp { scope, plan, config: DrvpConfig::paper() }
+            }
+            P::GrpAll => Scheme::Gabbay { scope: Scope::AllInsts },
+            P::DrvpAllRealloc => {
+                // Actually transform the program; the hardware then runs
+                // plain dynamic RVP with no oracle plan.
+                let profile = profile.as_ref().expect("profiled");
+                let opts = ReallocOptions {
+                    threshold: self.threshold,
+                    scope: PlanScope::AllInsts,
+                    use_dead: true,
+                    use_lv: true,
+                };
+                program = reallocate(&program, profile, &opts).program;
+                Scheme::DynamicRvp {
+                    scope: Scope::AllInsts,
+                    plan: PredictionPlan::new(),
+                    config: DrvpConfig::paper(),
+                }
+            }
+        };
+
+        let stats = Simulator::new(self.config.clone(), sim_scheme, self.recovery)
+            .run(&program, self.measure_insts)?;
+        Ok(RunResult { workload: wl.name(), scheme, stats })
+    }
+
+    /// Figure 1 measurement: register-value reuse of loads on the ref
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulator errors.
+    pub fn fig1(&self, wl: &Workload) -> Result<Fig1Row, SimError> {
+        let program = wl.program(Input::Ref);
+        let cfg = ProfileConfig { max_insts: self.measure_insts, min_execs: 32 };
+        Ok(Profile::collect(&program, &cfg).map_err(SimError::Emu)?.fig1())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvp_workloads::by_name;
+
+    fn quick_runner() -> Runner {
+        Runner { profile_insts: 250_000, measure_insts: 120_000, ..Runner::default() }
+    }
+
+    #[test]
+    fn m88ksim_has_much_more_reuse_than_go() {
+        let r = quick_runner();
+        let m88k = r.run(&by_name("m88ksim").unwrap(), PaperScheme::DrvpAll).unwrap();
+        let go = r.run(&by_name("go").unwrap(), PaperScheme::DrvpAll).unwrap();
+        assert!(
+            m88k.stats.coverage() > 2.0 * go.stats.coverage(),
+            "m88k {:.3} vs go {:.3}",
+            m88k.stats.coverage(),
+            go.stats.coverage()
+        );
+    }
+
+    #[test]
+    fn drvp_accuracy_is_high() {
+        let r = quick_runner();
+        for name in ["m88ksim", "hydro2d"] {
+            let res = r.run(&by_name(name).unwrap(), PaperScheme::DrvpAll).unwrap();
+            assert!(
+                res.stats.accuracy() > 0.9,
+                "{name}: accuracy {:.3}",
+                res.stats.accuracy()
+            );
+        }
+    }
+
+    #[test]
+    fn dead_lv_assistance_increases_coverage() {
+        let r = quick_runner();
+        let wl = by_name("hydro2d").unwrap();
+        let plain = r.run(&wl, PaperScheme::DrvpAll).unwrap();
+        let assisted = r.run(&wl, PaperScheme::DrvpAllDeadLv).unwrap();
+        assert!(
+            assisted.stats.coverage() >= plain.stats.coverage(),
+            "assisted {:.3} < plain {:.3}",
+            assisted.stats.coverage(),
+            plain.stats.coverage()
+        );
+    }
+
+    #[test]
+    fn gabbay_has_lower_coverage_than_drvp() {
+        // The paper's key comparison: register-indexed counters suffer
+        // destructive interference that PC-indexed counters avoid.
+        let r = quick_runner();
+        let wl = by_name("m88ksim").unwrap();
+        let drvp = r.run(&wl, PaperScheme::DrvpAll).unwrap();
+        let grp = r.run(&wl, PaperScheme::GrpAll).unwrap();
+        assert!(
+            grp.stats.coverage() < drvp.stats.coverage(),
+            "Grp {:.3} !< dRVP {:.3}",
+            grp.stats.coverage(),
+            drvp.stats.coverage()
+        );
+    }
+
+    #[test]
+    fn prediction_never_changes_committed_count() {
+        let r = quick_runner();
+        let wl = by_name("ijpeg").unwrap();
+        let base = r.run(&wl, PaperScheme::NoPredict).unwrap();
+        for scheme in [PaperScheme::Lvp, PaperScheme::DrvpAll, PaperScheme::SrvpDead] {
+            let res = r.run(&wl, scheme).unwrap();
+            assert_eq!(res.stats.committed, base.stats.committed, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn fig1_fractions_are_monotone() {
+        let r = quick_runner();
+        for name in ["li", "mgrid"] {
+            let row = r.fig1(&by_name(name).unwrap()).unwrap();
+            let [same, dead, any, lvp] = row.fractions();
+            assert!(same <= dead + 1e-12, "{name}");
+            assert!(dead <= any + 1e-12, "{name}");
+            assert!(any <= lvp + 1e-12, "{name}");
+            assert!(lvp <= 1.0);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = PaperScheme::all().iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), PaperScheme::all().len());
+    }
+}

@@ -1,0 +1,608 @@
+use std::error::Error;
+use std::fmt;
+
+use rvp_isa::{AluOp, Cond, FpuOp, Kind, MemWidth, Operand, Program, Reg, NUM_REGS};
+
+use crate::memory::Memory;
+
+/// Initial value of the stack pointer (`r30`); the stack grows downward
+/// from here.
+pub const STACK_TOP: u64 = 0x4000_0000;
+
+/// One retired (committed) instruction, as observed at architectural
+/// granularity.
+///
+/// `old_value` is the key field for this reproduction: it is the value the
+/// destination *architectural* register held before the instruction
+/// executed — exactly the prediction register value prediction supplies.
+/// A prediction by the paper's same-register scheme is correct iff
+/// `old_value == new_value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Committed {
+    /// Dynamic instruction number (0-based).
+    pub seq: u64,
+    /// Static instruction index (PC).
+    pub pc: usize,
+    /// PC of the next committed instruction.
+    pub next_pc: usize,
+    /// Destination register, if the instruction writes one (writes to the
+    /// zero registers are reported as `None`).
+    pub dst: Option<Reg>,
+    /// Value of `dst` before execution (0 when `dst` is `None`).
+    pub old_value: u64,
+    /// Value written to `dst` (0 when `dst` is `None`).
+    pub new_value: u64,
+    /// Effective byte address for loads and stores.
+    pub eff_addr: Option<u64>,
+    /// Branch outcome for conditional branches.
+    pub taken: Option<bool>,
+}
+
+/// Error raised by [`Emulator::step`]. These indicate malformed programs,
+/// not recoverable conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmuError {
+    /// Control flow left the program text.
+    PcOutOfRange {
+        /// The offending target.
+        pc: usize,
+    },
+    /// A memory access was not aligned to its width.
+    Misaligned {
+        /// Effective address.
+        addr: u64,
+        /// Access width in bytes.
+        width: u64,
+        /// PC of the access.
+        pc: usize,
+    },
+    /// An indirect jump reached an address not in its declared target
+    /// table.
+    JumpOutsideTable {
+        /// PC of the jump.
+        pc: usize,
+        /// The dynamic target that was not declared.
+        target: usize,
+    },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::PcOutOfRange { pc } => write!(f, "control flow left the program at pc {pc}"),
+            EmuError::Misaligned { addr, width, pc } => {
+                write!(f, "misaligned {width}-byte access to {addr:#x} at pc {pc}")
+            }
+            EmuError::JumpOutsideTable { pc, target } => {
+                write!(f, "indirect jump at pc {pc} reached undeclared target {target}")
+            }
+        }
+    }
+}
+
+impl Error for EmuError {}
+
+/// Summary returned by [`Emulator::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunSummary {
+    /// Instructions committed during the call.
+    pub committed: u64,
+    /// Whether the program reached `halt`.
+    pub halted: bool,
+}
+
+/// The architectural emulator.
+///
+/// Construct one per program run; [`Emulator::new`] loads the program's
+/// data segments and initializes the stack pointer to [`STACK_TOP`].
+#[derive(Debug, Clone)]
+pub struct Emulator<'a> {
+    program: &'a Program,
+    regs: [u64; NUM_REGS],
+    mem: Memory,
+    pc: usize,
+    seq: u64,
+    halted: bool,
+}
+
+impl<'a> Emulator<'a> {
+    /// Creates an emulator with the program's data segments loaded and
+    /// `sp = STACK_TOP`.
+    pub fn new(program: &'a Program) -> Emulator<'a> {
+        let mut mem = Memory::new();
+        for seg in program.data() {
+            for (i, w) in seg.words.iter().enumerate() {
+                mem.write_u64(seg.base + 8 * i as u64, *w);
+            }
+        }
+        let mut regs = [0u64; NUM_REGS];
+        regs[rvp_isa::analysis::abi::SP.index()] = STACK_TOP;
+        Emulator { program, regs, mem, pc: program.entry(), seq: 0, halted: false }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'a Program {
+        self.program
+    }
+
+    /// Current value of a register (zero registers always read 0).
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Sets a register (writes to zero registers are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Read-only access to memory.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to memory (for test fixtures).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Current PC.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Committed-instruction count so far.
+    pub fn committed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Whether the program has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn operand(&self, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(i) => i as u64,
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `Ok(None)` once the program has halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EmuError`] if the program is malformed (PC escapes the
+    /// text, misaligned access, undeclared indirect-jump target).
+    pub fn step(&mut self) -> Result<Option<Committed>, EmuError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let inst = self
+            .program
+            .inst(pc)
+            .ok_or(EmuError::PcOutOfRange { pc })?;
+
+        let mut next_pc = pc + 1;
+        let mut write: Option<(Reg, u64)> = None;
+        let mut eff_addr = None;
+        let mut taken = None;
+
+        match &inst.kind {
+            Kind::Alu { op, dst, a, b } => {
+                let a = self.reg(*a);
+                let b = self.operand(*b);
+                let v = alu(*op, a, b);
+                write = Some((*dst, v));
+            }
+            Kind::Fpu { op, dst, a, b } => {
+                let a = f64::from_bits(self.reg(*a));
+                let b = f64::from_bits(self.reg(*b));
+                let v = match op {
+                    FpuOp::FAdd => (a + b).to_bits(),
+                    FpuOp::FSub => (a - b).to_bits(),
+                    FpuOp::FMul => (a * b).to_bits(),
+                    FpuOp::FDiv => (a / b).to_bits(),
+                    FpuOp::FCmpEq => u64::from(a == b),
+                    FpuOp::FCmpLt => u64::from(a < b),
+                    FpuOp::FCmpLe => u64::from(a <= b),
+                };
+                write = Some((*dst, v));
+            }
+            Kind::Itof { dst, src } => {
+                write = Some((*dst, (self.reg(*src) as i64 as f64).to_bits()));
+            }
+            Kind::Ftoi { dst, src } => {
+                let v = f64::from_bits(self.reg(*src));
+                // Saturating truncation, like Rust's `as`.
+                write = Some((*dst, v as i64 as u64));
+            }
+            Kind::Li { dst, imm } => write = Some((*dst, *imm as u64)),
+            Kind::Lif { dst, bits } => write = Some((*dst, *bits)),
+            Kind::Ld { dst, base, disp, width } => {
+                let addr = self.reg(*base).wrapping_add(*disp as u64);
+                check_align(addr, *width, pc)?;
+                eff_addr = Some(addr);
+                let v = self.mem.read_bytes(addr, width.bytes() as usize);
+                write = Some((*dst, v));
+            }
+            Kind::St { src, base, disp, width } => {
+                let addr = self.reg(*base).wrapping_add(*disp as u64);
+                check_align(addr, *width, pc)?;
+                eff_addr = Some(addr);
+                let v = self.reg(*src);
+                self.mem.write_bytes(addr, v, width.bytes() as usize);
+            }
+            Kind::Br { target } => next_pc = *target,
+            Kind::BrCond { cond, src, target } => {
+                let v = self.reg(*src) as i64;
+                let t = match cond {
+                    Cond::Eq => v == 0,
+                    Cond::Ne => v != 0,
+                    Cond::Lt => v < 0,
+                    Cond::Le => v <= 0,
+                    Cond::Gt => v > 0,
+                    Cond::Ge => v >= 0,
+                };
+                taken = Some(t);
+                if t {
+                    next_pc = *target;
+                }
+            }
+            Kind::Bsr { dst, target } => {
+                write = Some((*dst, (pc + 1) as u64));
+                next_pc = *target;
+            }
+            Kind::Ret { base } => {
+                next_pc = self.reg(*base) as usize;
+            }
+            Kind::Jmp { base, targets } => {
+                let t = self.reg(*base) as usize;
+                if !targets.contains(&t) {
+                    return Err(EmuError::JumpOutsideTable { pc, target: t });
+                }
+                next_pc = t;
+            }
+            Kind::Halt => {
+                self.halted = true;
+                next_pc = pc;
+            }
+            Kind::Nop => {}
+        }
+
+        if !self.halted && next_pc >= self.program.len() {
+            return Err(EmuError::PcOutOfRange { pc: next_pc });
+        }
+
+        let (dst, old_value, new_value) = match write {
+            Some((d, v)) if !d.is_zero() => {
+                let old = self.regs[d.index()];
+                self.regs[d.index()] = v;
+                (Some(d), old, v)
+            }
+            _ => (None, 0, 0),
+        };
+
+        let record = Committed {
+            seq: self.seq,
+            pc,
+            next_pc,
+            dst,
+            old_value,
+            new_value,
+            eff_addr,
+            taken,
+        };
+        self.seq += 1;
+        self.pc = next_pc;
+        Ok(Some(record))
+    }
+
+    /// Runs until `halt` or until `max_insts` more instructions have
+    /// committed, discarding trace records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EmuError`] from [`Emulator::step`].
+    pub fn run(&mut self, max_insts: u64) -> Result<RunSummary, EmuError> {
+        let mut n = 0;
+        while n < max_insts {
+            match self.step()? {
+                Some(_) => n += 1,
+                None => break,
+            }
+        }
+        Ok(RunSummary { committed: n, halted: self.halted })
+    }
+}
+
+fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                ((a as i64).wrapping_div(b as i64)) as u64
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                ((a as i64).wrapping_rem(b as i64)) as u64
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl(b as u32),
+        AluOp::Srl => a.wrapping_shr(b as u32),
+        AluOp::Sra => ((a as i64).wrapping_shr(b as u32)) as u64,
+        AluOp::CmpEq => u64::from(a == b),
+        AluOp::CmpLt => u64::from((a as i64) < (b as i64)),
+        AluOp::CmpLtu => u64::from(a < b),
+        AluOp::CmpLe => u64::from((a as i64) <= (b as i64)),
+    }
+}
+
+fn check_align(addr: u64, width: MemWidth, pc: usize) -> Result<(), EmuError> {
+    let w = width.bytes();
+    if !addr.is_multiple_of(w) {
+        Err(EmuError::Misaligned { addr, width: w, pc })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvp_isa::ProgramBuilder;
+
+    fn run_program(b: &mut ProgramBuilder) -> (Vec<Committed>, Program) {
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p);
+        let mut trace = Vec::new();
+        while let Some(c) = emu.step().unwrap() {
+            trace.push(c);
+        }
+        (trace, p)
+    }
+
+    use rvp_isa::Program;
+
+    #[test]
+    fn arithmetic_and_old_values() {
+        let r = Reg::int(1);
+        let mut b = ProgramBuilder::new();
+        b.li(r, 5);
+        b.add(r, r, 10);
+        b.halt();
+        let (trace, _) = run_program(&mut b);
+        assert_eq!(trace[0].old_value, 0);
+        assert_eq!(trace[0].new_value, 5);
+        assert_eq!(trace[1].old_value, 5);
+        assert_eq!(trace[1].new_value, 15);
+    }
+
+    #[test]
+    fn same_register_reuse_shows_in_trace() {
+        // A load that rewrites the value already present: old == new.
+        let (r, base) = (Reg::int(1), Reg::int(2));
+        let mut b = ProgramBuilder::new();
+        b.data(0x1000, &[7]);
+        b.li(base, 0x1000);
+        b.li(r, 7);
+        b.ld(r, base, 0);
+        b.halt();
+        let (trace, _) = run_program(&mut b);
+        let ld = &trace[2];
+        assert_eq!(ld.old_value, 7);
+        assert_eq!(ld.new_value, 7);
+        assert_eq!(ld.eff_addr, Some(0x1000));
+    }
+
+    #[test]
+    fn loop_commits_expected_count() {
+        let r = Reg::int(1);
+        let mut b = ProgramBuilder::new();
+        b.li(r, 4);
+        b.label("top");
+        b.subi(r, r, 1);
+        b.bnez(r, "top");
+        b.halt();
+        let (trace, _) = run_program(&mut b);
+        // li + 4*(sub+bne) + halt
+        assert_eq!(trace.len(), 1 + 8 + 1);
+        let taken: Vec<bool> = trace.iter().filter_map(|c| c.taken).collect();
+        assert_eq!(taken, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn zero_register_writes_are_discarded() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::int(1), 9);
+        b.add(Reg::ZERO, Reg::int(1), 1);
+        b.halt();
+        let (trace, _) = run_program(&mut b);
+        assert_eq!(trace[1].dst, None);
+        assert_eq!(trace[1].new_value, 0);
+    }
+
+    #[test]
+    fn memory_widths_zero_extend() {
+        let (r, base) = (Reg::int(1), Reg::int(2));
+        let mut b = ProgramBuilder::new();
+        b.data(0x1000, &[0xFFFF_FFFF_FFFF_FFFF]);
+        b.li(base, 0x1000);
+        b.ldb(r, base, 0);
+        b.st(r, base, 8);
+        b.ldw(r, base, 0);
+        b.halt();
+        let (trace, _) = run_program(&mut b);
+        assert_eq!(trace[1].new_value, 0xFF);
+        assert_eq!(trace[3].new_value, 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        use rvp_isa::analysis::abi;
+        let mut b = ProgramBuilder::new();
+        b.proc("main");
+        b.li(Reg::int(16), 20);
+        b.call("double");
+        b.st(Reg::int(0), abi::SP, -8);
+        b.halt();
+        b.proc("double");
+        b.add(Reg::int(0), Reg::int(16), Reg::int(16));
+        b.ret(abi::RA);
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p);
+        while emu.step().unwrap().is_some() {}
+        assert_eq!(emu.reg(Reg::int(0)), 40);
+        assert_eq!(emu.memory().read_u64(STACK_TOP - 8), 40);
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        let (f0, f1, f2) = (Reg::fp(0), Reg::fp(1), Reg::fp(2));
+        let mut b = ProgramBuilder::new();
+        b.lif(f0, 1.5);
+        b.lif(f1, 2.0);
+        b.fmul(f2, f0, f1);
+        b.fcmplt(f0, f0, f2);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p);
+        while emu.step().unwrap().is_some() {}
+        assert_eq!(f64::from_bits(emu.reg(f2)), 3.0);
+        assert_eq!(emu.reg(f0), 1); // 1.5 < 3.0
+    }
+
+    #[test]
+    fn conversions() {
+        let (r, f) = (Reg::int(1), Reg::fp(1));
+        let mut b = ProgramBuilder::new();
+        b.li(r, -3);
+        b.itof(f, r);
+        b.ftoi(r, f);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p);
+        while emu.step().unwrap().is_some() {}
+        assert_eq!(emu.reg(r) as i64, -3);
+    }
+
+    #[test]
+    fn jump_table_dispatch() {
+        let r = Reg::int(1);
+        let mut b = ProgramBuilder::new();
+        b.li(r, 3); // index of label "b"
+        b.jmp(r, &["a", "b"]);
+        b.label("a");
+        b.li(Reg::int(2), 100);
+        b.label("b");
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.label("b"), Some(3));
+        let mut emu = Emulator::new(&p);
+        while emu.step().unwrap().is_some() {}
+        // Jumped straight to "b": the li at "a" never ran.
+        assert_eq!(emu.reg(Reg::int(2)), 0);
+    }
+
+    #[test]
+    fn undeclared_jump_target_errors() {
+        let r = Reg::int(1);
+        let mut b = ProgramBuilder::new();
+        b.li(r, 0);
+        b.jmp(r, &["a"]);
+        b.label("a");
+        b.halt();
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p);
+        emu.step().unwrap();
+        assert_eq!(
+            emu.step(),
+            Err(EmuError::JumpOutsideTable { pc: 1, target: 0 })
+        );
+    }
+
+    #[test]
+    fn misaligned_access_errors() {
+        let (r, base) = (Reg::int(1), Reg::int(2));
+        let mut b = ProgramBuilder::new();
+        b.li(base, 0x1001);
+        b.ld(r, base, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p);
+        emu.step().unwrap();
+        assert!(matches!(emu.step(), Err(EmuError::Misaligned { .. })));
+    }
+
+    #[test]
+    fn falling_off_the_end_errors() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p);
+        assert!(matches!(emu.step(), Err(EmuError::PcOutOfRange { .. })));
+    }
+
+    #[test]
+    fn run_respects_fuel() {
+        let r = Reg::int(1);
+        let mut b = ProgramBuilder::new();
+        b.li(r, 1_000_000);
+        b.label("top");
+        b.subi(r, r, 1);
+        b.bnez(r, "top");
+        b.halt();
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p);
+        let s = emu.run(100).unwrap();
+        assert_eq!(s.committed, 100);
+        assert!(!s.halted);
+        assert_eq!(emu.committed(), 100);
+    }
+
+    #[test]
+    fn div_and_rem_by_zero_are_defined() {
+        let (a, b_) = (Reg::int(1), Reg::int(2));
+        let mut b = ProgramBuilder::new();
+        b.li(a, 17);
+        b.li(b_, 0);
+        b.div(Reg::int(3), a, b_);
+        b.rem(Reg::int(4), a, b_);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p);
+        while emu.step().unwrap().is_some() {}
+        assert_eq!(emu.reg(Reg::int(3)), 0);
+        assert_eq!(emu.reg(Reg::int(4)), 17);
+    }
+
+    #[test]
+    fn halt_is_recorded_then_stream_ends() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p);
+        let c = emu.step().unwrap().unwrap();
+        assert_eq!(c.pc, 0);
+        assert!(emu.halted());
+        assert_eq!(emu.step().unwrap(), None);
+    }
+}

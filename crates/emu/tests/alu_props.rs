@@ -1,0 +1,135 @@
+//! Property tests: every ALU operation the emulator executes matches a
+//! direct Rust reference computation, and memory loads/stores round-trip
+//! through programs.
+
+use proptest::prelude::*;
+use rvp_emu::Emulator;
+use rvp_isa::{ProgramBuilder, Reg};
+
+fn run_alu(op: &str, a: u64, b: u64) -> u64 {
+    let (ra, rb, rd) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    let mut p = ProgramBuilder::new();
+    p.li(ra, a as i64);
+    p.li(rb, b as i64);
+    match op {
+        "add" => p.add(rd, ra, rb),
+        "sub" => p.sub(rd, ra, rb),
+        "mul" => p.mul(rd, ra, rb),
+        "div" => p.div(rd, ra, rb),
+        "rem" => p.rem(rd, ra, rb),
+        "and" => p.and(rd, ra, rb),
+        "or" => p.or(rd, ra, rb),
+        "xor" => p.xor(rd, ra, rb),
+        "sll" => p.sll(rd, ra, rb),
+        "srl" => p.srl(rd, ra, rb),
+        "sra" => p.sra(rd, ra, rb),
+        "cmpeq" => p.cmpeq(rd, ra, rb),
+        "cmplt" => p.cmplt(rd, ra, rb),
+        "cmpltu" => p.cmpltu(rd, ra, rb),
+        "cmple" => p.cmple(rd, ra, rb),
+        _ => unreachable!(),
+    };
+    p.halt();
+    let prog = p.build().unwrap();
+    let mut emu = Emulator::new(&prog);
+    while emu.step().unwrap().is_some() {}
+    emu.reg(rd)
+}
+
+fn reference(op: &str, a: u64, b: u64) -> u64 {
+    match op {
+        "add" => a.wrapping_add(b),
+        "sub" => a.wrapping_sub(b),
+        "mul" => a.wrapping_mul(b),
+        "div" => {
+            if b == 0 {
+                0
+            } else {
+                (a as i64).wrapping_div(b as i64) as u64
+            }
+        }
+        "rem" => {
+            if b == 0 {
+                a
+            } else {
+                (a as i64).wrapping_rem(b as i64) as u64
+            }
+        }
+        "and" => a & b,
+        "or" => a | b,
+        "xor" => a ^ b,
+        "sll" => a.wrapping_shl(b as u32),
+        "srl" => a.wrapping_shr(b as u32),
+        "sra" => ((a as i64).wrapping_shr(b as u32)) as u64,
+        "cmpeq" => u64::from(a == b),
+        "cmplt" => u64::from((a as i64) < (b as i64)),
+        "cmpltu" => u64::from(a < b),
+        "cmple" => u64::from((a as i64) <= (b as i64)),
+        _ => unreachable!(),
+    }
+}
+
+const OPS: &[&str] = &[
+    "add", "sub", "mul", "div", "rem", "and", "or", "xor", "sll", "srl", "sra", "cmpeq",
+    "cmplt", "cmpltu", "cmple",
+];
+
+proptest! {
+    #[test]
+    fn alu_matches_reference(op_idx in 0..OPS.len(), a in any::<u64>(), b in any::<u64>()) {
+        let op = OPS[op_idx];
+        prop_assert_eq!(run_alu(op, a, b), reference(op, a, b), "op {}", op);
+    }
+
+    /// Division edge cases that trap on real hardware must be total here.
+    #[test]
+    fn division_edges_are_total(a in any::<u64>()) {
+        prop_assert_eq!(run_alu("div", a, 0), 0);
+        prop_assert_eq!(run_alu("rem", a, 0), a);
+        // i64::MIN / -1 overflows; wrapping semantics apply.
+        prop_assert_eq!(
+            run_alu("div", i64::MIN as u64, (-1i64) as u64),
+            (i64::MIN).wrapping_div(-1) as u64
+        );
+    }
+
+    /// Stores followed by loads of any width round-trip the stored bytes.
+    #[test]
+    fn memory_round_trips(value in any::<u64>(), slot in 0u64..32) {
+        let (v, base, out) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        let addr = 0x1_0000 + slot * 8;
+        let mut p = ProgramBuilder::new();
+        p.li(base, addr as i64);
+        p.li(v, value as i64);
+        p.st(v, base, 0);
+        p.ld(out, base, 0);
+        p.halt();
+        let prog = p.build().unwrap();
+        let mut emu = Emulator::new(&prog);
+        while emu.step().unwrap().is_some() {}
+        prop_assert_eq!(emu.reg(out), value);
+        prop_assert_eq!(emu.memory().read_u64(addr), value);
+    }
+
+    /// FP arithmetic matches f64 semantics bit-for-bit.
+    #[test]
+    fn fp_matches_reference(a in any::<f64>(), b in any::<f64>()) {
+        let (fa, fb, fd) = (Reg::fp(1), Reg::fp(2), Reg::fp(3));
+        for (i, expect) in [a + b, a - b, a * b, a / b].into_iter().enumerate() {
+            let mut p = ProgramBuilder::new();
+            p.lif(fa, a);
+            p.lif(fb, b);
+            match i {
+                0 => p.fadd(fd, fa, fb),
+                1 => p.fsub(fd, fa, fb),
+                2 => p.fmul(fd, fa, fb),
+                _ => p.fdiv(fd, fa, fb),
+            };
+            p.halt();
+            let prog = p.build().unwrap();
+            let mut emu = Emulator::new(&prog);
+            while emu.step().unwrap().is_some() {}
+            prop_assert_eq!(emu.reg(fd), expect.to_bits());
+        }
+    }
+}

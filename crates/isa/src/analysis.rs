@@ -1,0 +1,523 @@
+//! Dataflow analyses: ABI register conventions, register sets, and
+//! live-variable analysis.
+//!
+//! Liveness is the foundation of two paper mechanisms: the profiler's
+//! *dead-register* classification (a value that correlates with a register
+//! that is no longer live can be captured by register reallocation,
+//! Section 5) and the reallocation pass's interference graph (Section 7.3).
+
+use std::fmt;
+
+use crate::cfg::Cfg;
+use crate::inst::{Inst, Kind};
+use crate::program::Program;
+use crate::reg::{Reg, RegClass, NUM_REGS};
+
+/// Calling-convention register assignments, modelled on the Alpha OSF ABI
+/// the paper's binaries used.
+pub mod abi {
+    use crate::reg::Reg;
+    use super::RegSet;
+
+    /// Return-address register (`r26`).
+    pub const RA: Reg = Reg::const_from_index(26);
+    /// Stack pointer (`r30`).
+    pub const SP: Reg = Reg::const_from_index(30);
+    /// Global pointer (`r29`).
+    pub const GP: Reg = Reg::const_from_index(29);
+
+    /// Integer argument registers `r16..=r21`.
+    pub fn int_args() -> RegSet {
+        RegSet::from_iter((16..=21).map(crate::Reg::int))
+    }
+
+    /// FP argument registers `f16..=f21`.
+    pub fn fp_args() -> RegSet {
+        RegSet::from_iter((16..=21).map(crate::Reg::fp))
+    }
+
+    /// Integer return-value register `r0` plus FP return `f0`.
+    pub fn return_values() -> RegSet {
+        let mut s = RegSet::new();
+        s.insert(crate::Reg::int(0));
+        s.insert(crate::Reg::fp(0));
+        s
+    }
+
+    /// Callee-saved (non-volatile) registers: `r9..=r15`, `r29`, `r30`,
+    /// `f2..=f9`.
+    pub fn callee_saved() -> RegSet {
+        let mut s = RegSet::new();
+        for r in 9..=15 {
+            s.insert(crate::Reg::int(r));
+        }
+        s.insert(GP);
+        s.insert(SP);
+        for f in 2..=9 {
+            s.insert(crate::Reg::fp(f));
+        }
+        s
+    }
+
+    /// Caller-saved (volatile) registers: everything that is neither
+    /// callee-saved nor a zero register.
+    pub fn caller_saved() -> RegSet {
+        let saved = callee_saved();
+        let mut s = RegSet::new();
+        for i in 0..crate::NUM_REGS {
+            let r = crate::Reg::from_index(i);
+            if !saved.contains(r) && !r.is_zero() {
+                s.insert(r);
+            }
+        }
+        s
+    }
+
+    /// Registers the reallocation pass must never reassign: the zero
+    /// registers, the stack pointer, the global pointer and the return
+    /// address register.
+    pub fn reserved() -> RegSet {
+        let mut s = RegSet::new();
+        s.insert(crate::Reg::ZERO);
+        s.insert(crate::Reg::FZERO);
+        s.insert(SP);
+        s.insert(GP);
+        s.insert(RA);
+        s
+    }
+}
+
+/// A set of architectural registers, stored as a 64-bit mask (one bit per
+/// dense register index).
+///
+/// # Examples
+///
+/// ```
+/// use rvp_isa::Reg;
+/// use rvp_isa::analysis::RegSet;
+///
+/// let mut s = RegSet::new();
+/// s.insert(Reg::int(3));
+/// s.insert(Reg::fp(3));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(Reg::int(3)));
+/// assert!(!s.contains(Reg::int(4)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegSet(u64);
+
+impl RegSet {
+    /// The empty set.
+    pub fn new() -> RegSet {
+        RegSet(0)
+    }
+
+    /// Inserts a register; returns whether it was newly added.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let bit = 1u64 << r.index();
+        let added = self.0 & bit == 0;
+        self.0 |= bit;
+        added
+    }
+
+    /// Removes a register; returns whether it was present.
+    pub fn remove(&mut self, r: Reg) -> bool {
+        let bit = 1u64 << r.index();
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Whether the register is in the set.
+    pub fn contains(&self, r: Reg) -> bool {
+        self.0 & (1u64 << r.index()) != 0
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Set difference (`self` minus `other`).
+    pub fn difference(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & !other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & other.0)
+    }
+
+    /// Iterates over members in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(Reg::from_index(i))
+            }
+        })
+    }
+
+    /// The raw 64-bit mask.
+    pub fn bits(&self) -> u64 {
+        self.0
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> RegSet {
+        let mut s = RegSet::new();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+impl Extend<Reg> for RegSet {
+    fn extend<T: IntoIterator<Item = Reg>>(&mut self, iter: T) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// The registers an instruction reads, including the interprocedural
+/// conventions: calls read all argument registers, returns read the
+/// return-value registers and every callee-saved register (the paper's
+/// "all non-volatile registers live at exit").
+pub fn effective_uses(inst: &Inst) -> RegSet {
+    let mut uses: RegSet = inst.srcs().into_iter().flatten().collect();
+    match &inst.kind {
+        Kind::Bsr { .. } => {
+            uses = uses.union(abi::int_args()).union(abi::fp_args());
+        }
+        Kind::Ret { .. } => {
+            uses = uses.union(abi::return_values()).union(abi::callee_saved());
+        }
+        _ => {}
+    }
+    // Zero registers always read as zero; they carry no liveness.
+    uses.remove(Reg::ZERO);
+    uses.remove(Reg::FZERO);
+    uses
+}
+
+/// The registers an instruction writes, including call clobbers: a call
+/// defines its destination and every caller-saved register.
+pub fn effective_defs(inst: &Inst) -> RegSet {
+    let mut defs = RegSet::new();
+    if let Some(d) = inst.dst() {
+        defs.insert(d);
+    }
+    if inst.is_call() {
+        defs = defs.union(abi::caller_saved());
+    }
+    defs.remove(Reg::ZERO);
+    defs.remove(Reg::FZERO);
+    defs
+}
+
+/// Live-variable analysis over one procedure's CFG.
+///
+/// Records, for every instruction, the set of registers live *after* it
+/// executes. A register absent from that set is *dead* at that point — the
+/// property the paper's dead-register reuse optimization depends on.
+///
+/// # Examples
+///
+/// ```
+/// use rvp_isa::{ProgramBuilder, Reg};
+/// use rvp_isa::cfg::Cfg;
+/// use rvp_isa::analysis::Liveness;
+///
+/// # fn main() -> Result<(), rvp_isa::BuildError> {
+/// let (a, b) = (Reg::int(1), Reg::int(2));
+/// let mut p = ProgramBuilder::new();
+/// p.li(a, 1);          // 0: a live afterwards
+/// p.li(b, 2);          // 1: a, b live
+/// p.add(a, a, b);      // 2: only a live (b is dead after this)
+/// p.st(a, Reg::int(30), 0); // 3
+/// p.halt();            // 4
+/// let prog = p.build()?;
+/// let cfg = Cfg::build(&prog, &prog.procedures()[0]);
+/// let live = Liveness::compute(&prog, &cfg);
+/// assert!(live.live_after(2).contains(a));
+/// assert!(!live.live_after(2).contains(b));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    start: usize,
+    /// Live-after set for each instruction offset in the procedure.
+    after: Vec<RegSet>,
+    /// Live-in set per block.
+    block_in: Vec<RegSet>,
+    /// Live-out set per block.
+    block_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Runs the backward dataflow to a fixed point and materializes the
+    /// per-instruction live-after sets.
+    pub fn compute(program: &Program, cfg: &Cfg) -> Liveness {
+        let range = cfg.procedure().range.clone();
+        let blocks = cfg.blocks();
+        let n = blocks.len();
+
+        // Per-block use/def summaries.
+        let mut use_b = vec![RegSet::new(); n];
+        let mut def_b = vec![RegSet::new(); n];
+        for (b, block) in blocks.iter().enumerate() {
+            for pc in block.range.clone() {
+                let inst = &program.insts()[pc];
+                let uses = effective_uses(inst).difference(def_b[b]);
+                use_b[b] = use_b[b].union(uses);
+                def_b[b] = def_b[b].union(effective_defs(inst));
+            }
+        }
+
+        // Values live out of any exit block: the paper's convention — all
+        // non-volatile registers are live at procedure exit (already
+        // captured as uses of `ret`, but `halt`-terminated procedures need
+        // it too, and return-value regs must survive to the caller).
+        let exit_live = abi::callee_saved().union(abi::return_values());
+
+        let mut live_in = vec![RegSet::new(); n];
+        let mut live_out = vec![RegSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..n).rev() {
+                let mut out = RegSet::new();
+                if blocks[b].succs.is_empty() {
+                    out = exit_live;
+                }
+                for &s in &blocks[b].succs {
+                    out = out.union(live_in[s]);
+                }
+                let inn = use_b[b].union(out.difference(def_b[b]));
+                if out != live_out[b] || inn != live_in[b] {
+                    live_out[b] = out;
+                    live_in[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+
+        // Materialize per-instruction live-after sets by walking each block
+        // backward from its live-out.
+        let mut after = vec![RegSet::new(); range.len()];
+        for (b, block) in blocks.iter().enumerate() {
+            let mut live = live_out[b];
+            for pc in block.range.clone().rev() {
+                after[pc - range.start] = live;
+                let inst = &program.insts()[pc];
+                live = effective_uses(inst)
+                    .union(live.difference(effective_defs(inst)));
+            }
+        }
+
+        Liveness { start: range.start, after, block_in: live_in, block_out: live_out }
+    }
+
+    /// Registers live immediately after instruction `pc` executes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the analyzed procedure.
+    pub fn live_after(&self, pc: usize) -> RegSet {
+        self.after[pc - self.start]
+    }
+
+    /// Registers live immediately before instruction `pc` executes.
+    pub fn live_before(&self, program: &Program, pc: usize) -> RegSet {
+        let inst = &program.insts()[pc];
+        effective_uses(inst)
+            .union(self.live_after(pc).difference(effective_defs(inst)))
+    }
+
+    /// Live-in set of a block.
+    pub fn block_live_in(&self, b: usize) -> RegSet {
+        self.block_in[b]
+    }
+
+    /// Live-out set of a block.
+    pub fn block_live_out(&self, b: usize) -> RegSet {
+        self.block_out[b]
+    }
+
+    /// Whether register `r` is dead (its current value can never be read
+    /// again) immediately after `pc`.
+    pub fn is_dead_after(&self, pc: usize, r: Reg) -> bool {
+        !self.live_after(pc).contains(r) && !r.is_zero()
+    }
+}
+
+/// Returns the allocatable registers of a class (everything except the
+/// ABI-reserved registers). The paper colors with 31 registers; excluding
+/// the zero register, stack/global pointers and return address leaves 28
+/// freely assignable integer registers plus the reserved ones' fixed webs.
+pub fn allocatable(class: RegClass) -> Vec<Reg> {
+    let reserved = abi::reserved();
+    (0..NUM_REGS)
+        .map(Reg::from_index)
+        .filter(|r| r.class() == class && !reserved.contains(*r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn liveness_of(p: &Program) -> (Cfg, Liveness) {
+        let cfg = Cfg::build(p, &p.procedures()[0]);
+        let l = Liveness::compute(p, &cfg);
+        (cfg, l)
+    }
+
+    #[test]
+    fn regset_basic_ops() {
+        let a: RegSet = [Reg::int(1), Reg::int(2)].into_iter().collect();
+        let b: RegSet = [Reg::int(2), Reg::fp(0)].into_iter().collect();
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b).len(), 1);
+        assert_eq!(a.difference(b).len(), 1);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![Reg::int(1), Reg::int(2)]);
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        let (i, acc) = (Reg::int(1), Reg::int(2));
+        let mut b = ProgramBuilder::new();
+        b.li(i, 10);
+        b.li(acc, 0);
+        b.label("top");
+        b.add(acc, acc, i);
+        b.subi(i, i, 1);
+        b.bnez(i, "top"); // 4
+        b.st(acc, abi::SP, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let (_, live) = liveness_of(&p);
+        // Around the back edge both i and acc stay live.
+        assert!(live.live_after(4).contains(i) || live.live_after(3).contains(i));
+        assert!(live.live_after(2).contains(acc));
+        // After the final store, acc is dead.
+        assert!(live.is_dead_after(5, acc));
+    }
+
+    #[test]
+    fn zero_registers_are_never_live() {
+        let mut b = ProgramBuilder::new();
+        b.add(Reg::int(1), Reg::ZERO, Reg::ZERO);
+        b.st(Reg::int(1), abi::SP, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let (_, live) = liveness_of(&p);
+        assert!(!live.live_before(&p, 0).contains(Reg::ZERO));
+    }
+
+    #[test]
+    fn calls_use_args_and_clobber_volatiles() {
+        let mut b = ProgramBuilder::new();
+        b.proc("main");
+        b.li(Reg::int(16), 1); // a0
+        b.li(Reg::int(1), 42); // t0 (volatile): dead across the call
+        b.call("f");
+        b.halt();
+        b.proc("f");
+        b.li(Reg::int(0), 7);
+        b.ret(abi::RA);
+        let p = b.build().unwrap();
+        let procs = p.procedures();
+        let cfg = Cfg::build(&p, &procs[0]);
+        let live = Liveness::compute(&p, &cfg);
+        // a0 is live into the call.
+        assert!(live.live_before(&p, 2).contains(Reg::int(16)));
+        // t0's value cannot survive the call (clobbered), so it is dead
+        // right after being set... only because nothing reads it first.
+        assert!(live.is_dead_after(1, Reg::int(1)));
+    }
+
+    #[test]
+    fn returns_keep_callee_saved_live() {
+        let mut b = ProgramBuilder::new();
+        b.proc("f");
+        b.li(Reg::int(9), 5); // s0: callee-saved, must reach the exit
+        b.ret(abi::RA);
+        let p = b.build().unwrap();
+        let procs = p.procedures();
+        let cfg = Cfg::build(&p, &procs[0]);
+        let live = Liveness::compute(&p, &cfg);
+        assert!(live.live_after(0).contains(Reg::int(9)));
+    }
+
+    #[test]
+    fn halt_exit_keeps_callee_saved_live() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::int(9), 5);
+        b.li(Reg::int(1), 6);
+        b.halt();
+        let p = b.build().unwrap();
+        let (_, live) = liveness_of(&p);
+        assert!(live.live_after(1).contains(Reg::int(9)));
+        assert!(live.is_dead_after(1, Reg::int(1)));
+    }
+
+    #[test]
+    fn allocatable_excludes_reserved() {
+        let ints = allocatable(RegClass::Int);
+        assert!(!ints.contains(&Reg::ZERO));
+        assert!(!ints.contains(&abi::SP));
+        assert!(!ints.contains(&abi::RA));
+        assert!(ints.contains(&Reg::int(0)));
+        let fps = allocatable(RegClass::Fp);
+        assert!(!fps.contains(&Reg::FZERO));
+        assert_eq!(fps.len(), 31);
+    }
+
+    #[test]
+    fn branch_diamond_merges_liveness() {
+        let (c, x, y) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        let mut b = ProgramBuilder::new();
+        b.li(c, 1);
+        b.li(x, 10);
+        b.beqz(c, "else"); // 2
+        b.li(y, 1);
+        b.br("join");
+        b.label("else");
+        b.mov(y, x); // x used here
+        b.label("join");
+        b.st(y, abi::SP, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let (_, live) = liveness_of(&p);
+        // x is live across the branch (used on the else path).
+        assert!(live.live_after(2).contains(x));
+        // y is live at the join.
+        assert!(live.live_after(5).contains(y));
+    }
+}

@@ -1,0 +1,624 @@
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{AluOp, Cond, FpuOp, Inst, Kind, MemWidth, Operand};
+use crate::program::{DataSegment, Procedure, Program};
+use crate::reg::Reg;
+
+/// Error produced by [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// A branch referenced a label that was never defined.
+    UnknownLabel(String),
+    /// An instruction failed class validation; the message names the
+    /// offending operand.
+    InvalidInst {
+        /// Instruction index.
+        pc: usize,
+        /// Description of the violation.
+        msg: String,
+    },
+    /// A data segment base address was not 8-byte aligned.
+    UnalignedData(u64),
+    /// Two data segments overlap.
+    OverlappingData(u64),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateLabel(l) => write!(f, "label `{l}` defined twice"),
+            BuildError::UnknownLabel(l) => write!(f, "label `{l}` is never defined"),
+            BuildError::InvalidInst { pc, msg } => {
+                write!(f, "invalid instruction at {pc}: {msg}")
+            }
+            BuildError::UnalignedData(a) => {
+                write!(f, "data segment base {a:#x} is not 8-byte aligned")
+            }
+            BuildError::OverlappingData(a) => {
+                write!(f, "data segments overlap at address {a:#x}")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+#[derive(Debug, Clone)]
+enum FixSlot {
+    Target,
+    JmpEntry(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Fixup {
+    pc: usize,
+    label: String,
+    slot: FixSlot,
+}
+
+/// Assembler-style builder for [`Program`]s.
+///
+/// Instructions are appended in order; branches reference string labels
+/// that are resolved to instruction indices by [`ProgramBuilder::build`].
+/// ALU emitters accept either a register or an immediate as the second
+/// source (anything implementing `Into<Operand>`).
+///
+/// # Examples
+///
+/// A countdown loop that sums memory:
+///
+/// ```
+/// use rvp_isa::{ProgramBuilder, Reg, MemWidth};
+///
+/// # fn main() -> Result<(), rvp_isa::BuildError> {
+/// let (ptr, sum, n, v) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+/// let mut b = ProgramBuilder::new();
+/// b.data(0x1000, &[5, 6, 7]);
+/// b.li(ptr, 0x1000).li(sum, 0).li(n, 3);
+/// b.label("loop");
+/// b.ld(v, ptr, 0);
+/// b.add(sum, sum, v);
+/// b.addi(ptr, ptr, 8);
+/// b.subi(n, n, 1);
+/// b.bnez(n, "loop");
+/// b.halt();
+/// let program = b.build()?;
+/// assert_eq!(program.label("loop"), Some(3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    labels: BTreeMap<String, usize>,
+    fixups: Vec<Fixup>,
+    data: Vec<DataSegment>,
+    procs: Vec<(String, usize)>,
+    entry_label: Option<String>,
+    duplicate: Option<String>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// The index the next emitted instruction will occupy.
+    pub fn current_pc(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Defines a label at the current position. Redefining a name at the
+    /// same position is a no-op; at a different position it is a
+    /// duplicate-label error at [`ProgramBuilder::build`].
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let pc = self.insts.len();
+        self.label_at(name, pc)
+    }
+
+    /// Defines a label at an explicit instruction index (used by the
+    /// assembler for absolute `@N` targets). Idempotent: re-defining the
+    /// same name at the same index is allowed; a conflicting index is a
+    /// duplicate-label error at [`ProgramBuilder::build`].
+    pub fn label_at(&mut self, name: &str, pc: usize) -> &mut Self {
+        match self.labels.get(name) {
+            Some(&existing) if existing == pc => {}
+            Some(_) => {
+                self.duplicate.get_or_insert_with(|| name.to_owned());
+            }
+            None => {
+                self.labels.insert(name.to_owned(), pc);
+            }
+        }
+        self
+    }
+
+    /// Begins a procedure at the current position. The procedure extends
+    /// until the next `proc` call or the end of the program. Also defines a
+    /// label with the procedure's name.
+    pub fn proc(&mut self, name: &str) -> &mut Self {
+        self.procs.push((name.to_owned(), self.insts.len()));
+        self.label(name)
+    }
+
+    /// Sets the entry point to a label (defaults to instruction 0).
+    pub fn entry(&mut self, label: &str) -> &mut Self {
+        self.entry_label = Some(label.to_owned());
+        self
+    }
+
+    /// Adds an initialized data segment of 64-bit words at `base`.
+    pub fn data(&mut self, base: u64, words: &[u64]) -> &mut Self {
+        self.data.push(DataSegment { base, words: words.to_vec() });
+        self
+    }
+
+    /// Adds an initialized data segment of f64 values (stored as raw bits).
+    pub fn data_f64(&mut self, base: u64, values: &[f64]) -> &mut Self {
+        let words: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        self.data.push(DataSegment { base, words });
+        self
+    }
+
+    /// Reserves `words` zeroed 64-bit words at `base` (a `.bss` section).
+    pub fn zeros(&mut self, base: u64, words: usize) -> &mut Self {
+        self.data.push(DataSegment { base, words: vec![0; words] });
+        self
+    }
+
+    /// Appends a raw instruction.
+    pub fn inst(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Marks the most recently emitted instruction for static RVP
+    /// (sets its `rvp_` bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no instruction has been emitted yet.
+    pub fn mark_rvp(&mut self) -> &mut Self {
+        self.insts.last_mut().expect("mark_rvp on empty program").rvp = true;
+        self
+    }
+
+    fn alu(&mut self, op: AluOp, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.inst(Inst::new(Kind::Alu { op, dst, a, b: b.into() }))
+    }
+
+    /// `dst = a + b`
+    pub fn add(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Add, dst, a, b)
+    }
+
+    /// `dst = a + imm` (alias of [`add`](Self::add) for readability)
+    pub fn addi(&mut self, dst: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.alu(AluOp::Add, dst, a, imm)
+    }
+
+    /// `dst = a - b`
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Sub, dst, a, b)
+    }
+
+    /// `dst = a - imm`
+    pub fn subi(&mut self, dst: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.alu(AluOp::Sub, dst, a, imm)
+    }
+
+    /// `dst = a * b`
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Mul, dst, a, b)
+    }
+
+    /// `dst = a / b` (signed; division by zero yields 0)
+    pub fn div(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Div, dst, a, b)
+    }
+
+    /// `dst = a % b` (signed; remainder by zero yields `a`)
+    pub fn rem(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Rem, dst, a, b)
+    }
+
+    /// `dst = a & b`
+    pub fn and(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::And, dst, a, b)
+    }
+
+    /// `dst = a | b`
+    pub fn or(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Or, dst, a, b)
+    }
+
+    /// `dst = a ^ b`
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Xor, dst, a, b)
+    }
+
+    /// `dst = a << b`
+    pub fn sll(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Sll, dst, a, b)
+    }
+
+    /// `dst = a >> b` (logical)
+    pub fn srl(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Srl, dst, a, b)
+    }
+
+    /// `dst = a >> b` (arithmetic)
+    pub fn sra(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Sra, dst, a, b)
+    }
+
+    /// `dst = (a == b) as u64`
+    pub fn cmpeq(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::CmpEq, dst, a, b)
+    }
+
+    /// `dst = (a < b) as u64` (signed)
+    pub fn cmplt(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::CmpLt, dst, a, b)
+    }
+
+    /// `dst = (a < b) as u64` (unsigned)
+    pub fn cmpltu(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::CmpLtu, dst, a, b)
+    }
+
+    /// `dst = (a <= b) as u64` (signed)
+    pub fn cmple(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::CmpLe, dst, a, b)
+    }
+
+    /// Register move, encoded as `or dst, src, #0`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.alu(AluOp::Or, dst, src, 0)
+    }
+
+    /// `dst = imm` (64-bit immediate load)
+    pub fn li(&mut self, dst: Reg, imm: i64) -> &mut Self {
+        self.inst(Inst::new(Kind::Li { dst, imm }))
+    }
+
+    /// `dst = value` (f64 constant load into an FP register)
+    pub fn lif(&mut self, dst: Reg, value: f64) -> &mut Self {
+        self.inst(Inst::new(Kind::Lif { dst, bits: value.to_bits() }))
+    }
+
+    fn fpu(&mut self, op: FpuOp, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.inst(Inst::new(Kind::Fpu { op, dst, a, b }))
+    }
+
+    /// `dst = a + b` (f64)
+    pub fn fadd(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.fpu(FpuOp::FAdd, dst, a, b)
+    }
+
+    /// `dst = a - b` (f64)
+    pub fn fsub(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.fpu(FpuOp::FSub, dst, a, b)
+    }
+
+    /// `dst = a * b` (f64)
+    pub fn fmul(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.fpu(FpuOp::FMul, dst, a, b)
+    }
+
+    /// `dst = a / b` (f64)
+    pub fn fdiv(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.fpu(FpuOp::FDiv, dst, a, b)
+    }
+
+    /// `dst = (a == b) as u64` bits (f64 compare)
+    pub fn fcmpeq(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.fpu(FpuOp::FCmpEq, dst, a, b)
+    }
+
+    /// `dst = (a < b) as u64` bits (f64 compare)
+    pub fn fcmplt(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.fpu(FpuOp::FCmpLt, dst, a, b)
+    }
+
+    /// `dst = (a <= b) as u64` bits (f64 compare)
+    pub fn fcmple(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.fpu(FpuOp::FCmpLe, dst, a, b)
+    }
+
+    /// FP register move, encoded as `fadd dst, src, f31`.
+    pub fn fmov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.fpu(FpuOp::FAdd, dst, src, Reg::FZERO)
+    }
+
+    /// `dst = src as f64` (integer to FP convert)
+    pub fn itof(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.inst(Inst::new(Kind::Itof { dst, src }))
+    }
+
+    /// `dst = src as i64` (FP to integer convert, truncating)
+    pub fn ftoi(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.inst(Inst::new(Kind::Ftoi { dst, src }))
+    }
+
+    /// 64-bit load: `dst = mem[base + disp]`. The destination's register
+    /// class selects an integer or FP load.
+    pub fn ld(&mut self, dst: Reg, base: Reg, disp: i64) -> &mut Self {
+        self.inst(Inst::ld(dst, base, disp, MemWidth::D))
+    }
+
+    /// 32-bit load (zero-extended).
+    pub fn ldw(&mut self, dst: Reg, base: Reg, disp: i64) -> &mut Self {
+        self.inst(Inst::ld(dst, base, disp, MemWidth::W))
+    }
+
+    /// 8-bit load (zero-extended).
+    pub fn ldb(&mut self, dst: Reg, base: Reg, disp: i64) -> &mut Self {
+        self.inst(Inst::ld(dst, base, disp, MemWidth::B))
+    }
+
+    /// 64-bit store: `mem[base + disp] = src`.
+    pub fn st(&mut self, src: Reg, base: Reg, disp: i64) -> &mut Self {
+        self.inst(Inst::st(src, base, disp, MemWidth::D))
+    }
+
+    /// 32-bit store (truncating).
+    pub fn stw(&mut self, src: Reg, base: Reg, disp: i64) -> &mut Self {
+        self.inst(Inst::st(src, base, disp, MemWidth::W))
+    }
+
+    /// 8-bit store (truncating).
+    pub fn stb(&mut self, src: Reg, base: Reg, disp: i64) -> &mut Self {
+        self.inst(Inst::st(src, base, disp, MemWidth::B))
+    }
+
+    fn branch_fixup(&mut self, label: &str, slot: FixSlot) {
+        self.fixups.push(Fixup { pc: self.insts.len(), label: label.to_owned(), slot });
+    }
+
+    /// Unconditional branch to `label`.
+    pub fn br(&mut self, label: &str) -> &mut Self {
+        self.branch_fixup(label, FixSlot::Target);
+        self.inst(Inst::new(Kind::Br { target: usize::MAX }))
+    }
+
+    fn bcond(&mut self, cond: Cond, src: Reg, label: &str) -> &mut Self {
+        self.branch_fixup(label, FixSlot::Target);
+        self.inst(Inst::new(Kind::BrCond { cond, src, target: usize::MAX }))
+    }
+
+    /// Branch to `label` if `src == 0`.
+    pub fn beqz(&mut self, src: Reg, label: &str) -> &mut Self {
+        self.bcond(Cond::Eq, src, label)
+    }
+
+    /// Branch to `label` if `src != 0`.
+    pub fn bnez(&mut self, src: Reg, label: &str) -> &mut Self {
+        self.bcond(Cond::Ne, src, label)
+    }
+
+    /// Branch to `label` if `src < 0` (signed).
+    pub fn bltz(&mut self, src: Reg, label: &str) -> &mut Self {
+        self.bcond(Cond::Lt, src, label)
+    }
+
+    /// Branch to `label` if `src <= 0` (signed).
+    pub fn blez(&mut self, src: Reg, label: &str) -> &mut Self {
+        self.bcond(Cond::Le, src, label)
+    }
+
+    /// Branch to `label` if `src > 0` (signed).
+    pub fn bgtz(&mut self, src: Reg, label: &str) -> &mut Self {
+        self.bcond(Cond::Gt, src, label)
+    }
+
+    /// Branch to `label` if `src >= 0` (signed).
+    pub fn bgez(&mut self, src: Reg, label: &str) -> &mut Self {
+        self.bcond(Cond::Ge, src, label)
+    }
+
+    /// Branch to subroutine at `label`, writing the return address into
+    /// `dst` (conventionally `r26`).
+    pub fn bsr(&mut self, dst: Reg, label: &str) -> &mut Self {
+        self.branch_fixup(label, FixSlot::Target);
+        self.inst(Inst::new(Kind::Bsr { dst, target: usize::MAX }))
+    }
+
+    /// Calls `label` using the conventional return-address register `r26`.
+    pub fn call(&mut self, label: &str) -> &mut Self {
+        self.bsr(crate::analysis::abi::RA, label)
+    }
+
+    /// Returns through `base` (conventionally `r26`).
+    pub fn ret(&mut self, base: Reg) -> &mut Self {
+        self.inst(Inst::new(Kind::Ret { base }))
+    }
+
+    /// Indirect jump through `base`; `labels` must enumerate every possible
+    /// target (a jump table).
+    pub fn jmp(&mut self, base: Reg, labels: &[&str]) -> &mut Self {
+        for (k, l) in labels.iter().enumerate() {
+            self.branch_fixup(l, FixSlot::JmpEntry(k));
+        }
+        self.inst(Inst::new(Kind::Jmp { base, targets: vec![usize::MAX; labels.len()] }))
+    }
+
+    /// Stops the program.
+    pub fn halt(&mut self) -> &mut Self {
+        self.inst(Inst::new(Kind::Halt))
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.inst(Inst::new(Kind::Nop))
+    }
+
+    /// Resolves labels, validates every instruction and data segment, and
+    /// produces the [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for duplicate or unknown labels, operand
+    /// class violations, or malformed data segments.
+    pub fn build(&mut self) -> Result<Program, BuildError> {
+        if let Some(dup) = &self.duplicate {
+            return Err(BuildError::DuplicateLabel(dup.clone()));
+        }
+        let mut insts = self.insts.clone();
+        for fix in &self.fixups {
+            let target = *self
+                .labels
+                .get(&fix.label)
+                .ok_or_else(|| BuildError::UnknownLabel(fix.label.clone()))?;
+            match (&mut insts[fix.pc].kind, &fix.slot) {
+                (Kind::Br { target: t }, FixSlot::Target)
+                | (Kind::BrCond { target: t, .. }, FixSlot::Target)
+                | (Kind::Bsr { target: t, .. }, FixSlot::Target) => *t = target,
+                (Kind::Jmp { targets, .. }, FixSlot::JmpEntry(k)) => targets[*k] = target,
+                _ => unreachable!("fixup recorded against non-branch instruction"),
+            }
+        }
+        for (pc, inst) in insts.iter().enumerate() {
+            inst.validate().map_err(|msg| BuildError::InvalidInst { pc, msg })?;
+        }
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for seg in &self.data {
+            if seg.base % 8 != 0 {
+                return Err(BuildError::UnalignedData(seg.base));
+            }
+            let r = seg.byte_range();
+            for (s, e) in &ranges {
+                if r.start < *e && *s < r.end {
+                    return Err(BuildError::OverlappingData(r.start.max(*s)));
+                }
+            }
+            ranges.push((r.start, r.end));
+        }
+        let mut procedures = Vec::new();
+        for (i, (name, start)) in self.procs.iter().enumerate() {
+            let end = self.procs.get(i + 1).map_or(insts.len(), |(_, s)| *s);
+            procedures.push(Procedure { name: name.clone(), range: *start..end });
+        }
+        let entry = match &self.entry_label {
+            Some(l) => *self
+                .labels
+                .get(l)
+                .ok_or_else(|| BuildError::UnknownLabel(l.clone()))?,
+            None => 0,
+        };
+        Ok(Program::from_parts(insts, self.data.clone(), procedures, self.labels.clone(), entry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Flow;
+
+    #[test]
+    fn branches_resolve_forward_and_backward() {
+        let mut b = ProgramBuilder::new();
+        b.label("back");
+        b.nop();
+        b.br("fwd");
+        b.br("back");
+        b.label("fwd");
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.inst(1).unwrap().flow(), Flow::Always(3));
+        assert_eq!(p.inst(2).unwrap().flow(), Flow::Always(0));
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.br("nowhere");
+        assert_eq!(b.build(), Err(BuildError::UnknownLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.label("x").nop();
+        b.label("x").halt();
+        assert_eq!(b.build(), Err(BuildError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn invalid_operand_class_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.add(Reg::int(1), Reg::int(2), Reg::int(3));
+        b.fadd(Reg::fp(0), Reg::fp(1), Reg::fp(2));
+        assert!(b.build().is_ok());
+
+        let mut b = ProgramBuilder::new();
+        b.inst(Inst::new(Kind::Alu {
+            op: AluOp::Add,
+            dst: Reg::int(1),
+            a: Reg::fp(2),
+            b: Operand::Imm(0),
+        }));
+        assert!(matches!(b.build(), Err(BuildError::InvalidInst { pc: 0, .. })));
+    }
+
+    #[test]
+    fn jump_tables_resolve_every_entry() {
+        let mut b = ProgramBuilder::new();
+        b.jmp(Reg::int(1), &["a", "b"]);
+        b.label("a").nop();
+        b.label("b").halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.inst(0).unwrap().flow(), Flow::Indirect(vec![1, 2]));
+    }
+
+    #[test]
+    fn overlapping_data_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.data(0x1000, &[1, 2, 3]);
+        b.data(0x1010, &[4]);
+        b.halt();
+        assert!(matches!(b.build(), Err(BuildError::OverlappingData(_))));
+    }
+
+    #[test]
+    fn unaligned_data_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.data(0x1001, &[1]);
+        b.halt();
+        assert_eq!(b.build(), Err(BuildError::UnalignedData(0x1001)));
+    }
+
+    #[test]
+    fn entry_label_is_respected() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        b.label("start");
+        b.halt();
+        b.entry("start");
+        assert_eq!(b.build().unwrap().entry(), 1);
+    }
+
+    #[test]
+    fn mark_rvp_sets_the_bit_on_the_last_inst() {
+        let mut b = ProgramBuilder::new();
+        b.ld(Reg::int(1), Reg::int(2), 0).mark_rvp();
+        b.halt();
+        let p = b.build().unwrap();
+        assert!(p.inst(0).unwrap().rvp);
+        assert!(!p.inst(1).unwrap().rvp);
+    }
+
+    #[test]
+    fn mov_is_or_with_zero_immediate() {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg::int(1), Reg::int(2));
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.inst(0).unwrap().to_string(), "or r1, r2, #0");
+    }
+}

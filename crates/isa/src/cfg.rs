@@ -1,0 +1,483 @@
+//! Control-flow graphs, dominators and natural loops.
+//!
+//! CFGs are built per procedure (see [`crate::Program::procedures`]), the
+//! granularity at which the paper's compiler analyses operate. Calls
+//! (`bsr`) do not end a block's fall-through path — their interprocedural
+//! effects are modelled by the liveness analysis via the ABI register
+//! conventions instead.
+
+use std::collections::BTreeSet;
+
+use crate::inst::Flow;
+use crate::program::{Procedure, Program};
+
+/// Identifier of a basic block within one [`Cfg`].
+pub type BlockId = usize;
+
+/// A basic block: a maximal straight-line instruction range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Instruction-index range `[start, end)` (absolute program indices).
+    pub range: std::ops::Range<usize>,
+    /// Successor blocks.
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+}
+
+/// A natural loop discovered from a back edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// The loop header block.
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub body: BTreeSet<BlockId>,
+}
+
+impl Loop {
+    /// Whether the loop contains the given block.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// Control-flow graph of one procedure.
+///
+/// # Examples
+///
+/// ```
+/// use rvp_isa::{ProgramBuilder, Reg};
+/// use rvp_isa::cfg::Cfg;
+///
+/// # fn main() -> Result<(), rvp_isa::BuildError> {
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::int(1), 4);
+/// b.label("loop");
+/// b.subi(Reg::int(1), Reg::int(1), 1);
+/// b.bnez(Reg::int(1), "loop");
+/// b.halt();
+/// let p = b.build()?;
+/// let cfg = Cfg::build(&p, &p.procedures()[0]);
+/// assert_eq!(cfg.blocks().len(), 3);
+/// assert_eq!(cfg.loops().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    proc: Procedure,
+    blocks: Vec<Block>,
+    /// Block id for each instruction offset within the procedure.
+    block_of: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `proc` within `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the procedure range is out of bounds for the program.
+    pub fn build(program: &Program, proc: &Procedure) -> Cfg {
+        let range = proc.range.clone();
+        assert!(range.end <= program.len(), "procedure range out of bounds");
+        let n = range.len();
+        let in_proc = |t: usize| range.contains(&t);
+
+        // Mark leaders.
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for pc in range.clone() {
+            let inst = &program.insts()[pc];
+            match inst.flow() {
+                Flow::FallThrough => {}
+                Flow::Always(t) => {
+                    // A call falls through; its target is another procedure.
+                    if inst.is_call() {
+                        continue;
+                    }
+                    if in_proc(t) {
+                        leader[t - range.start] = true;
+                    }
+                    if pc + 1 < range.end {
+                        leader[pc + 1 - range.start] = true;
+                    }
+                }
+                Flow::Conditional(t) => {
+                    if in_proc(t) {
+                        leader[t - range.start] = true;
+                    }
+                    if pc + 1 < range.end {
+                        leader[pc + 1 - range.start] = true;
+                    }
+                }
+                Flow::Indirect(ts) => {
+                    for t in ts {
+                        if in_proc(t) {
+                            leader[t - range.start] = true;
+                        }
+                    }
+                    if pc + 1 < range.end {
+                        leader[pc + 1 - range.start] = true;
+                    }
+                }
+                Flow::Return | Flow::Halt => {
+                    if pc + 1 < range.end {
+                        leader[pc + 1 - range.start] = true;
+                    }
+                }
+            }
+        }
+
+        // Carve blocks.
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_of = vec![0; n];
+        let mut start = 0;
+        for off in 0..n {
+            if off > start && leader[off] {
+                blocks.push(Block {
+                    range: range.start + start..range.start + off,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+                start = off;
+            }
+            block_of[off] = blocks.len();
+        }
+        if n > 0 {
+            blocks.push(Block {
+                range: range.start + start..range.end,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
+        }
+
+        // Wire edges.
+        let ids: Vec<BlockId> = (0..blocks.len()).collect();
+        for &b in &ids {
+            let last = blocks[b].range.end - 1;
+            let inst = &program.insts()[last];
+            let mut succs: Vec<BlockId> = Vec::new();
+            let fall = |succs: &mut Vec<BlockId>| {
+                if last + 1 < range.end {
+                    succs.push(block_of[last + 1 - range.start]);
+                }
+            };
+            match inst.flow() {
+                Flow::FallThrough => fall(&mut succs),
+                Flow::Always(t) => {
+                    if inst.is_call() {
+                        fall(&mut succs);
+                    } else if in_proc(t) {
+                        succs.push(block_of[t - range.start]);
+                    }
+                }
+                Flow::Conditional(t) => {
+                    fall(&mut succs);
+                    if in_proc(t) {
+                        succs.push(block_of[t - range.start]);
+                    }
+                }
+                Flow::Indirect(ts) => {
+                    for t in ts {
+                        if in_proc(t) {
+                            let s = block_of[t - range.start];
+                            if !succs.contains(&s) {
+                                succs.push(s);
+                            }
+                        }
+                    }
+                }
+                Flow::Return | Flow::Halt => {}
+            }
+            blocks[b].succs = succs;
+        }
+        for b in ids {
+            for s in blocks[b].succs.clone() {
+                blocks[s].preds.push(b);
+            }
+        }
+
+        Cfg { proc: proc.clone(), blocks, block_of }
+    }
+
+    /// The procedure this CFG describes.
+    pub fn procedure(&self) -> &Procedure {
+        &self.proc
+    }
+
+    /// The basic blocks, in program order (block 0 is the entry).
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block containing absolute instruction index `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the procedure.
+    pub fn block_of(&self, pc: usize) -> BlockId {
+        assert!(self.proc.range.contains(&pc), "pc {pc} outside procedure");
+        self.block_of[pc - self.proc.range.start]
+    }
+
+    /// Immediate dominators (`idom[0]` is 0, the entry). Unreachable
+    /// blocks report themselves as their own dominator.
+    #[allow(clippy::needless_range_loop)] // parallel arrays indexed together
+    pub fn idoms(&self) -> Vec<BlockId> {
+        let n = self.blocks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Reverse postorder.
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let mut stack = vec![(0usize, 0usize)];
+        seen[0] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < self.blocks[b].succs.len() {
+                let s = self.blocks[b].succs[*i];
+                *i += 1;
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                order.push(b);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        let mut rpo_num = vec![usize::MAX; n];
+        for (i, &b) in order.iter().enumerate() {
+            rpo_num[b] = i;
+        }
+
+        let mut idom = vec![usize::MAX; n];
+        idom[0] = 0;
+        let intersect = |idom: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while rpo_num[a] > rpo_num[b] {
+                    a = idom[a];
+                }
+                while rpo_num[b] > rpo_num[a] {
+                    b = idom[b];
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                let mut new_idom = usize::MAX;
+                for &p in &self.blocks[b].preds {
+                    if idom[p] != usize::MAX {
+                        new_idom = if new_idom == usize::MAX {
+                            p
+                        } else {
+                            intersect(&idom, new_idom, p)
+                        };
+                    }
+                }
+                if new_idom != usize::MAX && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        for b in 0..n {
+            if idom[b] == usize::MAX {
+                idom[b] = b; // unreachable
+            }
+        }
+        idom
+    }
+
+    /// Whether block `a` dominates block `b`.
+    fn dominates(idom: &[BlockId], a: BlockId, b: BlockId) -> bool {
+        let mut x = b;
+        loop {
+            if x == a {
+                return true;
+            }
+            let next = idom[x];
+            if next == x {
+                return x == a;
+            }
+            x = next;
+        }
+    }
+
+    /// The natural loops of the CFG, sorted innermost-first (smallest body
+    /// first). Loops sharing a header are merged.
+    pub fn loops(&self) -> Vec<Loop> {
+        let idom = self.idoms();
+        let mut loops: Vec<Loop> = Vec::new();
+        for (b, block) in self.blocks.iter().enumerate() {
+            for &h in &block.succs {
+                if Self::dominates(&idom, h, b) {
+                    // Back edge b -> h: collect nodes reaching b avoiding h.
+                    let mut body: BTreeSet<BlockId> = BTreeSet::new();
+                    body.insert(h);
+                    let mut stack = vec![b];
+                    while let Some(x) = stack.pop() {
+                        if body.insert(x) {
+                            for &p in &self.blocks[x].preds {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                    if let Some(l) = loops.iter_mut().find(|l| l.header == h) {
+                        l.body.extend(body);
+                    } else {
+                        loops.push(Loop { header: h, body });
+                    }
+                }
+            }
+        }
+        loops.sort_by_key(|l| l.body.len());
+        loops
+    }
+
+    /// The innermost loop containing instruction `pc`, if any.
+    pub fn innermost_loop_of(&self, pc: usize) -> Option<Loop> {
+        if !self.proc.range.contains(&pc) {
+            return None;
+        }
+        let b = self.block_of(pc);
+        self.loops().into_iter().find(|l| l.contains(b))
+    }
+
+    /// Loop-nesting depth of each block (0 = not in any loop).
+    pub fn loop_depths(&self) -> Vec<usize> {
+        let mut depth = vec![0; self.blocks.len()];
+        for l in self.loops() {
+            for &b in &l.body {
+                depth[b] += 1;
+            }
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::reg::Reg;
+
+    fn cfg_of(p: &Program) -> Cfg {
+        Cfg::build(p, &p.procedures()[0])
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = ProgramBuilder::new();
+        b.nop().nop().halt();
+        let p = b.build().unwrap();
+        let cfg = cfg_of(&p);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert!(cfg.blocks()[0].succs.is_empty());
+    }
+
+    #[test]
+    fn diamond_has_four_blocks() {
+        let r = Reg::int(1);
+        let mut b = ProgramBuilder::new();
+        b.beqz(r, "else");
+        b.nop();
+        b.br("join");
+        b.label("else");
+        b.nop();
+        b.label("join");
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = cfg_of(&p);
+        assert_eq!(cfg.blocks().len(), 4);
+        assert_eq!(cfg.blocks()[0].succs.len(), 2);
+        let idom = cfg.idoms();
+        // The join block is dominated by the entry, not by either arm.
+        let join = cfg.block_of(4);
+        assert_eq!(idom[join], cfg.block_of(0));
+        assert!(cfg.loops().is_empty());
+    }
+
+    #[test]
+    fn simple_loop_is_detected() {
+        let r = Reg::int(1);
+        let mut b = ProgramBuilder::new();
+        b.li(r, 3);
+        b.label("top");
+        b.subi(r, r, 1);
+        b.bnez(r, "top");
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = cfg_of(&p);
+        let loops = cfg.loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, cfg.block_of(1));
+        assert!(cfg.innermost_loop_of(2).is_some());
+        assert!(cfg.innermost_loop_of(0).is_none());
+    }
+
+    #[test]
+    fn nested_loops_report_depths() {
+        let (i, j) = (Reg::int(1), Reg::int(2));
+        let mut b = ProgramBuilder::new();
+        b.li(i, 3);
+        b.label("outer");
+        b.li(j, 3);
+        b.label("inner");
+        b.subi(j, j, 1);
+        b.bnez(j, "inner");
+        b.subi(i, i, 1);
+        b.bnez(i, "outer");
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = cfg_of(&p);
+        let loops = cfg.loops();
+        assert_eq!(loops.len(), 2);
+        // Innermost-first ordering.
+        assert!(loops[0].body.len() < loops[1].body.len());
+        let depths = cfg.loop_depths();
+        assert_eq!(depths[cfg.block_of(3)], 2); // inner body (subi/bnez j)
+        assert_eq!(depths[cfg.block_of(4)], 1); // outer-only body (subi i)
+        assert_eq!(depths[cfg.block_of(0)], 0); // preheader
+        // Innermost loop of the inner body instruction is the small loop.
+        let inner = cfg.innermost_loop_of(3).unwrap();
+        assert_eq!(inner.body.len(), loops[0].body.len());
+    }
+
+    #[test]
+    fn calls_fall_through() {
+        let mut b = ProgramBuilder::new();
+        b.proc("main");
+        b.call("sub");
+        b.halt();
+        b.proc("sub");
+        b.ret(crate::analysis::abi::RA);
+        let p = b.build().unwrap();
+        let procs = p.procedures();
+        let cfg = Cfg::build(&p, &procs[0]);
+        // call + halt stay one straight-line region; call does not branch.
+        assert_eq!(cfg.blocks().len(), 1);
+    }
+
+    #[test]
+    fn jump_table_targets_become_successors() {
+        let r = Reg::int(1);
+        let mut b = ProgramBuilder::new();
+        b.jmp(r, &["a", "b"]);
+        b.label("a");
+        b.br("end");
+        b.label("b");
+        b.nop();
+        b.label("end");
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = cfg_of(&p);
+        assert_eq!(cfg.blocks()[0].succs.len(), 2);
+    }
+}

@@ -1,0 +1,771 @@
+use std::fmt;
+
+use crate::reg::{Reg, RegClass};
+
+/// Integer ALU operations (three-operand, register or immediate second
+/// source).
+///
+/// Comparison operations produce `0` or `1` in the destination register,
+/// which conditional branches then test against zero — the Alpha idiom the
+/// paper's workloads compile to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping 64-bit addition.
+    Add,
+    /// Wrapping 64-bit subtraction.
+    Sub,
+    /// Wrapping 64-bit multiplication (long latency).
+    Mul,
+    /// Signed 64-bit division; division by zero yields 0 (no trap).
+    Div,
+    /// Signed 64-bit remainder; remainder by zero yields the dividend.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR (also the canonical register move: `or dst, src, #0`).
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64).
+    Sll,
+    /// Logical shift right (shift amount taken modulo 64).
+    Srl,
+    /// Arithmetic shift right (shift amount taken modulo 64).
+    Sra,
+    /// Set-if-equal: `dst = (a == b) as u64`.
+    CmpEq,
+    /// Set-if-less-than, signed.
+    CmpLt,
+    /// Set-if-less-than, unsigned.
+    CmpLtu,
+    /// Set-if-less-or-equal, signed.
+    CmpLe,
+}
+
+/// Floating-point operations over f64 values held in FP registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpuOp {
+    /// f64 addition.
+    FAdd,
+    /// f64 subtraction.
+    FSub,
+    /// f64 multiplication.
+    FMul,
+    /// f64 division (long latency).
+    FDiv,
+    /// Set-if-equal: writes integer `0`/`1` bits into the FP destination.
+    FCmpEq,
+    /// Set-if-less-than.
+    FCmpLt,
+    /// Set-if-less-or-equal.
+    FCmpLe,
+}
+
+/// Branch conditions; the operand register is compared (as a signed 64-bit
+/// integer, or raw bits for FP registers) against zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Branch if the register equals zero.
+    Eq,
+    /// Branch if the register is non-zero.
+    Ne,
+    /// Branch if the register is negative.
+    Lt,
+    /// Branch if the register is zero or negative.
+    Le,
+    /// Branch if the register is positive.
+    Gt,
+    /// Branch if the register is zero or positive.
+    Ge,
+}
+
+/// Memory access widths. Loads zero-extend; stores truncate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// One byte.
+    B,
+    /// Four bytes (must be 4-byte aligned).
+    W,
+    /// Eight bytes (must be 8-byte aligned). The only width FP loads and
+    /// stores support.
+    D,
+}
+
+impl MemWidth {
+    /// Size of the access in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+}
+
+/// The second source of an ALU instruction: a register or a small
+/// immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate operand (sign-extended to 64 bits).
+    Imm(i64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(i: i64) -> Operand {
+        Operand::Imm(i)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
+/// The role a register plays in an instruction, used when rewriting
+/// register assignments (see [`Inst::map_regs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegRole {
+    /// The register is written by the instruction.
+    Dst,
+    /// The register is read by the instruction.
+    Src,
+}
+
+/// The operation an instruction performs.
+///
+/// Branch targets are absolute instruction indices, resolved from labels by
+/// [`crate::ProgramBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Kind {
+    /// Integer ALU operation: `dst = op(a, b)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination (integer) register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Second source: register or immediate.
+        b: Operand,
+    },
+    /// Floating-point operation: `dst = op(a, b)` over f64 bit patterns.
+    Fpu {
+        /// Operation.
+        op: FpuOp,
+        /// Destination (FP) register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Second source register.
+        b: Reg,
+    },
+    /// Convert a signed integer register to f64: `dst = src as f64`.
+    Itof {
+        /// FP destination.
+        dst: Reg,
+        /// Integer source.
+        src: Reg,
+    },
+    /// Convert f64 to a signed integer (truncating): `dst = src as i64`.
+    Ftoi {
+        /// Integer destination.
+        dst: Reg,
+        /// FP source.
+        src: Reg,
+    },
+    /// Load a 64-bit immediate into an integer register.
+    Li {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// Load an f64 constant into an FP register.
+    Lif {
+        /// Destination register.
+        dst: Reg,
+        /// Constant value (stored as raw bits so `NaN`s round-trip).
+        bits: u64,
+    },
+    /// Load from memory: `dst = mem[base + disp]`. The destination's class
+    /// selects an integer or FP load; FP loads must use width `D`.
+    Ld {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register (integer).
+        base: Reg,
+        /// Byte displacement.
+        disp: i64,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Store to memory: `mem[base + disp] = src`.
+    St {
+        /// Source register (integer or FP).
+        src: Reg,
+        /// Base address register (integer).
+        base: Reg,
+        /// Byte displacement.
+        disp: i64,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Unconditional branch to an instruction index.
+    Br {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Conditional branch: taken if `cond(src)` holds.
+    BrCond {
+        /// Condition tested against zero.
+        cond: Cond,
+        /// Register tested.
+        src: Reg,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Branch to subroutine: `dst = pc + 1; goto target`. By convention
+    /// `dst` is `r26` (the return-address register).
+    Bsr {
+        /// Register receiving the return address (an instruction index).
+        dst: Reg,
+        /// Callee entry instruction index.
+        target: usize,
+    },
+    /// Return: jump to the instruction index held in `base`. Predicted with
+    /// the return-address stack.
+    Ret {
+        /// Register holding the return address.
+        base: Reg,
+    },
+    /// Indirect jump to the instruction index in `base`; the possible
+    /// targets must be declared so the CFG stays analyzable (jump tables).
+    Jmp {
+        /// Register holding the target instruction index.
+        base: Reg,
+        /// All instruction indices the jump may reach.
+        targets: Vec<usize>,
+    },
+    /// Stop execution.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// Functional-unit / latency class of an instruction, used by the timing
+/// model for issue-port routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecClass {
+    /// Single-cycle integer operation (ALU, moves, immediates, branches).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide/remainder.
+    IntDiv,
+    /// FP add/sub/compare/convert.
+    FpAdd,
+    /// FP multiply.
+    FpMul,
+    /// FP divide.
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+}
+
+/// Control-flow behaviour of an instruction, as seen by the CFG builder and
+/// the fetch unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Flow {
+    /// Falls through to the next instruction.
+    FallThrough,
+    /// Always transfers to `target` (direct branches and calls).
+    Always(usize),
+    /// Either falls through or transfers to `target`.
+    Conditional(usize),
+    /// Transfers to one of several statically known targets.
+    Indirect(Vec<usize>),
+    /// Returns from a procedure (target known only dynamically).
+    Return,
+    /// Ends the program.
+    Halt,
+}
+
+/// A single machine instruction: an operation [`Kind`] plus the static RVP
+/// marking bit.
+///
+/// When [`Inst::rvp`] is set, the hardware treats the instruction as an
+/// `rvp_`-prefixed opcode: the value already in the destination
+/// architectural register is used as a prediction for the value the
+/// instruction will produce (the paper's *static register value
+/// prediction*, Section 4.1).
+///
+/// # Examples
+///
+/// ```
+/// use rvp_isa::{Inst, Reg, MemWidth};
+///
+/// let ld = Inst::ld(Reg::int(3), Reg::int(5), 800, MemWidth::D);
+/// assert!(ld.is_load());
+/// assert_eq!(ld.dst(), Some(Reg::int(3)));
+/// let rvp_ld = ld.with_rvp();
+/// assert!(rvp_ld.rvp);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// The operation.
+    pub kind: Kind,
+    /// Static RVP marking: predict the prior destination-register value.
+    pub rvp: bool,
+}
+
+impl Inst {
+    /// Wraps a [`Kind`] with the RVP bit clear.
+    pub fn new(kind: Kind) -> Inst {
+        Inst { kind, rvp: false }
+    }
+
+    /// Convenience constructor for a load.
+    pub fn ld(dst: Reg, base: Reg, disp: i64, width: MemWidth) -> Inst {
+        Inst::new(Kind::Ld { dst, base, disp, width })
+    }
+
+    /// Convenience constructor for a store.
+    pub fn st(src: Reg, base: Reg, disp: i64, width: MemWidth) -> Inst {
+        Inst::new(Kind::St { src, base, disp, width })
+    }
+
+    /// Returns the same instruction with the static RVP bit set.
+    pub fn with_rvp(mut self) -> Inst {
+        self.rvp = true;
+        self
+    }
+
+    /// The architectural register written by this instruction, if any.
+    /// Writes to the zero registers are reported here but discarded at
+    /// execution.
+    pub fn dst(&self) -> Option<Reg> {
+        match &self.kind {
+            Kind::Alu { dst, .. }
+            | Kind::Fpu { dst, .. }
+            | Kind::Itof { dst, .. }
+            | Kind::Ftoi { dst, .. }
+            | Kind::Li { dst, .. }
+            | Kind::Lif { dst, .. }
+            | Kind::Ld { dst, .. }
+            | Kind::Bsr { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// The architectural registers read by this instruction (at most two),
+    /// in operand order.
+    pub fn srcs(&self) -> [Option<Reg>; 2] {
+        match &self.kind {
+            Kind::Alu { a, b, .. } => match b {
+                Operand::Reg(b) => [Some(*a), Some(*b)],
+                Operand::Imm(_) => [Some(*a), None],
+            },
+            Kind::Fpu { a, b, .. } => [Some(*a), Some(*b)],
+            Kind::Itof { src, .. } | Kind::Ftoi { src, .. } => [Some(*src), None],
+            Kind::Ld { base, .. } => [Some(*base), None],
+            Kind::St { src, base, .. } => [Some(*src), Some(*base)],
+            Kind::BrCond { src, .. } => [Some(*src), None],
+            Kind::Ret { base } | Kind::Jmp { base, .. } => [Some(*base), None],
+            _ => [None, None],
+        }
+    }
+
+    /// Whether this instruction reads memory.
+    pub fn is_load(&self) -> bool {
+        matches!(self.kind, Kind::Ld { .. })
+    }
+
+    /// Whether this instruction writes memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self.kind, Kind::St { .. })
+    }
+
+    /// Whether this instruction may redirect control flow (branches,
+    /// jumps, calls, returns).
+    pub fn is_control(&self) -> bool {
+        !matches!(
+            self.flow(),
+            Flow::FallThrough
+        ) || matches!(self.kind, Kind::Halt)
+    }
+
+    /// Whether this is a conditional branch.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self.kind, Kind::BrCond { .. })
+    }
+
+    /// Whether this is a subroutine call.
+    pub fn is_call(&self) -> bool {
+        matches!(self.kind, Kind::Bsr { .. })
+    }
+
+    /// Whether this is a subroutine return.
+    pub fn is_return(&self) -> bool {
+        matches!(self.kind, Kind::Ret { .. })
+    }
+
+    /// Control-flow behaviour for CFG construction and fetch.
+    pub fn flow(&self) -> Flow {
+        match &self.kind {
+            Kind::Br { target } | Kind::Bsr { target, .. } => Flow::Always(*target),
+            Kind::BrCond { target, .. } => Flow::Conditional(*target),
+            Kind::Jmp { targets, .. } => Flow::Indirect(targets.clone()),
+            Kind::Ret { .. } => Flow::Return,
+            Kind::Halt => Flow::Halt,
+            _ => Flow::FallThrough,
+        }
+    }
+
+    /// Functional-unit class, or `None` for pure control/`Nop`/`Halt`
+    /// instructions (which execute on an integer ALU port).
+    pub fn exec_class(&self) -> ExecClass {
+        match &self.kind {
+            Kind::Alu { op, .. } => match op {
+                AluOp::Mul => ExecClass::IntMul,
+                AluOp::Div | AluOp::Rem => ExecClass::IntDiv,
+                _ => ExecClass::IntAlu,
+            },
+            Kind::Fpu { op, .. } => match op {
+                FpuOp::FMul => ExecClass::FpMul,
+                FpuOp::FDiv => ExecClass::FpDiv,
+                _ => ExecClass::FpAdd,
+            },
+            Kind::Itof { .. } | Kind::Ftoi { .. } => ExecClass::FpAdd,
+            Kind::Ld { .. } => ExecClass::Load,
+            Kind::St { .. } => ExecClass::Store,
+            Kind::Lif { .. } => ExecClass::IntAlu,
+            _ => ExecClass::IntAlu,
+        }
+    }
+
+    /// Which instruction queue (by register class) the instruction
+    /// dispatches to: FP arithmetic to the FP queue, everything else —
+    /// including FP loads/stores, which execute on the integer load/store
+    /// ports — to the integer queue.
+    pub fn queue_class(&self) -> RegClass {
+        match self.exec_class() {
+            ExecClass::FpAdd | ExecClass::FpMul | ExecClass::FpDiv => RegClass::Fp,
+            _ => RegClass::Int,
+        }
+    }
+
+    /// Rewrites every register operand through `f`, which receives the
+    /// register and its [`RegRole`]. Used by the register-reallocation
+    /// pass.
+    pub fn map_regs(&mut self, mut f: impl FnMut(Reg, RegRole) -> Reg) {
+        use RegRole::{Dst, Src};
+        match &mut self.kind {
+            Kind::Alu { dst, a, b, .. } => {
+                *a = f(*a, Src);
+                if let Operand::Reg(r) = b {
+                    *r = f(*r, Src);
+                }
+                *dst = f(*dst, Dst);
+            }
+            Kind::Fpu { dst, a, b, .. } => {
+                *a = f(*a, Src);
+                *b = f(*b, Src);
+                *dst = f(*dst, Dst);
+            }
+            Kind::Itof { dst, src } | Kind::Ftoi { dst, src } => {
+                *src = f(*src, Src);
+                *dst = f(*dst, Dst);
+            }
+            Kind::Li { dst, .. } | Kind::Lif { dst, .. } | Kind::Bsr { dst, .. } => {
+                *dst = f(*dst, Dst);
+            }
+            Kind::Ld { dst, base, .. } => {
+                *base = f(*base, Src);
+                *dst = f(*dst, Dst);
+            }
+            Kind::St { src, base, .. } => {
+                *src = f(*src, Src);
+                *base = f(*base, Src);
+            }
+            Kind::BrCond { src, .. } => *src = f(*src, Src),
+            Kind::Ret { base } | Kind::Jmp { base, .. } => *base = f(*base, Src),
+            Kind::Br { .. } | Kind::Halt | Kind::Nop => {}
+        }
+    }
+
+    /// Checks register-class correctness (e.g. ALU operands are integer
+    /// registers, FP operands are FP registers, load bases are integer).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let want = |r: Reg, class: RegClass, what: &str| -> Result<(), String> {
+            if r.class() == class {
+                Ok(())
+            } else {
+                Err(format!("{what} of `{self}` must be a {class} register, got {r}"))
+            }
+        };
+        use RegClass::{Fp, Int};
+        match &self.kind {
+            Kind::Alu { dst, a, b, .. } => {
+                want(*dst, Int, "destination")?;
+                want(*a, Int, "source")?;
+                if let Operand::Reg(b) = b {
+                    want(*b, Int, "source")?;
+                }
+            }
+            Kind::Fpu { dst, a, b, .. } => {
+                want(*dst, Fp, "destination")?;
+                want(*a, Fp, "source")?;
+                want(*b, Fp, "source")?;
+            }
+            Kind::Itof { dst, src } => {
+                want(*dst, Fp, "destination")?;
+                want(*src, Int, "source")?;
+            }
+            Kind::Ftoi { dst, src } => {
+                want(*dst, Int, "destination")?;
+                want(*src, Fp, "source")?;
+            }
+            Kind::Li { dst, .. } => want(*dst, Int, "destination")?,
+            Kind::Lif { dst, .. } => want(*dst, Fp, "destination")?,
+            Kind::Ld { dst, base, width, .. } => {
+                want(*base, Int, "base")?;
+                if dst.class() == Fp && *width != MemWidth::D {
+                    return Err(format!("fp load `{self}` must use width D"));
+                }
+            }
+            Kind::St { src, base, width, .. } => {
+                want(*base, Int, "base")?;
+                if src.class() == Fp && *width != MemWidth::D {
+                    return Err(format!("fp store `{self}` must use width D"));
+                }
+            }
+            Kind::Bsr { dst, .. } => want(*dst, Int, "destination")?,
+            Kind::Ret { base } | Kind::Jmp { base, .. } => want(*base, Int, "target")?,
+            Kind::BrCond { src, .. } => {
+                // Either class is allowed: FP compares write 0/1 bits that
+                // integer-style conditions test correctly.
+                let _ = src;
+            }
+            Kind::Br { .. } | Kind::Halt | Kind::Nop => {}
+        }
+        Ok(())
+    }
+}
+
+impl From<Kind> for Inst {
+    fn from(kind: Kind) -> Inst {
+        Inst::new(kind)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rvp {
+            f.write_str("rvp_")?;
+        }
+        match &self.kind {
+            Kind::Alu { op, dst, a, b } => {
+                let name = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::Mul => "mul",
+                    AluOp::Div => "div",
+                    AluOp::Rem => "rem",
+                    AluOp::And => "and",
+                    AluOp::Or => "or",
+                    AluOp::Xor => "xor",
+                    AluOp::Sll => "sll",
+                    AluOp::Srl => "srl",
+                    AluOp::Sra => "sra",
+                    AluOp::CmpEq => "cmpeq",
+                    AluOp::CmpLt => "cmplt",
+                    AluOp::CmpLtu => "cmpltu",
+                    AluOp::CmpLe => "cmple",
+                };
+                write!(f, "{name} {dst}, {a}, {b}")
+            }
+            Kind::Fpu { op, dst, a, b } => {
+                let name = match op {
+                    FpuOp::FAdd => "fadd",
+                    FpuOp::FSub => "fsub",
+                    FpuOp::FMul => "fmul",
+                    FpuOp::FDiv => "fdiv",
+                    FpuOp::FCmpEq => "fcmpeq",
+                    FpuOp::FCmpLt => "fcmplt",
+                    FpuOp::FCmpLe => "fcmple",
+                };
+                write!(f, "{name} {dst}, {a}, {b}")
+            }
+            Kind::Itof { dst, src } => write!(f, "itof {dst}, {src}"),
+            Kind::Ftoi { dst, src } => write!(f, "ftoi {dst}, {src}"),
+            Kind::Li { dst, imm } => write!(f, "li {dst}, #{imm}"),
+            Kind::Lif { dst, bits } => write!(f, "lif {dst}, #{}", f64::from_bits(*bits)),
+            Kind::Ld { dst, base, disp, width } => {
+                write!(f, "ld{} {dst}, {disp}({base})", width_suffix(*width))
+            }
+            Kind::St { src, base, disp, width } => {
+                write!(f, "st{} {src}, {disp}({base})", width_suffix(*width))
+            }
+            Kind::Br { target } => write!(f, "br @{target}"),
+            Kind::BrCond { cond, src, target } => {
+                let name = match cond {
+                    Cond::Eq => "beq",
+                    Cond::Ne => "bne",
+                    Cond::Lt => "blt",
+                    Cond::Le => "ble",
+                    Cond::Gt => "bgt",
+                    Cond::Ge => "bge",
+                };
+                write!(f, "{name} {src}, @{target}")
+            }
+            Kind::Bsr { dst, target } => write!(f, "bsr {dst}, @{target}"),
+            Kind::Ret { base } => write!(f, "ret ({base})"),
+            Kind::Jmp { base, targets } => {
+                write!(f, "jmp ({base}) ->")?;
+                for (i, t) in targets.iter().enumerate() {
+                    write!(f, "{} @{t}", if i == 0 { "" } else { "," })?;
+                }
+                Ok(())
+            }
+            Kind::Halt => f.write_str("halt"),
+            Kind::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+fn width_suffix(w: MemWidth) -> &'static str {
+    match w {
+        MemWidth::B => "b",
+        MemWidth::W => "w",
+        MemWidth::D => "d",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(dst: u8, a: u8, b: u8) -> Inst {
+        Inst::new(Kind::Alu {
+            op: AluOp::Add,
+            dst: Reg::int(dst),
+            a: Reg::int(a),
+            b: Operand::Reg(Reg::int(b)),
+        })
+    }
+
+    #[test]
+    fn dst_and_srcs() {
+        let i = add(1, 2, 3);
+        assert_eq!(i.dst(), Some(Reg::int(1)));
+        assert_eq!(i.srcs(), [Some(Reg::int(2)), Some(Reg::int(3))]);
+
+        let st = Inst::st(Reg::int(4), Reg::int(5), 8, MemWidth::D);
+        assert_eq!(st.dst(), None);
+        assert_eq!(st.srcs(), [Some(Reg::int(4)), Some(Reg::int(5))]);
+    }
+
+    #[test]
+    fn immediate_operand_is_not_a_source_register() {
+        let i = Inst::new(Kind::Alu {
+            op: AluOp::Add,
+            dst: Reg::int(1),
+            a: Reg::int(2),
+            b: Operand::Imm(7),
+        });
+        assert_eq!(i.srcs(), [Some(Reg::int(2)), None]);
+    }
+
+    #[test]
+    fn exec_classes() {
+        assert_eq!(add(1, 2, 3).exec_class(), ExecClass::IntAlu);
+        let mul = Inst::new(Kind::Alu {
+            op: AluOp::Mul,
+            dst: Reg::int(1),
+            a: Reg::int(2),
+            b: Operand::Imm(3),
+        });
+        assert_eq!(mul.exec_class(), ExecClass::IntMul);
+        let ld = Inst::ld(Reg::fp(1), Reg::int(2), 0, MemWidth::D);
+        assert_eq!(ld.exec_class(), ExecClass::Load);
+        // FP loads dispatch to the integer (load/store) queue.
+        assert_eq!(ld.queue_class(), RegClass::Int);
+        let fadd = Inst::new(Kind::Fpu {
+            op: FpuOp::FAdd,
+            dst: Reg::fp(1),
+            a: Reg::fp(2),
+            b: Reg::fp(3),
+        });
+        assert_eq!(fadd.queue_class(), RegClass::Fp);
+    }
+
+    #[test]
+    fn map_regs_rewrites_all_operands() {
+        let mut i = add(1, 2, 3);
+        i.map_regs(|r, _| Reg::int(r.num() + 10));
+        assert_eq!(i.dst(), Some(Reg::int(11)));
+        assert_eq!(i.srcs(), [Some(Reg::int(12)), Some(Reg::int(13))]);
+    }
+
+    #[test]
+    fn map_regs_distinguishes_roles() {
+        let mut i = add(1, 1, 1);
+        i.map_regs(|r, role| match role {
+            RegRole::Dst => Reg::int(r.num() + 1),
+            RegRole::Src => r,
+        });
+        assert_eq!(i.dst(), Some(Reg::int(2)));
+        assert_eq!(i.srcs(), [Some(Reg::int(1)), Some(Reg::int(1))]);
+    }
+
+    #[test]
+    fn validate_rejects_class_mismatches() {
+        let bad = Inst::new(Kind::Alu {
+            op: AluOp::Add,
+            dst: Reg::fp(1),
+            a: Reg::int(2),
+            b: Operand::Imm(0),
+        });
+        assert!(bad.validate().is_err());
+        let bad_fp_load = Inst::ld(Reg::fp(1), Reg::int(2), 0, MemWidth::W);
+        assert!(bad_fp_load.validate().is_err());
+        assert!(add(1, 2, 3).validate().is_ok());
+    }
+
+    #[test]
+    fn flow_classification() {
+        assert_eq!(add(1, 2, 3).flow(), Flow::FallThrough);
+        assert_eq!(Inst::new(Kind::Br { target: 5 }).flow(), Flow::Always(5));
+        assert_eq!(
+            Inst::new(Kind::BrCond { cond: Cond::Eq, src: Reg::int(1), target: 9 }).flow(),
+            Flow::Conditional(9)
+        );
+        assert!(Inst::new(Kind::Halt).is_control());
+        assert!(!add(1, 2, 3).is_control());
+    }
+
+    #[test]
+    fn display_round_trips_basic_shapes() {
+        assert_eq!(add(1, 2, 3).to_string(), "add r1, r2, r3");
+        let ld = Inst::ld(Reg::int(3), Reg::int(5), 800, MemWidth::D).with_rvp();
+        assert_eq!(ld.to_string(), "rvp_ldd r3, 800(r5)");
+    }
+}

@@ -1,0 +1,59 @@
+//! Instruction set architecture for the RVP (register value prediction)
+//! reproduction.
+//!
+//! This crate defines a 64-bit load/store RISC ISA in the spirit of the DEC
+//! Alpha that Tullsen & Seng's ISCA 1999 paper evaluated on: 32 integer and
+//! 32 floating-point architectural registers (the last of each class is a
+//! hardwired zero register), three-operand ALU instructions, displacement
+//! addressing, and compare-register-to-zero conditional branches. On top of
+//! the raw instruction set it provides:
+//!
+//! * [`Program`] — an assembled unit of instructions plus initialized data,
+//!   produced by the label-resolving [`ProgramBuilder`];
+//! * [`cfg::Cfg`] — basic blocks, successor edges, dominators and natural
+//!   loops;
+//! * [`analysis`] — live-variable dataflow and du-chain ("web")
+//!   construction, shared by the register-reuse profiler and the
+//!   register-reallocation pass.
+//!
+//! The one paper-specific extension is the *static RVP marking bit* carried
+//! by every instruction ([`Inst::rvp`]): the paper adds `rvp_load`-style
+//! opcodes that tell the hardware to predict that the instruction produces
+//! the value already in its destination register. A flag models those "few
+//! extra opcodes" without duplicating the opcode space.
+//!
+//! # Examples
+//!
+//! ```
+//! use rvp_isa::{ProgramBuilder, Reg};
+//!
+//! # fn main() -> Result<(), rvp_isa::BuildError> {
+//! let r1 = Reg::int(1);
+//! let r2 = Reg::int(2);
+//! let mut b = ProgramBuilder::new();
+//! b.li(r1, 10);
+//! b.li(r2, 0);
+//! b.label("loop");
+//! b.addi(r2, r2, 3);
+//! b.subi(r1, r1, 1);
+//! b.bnez(r1, "loop");
+//! b.halt();
+//! let program = b.build()?;
+//! assert_eq!(program.len(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod cfg;
+mod asm;
+mod builder;
+mod inst;
+mod program;
+mod reg;
+
+pub use asm::{parse_asm, AsmError};
+pub use builder::{BuildError, ProgramBuilder};
+pub use inst::{AluOp, Cond, ExecClass, Flow, FpuOp, Inst, Kind, MemWidth, Operand, RegRole};
+pub use program::{DataSegment, Procedure, Program};
+pub use reg::{Reg, RegClass, NUM_REGS, NUM_REGS_PER_CLASS};

@@ -1,0 +1,242 @@
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+
+use crate::inst::Inst;
+
+/// A block of initialized memory shipped with a program, analogous to a
+/// `.data` section: 64-bit words starting at a byte address.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DataSegment {
+    /// Starting byte address (8-byte aligned).
+    pub base: u64,
+    /// The 64-bit words stored from `base` upward.
+    pub words: Vec<u64>,
+}
+
+impl DataSegment {
+    /// Byte range `[base, base + 8 * words.len())` covered by this segment.
+    pub fn byte_range(&self) -> Range<u64> {
+        self.base..self.base + 8 * self.words.len() as u64
+    }
+}
+
+/// A named procedure: a contiguous range of instruction indices. Dataflow
+/// analyses and register reallocation operate one procedure at a time, as
+/// in the paper (Section 7.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure {
+    /// Procedure name (unique within a program).
+    pub name: String,
+    /// Instruction-index range `[start, end)`.
+    pub range: Range<usize>,
+}
+
+/// An assembled program: instructions, initialized data, procedure
+/// boundaries and resolved labels.
+///
+/// Instruction addresses are instruction indices; for the instruction-cache
+/// model each instruction occupies 4 bytes, so the byte address of
+/// instruction `i` is `4 * i` (see [`Program::byte_addr`]).
+///
+/// Programs are created with [`crate::ProgramBuilder`]; an existing program
+/// can be rewritten (e.g. by the register-reallocation pass) via
+/// [`Program::map_insts`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    insts: Vec<Inst>,
+    data: Vec<DataSegment>,
+    procedures: Vec<Procedure>,
+    labels: BTreeMap<String, usize>,
+    entry: usize,
+}
+
+impl Program {
+    pub(crate) fn from_parts(
+        insts: Vec<Inst>,
+        data: Vec<DataSegment>,
+        procedures: Vec<Procedure>,
+        labels: BTreeMap<String, usize>,
+        entry: usize,
+    ) -> Program {
+        Program { insts, data, procedures, labels, entry }
+    }
+
+    /// The instructions, indexed by PC.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    pub fn inst(&self, pc: usize) -> Option<&Inst> {
+        self.insts.get(pc)
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Entry PC (defaults to 0 unless the builder set one).
+    pub fn entry(&self) -> usize {
+        self.entry
+    }
+
+    /// Initialized data segments.
+    pub fn data(&self) -> &[DataSegment] {
+        &self.data
+    }
+
+    /// Declared procedures, in program order. If the builder declared
+    /// none, the whole program is reported as a single procedure named
+    /// `"main"`.
+    pub fn procedures(&self) -> Vec<Procedure> {
+        if self.procedures.is_empty() {
+            vec![Procedure { name: "main".to_owned(), range: 0..self.insts.len() }]
+        } else {
+            self.procedures.clone()
+        }
+    }
+
+    /// The procedure containing instruction `pc`, if any.
+    pub fn procedure_of(&self, pc: usize) -> Option<Procedure> {
+        self.procedures().into_iter().find(|p| p.range.contains(&pc))
+    }
+
+    /// Looks up a label, returning its instruction index.
+    pub fn label(&self, name: &str) -> Option<usize> {
+        self.labels.get(name).copied()
+    }
+
+    /// All labels and their instruction indices, sorted by name.
+    pub fn labels(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.labels.iter().map(|(n, &i)| (n.as_str(), i))
+    }
+
+    /// Byte address of instruction `pc` for the instruction cache (4 bytes
+    /// per instruction).
+    pub fn byte_addr(pc: usize) -> u64 {
+        4 * pc as u64
+    }
+
+    /// Returns a copy of the program with every instruction rewritten by
+    /// `f` (which receives the PC and the instruction). Data, labels and
+    /// procedures are preserved. Used by the register-reallocation pass and
+    /// by static-RVP marking.
+    pub fn map_insts(&self, mut f: impl FnMut(usize, &Inst) -> Inst) -> Program {
+        let insts = self.insts.iter().enumerate().map(|(pc, i)| f(pc, i)).collect();
+        Program { insts, ..self.clone() }
+    }
+
+    /// Count of static load instructions.
+    pub fn load_count(&self) -> usize {
+        self.insts.iter().filter(|i| i.is_load()).count()
+    }
+
+    /// Renders the program as assembly text (one instruction per line, with
+    /// label and procedure comments), mainly for debugging and tests.
+    pub fn disassemble(&self) -> String {
+        let mut by_pc: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+        for (name, pc) in self.labels() {
+            by_pc.entry(pc).or_default().push(name);
+        }
+        let mut out = String::new();
+        let procs = self.procedures();
+        for (pc, inst) in self.insts.iter().enumerate() {
+            if let Some(p) = procs.iter().find(|p| p.range.start == pc) {
+                out.push_str(&format!("; proc {}\n", p.name));
+            }
+            if let Some(names) = by_pc.get(&pc) {
+                for n in names {
+                    out.push_str(&format!("{n}:\n"));
+                }
+            }
+            out.push_str(&format!("  {pc:4}  {inst}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.disassemble())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::reg::Reg;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.proc("main");
+        b.li(Reg::int(1), 5);
+        b.label("top");
+        b.subi(Reg::int(1), Reg::int(1), 1);
+        b.bnez(Reg::int(1), "top");
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn labels_resolve() {
+        let p = sample();
+        assert_eq!(p.label("top"), Some(1));
+        assert_eq!(p.label("missing"), None);
+    }
+
+    #[test]
+    fn procedures_default_to_main() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        let procs = p.procedures();
+        assert_eq!(procs.len(), 1);
+        assert_eq!(procs[0].name, "main");
+        assert_eq!(procs[0].range, 0..1);
+    }
+
+    #[test]
+    fn procedure_of_locates_pc() {
+        let p = sample();
+        assert_eq!(p.procedure_of(2).unwrap().name, "main");
+        assert!(p.procedure_of(99).is_none());
+    }
+
+    #[test]
+    fn map_insts_preserves_structure() {
+        let p = sample();
+        let marked = p.map_insts(|_, i| {
+            if i.is_load() { i.clone().with_rvp() } else { i.clone() }
+        });
+        assert_eq!(marked.len(), p.len());
+        assert_eq!(marked.label("top"), p.label("top"));
+    }
+
+    #[test]
+    fn byte_addresses_are_4_per_inst() {
+        assert_eq!(Program::byte_addr(0), 0);
+        assert_eq!(Program::byte_addr(10), 40);
+    }
+
+    #[test]
+    fn disassembly_contains_labels_and_insts() {
+        let text = sample().disassemble();
+        assert!(text.contains("top:"));
+        assert!(text.contains("halt"));
+        assert!(text.contains("; proc main"));
+    }
+
+    #[test]
+    fn data_segment_ranges() {
+        let seg = DataSegment { base: 0x1000, words: vec![1, 2, 3] };
+        assert_eq!(seg.byte_range(), 0x1000..0x1018);
+    }
+}

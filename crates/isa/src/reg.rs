@@ -1,0 +1,192 @@
+use std::fmt;
+
+/// Number of architectural registers per class (integer / floating point).
+pub const NUM_REGS_PER_CLASS: u8 = 32;
+
+/// Total number of architectural registers across both classes.
+///
+/// Registers are densely indexed `0..NUM_REGS` by [`Reg::index`]: integer
+/// registers occupy `0..32`, floating-point registers `32..64`.
+pub const NUM_REGS: usize = 64;
+
+/// The two architectural register classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// Integer registers `r0..r31`; `r31` is a hardwired zero.
+    Int,
+    /// Floating-point registers `f0..f31`; `f31` is a hardwired zero.
+    Fp,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => f.write_str("int"),
+            RegClass::Fp => f.write_str("fp"),
+        }
+    }
+}
+
+/// An architectural register: class plus number within the class.
+///
+/// Packed into a single byte so that register-indexed tables (profilers,
+/// rename maps, shadow register files) can use [`Reg::index`] directly.
+///
+/// # Examples
+///
+/// ```
+/// use rvp_isa::{Reg, RegClass};
+///
+/// let r5 = Reg::int(5);
+/// assert_eq!(r5.class(), RegClass::Int);
+/// assert_eq!(r5.num(), 5);
+/// assert!(!r5.is_zero());
+/// assert!(Reg::ZERO.is_zero());
+/// assert_eq!(Reg::from_index(Reg::fp(3).index()), Reg::fp(3));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The integer zero register `r31`. Reads yield 0; writes are discarded.
+    pub const ZERO: Reg = Reg(NUM_REGS_PER_CLASS - 1);
+
+    /// The floating-point zero register `f31`.
+    pub const FZERO: Reg = Reg(2 * NUM_REGS_PER_CLASS - 1);
+
+    /// Const constructor from a dense index, for ABI register constants.
+    pub(crate) const fn const_from_index(index: u8) -> Reg {
+        assert!(index < NUM_REGS as u8);
+        Reg(index)
+    }
+
+    /// Creates the integer register `r{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn int(n: u8) -> Reg {
+        assert!(n < NUM_REGS_PER_CLASS, "integer register {n} out of range");
+        Reg(n)
+    }
+
+    /// Creates the floating-point register `f{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn fp(n: u8) -> Reg {
+        assert!(n < NUM_REGS_PER_CLASS, "fp register {n} out of range");
+        Reg(NUM_REGS_PER_CLASS + n)
+    }
+
+    /// Creates a register of the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(class: RegClass, n: u8) -> Reg {
+        match class {
+            RegClass::Int => Reg::int(n),
+            RegClass::Fp => Reg::fp(n),
+        }
+    }
+
+    /// Reconstructs a register from its dense index (inverse of
+    /// [`Reg::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_REGS`.
+    pub fn from_index(index: usize) -> Reg {
+        assert!(index < NUM_REGS, "register index {index} out of range");
+        Reg(index as u8)
+    }
+
+    /// The register's class.
+    pub fn class(self) -> RegClass {
+        if self.0 < NUM_REGS_PER_CLASS {
+            RegClass::Int
+        } else {
+            RegClass::Fp
+        }
+    }
+
+    /// The register number within its class (`0..32`).
+    pub fn num(self) -> u8 {
+        self.0 % NUM_REGS_PER_CLASS
+    }
+
+    /// Dense index over both classes (`0..64`), suitable for table lookup.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is a hardwired zero register (`r31` or `f31`).
+    pub fn is_zero(self) -> bool {
+        self == Reg::ZERO || self == Reg::FZERO
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class() {
+            RegClass::Int => write!(f, "r{}", self.num()),
+            RegClass::Fp => write!(f, "f{}", self.num()),
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_registers_do_not_collide() {
+        assert_ne!(Reg::int(0), Reg::fp(0));
+        assert_ne!(Reg::int(0).index(), Reg::fp(0).index());
+    }
+
+    #[test]
+    fn dense_indexing_round_trips() {
+        for i in 0..NUM_REGS {
+            let r = Reg::from_index(i);
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::new(r.class(), r.num()), r);
+        }
+    }
+
+    #[test]
+    fn zero_registers() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(Reg::FZERO.is_zero());
+        assert_eq!(Reg::ZERO.class(), RegClass::Int);
+        assert_eq!(Reg::FZERO.class(), RegClass::Fp);
+        assert!(!Reg::int(0).is_zero());
+        assert!(!Reg::fp(30).is_zero());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Reg::int(7).to_string(), "r7");
+        assert_eq!(Reg::fp(12).to_string(), "f12");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_int_register_panics() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        let _ = Reg::from_index(64);
+    }
+}

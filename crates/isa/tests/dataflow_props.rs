@@ -1,0 +1,119 @@
+//! Property tests over the dataflow analyses: liveness and CFG
+//! invariants on randomly generated single-procedure programs.
+
+use proptest::prelude::*;
+use rvp_isa::analysis::{effective_uses, Liveness};
+use rvp_isa::cfg::Cfg;
+use rvp_isa::{Program, ProgramBuilder, Reg};
+
+/// Random structured programs: straight-line ALU segments joined by a
+/// diamond and a counted loop — enough shape to exercise joins, back
+/// edges and fallthroughs without risking non-termination.
+fn arb_program() -> impl Strategy<Value = Program> {
+    let seg = proptest::collection::vec((0..8u8, 1..8u8, 1..8u8), 1..8);
+    (seg.clone(), seg.clone(), seg, 1..10i64).prop_map(|(s1, s2, s3, iters)| {
+        let emit = |b: &mut ProgramBuilder, ops: &[(u8, u8, u8)]| {
+            for &(op, d, a) in ops {
+                let (d, a) = (Reg::int(d), Reg::int(a));
+                match op {
+                    0 => b.add(d, a, 1),
+                    1 => b.sub(d, a, 2),
+                    2 => b.and(d, a, 0xff),
+                    3 => b.or(d, a, 1),
+                    4 => b.xor(d, a, a),
+                    5 => b.mul(d, a, 3),
+                    6 => b.cmpeq(d, a, 0),
+                    _ => b.mov(d, a),
+                };
+            }
+        };
+        let mut b = ProgramBuilder::new();
+        let n = Reg::int(27);
+        b.li(n, iters);
+        emit(&mut b, &s1);
+        b.beqz(Reg::int(1), "else");
+        emit(&mut b, &s2);
+        b.br("join");
+        b.label("else");
+        emit(&mut b, &s3);
+        b.label("join");
+        b.label("loop");
+        emit(&mut b, &s1);
+        b.subi(n, n, 1);
+        b.bnez(n, "loop");
+        b.halt();
+        b.build().expect("generated programs build")
+    })
+}
+
+proptest! {
+    /// Soundness: every register an instruction reads is live just
+    /// before it.
+    #[test]
+    fn reads_are_live_before(program in arb_program()) {
+        let proc = &program.procedures()[0];
+        let cfg = Cfg::build(&program, proc);
+        let live = Liveness::compute(&program, &cfg);
+        for pc in proc.range.clone() {
+            let before = live.live_before(&program, pc);
+            for r in effective_uses(&program.insts()[pc]).iter() {
+                prop_assert!(
+                    before.contains(r),
+                    "pc {pc}: read register {r} not live before"
+                );
+            }
+        }
+    }
+
+    /// Consistency: a register reported dead after `pc` is never read by
+    /// the instruction at `pc + 1` in the same block (the cheapest
+    /// falsifiable slice of the dead-after contract).
+    #[test]
+    fn dead_after_is_not_read_next(program in arb_program()) {
+        let proc = &program.procedures()[0];
+        let cfg = Cfg::build(&program, proc);
+        let live = Liveness::compute(&program, &cfg);
+        for block in cfg.blocks() {
+            for pc in block.range.clone() {
+                if pc + 1 >= block.range.end {
+                    continue;
+                }
+                let next = &program.insts()[pc + 1];
+                for r in effective_uses(next).iter() {
+                    prop_assert!(
+                        !live.is_dead_after(pc, r),
+                        "pc {pc}: {r} dead-after but read at {}",
+                        pc + 1
+                    );
+                }
+            }
+        }
+    }
+
+    /// CFG structural invariants: successor/predecessor symmetry, full
+    /// coverage of the instruction range, and entry-reachable loops with
+    /// their headers inside the body.
+    #[test]
+    fn cfg_structure_is_consistent(program in arb_program()) {
+        let proc = &program.procedures()[0];
+        let cfg = Cfg::build(&program, proc);
+        let blocks = cfg.blocks();
+        let mut covered = 0;
+        for (i, b) in blocks.iter().enumerate() {
+            covered += b.range.len();
+            for &s in &b.succs {
+                prop_assert!(blocks[s].preds.contains(&i));
+            }
+            for &p in &b.preds {
+                prop_assert!(blocks[p].succs.contains(&i));
+            }
+            for pc in b.range.clone() {
+                prop_assert_eq!(cfg.block_of(pc), i);
+            }
+        }
+        prop_assert_eq!(covered, proc.range.len());
+        for l in cfg.loops() {
+            prop_assert!(l.contains(l.header));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests: `RegSet` behaves exactly like a reference `HashSet`.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use rvp_isa::analysis::RegSet;
+use rvp_isa::Reg;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize),
+    Remove(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..64usize).prop_map(Op::Insert),
+            (0..64usize).prop_map(Op::Remove),
+        ],
+        0..64,
+    )
+}
+
+proptest! {
+    #[test]
+    fn regset_matches_hashset(ops in ops(), others in proptest::collection::vec(0..64usize, 0..16)) {
+        let mut set = RegSet::new();
+        let mut model: HashSet<usize> = HashSet::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(i) => {
+                    let a = set.insert(Reg::from_index(i));
+                    let b = model.insert(i);
+                    prop_assert_eq!(a, b);
+                }
+                Op::Remove(i) => {
+                    let a = set.remove(Reg::from_index(i));
+                    let b = model.remove(&i);
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(set.len(), model.len());
+        }
+        // Membership agrees everywhere.
+        for i in 0..64 {
+            prop_assert_eq!(set.contains(Reg::from_index(i)), model.contains(&i));
+        }
+        // Iteration yields exactly the members, in index order.
+        let mut got: Vec<usize> = set.iter().map(|r| r.index()).collect();
+        let mut want: Vec<usize> = model.iter().copied().collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+
+        // Set algebra against a second set.
+        let other: RegSet = others.iter().map(|&i| Reg::from_index(i)).collect();
+        let other_model: HashSet<usize> = others.iter().copied().collect();
+        let union: HashSet<usize> =
+            set.union(other).iter().map(|r| r.index()).collect();
+        let inter: HashSet<usize> =
+            set.intersection(other).iter().map(|r| r.index()).collect();
+        let diff: HashSet<usize> =
+            set.difference(other).iter().map(|r| r.index()).collect();
+        prop_assert_eq!(union, model.union(&other_model).copied().collect::<HashSet<_>>());
+        prop_assert_eq!(inter, model.intersection(&other_model).copied().collect::<HashSet<_>>());
+        prop_assert_eq!(diff, model.difference(&other_model).copied().collect::<HashSet<_>>());
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests: the set-associative cache matches a straightforward
+//! per-set LRU reference model, and the TLB matches a fully-associative
+//! one.
+
+use proptest::prelude::*;
+use rvp_mem::{Cache, CacheConfig, Tlb, TlbConfig};
+
+/// Reference model: per set, a most-recently-used-last list of tags.
+struct ModelCache {
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    line: u64,
+}
+
+impl ModelCache {
+    fn new(sets: usize, assoc: usize, line: u64) -> ModelCache {
+        ModelCache { sets: vec![Vec::new(); sets], assoc, line }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let lineno = addr / self.line;
+        let si = (lineno % self.sets.len() as u64) as usize;
+        let tag = lineno / self.sets.len() as u64;
+        let set = &mut self.sets[si];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            set.remove(pos);
+            set.push(tag);
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.remove(0); // evict LRU
+            }
+            set.push(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_lru_model(
+        addrs in proptest::collection::vec(0u64..4096, 1..200),
+        assoc in 1u64..5,
+    ) {
+        let line = 64u64;
+        let sets = 4u64;
+        let cfg = CacheConfig { size_bytes: sets * assoc * line, assoc, line_bytes: line };
+        let mut cache = Cache::new(cfg);
+        let mut model = ModelCache::new(sets as usize, assoc as usize, line);
+        for &a in &addrs {
+            prop_assert_eq!(cache.access(a, false), model.access(a), "addr {:#x}", a);
+        }
+    }
+
+    #[test]
+    fn tlb_matches_fa_lru_model(addrs in proptest::collection::vec(0u64..(1 << 20), 1..200)) {
+        let page = 4096u64;
+        let entries = 4usize;
+        let mut tlb = Tlb::new(TlbConfig { entries, page_bytes: page });
+        // A fully-associative cache with one set is the same structure.
+        let mut model = ModelCache::new(1, entries, page);
+        for &a in &addrs {
+            prop_assert_eq!(tlb.access(a), model.access(a), "addr {:#x}", a);
+        }
+    }
+
+    #[test]
+    fn probe_never_changes_state(addrs in proptest::collection::vec(0u64..4096, 1..100)) {
+        let cfg = CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64 };
+        let mut cache = Cache::new(cfg);
+        for &a in &addrs {
+            cache.access(a, false);
+        }
+        // Repeated probes agree with themselves and don't perturb hits.
+        for &a in &addrs {
+            let p1 = cache.probe(a);
+            let p2 = cache.probe(a);
+            prop_assert_eq!(p1, p2);
+            if p1 {
+                prop_assert!(cache.access(a, false));
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+use rvp_emu::{EmuError, Emulator};
+use rvp_isa::analysis::{Liveness, RegSet};
+use rvp_isa::cfg::Cfg;
+use rvp_isa::{Program, Reg, NUM_REGS};
+
+/// Configuration for a profiling run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileConfig {
+    /// Maximum dynamic instructions to profile.
+    pub max_insts: u64,
+    /// Minimum executions before a static instruction's rates are
+    /// considered meaningful (filters cold code out of the candidate
+    /// lists).
+    pub min_execs: u64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> ProfileConfig {
+        ProfileConfig { max_insts: 2_000_000, min_execs: 32 }
+    }
+}
+
+/// Per-static-instruction profile counters.
+#[derive(Debug, Clone)]
+pub struct InstStats {
+    /// Dynamic executions observed.
+    pub execs: u64,
+    /// Executions where the destination register already held the value
+    /// (same-register reuse).
+    pub same_hits: u64,
+    /// Executions where the value equalled this instruction's previous
+    /// result (last-value reuse).
+    pub lv_hits: u64,
+    /// Executions where the value continued the instruction's previous
+    /// stride (`new == last + (last - before_last)`), the pattern the
+    /// paper's "Et Cetera" section exposes with an inserted add.
+    pub stride_hits: u64,
+    /// Executions where the value sat in each register (indexed by dense
+    /// register index) at execution time.
+    pub reg_hits: Box<[u64; NUM_REGS]>,
+    /// Boyer–Moore majority vote for the *primary producer* of each
+    /// correlated register's value: `(producer pc, vote)`.
+    producer_vote: Box<[(u32, i64); NUM_REGS]>,
+    /// Approximate count of times this instruction's result was the
+    /// latest-arriving input of a consumer (critical-path weight).
+    pub crit: u64,
+}
+
+impl InstStats {
+    fn new() -> InstStats {
+        InstStats {
+            execs: 0,
+            same_hits: 0,
+            lv_hits: 0,
+            stride_hits: 0,
+            reg_hits: Box::new([0; NUM_REGS]),
+            producer_vote: Box::new([(u32::MAX, 0); NUM_REGS]),
+            crit: 0,
+        }
+    }
+}
+
+/// One benchmark's Figure 1 data: the fraction of dynamic *loads* whose
+/// value was already available, by (cumulative) category.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Fig1Row {
+    /// Dynamic loads observed.
+    pub loads: u64,
+    /// ... whose value was already in the destination register.
+    pub same: u64,
+    /// ... in the same or any dead register (same class).
+    pub dead: u64,
+    /// ... in any register at all.
+    pub any: u64,
+    /// ... in any register, or equal to the load's last value.
+    pub any_or_lvp: u64,
+}
+
+impl Fig1Row {
+    /// The four fractions in Figure 1's order (same, dead, any,
+    /// register-or-lvp), in `[0, 1]`.
+    pub fn fractions(&self) -> [f64; 4] {
+        let d = self.loads.max(1) as f64;
+        [
+            self.same as f64 / d,
+            self.dead as f64 / d,
+            self.any as f64 / d,
+            self.any_or_lvp as f64 / d,
+        ]
+    }
+}
+
+/// A completed register-reuse profile of one program run.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    config: ProfileConfig,
+    stats: Vec<InstStats>,
+    /// Registers statically dead after each instruction (same-class
+    /// constraints are applied at list-building time).
+    dead_after: Vec<RegSet>,
+    fig1: Fig1Row,
+    committed: u64,
+}
+
+impl Profile {
+    /// Runs the program under the emulator for at most
+    /// `config.max_insts` committed instructions and collects the
+    /// profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulator errors (malformed programs).
+    pub fn collect(program: &Program, config: &ProfileConfig) -> Result<Profile, EmuError> {
+        let n = program.len();
+        let mut stats: Vec<InstStats> = (0..n).map(|_| InstStats::new()).collect();
+
+        // Static deadness per instruction, from per-procedure liveness.
+        let mut dead_after = vec![RegSet::new(); n];
+        for proc in program.procedures() {
+            let cfg = Cfg::build(program, &proc);
+            let live = Liveness::compute(program, &cfg);
+            for pc in proc.range.clone() {
+                let live_set = live.live_after(pc);
+                let mut dead = RegSet::new();
+                for i in 0..NUM_REGS {
+                    let r = Reg::from_index(i);
+                    if !live_set.contains(r) && !r.is_zero() {
+                        dead.insert(r);
+                    }
+                }
+                dead_after[pc] = dead;
+            }
+        }
+
+        let mut emu = Emulator::new(program);
+        let mut shadow = [0u64; NUM_REGS];
+        shadow[rvp_isa::analysis::abi::SP.index()] = rvp_emu::STACK_TOP;
+        let mut last_value: Vec<Option<u64>> = vec![None; n];
+        let mut last_stride: Vec<i64> = vec![0; n];
+        let mut last_writer: [u32; NUM_REGS] = [u32::MAX; NUM_REGS];
+        let mut depth: [u64; NUM_REGS] = [0; NUM_REGS];
+        let mut fig1 = Fig1Row::default();
+
+        let mut committed = 0u64;
+        while committed < config.max_insts {
+            let Some(c) = emu.step()? else { break };
+            committed += 1;
+            let inst = &program.insts()[c.pc];
+            let s = &mut stats[c.pc];
+            s.execs += 1;
+
+            // Critical-path vote: credit the producer of the
+            // latest-arriving (deepest) source.
+            let mut max_depth = 0u64;
+            let mut crit_writer = u32::MAX;
+            for src in inst.srcs().into_iter().flatten() {
+                if depth[src.index()] >= max_depth && last_writer[src.index()] != u32::MAX {
+                    max_depth = depth[src.index()];
+                    crit_writer = last_writer[src.index()];
+                }
+            }
+            if crit_writer != u32::MAX {
+                stats[crit_writer as usize].crit += 1;
+            }
+            let s = &mut stats[c.pc];
+
+            if let Some(dst) = c.dst {
+                let new = c.new_value;
+                let same = c.old_value == new;
+                let lv_hit = last_value[c.pc] == Some(new);
+                if same {
+                    s.same_hits += 1;
+                }
+                if lv_hit {
+                    s.lv_hits += 1;
+                }
+                if let Some(last) = last_value[c.pc] {
+                    if last.wrapping_add(last_stride[c.pc] as u64) == new {
+                        s.stride_hits += 1;
+                    }
+                    last_stride[c.pc] = new.wrapping_sub(last) as i64;
+                }
+                last_value[c.pc] = Some(new);
+
+                let mut any = false;
+                let mut dead_hit = false;
+                for i in 0..NUM_REGS {
+                    if shadow[i] == new {
+                        s.reg_hits[i] += 1;
+                        any = true;
+                        let r = Reg::from_index(i);
+                        if dead_after[c.pc].contains(r) && r.class() == dst.class() {
+                            dead_hit = true;
+                        }
+                        // Majority vote for the value's producer.
+                        let vote = &mut s.producer_vote[i];
+                        let producer = last_writer[i];
+                        if producer != u32::MAX {
+                            if vote.1 == 0 {
+                                *vote = (producer, 1);
+                            } else if vote.0 == producer {
+                                vote.1 += 1;
+                            } else {
+                                vote.1 -= 1;
+                            }
+                        }
+                    }
+                }
+
+                if inst.is_load() {
+                    fig1.loads += 1;
+                    if same {
+                        fig1.same += 1;
+                    }
+                    if same || dead_hit {
+                        fig1.dead += 1;
+                    }
+                    if any {
+                        fig1.any += 1;
+                    }
+                    if any || lv_hit {
+                        fig1.any_or_lvp += 1;
+                    }
+                }
+
+                // Apply architectural update.
+                shadow[dst.index()] = new;
+                last_writer[dst.index()] = c.pc as u32;
+                depth[dst.index()] = max_depth + 1;
+            }
+        }
+
+        Ok(Profile { config: *config, stats, dead_after, fig1, committed })
+    }
+
+    /// The configuration the profile was collected with.
+    pub fn config(&self) -> &ProfileConfig {
+        &self.config
+    }
+
+    /// Dynamic instructions profiled.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Per-instruction statistics, indexed by PC.
+    pub fn stats(&self) -> &[InstStats] {
+        &self.stats
+    }
+
+    /// Registers statically dead after `pc` (zero registers excluded).
+    pub fn dead_after(&self, pc: usize) -> RegSet {
+        self.dead_after[pc]
+    }
+
+    /// Figure 1 counters for this run.
+    pub fn fig1(&self) -> Fig1Row {
+        self.fig1
+    }
+
+    /// Same-register reuse rate of the instruction at `pc`, in `[0, 1]`.
+    pub fn same_rate(&self, pc: usize) -> f64 {
+        let s = &self.stats[pc];
+        s.same_hits as f64 / s.execs.max(1) as f64
+    }
+
+    /// Last-value reuse rate of the instruction at `pc`.
+    pub fn lv_rate(&self, pc: usize) -> f64 {
+        let s = &self.stats[pc];
+        s.lv_hits as f64 / s.execs.max(1) as f64
+    }
+
+    /// Stride-predictability rate of the instruction at `pc`.
+    pub fn stride_rate(&self, pc: usize) -> f64 {
+        let s = &self.stats[pc];
+        s.stride_hits as f64 / s.execs.max(1) as f64
+    }
+
+    /// Correlation rate between the value produced at `pc` and register
+    /// `r`'s content at execution time.
+    pub fn reg_rate(&self, pc: usize, r: Reg) -> f64 {
+        let s = &self.stats[pc];
+        s.reg_hits[r.index()] as f64 / s.execs.max(1) as f64
+    }
+
+    /// Approximate critical-path weight of the instruction at `pc`.
+    pub fn criticality(&self, pc: usize) -> u64 {
+        self.stats[pc].crit
+    }
+
+    /// The majority-vote *primary producer* of the value correlation
+    /// between `pc` and register `r`: the static instruction whose result,
+    /// sitting in `r`, the instruction at `pc` keeps reproducing.
+    pub fn primary_producer(&self, pc: usize, r: Reg) -> Option<usize> {
+        let (producer, vote) = self.stats[pc].producer_vote[r.index()];
+        (vote > 0 && producer != u32::MAX).then_some(producer as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvp_isa::ProgramBuilder;
+
+    #[test]
+    fn same_register_reuse_is_measured() {
+        let (p, v, n) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        let mut b = ProgramBuilder::new();
+        b.data(0x1000, &[9; 64]);
+        b.li(p, 0x1000).li(n, 64);
+        b.label("loop");
+        b.ld(v, p, 0); // pc 2: always 9 -> same-register reuse after 1st
+        b.addi(p, p, 8); // pc 3: never reuses (pointer strides)
+        b.subi(n, n, 1);
+        b.bnez(n, "loop");
+        b.halt();
+        let prog = b.build().unwrap();
+        let prof = Profile::collect(&prog, &ProfileConfig::default()).unwrap();
+        assert!(prof.same_rate(2) > 0.95, "rate = {}", prof.same_rate(2));
+        assert_eq!(prof.stats()[3].same_hits, 0);
+        assert!(prof.lv_rate(2) > 0.95);
+    }
+}

@@ -1,0 +1,53 @@
+//! Register-reuse profiling (Section 5 of the paper).
+//!
+//! The profiler replays a program's architectural trace and measures, for
+//! every static instruction that writes a register:
+//!
+//! * **same-register reuse** — how often the produced value already sat in
+//!   the destination register (`old == new` in the trace);
+//! * **other-register correlation** — how often the produced value sat in
+//!   each *other* register at that moment, split into *dead* and *live*
+//!   registers using static liveness;
+//! * **last-value reuse** — how often the instruction reproduced its own
+//!   previous result;
+//! * an approximate **critical-path count** (Tullsen & Calder style) used
+//!   by the reallocation pass's pruning heuristics.
+//!
+//! From those measurements it derives the paper's four candidate lists and
+//! the [`PredictionPlan`]s consumed by the timing simulator: static RVP
+//! marking at the four compiler-support levels of Figure 3, and the
+//! `dead` / `dead_lv` reallocation assumptions of Figures 5, 6 and 8.
+//!
+//! # Examples
+//!
+//! ```
+//! use rvp_isa::{ProgramBuilder, Reg};
+//! use rvp_profile::{Profile, ProfileConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (p, v, n) = (Reg::int(1), Reg::int(2), Reg::int(3));
+//! let mut b = ProgramBuilder::new();
+//! b.data(0x1000, &[7; 32]);
+//! b.li(p, 0x1000).li(n, 32);
+//! b.label("loop");
+//! b.ld(v, p, 0);        // always loads 7: perfect same-register reuse
+//! b.addi(p, p, 8);
+//! b.subi(n, n, 1);
+//! b.bnez(n, "loop");
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let profile = Profile::collect(&program, &ProfileConfig::default())?;
+//! let ld_pc = 2;
+//! assert!(profile.same_rate(ld_pc) > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+mod collect;
+mod lists;
+
+pub use collect::{Fig1Row, InstStats, Profile, ProfileConfig};
+pub use lists::{Assist, PlanScope, ReuseLists, SrvpLevel};
+
+pub use rvp_vpred::{PredictionPlan, ReuseKind};

@@ -1,0 +1,315 @@
+use rvp_isa::analysis::abi;
+use rvp_isa::{Program, Reg, NUM_REGS};
+use rvp_vpred::{PredictionPlan, ReuseKind};
+
+use crate::collect::Profile;
+
+/// Compiler-support level for static RVP (Figure 3's configurations, in
+/// increasing order of assumed compiler capability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SrvpLevel {
+    /// `srvp_same`: mark loads with natural same-register reuse only.
+    Same,
+    /// `srvp_dead`: additionally exploit correlation with dead registers
+    /// (reallocation merges live ranges).
+    Dead,
+    /// `srvp_live`: additionally exploit correlation with live registers
+    /// (a move puts the value in place; its latency is not charged, so
+    /// this is the paper's optimistic upper bound).
+    Live,
+    /// `srvp_live_lv`: additionally convert last-value reuse into
+    /// same-register reuse via exclusive registers.
+    LiveLv,
+}
+
+/// Compiler assistance assumed for *dynamic* RVP (Figures 5/6/8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Assist {
+    /// No compiler support: hardware sees only natural same-register
+    /// reuse.
+    None,
+    /// Dead-register reallocation (`drvp_dead`).
+    Dead,
+    /// Dead-register plus last-value reallocation (`drvp_dead_lv`).
+    DeadLv,
+}
+
+/// Which instructions are prediction candidates (shared with the timing
+/// model; see [`rvp_vpred::Scope`]).
+pub use rvp_vpred::Scope as PlanScope;
+
+/// The paper's four candidate lists at a given profile threshold
+/// (Section 5).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReuseLists {
+    /// Instructions with same-register value reuse.
+    pub same: Vec<usize>,
+    /// Instructions highly correlated with a value in a dead register.
+    pub dead: Vec<(usize, Reg)>,
+    /// Instructions highly correlated with a value in a live register.
+    pub live: Vec<(usize, Reg)>,
+    /// Instructions with high last-value predictability.
+    pub last_value: Vec<usize>,
+}
+
+impl Profile {
+    fn qualifies(&self, pc: usize) -> bool {
+        self.stats()[pc].execs >= self.config().min_execs
+    }
+
+    /// The best same-class, non-reserved register correlated with `pc`'s
+    /// value, restricted to registers that are `dead` (or, if `false`,
+    /// live) after `pc`. Returns the register and its hit rate.
+    pub fn best_other_reg(&self, program: &Program, pc: usize, dead: bool) -> Option<(Reg, f64)> {
+        let dst = program.insts()[pc].dst()?;
+        let reserved = abi::reserved();
+        let stats = &self.stats()[pc];
+        let dead_set = self.dead_after(pc);
+        let mut best: Option<(Reg, u64)> = None;
+        for i in 0..NUM_REGS {
+            let r = Reg::from_index(i);
+            if r == dst || r.class() != dst.class() || r.is_zero() || reserved.contains(r) {
+                continue;
+            }
+            if dead_set.contains(r) != dead {
+                continue;
+            }
+            let hits = stats.reg_hits[i];
+            if best.map_or(hits > 0, |(_, b)| hits > b) {
+                best = Some((r, hits));
+            }
+        }
+        best.map(|(r, hits)| (r, hits as f64 / stats.execs.max(1) as f64))
+    }
+
+    /// Builds the four candidate lists at `threshold` (e.g. 0.80), over
+    /// the given scope.
+    pub fn reuse_lists(&self, program: &Program, threshold: f64, scope: PlanScope) -> ReuseLists {
+        let mut lists = ReuseLists::default();
+        for pc in 0..program.len() {
+            let inst = &program.insts()[pc];
+            if inst.dst().is_none() || !self.qualifies(pc) {
+                continue;
+            }
+            if scope == PlanScope::LoadsOnly && !inst.is_load() {
+                continue;
+            }
+            if self.same_rate(pc) >= threshold {
+                lists.same.push(pc);
+            }
+            if let Some((r, rate)) = self.best_other_reg(program, pc, true) {
+                if rate >= threshold {
+                    lists.dead.push((pc, r));
+                }
+            }
+            if let Some((r, rate)) = self.best_other_reg(program, pc, false) {
+                if rate >= threshold {
+                    lists.live.push((pc, r));
+                }
+            }
+            if self.lv_rate(pc) >= threshold {
+                lists.last_value.push(pc);
+            }
+        }
+        lists
+    }
+
+    /// Builds the static-RVP marking plan: which loads the compiler marks
+    /// with `rvp_` opcodes, and through which reuse relation each
+    /// prediction is tracked. Precedence follows the paper: natural
+    /// same-register reuse first, then dead-register merging, then
+    /// live-register moves, then last-value registers.
+    pub fn static_plan(
+        &self,
+        program: &Program,
+        threshold: f64,
+        level: SrvpLevel,
+    ) -> PredictionPlan {
+        let mut plan = PredictionPlan::new();
+        for pc in 0..program.len() {
+            let inst = &program.insts()[pc];
+            if !inst.is_load() || !self.qualifies(pc) {
+                continue;
+            }
+            if let Some(kind) = self.choose_kind(program, pc, threshold, level) {
+                plan.insert(pc, kind);
+            }
+        }
+        plan
+    }
+
+    fn choose_kind(
+        &self,
+        program: &Program,
+        pc: usize,
+        threshold: f64,
+        level: SrvpLevel,
+    ) -> Option<ReuseKind> {
+        if self.same_rate(pc) >= threshold {
+            return Some(ReuseKind::SameReg);
+        }
+        if level >= SrvpLevel::Dead {
+            if let Some((r, rate)) = self.best_other_reg(program, pc, true) {
+                if rate >= threshold {
+                    return Some(ReuseKind::OtherReg(r));
+                }
+            }
+        }
+        if level >= SrvpLevel::Live {
+            if let Some((r, rate)) = self.best_other_reg(program, pc, false) {
+                if rate >= threshold {
+                    return Some(ReuseKind::OtherReg(r));
+                }
+            }
+        }
+        if level >= SrvpLevel::LiveLv && self.lv_rate(pc) >= threshold {
+            return Some(ReuseKind::LastValue);
+        }
+        None
+    }
+
+    /// Builds the compiler-assistance plan for *dynamic* RVP: only
+    /// instructions whose reuse the compiler must expose are listed
+    /// (instructions with natural same-register reuse need no entry —
+    /// the hardware's confidence counters find them unaided).
+    pub fn assist_plan(
+        &self,
+        program: &Program,
+        threshold: f64,
+        scope: PlanScope,
+        assist: Assist,
+    ) -> PredictionPlan {
+        let mut plan = PredictionPlan::new();
+        if assist == Assist::None {
+            return plan;
+        }
+        for pc in 0..program.len() {
+            let inst = &program.insts()[pc];
+            if inst.dst().is_none() || !self.qualifies(pc) {
+                continue;
+            }
+            if scope == PlanScope::LoadsOnly && !inst.is_load() {
+                continue;
+            }
+            // Natural reuse already works; don't reallocate it away.
+            if self.same_rate(pc) >= threshold {
+                continue;
+            }
+            if let Some((r, rate)) = self.best_other_reg(program, pc, true) {
+                if rate >= threshold {
+                    plan.insert(pc, ReuseKind::OtherReg(r));
+                    continue;
+                }
+            }
+            if assist == Assist::DeadLv && self.lv_rate(pc) >= threshold {
+                plan.insert(pc, ReuseKind::LastValue);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::ProfileConfig;
+    use rvp_isa::ProgramBuilder;
+
+    /// A loop exercising distinct reuse classes:
+    ///  * pc 3 `ld d`  — a fresh value each iteration (no reuse);
+    ///  * pc 5 `ld w`  — reloads the value just stored from `d`, which is
+    ///    dead by then: pure dead-register correlation;
+    ///  * pc 6 `ld v`  — always loads the constant 9: same-register and
+    ///    last-value reuse.
+    fn correlated_program() -> Program {
+        let (p, q, d, w, v, n) = (
+            Reg::int(1),
+            Reg::int(2),
+            Reg::int(5),
+            Reg::int(3),
+            Reg::int(4),
+            Reg::int(6),
+        );
+        let values: Vec<u64> = (0..64u64).map(|i| i * 17 + 3).collect();
+        let mut b = ProgramBuilder::new();
+        b.data(0x1000, &values);
+        b.data(0x3000, &[9]);
+        b.li(p, 0x1000); // 0
+        b.li(q, 0x3000); // 1
+        b.li(n, 64); // 2
+        b.label("loop");
+        b.ld(d, p, 0); // 3: d = arr[i]
+        b.st(d, p, 0x1000); // 4: scratch[i] = d; last use of d
+        b.ld(w, p, 0x1000); // 5: w = scratch[i] == dead d
+        b.ld(v, q, 0); // 6: v = 9 always
+        b.addi(p, p, 8); // 7
+        b.subi(n, n, 1); // 8
+        b.bnez(n, "loop"); // 9
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn profile(p: &Program) -> Profile {
+        Profile::collect(p, &ProfileConfig { max_insts: 100_000, min_execs: 8 }).unwrap()
+    }
+
+    #[test]
+    fn lists_classify_reuse_kinds() {
+        let prog = correlated_program();
+        let prof = profile(&prog);
+        let lists = prof.reuse_lists(&prog, 0.8, PlanScope::LoadsOnly);
+        assert!(lists.same.contains(&6), "same list: {:?}", lists.same);
+        assert!(
+            lists.dead.iter().any(|&(pc, r)| pc == 5 && r == Reg::int(5)),
+            "dead list: {:?}",
+            lists.dead
+        );
+        assert!(lists.last_value.contains(&6));
+        // The striding load has no reuse of any kind.
+        assert!(!lists.same.contains(&3));
+        assert!(!lists.dead.iter().any(|&(pc, _)| pc == 3));
+        assert!(!lists.last_value.contains(&3));
+    }
+
+    #[test]
+    fn static_plan_precedence() {
+        let prog = correlated_program();
+        let prof = profile(&prog);
+        let same_only = prof.static_plan(&prog, 0.8, SrvpLevel::Same);
+        assert_eq!(same_only.kind(6), Some(ReuseKind::SameReg));
+        assert_eq!(same_only.kind(5), None); // dead corr needs Dead level
+        let dead = prof.static_plan(&prog, 0.8, SrvpLevel::Dead);
+        assert_eq!(dead.kind(5), Some(ReuseKind::OtherReg(Reg::int(5))));
+        // Same-reg keeps precedence even at higher levels.
+        assert_eq!(dead.kind(6), Some(ReuseKind::SameReg));
+    }
+
+    #[test]
+    fn assist_plan_skips_natural_reuse() {
+        let prog = correlated_program();
+        let prof = profile(&prog);
+        let plan = prof.assist_plan(&prog, 0.8, PlanScope::LoadsOnly, Assist::DeadLv);
+        assert!(!plan.contains(6), "naturally reusing load must stay unlisted");
+        assert_eq!(plan.kind(5), Some(ReuseKind::OtherReg(Reg::int(5))));
+        let none = prof.assist_plan(&prog, 0.8, PlanScope::LoadsOnly, Assist::None);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn primary_producer_found() {
+        let prog = correlated_program();
+        let prof = profile(&prog);
+        // The value in dead register r5 that pc 5 reproduces was produced
+        // by the `ld d` at pc 3.
+        assert_eq!(prof.primary_producer(5, Reg::int(5)), Some(3));
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let prog = correlated_program();
+        let prof = profile(&prog);
+        let lists = prof.reuse_lists(&prog, 1.01, PlanScope::AllInsts);
+        assert!(lists.same.is_empty());
+        assert!(lists.dead.is_empty());
+    }
+}

@@ -1,0 +1,403 @@
+//! Web liveness, interference graphs and graph colouring.
+
+use rvp_isa::cfg::Cfg;
+use rvp_isa::{Program, Reg, RegClass};
+
+use crate::webs::{WebId, Webs};
+
+/// Live-after sets of webs, one bitset per instruction in the procedure.
+#[derive(Debug, Clone)]
+pub struct WebLiveness {
+    start: usize,
+    words: usize,
+    /// `after[pc - start]` is a bitset of webs live after that point.
+    after: Vec<Vec<u64>>,
+}
+
+impl WebLiveness {
+    /// Computes per-instruction web liveness for one procedure.
+    pub fn compute(_program: &Program, cfg: &Cfg, webs: &Webs) -> WebLiveness {
+        let range = cfg.procedure().range.clone();
+        let n = webs.len();
+        let words = n.div_ceil(64).max(1);
+        let blocks = cfg.blocks();
+        let nb = blocks.len();
+
+        // Per-instruction use/def web sets.
+        let mut use_at: Vec<Vec<WebId>> = vec![Vec::new(); range.len()];
+        for (pc, _, w) in webs.uses() {
+            use_at[pc - range.start].push(w);
+        }
+        for &(pc, w) in webs.implicit_uses() {
+            use_at[pc - range.start].push(w);
+        }
+
+        let mut use_b = vec![vec![0u64; words]; nb];
+        let mut def_b = vec![vec![0u64; words]; nb];
+        for (b, block) in blocks.iter().enumerate() {
+            for pc in block.range.clone() {
+                for &w in &use_at[pc - range.start] {
+                    if def_b[b][w / 64] & (1 << (w % 64)) == 0 {
+                        use_b[b][w / 64] |= 1 << (w % 64);
+                    }
+                }
+                if let Some(w) = webs.def_web(pc) {
+                    def_b[b][w / 64] |= 1 << (w % 64);
+                }
+            }
+        }
+
+        let mut live_in = vec![vec![0u64; words]; nb];
+        let mut live_out = vec![vec![0u64; words]; nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..nb).rev() {
+                let mut out = vec![0u64; words];
+                for &s in &blocks[b].succs {
+                    for w in 0..words {
+                        out[w] |= live_in[s][w];
+                    }
+                }
+                let mut inn = out.clone();
+                for w in 0..words {
+                    inn[w] = use_b[b][w] | (inn[w] & !def_b[b][w]);
+                }
+                if out != live_out[b] || inn != live_in[b] {
+                    live_out[b] = out;
+                    live_in[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+
+        let mut after = vec![vec![0u64; words]; range.len()];
+        for (b, block) in blocks.iter().enumerate() {
+            let mut live = live_out[b].clone();
+            for pc in block.range.clone().rev() {
+                after[pc - range.start] = live.clone();
+                if let Some(w) = webs.def_web(pc) {
+                    live[w / 64] &= !(1 << (w % 64));
+                }
+                for &w in &use_at[pc - range.start] {
+                    live[w / 64] |= 1 << (w % 64);
+                }
+            }
+        }
+
+        WebLiveness { start: range.start, words, after }
+    }
+
+    /// Webs live after instruction `pc`.
+    pub fn live_after(&self, pc: usize) -> impl Iterator<Item = WebId> + '_ {
+        let row = &self.after[pc - self.start];
+        row.iter().enumerate().flat_map(|(wi, &bits)| {
+            let mut bits = bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Whether web `w` is live after `pc`.
+    pub fn is_live_after(&self, pc: usize, w: WebId) -> bool {
+        self.after[pc - self.start][w / 64] & (1 << (w % 64)) != 0
+    }
+
+    fn words(&self) -> usize {
+        self.words
+    }
+}
+
+/// An undirected interference graph over webs (bitset adjacency).
+#[derive(Debug, Clone)]
+pub struct InterferenceGraph {
+    n: usize,
+    words: usize,
+    adj: Vec<u64>,
+}
+
+impl InterferenceGraph {
+    /// Creates an edgeless graph over `n` webs.
+    pub fn new(n: usize) -> InterferenceGraph {
+        let words = n.div_ceil(64).max(1);
+        InterferenceGraph { n, words, adj: vec![0; n * words] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds an undirected edge (self-edges are ignored).
+    pub fn add_edge(&mut self, a: WebId, b: WebId) {
+        if a == b {
+            return;
+        }
+        self.adj[a * self.words + b / 64] |= 1 << (b % 64);
+        self.adj[b * self.words + a / 64] |= 1 << (a % 64);
+    }
+
+    /// Whether `a` and `b` interfere.
+    pub fn interferes(&self, a: WebId, b: WebId) -> bool {
+        a != b && self.adj[a * self.words + b / 64] & (1 << (b % 64)) != 0
+    }
+
+    /// Iterates over the neighbours of `a`.
+    pub fn neighbors(&self, a: WebId) -> impl Iterator<Item = WebId> + '_ {
+        let row = &self.adj[a * self.words..(a + 1) * self.words];
+        row.iter().enumerate().flat_map(|(wi, &bits)| {
+            let mut bits = bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Builds the base interference graph: webs that are simultaneously
+    /// live interfere, and a definition interferes with everything live
+    /// after it.
+    pub fn from_liveness(
+        _program: &Program,
+        cfg: &Cfg,
+        webs: &Webs,
+        live: &WebLiveness,
+    ) -> InterferenceGraph {
+        let mut g = InterferenceGraph::new(webs.len());
+        let _ = live.words();
+        for pc in cfg.procedure().range.clone() {
+            let set: Vec<WebId> = live.live_after(pc).collect();
+            for (i, &a) in set.iter().enumerate() {
+                for &b in &set[i + 1..] {
+                    g.add_edge(a, b);
+                }
+            }
+            if let Some(d) = webs.def_web(pc) {
+                for &b in &set {
+                    g.add_edge(d, b);
+                }
+            }
+        }
+        g
+    }
+}
+
+/// Groups of coalesced webs plus colouring.
+///
+/// `color_groups` assigns every group a register from the palette of its
+/// class (or the fixed member's register), or returns `None` if the graph
+/// is uncolourable with the current constraints.
+#[allow(clippy::needless_range_loop)] // parallel per-web arrays
+pub fn color_groups(
+    webs: &Webs,
+    group_of: &[usize],
+    n_groups: usize,
+    graph_groups: &InterferenceGraph,
+    palette_int: &[Reg],
+    palette_fp: &[Reg],
+) -> Option<Vec<Reg>> {
+    // Determine per-group class, precolour and bias. Bias keeps every
+    // web in its original register when legal — the pass must not
+    // destroy the reuse the original allocation already had (merged
+    // groups are biased toward the *producer*'s register, making the
+    // merged correlation a same-register reuse).
+    let mut class = vec![RegClass::Int; n_groups];
+    let mut precolor: Vec<Option<Reg>> = vec![None; n_groups];
+    let mut bias: Vec<Vec<Reg>> = vec![Vec::new(); n_groups];
+    for w in 0..webs.len() {
+        let g = group_of[w];
+        class[g] = webs.reg(w).class();
+        if webs.is_fixed(w) {
+            // Conflicting precolours must have been filtered by the pass.
+            precolor[g] = Some(webs.reg(w));
+        }
+        if !bias[g].contains(&webs.reg(w)) {
+            bias[g].push(webs.reg(w));
+        }
+    }
+
+    let palette = |c: RegClass| -> &[Reg] {
+        match c {
+            RegClass::Int => palette_int,
+            RegClass::Fp => palette_fp,
+        }
+    };
+
+    // Simplify with Briggs-style optimism.
+    let mut removed = vec![false; n_groups];
+    let mut stack = Vec::new();
+    let free: Vec<usize> = (0..n_groups).filter(|&g| precolor[g].is_none()).collect();
+    let mut remaining: usize = free.len();
+    while remaining > 0 {
+        let k_of = |g: usize| palette(class[g]).len();
+        let degree = |g: usize, removed: &[bool]| {
+            graph_groups
+                .neighbors(g)
+                .filter(|&n| !removed[n] && class[n] == class[g])
+                .count()
+        };
+        let pick = free
+            .iter()
+            .copied()
+            .filter(|&g| !removed[g])
+            .find(|&g| degree(g, &removed) < k_of(g))
+            .or_else(|| {
+                // Optimistic push of the max-degree node.
+                free.iter()
+                    .copied()
+                    .filter(|&g| !removed[g])
+                    .max_by_key(|&g| degree(g, &removed))
+            });
+        let g = pick?;
+        removed[g] = true;
+        stack.push(g);
+        remaining -= 1;
+    }
+
+    // Select, preferring each group's original registers.
+    let mut color: Vec<Option<Reg>> = precolor.clone();
+    while let Some(g) = stack.pop() {
+        let mut used: Vec<Reg> = Vec::new();
+        for n in graph_groups.neighbors(g) {
+            if let Some(c) = color[n] {
+                used.push(c);
+            }
+        }
+        let pal = palette(class[g]);
+        let c = bias[g]
+            .iter()
+            .filter(|r| pal.contains(r))
+            .chain(pal.iter())
+            .find(|r| !used.contains(r))?;
+        color[g] = Some(*c);
+    }
+    Some(color.into_iter().map(|c| c.expect("every group coloured")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvp_isa::analysis::abi;
+    use rvp_isa::ProgramBuilder;
+
+    fn setup(p: &Program) -> (Cfg, Webs, WebLiveness, InterferenceGraph) {
+        let cfg = Cfg::build(p, &p.procedures()[0]);
+        let webs = Webs::build(p, &cfg);
+        let live = WebLiveness::compute(p, &cfg, &webs);
+        let g = InterferenceGraph::from_liveness(p, &cfg, &webs, &live);
+        (cfg, webs, live, g)
+    }
+
+    #[test]
+    fn overlapping_webs_interfere() {
+        let (a, b) = (Reg::int(1), Reg::int(2));
+        let mut pb = ProgramBuilder::new();
+        pb.li(a, 1); // 0
+        pb.li(b, 2); // 1
+        pb.add(a, a, b); // 2: both live before here
+        pb.st(a, abi::SP, -8);
+        pb.halt();
+        let p = pb.build().unwrap();
+        let (_, webs, live, g) = setup(&p);
+        let wa = webs.def_web(0).unwrap();
+        let wb = webs.def_web(1).unwrap();
+        assert!(live.is_live_after(1, wa));
+        assert!(g.interferes(wa, wb));
+    }
+
+    #[test]
+    fn disjoint_webs_do_not_interfere() {
+        let (a, b) = (Reg::int(1), Reg::int(2));
+        let mut pb = ProgramBuilder::new();
+        pb.li(a, 1);
+        pb.st(a, abi::SP, -8); // a dies
+        pb.li(b, 2);
+        pb.st(b, abi::SP, -16);
+        pb.halt();
+        let p = pb.build().unwrap();
+        let (_, webs, _, g) = setup(&p);
+        let wa = webs.def_web(0).unwrap();
+        let wb = webs.def_web(2).unwrap();
+        assert!(!g.interferes(wa, wb));
+    }
+
+    #[test]
+    fn coloring_is_biased_toward_original_registers() {
+        let (a, b) = (Reg::int(1), Reg::int(2));
+        let mut pb = ProgramBuilder::new();
+        pb.li(a, 1);
+        pb.st(a, abi::SP, -8);
+        pb.li(b, 2);
+        pb.st(b, abi::SP, -16);
+        pb.halt();
+        let p = pb.build().unwrap();
+        let (_, webs, _, g) = setup(&p);
+        let group_of: Vec<usize> = (0..webs.len()).collect();
+        let pal_int: Vec<Reg> = rvp_isa::analysis::allocatable(RegClass::Int);
+        let pal_fp: Vec<Reg> = rvp_isa::analysis::allocatable(RegClass::Fp);
+        let colors =
+            color_groups(&webs, &group_of, webs.len(), &g, &pal_int, &pal_fp).unwrap();
+        // Without reuse constraints, webs keep their original registers —
+        // the pass must not disturb reuse the allocation already has.
+        let wa = webs.def_web(0).unwrap();
+        let wb = webs.def_web(2).unwrap();
+        assert_eq!(colors[group_of[wa]], a);
+        assert_eq!(colors[group_of[wb]], b);
+    }
+
+    #[test]
+    fn fixed_webs_keep_their_register() {
+        let s0 = Reg::int(9); // callee-saved -> fixed
+        let mut pb = ProgramBuilder::new();
+        pb.li(s0, 1);
+        pb.st(s0, abi::SP, -8);
+        pb.halt();
+        let p = pb.build().unwrap();
+        let (_, webs, _, g) = setup(&p);
+        let group_of: Vec<usize> = (0..webs.len()).collect();
+        let pal_int: Vec<Reg> = rvp_isa::analysis::allocatable(RegClass::Int);
+        let pal_fp: Vec<Reg> = rvp_isa::analysis::allocatable(RegClass::Fp);
+        let colors =
+            color_groups(&webs, &group_of, webs.len(), &g, &pal_int, &pal_fp).unwrap();
+        let w = webs.def_web(0).unwrap();
+        assert_eq!(colors[group_of[w]], s0);
+    }
+
+    #[test]
+    fn uncolorable_clique_fails() {
+        // Build a fake graph: 3 mutually-interfering webs, palette of 2.
+        let (a, b) = (Reg::int(1), Reg::int(2));
+        let c = Reg::int(3);
+        let mut pb = ProgramBuilder::new();
+        pb.li(a, 1);
+        pb.li(b, 2);
+        pb.li(c, 3);
+        pb.add(a, a, b);
+        pb.add(a, a, c);
+        pb.st(a, abi::SP, -8);
+        pb.halt();
+        let p = pb.build().unwrap();
+        let (_, webs, _, g) = setup(&p);
+        let group_of: Vec<usize> = (0..webs.len()).collect();
+        let tiny = [Reg::int(1), Reg::int(2)];
+        let pal_fp: Vec<Reg> = rvp_isa::analysis::allocatable(RegClass::Fp);
+        assert!(color_groups(&webs, &group_of, webs.len(), &g, &tiny, &pal_fp).is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! Profile-guided register reallocation (Section 7.3 of the paper).
+//!
+//! The paper's idealized results assume the compiler can expose every
+//! profiled register-reuse opportunity. This crate implements the
+//! *realistic* model used for Figure 7: classic Chaitin-style register
+//! allocation over du-chain webs, extended with the paper's two
+//! profile-guided constraints:
+//!
+//! * **dead-register reuse** — merge the live range (web) of an
+//!   instruction's destination with the web of the *primary producer* of
+//!   the correlated value, so both end up in the same architectural
+//!   register and the correlation becomes same-register reuse;
+//! * **last-value reuse** — give an instruction's destination a register
+//!   that no other instruction in its innermost loop writes, by adding
+//!   interference edges against every web defined in that loop.
+//!
+//! When the graph cannot be coloured, reuse constraints are abandoned in
+//! the paper's priority order: last-value reuses before register reuses,
+//! outer-loop (and low-criticality) candidates first, guided by the
+//! profiler's critical-path weights.
+//!
+//! Webs tied to the calling convention (argument registers reaching
+//! calls, return values, callee-saved registers, live-in values) are
+//! *fixed*: they keep their original register and constrain their
+//! neighbours, mirroring the paper's "all non-volatile registers live at
+//! entrance and exit / each call uses all argument registers" model.
+//!
+//! # Examples
+//!
+//! ```
+//! use rvp_isa::{ProgramBuilder, Reg};
+//! use rvp_profile::{Profile, ProfileConfig, PlanScope};
+//! use rvp_realloc::{reallocate, ReallocOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let (p, d, w, n) = (Reg::int(1), Reg::int(5), Reg::int(3), Reg::int(6));
+//! # let mut b = ProgramBuilder::new();
+//! # b.data(0x1000, &(0..64u64).map(|i| i * 3 + 1).collect::<Vec<_>>());
+//! # b.li(p, 0x1000).li(n, 64);
+//! # b.label("loop");
+//! # b.ld(d, p, 0);
+//! # b.st(d, p, 0x1000);
+//! # b.ld(w, p, 0x1000);
+//! # b.addi(p, p, 8).subi(n, n, 1).bnez(n, "loop").halt();
+//! # let program = b.build()?;
+//! let profile = Profile::collect(&program, &ProfileConfig::default())?;
+//! let outcome = reallocate(&program, &profile, &ReallocOptions::default());
+//! // The transformed program computes the same results with more
+//! // same-register value reuse.
+//! assert_eq!(outcome.program.len(), program.len());
+//! # Ok(())
+//! # }
+//! ```
+
+mod graph;
+mod pass;
+mod webs;
+
+pub use graph::{InterferenceGraph, WebLiveness};
+pub use pass::{reallocate, ReallocOptions, ReallocOutcome};
+pub use webs::{WebId, Webs};

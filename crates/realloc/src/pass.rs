@@ -1,0 +1,611 @@
+//! The profile-guided reallocation pass: reuse merging, last-value-reuse
+//! interference, abandonment heuristics and program rewriting.
+
+use std::collections::HashMap;
+
+use rvp_isa::analysis::{abi, allocatable};
+use rvp_isa::cfg::Cfg;
+use rvp_isa::{Procedure, Program, Reg, RegClass, RegRole};
+use rvp_profile::{PlanScope, Profile};
+
+use crate::graph::{color_groups, InterferenceGraph, WebLiveness};
+use crate::webs::{WebId, Webs};
+
+/// Options controlling the reallocation pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReallocOptions {
+    /// Profile threshold for reuse candidates (the paper uses 0.80).
+    pub threshold: f64,
+    /// Which instructions are candidates.
+    pub scope: PlanScope,
+    /// Apply dead-register reuse merging.
+    pub use_dead: bool,
+    /// Apply last-value-reuse exclusive registers.
+    pub use_lv: bool,
+}
+
+impl Default for ReallocOptions {
+    fn default() -> ReallocOptions {
+        ReallocOptions {
+            threshold: 0.8,
+            scope: PlanScope::AllInsts,
+            use_dead: true,
+            use_lv: true,
+        }
+    }
+}
+
+/// Result of [`reallocate`].
+#[derive(Debug, Clone)]
+pub struct ReallocOutcome {
+    /// The rewritten program (identical control flow and semantics, new
+    /// register assignment).
+    pub program: Program,
+    /// Dead-register reuse candidates from the profile.
+    pub dead_attempted: usize,
+    /// ... that survived legality checks and colouring.
+    pub dead_applied: usize,
+    /// Last-value reuse candidates from the profile.
+    pub lv_attempted: usize,
+    /// ... that survived.
+    pub lv_applied: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DeadReuse {
+    consumer: WebId,
+    producer: WebId,
+    crit: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LvReuse {
+    pc: usize,
+    web: WebId,
+    /// Loop-nesting depth of the instruction (deeper = keep longer).
+    depth: usize,
+    crit: u64,
+}
+
+/// Runs the paper's register-reallocation model over every procedure of
+/// `program`, guided by `profile` (collected on the train input).
+pub fn reallocate(program: &Program, profile: &Profile, opts: &ReallocOptions) -> ReallocOutcome {
+    let mut outcome = ReallocOutcome {
+        program: program.clone(),
+        dead_attempted: 0,
+        dead_applied: 0,
+        lv_attempted: 0,
+        lv_applied: 0,
+    };
+    let lists = profile.reuse_lists(program, opts.threshold, opts.scope);
+    let mut rewrites: HashMap<usize, (Option<Reg>, HashMap<usize, Reg>)> = HashMap::new();
+    // ^ per-pc: (dst replacement, per-register source replacement)
+
+    for proc in program.procedures() {
+        let (applied, dead_at, dead_ap, lv_at, lv_ap) =
+            reallocate_proc(program, profile, opts, &proc, &lists);
+        outcome.dead_attempted += dead_at;
+        outcome.dead_applied += dead_ap;
+        outcome.lv_attempted += lv_at;
+        outcome.lv_applied += lv_ap;
+        for (pc, rw) in applied {
+            rewrites.insert(pc, rw);
+        }
+    }
+
+    outcome.program = program.map_insts(|pc, inst| {
+        let mut inst = inst.clone();
+        if let Some((dst, srcs)) = rewrites.get(&pc) {
+            inst.map_regs(|r, role| match role {
+                RegRole::Dst => dst.unwrap_or(r),
+                RegRole::Src => srcs.get(&r.index()).copied().unwrap_or(r),
+            });
+        }
+        inst
+    });
+    outcome
+}
+
+type Rewrites = Vec<(usize, (Option<Reg>, HashMap<usize, Reg>))>;
+
+fn reallocate_proc(
+    program: &Program,
+    profile: &Profile,
+    opts: &ReallocOptions,
+    proc: &Procedure,
+    lists: &rvp_profile::ReuseLists,
+) -> (Rewrites, usize, usize, usize, usize) {
+    let cfg = Cfg::build(program, proc);
+    let mut webs = Webs::build(program, &cfg);
+    if webs.is_empty() {
+        return (Vec::new(), 0, 0, 0, 0);
+    }
+    let live = WebLiveness::compute(program, &cfg, &webs);
+    // Values live across a call survive only because the callee happens
+    // not to write their register; they must keep it.
+    for pc in proc.range.clone() {
+        if program.insts()[pc].is_call() {
+            for w in live.live_after(pc).collect::<Vec<_>>() {
+                webs.pin(w);
+            }
+        }
+    }
+    let base = InterferenceGraph::from_liveness(program, &cfg, &webs, &live);
+    let loops = cfg.loops();
+    let depths = cfg.loop_depths();
+
+    // A procedure may only be recoloured within the registers it already
+    // writes: growing its clobber set could destroy values a caller
+    // keeps live across calls to it (callee-clobber summaries, in
+    // compiler terms).
+    let mut written = rvp_isa::analysis::RegSet::new();
+    for pc in proc.range.clone() {
+        if let Some(d) = program.insts()[pc].dst() {
+            written.insert(d);
+        }
+    }
+    let palette_int: Vec<Reg> =
+        palette(RegClass::Int).into_iter().filter(|r| written.contains(*r)).collect();
+    let palette_fp: Vec<Reg> =
+        palette(RegClass::Fp).into_iter().filter(|r| written.contains(*r)).collect();
+
+    // --- Collect candidates within this procedure. ---
+    let mut dead: Vec<DeadReuse> = Vec::new();
+    let mut dead_attempted = 0;
+    if opts.use_dead {
+        for &(pc, r) in &lists.dead {
+            if !proc.range.contains(&pc) {
+                continue;
+            }
+            dead_attempted += 1;
+            let Some(consumer) = webs.def_web(pc) else { continue };
+            let Some(ppc) = profile.primary_producer(pc, r) else { continue };
+            if !proc.range.contains(&ppc) {
+                continue; // cross-procedure reuse is not supported
+            }
+            let Some(producer) = webs.def_web(ppc) else { continue };
+            if producer == consumer {
+                continue; // already share a register
+            }
+            if webs.reg(producer) != r {
+                continue; // profile and webs disagree (stale producer)
+            }
+            if webs.reg(consumer).class() != webs.reg(producer).class() {
+                continue;
+            }
+            // "The live ranges already conflict in the interference
+            // graph" -> illegal.
+            if base.interferes(consumer, producer) {
+                continue;
+            }
+            if webs.is_fixed(consumer) {
+                continue; // cannot move an ABI-pinned destination
+            }
+            if webs.is_fixed(producer) {
+                // Joining a fixed web is only legal if its register is in
+                // the volatile palette (the paper made a handful of such
+                // exceptions by hand; we allow exactly the legal ones).
+                let pr = webs.reg(producer);
+                let pal = if pr.class() == RegClass::Int { &palette_int } else { &palette_fp };
+                if !pal.contains(&pr) {
+                    continue;
+                }
+            }
+            dead.push(DeadReuse { consumer, producer, crit: profile.criticality(pc) });
+        }
+    }
+
+    let mut lv: Vec<LvReuse> = Vec::new();
+    let mut lv_attempted = 0;
+    if opts.use_lv {
+        for &pc in &lists.last_value {
+            if !proc.range.contains(&pc) {
+                continue;
+            }
+            lv_attempted += 1;
+            let Some(web) = webs.def_web(pc) else { continue };
+            if webs.is_fixed(web) {
+                continue;
+            }
+            // "Any instruction that is not in a loop within the procedure
+            // is abandoned."
+            let Some(l) = loops.iter().find(|l| l.contains(cfg.block_of(pc))) else {
+                continue;
+            };
+            // If the web has another definition inside the loop, the
+            // last value cannot survive an iteration.
+            let other_def_in_loop = webs
+                .def_pcs(web)
+                .iter()
+                .any(|&d| d != pc && l.contains(cfg.block_of(d)));
+            if other_def_in_loop {
+                continue;
+            }
+            let depth = depths[cfg.block_of(pc)];
+            lv.push(LvReuse { pc, web, depth, crit: profile.criticality(pc) });
+        }
+    }
+
+    // Keep merges pairwise: chaining three or more webs into one
+    // register makes each prediction's value depend on a same-iteration
+    // producer, which is worthless at run time. Greedily keep the most
+    // critical pair per web.
+    dead.sort_by_key(|c| std::cmp::Reverse(c.crit));
+    let mut grouped = vec![false; webs.len()];
+    dead.retain(|c| {
+        if grouped[c.consumer] || grouped[c.producer] {
+            return false;
+        }
+        grouped[c.consumer] = true;
+        grouped[c.producer] = true;
+        true
+    });
+
+    // Constraint priority (paper Section 7.3, inverted into greedy
+    // form): register reuses are kept in preference to LVR; within LVR,
+    // inner loops and critical instructions are kept first. Constraints
+    // are admitted one at a time, skipping any that make the graph
+    // uncolourable — equivalent to the paper's "remove until colouring
+    // succeeds", but it never throws away an innocent candidate.
+    dead.sort_by_key(|c| std::cmp::Reverse(c.crit));
+    lv.sort_by_key(|c| std::cmp::Reverse((c.depth, c.crit)));
+
+    let mut kept_dead: Vec<DeadReuse> = Vec::new();
+    let mut kept_lv: Vec<LvReuse> = Vec::new();
+    let mut colors = match try_color(
+        &webs,
+        &base,
+        &cfg,
+        &loops,
+        &kept_dead,
+        &kept_lv,
+        &palette_int,
+        &palette_fp,
+    ) {
+        Some(c) => c,
+        // The unconstrained graph should always colour (the original
+        // assignment is a witness); if the conservative analyses say
+        // otherwise, leave the procedure untouched.
+        None => return (Vec::new(), dead_attempted, 0, lv_attempted, 0),
+    };
+    for c in dead {
+        kept_dead.push(c);
+        match try_color(&webs, &base, &cfg, &loops, &kept_dead, &kept_lv, &palette_int, &palette_fp)
+        {
+            Some(cols) => colors = cols,
+            None => {
+                kept_dead.pop();
+            }
+        }
+    }
+    for c in lv {
+        kept_lv.push(c);
+        match try_color(&webs, &base, &cfg, &loops, &kept_dead, &kept_lv, &palette_int, &palette_fp)
+        {
+            Some(cols) => colors = cols,
+            None => {
+                kept_lv.pop();
+            }
+        }
+    }
+    let (dead, lv) = (kept_dead, kept_lv);
+
+    // --- Emit rewrites. ---
+    let (group_of, _) = build_groups(&webs, &dead);
+    let mut rewrites: Rewrites = Vec::new();
+    for pc in proc.range.clone() {
+        let dst = webs.def_web(pc).map(|w| colors[group_of[w]]);
+        let mut srcs = HashMap::new();
+        for (upc, r, w) in webs.uses() {
+            if upc == pc {
+                srcs.insert(r.index(), colors[group_of[w]]);
+            }
+        }
+        if dst.is_some() || !srcs.is_empty() {
+            rewrites.push((pc, (dst, srcs)));
+        }
+    }
+    (rewrites, dead_attempted, dead.len(), lv_attempted, lv.len())
+}
+
+/// Volatile (caller-saved), non-reserved registers of a class — the set
+/// freely assignable without save/restore obligations.
+fn palette(class: RegClass) -> Vec<Reg> {
+    let caller = abi::caller_saved();
+    allocatable(class).into_iter().filter(|r| caller.contains(*r)).collect()
+}
+
+/// Coalesces the dead-reuse pairs into groups via union-find.
+fn build_groups(webs: &Webs, dead: &[DeadReuse]) -> (Vec<usize>, usize) {
+    let n = webs.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for d in dead {
+        let (a, b) = (find(&mut parent, d.consumer), find(&mut parent, d.producer));
+        if a != b {
+            parent[b] = a;
+        }
+    }
+    let mut group_of = vec![usize::MAX; n];
+    let mut count = 0;
+    for w in 0..n {
+        let r = find(&mut parent, w);
+        if group_of[r] == usize::MAX {
+            group_of[r] = count;
+            count += 1;
+        }
+        group_of[w] = group_of[r];
+    }
+    (group_of, count)
+}
+
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)] // parallel per-web arrays
+fn try_color(
+    webs: &Webs,
+    base: &InterferenceGraph,
+    cfg: &Cfg,
+    loops: &[rvp_isa::cfg::Loop],
+    dead: &[DeadReuse],
+    lv: &[LvReuse],
+    palette_int: &[Reg],
+    palette_fp: &[Reg],
+) -> Option<Vec<Reg>> {
+    let (group_of, n_groups) = build_groups(webs, dead);
+
+    // Two fixed webs with different registers in one group -> illegal
+    // merge set; report failure so the caller abandons a candidate.
+    let mut fixed_color: Vec<Option<Reg>> = vec![None; n_groups];
+    for w in 0..webs.len() {
+        if webs.is_fixed(w) {
+            let g = group_of[w];
+            match fixed_color[g] {
+                None => fixed_color[g] = Some(webs.reg(w)),
+                Some(r) if r == webs.reg(w) => {}
+                Some(_) => return None,
+            }
+        }
+    }
+
+    // Project the base interference onto groups; a merge whose members
+    // interfere makes the group self-conflicting -> fail.
+    let mut g = InterferenceGraph::new(n_groups);
+    for a in 0..webs.len() {
+        for b in base.neighbors(a) {
+            if b <= a {
+                continue;
+            }
+            if group_of[a] == group_of[b] {
+                return None;
+            }
+            g.add_edge(group_of[a], group_of[b]);
+        }
+    }
+
+    // LVR: the web interferes with every web defined inside its
+    // innermost loop.
+    for c in lv {
+        let l = loops
+            .iter()
+            .find(|l| l.contains(cfg.block_of(c.pc)))
+            .expect("lv candidates are in loops");
+        for &block in &l.body {
+            for pc in cfg.blocks()[block].range.clone() {
+                if pc == c.pc {
+                    continue;
+                }
+                if let Some(w) = webs.def_web(pc) {
+                    if group_of[w] == group_of[c.web] {
+                        // Shares a colour with another in-loop def: the
+                        // paper abandons such LVRs; signal failure.
+                        return None;
+                    }
+                    g.add_edge(group_of[c.web], group_of[w]);
+                }
+            }
+        }
+    }
+
+    color_groups(webs, &group_of, n_groups, &g, palette_int, palette_fp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvp_emu::Emulator;
+    use rvp_isa::ProgramBuilder;
+    use rvp_profile::ProfileConfig;
+
+    /// The dead-register correlation fixture from the profiler tests:
+    /// `ld w` (pc 5) reloads the value the dead register `d` (r5) holds,
+    /// produced by `ld d` (pc 3).
+    fn correlated_program() -> Program {
+        let (p, q, d, w, v, n) = (
+            Reg::int(1),
+            Reg::int(2),
+            Reg::int(5),
+            Reg::int(3),
+            Reg::int(4),
+            Reg::int(6),
+        );
+        let values: Vec<u64> = (0..64u64).map(|i| i * 17 + 3).collect();
+        let mut b = ProgramBuilder::new();
+        b.data(0x1000, &values);
+        b.data(0x3000, &[9]);
+        b.li(p, 0x1000);
+        b.li(q, 0x3000);
+        b.li(n, 64);
+        b.label("loop");
+        b.ld(d, p, 0); // 3
+        b.st(d, p, 0x1000); // 4
+        b.ld(w, p, 0x1000); // 5
+        b.ld(v, q, 0); // 6
+        b.addi(p, p, 8);
+        b.subi(n, n, 1);
+        b.bnez(n, "loop");
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn final_state(p: &Program) -> (u64, Vec<u64>) {
+        let mut emu = Emulator::new(p);
+        while emu.step().unwrap().is_some() {}
+        let mem: Vec<u64> = (0..64).map(|i| emu.memory().read_u64(0x2000 + 8 * i)).collect();
+        (emu.committed(), mem)
+    }
+
+    #[test]
+    fn semantics_are_preserved() {
+        let prog = correlated_program();
+        let profile = Profile::collect(&prog, &ProfileConfig::default()).unwrap();
+        let out = reallocate(&prog, &profile, &ReallocOptions::default());
+        let (n0, m0) = final_state(&prog);
+        let (n1, m1) = final_state(&out.program);
+        assert_eq!(n0, n1);
+        assert_eq!(m0, m1);
+    }
+
+    #[test]
+    fn dead_reuse_becomes_same_register() {
+        let prog = correlated_program();
+        let profile = Profile::collect(&prog, &ProfileConfig::default()).unwrap();
+        let out = reallocate(&prog, &profile, &ReallocOptions::default());
+        assert!(out.dead_attempted >= 1);
+        assert!(out.dead_applied >= 1, "dead reuse not applied: {out:?}");
+        // After reallocation, `ld w` (pc 5) and `ld d` (pc 3) share a
+        // destination register.
+        let d_dst = out.program.insts()[3].dst().unwrap();
+        let w_dst = out.program.insts()[5].dst().unwrap();
+        assert_eq!(d_dst, w_dst);
+        // And the profiler now sees same-register reuse at pc 5.
+        let prof2 = Profile::collect(&out.program, &ProfileConfig::default()).unwrap();
+        assert!(prof2.same_rate(5) > 0.9, "rate = {}", prof2.same_rate(5));
+    }
+
+    #[test]
+    fn lv_reuse_gets_exclusive_register() {
+        // A loop where `ld v` has pure last-value reuse but its register
+        // is overwritten by an unrelated def each iteration.
+        let (q, v, t, n) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+        let mut b = ProgramBuilder::new();
+        b.data(0x3000, &[9]);
+        b.li(q, 0x3000);
+        b.li(n, 64);
+        // A scratch register written once in the prologue: it is in the
+        // procedure's write set, so the allocator may hand it to the
+        // last-value reuse as an exclusive register.
+        b.li(Reg::int(5), 0);
+        b.label("loop");
+        b.ld(v, q, 0); // 3: always 9 -> lv reuse
+        b.st(v, q, 8);
+        b.li(v, 0); // 5: kills same-register reuse of pc 3
+        b.st(v, q, 16);
+        b.mov(t, q);
+        b.subi(n, n, 1);
+        b.bnez(n, "loop");
+        b.halt();
+        let prog = b.build().unwrap();
+        let profile = Profile::collect(&prog, &ProfileConfig::default()).unwrap();
+        // Before: no same-register reuse at pc 2.
+        assert!(profile.same_rate(3) < 0.1);
+        assert!(profile.lv_rate(3) > 0.9);
+        let out = reallocate(&prog, &profile, &ReallocOptions::default());
+        assert!(out.lv_applied >= 1, "{out:?}");
+        let prof2 = Profile::collect(&out.program, &ProfileConfig::default()).unwrap();
+        assert!(prof2.same_rate(3) > 0.9, "rate = {}", prof2.same_rate(3));
+        // Semantics preserved.
+        let mut e0 = Emulator::new(&prog);
+        while e0.step().unwrap().is_some() {}
+        let mut e1 = Emulator::new(&out.program);
+        while e1.step().unwrap().is_some() {}
+        assert_eq!(e0.memory().read_u64(0x3008), e1.memory().read_u64(0x3008));
+        assert_eq!(e0.committed(), e1.committed());
+    }
+
+    #[test]
+    fn options_disable_passes() {
+        let prog = correlated_program();
+        let profile = Profile::collect(&prog, &ProfileConfig::default()).unwrap();
+        let out = reallocate(
+            &prog,
+            &profile,
+            &ReallocOptions { use_dead: false, use_lv: false, ..ReallocOptions::default() },
+        );
+        assert_eq!(out.dead_attempted, 0);
+        assert_eq!(out.lv_attempted, 0);
+    }
+
+    #[test]
+    fn values_live_across_calls_keep_their_registers() {
+        // Regression test: `main` holds a volatile register (r1) live
+        // across a call that happens not to clobber it, and the callee
+        // has a recolourable scratch web. The pass must neither move the
+        // caller's live value nor let the callee recolour into r1.
+        use rvp_isa::analysis::abi;
+        let (base, x, a0) = (Reg::int(1), Reg::int(27), Reg::int(16));
+        let mut b = ProgramBuilder::new();
+        b.data(0x1000, &(0..64u64).map(|i| i + 1).collect::<Vec<_>>());
+        b.proc("main");
+        b.li(base, 0x1000); // r1 live across the call below
+        b.li(Reg::int(4), 48);
+        b.label("loop");
+        b.mov(a0, base);
+        b.call("reader");
+        b.st(Reg::int(0), base, 0x2000);
+        b.ld(Reg::int(2), base, 0x2000); // dead-reg candidates appear here
+        b.addi(base, base, 8);
+        b.subi(Reg::int(4), Reg::int(4), 1);
+        b.bnez(Reg::int(4), "loop");
+        b.halt();
+        b.proc("reader");
+        b.ld(x, a0, 0); // callee scratch: recolourable web
+        b.add(Reg::int(0), x, x);
+        b.ret(abi::RA);
+        let prog = b.build().unwrap();
+        let profile = Profile::collect(
+            &prog,
+            &ProfileConfig { max_insts: 100_000, min_execs: 4 },
+        )
+        .unwrap();
+        let opts = ReallocOptions { threshold: 0.5, ..ReallocOptions::default() };
+        let out = reallocate(&prog, &profile, &opts);
+        // Semantics: identical final memory.
+        let mut e0 = Emulator::new(&prog);
+        while e0.step().unwrap().is_some() {}
+        let mut e1 = Emulator::new(&out.program);
+        while e1.step().unwrap().is_some() {}
+        for i in 0..64 {
+            let a = 0x3000 + 8 * i;
+            assert_eq!(e0.memory().read_u64(a), e1.memory().read_u64(a));
+        }
+        // The caller's call-crossing register was not moved.
+        assert_eq!(out.program.insts()[0].dst(), Some(base));
+        // The callee never writes a register it did not originally write.
+        let callee = &out.program.procedures()[1];
+        for pc in callee.range.clone() {
+            if let Some(d) = out.program.insts()[pc].dst() {
+                assert!(
+                    [x, Reg::int(0)].contains(&d) || d == abi::RA,
+                    "callee now writes {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn palette_is_volatile_only() {
+        let ints = palette(RegClass::Int);
+        assert!(!ints.contains(&Reg::int(9))); // callee-saved
+        assert!(!ints.contains(&abi::SP));
+        assert!(ints.contains(&Reg::int(1)));
+        let fps = palette(RegClass::Fp);
+        assert!(!fps.contains(&Reg::fp(2))); // callee-saved
+        assert!(fps.contains(&Reg::fp(10)));
+    }
+}

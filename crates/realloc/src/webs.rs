@@ -1,0 +1,478 @@
+//! Du-chain web construction via reaching definitions.
+
+use std::collections::HashMap;
+
+use rvp_isa::analysis::{abi, effective_uses};
+use rvp_isa::cfg::Cfg;
+use rvp_isa::{Kind, Program, Reg, NUM_REGS};
+
+/// Identifier of a web within one procedure's [`Webs`].
+pub type WebId = usize;
+
+/// One definition site: an explicit register write, or the implicit
+/// definition of a live-in value at procedure entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DefSite {
+    /// Explicit destination write at this PC.
+    Inst(usize),
+    /// Implicit procedure-entry definition.
+    Entry,
+}
+
+#[derive(Debug, Clone)]
+struct DefInfo {
+    site: DefSite,
+    reg: Reg,
+}
+
+/// The du-chain webs of one procedure: maximal sets of definitions and
+/// uses of a register that must share the same register after
+/// reallocation.
+#[derive(Debug, Clone)]
+pub struct Webs {
+    /// Number of webs.
+    count: usize,
+    /// Original register of each web.
+    reg: Vec<Reg>,
+    /// Whether the web is pinned to its original register.
+    fixed: Vec<bool>,
+    /// Explicit def PCs per web.
+    def_pcs: Vec<Vec<usize>>,
+    /// Use map: (pc, register index) -> web.
+    uses: HashMap<(usize, usize), WebId>,
+    /// Implicit (ABI-convention) uses: (pc, web). Not rewritten, but they
+    /// extend live ranges.
+    implicit_uses: Vec<(usize, WebId)>,
+    /// Def map: pc -> web (for the instruction's destination).
+    def_at: HashMap<usize, WebId>,
+}
+
+impl Webs {
+    /// Builds the webs of `cfg`'s procedure.
+    pub fn build(program: &Program, cfg: &Cfg) -> Webs {
+        Builder::new(program, cfg).run()
+    }
+
+    /// Number of webs.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the procedure has no webs.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The original architectural register of a web.
+    pub fn reg(&self, w: WebId) -> Reg {
+        self.reg[w]
+    }
+
+    /// Whether the web must keep its original register (ABI-constrained).
+    pub fn is_fixed(&self, w: WebId) -> bool {
+        self.fixed[w]
+    }
+
+    /// Pins a web to its original register. The pass uses this for webs
+    /// that are live across calls: such values survive only because the
+    /// callee happens not to touch their particular register, so they
+    /// must not be moved.
+    pub fn pin(&mut self, w: WebId) {
+        self.fixed[w] = true;
+    }
+
+    /// Explicit definition PCs of a web.
+    pub fn def_pcs(&self, w: WebId) -> &[usize] {
+        &self.def_pcs[w]
+    }
+
+    /// The web defined by the instruction at `pc` (its destination), if
+    /// it writes a tracked register.
+    pub fn def_web(&self, pc: usize) -> Option<WebId> {
+        self.def_at.get(&pc).copied()
+    }
+
+    /// The web a use of register `r` at `pc` reads from, if tracked.
+    pub fn use_web(&self, pc: usize, r: Reg) -> Option<WebId> {
+        self.uses.get(&(pc, r.index())).copied()
+    }
+
+    /// All explicit uses as `(pc, register, web)` triples.
+    pub fn uses(&self) -> impl Iterator<Item = (usize, Reg, WebId)> + '_ {
+        self.uses.iter().map(|(&(pc, r), &w)| (pc, Reg::from_index(r), w))
+    }
+
+    /// Implicit ABI uses as `(pc, web)` pairs (extend live ranges, never
+    /// rewritten).
+    pub fn implicit_uses(&self) -> &[(usize, WebId)] {
+        &self.implicit_uses
+    }
+}
+
+struct Builder<'a> {
+    program: &'a Program,
+    cfg: &'a Cfg,
+    defs: Vec<DefInfo>,
+    parent: Vec<usize>,
+    /// Def indices per register.
+    defs_of_reg: Vec<Vec<usize>>,
+    /// Recorded (pc, reg, def index) use attachments.
+    use_records: Vec<(usize, usize, usize)>,
+    /// Recorded implicit-use attachments: (pc, def index).
+    implicit_records: Vec<(usize, usize)>,
+    /// Webs (by representative def) containing an implicit use.
+    implicit_use: Vec<bool>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(program: &'a Program, cfg: &'a Cfg) -> Builder<'a> {
+        Builder {
+            program,
+            cfg,
+            defs: Vec::new(),
+            parent: Vec::new(),
+            defs_of_reg: vec![Vec::new(); NUM_REGS],
+            use_records: Vec::new(),
+            implicit_records: Vec::new(),
+            implicit_use: Vec::new(),
+        }
+    }
+
+    fn tracked(r: Reg) -> bool {
+        !r.is_zero() && !abi::reserved().contains(r)
+    }
+
+    fn add_def(&mut self, site: DefSite, reg: Reg) -> usize {
+        let id = self.defs.len();
+        self.defs.push(DefInfo { site, reg });
+        self.parent.push(id);
+        self.defs_of_reg[reg.index()].push(id);
+        self.implicit_use.push(false);
+        id
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra;
+            let imp = self.implicit_use[ra] || self.implicit_use[rb];
+            self.implicit_use[ra] = imp;
+        }
+        ra
+    }
+
+    #[allow(clippy::needless_range_loop)] // parallel def-site arrays
+    fn run(mut self) -> Webs {
+        let range = self.cfg.procedure().range.clone();
+
+        // Entry defs for every tracked register (live-in values).
+        let mut entry_def = [usize::MAX; NUM_REGS];
+        for i in 0..NUM_REGS {
+            let r = Reg::from_index(i);
+            if Self::tracked(r) {
+                entry_def[i] = self.add_def(DefSite::Entry, r);
+            }
+        }
+        // Explicit defs.
+        let mut inst_def = HashMap::new();
+        for pc in range.clone() {
+            if let Some(dst) = self.program.insts()[pc].dst() {
+                if Self::tracked(dst) {
+                    inst_def.insert(pc, self.add_def(DefSite::Inst(pc), dst));
+                }
+            }
+        }
+
+        // Reaching definitions (bitsets over def indices) at block level.
+        let nd = self.defs.len();
+        let words = nd.div_ceil(64);
+        let blocks = self.cfg.blocks();
+        let nb = blocks.len();
+        let mut gen_b = vec![vec![0u64; words]; nb];
+        let mut kill_b = vec![vec![0u64; words]; nb];
+        for (b, block) in blocks.iter().enumerate() {
+            for pc in block.range.clone() {
+                if let Some(&d) = inst_def.get(&pc) {
+                    let reg = self.defs[d].reg;
+                    // Kill every other def of this register.
+                    for &other in &self.defs_of_reg[reg.index()] {
+                        if other != d {
+                            kill_b[b][other / 64] |= 1 << (other % 64);
+                            gen_b[b][other / 64] &= !(1 << (other % 64));
+                        }
+                    }
+                    gen_b[b][d / 64] |= 1 << (d % 64);
+                    kill_b[b][d / 64] &= !(1 << (d % 64));
+                }
+            }
+        }
+        let mut in_b = vec![vec![0u64; words]; nb];
+        let mut out_b = vec![vec![0u64; words]; nb];
+        // Entry block starts with the entry defs.
+        let mut entry_set = vec![0u64; words];
+        for &d in entry_def.iter().filter(|&&d| d != usize::MAX) {
+            entry_set[d / 64] |= 1 << (d % 64);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..nb {
+                let mut inn = if b == 0 { entry_set.clone() } else { vec![0u64; words] };
+                for &p in &blocks[b].preds {
+                    for w in 0..words {
+                        inn[w] |= out_b[p][w];
+                    }
+                }
+                let mut out = inn.clone();
+                for w in 0..words {
+                    out[w] = (out[w] & !kill_b[b][w]) | gen_b[b][w];
+                }
+                if inn != in_b[b] || out != out_b[b] {
+                    in_b[b] = inn;
+                    out_b[b] = out;
+                    changed = true;
+                }
+            }
+        }
+
+        // Walk blocks, merging reaching defs at each use and recording
+        // use attachments.
+        for (b, block) in blocks.iter().enumerate() {
+            let mut cur = in_b[b].clone();
+            for pc in block.range.clone() {
+                let inst = &self.program.insts()[pc];
+                let explicit: Vec<Reg> = inst.srcs().into_iter().flatten().collect();
+                let all_uses = effective_uses(inst);
+                // Halt exits implicitly use the convention's exit-live set
+                // (mirrors the liveness analysis).
+                let halt_exit = matches!(inst.kind, Kind::Halt);
+                let exit_uses = if halt_exit {
+                    abi::callee_saved().union(abi::return_values())
+                } else {
+                    rvp_isa::analysis::RegSet::new()
+                };
+                for r in all_uses.union(exit_uses).iter() {
+                    if !Self::tracked(r) {
+                        continue;
+                    }
+                    let implicit = !explicit.contains(&r);
+                    // Union all reaching defs of r.
+                    let mut rep: Option<usize> = None;
+                    for &d in &self.defs_of_reg[r.index()].clone() {
+                        if cur[d / 64] & (1 << (d % 64)) != 0 {
+                            rep = Some(match rep {
+                                None => self.find(d),
+                                Some(p) => self.union(p, d),
+                            });
+                        }
+                    }
+                    if let Some(rep) = rep {
+                        if implicit {
+                            self.implicit_use[rep] = true;
+                            self.implicit_records.push((pc, rep));
+                        } else {
+                            self.use_records.push((pc, r.index(), rep));
+                        }
+                    }
+                }
+                // Apply the def.
+                if let Some(&d) = inst_def.get(&pc) {
+                    let reg = self.defs[d].reg;
+                    for &other in &self.defs_of_reg[reg.index()] {
+                        if other != d {
+                            cur[other / 64] &= !(1 << (other % 64));
+                        }
+                    }
+                    cur[d / 64] |= 1 << (d % 64);
+                }
+            }
+        }
+
+        // Canonicalize webs.
+        let mut web_of_rep: HashMap<usize, WebId> = HashMap::new();
+        let mut web_of_def = vec![0; nd];
+        let mut reg = Vec::new();
+        let mut fixed = Vec::new();
+        let mut def_pcs: Vec<Vec<usize>> = Vec::new();
+        for d in 0..nd {
+            let rep = self.find(d);
+            let w = *web_of_rep.entry(rep).or_insert_with(|| {
+                reg.push(self.defs[rep].reg);
+                fixed.push(false);
+                def_pcs.push(Vec::new());
+                reg.len() - 1
+            });
+            web_of_def[d] = w;
+            if let DefSite::Inst(pc) = self.defs[d].site {
+                def_pcs[w].push(pc);
+            }
+        }
+        // A web is fixed if it contains an entry def, carries an implicit
+        // (ABI) use, or lives in a callee-saved register.
+        for d in 0..nd {
+            let w = web_of_def[d];
+            let rep = self.find(d);
+            if matches!(self.defs[d].site, DefSite::Entry)
+                || self.implicit_use[rep]
+                || abi::callee_saved().contains(self.defs[d].reg)
+            {
+                fixed[w] = true;
+            }
+        }
+        // Webs with entry defs but NO explicit defs and no uses are inert;
+        // they stay fixed, which is harmless.
+
+        let mut uses = HashMap::new();
+        for &(pc, reg_idx, rep) in &self.use_records.clone() {
+            let w = web_of_def[self.find(rep)];
+            uses.insert((pc, reg_idx), w);
+        }
+        let mut implicit_uses = Vec::new();
+        for &(pc, rep) in &self.implicit_records.clone() {
+            implicit_uses.push((pc, web_of_def[self.find(rep)]));
+        }
+        let mut def_at = HashMap::new();
+        for (pc, d) in inst_def {
+            def_at.insert(pc, web_of_def[d]);
+        }
+
+        Webs { count: reg.len(), reg, fixed, def_pcs, uses, implicit_uses, def_at }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvp_isa::ProgramBuilder;
+
+    fn webs_of(p: &Program) -> (Cfg, Webs) {
+        let cfg = Cfg::build(p, &p.procedures()[0]);
+        let w = Webs::build(p, &cfg);
+        (cfg, w)
+    }
+
+    #[test]
+    fn disjoint_lifetimes_form_separate_webs() {
+        let r = Reg::int(1);
+        let mut b = ProgramBuilder::new();
+        b.li(r, 1); // web A
+        b.st(r, abi::SP, -8); // last use of A
+        b.li(r, 2); // web B
+        b.st(r, abi::SP, -16);
+        b.halt();
+        let p = b.build().unwrap();
+        let (_, w) = webs_of(&p);
+        let a = w.def_web(0).unwrap();
+        let b_ = w.def_web(2).unwrap();
+        assert_ne!(a, b_);
+        assert_eq!(w.use_web(1, r), Some(a));
+        assert_eq!(w.use_web(3, r), Some(b_));
+        assert!(!w.is_fixed(a));
+        assert!(!w.is_fixed(b_));
+    }
+
+    #[test]
+    fn merging_at_joins() {
+        // Two defs reaching a common use belong to one web.
+        let (c, r) = (Reg::int(1), Reg::int(2));
+        let mut b = ProgramBuilder::new();
+        b.li(c, 1);
+        b.beqz(c, "else");
+        b.li(r, 10); // def 1
+        b.br("join");
+        b.label("else");
+        b.li(r, 20); // def 2
+        b.label("join");
+        b.st(r, abi::SP, -8); // use sees both
+        b.halt();
+        let p = b.build().unwrap();
+        let (_, w) = webs_of(&p);
+        assert_eq!(w.def_web(2), w.def_web(4));
+    }
+
+    #[test]
+    fn arg_registers_reaching_calls_are_fixed() {
+        let a0 = Reg::int(16);
+        let mut b = ProgramBuilder::new();
+        b.proc("main");
+        b.li(a0, 5); // feeds the call: fixed
+        b.call("f");
+        b.halt();
+        b.proc("f");
+        b.li(Reg::int(0), 1);
+        b.ret(abi::RA);
+        let p = b.build().unwrap();
+        let procs = p.procedures();
+        let cfg = Cfg::build(&p, &procs[0]);
+        let w = Webs::build(&p, &cfg);
+        let web = w.def_web(0).unwrap(); // the `li a0`
+        assert!(w.is_fixed(web));
+        assert_eq!(w.reg(web), a0);
+    }
+
+    #[test]
+    fn scratch_arg_register_not_reaching_call_is_free() {
+        let a0 = Reg::int(16);
+        let mut b = ProgramBuilder::new();
+        b.li(a0, 5);
+        b.st(a0, abi::SP, -8);
+        b.li(a0, 7); // second web; no call anywhere
+        b.st(a0, abi::SP, -16);
+        b.halt();
+        let p = b.build().unwrap();
+        let (_, w) = webs_of(&p);
+        assert!(!w.is_fixed(w.def_web(0).unwrap()));
+        assert!(!w.is_fixed(w.def_web(2).unwrap()));
+    }
+
+    #[test]
+    fn callee_saved_webs_are_fixed() {
+        let s0 = Reg::int(9);
+        let mut b = ProgramBuilder::new();
+        b.li(s0, 1);
+        b.st(s0, abi::SP, -8);
+        b.halt();
+        let p = b.build().unwrap();
+        let (_, w) = webs_of(&p);
+        assert!(w.is_fixed(w.def_web(0).unwrap()));
+    }
+
+    #[test]
+    fn return_value_reaching_ret_is_fixed() {
+        let mut b = ProgramBuilder::new();
+        b.proc("f");
+        b.li(Reg::int(0), 42);
+        b.ret(abi::RA);
+        let p = b.build().unwrap();
+        let procs = p.procedures();
+        let cfg = Cfg::build(&p, &procs[0]);
+        let w = Webs::build(&p, &cfg);
+        assert!(w.is_fixed(w.def_web(0).unwrap()));
+    }
+
+    #[test]
+    fn loop_carried_defs_share_a_web() {
+        let (i, n) = (Reg::int(1), Reg::int(2));
+        let mut b = ProgramBuilder::new();
+        b.li(i, 0); // def outside
+        b.li(n, 10);
+        b.label("top");
+        b.addi(i, i, 1); // def inside uses both defs' values
+        b.subi(n, n, 1);
+        b.bnez(n, "top");
+        b.st(i, abi::SP, -8);
+        b.halt();
+        let p = b.build().unwrap();
+        let (_, w) = webs_of(&p);
+        // The use of i at pc 2 sees the entry li and the loop add: one web.
+        assert_eq!(w.def_web(0), w.def_web(2));
+    }
+}

@@ -1,0 +1,116 @@
+use rvp_vpred::{BufferConfig, CorrelationConfig, DrvpConfig, LvpConfig, PredictionPlan, Scope};
+
+/// Value-misprediction recovery mechanism (paper Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// A value mispredict is treated like a branch mispredict:
+    /// instructions beginning with the first use of the predicted value
+    /// are squashed and refetched. Highest mispredict cost, but no
+    /// instruction-queue pressure on correct predictions.
+    Refetch,
+    /// All instructions after the first use are kept in the instruction
+    /// queue until they are no longer speculative, and may reissue from
+    /// there one cycle after a mispredict.
+    Reissue,
+    /// Only instructions (transitively) dependent on the predicted value
+    /// are kept in the queue until the prediction resolves. Best overall
+    /// in the paper.
+    Selective,
+}
+
+/// The value-prediction scheme the machine runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scheme {
+    /// No value prediction (baseline).
+    NoPredict,
+    /// Buffer-based last-value prediction (the comparison point): a
+    /// tagged value table with confidence counters.
+    Lvp {
+        /// Which instructions may be predicted.
+        scope: Scope,
+        /// Table geometry.
+        config: LvpConfig,
+    },
+    /// Any other buffer-based predictor (stride, context, hybrid) — the
+    /// related-work baselines the paper cites but does not evaluate.
+    Buffer {
+        /// Which instructions may be predicted.
+        scope: Scope,
+        /// Which predictor and its geometry.
+        config: BufferConfig,
+    },
+    /// Static register value prediction: the compiler marked the listed
+    /// loads with `rvp_` opcodes, after reallocating registers so each
+    /// listed load's value tends to already sit in its destination
+    /// register (the plan records *which* reuse relation backs each
+    /// mark). Marked loads are always predicted — no confidence
+    /// hardware.
+    StaticRvp {
+        /// Profile-derived marking plan (loads only).
+        plan: PredictionPlan,
+    },
+    /// Dynamic register value prediction: PC-indexed confidence counters
+    /// and no value storage. Unlisted instructions track natural
+    /// same-register reuse; the plan lists instructions whose reuse the
+    /// compiler exposed via reallocation (dead-register or last-value).
+    DynamicRvp {
+        /// Which instructions may be predicted.
+        scope: Scope,
+        /// Compiler-assistance plan (may be empty).
+        plan: PredictionPlan,
+        /// Confidence-table geometry.
+        config: DrvpConfig,
+    },
+    /// The Gabbay & Mendelson register predictor: confidence counters
+    /// indexed by destination register number.
+    Gabbay {
+        /// Which instructions may be predicted.
+        scope: Scope,
+    },
+    /// Hardware-learned register correlation (Jourdan et al. style):
+    /// storageless like dRVP, but the hardware discovers *which*
+    /// register holds the reusable value instead of relying on compiler
+    /// reallocation — the combination the paper's related-work section
+    /// sketches.
+    HwCorrelation {
+        /// Which instructions may be predicted.
+        scope: Scope,
+        /// Table geometry.
+        config: CorrelationConfig,
+    },
+}
+
+impl Scheme {
+    /// Convenience constructor: the paper's `lvp` (loads only).
+    pub fn lvp_loads() -> Scheme {
+        Scheme::Lvp { scope: Scope::LoadsOnly, config: LvpConfig::paper() }
+    }
+
+    /// Convenience constructor: the paper's `lvp_all`.
+    pub fn lvp_all() -> Scheme {
+        Scheme::Lvp { scope: Scope::AllInsts, config: LvpConfig::paper() }
+    }
+
+    /// Convenience constructor: `drvp` with a given assistance plan.
+    pub fn drvp(scope: Scope, plan: PredictionPlan) -> Scheme {
+        Scheme::DynamicRvp { scope, plan, config: DrvpConfig::paper() }
+    }
+
+    /// Whether the scheme predicts anything at all.
+    pub fn is_predicting(&self) -> bool {
+        !matches!(self, Scheme::NoPredict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(matches!(Scheme::lvp_loads(), Scheme::Lvp { scope: Scope::LoadsOnly, .. }));
+        assert!(matches!(Scheme::lvp_all(), Scheme::Lvp { scope: Scope::AllInsts, .. }));
+        assert!(!Scheme::NoPredict.is_predicting());
+        assert!(Scheme::drvp(Scope::AllInsts, PredictionPlan::new()).is_predicting());
+    }
+}

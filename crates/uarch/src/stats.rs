@@ -1,0 +1,186 @@
+use std::error::Error;
+use std::fmt;
+
+use rvp_bpred::BpredStats;
+use rvp_emu::EmuError;
+use rvp_mem::HierarchyStats;
+
+/// Error returned by [`crate::Simulator::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The underlying program misbehaved (propagated from the emulator).
+    Emu(EmuError),
+    /// The pipeline made no forward progress for an implausibly long
+    /// time — a model bug, reported rather than hanging.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Instructions committed by then.
+        committed: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Emu(e) => write!(f, "emulation error: {e}"),
+            SimError::Deadlock { cycle, committed } => {
+                write!(f, "pipeline deadlock at cycle {cycle} after {committed} commits")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Emu(e) => Some(e),
+            SimError::Deadlock { .. } => None,
+        }
+    }
+}
+
+impl From<EmuError> for SimError {
+    fn from(e: EmuError) -> SimError {
+        SimError::Emu(e)
+    }
+}
+
+/// Results of a timing-simulation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimStats {
+    /// Total cycles elapsed.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Loads committed.
+    pub loads: u64,
+    /// Committed instructions whose value was predicted.
+    pub predictions: u64,
+    /// ... of which the prediction was correct.
+    pub correct_predictions: u64,
+    /// Value mispredictions that triggered recovery (a consumer existed).
+    pub costly_mispredictions: u64,
+    /// Refetch squashes performed (refetch recovery only).
+    pub squashes: u64,
+    /// Instructions squashed by value-mispredict refetches.
+    pub squashed_insts: u64,
+    /// Individual instruction re-executions (reissue/selective recovery).
+    pub reissued_insts: u64,
+    /// Branch predictor statistics.
+    pub branch: BpredStats,
+    /// Cache/TLB statistics.
+    pub mem: HierarchyStats,
+    /// Cycles the fetch unit was stalled (unresolved branch mispredict,
+    /// I-cache fill, or value-mispredict redirect).
+    pub fetch_stall_cycles: u64,
+    /// Sum over cycles of occupied integer-queue slots (divide by
+    /// `cycles` for the average; reissue-style recovery inflates this —
+    /// the effect behind the paper's Figure 4).
+    pub iq_int_occupancy_sum: u64,
+    /// Same for the FP queue.
+    pub iq_fp_occupancy_sum: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of committed instructions that were predicted (Table 2's
+    /// "% insts predicted"), in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.predictions as f64 / self.committed as f64
+        }
+    }
+
+    /// Fraction of predictions that were correct (Table 2's "pred.
+    /// rate"), in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            1.0
+        } else {
+            self.correct_predictions as f64 / self.predictions as f64
+        }
+    }
+
+    /// Average occupied integer-queue slots per cycle.
+    pub fn avg_iq_int_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.iq_int_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles the fetch unit was stalled, in `[0, 1]`.
+    pub fn fetch_stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.fetch_stall_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run over a baseline run of the same program
+    /// (ratio of IPCs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two runs committed different instruction counts —
+    /// that would make the comparison meaningless.
+    pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        assert_eq!(
+            self.committed, baseline.committed,
+            "speedup requires runs over the same committed instruction count"
+        );
+        self.ipc() / baseline.ipc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let s = SimStats {
+            cycles: 100,
+            committed: 250,
+            predictions: 50,
+            correct_predictions: 45,
+            fetch_stall_cycles: 25,
+            iq_int_occupancy_sum: 1600,
+            ..SimStats::default()
+        };
+        assert_eq!(s.ipc(), 2.5);
+        assert_eq!(s.coverage(), 0.2);
+        assert_eq!(s.accuracy(), 0.9);
+        assert_eq!(s.fetch_stall_fraction(), 0.25);
+        assert_eq!(s.avg_iq_int_occupancy(), 16.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.coverage(), 0.0);
+        assert_eq!(s.accuracy(), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn speedup_requires_matching_commits() {
+        let a = SimStats { cycles: 10, committed: 100, ..SimStats::default() };
+        let b = SimStats { cycles: 10, committed: 99, ..SimStats::default() };
+        let _ = a.speedup_over(&b);
+    }
+}

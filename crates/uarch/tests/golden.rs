@@ -1,0 +1,105 @@
+//! Golden timing tests: exact cycle counts for small programs, pinned so
+//! that *any* change to the timing model's behaviour is visible in a
+//! review. These are model pins, not correctness claims — when a
+//! deliberate model change shifts them, update the constants in the same
+//! commit that explains why.
+
+use rvp_isa::{ProgramBuilder, Program, Reg};
+use rvp_uarch::{PredictionPlan, Recovery, Scheme, Simulator, UarchConfig};
+
+fn cycles(p: &Program, scheme: Scheme, recovery: Recovery) -> (u64, u64) {
+    let s = Simulator::new(UarchConfig::table1(), scheme, recovery)
+        .run(p, 1 << 20)
+        .unwrap();
+    (s.cycles, s.committed)
+}
+
+fn dependent_chain() -> Program {
+    let (r, n) = (Reg::int(1), Reg::int(2));
+    let mut b = ProgramBuilder::new();
+    b.li(r, 0);
+    b.li(n, 50);
+    b.label("top");
+    for _ in 0..8 {
+        b.addi(r, r, 1);
+    }
+    b.subi(n, n, 1);
+    b.bnez(n, "top");
+    b.halt();
+    b.build().unwrap()
+}
+
+/// A loop whose pointer advance depends on loaded (constant) step
+/// values: a carried load→add chain that register value prediction
+/// breaks.
+fn predictable_load_loop() -> Program {
+    let (ptr, step, n) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    let mut b = ProgramBuilder::new();
+    b.data(0x1000, &[8; 64]);
+    b.li(ptr, 0x1000);
+    b.li(n, 100);
+    b.label("top");
+    b.ld(step, ptr, 0);
+    b.add(ptr, ptr, step);
+    b.and(ptr, ptr, 0x11f8);
+    b.subi(n, n, 1);
+    b.bnez(n, "top");
+    b.halt();
+    b.build().unwrap()
+}
+
+#[test]
+fn golden_dependent_chain_baseline() {
+    let p = dependent_chain();
+    let (cycles, committed) = cycles(&p, Scheme::NoPredict, Recovery::Selective);
+    assert_eq!(committed, 503);
+    assert_eq!(cycles, 573, "timing model changed: dependent chain");
+}
+
+#[test]
+fn golden_load_loop_baseline_vs_drvp() {
+    let p = predictable_load_loop();
+    let (base, committed) = cycles(&p, Scheme::NoPredict, Recovery::Selective);
+    assert_eq!(committed, 503);
+    let (drvp, _) = cycles(
+        &p,
+        Scheme::drvp(rvp_uarch::Scope::LoadsOnly, PredictionPlan::new()),
+        Recovery::Selective,
+    );
+    assert_eq!(base, 1368, "timing model changed: load loop baseline");
+    assert_eq!(drvp, 950, "timing model changed: load loop with dRVP");
+    assert!(drvp < base);
+}
+
+#[test]
+fn golden_recovery_cycle_counts() {
+    // Static RVP on an always-mispredicting load distinguishes all three
+    // recovery models.
+    let (ptr, v, n) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    let mut b = ProgramBuilder::new();
+    b.data(0x1000, &[1, 2]);
+    b.li(ptr, 0x1000);
+    b.li(n, 50);
+    b.label("top");
+    b.ld(v, ptr, 0); // pc 2: alternates
+    b.add(Reg::int(4), v, 1);
+    b.ld(Reg::int(5), ptr, 8);
+    b.st(Reg::int(5), ptr, 0);
+    b.st(v, ptr, 8);
+    b.subi(n, n, 1);
+    b.bnez(n, "top");
+    b.halt();
+    let p = b.build().unwrap();
+    let plan: PredictionPlan =
+        [(2usize, rvp_uarch::ReuseKind::SameReg)].into_iter().collect();
+    let refetch = cycles(&p, Scheme::StaticRvp { plan: plan.clone() }, Recovery::Refetch).0;
+    let reissue = cycles(&p, Scheme::StaticRvp { plan: plan.clone() }, Recovery::Reissue).0;
+    let selective = cycles(&p, Scheme::StaticRvp { plan }, Recovery::Selective).0;
+    assert_eq!(
+        (refetch, reissue, selective),
+        (974, 484, 456),
+        "timing model changed: recovery costs"
+    );
+    // Refetch pays a squash per mispredict; the others reissue cheaply.
+    assert!(refetch > selective);
+}

@@ -1,0 +1,375 @@
+//! Extended buffer-based value predictors beyond last-value prediction:
+//! stride, finite-context (two-level) and hybrid predictors.
+//!
+//! The paper deliberately excludes these from its comparison ("we do not
+//! compare it with schemes that add additional storage and complexity to
+//! what is required for last-value prediction"), but cites them all:
+//! stride (Gabbay & Mendelson), context/two-level (Sazeides & Smith,
+//! Wang & Franklin) and hybrids. They are provided here as additional
+//! baselines for the `beyond_paper` experiment, with the same 3-bit
+//! resetting confidence filter as everything else.
+
+use crate::counters::{ConfidenceCounter, CounterPolicy};
+use crate::lvp::{LastValuePredictor, LvpConfig};
+
+/// Configuration of a [`StridePredictor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideConfig {
+    /// Table entries (power of two, PC-indexed, tagged).
+    pub entries: usize,
+    /// Confidence threshold (3-bit resetting counters).
+    pub threshold: u8,
+}
+
+impl Default for StrideConfig {
+    fn default() -> StrideConfig {
+        StrideConfig { entries: 1024, threshold: 7 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StrideEntry {
+    tag: usize,
+    last: u64,
+    stride: i64,
+    valid: bool,
+    counter: ConfidenceCounter,
+}
+
+/// A classic stride predictor: predicts `last + stride`, where `stride`
+/// is the last observed difference. Confidence counts consecutive
+/// correct stride applications.
+///
+/// # Examples
+///
+/// ```
+/// use rvp_vpred::{StrideConfig, StridePredictor};
+///
+/// let mut sp = StridePredictor::new(StrideConfig::default());
+/// for i in 0..10u64 {
+///     sp.train(4, 100 + 8 * i);
+/// }
+/// assert_eq!(sp.predict(4), Some(180));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StridePredictor {
+    config: StrideConfig,
+    entries: Vec<StrideEntry>,
+}
+
+impl StridePredictor {
+    /// Creates an empty predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(config: StrideConfig) -> StridePredictor {
+        assert!(config.entries.is_power_of_two(), "table size must be a power of two");
+        StridePredictor {
+            entries: vec![
+                StrideEntry {
+                    tag: 0,
+                    last: 0,
+                    stride: 0,
+                    valid: false,
+                    counter: ConfidenceCounter::new(3, CounterPolicy::Resetting),
+                };
+                config.entries
+            ],
+            config,
+        }
+    }
+
+    fn index(&self, pc: usize) -> usize {
+        pc & (self.config.entries - 1)
+    }
+
+    /// The predicted next value for `pc`, if confident.
+    pub fn predict(&self, pc: usize) -> Option<u64> {
+        let e = &self.entries[self.index(pc)];
+        (e.valid && e.tag == pc && e.counter.confident(self.config.threshold))
+            .then(|| e.last.wrapping_add(e.stride as u64))
+    }
+
+    /// Trains with a committed result.
+    pub fn train(&mut self, pc: usize, actual: u64) {
+        let i = self.index(pc);
+        let e = &mut self.entries[i];
+        if !e.valid || e.tag != pc {
+            *e = StrideEntry {
+                tag: pc,
+                last: actual,
+                stride: 0,
+                valid: true,
+                counter: ConfidenceCounter::new(3, CounterPolicy::Resetting),
+            };
+            return;
+        }
+        let observed = actual.wrapping_sub(e.last) as i64;
+        e.counter.record(observed == e.stride);
+        e.stride = observed;
+        e.last = actual;
+    }
+}
+
+/// Configuration of a [`ContextPredictor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextConfig {
+    /// First-level (history) entries per PC table.
+    pub entries: usize,
+    /// Second-level value-table entries.
+    pub vht_entries: usize,
+    /// Values of history folded into the context hash.
+    pub order: usize,
+    /// Confidence threshold.
+    pub threshold: u8,
+}
+
+impl Default for ContextConfig {
+    fn default() -> ContextConfig {
+        ContextConfig { entries: 1024, vht_entries: 4096, order: 2, threshold: 7 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ContextEntry {
+    tag: usize,
+    /// Hashes of the last `order` values.
+    history: Vec<u64>,
+    valid: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct VhtEntry {
+    value: u64,
+    counter: ConfidenceCounter,
+}
+
+/// An order-N finite-context-method predictor (Sazeides & Smith style):
+/// the recent value history selects a second-level table entry holding
+/// the value that followed this context last time.
+#[derive(Debug, Clone)]
+pub struct ContextPredictor {
+    config: ContextConfig,
+    first: Vec<ContextEntry>,
+    second: Vec<VhtEntry>,
+}
+
+impl ContextPredictor {
+    /// Creates an empty predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both table sizes are powers of two and `order >= 1`.
+    pub fn new(config: ContextConfig) -> ContextPredictor {
+        assert!(config.entries.is_power_of_two());
+        assert!(config.vht_entries.is_power_of_two());
+        assert!(config.order >= 1);
+        ContextPredictor {
+            first: vec![
+                ContextEntry { tag: 0, history: vec![0; config.order], valid: false };
+                config.entries
+            ],
+            second: vec![
+                VhtEntry {
+                    value: 0,
+                    counter: ConfidenceCounter::new(3, CounterPolicy::Resetting),
+                };
+                config.vht_entries
+            ],
+            config,
+        }
+    }
+
+    fn index(&self, pc: usize) -> usize {
+        pc & (self.config.entries - 1)
+    }
+
+    fn context_hash(&self, pc: usize, history: &[u64]) -> usize {
+        let mut h = pc as u64;
+        for (k, v) in history.iter().enumerate() {
+            h = h
+                .rotate_left(7)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ v.rotate_left(k as u32 + 1);
+        }
+        (h as usize) & (self.config.vht_entries - 1)
+    }
+
+    /// The value predicted to follow the current context, if confident.
+    pub fn predict(&self, pc: usize) -> Option<u64> {
+        let e = &self.first[self.index(pc)];
+        if !e.valid || e.tag != pc {
+            return None;
+        }
+        let v = &self.second[self.context_hash(pc, &e.history)];
+        v.counter.confident(self.config.threshold).then_some(v.value)
+    }
+
+    /// Trains with a committed result.
+    pub fn train(&mut self, pc: usize, actual: u64) {
+        let i = self.index(pc);
+        if !self.first[i].valid || self.first[i].tag != pc {
+            self.first[i] =
+                ContextEntry { tag: pc, history: vec![0; self.config.order], valid: true };
+        }
+        let vi = self.context_hash(pc, &self.first[i].history);
+        let v = &mut self.second[vi];
+        let hit = v.value == actual;
+        v.counter.record(hit);
+        if !hit {
+            v.value = actual;
+        }
+        // Shift the value history.
+        self.first[i].history.rotate_left(1);
+        *self.first[i].history.last_mut().expect("order >= 1") = actual;
+    }
+}
+
+/// Which buffer-based predictor a [`BufferPredictor`] wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferConfig {
+    /// Last-value prediction (the paper's comparison point).
+    LastValue(LvpConfig),
+    /// Stride prediction.
+    Stride(StrideConfig),
+    /// Order-N context prediction.
+    Context(ContextConfig),
+    /// Hybrid: stride backed by last-value (component with confidence
+    /// wins; stride preferred on ties).
+    Hybrid(StrideConfig, LvpConfig),
+}
+
+/// A uniform front over every buffer-based predictor, so the timing
+/// model can treat them interchangeably (they all supply a value
+/// directly from a table with no register-file dependence).
+#[derive(Debug, Clone)]
+pub enum BufferPredictor {
+    /// Last-value table.
+    Lvp(LastValuePredictor),
+    /// Stride table.
+    Stride(StridePredictor),
+    /// Finite-context predictor.
+    Context(ContextPredictor),
+    /// Stride + last-value hybrid.
+    Hybrid(StridePredictor, LastValuePredictor),
+}
+
+impl BufferPredictor {
+    /// Instantiates the configured predictor with cold tables.
+    pub fn new(config: BufferConfig) -> BufferPredictor {
+        match config {
+            BufferConfig::LastValue(c) => BufferPredictor::Lvp(LastValuePredictor::new(c)),
+            BufferConfig::Stride(c) => BufferPredictor::Stride(StridePredictor::new(c)),
+            BufferConfig::Context(c) => BufferPredictor::Context(ContextPredictor::new(c)),
+            BufferConfig::Hybrid(s, l) => {
+                BufferPredictor::Hybrid(StridePredictor::new(s), LastValuePredictor::new(l))
+            }
+        }
+    }
+
+    /// The predicted value for `pc`, if the predictor is confident.
+    pub fn predict(&self, pc: usize) -> Option<u64> {
+        match self {
+            BufferPredictor::Lvp(p) => p.predict(pc),
+            BufferPredictor::Stride(p) => p.predict(pc),
+            BufferPredictor::Context(p) => p.predict(pc),
+            BufferPredictor::Hybrid(s, l) => s.predict(pc).or_else(|| l.predict(pc)),
+        }
+    }
+
+    /// Trains every component with a committed result.
+    pub fn train(&mut self, pc: usize, actual: u64) {
+        match self {
+            BufferPredictor::Lvp(p) => p.train(pc, actual),
+            BufferPredictor::Stride(p) => p.train(pc, actual),
+            BufferPredictor::Context(p) => p.train(pc, actual),
+            BufferPredictor::Hybrid(s, l) => {
+                s.train(pc, actual);
+                l.train(pc, actual);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_tracks_arithmetic_sequences() {
+        let mut sp = StridePredictor::new(StrideConfig::default());
+        for i in 0..12u64 {
+            sp.train(9, i * 16);
+        }
+        assert_eq!(sp.predict(9), Some(192));
+        // A break in the pattern resets confidence.
+        sp.train(9, 5);
+        assert_eq!(sp.predict(9), None);
+    }
+
+    #[test]
+    fn stride_zero_equals_last_value() {
+        let mut sp = StridePredictor::new(StrideConfig::default());
+        for _ in 0..10 {
+            sp.train(3, 42);
+        }
+        assert_eq!(sp.predict(3), Some(42));
+    }
+
+    #[test]
+    fn stride_handles_negative_strides() {
+        let mut sp = StridePredictor::new(StrideConfig::default());
+        for i in 0..12i64 {
+            sp.train(7, (1000 - 8 * i) as u64);
+        }
+        assert_eq!(sp.predict(7), Some(904));
+    }
+
+    #[test]
+    fn context_learns_repeating_patterns() {
+        // The sequence 1,2,3,1,2,3,... is unpredictable for last-value
+        // and stride, but trivial for an order-2 context predictor.
+        let mut cp = ContextPredictor::new(ContextConfig::default());
+        let pattern = [1u64, 2, 3];
+        for k in 0..60 {
+            cp.train(5, pattern[k % 3]);
+        }
+        // After (3,1) the next value is 2, and so on.
+        let mut correct = 0;
+        for k in 60..90 {
+            if cp.predict(5) == Some(pattern[k % 3]) {
+                correct += 1;
+            }
+            cp.train(5, pattern[k % 3]);
+        }
+        assert!(correct >= 28, "only {correct}/30 correct");
+    }
+
+    #[test]
+    fn hybrid_prefers_stride_then_falls_back() {
+        let cfg = BufferConfig::Hybrid(StrideConfig::default(), LvpConfig::paper());
+        let mut h = BufferPredictor::new(cfg);
+        for i in 0..12u64 {
+            h.train(11, 100 + 4 * i);
+        }
+        assert_eq!(h.predict(11), Some(148)); // stride component
+        let mut h = BufferPredictor::new(cfg);
+        for _ in 0..12 {
+            h.train(11, 77);
+        }
+        assert_eq!(h.predict(11), Some(77)); // both agree on constants
+    }
+
+    #[test]
+    fn buffer_front_matches_lvp() {
+        let mut a = BufferPredictor::new(BufferConfig::LastValue(LvpConfig::paper()));
+        let mut b = LastValuePredictor::new(LvpConfig::paper());
+        for i in 0..20usize {
+            let v = (i as u64) % 3;
+            a.train(i & 7, v);
+            b.train(i & 7, v);
+            assert_eq!(a.predict(i & 7), b.predict(i & 7));
+        }
+    }
+}

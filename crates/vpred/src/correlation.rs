@@ -1,0 +1,176 @@
+//! Hardware-learned register correlation, after Jourdan et al. (MICRO
+//! 1998), the paper's related work [6]: "They depend on hardware to
+//! recognize other-register value-reuse, where we transform the program.
+//! Their technique could be combined with ours to increase the
+//! effectiveness of RVP without compiler intervention."
+//!
+//! The predictor learns, per static instruction, *which architectural
+//! register* tends to already hold the value the instruction is about to
+//! produce — still storageless (the value is read from the register
+//! file), but with a small source-register field next to each confidence
+//! counter instead of relying on the compiler's reallocation.
+
+use rvp_isa::Reg;
+
+use crate::counters::{ConfidenceCounter, CounterPolicy};
+
+/// Configuration of a [`CorrelationPredictor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorrelationConfig {
+    /// Table entries (power of two, PC-indexed, untagged like the dRVP
+    /// counters).
+    pub entries: usize,
+    /// Confidence threshold (3-bit resetting counters).
+    pub threshold: u8,
+}
+
+impl Default for CorrelationConfig {
+    fn default() -> CorrelationConfig {
+        CorrelationConfig { entries: 1024, threshold: 7 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    candidate: Option<Reg>,
+    counter: ConfidenceCounter,
+}
+
+/// A storageless predictor that learns a *source register* per static
+/// instruction: predictions read that register's current value from the
+/// register file.
+///
+/// Training feeds back whether the learned register held the produced
+/// value, plus (on a miss) a register that *did* hold it this time, which
+/// becomes the new candidate.
+///
+/// # Examples
+///
+/// ```
+/// use rvp_isa::Reg;
+/// use rvp_vpred::{CorrelationConfig, CorrelationPredictor};
+///
+/// let mut p = CorrelationPredictor::new(CorrelationConfig::default());
+/// // The value keeps showing up in r7:
+/// for _ in 0..8 {
+///     let hit = p.candidate(12) == Some(Reg::int(7));
+///     p.train(12, hit, Some(Reg::int(7)));
+/// }
+/// assert_eq!(p.candidate(12), Some(Reg::int(7)));
+/// assert!(p.confident(12));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CorrelationPredictor {
+    config: CorrelationConfig,
+    entries: Vec<Entry>,
+}
+
+impl CorrelationPredictor {
+    /// Creates a predictor with empty candidates and zeroed counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(config: CorrelationConfig) -> CorrelationPredictor {
+        assert!(config.entries.is_power_of_two(), "table size must be a power of two");
+        CorrelationPredictor {
+            entries: vec![
+                Entry {
+                    candidate: None,
+                    counter: ConfidenceCounter::new(3, CounterPolicy::Resetting),
+                };
+                config.entries
+            ],
+            config,
+        }
+    }
+
+    fn index(&self, pc: usize) -> usize {
+        pc & (self.config.entries - 1)
+    }
+
+    /// The register currently believed to hold this instruction's next
+    /// value.
+    pub fn candidate(&self, pc: usize) -> Option<Reg> {
+        self.entries[self.index(pc)].candidate
+    }
+
+    /// Whether the instruction should be predicted from its candidate.
+    pub fn confident(&self, pc: usize) -> bool {
+        let e = &self.entries[self.index(pc)];
+        e.candidate.is_some() && e.counter.confident(self.config.threshold)
+    }
+
+    /// Trains with a commit-time outcome: `hit` says whether the
+    /// candidate register held the produced value; `observed` names a
+    /// register that did (if any), adopted as the new candidate on a
+    /// miss.
+    pub fn train(&mut self, pc: usize, hit: bool, observed: Option<Reg>) {
+        let i = self.index(pc);
+        let e = &mut self.entries[i];
+        e.counter.record(hit);
+        if !hit {
+            if let Some(r) = observed {
+                if e.candidate != Some(r) {
+                    e.candidate = Some(r);
+                    e.counter.reset();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_stable_source_register() {
+        let mut p = CorrelationPredictor::new(CorrelationConfig::default());
+        for _ in 0..10 {
+            let hit = p.candidate(4) == Some(Reg::fp(3));
+            p.train(4, hit, Some(Reg::fp(3)));
+        }
+        assert!(p.confident(4));
+        assert_eq!(p.candidate(4), Some(Reg::fp(3)));
+    }
+
+    #[test]
+    fn switches_candidates_on_sustained_misses() {
+        let mut p = CorrelationPredictor::new(CorrelationConfig::default());
+        for _ in 0..10 {
+            let hit = p.candidate(4) == Some(Reg::int(1));
+            p.train(4, hit, Some(Reg::int(1)));
+        }
+        assert!(p.confident(4));
+        // The correlation moves to r2.
+        for _ in 0..10 {
+            let hit = p.candidate(4) == Some(Reg::int(2));
+            p.train(4, hit, Some(Reg::int(2)));
+        }
+        assert!(p.confident(4));
+        assert_eq!(p.candidate(4), Some(Reg::int(2)));
+    }
+
+    #[test]
+    fn never_confident_without_a_candidate() {
+        let mut p = CorrelationPredictor::new(CorrelationConfig::default());
+        assert!(!p.confident(9));
+        for _ in 0..10 {
+            p.train(9, false, None);
+        }
+        assert!(!p.confident(9));
+        assert_eq!(p.candidate(9), None);
+    }
+
+    #[test]
+    fn flapping_correlations_stay_unconfident() {
+        let mut p = CorrelationPredictor::new(CorrelationConfig::default());
+        for k in 0..100 {
+            let r = Reg::int(1 + (k % 2) as u8);
+            let hit = p.candidate(4) == Some(r);
+            p.train(4, hit, Some(r));
+        }
+        assert!(!p.confident(4));
+    }
+}

@@ -1,0 +1,224 @@
+/// Update policy of a confidence counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CounterPolicy {
+    /// A miss resets the counter to zero (the paper's choice: "resetting
+    /// counters with a confidence threshold of 7 ... only predict after we
+    /// have seen seven consecutive hits").
+    #[default]
+    Resetting,
+    /// A miss decrements the counter (classic saturating behaviour). Kept
+    /// for the counter-policy ablation bench.
+    Saturating,
+}
+
+/// An n-bit saturating confidence counter.
+///
+/// # Examples
+///
+/// ```
+/// use rvp_vpred::{ConfidenceCounter, CounterPolicy};
+///
+/// let mut c = ConfidenceCounter::new(3, CounterPolicy::Resetting);
+/// for _ in 0..7 { c.record(true); }
+/// assert!(c.confident(7));
+/// c.record(false);
+/// assert!(!c.confident(1)); // reset to zero
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfidenceCounter {
+    value: u8,
+    max: u8,
+    policy: CounterPolicy,
+}
+
+impl ConfidenceCounter {
+    /// Creates a zeroed `bits`-bit counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 7`.
+    pub fn new(bits: u8, policy: CounterPolicy) -> ConfidenceCounter {
+        assert!((1..=7).contains(&bits), "counter width out of range");
+        ConfidenceCounter { value: 0, max: (1 << bits) - 1, policy }
+    }
+
+    /// Current count.
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Whether the count has reached `threshold`.
+    pub fn confident(&self, threshold: u8) -> bool {
+        self.value >= threshold
+    }
+
+    /// Records a hit or miss.
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.value = (self.value + 1).min(self.max);
+        } else {
+            self.value = match self.policy {
+                CounterPolicy::Resetting => 0,
+                CounterPolicy::Saturating => self.value.saturating_sub(1),
+            };
+        }
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// Geometry and policy of a [`ConfidenceTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableConfig {
+    /// Number of entries (power of two, direct mapped by PC).
+    pub entries: usize,
+    /// Counter width in bits.
+    pub bits: u8,
+    /// Confidence threshold.
+    pub threshold: u8,
+    /// Miss-update policy.
+    pub policy: CounterPolicy,
+    /// Whether entries carry PC tags. A tag mismatch inhibits prediction
+    /// and, at training time, evicts the entry (counter restarts from the
+    /// new outcome).
+    pub tagged: bool,
+}
+
+impl Default for TableConfig {
+    fn default() -> TableConfig {
+        TableConfig {
+            entries: 1024,
+            bits: 3,
+            threshold: 7,
+            policy: CounterPolicy::Resetting,
+            tagged: false,
+        }
+    }
+}
+
+/// A direct-mapped table of confidence counters indexed by PC.
+#[derive(Debug, Clone)]
+pub struct ConfidenceTable {
+    config: TableConfig,
+    counters: Vec<ConfidenceCounter>,
+    tags: Vec<Option<usize>>,
+}
+
+impl ConfidenceTable {
+    /// Creates a table of zeroed counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(config: TableConfig) -> ConfidenceTable {
+        assert!(config.entries.is_power_of_two(), "table size must be a power of two");
+        ConfidenceTable {
+            counters: vec![ConfidenceCounter::new(config.bits, config.policy); config.entries],
+            tags: if config.tagged { vec![None; config.entries] } else { Vec::new() },
+            config,
+        }
+    }
+
+    /// The table configuration.
+    pub fn config(&self) -> &TableConfig {
+        &self.config
+    }
+
+    fn index(&self, pc: usize) -> usize {
+        pc & (self.config.entries - 1)
+    }
+
+    /// Whether `pc`'s counter has reached the threshold (and, if tagged,
+    /// the tag matches).
+    pub fn confident(&self, pc: usize) -> bool {
+        let i = self.index(pc);
+        if self.config.tagged && self.tags[i] != Some(pc) {
+            return false;
+        }
+        self.counters[i].confident(self.config.threshold)
+    }
+
+    /// Trains the entry for `pc` with a hit/miss outcome.
+    pub fn train(&mut self, pc: usize, hit: bool) {
+        let i = self.index(pc);
+        if self.config.tagged && self.tags[i] != Some(pc) {
+            self.tags[i] = Some(pc);
+            self.counters[i].reset();
+        }
+        self.counters[i].record(hit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resetting_counter_requires_consecutive_hits() {
+        let mut c = ConfidenceCounter::new(3, CounterPolicy::Resetting);
+        for _ in 0..6 {
+            c.record(true);
+        }
+        c.record(false);
+        for _ in 0..6 {
+            c.record(true);
+        }
+        assert!(!c.confident(7));
+        c.record(true);
+        assert!(c.confident(7));
+    }
+
+    #[test]
+    fn saturating_counter_decrements() {
+        let mut c = ConfidenceCounter::new(3, CounterPolicy::Saturating);
+        for _ in 0..7 {
+            c.record(true);
+        }
+        c.record(false);
+        assert_eq!(c.value(), 6);
+        assert!(c.confident(6));
+    }
+
+    #[test]
+    fn counter_saturates_at_max() {
+        let mut c = ConfidenceCounter::new(2, CounterPolicy::Resetting);
+        for _ in 0..10 {
+            c.record(true);
+        }
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_counter_panics() {
+        let _ = ConfidenceCounter::new(0, CounterPolicy::Resetting);
+    }
+
+    #[test]
+    fn untagged_table_aliases() {
+        let cfg = TableConfig { entries: 16, ..TableConfig::default() };
+        let mut t = ConfidenceTable::new(cfg);
+        for _ in 0..7 {
+            t.train(3, true);
+        }
+        // pc 19 aliases with pc 3 and inherits its confidence.
+        assert!(t.confident(19));
+    }
+
+    #[test]
+    fn tagged_table_isolates_aliases() {
+        let cfg = TableConfig { entries: 16, tagged: true, ..TableConfig::default() };
+        let mut t = ConfidenceTable::new(cfg);
+        for _ in 0..7 {
+            t.train(3, true);
+        }
+        assert!(t.confident(3));
+        assert!(!t.confident(19));
+        // Training the alias evicts the original.
+        t.train(19, true);
+        assert!(!t.confident(3));
+    }
+}

@@ -1,0 +1,154 @@
+use std::collections::HashMap;
+
+use rvp_isa::Reg;
+
+/// Which instructions are value-prediction candidates.
+///
+/// Static RVP is restricted to loads by its ISA encoding; dynamic RVP
+/// needs no ISA change and can cover every register-writing instruction
+/// (the paper's Figures 5 vs 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Loads only.
+    LoadsOnly,
+    /// Every instruction that writes a register.
+    AllInsts,
+}
+
+impl Scope {
+    /// Whether an instruction with the given properties is in scope.
+    pub fn admits(self, is_load: bool, writes_reg: bool) -> bool {
+        match self {
+            Scope::LoadsOnly => is_load && writes_reg,
+            Scope::AllInsts => writes_reg,
+        }
+    }
+}
+
+/// The register-reuse relation the compiler has exposed for one static
+/// instruction (Section 3 / Section 5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseKind {
+    /// The instruction tends to produce the value already in its own
+    /// destination register — exploitable with no compiler help.
+    SameReg,
+    /// The produced value correlates with the value currently in another
+    /// register; register reallocation (dead-register merging, or a move
+    /// for live registers) turns this into same-register reuse.
+    OtherReg(Reg),
+    /// The instruction exhibits last-value reuse; giving it a register
+    /// that nothing else writes inside the loop turns this into
+    /// same-register reuse.
+    LastValue,
+}
+
+/// A profile-derived map from static instruction (PC) to the
+/// [`ReuseKind`] the compiler would exploit for it.
+///
+/// For **static RVP** the plan is exactly the set of marked (`rvp_`)
+/// instructions. For **dynamic RVP** the plan describes the assumed
+/// register reallocation: listed instructions track reuse through their
+/// assigned relation, and every unlisted instruction tracks plain
+/// same-register reuse (the paper's Section 5 evaluation model).
+///
+/// # Examples
+///
+/// ```
+/// use rvp_isa::Reg;
+/// use rvp_vpred::{PredictionPlan, ReuseKind};
+///
+/// let mut plan = PredictionPlan::new();
+/// plan.insert(10, ReuseKind::SameReg);
+/// plan.insert(14, ReuseKind::OtherReg(Reg::int(7)));
+/// assert_eq!(plan.kind(10), Some(ReuseKind::SameReg));
+/// assert_eq!(plan.kind(11), None);
+/// assert_eq!(plan.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PredictionPlan {
+    kinds: HashMap<usize, ReuseKind>,
+}
+
+impl PredictionPlan {
+    /// Creates an empty plan.
+    pub fn new() -> PredictionPlan {
+        PredictionPlan::default()
+    }
+
+    /// Assigns a reuse kind to the instruction at `pc`, replacing any
+    /// previous assignment.
+    pub fn insert(&mut self, pc: usize, kind: ReuseKind) {
+        self.kinds.insert(pc, kind);
+    }
+
+    /// Removes the assignment for `pc`, if any.
+    pub fn remove(&mut self, pc: usize) -> Option<ReuseKind> {
+        self.kinds.remove(&pc)
+    }
+
+    /// The reuse kind assigned to `pc`.
+    pub fn kind(&self, pc: usize) -> Option<ReuseKind> {
+        self.kinds.get(&pc).copied()
+    }
+
+    /// Whether the plan lists `pc`.
+    pub fn contains(&self, pc: usize) -> bool {
+        self.kinds.contains_key(&pc)
+    }
+
+    /// Number of listed instructions.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Iterates over `(pc, kind)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, ReuseKind)> + '_ {
+        self.kinds.iter().map(|(&pc, &k)| (pc, k))
+    }
+
+    /// Merges another plan into this one; `other`'s assignments win on
+    /// conflict.
+    pub fn extend_from(&mut self, other: &PredictionPlan) {
+        for (pc, k) in other.iter() {
+            self.kinds.insert(pc, k);
+        }
+    }
+}
+
+impl FromIterator<(usize, ReuseKind)> for PredictionPlan {
+    fn from_iter<T: IntoIterator<Item = (usize, ReuseKind)>>(iter: T) -> PredictionPlan {
+        PredictionPlan { kinds: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_prefers_other() {
+        let mut a = PredictionPlan::new();
+        a.insert(1, ReuseKind::SameReg);
+        a.insert(2, ReuseKind::LastValue);
+        let b: PredictionPlan =
+            [(2, ReuseKind::OtherReg(Reg::int(4)))].into_iter().collect();
+        a.extend_from(&b);
+        assert_eq!(a.kind(1), Some(ReuseKind::SameReg));
+        assert_eq!(a.kind(2), Some(ReuseKind::OtherReg(Reg::int(4))));
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut p = PredictionPlan::new();
+        p.insert(3, ReuseKind::SameReg);
+        assert!(p.contains(3));
+        assert_eq!(p.remove(3), Some(ReuseKind::SameReg));
+        assert!(!p.contains(3));
+        assert!(p.is_empty());
+    }
+}

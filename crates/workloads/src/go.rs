@@ -1,0 +1,108 @@
+//! `go` stand-in: branchy board evaluation with little value reuse.
+//!
+//! SPEC's `go` plays the game of Go — integer code dominated by
+//! data-dependent branches over board state, with the *lowest* value
+//! locality of the paper's nine programs (Table 2: ~4% coverage). This
+//! kernel scans a 19x19 board repeatedly, scoring positions through
+//! branchy per-stone logic and calling an influence routine on contested
+//! points. Board values and running scores change constantly, so loads
+//! rarely reproduce prior register contents.
+
+use rand::Rng;
+use rvp_isa::analysis::abi;
+use rvp_isa::{Program, Reg};
+
+use crate::util::{rng, scale};
+use crate::Input;
+
+const BOARD: u64 = 0x1_0000;
+const CELLS: usize = 361; // 19 x 19
+
+pub fn build(input: Input) -> Program {
+    let mut r = rng(1, input);
+    let board: Vec<u64> = (0..CELLS)
+        .map(|_| {
+            // 0 = empty, 1 = black, 2 = white, 3 = contested
+            match r.gen_range(0..100) {
+                0..=39 => 0u64,
+                40..=64 => 1,
+                65..=89 => 2,
+                _ => 3,
+            }
+        })
+        .collect();
+    let passes = scale(input, 40, 110);
+
+    let bptr = Reg::int(1);
+    let i = Reg::int(2);
+    let v = Reg::int(3);
+    let score = Reg::int(4);
+    let npass = Reg::int(5);
+    let t = Reg::int(6);
+    let addr = Reg::int(7);
+    let nb = Reg::int(8);
+    let a0 = Reg::int(16);
+
+    let mut b = rvp_isa::ProgramBuilder::new();
+    b.data(BOARD, &board);
+    b.proc("main");
+    b.li(bptr, BOARD as i64);
+    b.li(score, 0);
+    b.li(npass, passes);
+    b.label("pass");
+    b.li(i, (CELLS - 4) as i64); // stay clear of the last cells for neighbors
+    b.mov(addr, bptr);
+    b.label("cell");
+    b.ld(v, addr, 0);
+    b.beqz(v, "empty");
+    b.subi(t, v, 1);
+    b.beqz(t, "black");
+    b.subi(t, v, 2);
+    b.beqz(t, "white");
+    // Contested: call the influence routine on this point.
+    b.mov(a0, addr);
+    b.call("influence");
+    b.add(score, score, Reg::int(0));
+    b.br("next");
+    b.label("black");
+    b.addi(score, score, 2);
+    // Data-dependent inner branch: liberties heuristic on the neighbor.
+    b.ld(nb, addr, 8);
+    b.beqz(nb, "next");
+    b.subi(score, score, 1);
+    b.br("next");
+    b.label("white");
+    b.ld(nb, addr, 16);
+    b.sub(score, score, nb);
+    b.br("next");
+    b.label("empty");
+    b.addi(score, score, 1);
+    b.label("next");
+    b.addi(addr, addr, 8);
+    b.subi(i, i, 1);
+    b.bnez(i, "cell");
+    // Mix the score so it never stabilizes.
+    b.sll(t, score, 1);
+    b.xor(score, score, t);
+    b.and(score, score, 0xffff);
+    b.subi(npass, npass, 1);
+    b.bnez(npass, "pass");
+    b.st(score, bptr, -8);
+    b.halt();
+
+    // Influence: sum of three neighbors, weighted.
+    b.proc("influence");
+    let (s, x) = (Reg::int(0), Reg::int(27));
+    b.li(s, 0);
+    b.ld(x, a0, 8);
+    b.add(s, s, x);
+    b.ld(x, a0, 16);
+    b.sll(x, x, 1);
+    b.add(s, s, x);
+    b.ld(x, a0, 24);
+    b.add(s, s, x);
+    b.and(s, s, 7);
+    b.ret(abi::RA);
+
+    b.build().expect("go builds")
+}

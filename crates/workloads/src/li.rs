@@ -1,0 +1,144 @@
+//! `li` stand-in: a cons-cell list interpreter.
+//!
+//! SPEC's `li` is a Lisp interpreter: pointer-chasing over tagged cons
+//! cells with an indirect dispatch on the type tag. Tag loads are the
+//! classic register-value-reuse case — most cells are pairs, so the tag
+//! register usually already holds the value about to be loaded, and the
+//! type-check temporaries that die right after the test correlate with
+//! the next cell's tag (dead-register reuse, the optimization that gives
+//! li its large gain in the paper).
+//!
+//! The dispatch is a genuine jump table: target instruction indices are
+//! stored in a data table and jumped through `jmp`, so the program is
+//! built in two passes (the first resolves the labels the table needs).
+
+use rand::Rng;
+use rvp_isa::{Program, ProgramBuilder, Reg};
+
+use crate::util::{rng, scale};
+use crate::Input;
+
+const HEAP: u64 = 0x5_0000;
+const ROOTS: u64 = 0x8_0000;
+const JTABLE: u64 = 0x8_4000;
+const NCELLS: usize = 512;
+const NROOTS: usize = 24;
+
+const TAG_NIL: u64 = 0;
+const TAG_NUM: u64 = 1;
+const TAG_PAIR: u64 = 2;
+
+pub fn build(input: Input) -> Program {
+    // Two-pass build: the jump table's contents are label addresses.
+    let first = emit(input, &[0, 0, 0]);
+    let table = [
+        first.label("do_nil").expect("label") as u64,
+        first.label("do_num").expect("label") as u64,
+        first.label("do_pair").expect("label") as u64,
+    ];
+    let second = emit(input, &table);
+    debug_assert_eq!(second.label("do_nil"), first.label("do_nil"));
+    second
+}
+
+fn emit(input: Input, table: &[u64; 3]) -> Program {
+    let mut r = rng(3, input);
+
+    // Heap of cells: [tag, value, car, cdr] (4 words each). Chains whose
+    // interior cells are mostly pairs with numeric cars.
+    let mut heap = vec![0u64; NCELLS * 4];
+    let cell_addr = |i: usize| HEAP + (i as u64) * 32;
+    // Cells are allocated in *runs* of the same type (lists of numbers,
+    // chains of pairs), as a real allocator produces. Runs are what let
+    // the resetting confidence counters stay hot on the tag loads.
+    let mut i = 0;
+    while i < NCELLS {
+        let run = r.gen_range(32..96).min(NCELLS - i);
+        let kind = r.gen_range(0..100);
+        let (tag, val) = if kind < 68 {
+            (TAG_PAIR, 0)
+        } else if kind < 92 {
+            (TAG_NUM, r.gen_range(1..100u64))
+        } else {
+            (TAG_NIL, 0)
+        };
+        for k in i..i + run {
+            heap[k * 4] = tag;
+            heap[k * 4 + 1] = val; // number runs repeat the same value
+            // Cars point near their cell (allocation locality), so a
+            // car's tag usually matches the current run's tag.
+            heap[k * 4 + 2] = cell_addr(r.gen_range(i..(i + run).min(NCELLS)));
+            heap[k * 4 + 3] = if k + 1 < NCELLS && r.gen_range(0..100) < 94 {
+                cell_addr(k + 1)
+            } else {
+                cell_addr(r.gen_range(0..NCELLS))
+            };
+        }
+        i += run;
+    }
+    // Terminate some chains explicitly with NILs.
+    for i in (0..NCELLS).step_by(37) {
+        heap[i * 4] = TAG_NIL;
+    }
+    let roots: Vec<u64> = (0..NROOTS).map(|_| cell_addr(r.gen_range(0..NCELLS))).collect();
+    let passes = scale(input, 120, 320);
+
+    let cur = Reg::int(1);
+    let tag = Reg::int(2);
+    let acc = Reg::int(3);
+    let t = Reg::int(4);
+    let rootp = Reg::int(5);
+    let ri = Reg::int(6);
+    let npass = Reg::int(7);
+    let fuel = Reg::int(8);
+    let val = Reg::int(16);
+    let jt = Reg::int(17);
+    let target = Reg::int(18);
+
+    let mut b = ProgramBuilder::new();
+    b.data(HEAP, &heap);
+    b.data(ROOTS, &roots);
+    b.data(JTABLE, table);
+    b.proc("main");
+    b.li(acc, 0);
+    b.li(jt, JTABLE as i64);
+    b.li(npass, passes);
+    b.label("pass");
+    b.li(rootp, ROOTS as i64);
+    b.li(ri, NROOTS as i64);
+    b.label("root");
+    b.ld(cur, rootp, 0);
+    b.li(fuel, 64); // bound each walk (cdr chains may be cyclic)
+    b.label("walk");
+    b.ld(tag, cur, 0); // tag load: mostly TAG_PAIR
+    b.sll(t, tag, 3); // table offset; t dies right after the address add
+    b.add(t, t, jt);
+    b.ld(target, t, 0);
+    b.jmp(target, &["do_nil", "do_num", "do_pair"]);
+    b.label("do_nil");
+    b.br("root_next");
+    b.label("do_num");
+    b.ld(val, cur, 8);
+    b.add(acc, acc, val);
+    b.br("step");
+    b.label("do_pair");
+    // Peek the car's tag; count numeric cars.
+    b.ld(t, cur, 16);
+    b.ld(t, t, 0);
+    b.subi(t, t, TAG_NUM as i64);
+    b.bnez(t, "step");
+    b.addi(acc, acc, 1);
+    b.label("step");
+    b.ld(cur, cur, 24); // cdr chase
+    b.subi(fuel, fuel, 1);
+    b.bnez(fuel, "walk");
+    b.label("root_next");
+    b.addi(rootp, rootp, 8);
+    b.subi(ri, ri, 1);
+    b.bnez(ri, "root");
+    b.subi(npass, npass, 1);
+    b.bnez(npass, "pass");
+    b.st(acc, Reg::int(30), -8);
+    b.halt();
+    b.build().expect("li builds")
+}

@@ -1,0 +1,194 @@
+//! Nine SPEC95 stand-in workloads for the RVP reproduction.
+//!
+//! The paper evaluates on nine SPEC95 benchmarks compiled for the Alpha.
+//! Those binaries (and SPEC inputs) are not redistributable, so this crate
+//! provides from-scratch synthetic kernels — one per benchmark — written
+//! against [`rvp_isa::ProgramBuilder`]. Each kernel reproduces the
+//! *register-value-reuse character* the paper reports for its namesake
+//! (Table 2 and Figure 1), which is the property every experiment depends
+//! on:
+//!
+//! | program  | lang | character |
+//! |----------|------|-----------|
+//! | go       | C    | branchy board evaluation, little value reuse |
+//! | ijpeg    | C    | block transform + quantization, zero-heavy outputs |
+//! | li       | C    | cons-cell interpreter, tag loads correlate with dead registers |
+//! | m88ksim  | C    | CPU simulator whose guest state barely changes: very high reuse |
+//! | perl     | C    | hash + opcode dispatch interpreter, moderate reuse |
+//! | hydro2d  | F    | converging 2-D relaxation: high last-value + dead-register reuse |
+//! | mgrid    | F    | sparse 3-D stencil: constant (zero) locality |
+//! | su2cor   | F    | long initialization then small-matrix algebra |
+//! | turb3d   | F    | FFT-style butterflies reloading twiddle factors: high reuse |
+//!
+//! Every workload has a *train* and a *ref* input (different seeds and
+//! sizes): profiles are collected on train and measured on ref, exactly
+//! as in the paper (Section 6).
+//!
+//! # Examples
+//!
+//! ```
+//! use rvp_workloads::{by_name, Input};
+//!
+//! let wl = by_name("li").expect("li exists");
+//! let program = wl.program(Input::Train);
+//! assert!(program.len() > 0);
+//! ```
+
+mod go;
+mod hydro2d;
+mod ijpeg;
+mod li;
+mod m88ksim;
+mod mgrid;
+mod perl;
+mod su2cor;
+mod turb3d;
+pub(crate) mod util;
+
+use rvp_isa::Program;
+
+/// Source language of the original SPEC benchmark (Figure 1 averages the
+/// two groups separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lang {
+    /// SPECint95 / C.
+    C,
+    /// SPECfp95 / FORTRAN.
+    Fortran,
+}
+
+/// Which input set to build (paper Section 6: profile on train, measure
+/// on ref).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Input {
+    /// Smaller input with a different seed; used for profiling.
+    Train,
+    /// Larger measurement input.
+    Ref,
+}
+
+/// One benchmark: a name, its language group, and a program generator.
+#[derive(Clone)]
+pub struct Workload {
+    name: &'static str,
+    lang: Lang,
+    build: fn(Input) -> Program,
+}
+
+impl Workload {
+    /// Benchmark name (matches the paper's figures).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Language group.
+    pub fn lang(&self) -> Lang {
+        self.lang
+    }
+
+    /// Builds the program for the given input set.
+    pub fn program(&self, input: Input) -> Program {
+        (self.build)(input)
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("lang", &self.lang)
+            .finish()
+    }
+}
+
+/// All nine workloads, in the paper's figure order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload { name: "go", lang: Lang::C, build: go::build },
+        Workload { name: "ijpeg", lang: Lang::C, build: ijpeg::build },
+        Workload { name: "li", lang: Lang::C, build: li::build },
+        Workload { name: "m88ksim", lang: Lang::C, build: m88ksim::build },
+        Workload { name: "perl", lang: Lang::C, build: perl::build },
+        Workload { name: "hydro2d", lang: Lang::Fortran, build: hydro2d::build },
+        Workload { name: "mgrid", lang: Lang::Fortran, build: mgrid::build },
+        Workload { name: "su2cor", lang: Lang::Fortran, build: su2cor::build },
+        Workload { name: "turb3d", lang: Lang::Fortran, build: turb3d::build },
+    ]
+}
+
+/// Looks up a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvp_emu::Emulator;
+
+    #[test]
+    fn all_workloads_build_both_inputs() {
+        for wl in all() {
+            for input in [Input::Train, Input::Ref] {
+                let p = wl.program(input);
+                assert!(!p.is_empty(), "{} produced an empty program", wl.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_workloads_run_to_completion() {
+        for wl in all() {
+            for input in [Input::Train, Input::Ref] {
+                let p = wl.program(input);
+                let mut emu = Emulator::new(&p);
+                let summary = emu
+                    .run(20_000_000)
+                    .unwrap_or_else(|e| panic!("{} ({input:?}) failed: {e}", wl.name()));
+                assert!(
+                    summary.halted,
+                    "{} ({input:?}) did not halt within fuel; ran {}",
+                    wl.name(),
+                    summary.committed
+                );
+                assert!(
+                    summary.committed > 50_000,
+                    "{} ({input:?}) too short: {}",
+                    wl.name(),
+                    summary.committed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ref_is_at_least_as_long_as_train() {
+        for wl in all() {
+            let mut lens = [0u64; 2];
+            for (i, input) in [Input::Train, Input::Ref].into_iter().enumerate() {
+                let p = wl.program(input);
+                let mut emu = Emulator::new(&p);
+                lens[i] = emu.run(20_000_000).unwrap().committed;
+            }
+            assert!(lens[1] >= lens[0], "{}: ref {} < train {}", wl.name(), lens[1], lens[0]);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("go").is_some());
+        assert!(by_name("mgrid").is_some());
+        assert!(by_name("nonesuch").is_none());
+        assert_eq!(all().len(), 9);
+    }
+
+    #[test]
+    fn language_groups_match_the_paper() {
+        let c: Vec<&str> =
+            all().iter().filter(|w| w.lang() == Lang::C).map(|w| w.name()).collect();
+        assert_eq!(c, ["go", "ijpeg", "li", "m88ksim", "perl"]);
+        let f: Vec<&str> =
+            all().iter().filter(|w| w.lang() == Lang::Fortran).map(|w| w.name()).collect();
+        assert_eq!(f, ["hydro2d", "mgrid", "su2cor", "turb3d"]);
+    }
+}

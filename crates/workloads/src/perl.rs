@@ -1,0 +1,169 @@
+//! `perl` stand-in: hash-table and opcode-dispatch interpreter.
+//!
+//! SPEC's `perl` interprets a bytecode-like op stream with heavy hash
+//! table traffic. Reuse is moderate: hot hash keys keep returning the
+//! same values (last-value locality on lookup loads), bucket-chain
+//! pointer loads repeat, but the evaluation stack churns.
+
+use rand::Rng;
+use rvp_isa::{Program, ProgramBuilder, Reg};
+
+use crate::util::{rng, scale};
+use crate::Input;
+
+const OPS: u64 = 0xB_0000;
+const HASH: u64 = 0xC_0000; // 128 buckets x [key, val]
+const STACK: u64 = 0xD_0000;
+const JTABLE: u64 = 0xE_0000;
+const GLOBALS: u64 = 0xE_4000;
+const NOPS: usize = 256;
+const NBUCKETS: u64 = 128;
+
+const OP_PUSH: u64 = 0;
+const OP_ADD: u64 = 1;
+const OP_GET: u64 = 2;
+const OP_PUT: u64 = 3;
+
+pub fn build(input: Input) -> Program {
+    let first = emit(input, &[0; 4]);
+    let table = [
+        first.label("op_push").expect("label") as u64,
+        first.label("op_add").expect("label") as u64,
+        first.label("op_get").expect("label") as u64,
+        first.label("op_put").expect("label") as u64,
+    ];
+    emit(input, &table)
+}
+
+fn emit(input: Input, table: &[u64; 4]) -> Program {
+    let mut r = rng(5, input);
+
+    // Op stream: op | operand<<8. Keys are Zipf-ish: a few hot keys.
+    let hot: Vec<u64> = (0..8).map(|_| r.gen_range(0..1000u64)).collect();
+    let mut ops = Vec::with_capacity(NOPS);
+    for _ in 0..NOPS {
+        let op = match r.gen_range(0..100) {
+            0..=34 => OP_PUSH,
+            35..=59 => OP_ADD,
+            60..=84 => OP_GET,
+            _ => OP_PUT,
+        };
+        let operand = if r.gen_range(0..100) < 75 {
+            hot[r.gen_range(0..hot.len())]
+        } else {
+            r.gen_range(0..1000u64)
+        };
+        ops.push(op | (operand << 8));
+    }
+    // Ensure the stack never underflows: prefix pushes.
+    for (i, slot) in ops.iter_mut().enumerate().take(8) {
+        *slot = OP_PUSH | (((i as u64) * 7 + 1) << 8);
+    }
+    let hash: Vec<u64> = (0..NBUCKETS * 2)
+        .map(|i| if i % 2 == 0 { 0 } else { r.gen_range(0..50u64) })
+        .collect();
+    let passes = scale(input, 60, 170);
+
+    let opp = Reg::int(1);
+    let enc = Reg::int(2);
+    let op = Reg::int(3);
+    let arg = Reg::int(4);
+    let sp = Reg::int(5);
+    let tos = Reg::int(6);
+    let t = Reg::int(7);
+    let hidx = Reg::int(8);
+    let hp = Reg::int(16);
+    let jt = Reg::int(17);
+    let target = Reg::int(18);
+    let ni = Reg::int(19);
+    let npass = Reg::int(20);
+    let acc = Reg::int(21);
+    let flags = Reg::int(22);
+    let limit = Reg::int(23);
+    let gp_ = Reg::int(24);
+
+    let mut b = ProgramBuilder::new();
+    b.data(OPS, &ops);
+    b.data(HASH, &hash);
+    b.zeros(STACK, 64);
+    b.data(JTABLE, table);
+    b.data(GLOBALS, &[0xff, 4096]);
+    b.proc("main");
+    b.li(jt, JTABLE as i64);
+    b.li(hp, HASH as i64);
+    b.li(gp_, GLOBALS as i64);
+    b.li(acc, 0);
+    b.li(npass, passes);
+    b.label("pass");
+    b.li(opp, OPS as i64);
+    b.li(sp, STACK as i64);
+    b.li(ni, NOPS as i64);
+    b.label("dispatch");
+    b.ld(enc, opp, 0);
+    // Interpreter globals reloaded every dispatch, as compiled
+    // interpreters do (flags word and arena limit never change).
+    b.ld(flags, gp_, 0);
+    b.ld(limit, gp_, 8);
+    b.and(op, enc, 0xff);
+    b.and(op, op, flags); // flags is all-ones over opcodes: a no-op mask
+    b.srl(arg, enc, 8);
+    b.cmpltu(t, arg, limit); // bounds check on the operand
+    b.add(acc, acc, t);
+    b.sll(t, op, 3);
+    b.add(t, t, jt);
+    b.ld(target, t, 0);
+    b.jmp(target, &["op_push", "op_add", "op_get", "op_put"]);
+
+    b.label("op_push");
+    b.st(arg, sp, 0);
+    b.addi(sp, sp, 8);
+    b.br("next");
+
+    b.label("op_add");
+    b.subi(sp, sp, 8);
+    b.ld(tos, sp, 0);
+    b.ld(t, sp, -8);
+    b.add(t, t, tos);
+    b.st(t, sp, -8);
+    b.br("next");
+
+    b.label("op_get");
+    // hash = (key * 31) & 127; load the bucket value.
+    b.mul(hidx, arg, 31);
+    b.and(hidx, hidx, (NBUCKETS - 1) as i64);
+    b.sll(hidx, hidx, 4);
+    b.add(hidx, hidx, hp);
+    b.ld(tos, hidx, 8); // hot keys reload the same value
+    b.add(acc, acc, tos);
+    b.st(tos, sp, 0);
+    b.addi(sp, sp, 8);
+    b.br("next");
+
+    b.label("op_put");
+    b.mul(hidx, arg, 31);
+    b.and(hidx, hidx, (NBUCKETS - 1) as i64);
+    b.sll(hidx, hidx, 4);
+    b.add(hidx, hidx, hp);
+    b.st(arg, hidx, 0);
+    b.and(t, arg, 0xf); // small values: puts often rewrite the same val
+    b.st(t, hidx, 8);
+
+    b.label("next");
+    // Keep the stack pointer inside its window.
+    b.subi(t, sp, (STACK as i64) + 256);
+    b.bltz(t, "sp_hi_ok");
+    b.li(sp, (STACK as i64) + 128);
+    b.label("sp_hi_ok");
+    b.subi(t, sp, (STACK as i64) + 64);
+    b.bgez(t, "sp_ok");
+    b.li(sp, (STACK as i64) + 64);
+    b.label("sp_ok");
+    b.addi(opp, opp, 8);
+    b.subi(ni, ni, 1);
+    b.bnez(ni, "dispatch");
+    b.subi(npass, npass, 1);
+    b.bnez(npass, "pass");
+    b.st(acc, Reg::int(30), -8);
+    b.halt();
+    b.build().expect("perl builds")
+}

@@ -1,0 +1,118 @@
+//! `su2cor` stand-in: long initialization followed by small-matrix
+//! algebra.
+//!
+//! SPEC's `su2cor` computes quark-gluon properties with SU(2) lattice
+//! algebra. The paper singles it out for its very long initialization
+//! (they simulate 3B instructions "due to a very long initialization
+//! period"). This kernel mirrors both phases: an LCG-driven lattice fill
+//! with almost no value reuse, then repeated 2x2 matrix-vector products
+//! whose gauge links come from a tiny set (many identity-like entries),
+//! giving the compute phase its dead-register / last-value reuse.
+
+use rand::Rng;
+use rvp_isa::{Program, Reg};
+
+use crate::util::{rng, scale};
+use crate::Input;
+
+const LATTICE: u64 = 0x20_0000;
+const LINKS: u64 = 0x24_0000; // 8 matrices x 4 entries
+const VECS: u64 = 0x26_0000;
+const SITES: usize = 1500;
+
+pub fn build(input: Input) -> Program {
+    let mut r = rng(8, input);
+    // Gauge links: half are exact identities, the rest small rotations.
+    let mut links = Vec::with_capacity(8 * 4);
+    for m in 0..8 {
+        if m % 2 == 0 {
+            links.extend_from_slice(&[1.0f64, 0.0, 0.0, 1.0]);
+        } else {
+            let c: f64 = r.gen_range(0.7..1.0);
+            let s = (1.0 - c * c).sqrt();
+            links.extend_from_slice(&[c, -s, s, c]);
+        }
+    }
+    let vecs: Vec<f64> = (0..SITES * 2).map(|_| r.gen_range(-1.0..1.0)).collect();
+    let init_iters = scale(input, 2_500, 7_000);
+    let compute_passes = scale(input, 8, 24);
+
+    let (lp, t, n, seed) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    let (site, mp, vp, idx) = (Reg::int(5), Reg::int(6), Reg::int(7), Reg::int(8));
+    let npass = Reg::int(16);
+    let fv = Reg::fp(10);
+    let (m00, m01, m11) = (Reg::fp(11), Reg::fp(12), Reg::fp(14));
+    let (v0, v1, r0, r1, tmp) =
+        (Reg::fp(15), Reg::fp(16), Reg::fp(17), Reg::fp(18), Reg::fp(19));
+
+    let mut b = rvp_isa::ProgramBuilder::new();
+    b.data_f64(LINKS, &links);
+    b.data_f64(VECS, &vecs);
+    b.zeros(LATTICE, 4096);
+    b.proc("main");
+
+    // ---- Phase 1: initialization (LCG fill, little reuse). ----
+    b.li(lp, LATTICE as i64);
+    b.li(seed, 88_172_645);
+    b.li(n, init_iters);
+    b.label("init");
+    b.mul(seed, seed, 6_364_136_223_846_793_005_i64);
+    b.addi(seed, seed, 1_442_695_040_888_963_407_i64);
+    b.srl(t, seed, 33);
+    b.and(t, t, 0x7fff);
+    b.itof(fv, t);
+    b.and(t, seed, 4095 * 8);
+    b.add(t, t, lp);
+    b.st(fv, t, 0);
+    b.subi(n, n, 1);
+    b.bnez(n, "init");
+
+    // ---- Phase 2: propagate a 2-component spinor through the gauge
+    // links: v <- M(site) * v, a genuine dependence chain from site to
+    // site. Where the links are identities (half the lattice, in runs of
+    // 32 sites) the propagated values are bit-stable, so register value
+    // prediction can break the recurrence — the paper's su2cor gains.
+    b.li(npass, compute_passes);
+    b.label("pass");
+    b.li(site, SITES as i64);
+    b.li(vp, VECS as i64);
+    b.ld(v0, vp, 0);
+    b.ld(v1, vp, 8);
+    b.label("site_loop");
+    // Pick a link matrix by lattice region: runs of 64 consecutive sites
+    // share one link, so link-element loads stay stable for long runs.
+    b.srl(idx, site, 6);
+    b.and(idx, idx, 7);
+    b.sll(idx, idx, 5); // x 32 bytes per matrix
+    b.li(mp, LINKS as i64);
+    b.add(mp, mp, idx);
+    b.ld(m00, mp, 0); // link loads: tiny value set, many identities
+    b.ld(m11, mp, 24);
+    b.fmul(r0, m00, v0);
+    // Register pressure: both off-diagonal elements share `m01`, with an
+    // intervening multiply — the reuse-destroying pattern the dead/lv
+    // reallocation recovers (su2cor's big assisted gain in the paper).
+    b.ld(m01, mp, 8);
+    b.fmul(tmp, m01, v1);
+    b.fadd(r0, r0, tmp);
+    b.ld(m01, mp, 16); // m10, clobbering m01's register
+    b.fmul(tmp, m01, v0);
+    b.fmul(r1, m11, v1);
+    b.fadd(r1, r1, tmp);
+    b.fmov(v0, r0); // carry the spinor to the next site
+    b.fmov(v1, r1);
+    // Record the propagated field every 16 sites.
+    b.and(idx, site, 15);
+    b.bnez(idx, "no_spill");
+    b.st(v0, vp, 0);
+    b.st(v1, vp, 8);
+    b.addi(vp, vp, 16);
+    b.label("no_spill");
+    b.subi(site, site, 1);
+    b.bnez(site, "site_loop");
+    b.subi(npass, npass, 1);
+    b.bnez(npass, "pass");
+    b.st(r0, Reg::int(30), -8);
+    b.halt();
+    b.build().expect("su2cor builds")
+}

@@ -1,0 +1,126 @@
+//! `turb3d` stand-in: FFT-style butterfly passes over turbulence data.
+//!
+//! SPEC's `turb3d` simulates isotropic turbulence with FFTs. Butterfly
+//! stages reload the same twiddle factors hundreds of times, and the
+//! address arithmetic recomputes identical strides — the source of
+//! turb3d's very high dynamic-RVP coverage in the paper (~28%). The data
+//! kernel here runs radix-2 passes over a complex array, reloading
+//! per-stage twiddles from memory like compiled FORTRAN would.
+
+use rand::Rng;
+use rvp_isa::{Program, Reg};
+
+use crate::util::{rng, scale};
+use crate::Input;
+
+const DATA: u64 = 0x28_0000; // interleaved re/im pairs
+const TWID: u64 = 0x2C_0000; // per-stage twiddle (re, im)
+const COMMON: u64 = 0x2E_0000; // "common block": wrap mask, unit stride
+const LOGN: usize = 8;
+const NPTS: usize = 1 << LOGN; // 256 complex points
+
+pub fn build(input: Input) -> Program {
+    let mut r = rng(9, input);
+    let data: Vec<f64> = (0..NPTS * 2).map(|_| r.gen_range(-1.0..1.0)).collect();
+    // One (re, im) twiddle per stage — reloaded for every butterfly.
+    let twid: Vec<f64> = (0..LOGN)
+        .flat_map(|s| {
+            let a = std::f64::consts::PI / (1 << s) as f64;
+            [a.cos(), a.sin()]
+        })
+        .collect();
+    let ffts = scale(input, 5, 14);
+
+    let (dp, tp, stage) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    let (bi, a_off, b_off, t) = (Reg::int(5), Reg::int(6), Reg::int(7), Reg::int(8));
+    let (nfft, stride) = (Reg::int(16), Reg::int(17));
+    let (cb, mask, step) = (Reg::int(18), Reg::int(19), Reg::int(20));
+    let (wr, wi) = (Reg::fp(10), Reg::fp(11));
+    let (ar, ai, br, bi_) = (Reg::fp(12), Reg::fp(13), Reg::fp(14), Reg::fp(15));
+    let (tr, ti, u) = (Reg::fp(16), Reg::fp(17), Reg::fp(18));
+
+    let mut b = rvp_isa::ProgramBuilder::new();
+    b.data_f64(DATA, &data);
+    b.data_f64(TWID, &twid);
+    b.data(COMMON, &[(NPTS as u64 * 16) - 1, 32]);
+    b.proc("main");
+    b.li(cb, COMMON as i64);
+    b.li(dp, DATA as i64);
+    b.li(nfft, ffts);
+    b.label("fft");
+    b.li(stage, LOGN as i64);
+    b.li(tp, TWID as i64);
+    b.li(stride, 16);
+    b.label("stage_loop");
+    b.li(bi, (NPTS / 2) as i64);
+    b.li(a_off, 0);
+    b.label("bfly");
+    // Pair offsets: a at a_off, b at a_off + stride (wrapped). The wrap
+    // mask and unit step are "common block" variables reloaded per
+    // butterfly, as compiled FORTRAN does — constant values sitting on
+    // the address-generation critical path.
+    b.ld(mask, cb, 0);
+    b.ld(step, cb, 8);
+    b.add(b_off, a_off, stride);
+    b.and(b_off, b_off, mask);
+    b.ld(wr, tp, 0); // twiddle reloads: same value all stage
+    b.ld(wi, tp, 8);
+    b.add(t, dp, a_off);
+    b.ld(ar, t, 0);
+    b.ld(ai, t, 8);
+    b.add(t, dp, b_off);
+    b.ld(br, t, 0);
+    b.ld(bi_, t, 8);
+    // t = w * b (complex)
+    b.fmul(tr, wr, br);
+    b.fmul(u, wi, bi_);
+    b.fsub(tr, tr, u);
+    b.fmul(ti, wr, bi_);
+    b.fmul(u, wi, br);
+    b.fadd(ti, ti, u);
+    // a' = a + t; b' = a - t
+    b.add(t, dp, a_off);
+    b.fadd(u, ar, tr);
+    b.st(u, t, 0);
+    b.fadd(u, ai, ti);
+    b.st(u, t, 8);
+    b.add(t, dp, b_off);
+    b.fsub(u, ar, tr);
+    b.st(u, t, 0);
+    b.fsub(u, ai, ti);
+    b.st(u, t, 8);
+    // Index bookkeeping reuses `step` and the twiddle-imaginary register
+    // as scratch (register pressure): their reloads lose same-register
+    // reuse but stay last-value predictable — reallocation recovers them.
+    b.add(a_off, a_off, step);
+    b.sub(step, b_off, a_off); // distance scratch clobbers `step`
+    b.and(a_off, a_off, mask);
+    b.fsub(wi, u, ti); // residual scratch clobbers `wi`
+    b.subi(bi, bi, 1);
+    b.bnez(bi, "bfly");
+    b.addi(tp, tp, 16);
+    b.sll(stride, stride, 1);
+    b.subi(t, stride, (NPTS * 16) as i64);
+    b.bltz(t, "stride_ok");
+    b.li(stride, 16);
+    b.label("stride_ok");
+    b.subi(stage, stage, 1);
+    b.bnez(stage, "stage_loop");
+    // Damp the whole array so magnitudes stay bounded across "FFTs"
+    // (each radix-2 stage can double them; 2^-8 undoes a full pass).
+    b.lif(u, 1.0 / 256.0);
+    b.li(t, (NPTS * 2) as i64);
+    b.mov(a_off, dp);
+    b.label("damp");
+    b.ld(ar, a_off, 0);
+    b.fmul(ar, ar, u);
+    b.st(ar, a_off, 0);
+    b.addi(a_off, a_off, 8);
+    b.subi(t, t, 1);
+    b.bnez(t, "damp");
+    b.subi(nfft, nfft, 1);
+    b.bnez(nfft, "fft");
+    b.st(ar, Reg::int(30), -8);
+    b.halt();
+    b.build().expect("turb3d builds")
+}

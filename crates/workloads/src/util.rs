@@ -1,0 +1,25 @@
+//! Shared helpers for workload construction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::Input;
+
+/// A deterministic RNG for a (workload, input) pair. Train and ref use
+/// different seeds so the *data* differs while the locality structure is
+/// preserved — the property the paper's cross-input profiling relies on.
+pub fn rng(workload_id: u64, input: Input) -> StdRng {
+    let salt = match input {
+        Input::Train => 0x7261_696e,
+        Input::Ref => 0x5f72_6566,
+    };
+    StdRng::seed_from_u64(workload_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt)
+}
+
+/// Scales an iteration count by the input set: ref runs are larger.
+pub fn scale(input: Input, train: i64, reff: i64) -> i64 {
+    match input {
+        Input::Train => train,
+        Input::Ref => reff,
+    }
+}

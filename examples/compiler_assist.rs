@@ -1,0 +1,106 @@
+//! The compiler side of the paper, end to end: profile a program,
+//! reallocate its registers to expose value reuse (Figure 2's
+//! transformations), and measure the difference on plain dynamic RVP —
+//! no oracle assistance, just the transformed code.
+//!
+//! Run with: `cargo run --release --example compiler_assist`
+
+use rvp_core::{
+    reallocate, PlanScope, Profile, ProfileConfig, Program, ProgramBuilder, ReallocOptions,
+    Recovery, Reg, Scheme, Simulator, UarchConfig,
+};
+
+/// A kernel with the paper's Figure 2 patterns baked in:
+///  * a load that reloads a just-stored value while its producer's
+///    register is dead (Fig. 2a/2b: correlated values / memory renaming);
+///  * a constant load whose destination register is clobbered between
+///    executions (Fig. 2c: last-value reuse blocked by an intervening
+///    write).
+fn kernel() -> Program {
+    let (p, q, d, w, v, n) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(5),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(6),
+    );
+    let values: Vec<u64> = (0..128u64).map(|i| i * 11 + 5).collect();
+    let mut b = ProgramBuilder::new();
+    b.data(0x1000, &values);
+    b.data(0x4000, &[42]);
+    b.li(p, 0x1000);
+    b.li(q, 0x4000);
+    b.li(n, 128 * 200);
+    b.label("loop");
+    b.ld(d, p, 0); // a fresh value each iteration
+    b.st(d, p, 0x2000); // spilled...
+    b.ld(w, p, 0x2000); // ...and reloaded while `d` is dead (Fig. 2b)
+    b.mul(w, w, 3); // long-latency work dependent on the reload
+    b.mul(w, w, 5);
+    b.ld(v, q, 0); // constant 42 ...
+    b.add(v, v, w); // ... but `v` is clobbered right away (Fig. 2c)
+    b.addi(p, p, 8);
+    b.and(p, p, 0x13f8); // wrap within the table
+    b.subi(n, n, 1);
+    b.bnez(n, "loop");
+    b.st(v, Reg::int(30), -8);
+    b.halt();
+    b.build().expect("kernel builds")
+}
+
+fn measure(program: &Program) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+    let budget = 300_000;
+    let base = Simulator::new(UarchConfig::table1(), Scheme::NoPredict, Recovery::Selective)
+        .run(program, budget)?;
+    let drvp = Simulator::new(
+        UarchConfig::table1(),
+        Scheme::drvp(rvp_core::Scope::AllInsts, rvp_core::PredictionPlan::new()),
+        Recovery::Selective,
+    )
+    .run(program, budget)?;
+    Ok((drvp.ipc() / base.ipc(), drvp.coverage()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let original = kernel();
+    let profile = Profile::collect(
+        &original,
+        &ProfileConfig { max_insts: 400_000, min_execs: 32 },
+    )?;
+
+    let opts = ReallocOptions {
+        threshold: 0.8,
+        scope: PlanScope::AllInsts,
+        use_dead: true,
+        use_lv: true,
+    };
+    let outcome = reallocate(&original, &profile, &opts);
+    println!(
+        "reallocation: {}/{} dead-register reuses applied, {}/{} last-value reuses applied\n",
+        outcome.dead_applied, outcome.dead_attempted, outcome.lv_applied, outcome.lv_attempted
+    );
+
+    println!("original loop body:");
+    print_loop(&original);
+    println!("\ntransformed loop body:");
+    print_loop(&outcome.program);
+
+    let (s0, c0) = measure(&original)?;
+    let (s1, c1) = measure(&outcome.program)?;
+    println!();
+    println!("dynamic RVP on the original:    speedup {s0:.3}, coverage {:.1}%", 100.0 * c0);
+    println!("dynamic RVP on the transformed: speedup {s1:.3}, coverage {:.1}%", 100.0 * c1);
+    println!(
+        "\nThe transformation changed no computation — only register names — yet the\n\
+         hardware now finds reuse it could not see before."
+    );
+    Ok(())
+}
+
+fn print_loop(p: &Program) {
+    let start = p.label("loop").expect("loop label");
+    for pc in start..p.len().min(start + 10) {
+        println!("  {pc:3}  {}", p.insts()[pc]);
+    }
+}

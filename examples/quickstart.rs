@@ -1,0 +1,69 @@
+//! Quickstart: build a small program, watch register value prediction
+//! speed it up.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! The program walks variable-stride records whose step field is almost
+//! always the same value, so the step register keeps receiving the value
+//! it already holds — and that load sits on the loop-carried address
+//! chain. We simulate it on the paper's Table 1 machine without
+//! prediction, with buffer-based last-value prediction, and with
+//! storageless dynamic RVP.
+
+use rvp_core::{ProgramBuilder, Recovery, Reg, Scheme, Simulator, UarchConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A traversal whose *address advance* depends on loaded step values —
+    // a loop-carried load→add chain, like scanning variable-stride
+    // records. The steps are nearly always 8, so the step register keeps
+    // receiving the value it already holds: predicting it breaks the
+    // carried chain.
+    let (ptr, step, acc, n) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    let table: Vec<u64> = (0..512u64).map(|i| if i % 61 == 60 { 16 } else { 8 }).collect();
+
+    let mut b = ProgramBuilder::new();
+    b.data(0x1_0000, &table);
+    b.li(ptr, 0x1_0000);
+    b.li(acc, 0);
+    b.li(n, 60_000);
+    b.label("loop");
+    b.ld(step, ptr, 0); // almost always 8: high register-value reuse
+    b.add(ptr, ptr, step); // the carried chain runs through the load
+    b.and(ptr, ptr, 0x1_0ff8); // wrap within the table
+    b.add(acc, acc, step);
+    b.subi(n, n, 1);
+    b.bnez(n, "loop");
+    b.st(acc, Reg::int(30), -8);
+    b.halt();
+    let program = b.build()?;
+
+    println!("simulating {} static instructions on the paper's Table 1 machine\n", program.len());
+    let budget = 500_000;
+    let mut base_ipc = 0.0;
+    for (name, scheme) in [
+        ("no prediction", Scheme::NoPredict),
+        ("last-value prediction (8 KiB value buffer)", Scheme::lvp_loads()),
+        (
+            "dynamic RVP (384 B of counters, no values)",
+            Scheme::drvp(rvp_core::Scope::LoadsOnly, rvp_core::PredictionPlan::new()),
+        ),
+    ] {
+        let stats = Simulator::new(UarchConfig::table1(), scheme, Recovery::Selective)
+            .run(&program, budget)?;
+        if base_ipc == 0.0 {
+            base_ipc = stats.ipc();
+        }
+        println!(
+            "{name:>45}: IPC {:.3}  (speedup {:+.1}%)  coverage {:.1}%  accuracy {:.1}%",
+            stats.ipc(),
+            100.0 * (stats.ipc() / base_ipc - 1.0),
+            100.0 * stats.coverage(),
+            100.0 * stats.accuracy(),
+        );
+    }
+    println!(
+        "\nRVP reads its predictions from the register file itself — no value\n\
+         storage at all — yet competes with the buffer-based predictor."
+    );
+    Ok(())
+}

@@ -1,0 +1,23 @@
+; A sparse-table scan with register-value reuse, for `rvp-sim`:
+;
+;   cargo run --release -p rvp-core --bin rvp-sim -- examples/sample.asm \
+;       --scheme drvp_all
+;
+; The table is mostly zeros, so the load keeps producing the value its
+; destination register already holds — the paper's storageless prediction.
+
+.data 0x10000: 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 3
+  li r1, #0x10000     ; table base
+  li r2, #0           ; accumulator
+  li r3, #40000       ; iterations
+loop:
+  ldd r4, 0(r1)       ; mostly zero: high same-register reuse
+  mul r5, r4, #3      ; dependent long-latency work
+  add r2, r2, r5
+  and r2, r2, #0xffff
+  add r1, r1, #8
+  and r1, r1, #0x1007f ; wrap within the 16-entry table
+  sub r3, r3, #1
+  bne r3, loop
+  std r2, -8(r30)
+  halt

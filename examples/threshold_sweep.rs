@@ -1,0 +1,66 @@
+//! Ablation: the confidence threshold of the paper's 3-bit resetting
+//! counters.
+//!
+//! Run with: `cargo run --release --example threshold_sweep`
+//!
+//! The paper fixes the threshold at 7 ("we only predict after we have
+//! seen seven consecutive hits. This is a conservative filter, but is
+//! consistent with our machine model"). This sweep shows the
+//! coverage/accuracy/performance trade-off that choice sits on, and
+//! contrasts resetting with saturating counters.
+
+use rvp_core::{
+    CounterPolicy, DrvpConfig, Input, PredictionPlan, Recovery, Scheme, Scope, Simulator,
+    TableConfig, UarchConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wl = rvp_core::by_name("hydro2d").expect("workload");
+    let program = wl.program(Input::Ref);
+    let budget = 250_000;
+
+    let base = Simulator::new(UarchConfig::table1(), Scheme::NoPredict, Recovery::Selective)
+        .run(&program, budget)?;
+    println!("workload: hydro2d; baseline IPC {:.3}\n", base.ipc());
+    println!(
+        "{:>10} {:>10} {:>11} | {:>8} {:>9} {:>9}",
+        "recovery", "policy", "threshold", "speedup", "coverage", "accuracy"
+    );
+    for recovery in [Recovery::Selective, Recovery::Refetch] {
+        for policy in [CounterPolicy::Resetting, CounterPolicy::Saturating] {
+            for threshold in [1u8, 3, 5, 7] {
+                let config = DrvpConfig {
+                    table: TableConfig {
+                        threshold,
+                        policy,
+                        ..TableConfig::default()
+                    },
+                };
+                let scheme = Scheme::DynamicRvp {
+                    scope: Scope::AllInsts,
+                    plan: PredictionPlan::new(),
+                    config,
+                };
+                let s = Simulator::new(UarchConfig::table1(), scheme, recovery)
+                    .run(&program, budget)?;
+                println!(
+                    "{:>10} {:>10} {:>11} | {:>8.4} {:>8.1}% {:>8.1}%",
+                    format!("{recovery:?}"),
+                    format!("{policy:?}"),
+                    threshold,
+                    s.ipc() / base.ipc(),
+                    100.0 * s.coverage(),
+                    100.0 * s.accuracy()
+                );
+            }
+        }
+    }
+    println!(
+        "\nHigher thresholds trade coverage for accuracy. Under cheap selective\n\
+         reissue the machine tolerates aggressive prediction, but under refetch\n\
+         recovery every mispredict costs a pipeline refill — exactly why the\n\
+         paper pairs its conservative 7-of-7 resetting filter with the simpler\n\
+         recovery schemes it evaluates."
+    );
+    Ok(())
+}

