@@ -28,11 +28,8 @@ fn bench_throughput(c: &mut Criterion) {
     g.bench_function("profiler", |b| {
         b.iter(|| {
             black_box(
-                Profile::collect(
-                    &program,
-                    &ProfileConfig { max_insts: INSTS, min_execs: 32 },
-                )
-                .unwrap(),
+                Profile::collect(&program, &ProfileConfig { max_insts: INSTS, min_execs: 32 })
+                    .unwrap(),
             )
         });
     });

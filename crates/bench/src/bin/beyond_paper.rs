@@ -12,8 +12,8 @@
 
 use rvp_bench::{mean, print_header, print_row, print_workload_header, runner_from_env};
 use rvp_core::{
-    BufferConfig, ContextConfig, Input, LvpConfig, PaperScheme, PredictionPlan, Recovery,
-    Scheme, Scope, Simulator, StrideConfig, UarchConfig,
+    BufferConfig, ContextConfig, Input, LvpConfig, PaperScheme, PredictionPlan, Recovery, Scheme,
+    Scope, Simulator, StrideConfig, UarchConfig,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("lvp", BufferConfig::LastValue(LvpConfig::paper())),
         ("stride", BufferConfig::Stride(StrideConfig::default())),
         ("context(2)", BufferConfig::Context(ContextConfig::default())),
-        (
-            "hybrid",
-            BufferConfig::Hybrid(StrideConfig::default(), LvpConfig::paper()),
-        ),
+        ("hybrid", BufferConfig::Hybrid(StrideConfig::default(), LvpConfig::paper())),
     ];
     for (name, config) in configs {
         let mut row = Vec::new();
@@ -101,12 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ppc.push(s.predictions as f64 / s.cycles as f64);
         }
         let label = ports.map_or("unlimited".to_owned(), |p| p.to_string());
-        println!(
-            "{:>14} | {:>9.4} {:>15.3}",
-            label,
-            mean(&speedups),
-            mean(&ppc)
-        );
+        println!("{:>14} | {:>9.4} {:>15.3}", label, mean(&speedups), mean(&ppc));
     }
     println!();
     println!(

@@ -33,8 +33,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "{:>10} {:>18} | {:>6} {:>7} {:>6} {:>6} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "program", "scheme", "ipc", "cycles", "cov%", "acc%", "costly",
-        "squash", "reissue", "br-acc", "l1d-mr", "l2-mr", "iq-occ", "fstall"
+        "program",
+        "scheme",
+        "ipc",
+        "cycles",
+        "cov%",
+        "acc%",
+        "costly",
+        "squash",
+        "reissue",
+        "br-acc",
+        "l1d-mr",
+        "l2-mr",
+        "iq-occ",
+        "fstall"
     );
     for wl in &workloads {
         for scheme in [

@@ -13,12 +13,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print_workload_header(&workloads);
 
     let base = ipc_row(&runner, &workloads, PaperScheme::NoPredict)?;
-    for scheme in [
-        PaperScheme::Lvp,
-        PaperScheme::Drvp,
-        PaperScheme::DrvpDead,
-        PaperScheme::DrvpDeadLv,
-    ] {
+    for scheme in
+        [PaperScheme::Lvp, PaperScheme::Drvp, PaperScheme::DrvpDead, PaperScheme::DrvpDeadLv]
+    {
         let ipc = ipc_row(&runner, &workloads, scheme)?;
         let speedup: Vec<f64> = ipc.iter().zip(&base).map(|(a, b)| a / b).collect();
         print_row(scheme.label(), &speedup);

@@ -15,11 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print_workload_header(&workloads);
 
     let base = ipc_row(&runner, &workloads, PaperScheme::NoPredict)?;
-    for scheme in [
-        PaperScheme::LvpAll,
-        PaperScheme::DrvpAll,
-        PaperScheme::DrvpAllDeadLv,
-    ] {
+    for scheme in [PaperScheme::LvpAll, PaperScheme::DrvpAll, PaperScheme::DrvpAllDeadLv] {
         let ipc = ipc_row(&runner, &workloads, scheme)?;
         let speedup: Vec<f64> = ipc.iter().zip(&base).map(|(a, b)| a / b).collect();
         print_row(scheme.label(), &speedup);

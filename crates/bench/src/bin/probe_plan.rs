@@ -1,17 +1,14 @@
 //! Calibration probe: dump per-instruction reuse rates and the assist
 //! plan for one workload. Usage: `probe_plan <workload>`
 
-use rvp_core::{
-    reallocate, Assist, Input, PlanScope, Profile, ProfileConfig, ReallocOptions,
-};
+use rvp_core::{reallocate, Assist, Input, PlanScope, Profile, ProfileConfig, ReallocOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "hydro2d".into());
     let do_realloc = std::env::args().any(|a| a == "--realloc");
     let wl = rvp_core::by_name(&name).expect("workload");
     let mut train = wl.program(Input::Train);
-    let profile =
-        Profile::collect(&train, &ProfileConfig { max_insts: 400_000, min_execs: 32 })?;
+    let profile = Profile::collect(&train, &ProfileConfig { max_insts: 400_000, min_execs: 32 })?;
     if do_realloc {
         let out = reallocate(&train, &profile, &ReallocOptions::default());
         println!(
@@ -20,8 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         train = out.program;
     }
-    let profile =
-        Profile::collect(&train, &ProfileConfig { max_insts: 400_000, min_execs: 32 })?;
+    let profile = Profile::collect(&train, &ProfileConfig { max_insts: 400_000, min_execs: 32 })?;
     let plan = profile.assist_plan(&train, 0.8, PlanScope::AllInsts, Assist::DeadLv);
 
     println!("pc | execs same lv bestdead | plan | inst");

@@ -1,0 +1,142 @@
+//! `rvp-grid`: the full (workload × scheme) grid, in parallel.
+//!
+//! Runs every paper scheme over every workload on a work-stealing pool
+//! of OS threads, streaming one JSON file per cell to the output
+//! directory as it completes, then prints a throughput summary.
+//!
+//! ```text
+//! rvp-grid [OUT_DIR]
+//! ```
+//!
+//! `OUT_DIR` defaults to `RVP_JSON_DIR`, then `results/`. The usual
+//! budget overrides (`RVP_MEASURE_INSTS`, `RVP_PROFILE_INSTS`) apply,
+//! `RVP_TRACE_DIR` enables the committed-trace cache, and `RVP_THREADS`
+//! caps the worker count.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rvp_bench::{emit_cell, runner_from_env};
+use rvp_core::{all_workloads, PaperScheme, RunResult, Runner, Workload};
+
+struct Cell {
+    workload: Workload,
+    scheme: PaperScheme,
+}
+
+fn worker_count(cells: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cap = std::env::var("RVP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(hw);
+    cap.min(cells).max(1)
+}
+
+fn main() {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("RVP_JSON_DIR").ok().filter(|d| !d.is_empty()))
+        .unwrap_or_else(|| "results".to_string())
+        .into();
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+
+    let runner = runner_from_env();
+    let cells: Vec<Cell> = all_workloads()
+        .iter()
+        .flat_map(|wl| {
+            PaperScheme::all().iter().map(|&scheme| Cell { workload: wl.clone(), scheme })
+        })
+        .collect();
+    let workers = worker_count(cells.len());
+
+    println!(
+        "rvp-grid: {} workloads x {} schemes = {} cells on {} threads -> {}",
+        all_workloads().len(),
+        PaperScheme::all().len(),
+        cells.len(),
+        workers,
+        out_dir.display()
+    );
+
+    let start = Instant::now();
+    let next = AtomicUsize::new(0);
+    let failures: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<RunResult>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| run_cells(&runner, &cells, &next, &out_dir, &results, &failures));
+        }
+    });
+
+    let elapsed = start.elapsed();
+    let results = results.into_inner().expect("results lock");
+    let failures = failures.into_inner().expect("failures lock");
+
+    let simulated: u64 = results.iter().map(|r| r.stats.committed).sum();
+    println!(
+        "\n{} cells in {:.2}s ({:.1} cells/s, {:.1}M simulated insts/s overall)",
+        results.len(),
+        elapsed.as_secs_f64(),
+        results.len() as f64 / elapsed.as_secs_f64(),
+        simulated as f64 / elapsed.as_secs_f64() / 1e6,
+    );
+    println!("profiles collected: {}", runner.profiles.len());
+    if let Some(store) = &runner.traces {
+        let c = store.counters();
+        println!(
+            "trace cache ({}): {} hits, {} captures, {} fallbacks",
+            store.dir().display(),
+            c.hits(),
+            c.captures(),
+            c.fallbacks()
+        );
+    }
+    if !failures.is_empty() {
+        for (cell, err) in &failures {
+            eprintln!("error: {cell}: {err}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn run_cells(
+    runner: &Runner,
+    cells: &[Cell],
+    next: &AtomicUsize,
+    out_dir: &std::path::Path,
+    results: &Mutex<Vec<RunResult>>,
+    failures: &Mutex<Vec<(String, String)>>,
+) {
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(cell) = cells.get(i) else { return };
+        let label = format!("{}/{}", cell.workload.name(), cell.scheme.label());
+        match runner.run(&cell.workload, cell.scheme) {
+            Ok(result) => {
+                if let Err(e) = emit_cell(out_dir, &result) {
+                    failures
+                        .lock()
+                        .expect("failures lock")
+                        .push((label, format!("cannot write cell JSON: {e}")));
+                    return;
+                }
+                println!(
+                    "  {label:<28} ipc {:.3}  coverage {:5.1}%  accuracy {:5.1}%",
+                    result.stats.ipc(),
+                    100.0 * result.stats.coverage(),
+                    100.0 * result.stats.accuracy()
+                );
+                results.lock().expect("results lock").push(result);
+            }
+            Err(e) => failures.lock().expect("failures lock").push((label, e.to_string())),
+        }
+    }
+}

@@ -7,8 +7,8 @@
 
 use rvp_bench::{print_header, runner_from_env};
 use rvp_core::{
-    Assist, DrvpConfig, Input, PaperScheme, PlanScope, Profile, ProfileConfig, Recovery,
-    Scheme, Simulator,
+    Assist, DrvpConfig, Input, PaperScheme, PlanScope, Profile, ProfileConfig, Recovery, Scheme,
+    Simulator,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -61,12 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &train,
             &ProfileConfig { max_insts: runner.profile_insts, min_execs: 32 },
         )?;
-        let plan = profile.assist_plan(
-            &train,
-            runner.threshold,
-            PlanScope::AllInsts,
-            Assist::DeadLv,
-        );
+        let plan =
+            profile.assist_plan(&train, runner.threshold, PlanScope::AllInsts, Assist::DeadLv);
         let program = wl.program(Input::Ref);
         let base = Simulator::new(runner.config.clone(), Scheme::NoPredict, Recovery::Selective)
             .run(&program, runner.measure_insts)?;
@@ -78,11 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for config in [small(DrvpConfig::paper()), small(DrvpConfig::paper_tagged())] {
             let stats = Simulator::new(
                 runner.config.clone(),
-                Scheme::DynamicRvp {
-                    scope: rvp_core::Scope::AllInsts,
-                    plan: plan.clone(),
-                    config,
-                },
+                Scheme::DynamicRvp { scope: rvp_core::Scope::AllInsts, plan: plan.clone(), config },
                 Recovery::Selective,
             )
             .run(&program, runner.measure_insts)?;

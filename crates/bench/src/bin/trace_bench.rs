@@ -1,0 +1,135 @@
+//! Timed comparison of emulation-based vs trace-replay profiling.
+//!
+//! Measures the profiling cost of one grid column — the train profile
+//! requests made by the paper schemes of a single workload — under the
+//! two strategies this repository has used:
+//!
+//! * **emulation-based**: every profile-guided scheme re-collects the
+//!   train profile through the live emulator (the pre-trace `Runner`
+//!   behaviour);
+//! * **trace-replay**: the committed trace is captured once into a
+//!   `TraceStore`, the first request replays it through
+//!   `Profile::collect_stream`, and the remaining requests hit the
+//!   in-memory `ProfileCache`.
+//!
+//! Prints single-collection micro-times for transparency, then the
+//! column-level speedup, and exits non-zero if the warm-cache speedup on
+//! the first workload (default `m88ksim`) is below 5x.
+//!
+//! ```text
+//! trace_bench [WORKLOAD...]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use rvp_core::{by_name, PaperScheme, Profile, ProfileConfig, Runner, TraceMeta, TraceStore};
+use rvp_workloads::Input;
+
+const REPS: u32 = 3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> =
+        if args.is_empty() { vec!["m88ksim"] } else { args.iter().map(|s| s.as_str()).collect() };
+    let budget = std::env::var("RVP_PROFILE_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_500_000u64);
+    let cfg = ProfileConfig { max_insts: budget, min_execs: 32 };
+
+    // The profile-guided schemes of one grid column: each of these made
+    // `Runner` collect the train profile from scratch before this PR.
+    let guided = PaperScheme::all()
+        .iter()
+        .filter(|s| {
+            use PaperScheme as P;
+            !matches!(s, P::NoPredict | P::Lvp | P::LvpAll | P::GrpAll | P::Drvp | P::DrvpAll)
+        })
+        .count();
+
+    let dir = std::env::temp_dir().join(format!("rvp-trace-bench-{}", std::process::id()));
+
+    let mut gate = None;
+    println!("budget {budget} insts, {guided} profile-guided schemes per column, best of {REPS}");
+    for name in names {
+        let wl = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+        let train = wl.program(Input::Train);
+
+        // Emulation-based column: one live collection per guided scheme.
+        let emu_one = best_of(REPS, || {
+            std::hint::black_box(Profile::collect(&train, &cfg).expect("emulated profile"));
+        });
+        let emu_column = emu_one * guided as u32;
+
+        // Trace-replay column: capture once (cold cost), then one replay
+        // plus cache hits. A fresh Runner per rep empties the profile
+        // cache; the trace store stays warm on disk.
+        let store = TraceStore::new(&dir).expect("create trace dir");
+        let meta = TraceMeta::for_program(name, rvp_core::TraceInput::Train, budget, &train);
+        let t0 = Instant::now();
+        store.capture(&train, &meta).expect("capture");
+        let capture_time = t0.elapsed();
+        let bytes = std::fs::metadata(store.path_for(&meta)).expect("trace exists").len();
+
+        let replay_one = best_of(REPS, || {
+            let reader = store.open(&meta).expect("open trace");
+            std::hint::black_box(
+                Profile::collect_stream(&train, &cfg, reader).expect("replayed profile"),
+            );
+        });
+        let replay_column = best_of(REPS, || {
+            let runner = Runner {
+                profile_insts: budget,
+                traces: Some(store.clone()),
+                profiles: Default::default(),
+                ..Runner::default()
+            };
+            for _ in 0..guided {
+                std::hint::black_box(runner.train_profile(&wl).expect("profile"));
+            }
+        });
+
+        // The two paths must agree exactly.
+        let emulated = Profile::collect(&train, &cfg).expect("emulated profile");
+        let reader = store.open(&meta).expect("open trace");
+        let replayed = Profile::collect_stream(&train, &cfg, reader).expect("replayed profile");
+        assert!(emulated == replayed, "{name}: replayed profile differs from emulated");
+
+        let speedup = emu_column.as_secs_f64() / replay_column.as_secs_f64();
+        gate.get_or_insert(speedup);
+        println!(
+            "{name:>9}: one collect: emulate {:6.1}ms / replay {:6.1}ms  \
+             ({:.2} B/record, capture {:.1}ms)",
+            emu_one.as_secs_f64() * 1e3,
+            replay_one.as_secs_f64() * 1e3,
+            bytes as f64 / emulated.committed() as f64,
+            capture_time.as_secs_f64() * 1e3,
+        );
+        println!(
+            "{:>9}  column ({guided} profiles): emulation-based {:6.1}ms, \
+             trace-replay {:6.1}ms -> {speedup:.1}x",
+            "",
+            emu_column.as_secs_f64() * 1e3,
+            replay_column.as_secs_f64() * 1e3,
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let gate = gate.expect("at least one workload");
+    if gate < 5.0 {
+        eprintln!("FAIL: column speedup {gate:.2}x is below the 5x target");
+        std::process::exit(1);
+    }
+    println!("PASS: trace-replay profiling is >=5x faster than emulation-based profiling");
+}
+
+fn best_of(reps: u32, mut f: impl FnMut()) -> Duration {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .expect("at least one rep")
+}

@@ -10,7 +10,9 @@
 //! Instruction budgets can be overridden with the environment variables
 //! `RVP_MEASURE_INSTS` and `RVP_PROFILE_INSTS`.
 
-use rvp_core::{PaperScheme, Runner, SimError, UarchConfig, Workload};
+use std::path::PathBuf;
+
+use rvp_core::{PaperScheme, RunResult, Runner, SimError, ToJson, UarchConfig, Workload};
 
 /// Budgets read from the environment with sensible defaults.
 pub fn runner_from_env() -> Runner {
@@ -31,6 +33,32 @@ pub fn wide_runner_from_env() -> Runner {
 
 fn env_u64(name: &str) -> Option<u64> {
     std::env::var(name).ok()?.parse().ok()
+}
+
+/// Directory for machine-readable JSON results (`RVP_JSON_DIR`), created
+/// on first use; `None` when the variable is unset or empty.
+pub fn json_dir() -> Option<PathBuf> {
+    let dir = std::env::var("RVP_JSON_DIR").ok()?;
+    if dir.is_empty() {
+        return None;
+    }
+    let dir = PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create RVP_JSON_DIR {}: {e}", dir.display());
+        return None;
+    }
+    Some(dir)
+}
+
+/// Writes one simulation result as `<workload>-<scheme>.json` under
+/// `dir`. Used by `rvp-grid` and (via [`ipc_row`]) the fig binaries.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn emit_cell(dir: &std::path::Path, result: &RunResult) -> std::io::Result<()> {
+    let path = dir.join(format!("{}-{}.json", result.workload, result.scheme.label()));
+    std::fs::write(path, format!("{}\n", result.to_json()))
 }
 
 /// Prints the standard experiment header (machine + budgets).
@@ -73,9 +101,18 @@ pub fn ipc_row(
     workloads: &[Workload],
     scheme: PaperScheme,
 ) -> Result<Vec<f64>, SimError> {
+    let json = json_dir();
     workloads
         .iter()
-        .map(|wl| runner.run(wl, scheme).map(|r| r.stats.ipc()))
+        .map(|wl| {
+            let result = runner.run(wl, scheme)?;
+            if let Some(dir) = &json {
+                if let Err(e) = emit_cell(dir, &result) {
+                    eprintln!("warning: cannot write JSON cell: {e}");
+                }
+            }
+            Ok(result.stats.ipc())
+        })
         .collect()
 }
 

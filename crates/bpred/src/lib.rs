@@ -116,6 +116,19 @@ impl BpredStats {
     }
 }
 
+impl rvp_json::ToJson for BpredStats {
+    fn to_json(&self) -> rvp_json::Json {
+        rvp_json::Json::obj([
+            ("cond_branches", self.cond_branches.into()),
+            ("cond_mispredicts", self.cond_mispredicts.into()),
+            ("target_mispredicts", self.target_mispredicts.into()),
+            ("returns", self.returns.into()),
+            ("return_mispredicts", self.return_mispredicts.into()),
+            ("direction_accuracy", self.direction_accuracy().into()),
+        ])
+    }
+}
+
 /// gshare + BTB + RAS branch predictor.
 #[derive(Debug, Clone)]
 pub struct BranchPredictor {
@@ -177,9 +190,7 @@ impl BranchPredictor {
                 // conditional can always redirect.
                 Prediction { taken, target: taken.then_some(target) }
             }
-            BranchKind::UncondDirect { target } => {
-                Prediction { taken: true, target: Some(target) }
-            }
+            BranchKind::UncondDirect { target } => Prediction { taken: true, target: Some(target) },
             BranchKind::Call { target } => {
                 if self.ras.len() == self.config.ras_entries {
                     self.ras.remove(0);
@@ -187,9 +198,7 @@ impl BranchPredictor {
                 self.ras.push(pc + 1);
                 Prediction { taken: true, target: Some(target) }
             }
-            BranchKind::Return => {
-                Prediction { taken: true, target: self.ras.pop() }
-            }
+            BranchKind::Return => Prediction { taken: true, target: self.ras.pop() },
             BranchKind::Indirect => Prediction { taken: true, target: self.btb_lookup(pc) },
         }
     }
@@ -312,10 +321,7 @@ mod tests {
 
     #[test]
     fn ras_overflow_drops_oldest() {
-        let mut bp = BranchPredictor::new(BpredConfig {
-            ras_entries: 2,
-            ..BpredConfig::table1()
-        });
+        let mut bp = BranchPredictor::new(BpredConfig { ras_entries: 2, ..BpredConfig::table1() });
         bp.predict(1, BranchKind::Call { target: 100 });
         bp.predict(2, BranchKind::Call { target: 200 });
         bp.predict(3, BranchKind::Call { target: 300 });

@@ -18,8 +18,8 @@
 use std::process::ExitCode;
 
 use rvp_core::{
-    BufferConfig, ContextConfig, Emulator, Input, LvpConfig, PredictionPlan, Program,
-    Recovery, Scheme, Scope, Simulator, StrideConfig, UarchConfig,
+    BufferConfig, ContextConfig, Emulator, Input, LvpConfig, PredictionPlan, Program, Recovery,
+    Scheme, Scope, Simulator, StrideConfig, UarchConfig,
 };
 
 fn usage() -> ExitCode {

@@ -34,21 +34,24 @@
 
 mod runner;
 
-pub use runner::{PaperScheme, RunResult, Runner};
+pub use runner::{PaperScheme, ProfileCache, RunResult, Runner};
 
 pub use rvp_bpred::{BpredConfig, BranchPredictor};
 pub use rvp_emu::{Committed, EmuError, Emulator};
 pub use rvp_isa::{parse_asm, AsmError, Program, ProgramBuilder, Reg};
+pub use rvp_json::{Json, ToJson};
 pub use rvp_mem::{Hierarchy, MemConfig};
-pub use rvp_profile::{
-    Assist, Fig1Row, PlanScope, Profile, ProfileConfig, ReuseLists, SrvpLevel,
-};
+pub use rvp_profile::{Assist, Fig1Row, PlanScope, Profile, ProfileConfig, ReuseLists, SrvpLevel};
 pub use rvp_realloc::{reallocate, ReallocOptions, ReallocOutcome};
+pub use rvp_trace::{
+    capture, program_hash, StoreCounters, TraceError, TraceInput, TraceMeta, TraceReader,
+    TraceStore, TraceWriter,
+};
 pub use rvp_uarch::{Latencies, Recovery, Scheme, SimError, SimStats, Simulator, UarchConfig};
 pub use rvp_vpred::{
     BufferConfig, BufferPredictor, ConfidenceCounter, ConfidenceTable, ContextConfig,
     ContextPredictor, CorrelationConfig, CorrelationPredictor, CounterPolicy, DrvpConfig,
-    DrvpPredictor, GabbayPredictor, LastValuePredictor, LvpConfig, PredictionPlan,
-    ReuseKind, Scope, StrideConfig, StridePredictor, TableConfig,
+    DrvpPredictor, GabbayPredictor, LastValuePredictor, LvpConfig, PredictionPlan, ReuseKind,
+    Scope, StrideConfig, StridePredictor, TableConfig,
 };
 pub use rvp_workloads::{all as all_workloads, by_name, Input, Lang, Workload};

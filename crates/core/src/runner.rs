@@ -1,5 +1,12 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use rvp_isa::Program;
+use rvp_json::{Json, ToJson};
 use rvp_profile::{Assist, Fig1Row, PlanScope, Profile, ProfileConfig, SrvpLevel};
 use rvp_realloc::{reallocate, ReallocOptions};
+use rvp_trace::{TraceInput, TraceMeta, TraceStore};
 use rvp_uarch::{Recovery, Scheme, SimError, SimStats, Simulator, UarchConfig};
 use rvp_vpred::{DrvpConfig, LvpConfig, PredictionPlan, Scope};
 use rvp_workloads::{Input, Workload};
@@ -99,6 +106,76 @@ pub struct RunResult {
     pub stats: SimStats,
 }
 
+impl ToJson for RunResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", self.workload.into()),
+            ("scheme", self.scheme.label().into()),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
+/// Cache key for a collected profile: (workload, input, instruction
+/// budget). The program itself is a pure function of (workload, input),
+/// so it needs no separate key component.
+type ProfileKey = (&'static str, Input, u64);
+
+/// A thread-safe memo of collected [`Profile`]s, shared by clones of a
+/// [`Runner`].
+///
+/// `Runner::run` needs the train profile for most schemes, and a figure
+/// column runs every scheme over the same workload — without the cache
+/// the (expensive) profile is recollected per scheme. Entries are locked
+/// individually, so two grid threads asking for the *same* profile
+/// compute it once while profiles of different workloads proceed in
+/// parallel.
+#[derive(Clone, Default)]
+pub struct ProfileCache {
+    slots: Arc<Mutex<HashMap<ProfileKey, ProfileSlot>>>,
+}
+
+/// One cache entry, locked independently of the map.
+type ProfileSlot = Arc<Mutex<Option<Arc<Profile>>>>;
+
+impl ProfileCache {
+    /// Returns the cached profile for `key`, collecting it with
+    /// `collect` on first use. Failures are returned and not cached.
+    fn get_or_collect(
+        &self,
+        key: ProfileKey,
+        collect: impl FnOnce() -> Result<Profile, SimError>,
+    ) -> Result<Arc<Profile>, SimError> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("profile cache poisoned");
+            slots.entry(key).or_default().clone()
+        };
+        let mut entry = slot.lock().expect("profile slot poisoned");
+        if let Some(profile) = entry.as_ref() {
+            return Ok(Arc::clone(profile));
+        }
+        let profile = Arc::new(collect()?);
+        *entry = Some(Arc::clone(&profile));
+        Ok(profile)
+    }
+
+    /// Number of cached profiles.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("profile cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for ProfileCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProfileCache({} entries)", self.len())
+    }
+}
+
 /// Executes paper experiments: profile on train, measure on ref.
 #[derive(Debug, Clone)]
 pub struct Runner {
@@ -114,6 +191,13 @@ pub struct Runner {
     pub profile_insts: u64,
     /// Committed-instruction budget for measurement runs.
     pub measure_insts: u64,
+    /// Memo of collected profiles, shared across clones (and therefore
+    /// across the threads of a parallel grid).
+    pub profiles: ProfileCache,
+    /// On-disk committed-trace cache; when present, profiles are
+    /// collected by replaying traces instead of re-running the emulator.
+    /// Defaults to the `RVP_TRACE_DIR` environment variable.
+    pub traces: Option<TraceStore>,
 }
 
 impl Default for Runner {
@@ -124,6 +208,8 @@ impl Default for Runner {
             threshold: 0.8,
             profile_insts: 1_500_000,
             measure_insts: 400_000,
+            profiles: ProfileCache::default(),
+            traces: TraceStore::from_env(),
         }
     }
 }
@@ -134,10 +220,48 @@ impl Runner {
         Runner { config: UarchConfig::wide16(), ..Runner::default() }
     }
 
-    fn profile(&self, wl: &Workload) -> Result<Profile, SimError> {
-        let train = wl.program(Input::Train);
-        let cfg = ProfileConfig { max_insts: self.profile_insts, min_execs: 32 };
-        Profile::collect(&train, &cfg).map_err(SimError::Emu)
+    /// The train-input profile used by every profile-guided scheme,
+    /// memoized in [`Runner::profiles`] (and served from the trace cache
+    /// when one is configured).
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulator errors from a live profiling run.
+    pub fn train_profile(&self, wl: &Workload) -> Result<Arc<Profile>, SimError> {
+        self.train_profile_for(wl, &wl.program(Input::Train))
+    }
+
+    fn train_profile_for(&self, wl: &Workload, train: &Program) -> Result<Arc<Profile>, SimError> {
+        self.profiles.get_or_collect((wl.name(), Input::Train, self.profile_insts), || {
+            self.collect_profile(wl.name(), Input::Train, train, self.profile_insts)
+        })
+    }
+
+    /// Collects a profile, replaying a cached trace when a [`TraceStore`]
+    /// is configured. Any trouble with the trace path — capture failure,
+    /// corruption discovered mid-replay — falls back to live emulation;
+    /// the trace subsystem can slow an experiment down but never fail it.
+    fn collect_profile(
+        &self,
+        name: &'static str,
+        input: Input,
+        program: &Program,
+        budget: u64,
+    ) -> Result<Profile, SimError> {
+        let cfg = ProfileConfig { max_insts: budget, min_execs: 32 };
+        if let Some(store) = &self.traces {
+            let meta = TraceMeta::for_program(name, trace_input(input), budget, program);
+            match store
+                .open_or_capture(program, &meta)
+                .and_then(|reader| Profile::collect_stream(program, &cfg, reader))
+            {
+                Ok(profile) => return Ok(profile),
+                Err(e) => {
+                    eprintln!("warning: trace replay for {name} failed ({e}); using emulation");
+                }
+            }
+        }
+        Profile::collect(program, &cfg).map_err(SimError::Emu)
     }
 
     /// Runs one (workload, scheme) cell.
@@ -150,14 +274,16 @@ impl Runner {
         use PaperScheme as P;
         let mut program = wl.program(Input::Ref);
         let train = wl.program(Input::Train);
-        debug_assert_eq!(
-            program.len(),
-            train.len(),
-            "train and ref must share static structure"
-        );
+        if program.len() != train.len() {
+            return Err(SimError::StructureMismatch {
+                train_len: train.len(),
+                ref_len: program.len(),
+            });
+        }
 
-        let needs_profile = !matches!(scheme, P::NoPredict | P::Lvp | P::LvpAll | P::GrpAll | P::Drvp | P::DrvpAll);
-        let profile = if needs_profile { Some(self.profile(wl)?) } else { None };
+        let needs_profile =
+            !matches!(scheme, P::NoPredict | P::Lvp | P::LvpAll | P::GrpAll | P::Drvp | P::DrvpAll);
+        let profile = if needs_profile { Some(self.train_profile_for(wl, &train)?) } else { None };
 
         let sim_scheme = match scheme {
             P::NoPredict => Scheme::NoPredict,
@@ -238,8 +364,18 @@ impl Runner {
     /// Propagates emulator errors.
     pub fn fig1(&self, wl: &Workload) -> Result<Fig1Row, SimError> {
         let program = wl.program(Input::Ref);
-        let cfg = ProfileConfig { max_insts: self.measure_insts, min_execs: 32 };
-        Ok(Profile::collect(&program, &cfg).map_err(SimError::Emu)?.fig1())
+        let profile =
+            self.profiles.get_or_collect((wl.name(), Input::Ref, self.measure_insts), || {
+                self.collect_profile(wl.name(), Input::Ref, &program, self.measure_insts)
+            })?;
+        Ok(profile.fig1())
+    }
+}
+
+fn trace_input(input: Input) -> TraceInput {
+    match input {
+        Input::Train => TraceInput::Train,
+        Input::Ref => TraceInput::Ref,
     }
 }
 
@@ -270,11 +406,7 @@ mod tests {
         let r = quick_runner();
         for name in ["m88ksim", "hydro2d"] {
             let res = r.run(&by_name(name).unwrap(), PaperScheme::DrvpAll).unwrap();
-            assert!(
-                res.stats.accuracy() > 0.9,
-                "{name}: accuracy {:.3}",
-                res.stats.accuracy()
-            );
+            assert!(res.stats.accuracy() > 0.9, "{name}: accuracy {:.3}", res.stats.accuracy());
         }
     }
 
@@ -330,6 +462,42 @@ mod tests {
             assert!(any <= lvp + 1e-12, "{name}");
             assert!(lvp <= 1.0);
         }
+    }
+
+    #[test]
+    fn train_profiles_are_memoized_per_workload() {
+        let r = quick_runner();
+        let wl = by_name("li").unwrap();
+        r.run(&wl, PaperScheme::DrvpAll).unwrap();
+        r.run(&wl, PaperScheme::SrvpDead).unwrap();
+        assert_eq!(r.profiles.len(), 1, "two runs must share one train profile");
+    }
+
+    #[test]
+    fn trace_replay_run_matches_live_run() {
+        let dir =
+            std::env::temp_dir().join(format!("rvp-runner-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::new(&dir).unwrap();
+        let wl = by_name("li").unwrap();
+        let scheme = PaperScheme::DrvpAllDeadLv;
+
+        let live = Runner { traces: None, ..quick_runner() };
+        let want = live.run(&wl, scheme).unwrap();
+
+        // First traced runner captures the trace, then replays it.
+        let traced = Runner { traces: Some(store.clone()), ..quick_runner() };
+        let replayed = traced.run(&wl, scheme).unwrap();
+        assert_eq!(want.stats, replayed.stats);
+        assert_eq!(store.counters().captures(), 1);
+
+        // A fresh runner (empty profile cache) hits the on-disk trace.
+        let warm = Runner { traces: Some(store.clone()), ..quick_runner() };
+        let from_disk = warm.run(&wl, scheme).unwrap();
+        assert_eq!(want.stats, from_disk.stats);
+        assert!(store.counters().hits() >= 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -186,10 +186,7 @@ impl<'a> Emulator<'a> {
             return Ok(None);
         }
         let pc = self.pc;
-        let inst = self
-            .program
-            .inst(pc)
-            .ok_or(EmuError::PcOutOfRange { pc })?;
+        let inst = self.program.inst(pc).ok_or(EmuError::PcOutOfRange { pc })?;
 
         let mut next_pc = pc + 1;
         let mut write: Option<(Reg, u64)> = None;
@@ -291,16 +288,8 @@ impl<'a> Emulator<'a> {
             _ => (None, 0, 0),
         };
 
-        let record = Committed {
-            seq: self.seq,
-            pc,
-            next_pc,
-            dst,
-            old_value,
-            new_value,
-            eff_addr,
-            taken,
-        };
+        let record =
+            Committed { seq: self.seq, pc, next_pc, dst, old_value, new_value, eff_addr, taken };
         self.seq += 1;
         self.pc = next_pc;
         Ok(Some(record))
@@ -533,10 +522,7 @@ mod tests {
         let p = b.build().unwrap();
         let mut emu = Emulator::new(&p);
         emu.step().unwrap();
-        assert_eq!(
-            emu.step(),
-            Err(EmuError::JumpOutsideTable { pc: 1, target: 0 })
-        );
+        assert_eq!(emu.step(), Err(EmuError::JumpOutsideTable { pc: 1, target: 0 }));
     }
 
     #[test]

@@ -70,8 +70,8 @@ fn reference(op: &str, a: u64, b: u64) -> u64 {
 }
 
 const OPS: &[&str] = &[
-    "add", "sub", "mul", "div", "rem", "and", "or", "xor", "sll", "srl", "sra", "cmpeq",
-    "cmplt", "cmpltu", "cmple",
+    "add", "sub", "mul", "div", "rem", "and", "or", "xor", "sll", "srl", "sra", "cmpeq", "cmplt",
+    "cmpltu", "cmple",
 ];
 
 proptest! {

@@ -16,8 +16,8 @@ use crate::reg::{Reg, RegClass, NUM_REGS};
 /// Calling-convention register assignments, modelled on the Alpha OSF ABI
 /// the paper's binaries used.
 pub mod abi {
-    use crate::reg::Reg;
     use super::RegSet;
+    use crate::reg::Reg;
 
     /// Return-address register (`r26`).
     pub const RA: Reg = Reg::const_from_index(26);
@@ -334,8 +334,7 @@ impl Liveness {
             for pc in block.range.clone().rev() {
                 after[pc - range.start] = live;
                 let inst = &program.insts()[pc];
-                live = effective_uses(inst)
-                    .union(live.difference(effective_defs(inst)));
+                live = effective_uses(inst).union(live.difference(effective_defs(inst)));
             }
         }
 
@@ -354,8 +353,7 @@ impl Liveness {
     /// Registers live immediately before instruction `pc` executes.
     pub fn live_before(&self, program: &Program, pc: usize) -> RegSet {
         let inst = &program.insts()[pc];
-        effective_uses(inst)
-            .union(self.live_after(pc).difference(effective_defs(inst)))
+        effective_uses(inst).union(self.live_after(pc).difference(effective_defs(inst)))
     }
 
     /// Live-in set of a block.

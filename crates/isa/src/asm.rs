@@ -89,10 +89,7 @@ impl Program {
             labels_at.entry(pc).or_default().push(name.to_owned());
         }
         if self.entry() != 0 && !labels_at.contains_key(&self.entry()) {
-            labels_at
-                .entry(self.entry())
-                .or_default()
-                .push(format!("__entry_{}", self.entry()));
+            labels_at.entry(self.entry()).or_default().push(format!("__entry_{}", self.entry()));
         }
         let procs = self.procedures();
         for (pc, inst) in self.insts().iter().enumerate() {
@@ -193,8 +190,8 @@ fn parse_inst(b: &mut ProgramBuilder, line: &str) -> Result<(), String> {
 
     let inst = match mnemonic {
         // Three-operand ALU / FPU forms.
-        "add" | "sub" | "mul" | "div" | "rem" | "and" | "or" | "xor" | "sll" | "srl"
-        | "sra" | "cmpeq" | "cmplt" | "cmpltu" | "cmple" => {
+        "add" | "sub" | "mul" | "div" | "rem" | "and" | "or" | "xor" | "sll" | "srl" | "sra"
+        | "cmpeq" | "cmplt" | "cmpltu" | "cmple" => {
             let [d, a, o] = three(rest)?;
             Inst::new(Kind::Alu {
                 op: alu_op(mnemonic).expect("matched above"),
@@ -281,14 +278,11 @@ fn parse_inst(b: &mut ProgramBuilder, line: &str) -> Result<(), String> {
             return mark(b, rvp);
         }
         "jmp" => {
-            let (base, targets) = rest
-                .split_once("->")
-                .ok_or("`jmp` needs `-> @t, ...` targets")?;
+            let (base, targets) =
+                rest.split_once("->").ok_or("`jmp` needs `-> @t, ...` targets")?;
             let base = paren_reg(base.trim())?;
-            let labels: Result<Vec<String>, String> = targets
-                .split(',')
-                .map(|t| target_label(b, t.trim()))
-                .collect();
+            let labels: Result<Vec<String>, String> =
+                targets.split(',').map(|t| target_label(b, t.trim())).collect();
             let labels = labels?;
             let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
             b.jmp(base, &refs);
@@ -324,9 +318,7 @@ fn target_label(b: &mut ProgramBuilder, t: &str) -> Result<String, String> {
 }
 
 fn ident(s: &str) -> Result<&str, String> {
-    if !s.is_empty()
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
-    {
+    if !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
         Ok(s)
     } else {
         Err(format!("invalid identifier `{s}`"))
@@ -377,9 +369,7 @@ fn fpu_op(m: &str) -> Option<FpuOp> {
 
 fn split_n<const N: usize>(s: &str) -> Result<[&str; N], String> {
     let parts: Vec<&str> = s.split(',').map(str::trim).collect();
-    parts
-        .try_into()
-        .map_err(|_| format!("expected {N} comma-separated operands in `{s}`"))
+    parts.try_into().map_err(|_| format!("expected {N} comma-separated operands in `{s}`"))
 }
 
 fn two(s: &str) -> Result<[&str; 2], String> {

@@ -505,10 +505,7 @@ impl ProgramBuilder {
             procedures.push(Procedure { name: name.clone(), range: *start..end });
         }
         let entry = match &self.entry_label {
-            Some(l) => *self
-                .labels
-                .get(l)
-                .ok_or_else(|| BuildError::UnknownLabel(l.clone()))?,
+            Some(l) => *self.labels.get(l).ok_or_else(|| BuildError::UnknownLabel(l.clone()))?,
             None => 0,
         };
         Ok(Program::from_parts(insts, self.data.clone(), procedures, self.labels.clone(), entry))

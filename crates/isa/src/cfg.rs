@@ -274,11 +274,8 @@ impl Cfg {
                 let mut new_idom = usize::MAX;
                 for &p in &self.blocks[b].preds {
                     if idom[p] != usize::MAX {
-                        new_idom = if new_idom == usize::MAX {
-                            p
-                        } else {
-                            intersect(&idom, new_idom, p)
-                        };
+                        new_idom =
+                            if new_idom == usize::MAX { p } else { intersect(&idom, new_idom, p) };
                     }
                 }
                 if new_idom != usize::MAX && idom[b] != new_idom {
@@ -445,7 +442,7 @@ mod tests {
         assert_eq!(depths[cfg.block_of(3)], 2); // inner body (subi/bnez j)
         assert_eq!(depths[cfg.block_of(4)], 1); // outer-only body (subi i)
         assert_eq!(depths[cfg.block_of(0)], 0); // preheader
-        // Innermost loop of the inner body instruction is the small loop.
+                                                // Innermost loop of the inner body instruction is the small loop.
         let inner = cfg.innermost_loop_of(3).unwrap();
         assert_eq!(inner.body.len(), loops[0].body.len());
     }

@@ -402,10 +402,7 @@ impl Inst {
     /// Whether this instruction may redirect control flow (branches,
     /// jumps, calls, returns).
     pub fn is_control(&self) -> bool {
-        !matches!(
-            self.flow(),
-            Flow::FallThrough
-        ) || matches!(self.kind, Kind::Halt)
+        !matches!(self.flow(), Flow::FallThrough) || matches!(self.kind, Kind::Halt)
     }
 
     /// Whether this is a conditional branch.
@@ -708,12 +705,8 @@ mod tests {
         assert_eq!(ld.exec_class(), ExecClass::Load);
         // FP loads dispatch to the integer (load/store) queue.
         assert_eq!(ld.queue_class(), RegClass::Int);
-        let fadd = Inst::new(Kind::Fpu {
-            op: FpuOp::FAdd,
-            dst: Reg::fp(1),
-            a: Reg::fp(2),
-            b: Reg::fp(3),
-        });
+        let fadd =
+            Inst::new(Kind::Fpu { op: FpuOp::FAdd, dst: Reg::fp(1), a: Reg::fp(2), b: Reg::fp(3) });
         assert_eq!(fadd.queue_class(), RegClass::Fp);
     }
 

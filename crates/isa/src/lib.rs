@@ -45,9 +45,9 @@
 //! ```
 
 pub mod analysis;
-pub mod cfg;
 mod asm;
 mod builder;
+pub mod cfg;
 mod inst;
 mod program;
 mod reg;

@@ -213,9 +213,7 @@ mod tests {
     #[test]
     fn map_insts_preserves_structure() {
         let p = sample();
-        let marked = p.map_insts(|_, i| {
-            if i.is_load() { i.clone().with_rvp() } else { i.clone() }
-        });
+        let marked = p.map_insts(|_, i| if i.is_load() { i.clone().with_rvp() } else { i.clone() });
         assert_eq!(marked.len(), p.len());
         assert_eq!(marked.label("top"), p.label("top"));
     }

@@ -14,10 +14,7 @@ enum Op {
 
 fn ops() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
-        prop_oneof![
-            (0..64usize).prop_map(Op::Insert),
-            (0..64usize).prop_map(Op::Remove),
-        ],
+        prop_oneof![(0..64usize).prop_map(Op::Insert), (0..64usize).prop_map(Op::Remove),],
         0..64,
     )
 }

@@ -1,0 +1,217 @@
+//! Dependency-free JSON emission for experiment artifacts.
+//!
+//! The paper-grid binaries (`rvp-grid`, the `fig*` regenerators) need to
+//! write machine-readable results. `serde`/`serde_json` are not
+//! available in the hermetic build environment, so this crate provides
+//! the small serialization layer the workspace actually needs: a
+//! [`Json`] value tree, exact integer formatting (no `u64`→`f64`
+//! precision loss), correct string escaping, and a [`ToJson`] trait that
+//! stats types across the workspace implement.
+//!
+//! # Examples
+//!
+//! ```
+//! use rvp_json::Json;
+//!
+//! let j = Json::obj([
+//!     ("name", Json::from("m88ksim")),
+//!     ("ipc", Json::from(2.5)),
+//!     ("committed", Json::from(400_000u64)),
+//! ]);
+//! assert_eq!(
+//!     j.to_string(),
+//!     r#"{"name":"m88ksim","ipc":2.5,"committed":400000}"#
+//! );
+//! ```
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, formatted exactly.
+    UInt(u64),
+    /// A signed integer, formatted exactly.
+    Int(i64),
+    /// A finite float (non-finite values serialize as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn arr(values: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(values.into_iter().collect())
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => out.push_str(&n.to_string()),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` keeps a decimal point or exponent, so the
+                    // value re-parses as a float.
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::UInt(n)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::UInt(n.into())
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::UInt(n as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Int(n)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+/// Types that can render themselves as a [`Json`] value.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        let j = Json::from("a\"b\\c\nd\u{1}");
+        assert_eq!(j.to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn integers_are_exact() {
+        assert_eq!(Json::from(u64::MAX).to_string(), "18446744073709551615");
+        assert_eq!(Json::from(-42i64).to_string(), "-42");
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        assert_eq!(Json::from(2.0).to_string(), "2.0");
+        assert_eq!(Json::from(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn nesting() {
+        let j = Json::obj([
+            ("xs", Json::arr([Json::from(1u64), Json::Null])),
+            ("ok", Json::from(true)),
+        ]);
+        assert_eq!(j.to_string(), r#"{"xs":[1,null],"ok":true}"#);
+    }
+}

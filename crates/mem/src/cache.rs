@@ -50,6 +50,16 @@ impl CacheStats {
     }
 }
 
+impl rvp_json::ToJson for CacheStats {
+    fn to_json(&self) -> rvp_json::Json {
+        rvp_json::Json::obj([
+            ("accesses", self.accesses.into()),
+            ("misses", self.misses.into()),
+            ("miss_rate", self.miss_rate().into()),
+        ])
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
     tag: u64,

@@ -87,6 +87,18 @@ pub struct HierarchyStats {
     pub dtlb_misses: u64,
 }
 
+impl rvp_json::ToJson for HierarchyStats {
+    fn to_json(&self) -> rvp_json::Json {
+        rvp_json::Json::obj([
+            ("l1i", self.l1i.to_json()),
+            ("l1d", self.l1d.to_json()),
+            ("l2", self.l2.to_json()),
+            ("itlb_misses", self.itlb_misses.into()),
+            ("dtlb_misses", self.dtlb_misses.into()),
+        ])
+    }
+}
+
 /// A two-level cache hierarchy with TLBs, returning *added* latency per
 /// access (0 for an L1 hit with TLB hit).
 #[derive(Debug, Clone)]
@@ -220,7 +232,7 @@ mod tests {
         let mut h = Hierarchy::new(MemConfig::table1());
         h.access_inst(0x40);
         h.access_data(0x100, false); // warm the DTLB page (different line)
-        // Data access to the same line still misses L1D (hits shared L2).
+                                     // Data access to the same line still misses L1D (hits shared L2).
         assert_eq!(h.access_data(0x40, false), 20);
     }
 

@@ -1,4 +1,4 @@
-use rvp_emu::{EmuError, Emulator};
+use rvp_emu::{Committed, EmuError, Emulator};
 use rvp_isa::analysis::{Liveness, RegSet};
 use rvp_isa::cfg::Cfg;
 use rvp_isa::{Program, Reg, NUM_REGS};
@@ -21,7 +21,7 @@ impl Default for ProfileConfig {
 }
 
 /// Per-static-instruction profile counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InstStats {
     /// Dynamic executions observed.
     pub execs: u64,
@@ -91,7 +91,7 @@ impl Fig1Row {
 }
 
 /// A completed register-reuse profile of one program run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
     config: ProfileConfig,
     stats: Vec<InstStats>,
@@ -111,6 +111,25 @@ impl Profile {
     ///
     /// Propagates emulator errors (malformed programs).
     pub fn collect(program: &Program, config: &ProfileConfig) -> Result<Profile, EmuError> {
+        let mut emu = Emulator::new(program);
+        Profile::collect_stream(program, config, std::iter::from_fn(move || emu.step().transpose()))
+    }
+
+    /// Collects a profile from any committed-record stream — the live
+    /// emulator ([`Profile::collect`]) or a replayed trace.
+    ///
+    /// The stream must be the committed stream of `program` from its
+    /// initial state; at most `config.max_insts` records are consumed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stream's error type (e.g. emulator or trace-decode
+    /// errors).
+    pub fn collect_stream<E>(
+        program: &Program,
+        config: &ProfileConfig,
+        stream: impl IntoIterator<Item = Result<Committed, E>>,
+    ) -> Result<Profile, E> {
         let n = program.len();
         let mut stats: Vec<InstStats> = (0..n).map(|_| InstStats::new()).collect();
 
@@ -132,7 +151,6 @@ impl Profile {
             }
         }
 
-        let mut emu = Emulator::new(program);
         let mut shadow = [0u64; NUM_REGS];
         shadow[rvp_isa::analysis::abi::SP.index()] = rvp_emu::STACK_TOP;
         let mut last_value: Vec<Option<u64>> = vec![None; n];
@@ -141,9 +159,11 @@ impl Profile {
         let mut depth: [u64; NUM_REGS] = [0; NUM_REGS];
         let mut fig1 = Fig1Row::default();
 
+        let mut stream = stream.into_iter();
         let mut committed = 0u64;
         while committed < config.max_insts {
-            let Some(c) = emu.step()? else { break };
+            let Some(item) = stream.next() else { break };
+            let c = item?;
             committed += 1;
             let inst = &program.insts()[c.pc];
             let s = &mut stats[c.pc];
@@ -182,27 +202,34 @@ impl Profile {
                 }
                 last_value[c.pc] = Some(new);
 
-                let mut any = false;
+                // Branch-free pre-pass over the register file (the
+                // compiler vectorizes this); the per-register work below
+                // then runs only for actual matches.
+                let mut match_mask = 0u64;
+                for (i, &held) in shadow.iter().enumerate() {
+                    match_mask |= u64::from(held == new) << i;
+                }
+                let any = match_mask != 0;
                 let mut dead_hit = false;
-                for i in 0..NUM_REGS {
-                    if shadow[i] == new {
-                        s.reg_hits[i] += 1;
-                        any = true;
-                        let r = Reg::from_index(i);
-                        if dead_after[c.pc].contains(r) && r.class() == dst.class() {
-                            dead_hit = true;
-                        }
-                        // Majority vote for the value's producer.
-                        let vote = &mut s.producer_vote[i];
-                        let producer = last_writer[i];
-                        if producer != u32::MAX {
-                            if vote.1 == 0 {
-                                *vote = (producer, 1);
-                            } else if vote.0 == producer {
-                                vote.1 += 1;
-                            } else {
-                                vote.1 -= 1;
-                            }
+                let mut m = match_mask;
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    s.reg_hits[i] += 1;
+                    let r = Reg::from_index(i);
+                    if dead_after[c.pc].contains(r) && r.class() == dst.class() {
+                        dead_hit = true;
+                    }
+                    // Majority vote for the value's producer.
+                    let vote = &mut s.producer_vote[i];
+                    let producer = last_writer[i];
+                    if producer != u32::MAX {
+                        if vote.1 == 0 {
+                            *vote = (producer, 1);
+                        } else if vote.0 == producer {
+                            vote.1 += 1;
+                        } else {
+                            vote.1 -= 1;
                         }
                     }
                 }

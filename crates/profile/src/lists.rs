@@ -222,14 +222,8 @@ mod tests {
     ///  * pc 6 `ld v`  — always loads the constant 9: same-register and
     ///    last-value reuse.
     fn correlated_program() -> Program {
-        let (p, q, d, w, v, n) = (
-            Reg::int(1),
-            Reg::int(2),
-            Reg::int(5),
-            Reg::int(3),
-            Reg::int(4),
-            Reg::int(6),
-        );
+        let (p, q, d, w, v, n) =
+            (Reg::int(1), Reg::int(2), Reg::int(5), Reg::int(3), Reg::int(4), Reg::int(6));
         let values: Vec<u64> = (0..64u64).map(|i| i * 17 + 3).collect();
         let mut b = ProgramBuilder::new();
         b.data(0x1000, &values);

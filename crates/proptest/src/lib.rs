@@ -1,0 +1,252 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build container has no network access, so the real `proptest`
+//! crate cannot be fetched. This crate keeps the same surface —
+//! `proptest!`, `prop_oneof!`, `prop_assert*!`, `Strategy`, `any`,
+//! `proptest::collection::vec`, `ProptestConfig` — on top of a small
+//! generate-only engine: cases are drawn from a deterministic per-test
+//! seed and failures report the case number and seed instead of
+//! shrinking. That trades minimal counterexamples for zero dependencies,
+//! which is the right trade in a hermetic build.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Strategy};
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for API parity with real proptest; this shim never
+    /// shrinks, so the value is ignored.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32, max_shrink_iters: 0 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// The RNG handed to strategies while generating one case.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn from_seed(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// The next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// A uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.0.gen_range(0..bound.max(1))
+    }
+}
+
+/// Drives `cases` generated cases of one property. Called by the
+/// [`proptest!`] macro; not part of the public mirror API.
+#[doc(hidden)]
+pub fn run_cases<F: FnMut(&mut TestRng)>(config: &ProptestConfig, name: &str, mut body: F) {
+    for case in 0..config.cases {
+        // Deterministic per-(test, case) seed so failures are stable and
+        // reproducible without a persistence file.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed = (seed ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        seed ^= u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::from_seed(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest (offline shim): property `{name}` failed at case {case}/{} \
+                 (seed {seed:#018x})",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Size specification for [`vec`]: an exact length or a half-open
+    /// range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into().0 }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs each contained property over many generated cases.
+///
+/// Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(expr)]` header followed by `fn` items whose
+/// arguments use `pattern in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            $crate::run_cases(&__config, stringify!($name), |__rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), __rng);)*
+                $body
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, mirroring `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property, mirroring `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly among the argument strategies, mirroring
+/// `prop_oneof!`. All arms must produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tag {
+        A(usize),
+        B(usize),
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_maps(x in 0..10usize, tag in prop_oneof![
+            (0..5usize).prop_map(Tag::A),
+            (5..9usize).prop_map(Tag::B),
+        ]) {
+            prop_assert!(x < 10);
+            match tag {
+                Tag::A(n) => prop_assert!(n < 5),
+                Tag::B(n) => prop_assert!((5..9).contains(&n)),
+            }
+        }
+
+        #[test]
+        fn vectors_respect_sizes(v in crate::collection::vec(any::<u64>(), 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuples_and_patterns((a, b) in (0..4u8, 4..8u8)) {
+            prop_assert!(a < 4 && (4..8).contains(&b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_header_parses(x in any::<i16>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn exact_vec_size() {
+        let strat = crate::collection::vec(any::<u64>(), 8);
+        let mut rng = crate::TestRng::from_seed(1);
+        assert_eq!(strat.generate(&mut rng).len(), 8);
+    }
+}

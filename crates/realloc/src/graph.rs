@@ -248,10 +248,7 @@ pub fn color_groups(
     while remaining > 0 {
         let k_of = |g: usize| palette(class[g]).len();
         let degree = |g: usize, removed: &[bool]| {
-            graph_groups
-                .neighbors(g)
-                .filter(|&n| !removed[n] && class[n] == class[g])
-                .count()
+            graph_groups.neighbors(g).filter(|&n| !removed[n] && class[n] == class[g]).count()
         };
         let pick = free
             .iter()
@@ -260,10 +257,7 @@ pub fn color_groups(
             .find(|&g| degree(g, &removed) < k_of(g))
             .or_else(|| {
                 // Optimistic push of the max-degree node.
-                free.iter()
-                    .copied()
-                    .filter(|&g| !removed[g])
-                    .max_by_key(|&g| degree(g, &removed))
+                free.iter().copied().filter(|&g| !removed[g]).max_by_key(|&g| degree(g, &removed))
             });
         let g = pick?;
         removed[g] = true;
@@ -352,8 +346,7 @@ mod tests {
         let group_of: Vec<usize> = (0..webs.len()).collect();
         let pal_int: Vec<Reg> = rvp_isa::analysis::allocatable(RegClass::Int);
         let pal_fp: Vec<Reg> = rvp_isa::analysis::allocatable(RegClass::Fp);
-        let colors =
-            color_groups(&webs, &group_of, webs.len(), &g, &pal_int, &pal_fp).unwrap();
+        let colors = color_groups(&webs, &group_of, webs.len(), &g, &pal_int, &pal_fp).unwrap();
         // Without reuse constraints, webs keep their original registers —
         // the pass must not disturb reuse the allocation already has.
         let wa = webs.def_web(0).unwrap();
@@ -374,8 +367,7 @@ mod tests {
         let group_of: Vec<usize> = (0..webs.len()).collect();
         let pal_int: Vec<Reg> = rvp_isa::analysis::allocatable(RegClass::Int);
         let pal_fp: Vec<Reg> = rvp_isa::analysis::allocatable(RegClass::Fp);
-        let colors =
-            color_groups(&webs, &group_of, webs.len(), &g, &pal_int, &pal_fp).unwrap();
+        let colors = color_groups(&webs, &group_of, webs.len(), &g, &pal_int, &pal_fp).unwrap();
         let w = webs.def_web(0).unwrap();
         assert_eq!(colors[group_of[w]], s0);
     }

@@ -26,12 +26,7 @@ pub struct ReallocOptions {
 
 impl Default for ReallocOptions {
     fn default() -> ReallocOptions {
-        ReallocOptions {
-            threshold: 0.8,
-            scope: PlanScope::AllInsts,
-            use_dead: true,
-            use_lv: true,
-        }
+        ReallocOptions { threshold: 0.8, scope: PlanScope::AllInsts, use_dead: true, use_lv: true }
     }
 }
 
@@ -214,10 +209,8 @@ fn reallocate_proc(
             };
             // If the web has another definition inside the loop, the
             // last value cannot survive an iteration.
-            let other_def_in_loop = webs
-                .def_pcs(web)
-                .iter()
-                .any(|&d| d != pc && l.contains(cfg.block_of(d)));
+            let other_def_in_loop =
+                webs.def_pcs(web).iter().any(|&d| d != pc && l.contains(cfg.block_of(d)));
             if other_def_in_loop {
                 continue;
             }
@@ -426,14 +419,8 @@ mod tests {
     /// `ld w` (pc 5) reloads the value the dead register `d` (r5) holds,
     /// produced by `ld d` (pc 3).
     fn correlated_program() -> Program {
-        let (p, q, d, w, v, n) = (
-            Reg::int(1),
-            Reg::int(2),
-            Reg::int(5),
-            Reg::int(3),
-            Reg::int(4),
-            Reg::int(6),
-        );
+        let (p, q, d, w, v, n) =
+            (Reg::int(1), Reg::int(2), Reg::int(5), Reg::int(3), Reg::int(4), Reg::int(6));
         let values: Vec<u64> = (0..64u64).map(|i| i * 17 + 3).collect();
         let mut b = ProgramBuilder::new();
         b.data(0x1000, &values);
@@ -568,11 +555,8 @@ mod tests {
         b.add(Reg::int(0), x, x);
         b.ret(abi::RA);
         let prog = b.build().unwrap();
-        let profile = Profile::collect(
-            &prog,
-            &ProfileConfig { max_insts: 100_000, min_execs: 4 },
-        )
-        .unwrap();
+        let profile =
+            Profile::collect(&prog, &ProfileConfig { max_insts: 100_000, min_execs: 4 }).unwrap();
         let opts = ReallocOptions { threshold: 0.5, ..ReallocOptions::default() };
         let out = reallocate(&prog, &profile, &opts);
         // Semantics: identical final memory.
@@ -590,10 +574,7 @@ mod tests {
         let callee = &out.program.procedures()[1];
         for pc in callee.range.clone() {
             if let Some(d) = out.program.insts()[pc].dst() {
-                assert!(
-                    [x, Reg::int(0)].contains(&d) || d == abi::RA,
-                    "callee now writes {d}"
-                );
+                assert!([x, Reg::int(0)].contains(&d) || d == abi::RA, "callee now writes {d}");
             }
         }
     }

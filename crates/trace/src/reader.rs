@@ -1,0 +1,198 @@
+//! Zero-alloc replay of an on-disk trace.
+
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+use rvp_emu::Committed;
+
+use crate::format::{decode_header, decode_record, CodecState, TraceError, TraceMeta};
+use crate::varint::fnv1a;
+
+/// Iterator over the records of a trace file.
+///
+/// Frames are decoded in bulk: one encoded frame and its decoded records
+/// are resident at a time in reused buffers, so steady-state iteration
+/// performs no allocation and the per-record cost is an index and a
+/// copy. Checksums are verified per frame before any record of that
+/// frame is yielded; after the first error the iterator fuses.
+pub struct TraceReader<R: Read> {
+    source: R,
+    meta: TraceMeta,
+    record_count: u64,
+    state: CodecState,
+    /// Reused encoded-payload buffer.
+    frame: Vec<u8>,
+    /// Reused decoded records of the resident frame.
+    records: Vec<Committed>,
+    /// Next record to yield from `records`.
+    idx: usize,
+    /// Records yielded from completed frames.
+    yielded: u64,
+    frame_index: u64,
+    saw_end_marker: bool,
+    failed: bool,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens `path` and validates its header.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        TraceReader::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps `source` and validates its header.
+    pub fn new(mut source: R) -> Result<Self, TraceError> {
+        let header = decode_header(&mut source)?;
+        Ok(TraceReader {
+            source,
+            meta: header.meta,
+            record_count: header.record_count,
+            state: CodecState::new(),
+            frame: Vec::new(),
+            records: Vec::new(),
+            idx: 0,
+            yielded: 0,
+            frame_index: 0,
+            saw_end_marker: false,
+            failed: false,
+        })
+    }
+
+    /// The metadata key the trace was captured under.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Total records the header promises.
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// Reads and bulk-decodes the next frame into `self.records`.
+    ///
+    /// Returns `Ok(false)` once the end marker has been consumed.
+    fn load_frame(&mut self) -> Result<bool, TraceError> {
+        let count = match self.read_varint()? {
+            Some(v) => v,
+            None => return Err(TraceError::Truncated),
+        };
+        if count == 0 {
+            // End marker: the stream must account for every record.
+            self.saw_end_marker = true;
+            if self.yielded != self.record_count {
+                return Err(TraceError::CountMismatch {
+                    header: self.record_count,
+                    decoded: self.yielded,
+                });
+            }
+            return Ok(false);
+        }
+        let payload_len = match self.read_varint()? {
+            Some(v) => v as usize,
+            None => return Err(TraceError::Truncated),
+        };
+        // A record is at least one byte, so a frame claiming a payload
+        // wildly smaller or larger than its count is corrupt; the bound
+        // also keeps a corrupt length from ballooning the buffer.
+        if payload_len < count as usize || payload_len > count as usize * 64 {
+            return Err(TraceError::Corrupt("implausible frame length"));
+        }
+        let mut checksum = [0u8; 8];
+        self.read_exact_or_truncated(&mut checksum)?;
+        self.frame.resize(payload_len, 0);
+        let mut frame = std::mem::take(&mut self.frame);
+        let res = self.read_exact_or_truncated(&mut frame);
+        self.frame = frame;
+        res?;
+        if fnv1a(&self.frame) != u64::from_le_bytes(checksum) {
+            return Err(TraceError::ChecksumMismatch { frame: self.frame_index });
+        }
+        self.frame_index += 1;
+
+        self.records.clear();
+        self.records.reserve(count as usize);
+        let mut pos = 0;
+        for k in 0..count {
+            let record = decode_record(&mut self.state, &self.frame, &mut pos, self.yielded + k)?;
+            self.records.push(record);
+        }
+        if pos != self.frame.len() {
+            return Err(TraceError::Corrupt("frame has trailing bytes"));
+        }
+        self.idx = 0;
+        Ok(true)
+    }
+
+    fn read_varint(&mut self) -> Result<Option<u64>, TraceError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let mut byte = [0u8; 1];
+            match self.source.read_exact(&mut byte) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                    return if shift == 0 { Ok(None) } else { Err(TraceError::Truncated) };
+                }
+                Err(e) => return Err(TraceError::Io(e)),
+            }
+            if shift >= 64 {
+                return Err(TraceError::Corrupt("oversized varint"));
+            }
+            v |= u64::from(byte[0] & 0x7f) << shift;
+            if byte[0] & 0x80 == 0 {
+                return Ok(Some(v));
+            }
+            shift += 7;
+        }
+    }
+
+    fn read_exact_or_truncated(&mut self, buf: &mut [u8]) -> Result<(), TraceError> {
+        self.source.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceError::Truncated
+            } else {
+                TraceError::Io(e)
+            }
+        })
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Committed, TraceError>;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(&record) = self.records.get(self.idx) {
+            self.idx += 1;
+            return Some(Ok(record));
+        }
+        if self.failed || self.saw_end_marker {
+            return None;
+        }
+        self.yielded += self.records.len() as u64;
+        match self.load_frame() {
+            Ok(true) => {
+                self.idx = 1;
+                Some(Ok(self.records[0]))
+            }
+            Ok(false) => None,
+            Err(e) => {
+                // A partially decoded frame must not leak records.
+                self.records.clear();
+                self.idx = 0;
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.failed || self.saw_end_marker {
+            return (self.records.len() - self.idx, Some(self.records.len() - self.idx));
+        }
+        let done = self.yielded + self.idx as u64;
+        (self.records.len() - self.idx, Some((self.record_count - done) as usize))
+    }
+}

@@ -1,0 +1,156 @@
+//! On-disk trace cache with graceful fallback.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rvp_isa::Program;
+
+use crate::format::{TraceError, TraceMeta};
+use crate::reader::TraceReader;
+use crate::writer::capture;
+
+/// Counters describing how a [`TraceStore`] has been used; shared by
+/// clones of the store, so a parallel grid reports one total.
+#[derive(Debug, Default)]
+pub struct StoreCounters {
+    hits: AtomicU64,
+    captures: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl StoreCounters {
+    /// Traces served straight from disk.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Traces captured because none (valid) existed.
+    pub fn captures(&self) -> u64 {
+        self.captures.load(Ordering::Relaxed)
+    }
+
+    /// Cached traces that were rejected (corrupt, truncated, version or
+    /// metadata skew) and silently re-captured.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+}
+
+/// A directory of captured traces, keyed by [`TraceMeta`].
+///
+/// The store never lets a bad cache entry surface to an experiment:
+/// anything wrong with a cached file — stale format version, checksum
+/// mismatch, truncation, a different program hash — counts as a miss
+/// and triggers a fresh capture over the live emulator.
+#[derive(Debug, Clone)]
+pub struct TraceStore {
+    dir: PathBuf,
+    counters: Arc<StoreCounters>,
+}
+
+impl TraceStore {
+    /// Creates a store rooted at `dir` (created if absent).
+    pub fn new(dir: impl Into<PathBuf>) -> Result<TraceStore, TraceError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(TraceStore { dir, counters: Arc::new(StoreCounters::default()) })
+    }
+
+    /// Builds a store from the `RVP_TRACE_DIR` environment variable, or
+    /// `None` when the variable is unset or empty.
+    pub fn from_env() -> Option<TraceStore> {
+        let dir = std::env::var("RVP_TRACE_DIR").ok()?;
+        if dir.is_empty() {
+            return None;
+        }
+        match TraceStore::new(&dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("warning: RVP_TRACE_DIR={dir} unusable ({e}); tracing disabled");
+                None
+            }
+        }
+    }
+
+    /// Usage counters shared across clones of this store.
+    pub fn counters(&self) -> &Arc<StoreCounters> {
+        &self.counters
+    }
+
+    /// Root directory of the cache.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// On-disk path for a given key.
+    pub fn path_for(&self, meta: &TraceMeta) -> PathBuf {
+        self.dir.join(format!("{}-{}-{}.rvpt", meta.workload, meta.input.tag(), meta.budget))
+    }
+
+    /// Opens the cached trace for `meta` if one exists and is valid in
+    /// every respect (format, checksums deferred to iteration, and the
+    /// full metadata key including the program hash).
+    pub fn open(
+        &self,
+        meta: &TraceMeta,
+    ) -> Result<TraceReader<std::io::BufReader<std::fs::File>>, TraceError> {
+        let reader = TraceReader::open(&self.path_for(meta))?;
+        if let Some(field) = meta_diff(reader.meta(), meta) {
+            return Err(TraceError::MetaMismatch { field });
+        }
+        Ok(reader)
+    }
+
+    /// Opens the cached trace for `meta`, capturing it first if absent
+    /// or invalid. This is the graceful-fallback entry point: a corrupt
+    /// or stale cache entry is replaced, never reported.
+    pub fn open_or_capture(
+        &self,
+        program: &Program,
+        meta: &TraceMeta,
+    ) -> Result<TraceReader<std::io::BufReader<std::fs::File>>, TraceError> {
+        match self.open(meta) {
+            Ok(reader) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(reader);
+            }
+            Err(TraceError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(_) => {
+                // Stale, corrupt or foreign file: fall back to capture.
+                self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.capture(program, meta)?;
+        self.counters.captures.fetch_add(1, Ordering::Relaxed);
+        self.open(meta)
+    }
+
+    /// Captures `program` under `meta`, atomically replacing any
+    /// existing entry (write to a temp file, then rename), so a reader
+    /// in another process never observes a half-written trace.
+    pub fn capture(&self, program: &Program, meta: &TraceMeta) -> Result<u64, TraceError> {
+        let path = self.path_for(meta);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let n = capture(program, meta, &tmp)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(n)
+    }
+}
+
+/// First field on which two keys differ, if any.
+fn meta_diff(found: &TraceMeta, want: &TraceMeta) -> Option<&'static str> {
+    if found.workload != want.workload {
+        Some("workload")
+    } else if found.input != want.input {
+        Some("input")
+    } else if found.budget != want.budget {
+        Some("budget")
+    } else if found.program_len != want.program_len {
+        Some("program_len")
+    } else if found.program_hash != want.program_hash {
+        Some("program_hash")
+    } else {
+        None
+    }
+}

@@ -1,0 +1,121 @@
+//! Streaming trace writer and the emulator-driven capture entry point.
+
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use rvp_emu::{Committed, Emulator};
+use rvp_isa::Program;
+
+use crate::format::{
+    encode_header, encode_record, CodecState, TraceError, TraceMeta, COUNT_OFFSET,
+    COUNT_UNFINISHED, FRAME_RECORDS,
+};
+use crate::varint::{fnv1a, put_varint};
+
+/// Streams [`Committed`] records into the on-disk trace format.
+///
+/// Records accumulate into a frame buffer and are flushed (with length
+/// prefix and checksum) every [`FRAME_RECORDS`] records. The header's
+/// `record_count` stays at the unfinished sentinel until [`finish`]
+/// patches it, so a crashed capture is never mistaken for a valid trace.
+///
+/// [`finish`]: TraceWriter::finish
+pub struct TraceWriter<W: Write + Seek> {
+    sink: W,
+    state: CodecState,
+    frame: Vec<u8>,
+    frame_records: u64,
+    total_records: u64,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates `path` (truncating any existing file) and writes the
+    /// header for `meta`.
+    pub fn create(path: &Path, meta: &TraceMeta) -> Result<Self, TraceError> {
+        TraceWriter::new(BufWriter::new(File::create(path)?), meta)
+    }
+}
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Wraps `sink` and writes the header for `meta`.
+    pub fn new(mut sink: W, meta: &TraceMeta) -> Result<Self, TraceError> {
+        sink.write_all(&encode_header(meta, COUNT_UNFINISHED))?;
+        Ok(TraceWriter {
+            sink,
+            state: CodecState::new(),
+            frame: Vec::with_capacity(FRAME_RECORDS * 4),
+            frame_records: 0,
+            total_records: 0,
+        })
+    }
+
+    /// Appends one committed record.
+    pub fn append(&mut self, record: &Committed) -> Result<(), TraceError> {
+        encode_record(&mut self.state, record, &mut self.frame);
+        self.frame_records += 1;
+        self.total_records += 1;
+        if self.frame_records as usize >= FRAME_RECORDS {
+            self.flush_frame()?;
+        }
+        Ok(())
+    }
+
+    fn flush_frame(&mut self) -> Result<(), TraceError> {
+        if self.frame_records == 0 {
+            return Ok(());
+        }
+        let mut prefix = Vec::with_capacity(24);
+        put_varint(&mut prefix, self.frame_records);
+        put_varint(&mut prefix, self.frame.len() as u64);
+        prefix.extend_from_slice(&fnv1a(&self.frame).to_le_bytes());
+        self.sink.write_all(&prefix)?;
+        self.sink.write_all(&self.frame)?;
+        self.frame.clear();
+        self.frame_records = 0;
+        Ok(())
+    }
+
+    /// Flushes the final frame, writes the end marker and patches the
+    /// header's record count. Returns the total records written.
+    pub fn finish(mut self) -> Result<u64, TraceError> {
+        self.flush_frame()?;
+        // End marker: a frame with record count zero.
+        self.sink.write_all(&[0u8])?;
+        self.sink.seek(SeekFrom::Start(COUNT_OFFSET))?;
+        self.sink.write_all(&self.total_records.to_le_bytes())?;
+        self.sink.flush()?;
+        Ok(self.total_records)
+    }
+}
+
+/// Runs the functional emulator over `program` for up to `meta.budget`
+/// committed instructions and writes the stream to `path`.
+///
+/// Returns the number of records captured (fewer than the budget if the
+/// program halts early). On failure the partial file is removed.
+pub fn capture(program: &Program, meta: &TraceMeta, path: &Path) -> Result<u64, TraceError> {
+    match capture_inner(program, meta, path) {
+        Ok(n) => Ok(n),
+        Err(e) => {
+            let _ = std::fs::remove_file(path);
+            Err(e)
+        }
+    }
+}
+
+fn capture_inner(program: &Program, meta: &TraceMeta, path: &Path) -> Result<u64, TraceError> {
+    let mut writer = TraceWriter::create(path, meta)?;
+    let mut emu = Emulator::new(program);
+    let mut captured = 0u64;
+    while captured < meta.budget {
+        match emu.step()? {
+            Some(record) => {
+                writer.append(&record)?;
+                captured += 1;
+            }
+            None => break,
+        }
+    }
+    writer.finish()
+}

@@ -5,8 +5,8 @@ use rvp_emu::{Committed, Emulator};
 use rvp_isa::{ExecClass, Flow, Program, Reg, RegClass, NUM_REGS};
 use rvp_mem::Hierarchy;
 use rvp_vpred::{
-    BufferConfig, BufferPredictor, CorrelationPredictor, DrvpPredictor, GabbayPredictor,
-    ReuseKind, Scope,
+    BufferConfig, BufferPredictor, CorrelationPredictor, DrvpPredictor, GabbayPredictor, ReuseKind,
+    Scope,
 };
 
 use crate::config::UarchConfig;
@@ -241,10 +241,7 @@ impl<'s, 'p> Core<'s, 'p> {
         let Some(i) = self.rob_index(dep_seq) else {
             // Younger than the ROB tail (squashed, awaiting refetch):
             // not available. Older than the head: committed long ago.
-            let awaiting_refetch = self
-                .rob
-                .back()
-                .is_some_and(|t| dep_seq > t.rec.seq);
+            let awaiting_refetch = self.rob.back().is_some_and(|t| dep_seq > t.rec.seq);
             return if awaiting_refetch { None } else { Some(Vec::new()) };
         };
         let p = &self.rob[i];
@@ -291,8 +288,7 @@ impl<'s, 'p> Core<'s, 'p> {
             let predicted = e.predicted;
             let pred_correct = e.pred_correct;
             let first_use = e.first_use;
-            let (pc, is_load, dst, new_value) =
-                (e.rec.pc, e.is_load, e.rec.dst, e.rec.new_value);
+            let (pc, is_load, dst, new_value) = (e.rec.pc, e.is_load, e.rec.dst, e.rec.new_value);
 
             self.rob[idx].done = true;
 
@@ -308,11 +304,7 @@ impl<'s, 'p> Core<'s, 'p> {
                 (&self.sim.scheme, dst)
             {
                 if scope.admits(is_load, true) {
-                    self.sim
-                        .buffer
-                        .as_mut()
-                        .expect("buffer state")
-                        .train(pc, new_value);
+                    self.sim.buffer.as_mut().expect("buffer state").train(pc, new_value);
                 }
             }
 
@@ -483,11 +475,11 @@ impl<'s, 'p> Core<'s, 'p> {
                     }
                     (Scheme::HwCorrelation { scope, .. }, pv) if in_scope(*scope) => {
                         let hit = pv == Some(e.rec.new_value);
-                        self.sim
-                            .correlation
-                            .as_mut()
-                            .expect("correlation state")
-                            .train(e.rec.pc, hit, e.corr_observed);
+                        self.sim.correlation.as_mut().expect("correlation state").train(
+                            e.rec.pc,
+                            hit,
+                            e.corr_observed,
+                        );
                     }
                     _ => {}
                 }
@@ -631,12 +623,8 @@ impl<'s, 'p> Core<'s, 'p> {
             }
             Recovery::Reissue => {
                 // Everything younger than an unverified prediction stays.
-                let oldest_unverified = self
-                    .rob
-                    .iter()
-                    .filter(|e| e.predicted && !e.verified)
-                    .map(|e| e.rec.seq)
-                    .min();
+                let oldest_unverified =
+                    self.rob.iter().filter(|e| e.predicted && !e.verified).map(|e| e.rec.seq).min();
                 for e in &mut self.rob {
                     if e.in_iq && e.issued_at.is_some() {
                         let held = oldest_unverified.is_some_and(|s| e.rec.seq > s);
@@ -658,10 +646,7 @@ impl<'s, 'p> Core<'s, 'p> {
     }
 
     fn inflight_writers(&self, class: RegClass) -> usize {
-        self.rob
-            .iter()
-            .filter(|e| e.rec.dst.is_some_and(|d| d.class() == class))
-            .count()
+        self.rob.iter().filter(|e| e.rec.dst.is_some_and(|d| d.class() == class)).count()
     }
 
     fn dispatch(&mut self) {
@@ -674,7 +659,11 @@ impl<'s, 'p> Core<'s, 'p> {
             let inst = &self.program.insts()[rec.pc];
             let queue = inst.queue_class();
             if self.iq_count(queue)
-                >= if queue == RegClass::Int { self.sim.config.iq_int } else { self.sim.config.iq_fp }
+                >= if queue == RegClass::Int {
+                    self.sim.config.iq_int
+                } else {
+                    self.sim.config.iq_fp
+                }
             {
                 break;
             }
@@ -732,9 +721,7 @@ impl<'s, 'p> Core<'s, 'p> {
                     } else {
                         (0..rvp_isa::NUM_REGS_PER_CLASS)
                             .map(|n| Reg::new(dst.class(), n))
-                            .find(|r| {
-                                !r.is_zero() && self.shadow[r.index()] == rec.new_value
-                            })
+                            .find(|r| !r.is_zero() && self.shadow[r.index()] == rec.new_value)
                     }
                 }
                 _ => None,
@@ -826,11 +813,7 @@ impl<'s, 'p> Core<'s, 'p> {
                 let p = self.sim.correlation.as_ref().expect("correlation state");
                 match p.candidate(rec.pc) {
                     Some(r) if r.class() == dst.class() => {
-                        let value = if r == dst {
-                            rec.old_value
-                        } else {
-                            self.shadow[r.index()]
-                        };
+                        let value = if r == dst { rec.old_value } else { self.shadow[r.index()] };
                         (p.confident(rec.pc), Some(value), self.last_writer[r.index()])
                     }
                     _ => (false, None, None),
@@ -849,10 +832,9 @@ impl<'s, 'p> Core<'s, 'p> {
             // after the first execution the register holds the last
             // value; its old mapping is this instruction's *previous
             // dynamic instance*, which has almost always completed.
-            ReuseKind::LastValue => (
-                self.last_value[rec.pc].unwrap_or(rec.old_value),
-                self.last_instance[rec.pc],
-            ),
+            ReuseKind::LastValue => {
+                (self.last_value[rec.pc].unwrap_or(rec.old_value), self.last_instance[rec.pc])
+            }
         }
     }
 
@@ -972,9 +954,7 @@ mod tests {
     }
 
     fn run(p: &Program, scheme: Scheme, rec: Recovery) -> SimStats {
-        Simulator::new(UarchConfig::table1(), scheme, rec)
-            .run(p, 1_000_000)
-            .unwrap()
+        Simulator::new(UarchConfig::table1(), scheme, rec).run(p, 1_000_000).unwrap()
     }
 
     #[test]
@@ -1065,20 +1045,12 @@ mod tests {
         let p = b.build().unwrap();
 
         let base = run(&p, Scheme::NoPredict, Recovery::Selective);
-        let drvp = run(
-            &p,
-            Scheme::drvp(Scope::LoadsOnly, PredictionPlan::new()),
-            Recovery::Selective,
-        );
+        let drvp =
+            run(&p, Scheme::drvp(Scope::LoadsOnly, PredictionPlan::new()), Recovery::Selective);
         assert_eq!(base.committed, drvp.committed);
         assert!(drvp.predictions > 0, "no predictions made");
         assert!(drvp.accuracy() > 0.9, "accuracy = {}", drvp.accuracy());
-        assert!(
-            drvp.ipc() > base.ipc() * 1.02,
-            "drvp {} vs base {}",
-            drvp.ipc(),
-            base.ipc()
-        );
+        assert!(drvp.ipc() > base.ipc() * 1.02, "drvp {} vs base {}", drvp.ipc(), base.ipc());
     }
 
     #[test]
@@ -1300,9 +1272,7 @@ mod tests {
                 UarchConfig::table1(),
                 Scheme::Buffer {
                     scope: Scope::AllInsts,
-                    config: rvp_vpred::BufferConfig::Stride(
-                        rvp_vpred::StrideConfig::default(),
-                    ),
+                    config: rvp_vpred::BufferConfig::Stride(rvp_vpred::StrideConfig::default()),
                 },
                 Recovery::Selective,
             )
@@ -1320,11 +1290,7 @@ mod tests {
         // (The loop counter itself still strides and stays stale, so
         // constant-sequence accuracy is bounded by its share of the
         // predictions rather than reaching 100%.)
-        assert!(
-            constant.accuracy() > 0.6,
-            "constant-sequence accuracy: {}",
-            constant.accuracy()
-        );
+        assert!(constant.accuracy() > 0.6, "constant-sequence accuracy: {}", constant.accuracy());
     }
 
     #[test]
@@ -1363,9 +1329,8 @@ mod tests {
         // still make progress and commit everything.
         let cfg = UarchConfig { iq_int: 2, iq_fp: 2, rob_size: 4, ..UarchConfig::table1() };
         let p = counted_loop(100);
-        let s = Simulator::new(cfg, Scheme::NoPredict, Recovery::Selective)
-            .run(&p, 1 << 20)
-            .unwrap();
+        let s =
+            Simulator::new(cfg, Scheme::NoPredict, Recovery::Selective).run(&p, 1 << 20).unwrap();
         assert_eq!(s.committed, 202);
     }
 
@@ -1373,9 +1338,8 @@ mod tests {
     fn rename_register_exhaustion_throttles_but_completes() {
         let cfg = UarchConfig { rename_regs: 2, ..UarchConfig::table1() };
         let p = counted_loop(100);
-        let slow = Simulator::new(cfg, Scheme::NoPredict, Recovery::Selective)
-            .run(&p, 1 << 20)
-            .unwrap();
+        let slow =
+            Simulator::new(cfg, Scheme::NoPredict, Recovery::Selective).run(&p, 1 << 20).unwrap();
         let fast = run(&p, Scheme::NoPredict, Recovery::Selective);
         assert_eq!(slow.committed, fast.committed);
         assert!(slow.cycles >= fast.cycles);
@@ -1404,11 +1368,8 @@ mod tests {
         b.bnez(n, "loop");
         b.halt();
         let prog = b.build().unwrap();
-        let drvp = run(
-            &prog,
-            Scheme::drvp(Scope::AllInsts, PredictionPlan::new()),
-            Recovery::Selective,
-        );
+        let drvp =
+            run(&prog, Scheme::drvp(Scope::AllInsts, PredictionPlan::new()), Recovery::Selective);
         let hw = run(
             &prog,
             Scheme::HwCorrelation {

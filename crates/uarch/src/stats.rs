@@ -18,6 +18,16 @@ pub enum SimError {
         /// Instructions committed by then.
         committed: u64,
     },
+    /// A train-input profile was applied to a ref-input program with a
+    /// different static shape. Profiles are keyed by PC, so this would
+    /// silently mispredict everything rather than fail; it is a workload
+    /// generator bug and is reported as such.
+    StructureMismatch {
+        /// Static length of the train build.
+        train_len: usize,
+        /// Static length of the ref build.
+        ref_len: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -27,6 +37,13 @@ impl fmt::Display for SimError {
             SimError::Deadlock { cycle, committed } => {
                 write!(f, "pipeline deadlock at cycle {cycle} after {committed} commits")
             }
+            SimError::StructureMismatch { train_len, ref_len } => {
+                write!(
+                    f,
+                    "train ({train_len} insts) and ref ({ref_len} insts) builds do not share \
+                     static structure"
+                )
+            }
         }
     }
 }
@@ -35,7 +52,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Emu(e) => Some(e),
-            SimError::Deadlock { .. } => None,
+            SimError::Deadlock { .. } | SimError::StructureMismatch { .. } => None,
         }
     }
 }
@@ -143,6 +160,30 @@ impl SimStats {
             "speedup requires runs over the same committed instruction count"
         );
         self.ipc() / baseline.ipc()
+    }
+}
+
+impl rvp_json::ToJson for SimStats {
+    fn to_json(&self) -> rvp_json::Json {
+        rvp_json::Json::obj([
+            ("cycles", self.cycles.into()),
+            ("committed", self.committed.into()),
+            ("loads", self.loads.into()),
+            ("predictions", self.predictions.into()),
+            ("correct_predictions", self.correct_predictions.into()),
+            ("costly_mispredictions", self.costly_mispredictions.into()),
+            ("squashes", self.squashes.into()),
+            ("squashed_insts", self.squashed_insts.into()),
+            ("reissued_insts", self.reissued_insts.into()),
+            ("fetch_stall_cycles", self.fetch_stall_cycles.into()),
+            ("iq_int_occupancy_sum", self.iq_int_occupancy_sum.into()),
+            ("iq_fp_occupancy_sum", self.iq_fp_occupancy_sum.into()),
+            ("branch", self.branch.to_json()),
+            ("mem", self.mem.to_json()),
+            ("ipc", self.ipc().into()),
+            ("coverage", self.coverage().into()),
+            ("accuracy", self.accuracy().into()),
+        ])
     }
 }
 

@@ -4,13 +4,11 @@
 //! deliberate model change shifts them, update the constants in the same
 //! commit that explains why.
 
-use rvp_isa::{ProgramBuilder, Program, Reg};
+use rvp_isa::{Program, ProgramBuilder, Reg};
 use rvp_uarch::{PredictionPlan, Recovery, Scheme, Simulator, UarchConfig};
 
 fn cycles(p: &Program, scheme: Scheme, recovery: Recovery) -> (u64, u64) {
-    let s = Simulator::new(UarchConfig::table1(), scheme, recovery)
-        .run(p, 1 << 20)
-        .unwrap();
+    let s = Simulator::new(UarchConfig::table1(), scheme, recovery).run(p, 1 << 20).unwrap();
     (s.cycles, s.committed)
 }
 
@@ -90,8 +88,7 @@ fn golden_recovery_cycle_counts() {
     b.bnez(n, "top");
     b.halt();
     let p = b.build().unwrap();
-    let plan: PredictionPlan =
-        [(2usize, rvp_uarch::ReuseKind::SameReg)].into_iter().collect();
+    let plan: PredictionPlan = [(2usize, rvp_uarch::ReuseKind::SameReg)].into_iter().collect();
     let refetch = cycles(&p, Scheme::StaticRvp { plan: plan.clone() }, Recovery::Refetch).0;
     let reissue = cycles(&p, Scheme::StaticRvp { plan: plan.clone() }, Recovery::Reissue).0;
     let selective = cycles(&p, Scheme::StaticRvp { plan }, Recovery::Selective).0;

@@ -188,10 +188,7 @@ impl ContextPredictor {
     fn context_hash(&self, pc: usize, history: &[u64]) -> usize {
         let mut h = pc as u64;
         for (k, v) in history.iter().enumerate() {
-            h = h
-                .rotate_left(7)
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                ^ v.rotate_left(k as u32 + 1);
+            h = h.rotate_left(7).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ v.rotate_left(k as u32 + 1);
         }
         (h as usize) & (self.config.vht_entries - 1)
     }

@@ -42,8 +42,7 @@ mod lvp;
 mod plan;
 
 pub use buffers::{
-    BufferConfig, BufferPredictor, ContextConfig, ContextPredictor, StrideConfig,
-    StridePredictor,
+    BufferConfig, BufferPredictor, ContextConfig, ContextPredictor, StrideConfig, StridePredictor,
 };
 pub use correlation::{CorrelationConfig, CorrelationPredictor};
 pub use counters::{ConfidenceCounter, ConfidenceTable, CounterPolicy, TableConfig};

@@ -135,8 +135,7 @@ mod tests {
         let mut a = PredictionPlan::new();
         a.insert(1, ReuseKind::SameReg);
         a.insert(2, ReuseKind::LastValue);
-        let b: PredictionPlan =
-            [(2, ReuseKind::OtherReg(Reg::int(4)))].into_iter().collect();
+        let b: PredictionPlan = [(2, ReuseKind::OtherReg(Reg::int(4)))].into_iter().collect();
         a.extend_from(&b);
         assert_eq!(a.kind(1), Some(ReuseKind::SameReg));
         assert_eq!(a.kind(2), Some(ReuseKind::OtherReg(Reg::int(4))));

@@ -65,8 +65,8 @@ fn emit(input: Input, table: &[u64; 3]) -> Program {
         for k in i..i + run {
             heap[k * 4] = tag;
             heap[k * 4 + 1] = val; // number runs repeat the same value
-            // Cars point near their cell (allocation locality), so a
-            // car's tag usually matches the current run's tag.
+                                   // Cars point near their cell (allocation locality), so a
+                                   // car's tag usually matches the current run's tag.
             heap[k * 4 + 2] = cell_addr(r.gen_range(i..(i + run).min(NCELLS)));
             heap[k * 4 + 3] = if k + 1 < NCELLS && r.gen_range(0..100) < 94 {
                 cell_addr(k + 1)

@@ -59,7 +59,7 @@ pub enum Lang {
 
 /// Which input set to build (paper Section 6: profile on train, measure
 /// on ref).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Input {
     /// Smaller input with a different seed; used for profiling.
     Train,
@@ -94,10 +94,7 @@ impl Workload {
 
 impl std::fmt::Debug for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Workload")
-            .field("name", &self.name)
-            .field("lang", &self.lang)
-            .finish()
+        f.debug_struct("Workload").field("name", &self.name).field("lang", &self.lang).finish()
     }
 }
 
@@ -184,8 +181,7 @@ mod tests {
 
     #[test]
     fn language_groups_match_the_paper() {
-        let c: Vec<&str> =
-            all().iter().filter(|w| w.lang() == Lang::C).map(|w| w.name()).collect();
+        let c: Vec<&str> = all().iter().filter(|w| w.lang() == Lang::C).map(|w| w.name()).collect();
         assert_eq!(c, ["go", "ijpeg", "li", "m88ksim", "perl"]);
         let f: Vec<&str> =
             all().iter().filter(|w| w.lang() == Lang::Fortran).map(|w| w.name()).collect();

@@ -59,9 +59,8 @@ fn emit(input: Input, table: &[u64; 4]) -> Program {
     for (i, slot) in ops.iter_mut().enumerate().take(8) {
         *slot = OP_PUSH | (((i as u64) * 7 + 1) << 8);
     }
-    let hash: Vec<u64> = (0..NBUCKETS * 2)
-        .map(|i| if i % 2 == 0 { 0 } else { r.gen_range(0..50u64) })
-        .collect();
+    let hash: Vec<u64> =
+        (0..NBUCKETS * 2).map(|i| if i % 2 == 0 { 0 } else { r.gen_range(0..50u64) }).collect();
     let passes = scale(input, 60, 170);
 
     let opp = Reg::int(1);

@@ -42,8 +42,7 @@ pub fn build(input: Input) -> Program {
     let npass = Reg::int(16);
     let fv = Reg::fp(10);
     let (m00, m01, m11) = (Reg::fp(11), Reg::fp(12), Reg::fp(14));
-    let (v0, v1, r0, r1, tmp) =
-        (Reg::fp(15), Reg::fp(16), Reg::fp(17), Reg::fp(18), Reg::fp(19));
+    let (v0, v1, r0, r1, tmp) = (Reg::fp(15), Reg::fp(16), Reg::fp(17), Reg::fp(18), Reg::fp(19));
 
     let mut b = rvp_isa::ProgramBuilder::new();
     b.data_f64(LINKS, &links);

@@ -11,8 +11,7 @@ fn coverage_fractions(name: &str) -> (f64, f64) {
     // reuse, same but including dead/lv assistance).
     let wl = by_name(name).expect("workload exists");
     let p = wl.program(Input::Train);
-    let prof =
-        Profile::collect(&p, &ProfileConfig { max_insts: 300_000, min_execs: 32 }).unwrap();
+    let prof = Profile::collect(&p, &ProfileConfig { max_insts: 300_000, min_execs: 32 }).unwrap();
     let mut hot = 0usize;
     let mut same = 0usize;
     for pc in 0..p.len() {
@@ -26,10 +25,7 @@ fn coverage_fractions(name: &str) -> (f64, f64) {
         }
     }
     let plan = prof.assist_plan(&p, 0.8, PlanScope::AllInsts, Assist::DeadLv);
-    (
-        same as f64 / hot.max(1) as f64,
-        (same + plan.len()) as f64 / hot.max(1) as f64,
-    )
+    (same as f64 / hot.max(1) as f64, (same + plan.len()) as f64 / hot.max(1) as f64)
 }
 
 #[test]
@@ -64,8 +60,7 @@ fn mgrid_reuse_is_constant_locality() {
     // little extra from assistance.
     let wl = by_name("mgrid").unwrap();
     let p = wl.program(Input::Train);
-    let prof =
-        Profile::collect(&p, &ProfileConfig { max_insts: 300_000, min_execs: 32 }).unwrap();
+    let prof = Profile::collect(&p, &ProfileConfig { max_insts: 300_000, min_execs: 32 }).unwrap();
     // Sparsity is *regional* (zero planes), so per-static load rates are
     // the zero-fraction mix; the confidence counters exploit the runs.
     // Guard the signature: several stencil loads with a nonzero but
@@ -85,13 +80,10 @@ fn mgrid_reuse_is_constant_locality() {
 fn li_tag_loads_are_reusable() {
     let wl = by_name("li").unwrap();
     let p = wl.program(Input::Train);
-    let prof =
-        Profile::collect(&p, &ProfileConfig { max_insts: 300_000, min_execs: 32 }).unwrap();
+    let prof = Profile::collect(&p, &ProfileConfig { max_insts: 300_000, min_execs: 32 }).unwrap();
     // At least one hot load with >=80% same-register reuse (the tag load).
     let hot_tag = (0..p.len()).any(|pc| {
-        p.insts()[pc].is_load()
-            && prof.stats()[pc].execs > 10_000
-            && prof.same_rate(pc) >= 0.8
+        p.insts()[pc].is_load() && prof.stats()[pc].execs > 10_000 && prof.same_rate(pc) >= 0.8
     });
     assert!(hot_tag, "li lost its hot reusable tag load");
 }
@@ -100,12 +92,10 @@ fn li_tag_loads_are_reusable() {
 fn turb3d_twiddles_reload_constants() {
     let wl = by_name("turb3d").unwrap();
     let p = wl.program(Input::Train);
-    let prof =
-        Profile::collect(&p, &ProfileConfig { max_insts: 300_000, min_execs: 32 }).unwrap();
+    let prof = Profile::collect(&p, &ProfileConfig { max_insts: 300_000, min_execs: 32 }).unwrap();
     // Twiddle/common-block loads: several loads with high lv rates.
-    let stable_loads = (0..p.len())
-        .filter(|&pc| p.insts()[pc].is_load() && prof.lv_rate(pc) >= 0.8)
-        .count();
+    let stable_loads =
+        (0..p.len()).filter(|&pc| p.insts()[pc].is_load() && prof.lv_rate(pc) >= 0.8).count();
     assert!(stable_loads >= 3, "turb3d stable loads: {stable_loads}");
 }
 

@@ -17,14 +17,8 @@ use rvp_core::{
 ///    executions (Fig. 2c: last-value reuse blocked by an intervening
 ///    write).
 fn kernel() -> Program {
-    let (p, q, d, w, v, n) = (
-        Reg::int(1),
-        Reg::int(2),
-        Reg::int(5),
-        Reg::int(3),
-        Reg::int(4),
-        Reg::int(6),
-    );
+    let (p, q, d, w, v, n) =
+        (Reg::int(1), Reg::int(2), Reg::int(5), Reg::int(3), Reg::int(4), Reg::int(6));
     let values: Vec<u64> = (0..128u64).map(|i| i * 11 + 5).collect();
     let mut b = ProgramBuilder::new();
     b.data(0x1000, &values);
@@ -64,17 +58,11 @@ fn measure(program: &Program) -> Result<(f64, f64), Box<dyn std::error::Error>> 
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let original = kernel();
-    let profile = Profile::collect(
-        &original,
-        &ProfileConfig { max_insts: 400_000, min_execs: 32 },
-    )?;
+    let profile =
+        Profile::collect(&original, &ProfileConfig { max_insts: 400_000, min_execs: 32 })?;
 
-    let opts = ReallocOptions {
-        threshold: 0.8,
-        scope: PlanScope::AllInsts,
-        use_dead: true,
-        use_lv: true,
-    };
+    let opts =
+        ReallocOptions { threshold: 0.8, scope: PlanScope::AllInsts, use_dead: true, use_lv: true };
     let outcome = reallocate(&original, &profile, &opts);
     println!(
         "reallocation: {}/{} dead-register reuses applied, {}/{} last-value reuses applied\n",

@@ -9,8 +9,8 @@
 //! prediction schemes on it.
 
 use rvp_core::{
-    PlanScope, Profile, ProfileConfig, Program, ProgramBuilder, Recovery, Reg, Scheme,
-    Simulator, UarchConfig,
+    PlanScope, Profile, ProfileConfig, Program, ProgramBuilder, Recovery, Reg, Scheme, Simulator,
+    UarchConfig,
 };
 
 fn interpreter() -> Result<Program, Box<dyn std::error::Error>> {
@@ -20,7 +20,7 @@ fn interpreter() -> Result<Program, Box<dyn std::error::Error>> {
     // value-reuse pattern the paper's introduction motivates.
     let ops: Vec<u64> = (0..96)
         .map(|i| match i % 32 {
-            31 => 1u64,           // occasional add
+            31 => 1u64,  // occasional add
             _ => 7 << 8, // push 7 (op 0)
         })
         .collect();
@@ -80,10 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = interpreter()?;
 
     // Profile the register-value reuse (Section 5 of the paper).
-    let profile = Profile::collect(
-        &program,
-        &ProfileConfig { max_insts: 400_000, min_execs: 32 },
-    )?;
+    let profile = Profile::collect(&program, &ProfileConfig { max_insts: 400_000, min_execs: 32 })?;
     let lists = profile.reuse_lists(&program, 0.8, PlanScope::AllInsts);
     println!("register-value reuse profile at the 80% threshold:");
     println!("  {} instructions with same-register reuse", lists.same.len());

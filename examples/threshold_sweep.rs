@@ -30,11 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for policy in [CounterPolicy::Resetting, CounterPolicy::Saturating] {
             for threshold in [1u8, 3, 5, 7] {
                 let config = DrvpConfig {
-                    table: TableConfig {
-                        threshold,
-                        policy,
-                        ..TableConfig::default()
-                    },
+                    table: TableConfig { threshold, policy, ..TableConfig::default() },
                 };
                 let scheme = Scheme::DynamicRvp {
                     scope: Scope::AllInsts,

@@ -41,11 +41,9 @@ fn schemes_never_change_architectural_behaviour() {
 fn reallocation_preserves_the_store_stream() {
     for wl in rvp_core::all_workloads() {
         let program = wl.program(Input::Train);
-        let profile = Profile::collect(
-            &program,
-            &ProfileConfig { max_insts: 150_000, min_execs: 32 },
-        )
-        .unwrap();
+        let profile =
+            Profile::collect(&program, &ProfileConfig { max_insts: 150_000, min_execs: 32 })
+                .unwrap();
         let transformed = reallocate(&program, &profile, &ReallocOptions::default()).program;
 
         let stores = |p: &rvp_core::Program| -> Vec<(u64, u64)> {
@@ -100,10 +98,7 @@ fn paper_shapes_hold_on_average() {
             ipcs.push(res.stats.ipc() / base.stats.ipc());
             covs.push(res.stats.coverage());
         }
-        (
-            ipcs.iter().sum::<f64>() / ipcs.len() as f64,
-            covs.iter().sum::<f64>() / covs.len() as f64,
-        )
+        (ipcs.iter().sum::<f64>() / ipcs.len() as f64, covs.iter().sum::<f64>() / covs.len() as f64)
     };
     let (drvp, drvp_cov) = speedup(PaperScheme::DrvpAll);
     let (dead_lv, dead_lv_cov) = speedup(PaperScheme::DrvpAllDeadLv);
@@ -128,13 +123,8 @@ fn static_marking_is_visible_in_the_disassembly() {
         Profile::collect(&train, &ProfileConfig { max_insts: 150_000, min_execs: 32 }).unwrap();
     let plan = profile.static_plan(&train, 0.8, rvp_core::SrvpLevel::Dead);
     assert!(!plan.is_empty(), "m88ksim must have static candidates");
-    let marked = train.map_insts(|pc, i| {
-        if plan.contains(pc) {
-            i.clone().with_rvp()
-        } else {
-            i.clone()
-        }
-    });
+    let marked =
+        train.map_insts(|pc, i| if plan.contains(pc) { i.clone().with_rvp() } else { i.clone() });
     assert!(marked.disassemble().contains("rvp_ld"));
 }
 
@@ -156,10 +146,7 @@ fn wide_machine_amplifies_rvp() {
     };
     let g_narrow = gain(&narrow);
     let g_wide = gain(&wide);
-    assert!(
-        g_wide > g_narrow,
-        "wide gain {g_wide:.4} !> narrow gain {g_narrow:.4}"
-    );
+    assert!(g_wide > g_narrow, "wide gain {g_wide:.4} !> narrow gain {g_narrow:.4}");
 }
 
 /// Every workload round-trips through the textual assembler: parse(to_asm)

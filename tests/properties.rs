@@ -23,10 +23,13 @@ enum BodyOp {
 
 fn body_op() -> impl Strategy<Value = BodyOp> {
     prop_oneof![
-        (0..10u8, 1..8u8, 1..8u8, 1..8u8)
-            .prop_map(|(op, dst, a, b)| BodyOp::Alu { op, dst, a, b }),
-        (0..10u8, 1..8u8, 1..8u8, any::<i16>())
-            .prop_map(|(op, dst, a, imm)| BodyOp::AluImm { op, dst, a, imm }),
+        (0..10u8, 1..8u8, 1..8u8, 1..8u8).prop_map(|(op, dst, a, b)| BodyOp::Alu { op, dst, a, b }),
+        (0..10u8, 1..8u8, 1..8u8, any::<i16>()).prop_map(|(op, dst, a, imm)| BodyOp::AluImm {
+            op,
+            dst,
+            a,
+            imm
+        }),
         (1..8u8, 0..32u8).prop_map(|(dst, slot)| BodyOp::Load { dst, slot }),
         (1..8u8, 0..32u8).prop_map(|(src, slot)| BodyOp::Store { src, slot }),
         (1..8u8, 1..8u8).prop_map(|(dst, src)| BodyOp::Mov { dst, src }),
