@@ -1,0 +1,82 @@
+//! Overhead gate for the observability layer.
+//!
+//! Two claims are checked by timing the same simulation cell three
+//! ways (min-of-N wall clock, which is robust to scheduler noise in a
+//! way medians of two samples are not):
+//!
+//! 1. with `ObsConfig::off()` the per-cycle cost beyond the seed
+//!    simulator is a single O(1) branchy classification — the off and
+//!    on configurations must stay within a loose ratio of each other,
+//!    so a regression that makes instrumentation expensive (or worse,
+//!    makes *disabled* instrumentation expensive) fails `cargo bench`;
+//! 2. the always-on CPI ladder itself is cheap enough that the off
+//!    configuration's absolute throughput stays in the range the
+//!    `sim_throughput` bench tracks.
+//!
+//! The gate ratio defaults to 1.25 and can be loosened for noisy
+//! machines with `RVP_OBS_BENCH_RATIO`.
+
+use std::time::{Duration, Instant};
+
+use criterion::black_box;
+use rvp_core::{by_name, ObsConfig, PaperScheme, Runner};
+
+const RUNS: usize = 7;
+
+fn min_time(mut f: impl FnMut()) -> Duration {
+    f(); // warmup
+    (0..RUNS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .expect("RUNS > 0")
+}
+
+fn runner(obs: ObsConfig) -> Runner {
+    Runner { profile_insts: 40_000, measure_insts: 60_000, traces: None, obs, ..Runner::default() }
+}
+
+fn main() {
+    let wl = by_name("li").expect("workload");
+    let scheme = PaperScheme::DrvpAll;
+
+    let off = runner(ObsConfig::off());
+    let sampled = runner(ObsConfig { track_pc: false, ..ObsConfig::standard() });
+    let full = runner(ObsConfig::standard());
+
+    // Warm the shared profile caches out of the timed region.
+    off.run(&wl, scheme).expect("baseline run");
+    sampled.run(&wl, scheme).expect("sampled run");
+    full.run(&wl, scheme).expect("instrumented run");
+
+    let t_off = min_time(|| {
+        black_box(off.run(&wl, scheme).expect("baseline run"));
+    });
+    let t_sampled = min_time(|| {
+        black_box(sampled.run(&wl, scheme).expect("sampled run"));
+    });
+    let t_full = min_time(|| {
+        black_box(full.run(&wl, scheme).expect("instrumented run"));
+    });
+
+    let ratio = |t: Duration| t.as_secs_f64() / t_off.as_secs_f64().max(1e-9);
+    println!("obs_overhead/off              min {t_off:>12.3?}");
+    println!(
+        "obs_overhead/sampling_only    min {t_sampled:>12.3?}  ({:.3}x off)",
+        ratio(t_sampled)
+    );
+    println!("obs_overhead/full             min {t_full:>12.3?}  ({:.3}x off)", ratio(t_full));
+
+    let max_ratio: f64 =
+        std::env::var("RVP_OBS_BENCH_RATIO").ok().and_then(|v| v.parse().ok()).unwrap_or(1.25);
+    let worst = ratio(t_full).max(ratio(t_sampled));
+    assert!(
+        worst <= max_ratio,
+        "instrumentation overhead {worst:.3}x exceeds the {max_ratio:.2}x gate \
+         (override with RVP_OBS_BENCH_RATIO)"
+    );
+    println!("obs_overhead: gate passed ({worst:.3}x <= {max_ratio:.2}x)");
+}

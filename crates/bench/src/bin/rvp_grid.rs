@@ -5,21 +5,30 @@
 //! directory as it completes, then prints a throughput summary.
 //!
 //! ```text
-//! rvp-grid [OUT_DIR]
+//! rvp-grid [OUT_DIR] [--workloads A,B,...] [--metrics-out FILE]
 //! ```
 //!
-//! `OUT_DIR` defaults to `RVP_JSON_DIR`, then `results/`. The usual
-//! budget overrides (`RVP_MEASURE_INSTS`, `RVP_PROFILE_INSTS`) apply,
-//! `RVP_TRACE_DIR` enables the committed-trace cache, and `RVP_THREADS`
-//! caps the worker count.
+//! `OUT_DIR` defaults to `RVP_JSON_DIR`, then `results/`.
+//! `--workloads` restricts the grid to the named workloads (CI runs a
+//! two-workload subset this way). `--metrics-out` enables the optional
+//! instrumentation (time series + per-PC telemetry) on every cell —
+//! the artifacts land inside the cell JSONs — and writes a grid-level
+//! summary (throughput, trace-cache counters, failures) to FILE.
+//!
+//! The usual budget overrides (`RVP_MEASURE_INSTS`,
+//! `RVP_PROFILE_INSTS`) apply, `RVP_TRACE_DIR` enables the
+//! committed-trace cache, and `RVP_THREADS` caps the worker count.
+//! Failures and cache counters are also emitted as structured events
+//! through the `RVP_LOG` facade.
 
 use std::path::PathBuf;
+use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use rvp_bench::{emit_cell, runner_from_env};
-use rvp_core::{all_workloads, PaperScheme, RunResult, Runner, Workload};
+use rvp_core::{all_workloads, log, Json, ObsConfig, PaperScheme, RunResult, Runner, Workload};
 
 struct Cell {
     workload: Workload,
@@ -36,19 +45,76 @@ fn worker_count(cells: usize) -> usize {
     cap.min(cells).max(1)
 }
 
-fn main() {
-    let out_dir: PathBuf = std::env::args()
-        .nth(1)
-        .or_else(|| std::env::var("RVP_JSON_DIR").ok().filter(|d| !d.is_empty()))
-        .unwrap_or_else(|| "results".to_string())
-        .into();
+fn usage() -> ExitCode {
+    eprintln!("usage: rvp-grid [OUT_DIR] [--workloads A,B,...] [--metrics-out FILE]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut out_dir: Option<PathBuf> = None;
+    let mut only: Option<Vec<String>> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workloads" => match it.next() {
+                Some(list) => {
+                    only = Some(list.split(',').map(|s| s.trim().to_owned()).collect());
+                }
+                None => return usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(p.into()),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            other if !other.starts_with('-') && out_dir.is_none() => out_dir = Some(a.into()),
+            _ => return usage(),
+        }
+    }
+    let out_dir = out_dir
+        .or_else(|| std::env::var("RVP_JSON_DIR").ok().filter(|d| !d.is_empty()).map(Into::into))
+        .unwrap_or_else(|| "results".into());
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
-        eprintln!("error: cannot create {}: {e}", out_dir.display());
-        std::process::exit(1);
+        log::error(
+            "rvp-grid",
+            "cannot create output directory",
+            &[("dir", out_dir.display().to_string().into()), ("error", e.to_string().into())],
+        );
+        return ExitCode::FAILURE;
     }
 
-    let runner = runner_from_env();
-    let cells: Vec<Cell> = all_workloads()
+    let workloads: Vec<Workload> = match &only {
+        None => all_workloads().to_vec(),
+        Some(names) => {
+            let mut selected = Vec::new();
+            for name in names {
+                match all_workloads().iter().find(|w| w.name() == name) {
+                    Some(wl) => selected.push(wl.clone()),
+                    None => {
+                        let known = all_workloads().iter().map(|w| w.name()).collect::<Vec<_>>();
+                        log::error(
+                            "rvp-grid",
+                            "unknown workload",
+                            &[
+                                ("workload", name.as_str().into()),
+                                ("known", known.join(", ").into()),
+                            ],
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            selected
+        }
+    };
+
+    let mut runner = runner_from_env();
+    if metrics_out.is_some() {
+        runner.obs = ObsConfig::standard();
+    }
+    let cells: Vec<Cell> = workloads
         .iter()
         .flat_map(|wl| {
             PaperScheme::all().iter().map(|&scheme| Cell { workload: wl.clone(), scheme })
@@ -58,7 +124,7 @@ fn main() {
 
     println!(
         "rvp-grid: {} workloads x {} schemes = {} cells on {} threads -> {}",
-        all_workloads().len(),
+        workloads.len(),
         PaperScheme::all().len(),
         cells.len(),
         workers,
@@ -89,6 +155,13 @@ fn main() {
         simulated as f64 / elapsed.as_secs_f64() / 1e6,
     );
     println!("profiles collected: {}", runner.profiles.len());
+    let mut summary: Vec<(String, Json)> = vec![
+        ("cells".into(), (results.len() as u64).into()),
+        ("failures".into(), (failures.len() as u64).into()),
+        ("elapsed_s".into(), elapsed.as_secs_f64().into()),
+        ("simulated_insts".into(), simulated.into()),
+        ("profiles".into(), (runner.profiles.len() as u64).into()),
+    ];
     if let Some(store) = &runner.traces {
         let c = store.counters();
         println!(
@@ -98,13 +171,57 @@ fn main() {
             c.captures(),
             c.fallbacks()
         );
+        log::info(
+            "rvp-grid",
+            "trace cache counters",
+            &[
+                ("dir", store.dir().display().to_string().into()),
+                ("hits", c.hits().into()),
+                ("captures", c.captures().into()),
+                ("fallbacks", c.fallbacks().into()),
+            ],
+        );
+        summary.push((
+            "trace_cache".into(),
+            Json::obj([
+                ("hits", c.hits().into()),
+                ("captures", c.captures().into()),
+                ("fallbacks", c.fallbacks().into()),
+            ]),
+        ));
+    }
+    log::info(
+        "rvp-grid",
+        "grid complete",
+        &[
+            ("cells", (results.len() as u64).into()),
+            ("failures", (failures.len() as u64).into()),
+            ("elapsed_s", elapsed.as_secs_f64().into()),
+            ("simulated_insts", simulated.into()),
+        ],
+    );
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, format!("{}\n", Json::Obj(summary))) {
+            log::error(
+                "rvp-grid",
+                "cannot write metrics file",
+                &[("path", path.display().to_string().into()), ("error", e.to_string().into())],
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("grid metrics written: {}", path.display());
     }
     if !failures.is_empty() {
         for (cell, err) in &failures {
-            eprintln!("error: {cell}: {err}");
+            log::error(
+                "rvp-grid",
+                "cell failed",
+                &[("cell", cell.as_str().into()), ("error", err.as_str().into())],
+            );
         }
-        std::process::exit(1);
+        return ExitCode::FAILURE;
     }
+    ExitCode::SUCCESS
 }
 
 fn run_cells(

@@ -1,0 +1,253 @@
+//! `rvp-report` — render a directory of grid cell JSON files (written
+//! by `rvp-grid` / `RVP_JSON_DIR`) as aligned text tables.
+//!
+//! ```text
+//! rvp-report <RESULTS_DIR>
+//! ```
+//!
+//! Three sections:
+//!
+//! 1. an IPC table (scheme rows × workload columns, plus the mean),
+//! 2. per-workload CPI stacks (% of cycles in each attribution bucket),
+//! 3. observability highlights for cells carrying an instrumentation
+//!    artifact (`obs`): warm-up vs. steady IPC and the costliest static
+//!    instruction.
+//!
+//! The binary is read-only: it never simulates, so it renders in
+//! milliseconds even for a full 135-cell grid.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::process::ExitCode;
+
+use rvp_core::{log, CpiBucket, Json, PaperScheme};
+
+/// One parsed cell file.
+struct Cell {
+    workload: String,
+    scheme: String,
+    stats: Json,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rvp-report <RESULTS_DIR>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [dir] = args.as_slice() else { return usage() };
+    let cells = match load_cells(Path::new(dir)) {
+        Ok(cells) => cells,
+        Err(e) => {
+            log::error(
+                "rvp-report",
+                "cannot read results directory",
+                &[("dir", dir.as_str().into()), ("error", e.to_string().into())],
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if cells.is_empty() {
+        log::error("rvp-report", "no cell JSON files found", &[("dir", dir.as_str().into())]);
+        return ExitCode::FAILURE;
+    }
+
+    let workloads: Vec<String> =
+        cells.iter().map(|c| c.workload.clone()).collect::<BTreeSet<_>>().into_iter().collect();
+    let schemes = scheme_order(&cells);
+
+    println!(
+        "== rvp-report: {} cells, {} workloads x {} schemes ({dir}) ==",
+        cells.len(),
+        workloads.len(),
+        schemes.len()
+    );
+
+    print_ipc_table(&cells, &workloads, &schemes);
+    print_cpi_stacks(&cells, &workloads, &schemes);
+    print_obs_highlights(&cells);
+    ExitCode::SUCCESS
+}
+
+/// Parses every `*.json` file in `dir` that has the cell shape; files
+/// with other shapes (e.g. grid summaries) are skipped with a debug
+/// event, unreadable ones with a warning.
+fn load_cells(dir: &Path) -> std::io::Result<Vec<Cell>> {
+    let mut cells = Vec::new();
+    let mut names: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    names.sort();
+    for path in names {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                log::warn(
+                    "rvp-report",
+                    "skipping unreadable file",
+                    &[("path", path.display().to_string().into()), ("error", e.to_string().into())],
+                );
+                continue;
+            }
+        };
+        let parsed = match Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                log::warn(
+                    "rvp-report",
+                    "skipping malformed JSON",
+                    &[("path", path.display().to_string().into()), ("error", e.to_string().into())],
+                );
+                continue;
+            }
+        };
+        let cell = (|| {
+            Some(Cell {
+                workload: parsed.get("workload")?.as_str()?.to_owned(),
+                scheme: parsed.get("scheme")?.as_str()?.to_owned(),
+                stats: parsed.get("stats")?.clone(),
+            })
+        })();
+        match cell {
+            Some(c) => cells.push(c),
+            None => log::debug(
+                "rvp-report",
+                "skipping non-cell JSON",
+                &[("path", path.display().to_string().into())],
+            ),
+        }
+    }
+    Ok(cells)
+}
+
+/// Schemes in the paper's figure order, then any others alphabetically.
+fn scheme_order(cells: &[Cell]) -> Vec<String> {
+    let present: BTreeSet<&str> = cells.iter().map(|c| c.scheme.as_str()).collect();
+    let mut out: Vec<String> = PaperScheme::all()
+        .iter()
+        .map(|s| s.label())
+        .filter(|l| present.contains(l))
+        .map(str::to_owned)
+        .collect();
+    for s in present {
+        if !out.iter().any(|o| o == s) {
+            out.push(s.to_owned());
+        }
+    }
+    out
+}
+
+fn find<'a>(cells: &'a [Cell], workload: &str, scheme: &str) -> Option<&'a Cell> {
+    cells.iter().find(|c| c.workload == workload && c.scheme == scheme)
+}
+
+fn stat_f64(stats: &Json, key: &str) -> Option<f64> {
+    stats.get(key)?.as_f64()
+}
+
+fn print_ipc_table(cells: &[Cell], workloads: &[String], schemes: &[String]) {
+    println!("\nIPC");
+    print!("{:>22}", "");
+    for wl in workloads {
+        print!(" {wl:>8}");
+    }
+    println!(" {:>8}", "average");
+    for scheme in schemes {
+        print!("{scheme:>22}");
+        let mut row = Vec::new();
+        for wl in workloads {
+            match find(cells, wl, scheme).and_then(|c| stat_f64(&c.stats, "ipc")) {
+                Some(ipc) => {
+                    print!(" {ipc:8.3}");
+                    row.push(ipc);
+                }
+                None => print!(" {:>8}", "-"),
+            }
+        }
+        if row.is_empty() {
+            println!(" {:>8}", "-");
+        } else {
+            println!(" {:8.3}", row.iter().sum::<f64>() / row.len() as f64);
+        }
+    }
+}
+
+fn print_cpi_stacks(cells: &[Cell], workloads: &[String], schemes: &[String]) {
+    for wl in workloads {
+        println!("\nCPI stack (% of cycles), {wl}");
+        print!("{:>22}", "");
+        for bucket in CpiBucket::all() {
+            print!(" {:>9}", bucket.key());
+        }
+        println!();
+        for scheme in schemes {
+            let Some(cell) = find(cells, wl, scheme) else { continue };
+            let Some(cpi) = cell.stats.get("cpi") else { continue };
+            let total: f64 = CpiBucket::all()
+                .iter()
+                .filter_map(|b| cpi.get(b.key()).and_then(Json::as_f64))
+                .sum();
+            print!("{scheme:>22}");
+            for bucket in CpiBucket::all() {
+                let cycles = cpi.get(bucket.key()).and_then(Json::as_f64).unwrap_or(0.0);
+                if total > 0.0 {
+                    print!(" {:9.1}", 100.0 * cycles / total);
+                } else {
+                    print!(" {:>9}", "-");
+                }
+            }
+            println!();
+        }
+    }
+}
+
+fn print_obs_highlights(cells: &[Cell]) {
+    let instrumented: Vec<&Cell> = cells.iter().filter(|c| c.stats.get("obs").is_some()).collect();
+    if instrumented.is_empty() {
+        return;
+    }
+    println!("\nobservability highlights ({} instrumented cells)", instrumented.len());
+    println!(
+        "{:>22} {:>10} {:>10} {:>8} {:>14}",
+        "cell", "warmup_ipc", "steady_ipc", "dropped", "worst_pc(cost)"
+    );
+    for cell in instrumented {
+        let obs = cell.stats.get("obs").expect("filtered");
+        let samples = obs.get("samples").and_then(Json::as_arr).unwrap_or(&[]);
+        let warmup = samples.first().and_then(|w| w.get("ipc")).and_then(Json::as_f64);
+        let steady = steady_ipc(samples);
+        let dropped = obs.get("dropped_windows").and_then(Json::as_u64).unwrap_or(0);
+        let worst = obs
+            .get("top_costly")
+            .and_then(Json::as_arr)
+            .and_then(<[Json]>::first)
+            .and_then(|e| Some((e.get("pc")?.as_u64()?, e.get("costly")?.as_u64()?)));
+        print!("{:>22}", format!("{}/{}", cell.workload, cell.scheme));
+        match warmup {
+            Some(v) => print!(" {v:10.3}"),
+            None => print!(" {:>10}", "-"),
+        }
+        match steady {
+            Some(v) => print!(" {v:10.3}"),
+            None => print!(" {:>10}", "-"),
+        }
+        print!(" {dropped:8}");
+        match worst {
+            Some((pc, costly)) => println!(" {:>14}", format!("{pc}({costly})")),
+            None => println!(" {:>14}", "-"),
+        }
+    }
+}
+
+/// Committed-weighted IPC over all but the first retained window;
+/// mirrors `ObsReport::steady_ipc` on the JSON side.
+fn steady_ipc(samples: &[Json]) -> Option<f64> {
+    let rest = samples.get(1..)?;
+    let cycles: f64 = rest.iter().filter_map(|w| w.get("cycles").and_then(Json::as_f64)).sum();
+    let committed: f64 =
+        rest.iter().filter_map(|w| w.get("committed").and_then(Json::as_f64)).sum();
+    (cycles > 0.0).then(|| committed / cycles)
+}

@@ -6,26 +6,31 @@
 //! rvp-sim --workload li [options]
 //!
 //! options:
-//!   --scheme S      no_predict | lvp | lvp_all | stride_all | context_all |
-//!                   hybrid_all | drvp | drvp_all | grp_all |
-//!                   hwcorr_all                                    [drvp_all]
-//!   --recovery R    refetch | reissue | selective                 [selective]
-//!   --machine M     table1 | wide16                               [table1]
-//!   --max-insts N   committed-instruction budget                  [1000000]
-//!   --emulate       run the functional emulator only
+//!   --scheme S        no_predict | lvp | lvp_all | stride_all | context_all |
+//!                     hybrid_all | drvp | drvp_all | grp_all |
+//!                     hwcorr_all                                  [drvp_all]
+//!   --recovery R      refetch | reissue | selective               [selective]
+//!   --machine M       table1 | wide16                             [table1]
+//!   --max-insts N     committed-instruction budget                [1000000]
+//!   --metrics-out P   write full stats (CPI stack, time series,
+//!                     per-PC top-K tables) as JSON to path P
+//!   --emulate         run the functional emulator only
 //! ```
+//!
+//! Diagnostics go through the structured log facade: set `RVP_LOG`
+//! (`off`/`error`/`warn`/`info`/`debug`) and optionally `RVP_LOG_FILE`.
 
 use std::process::ExitCode;
 
 use rvp_core::{
-    BufferConfig, ContextConfig, Emulator, Input, LvpConfig, PredictionPlan, Program, Recovery,
-    Scheme, Scope, Simulator, StrideConfig, UarchConfig,
+    log, BufferConfig, ContextConfig, CpiBucket, Emulator, Input, LvpConfig, ObsConfig,
+    PredictionPlan, Program, Recovery, Scheme, Scope, Simulator, StrideConfig, ToJson, UarchConfig,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rvp-sim <program.asm | --workload NAME> [--scheme S] [--recovery R] \
-         [--machine M] [--max-insts N] [--emulate]"
+         [--machine M] [--max-insts N] [--metrics-out PATH] [--emulate]"
     );
     ExitCode::from(2)
 }
@@ -38,6 +43,7 @@ fn main() -> ExitCode {
     let mut recovery = "selective".to_owned();
     let mut machine = "table1".to_owned();
     let mut max_insts: u64 = 1_000_000;
+    let mut metrics_out: Option<String> = None;
     let mut emulate = false;
 
     let mut it = args.into_iter();
@@ -53,6 +59,12 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--metrics-out" => {
+                metrics_out = it.next();
+                if metrics_out.is_none() {
+                    return usage();
+                }
+            }
             "--emulate" => emulate = true,
             "--help" | "-h" => return usage(),
             other if !other.starts_with('-') && path.is_none() => path = Some(a),
@@ -65,14 +77,18 @@ fn main() -> ExitCode {
             let src = match std::fs::read_to_string(p) {
                 Ok(s) => s,
                 Err(e) => {
-                    eprintln!("rvp-sim: cannot read {p}: {e}");
+                    log::error(
+                        "rvp-sim",
+                        "cannot read program file",
+                        &[("path", p.as_str().into()), ("error", e.to_string().into())],
+                    );
                     return ExitCode::FAILURE;
                 }
             };
             match rvp_core::parse_asm(&src) {
                 Ok(p) => p,
                 Err(e) => {
-                    eprintln!("rvp-sim: parse error: {e}");
+                    log::error("rvp-sim", "parse error", &[("error", e.to_string().into())]);
                     return ExitCode::FAILURE;
                 }
             }
@@ -80,13 +96,11 @@ fn main() -> ExitCode {
         (None, Some(w)) => match rvp_core::by_name(w) {
             Some(wl) => wl.program(Input::Ref),
             None => {
-                eprintln!(
-                    "rvp-sim: unknown workload `{w}` (have: {})",
-                    rvp_core::all_workloads()
-                        .iter()
-                        .map(|w| w.name())
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                let known = rvp_core::all_workloads().iter().map(|w| w.name()).collect::<Vec<_>>();
+                log::error(
+                    "rvp-sim",
+                    "unknown workload",
+                    &[("workload", w.as_str().into()), ("known", known.join(", ").into())],
                 );
                 return ExitCode::FAILURE;
             }
@@ -102,7 +116,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             Err(e) => {
-                eprintln!("rvp-sim: emulation error: {e}");
+                log::error("rvp-sim", "emulation error", &[("error", e.to_string().into())]);
                 return ExitCode::FAILURE;
             }
         }
@@ -132,7 +146,7 @@ fn main() -> ExitCode {
             config: rvp_core::CorrelationConfig::default(),
         },
         other => {
-            eprintln!("rvp-sim: unknown scheme `{other}`");
+            log::error("rvp-sim", "unknown scheme", &[("scheme", other.into())]);
             return usage();
         }
     };
@@ -141,7 +155,7 @@ fn main() -> ExitCode {
         "reissue" => Recovery::Reissue,
         "selective" => Recovery::Selective,
         other => {
-            eprintln!("rvp-sim: unknown recovery `{other}`");
+            log::error("rvp-sim", "unknown recovery", &[("recovery", other.into())]);
             return usage();
         }
     };
@@ -149,12 +163,16 @@ fn main() -> ExitCode {
         "table1" => UarchConfig::table1(),
         "wide16" => UarchConfig::wide16(),
         other => {
-            eprintln!("rvp-sim: unknown machine `{other}`");
+            log::error("rvp-sim", "unknown machine", &[("machine", other.into())]);
             return usage();
         }
     };
 
-    match Simulator::new(config, scheme, recovery).run(&program, max_insts) {
+    // A metrics file wants the full artifact, so turn the optional
+    // instrumentation on for that case only.
+    let obs = if metrics_out.is_some() { ObsConfig::standard() } else { ObsConfig::off() };
+
+    match Simulator::new(config, scheme, recovery).with_obs(obs).run(&program, max_insts) {
         Ok(s) => {
             println!("committed:       {}", s.committed);
             println!("cycles:          {}", s.cycles);
@@ -166,10 +184,30 @@ fn main() -> ExitCode {
             println!("reissued insts:  {}", s.reissued_insts);
             println!("branch accuracy: {:.2}%", 100.0 * s.branch.direction_accuracy());
             println!("l1d miss rate:   {:.4}", s.mem.l1d.miss_rate());
+            println!("cpi stack:");
+            for bucket in CpiBucket::all() {
+                println!(
+                    "  {:<18} {:>12}  ({:5.1}%)",
+                    bucket.key(),
+                    s.cpi.get(bucket),
+                    100.0 * s.cpi.fraction(bucket)
+                );
+            }
+            if let Some(path) = metrics_out {
+                if let Err(e) = std::fs::write(&path, format!("{}\n", s.to_json())) {
+                    log::error(
+                        "rvp-sim",
+                        "cannot write metrics file",
+                        &[("path", path.as_str().into()), ("error", e.to_string().into())],
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!("metrics written: {path}");
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("rvp-sim: {e}");
+            log::error("rvp-sim", "simulation failed", &[("error", e.to_string().into())]);
             ExitCode::FAILURE
         }
     }

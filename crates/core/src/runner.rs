@@ -4,10 +4,11 @@ use std::sync::{Arc, Mutex};
 
 use rvp_isa::Program;
 use rvp_json::{Json, ToJson};
+use rvp_obs::log;
 use rvp_profile::{Assist, Fig1Row, PlanScope, Profile, ProfileConfig, SrvpLevel};
 use rvp_realloc::{reallocate, ReallocOptions};
 use rvp_trace::{TraceInput, TraceMeta, TraceStore};
-use rvp_uarch::{Recovery, Scheme, SimError, SimStats, Simulator, UarchConfig};
+use rvp_uarch::{ObsConfig, Recovery, Scheme, SimError, SimStats, Simulator, UarchConfig};
 use rvp_vpred::{DrvpConfig, LvpConfig, PredictionPlan, Scope};
 use rvp_workloads::{Input, Workload};
 
@@ -198,6 +199,10 @@ pub struct Runner {
     /// collected by replaying traces instead of re-running the emulator.
     /// Defaults to the `RVP_TRACE_DIR` environment variable.
     pub traces: Option<TraceStore>,
+    /// Optional instrumentation for measurement runs (time-series
+    /// sampling and per-PC telemetry). Off by default; the CPI stack is
+    /// always collected.
+    pub obs: ObsConfig,
 }
 
 impl Default for Runner {
@@ -210,6 +215,7 @@ impl Default for Runner {
             measure_insts: 400_000,
             profiles: ProfileCache::default(),
             traces: TraceStore::from_env(),
+            obs: ObsConfig::off(),
         }
     }
 }
@@ -257,7 +263,11 @@ impl Runner {
             {
                 Ok(profile) => return Ok(profile),
                 Err(e) => {
-                    eprintln!("warning: trace replay for {name} failed ({e}); using emulation");
+                    log::warn(
+                        "rvp_core::runner",
+                        "trace replay failed; falling back to live emulation",
+                        &[("workload", name.into()), ("error", e.to_string().into())],
+                    );
                 }
             }
         }
@@ -352,6 +362,7 @@ impl Runner {
         };
 
         let stats = Simulator::new(self.config.clone(), sim_scheme, self.recovery)
+            .with_obs(self.obs.clone())
             .run(&program, self.measure_insts)?;
         Ok(RunResult { workload: wl.name(), scheme, stats })
     }

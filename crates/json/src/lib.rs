@@ -1,12 +1,13 @@
-//! Dependency-free JSON emission for experiment artifacts.
+//! Dependency-free JSON emission and parsing for experiment artifacts.
 //!
 //! The paper-grid binaries (`rvp-grid`, the `fig*` regenerators) need to
-//! write machine-readable results. `serde`/`serde_json` are not
-//! available in the hermetic build environment, so this crate provides
-//! the small serialization layer the workspace actually needs: a
-//! [`Json`] value tree, exact integer formatting (no `u64`→`f64`
-//! precision loss), correct string escaping, and a [`ToJson`] trait that
-//! stats types across the workspace implement.
+//! write machine-readable results, and `rvp-report` needs to read them
+//! back. `serde`/`serde_json` are not available in the hermetic build
+//! environment, so this crate provides the small serialization layer the
+//! workspace actually needs: a [`Json`] value tree, exact integer
+//! formatting (no `u64`→`f64` precision loss), correct string escaping,
+//! a [`ToJson`] trait that stats types across the workspace implement,
+//! and [`Json::parse`] for reading artifacts back.
 //!
 //! # Examples
 //!
@@ -56,6 +57,86 @@ impl Json {
     /// Builds an array from values.
     pub fn arr(values: impl IntoIterator<Item = Json>) -> Json {
         Json::Arr(values.into_iter().collect())
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// Integers without a fraction or exponent parse as [`Json::UInt`]
+    /// (or [`Json::Int`] when negative), so values written by this crate
+    /// round-trip exactly; everything else numeric becomes
+    /// [`Json::Float`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] with a byte offset on malformed input.
+    pub fn parse(s: &str) -> Result<Json, ParseError> {
+        let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Member of an object, by key (first match; `None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, or `None` for non-arrays.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members of an object, or `None` for non-objects.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// String content, or `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, or `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer content (including in-range `Int`s), or `None`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            Json::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric content widened to `f64`, or `None` for non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(n) => Some(*n as f64),
+            Json::Int(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String) {
@@ -122,6 +203,239 @@ fn escape_into(s: &str, out: &mut String) {
         }
     }
     out.push('"');
+}
+
+/// Error from [`Json::parse`]: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the problem in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> ParseError {
+        ParseError { offset: self.pos, message }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy unescaped UTF-8 runs wholesale.
+            while !matches!(self.peek(), None | Some(b'"' | b'\\') | Some(0x00..=0x1f)) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                out.push_str(run);
+            }
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(0x00..=0x1f) => return Err(self.err("raw control character in string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: expect the low half.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u', "expected \\u for low surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.err("unpaired low surrogate"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => unreachable!("consumed by the run loop"),
+            }
+        }
+    }
+
+    /// Four hex digits (after `\u`), leaving `pos` past them.
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        if !fractional {
+            if let Some(rest) = text.strip_prefix('-') {
+                if let Ok(n) = rest.parse::<i64>() {
+                    return Ok(Json::Int(-n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Float(x)),
+            _ => Err(ParseError { offset: start, message: "invalid number" }),
+        }
+    }
 }
 
 impl From<bool> for Json {
@@ -213,5 +527,61 @@ mod tests {
             ("ok", Json::from(true)),
         ]);
         assert_eq!(j.to_string(), r#"{"xs":[1,null],"ok":true}"#);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("2.5").unwrap(), Json::Float(2.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(Json::parse("18446744073709551615").unwrap(), Json::UInt(u64::MAX));
+        assert_eq!(Json::parse(r#""hi""#).unwrap(), Json::from("hi"));
+    }
+
+    #[test]
+    fn parse_escapes() {
+        assert_eq!(Json::parse(r#""a\"b\\c\ndA""#).unwrap(), Json::from("a\"b\\c\ndA"));
+        // U+1F600 as a raw character, as an escaped surrogate pair, and a
+        // BMP \u escape.
+        assert_eq!(Json::parse("\"😀\"").unwrap(), Json::from("\u{1f600}"));
+        assert_eq!(Json::parse("\"\\ud83d\\ude00\"").unwrap(), Json::from("\u{1f600}"));
+        assert_eq!(Json::parse("\"\\u00e9x\"").unwrap(), Json::from("\u{e9}x"));
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse("\"raw\ncontrol\"").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "{\"a\" 1}", "[1 2]", "nul"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn emitted_json_round_trips() {
+        let j = Json::obj([
+            ("name", Json::from("m88ksim")),
+            ("ipc", Json::from(2.5)),
+            ("committed", Json::from(400_000u64)),
+            ("delta", Json::from(-3i64)),
+            ("tags", Json::arr([Json::from("a\nb"), Json::Null, Json::Bool(false)])),
+            ("nested", Json::obj([("empty", Json::Arr(Vec::new()))])),
+        ]);
+        assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
+    }
+
+    #[test]
+    fn accessors() {
+        let j = Json::parse(r#"{"stats":{"cycles":10,"ipc":1.5},"xs":[1,2]}"#).unwrap();
+        let stats = j.get("stats").unwrap();
+        assert_eq!(stats.get("cycles").and_then(Json::as_u64), Some(10));
+        assert_eq!(stats.get("ipc").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(j.get("xs").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(Json::Null.as_str(), None);
     }
 }

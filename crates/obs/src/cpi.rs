@@ -1,0 +1,188 @@
+//! Cycle-accounting CPI stacks.
+//!
+//! The timing simulator attributes every elapsed cycle to exactly one
+//! [`CpiBucket`], so a [`CpiStack`]'s bucket counts sum to the run's
+//! total cycles *by construction*. Dividing each bucket by committed
+//! instructions yields the classic CPI-stack decomposition that makes
+//! "IPC went down" diagnosable: the stack says *where* the cycles went.
+//!
+//! The attribution rules (which bucket wins when a cycle has several
+//! plausible causes) are a fixed priority ladder documented in
+//! `DESIGN.md`; [`CpiBucket`] variants are listed in that priority
+//! order.
+
+use rvp_json::{Json, ToJson};
+
+/// The single cause a cycle is charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpiBucket {
+    /// Useful work: at least one instruction committed this cycle.
+    /// Also the residual bucket for dependence/FU-limited execution.
+    Base,
+    /// Forward progress blocked by re-execution of instructions
+    /// invalidated by a value mispredict (reissue/selective recovery).
+    Reissue,
+    /// The ROB head is an in-flight load delayed by a data-cache or TLB
+    /// miss.
+    DCache,
+    /// Dispatch was blocked by a full ROB, instruction queue, or rename
+    /// register file while nothing committed.
+    QueueFull,
+    /// The machine is empty and fetch is repairing a value-mispredict
+    /// squash (refetch recovery).
+    ValueRefetch,
+    /// The machine is empty and fetch is stalled on (or refilling
+    /// after) a mispredicted branch.
+    BranchMispredict,
+    /// The machine is empty and fetch is blocked by an
+    /// instruction-cache fill.
+    ICache,
+    /// The machine is empty for any other front-end reason (initial
+    /// pipeline fill, frontend latency, trace exhausted).
+    FetchStall,
+}
+
+impl CpiBucket {
+    /// Stable JSON/report key for this bucket.
+    pub fn key(self) -> &'static str {
+        match self {
+            CpiBucket::Base => "base",
+            CpiBucket::Reissue => "reissue",
+            CpiBucket::DCache => "dcache",
+            CpiBucket::QueueFull => "queue_full",
+            CpiBucket::ValueRefetch => "value_refetch",
+            CpiBucket::BranchMispredict => "branch_mispredict",
+            CpiBucket::ICache => "icache",
+            CpiBucket::FetchStall => "fetch_stall",
+        }
+    }
+
+    /// Every bucket, in attribution-priority order.
+    pub fn all() -> [CpiBucket; 8] {
+        [
+            CpiBucket::Base,
+            CpiBucket::Reissue,
+            CpiBucket::DCache,
+            CpiBucket::QueueFull,
+            CpiBucket::ValueRefetch,
+            CpiBucket::BranchMispredict,
+            CpiBucket::ICache,
+            CpiBucket::FetchStall,
+        ]
+    }
+}
+
+/// Cycles charged to each [`CpiBucket`]; sums to the run's `cycles`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpiStack {
+    /// Commit/base cycles (useful work and execution-limited waits).
+    pub base: u64,
+    /// Reissue re-execution cycles.
+    pub reissue: u64,
+    /// Data-cache/memory-bound cycles.
+    pub dcache: u64,
+    /// Queue-full backpressure cycles.
+    pub queue_full: u64,
+    /// Value-mispredict refetch repair cycles.
+    pub value_refetch: u64,
+    /// Branch-mispredict stall/refill cycles.
+    pub branch_mispredict: u64,
+    /// Instruction-cache fill cycles.
+    pub icache: u64,
+    /// Other empty-machine front-end cycles.
+    pub fetch_stall: u64,
+}
+
+impl CpiStack {
+    /// Charges `n` cycles to `bucket`.
+    pub fn add(&mut self, bucket: CpiBucket, n: u64) {
+        *self.slot(bucket) += n;
+    }
+
+    fn slot(&mut self, bucket: CpiBucket) -> &mut u64 {
+        match bucket {
+            CpiBucket::Base => &mut self.base,
+            CpiBucket::Reissue => &mut self.reissue,
+            CpiBucket::DCache => &mut self.dcache,
+            CpiBucket::QueueFull => &mut self.queue_full,
+            CpiBucket::ValueRefetch => &mut self.value_refetch,
+            CpiBucket::BranchMispredict => &mut self.branch_mispredict,
+            CpiBucket::ICache => &mut self.icache,
+            CpiBucket::FetchStall => &mut self.fetch_stall,
+        }
+    }
+
+    /// Cycles charged to `bucket`.
+    pub fn get(&self, bucket: CpiBucket) -> u64 {
+        match bucket {
+            CpiBucket::Base => self.base,
+            CpiBucket::Reissue => self.reissue,
+            CpiBucket::DCache => self.dcache,
+            CpiBucket::QueueFull => self.queue_full,
+            CpiBucket::ValueRefetch => self.value_refetch,
+            CpiBucket::BranchMispredict => self.branch_mispredict,
+            CpiBucket::ICache => self.icache,
+            CpiBucket::FetchStall => self.fetch_stall,
+        }
+    }
+
+    /// `(key, cycles)` for every bucket, in priority order.
+    pub fn entries(&self) -> [(&'static str, u64); 8] {
+        CpiBucket::all().map(|b| (b.key(), self.get(b)))
+    }
+
+    /// Total cycles accounted; equals `SimStats::cycles` for a run.
+    pub fn total(&self) -> u64 {
+        CpiBucket::all().iter().map(|&b| self.get(b)).sum()
+    }
+
+    /// Fraction of total cycles in `bucket`, in `[0, 1]` (0 when empty).
+    pub fn fraction(&self, bucket: CpiBucket) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(bucket) as f64 / total as f64
+        }
+    }
+}
+
+impl ToJson for CpiStack {
+    fn to_json(&self) -> Json {
+        Json::obj(self.entries().map(|(k, v)| (k, Json::from(v))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_total() {
+        let mut s = CpiStack::default();
+        s.add(CpiBucket::Base, 10);
+        s.add(CpiBucket::DCache, 5);
+        s.add(CpiBucket::Base, 1);
+        assert_eq!(s.get(CpiBucket::Base), 11);
+        assert_eq!(s.total(), 16);
+        assert_eq!(s.fraction(CpiBucket::DCache), 5.0 / 16.0);
+        assert_eq!(CpiStack::default().fraction(CpiBucket::Base), 0.0);
+    }
+
+    #[test]
+    fn keys_are_unique_and_cover_every_bucket() {
+        let mut keys: Vec<&str> = CpiBucket::all().iter().map(|b| b.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 8);
+    }
+
+    #[test]
+    fn json_has_one_member_per_bucket() {
+        let mut s = CpiStack::default();
+        s.add(CpiBucket::QueueFull, 3);
+        let j = s.to_json();
+        assert_eq!(j.as_obj().unwrap().len(), 8);
+        assert_eq!(j.get("queue_full").and_then(|v| v.as_u64()), Some(3));
+    }
+}

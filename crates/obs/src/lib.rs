@@ -1,0 +1,30 @@
+//! Observability layer for the RVP reproduction.
+//!
+//! Four pieces, designed so that the simulator's hot loop pays nothing
+//! when they are off:
+//!
+//! 1. **Cycle accounting** ([`CpiStack`], [`CpiBucket`]) — the timing
+//!    simulator charges every cycle to exactly one bucket, so the stack
+//!    sums to total cycles by construction. Always on (O(1) per cycle).
+//! 2. **Windowed time-series sampling** ([`Sampler`],
+//!    [`WindowSample`]) — per-N-cycle counter deltas in a bounded
+//!    ring; shows warm-up vs. steady state. Gated by [`ObsConfig`].
+//! 3. **Per-PC predictor telemetry** ([`PcTable`], [`PcEntry`]) —
+//!    which static instructions a scheme wins and loses on, as top-K
+//!    tables in the final [`ObsReport`]. Gated by [`ObsConfig`].
+//! 4. **A structured log facade** ([`log`]) — leveled JSON-lines
+//!    events filtered by `RVP_LOG`, written to stderr or
+//!    `RVP_LOG_FILE`.
+
+mod config;
+mod cpi;
+pub mod log;
+mod pcstats;
+mod report;
+mod sample;
+
+pub use config::ObsConfig;
+pub use cpi::{CpiBucket, CpiStack};
+pub use pcstats::{PcEntry, PcTable};
+pub use report::ObsReport;
+pub use sample::{CounterSnapshot, Sampler, WindowSample};

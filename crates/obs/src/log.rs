@@ -1,0 +1,193 @@
+//! Structured, leveled logging facade.
+//!
+//! A process-wide logger emitting one JSON object per line, filtered by
+//! the `RVP_LOG` environment variable (`off`, `error`, `warn`, `info`,
+//! `debug`; default `warn`) and written to stderr or, when
+//! `RVP_LOG_FILE` names a path, appended to that file. Replaces the
+//! scattered bare `eprintln!`s so that warnings from a 135-cell grid
+//! run are machine-collectable instead of interleaved prose.
+//!
+//! ```
+//! use rvp_obs::log::{self, Level};
+//!
+//! log::warn("doctest", "trace replay failed", &[("workload", "li".into())]);
+//! assert!(log::enabled(Level::Error));
+//! ```
+
+use std::fmt;
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use rvp_json::Json;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed.
+    Error,
+    /// Something degraded but the run continues (the default filter).
+    Warn,
+    /// Progress and summary events.
+    Info,
+    /// High-volume diagnostics.
+    Debug,
+}
+
+impl Level {
+    /// Stable lowercase name, as emitted in the JSON line.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses an `RVP_LOG` filter value; `None` means `off`.
+    /// Unrecognized values fall back to the default (`warn`).
+    pub fn parse_filter(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => None,
+            "error" => Some(Level::Error),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => Some(Level::Warn),
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+enum Sink {
+    Stderr,
+    File(Mutex<std::fs::File>),
+}
+
+struct Logger {
+    filter: Option<Level>,
+    sink: Sink,
+}
+
+static LOGGER: OnceLock<Logger> = OnceLock::new();
+
+fn logger() -> &'static Logger {
+    LOGGER.get_or_init(|| {
+        let filter = match std::env::var("RVP_LOG") {
+            Ok(v) => Level::parse_filter(&v),
+            Err(_) => Some(Level::Warn),
+        };
+        let sink = match std::env::var("RVP_LOG_FILE") {
+            Ok(path) if !path.is_empty() => {
+                match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+                    Ok(f) => Sink::File(Mutex::new(f)),
+                    Err(e) => {
+                        eprintln!("warning: RVP_LOG_FILE={path} unusable ({e}); using stderr");
+                        Sink::Stderr
+                    }
+                }
+            }
+            _ => Sink::Stderr,
+        };
+        Logger { filter, sink }
+    })
+}
+
+/// Whether events at `level` pass the current filter.
+pub fn enabled(level: Level) -> bool {
+    logger().filter.is_some_and(|f| level <= f)
+}
+
+/// Renders one event as its JSON line (without the trailing newline).
+/// Exposed for tests; use [`log`] to emit.
+pub fn format_line(level: Level, module: &str, msg: &str, fields: &[(&str, Json)]) -> String {
+    let ts_us =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_micros() as u64).unwrap_or(0);
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("ts_us".into(), ts_us.into()),
+        ("level".into(), level.name().into()),
+        ("module".into(), module.into()),
+        ("msg".into(), msg.into()),
+    ];
+    pairs.extend(fields.iter().map(|(k, v)| ((*k).to_string(), v.clone())));
+    Json::Obj(pairs).to_string()
+}
+
+/// Emits one structured event if `level` passes the filter.
+pub fn log(level: Level, module: &str, msg: &str, fields: &[(&str, Json)]) {
+    if !enabled(level) {
+        return;
+    }
+    let line = format_line(level, module, msg, fields);
+    match &logger().sink {
+        Sink::Stderr => eprintln!("{line}"),
+        Sink::File(f) => {
+            let mut f = f.lock().expect("log file poisoned");
+            // A failing log write must never take the experiment down.
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+/// Emits an [`Level::Error`] event.
+pub fn error(module: &str, msg: &str, fields: &[(&str, Json)]) {
+    log(Level::Error, module, msg, fields);
+}
+
+/// Emits a [`Level::Warn`] event.
+pub fn warn(module: &str, msg: &str, fields: &[(&str, Json)]) {
+    log(Level::Warn, module, msg, fields);
+}
+
+/// Emits an [`Level::Info`] event.
+pub fn info(module: &str, msg: &str, fields: &[(&str, Json)]) {
+    log(Level::Info, module, msg, fields);
+}
+
+/// Emits a [`Level::Debug`] event.
+pub fn debug(module: &str, msg: &str, fields: &[(&str, Json)]) {
+    log(Level::Debug, module, msg, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_parsing() {
+        assert_eq!(Level::parse_filter("off"), None);
+        assert_eq!(Level::parse_filter("ERROR"), Some(Level::Error));
+        assert_eq!(Level::parse_filter("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse_filter("trace"), Some(Level::Debug));
+        assert_eq!(Level::parse_filter("bogus"), Some(Level::Warn));
+    }
+
+    #[test]
+    fn severity_orders_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn lines_are_valid_json_with_fields() {
+        let line = format_line(
+            Level::Warn,
+            "core::runner",
+            "trace replay failed",
+            &[("workload", "li".into()), ("fallbacks", Json::from(3u64))],
+        );
+        let j = Json::parse(&line).unwrap();
+        assert_eq!(j.get("level").and_then(Json::as_str), Some("warn"));
+        assert_eq!(j.get("module").and_then(Json::as_str), Some("core::runner"));
+        assert_eq!(j.get("msg").and_then(Json::as_str), Some("trace replay failed"));
+        assert_eq!(j.get("workload").and_then(Json::as_str), Some("li"));
+        assert_eq!(j.get("fallbacks").and_then(|v| v.as_u64()), Some(3));
+        assert!(j.get("ts_us").is_some());
+    }
+}

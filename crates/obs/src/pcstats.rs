@@ -1,0 +1,158 @@
+//! Per-PC (static instruction) predictor telemetry.
+//!
+//! Reproduces the paper's "which sites are predictable" analysis: a
+//! dense table indexed by static-instruction PC accumulates prediction
+//! outcomes, and the final report keeps two top-K views — the sites
+//! whose mispredictions triggered recovery (where a scheme *loses*
+//! cycles) and the most frequently correct sites (where it wins).
+
+use rvp_json::{Json, ToJson};
+
+/// Outcome counters for one static instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct PcCell {
+    predictions: u64,
+    correct: u64,
+    costly: u64,
+}
+
+/// One row of a top-K table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcEntry {
+    /// Static-instruction index.
+    pub pc: usize,
+    /// Committed predictions at this site.
+    pub predictions: u64,
+    /// ... of which correct.
+    pub correct: u64,
+    /// Mispredictions that triggered recovery (a consumer existed).
+    pub costly: u64,
+}
+
+impl PcEntry {
+    /// Site-local prediction accuracy (1.0 when never predicted).
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.predictions as f64
+        }
+    }
+}
+
+impl ToJson for PcEntry {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("pc", self.pc.into()),
+            ("predictions", self.predictions.into()),
+            ("correct", self.correct.into()),
+            ("costly", self.costly.into()),
+            ("accuracy", self.accuracy().into()),
+        ])
+    }
+}
+
+/// Dense per-PC outcome table, sized to the static program.
+#[derive(Debug, Clone)]
+pub struct PcTable {
+    cells: Vec<PcCell>,
+}
+
+impl PcTable {
+    /// A table for a program of `len` static instructions.
+    pub fn new(len: usize) -> PcTable {
+        PcTable { cells: vec![PcCell::default(); len] }
+    }
+
+    /// Records a committed prediction at `pc`.
+    pub fn record_commit(&mut self, pc: usize, correct: bool) {
+        if let Some(c) = self.cells.get_mut(pc) {
+            c.predictions += 1;
+            c.correct += u64::from(correct);
+        }
+    }
+
+    /// Records a recovery-triggering misprediction at `pc`.
+    pub fn record_costly(&mut self, pc: usize) {
+        if let Some(c) = self.cells.get_mut(pc) {
+            c.costly += 1;
+        }
+    }
+
+    /// The `k` sites with the most costly mispredictions (ties broken
+    /// by lower PC); sites with none are omitted.
+    pub fn top_by_costly(&self, k: usize) -> Vec<PcEntry> {
+        self.top_by(k, |e| e.costly)
+    }
+
+    /// The `k` sites with the most correct predictions (ties broken by
+    /// lower PC); sites with none are omitted.
+    pub fn top_by_correct(&self, k: usize) -> Vec<PcEntry> {
+        self.top_by(k, |e| e.correct)
+    }
+
+    fn top_by(&self, k: usize, score: impl Fn(&PcEntry) -> u64) -> Vec<PcEntry> {
+        let mut entries: Vec<PcEntry> = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(pc, c)| PcEntry {
+                pc,
+                predictions: c.predictions,
+                correct: c.correct,
+                costly: c.costly,
+            })
+            .filter(|e| score(e) > 0)
+            .collect();
+        entries.sort_by(|a, b| score(b).cmp(&score(a)).then(a.pc.cmp(&b.pc)));
+        entries.truncate(k);
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_orders_and_truncates() {
+        let mut t = PcTable::new(8);
+        for _ in 0..5 {
+            t.record_commit(3, true);
+        }
+        for _ in 0..2 {
+            t.record_commit(1, true);
+        }
+        t.record_commit(6, false);
+        t.record_costly(6);
+        t.record_costly(6);
+        t.record_costly(2);
+
+        let correct = t.top_by_correct(2);
+        assert_eq!(correct.iter().map(|e| e.pc).collect::<Vec<_>>(), vec![3, 1]);
+        assert_eq!(correct[0].accuracy(), 1.0);
+
+        let costly = t.top_by_costly(10);
+        assert_eq!(costly.iter().map(|e| e.pc).collect::<Vec<_>>(), vec![6, 2]);
+        assert_eq!(costly[0].costly, 2);
+        assert_eq!(costly[0].accuracy(), 0.0);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_pc() {
+        let mut t = PcTable::new(4);
+        t.record_commit(2, true);
+        t.record_commit(0, true);
+        let top = t.top_by_correct(2);
+        assert_eq!(top.iter().map(|e| e.pc).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn out_of_range_pc_is_ignored() {
+        let mut t = PcTable::new(2);
+        t.record_commit(99, true);
+        t.record_costly(99);
+        assert!(t.top_by_correct(4).is_empty());
+        assert!(t.top_by_costly(4).is_empty());
+    }
+}

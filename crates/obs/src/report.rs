@@ -1,0 +1,97 @@
+//! The per-run observability artifact.
+
+use rvp_json::{Json, ToJson};
+
+use crate::pcstats::PcEntry;
+use crate::sample::WindowSample;
+
+/// Everything the optional instrumentation recorded during one run:
+/// the time series and the per-PC top-K tables. (The CPI stack is
+/// always on and lives in `SimStats` directly.)
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsReport {
+    /// Cycles per sampling window (0 when sampling was off).
+    pub sample_interval: u64,
+    /// Retained windows, oldest first.
+    pub samples: Vec<WindowSample>,
+    /// Windows evicted because the ring filled.
+    pub dropped_windows: u64,
+    /// Sites with the most recovery-triggering mispredictions.
+    pub top_costly: Vec<PcEntry>,
+    /// Sites with the most correct predictions.
+    pub top_correct: Vec<PcEntry>,
+}
+
+impl ObsReport {
+    /// IPC over the first retained window — a warm-up indicator.
+    pub fn warmup_ipc(&self) -> Option<f64> {
+        self.samples.first().map(WindowSample::ipc)
+    }
+
+    /// Committed-weighted IPC over the rest of the retained windows —
+    /// the steady-state estimate `warmup_ipc` is compared against.
+    pub fn steady_ipc(&self) -> Option<f64> {
+        let rest = self.samples.get(1..)?;
+        let cycles: u64 = rest.iter().map(|w| w.cycles).sum();
+        let committed: u64 = rest.iter().map(|w| w.committed).sum();
+        (cycles > 0).then(|| committed as f64 / cycles as f64)
+    }
+}
+
+impl ToJson for ObsReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("sample_interval", self.sample_interval.into()),
+            ("dropped_windows", self.dropped_windows.into()),
+            ("samples", Json::arr(self.samples.iter().map(ToJson::to_json))),
+            ("top_costly", Json::arr(self.top_costly.iter().map(ToJson::to_json))),
+            ("top_correct", Json::arr(self.top_correct.iter().map(ToJson::to_json))),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(end: u64, cycles: u64, committed: u64) -> WindowSample {
+        WindowSample {
+            end_cycle: end,
+            cycles,
+            committed,
+            predictions: 0,
+            correct_predictions: 0,
+            iq_int_occupancy_sum: 0,
+            iq_fp_occupancy_sum: 0,
+        }
+    }
+
+    #[test]
+    fn warmup_vs_steady() {
+        let r = ObsReport {
+            sample_interval: 10,
+            samples: vec![window(10, 10, 5), window(20, 10, 20), window(30, 10, 20)],
+            ..ObsReport::default()
+        };
+        assert_eq!(r.warmup_ipc(), Some(0.5));
+        assert_eq!(r.steady_ipc(), Some(2.0));
+        assert_eq!(ObsReport::default().warmup_ipc(), None);
+        assert_eq!(ObsReport::default().steady_ipc(), None);
+    }
+
+    #[test]
+    fn json_shape() {
+        let r = ObsReport {
+            sample_interval: 10,
+            samples: vec![window(10, 10, 5)],
+            dropped_windows: 2,
+            top_costly: vec![PcEntry { pc: 4, predictions: 3, correct: 1, costly: 2 }],
+            top_correct: Vec::new(),
+        };
+        let j = r.to_json();
+        assert_eq!(j.get("dropped_windows").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(j.get("samples").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        let costly = &j.get("top_costly").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(costly.get("pc").and_then(|v| v.as_u64()), Some(4));
+    }
+}

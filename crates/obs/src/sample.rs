@@ -1,0 +1,238 @@
+//! Windowed time-series sampling.
+//!
+//! A [`Sampler`] snapshots a handful of monotonically increasing
+//! counters every N cycles and stores per-window *deltas* in a bounded
+//! ring, making warm-up vs. steady-state behaviour visible without
+//! unbounded memory: a long run simply forgets its oldest windows
+//! (counted in [`Sampler::dropped`]).
+
+use std::collections::VecDeque;
+
+use rvp_json::{Json, ToJson};
+
+/// Monotonic counter snapshot the simulator hands the sampler each
+/// cycle. All fields are running totals, not deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Instructions committed so far.
+    pub committed: u64,
+    /// Value predictions committed so far.
+    pub predictions: u64,
+    /// ... of which correct.
+    pub correct_predictions: u64,
+    /// Sum over cycles of occupied integer-queue slots.
+    pub iq_int_occupancy_sum: u64,
+    /// Sum over cycles of occupied FP-queue slots.
+    pub iq_fp_occupancy_sum: u64,
+}
+
+/// One completed sampling window (all fields are deltas over the
+/// window, except `end_cycle`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Cycle at which the window closed (exclusive).
+    pub end_cycle: u64,
+    /// Window length in cycles (the final window may be shorter).
+    pub cycles: u64,
+    /// Instructions committed in the window.
+    pub committed: u64,
+    /// Value predictions committed in the window.
+    pub predictions: u64,
+    /// ... of which correct.
+    pub correct_predictions: u64,
+    /// Integer-queue occupancy summed over the window's cycles.
+    pub iq_int_occupancy_sum: u64,
+    /// FP-queue occupancy summed over the window's cycles.
+    pub iq_fp_occupancy_sum: u64,
+}
+
+impl WindowSample {
+    /// IPC within the window.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Prediction accuracy within the window (1.0 when no predictions).
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            1.0
+        } else {
+            self.correct_predictions as f64 / self.predictions as f64
+        }
+    }
+
+    /// Average occupied integer-queue slots per cycle in the window.
+    pub fn avg_iq_int_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.iq_int_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl ToJson for WindowSample {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("end_cycle", self.end_cycle.into()),
+            ("cycles", self.cycles.into()),
+            ("committed", self.committed.into()),
+            ("predictions", self.predictions.into()),
+            ("correct_predictions", self.correct_predictions.into()),
+            ("iq_int_occupancy_sum", self.iq_int_occupancy_sum.into()),
+            ("iq_fp_occupancy_sum", self.iq_fp_occupancy_sum.into()),
+            ("ipc", self.ipc().into()),
+            ("accuracy", self.accuracy().into()),
+        ])
+    }
+}
+
+/// Bounded ring of [`WindowSample`]s fed once per cycle.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    interval: u64,
+    capacity: usize,
+    windows: VecDeque<WindowSample>,
+    dropped: u64,
+    window_start: u64,
+    base: CounterSnapshot,
+}
+
+impl Sampler {
+    /// A sampler closing a window every `interval` cycles, retaining at
+    /// most `capacity` windows. `interval` must be non-zero.
+    pub fn new(interval: u64, capacity: usize) -> Sampler {
+        assert!(interval > 0, "sample interval must be non-zero");
+        Sampler {
+            interval,
+            capacity: capacity.max(1),
+            windows: VecDeque::new(),
+            dropped: 0,
+            window_start: 0,
+            base: CounterSnapshot::default(),
+        }
+    }
+
+    /// Cycles per window.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Windows evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Called at the end of cycle `now` with the current counter
+    /// totals; closes a window when one has elapsed.
+    pub fn tick(&mut self, now: u64, counters: CounterSnapshot) {
+        if now + 1 - self.window_start >= self.interval {
+            self.close(now + 1, counters);
+        }
+    }
+
+    /// Closes the in-progress partial window (if any) at `end_cycle`.
+    /// Call once after the simulation loop exits.
+    pub fn finish(&mut self, end_cycle: u64, counters: CounterSnapshot) {
+        if end_cycle > self.window_start {
+            self.close(end_cycle, counters);
+        }
+    }
+
+    fn close(&mut self, end_cycle: u64, counters: CounterSnapshot) {
+        let sample = WindowSample {
+            end_cycle,
+            cycles: end_cycle - self.window_start,
+            committed: counters.committed - self.base.committed,
+            predictions: counters.predictions - self.base.predictions,
+            correct_predictions: counters.correct_predictions - self.base.correct_predictions,
+            iq_int_occupancy_sum: counters.iq_int_occupancy_sum - self.base.iq_int_occupancy_sum,
+            iq_fp_occupancy_sum: counters.iq_fp_occupancy_sum - self.base.iq_fp_occupancy_sum,
+        };
+        if self.windows.len() == self.capacity {
+            self.windows.pop_front();
+            self.dropped += 1;
+        }
+        self.windows.push_back(sample);
+        self.window_start = end_cycle;
+        self.base = counters;
+    }
+
+    /// Consumes the sampler, returning the retained windows (oldest
+    /// first) and the number of evicted ones.
+    pub fn into_windows(self) -> (Vec<WindowSample>, u64) {
+        (self.windows.into(), self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(committed: u64) -> CounterSnapshot {
+        CounterSnapshot { committed, ..CounterSnapshot::default() }
+    }
+
+    #[test]
+    fn windows_carry_deltas() {
+        let mut s = Sampler::new(10, 8);
+        for now in 0..25u64 {
+            s.tick(now, snap(2 * (now + 1)));
+        }
+        s.finish(25, snap(50));
+        let (windows, dropped) = s.into_windows();
+        assert_eq!(dropped, 0);
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].end_cycle, 10);
+        assert_eq!(windows[0].cycles, 10);
+        assert_eq!(windows[0].committed, 20);
+        assert_eq!(windows[2].cycles, 5);
+        assert_eq!(windows[2].committed, 10);
+        assert_eq!(windows[1].ipc(), 2.0);
+        let total: u64 = windows.iter().map(|w| w.committed).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let mut s = Sampler::new(4, 3);
+        for now in 0..40u64 {
+            s.tick(now, snap(now + 1));
+        }
+        let (windows, dropped) = s.into_windows();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(dropped, 7);
+        assert_eq!(windows.last().unwrap().end_cycle, 40);
+    }
+
+    #[test]
+    fn finish_without_partial_window_is_a_no_op() {
+        let mut s = Sampler::new(5, 4);
+        for now in 0..10u64 {
+            s.tick(now, snap(now));
+        }
+        s.finish(10, snap(10));
+        let (windows, _) = s.into_windows();
+        assert_eq!(windows.len(), 2);
+    }
+
+    #[test]
+    fn empty_window_rates_are_safe() {
+        let w = WindowSample {
+            end_cycle: 0,
+            cycles: 0,
+            committed: 0,
+            predictions: 0,
+            correct_predictions: 0,
+            iq_int_occupancy_sum: 0,
+            iq_fp_occupancy_sum: 0,
+        };
+        assert_eq!(w.ipc(), 0.0);
+        assert_eq!(w.accuracy(), 1.0);
+        assert_eq!(w.avg_iq_int_occupancy(), 0.0);
+    }
+}

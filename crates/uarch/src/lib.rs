@@ -63,3 +63,7 @@ pub use stats::{SimError, SimStats};
 pub use rvp_vpred::{
     BufferConfig, CorrelationConfig, DrvpConfig, LvpConfig, PredictionPlan, ReuseKind, Scope,
 };
+
+// Re-export the observability vocabulary `SimStats` is built from, so
+// users of this crate need not depend on `rvp-obs` directly.
+pub use rvp_obs::{CpiBucket, CpiStack, ObsConfig, ObsReport, PcEntry, WindowSample};

@@ -4,6 +4,7 @@ use rvp_bpred::{BranchKind, BranchPredictor};
 use rvp_emu::{Committed, Emulator};
 use rvp_isa::{ExecClass, Flow, Program, Reg, RegClass, NUM_REGS};
 use rvp_mem::Hierarchy;
+use rvp_obs::{CounterSnapshot, CpiBucket, ObsConfig, ObsReport, PcTable, Sampler};
 use rvp_vpred::{
     BufferConfig, BufferPredictor, CorrelationPredictor, DrvpPredictor, GabbayPredictor, ReuseKind,
     Scope,
@@ -45,6 +46,13 @@ struct Entry {
     /// (the *old* register mapping); `None` = readable immediately.
     pred_dep: Option<u64>,
     verified: bool,
+    /// Extra memory-hierarchy latency (cache/TLB misses) charged at
+    /// issue; nonzero marks this entry memory-bound for cycle
+    /// accounting.
+    mem_extra: u64,
+    /// This entry was invalidated by a value mispredict and is
+    /// re-executing (reissue/selective recovery).
+    reissued: bool,
     /// Seq of the first instruction that read this entry's predicted
     /// value.
     first_use: Option<u64>,
@@ -75,6 +83,7 @@ pub struct Simulator {
     drvp: Option<DrvpPredictor>,
     gabbay: Option<GabbayPredictor>,
     correlation: Option<CorrelationPredictor>,
+    obs: ObsConfig,
 }
 
 impl Simulator {
@@ -107,10 +116,19 @@ impl Simulator {
             drvp,
             gabbay,
             correlation,
+            obs: ObsConfig::off(),
             config,
             scheme,
             recovery,
         }
+    }
+
+    /// Enables optional instrumentation (time-series sampling, per-PC
+    /// telemetry) for subsequent runs. The cycle-accounting CPI stack
+    /// is always on.
+    pub fn with_obs(mut self, obs: ObsConfig) -> Simulator {
+        self.obs = obs;
+        self
     }
 
     /// Runs `program` for at most `max_insts` committed instructions.
@@ -122,6 +140,28 @@ impl Simulator {
     /// model invariant violation).
     pub fn run(&mut self, program: &Program, max_insts: u64) -> Result<SimStats, SimError> {
         Core::new(self, program, max_insts).run()
+    }
+}
+
+/// Why the front end is (re)filling an empty machine — the stall cause
+/// empty-machine cycles are charged to. Set when a stall begins,
+/// cleared at the next commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Redirect {
+    None,
+    Branch,
+    ICache,
+    ValueRefetch,
+}
+
+/// The running counter totals the sampler windows are deltas of.
+fn snapshot(stats: &SimStats) -> CounterSnapshot {
+    CounterSnapshot {
+        committed: stats.committed,
+        predictions: stats.predictions,
+        correct_predictions: stats.correct_predictions,
+        iq_int_occupancy_sum: stats.iq_int_occupancy_sum,
+        iq_fp_occupancy_sum: stats.iq_fp_occupancy_sum,
     }
 }
 
@@ -158,13 +198,27 @@ struct Core<'s, 'p> {
     halted_fetch: bool,
     stats: SimStats,
     last_commit_cycle: u64,
+    // --- observability ---
+    /// Most recent front-end redirect cause (cycle accounting).
+    redirect: Redirect,
+    /// Dispatch was blocked by a full ROB/IQ/rename file this cycle.
+    dispatch_blocked: bool,
+    /// Optional windowed time-series sampler.
+    sampler: Option<Sampler>,
+    /// Optional per-static-instruction outcome table.
+    pc_table: Option<PcTable>,
 }
 
 impl<'s, 'p> Core<'s, 'p> {
     fn new(sim: &'s mut Simulator, program: &'p Program, max_insts: u64) -> Core<'s, 'p> {
         let mut shadow = [0u64; NUM_REGS];
         shadow[rvp_isa::analysis::abi::SP.index()] = rvp_emu::STACK_TOP;
+        let sampler = (sim.obs.sample_interval > 0)
+            .then(|| Sampler::new(sim.obs.sample_interval, sim.obs.ring_capacity));
+        let pc_table = sim.obs.track_pc.then(|| PcTable::new(program.len()));
         Core {
+            sampler,
+            pc_table,
             emu: Emulator::new(program),
             program,
             max_insts,
@@ -184,12 +238,16 @@ impl<'s, 'p> Core<'s, 'p> {
             halted_fetch: false,
             stats: SimStats::default(),
             last_commit_cycle: 0,
+            redirect: Redirect::None,
+            dispatch_blocked: false,
             sim,
         }
     }
 
     fn run(mut self) -> Result<SimStats, SimError> {
         loop {
+            let committed_before = self.stats.committed;
+            self.dispatch_blocked = false;
             self.process_completions();
             self.commit();
             self.issue();
@@ -206,12 +264,79 @@ impl<'s, 'p> Core<'s, 'p> {
                     committed: self.stats.committed,
                 });
             }
+            // Cycle accounting: charge this elapsed cycle to exactly one
+            // bucket (the final, non-elapsing iteration is never
+            // charged, so the stack sums to `cycles` by construction).
+            let committed_now = self.stats.committed - committed_before;
+            if committed_now > 0 {
+                self.redirect = Redirect::None;
+            }
+            let bucket = self.classify_cycle(committed_now);
+            self.stats.cpi.add(bucket, 1);
+            if let Some(sampler) = &mut self.sampler {
+                sampler.tick(self.now, snapshot(&self.stats));
+            }
             self.now += 1;
         }
         self.stats.cycles = self.now.max(1);
+        // The degenerate empty run elapses one nominal cycle.
+        let accounted = self.stats.cpi.total();
+        if accounted < self.stats.cycles {
+            self.stats.cpi.add(CpiBucket::Base, self.stats.cycles - accounted);
+        }
         self.stats.branch = *self.sim.bpred.stats();
         self.stats.mem = *self.sim.mem.stats();
+        self.finish_obs();
         Ok(self.stats)
+    }
+
+    /// Folds the optional instrumentation into the final stats.
+    fn finish_obs(&mut self) {
+        if self.sampler.is_none() && self.pc_table.is_none() {
+            return;
+        }
+        let mut report = ObsReport::default();
+        if let Some(mut sampler) = self.sampler.take() {
+            report.sample_interval = sampler.interval();
+            sampler.finish(self.now, snapshot(&self.stats));
+            let (samples, dropped) = sampler.into_windows();
+            report.samples = samples;
+            report.dropped_windows = dropped;
+        }
+        if let Some(table) = self.pc_table.take() {
+            report.top_costly = table.top_by_costly(self.sim.obs.top_k);
+            report.top_correct = table.top_by_correct(self.sim.obs.top_k);
+        }
+        self.stats.obs = Some(report);
+    }
+
+    /// The cycle-attribution priority ladder (documented in DESIGN.md).
+    fn classify_cycle(&self, committed_now: u64) -> CpiBucket {
+        if committed_now > 0 {
+            return CpiBucket::Base;
+        }
+        if let Some(head) = self.rob.front() {
+            if head.reissued && !head.done {
+                return CpiBucket::Reissue;
+            }
+            if !head.done && head.issued_at.is_some() && head.mem_extra > 0 {
+                return CpiBucket::DCache;
+            }
+            if self.dispatch_blocked {
+                return CpiBucket::QueueFull;
+            }
+            return CpiBucket::Base;
+        }
+        // Empty machine: charge the front end by redirect cause.
+        if self.stalled_on.is_some() {
+            return CpiBucket::BranchMispredict;
+        }
+        match self.redirect {
+            Redirect::ValueRefetch => CpiBucket::ValueRefetch,
+            Redirect::Branch => CpiBucket::BranchMispredict,
+            Redirect::ICache => CpiBucket::ICache,
+            Redirect::None => CpiBucket::FetchStall,
+        }
     }
 
     fn finished(&mut self) -> bool {
@@ -321,6 +446,9 @@ impl<'s, 'p> Core<'s, 'p> {
                     self.clear_taint(seq);
                 } else if let Some(fu) = first_use {
                     self.stats.costly_mispredictions += 1;
+                    if let Some(table) = &mut self.pc_table {
+                        table.record_costly(pc);
+                    }
                     match self.sim.recovery {
                         Recovery::Refetch => {
                             self.squash_from(fu);
@@ -358,6 +486,7 @@ impl<'s, 'p> Core<'s, 'p> {
                     e.done = false;
                     e.earliest_issue = next;
                     e.in_iq = true;
+                    e.reissued = true;
                     self.stats.reissued_insts += 1;
                 }
             }
@@ -368,6 +497,7 @@ impl<'s, 'p> Core<'s, 'p> {
     /// the mispredicted value onward and refetch it.
     fn squash_from(&mut self, first: u64) {
         self.stats.squashes += 1;
+        self.redirect = Redirect::ValueRefetch;
 
         // Drop not-yet-dispatched fetched instructions.
         let mut records: Vec<Committed> = Vec::new();
@@ -443,6 +573,9 @@ impl<'s, 'p> Core<'s, 'p> {
                 self.stats.predictions += 1;
                 if e.pred_correct {
                     self.stats.correct_predictions += 1;
+                }
+                if let Some(table) = &mut self.pc_table {
+                    table.record_commit(e.rec.pc, e.pred_correct);
                 }
             }
             if let Some(dst) = e.rec.dst {
@@ -576,9 +709,11 @@ impl<'s, 'p> Core<'s, 'p> {
                 ExecClass::Load => lat.load,
                 ExecClass::Store => lat.store,
             };
+            let mut mem_extra = 0;
             if let Some(addr) = self.rob[i].rec.eff_addr {
                 if self.rob[i].is_load {
-                    latency += self.sim.mem.access_data(addr, false);
+                    mem_extra = self.sim.mem.access_data(addr, false);
+                    latency += mem_extra;
                 } else {
                     // Stores access the hierarchy for state/stats, but a
                     // write buffer hides their miss latency.
@@ -590,6 +725,7 @@ impl<'s, 'p> Core<'s, 'p> {
             let e = &mut self.rob[i];
             e.issued_at = Some(self.now);
             e.complete_at = Some(self.now + latency);
+            e.mem_extra = mem_extra;
             e.taint = taints;
             // Queue-slot release policy per recovery scheme.
             match self.sim.recovery {
@@ -653,7 +789,11 @@ impl<'s, 'p> Core<'s, 'p> {
         let mut nonload_preds_this_cycle = 0usize;
         for _ in 0..self.sim.config.dispatch_width {
             let Some(&(rec, arrival, _)) = self.frontend.front() else { break };
-            if arrival > self.now || self.rob.len() >= self.sim.config.rob_size {
+            if arrival > self.now {
+                break;
+            }
+            if self.rob.len() >= self.sim.config.rob_size {
+                self.dispatch_blocked = true;
                 break;
             }
             let inst = &self.program.insts()[rec.pc];
@@ -665,10 +805,12 @@ impl<'s, 'p> Core<'s, 'p> {
                     self.sim.config.iq_fp
                 }
             {
+                self.dispatch_blocked = true;
                 break;
             }
             if let Some(dst) = rec.dst {
                 if self.inflight_writers(dst.class()) >= self.sim.config.rename_regs {
+                    self.dispatch_blocked = true;
                     break;
                 }
             }
@@ -751,6 +893,8 @@ impl<'s, 'p> Core<'s, 'p> {
                 complete_at: None,
                 done: false,
                 earliest_issue: 0,
+                mem_extra: 0,
+                reissued: false,
                 taint: Vec::new(),
                 predicted: predicted && pred_value.is_some(),
                 pred_value,
@@ -879,6 +1023,7 @@ impl<'s, 'p> Core<'s, 'p> {
                 self.last_line = line;
                 if extra > 0 {
                     self.fetch_resume_at = self.now + extra;
+                    self.redirect = Redirect::ICache;
                     break;
                 }
             }
@@ -921,6 +1066,7 @@ impl<'s, 'p> Core<'s, 'p> {
             if !correct {
                 // Fetch goes down the wrong path: bubble until resolve.
                 self.stalled_on = Some(rec.seq);
+                self.redirect = Redirect::Branch;
                 self.frontend.push_back((rec, arrival, true));
                 break;
             }
@@ -1406,5 +1552,35 @@ mod tests {
         // (always reusing) share... different registers here, so the load
         // becomes predictable.
         assert!(s.predictions > 0);
+    }
+
+    #[test]
+    fn cpi_stack_sums_to_cycles() {
+        let p = counted_loop(500);
+        for rec in [Recovery::Refetch, Recovery::Reissue, Recovery::Selective] {
+            let s = run(&p, Scheme::drvp(Scope::AllInsts, PredictionPlan::new()), rec);
+            assert_eq!(s.cpi.total(), s.cycles, "{rec:?}: {:?}", s.cpi);
+        }
+    }
+
+    #[test]
+    fn obs_report_present_only_when_enabled() {
+        let p = counted_loop(200);
+        let off = run(&p, Scheme::NoPredict, Recovery::Selective);
+        assert!(off.obs.is_none());
+
+        let on = Simulator::new(UarchConfig::table1(), Scheme::NoPredict, Recovery::Selective)
+            .with_obs(ObsConfig { sample_interval: 64, ..ObsConfig::standard() })
+            .run(&p, 1_000_000)
+            .unwrap();
+        let obs = on.obs.as_ref().expect("obs report");
+        assert_eq!(obs.sample_interval, 64);
+        let window_cycles: u64 = obs.samples.iter().map(|w| w.cycles).sum();
+        let window_commits: u64 = obs.samples.iter().map(|w| w.committed).sum();
+        assert_eq!(window_cycles, on.cycles);
+        assert_eq!(window_commits, on.committed);
+        // Instrumentation must not change the timing model.
+        assert_eq!(on.cycles, off.cycles);
+        assert_eq!(on.committed, off.committed);
     }
 }

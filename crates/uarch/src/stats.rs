@@ -4,6 +4,7 @@ use std::fmt;
 use rvp_bpred::BpredStats;
 use rvp_emu::EmuError;
 use rvp_mem::HierarchyStats;
+use rvp_obs::{CpiStack, ObsReport};
 
 /// Error returned by [`crate::Simulator::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +98,14 @@ pub struct SimStats {
     pub iq_int_occupancy_sum: u64,
     /// Same for the FP queue.
     pub iq_fp_occupancy_sum: u64,
+    /// Cycle-accounting CPI stack; bucket cycles sum to `cycles` by
+    /// construction (the attribution ladder is documented in
+    /// `DESIGN.md`).
+    pub cpi: CpiStack,
+    /// Optional instrumentation artifact (time series + per-PC top-K
+    /// tables); present when the run was configured with an enabled
+    /// [`rvp_obs::ObsConfig`].
+    pub obs: Option<ObsReport>,
 }
 
 impl SimStats {
@@ -150,6 +159,10 @@ impl SimStats {
     /// Speedup of this run over a baseline run of the same program
     /// (ratio of IPCs).
     ///
+    /// Degenerate baselines produce defined values rather than a silent
+    /// `NaN`: if both IPCs are zero (e.g. two empty runs) the speedup is
+    /// `1.0`; if only the baseline's is zero it is `f64::INFINITY`.
+    ///
     /// # Panics
     ///
     /// Panics if the two runs committed different instruction counts —
@@ -159,13 +172,22 @@ impl SimStats {
             self.committed, baseline.committed,
             "speedup requires runs over the same committed instruction count"
         );
-        self.ipc() / baseline.ipc()
+        let (this, base) = (self.ipc(), baseline.ipc());
+        if base == 0.0 {
+            if this == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            this / base
+        }
     }
 }
 
 impl rvp_json::ToJson for SimStats {
     fn to_json(&self) -> rvp_json::Json {
-        rvp_json::Json::obj([
+        let mut j = rvp_json::Json::obj([
             ("cycles", self.cycles.into()),
             ("committed", self.committed.into()),
             ("loads", self.loads.into()),
@@ -180,10 +202,15 @@ impl rvp_json::ToJson for SimStats {
             ("iq_fp_occupancy_sum", self.iq_fp_occupancy_sum.into()),
             ("branch", self.branch.to_json()),
             ("mem", self.mem.to_json()),
+            ("cpi", self.cpi.to_json()),
             ("ipc", self.ipc().into()),
             ("coverage", self.coverage().into()),
             ("accuracy", self.accuracy().into()),
-        ])
+        ]);
+        if let (rvp_json::Json::Obj(pairs), Some(obs)) = (&mut j, &self.obs) {
+            pairs.push(("obs".into(), obs.to_json()));
+        }
+        j
     }
 }
 
@@ -215,6 +242,23 @@ mod tests {
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.coverage(), 0.0);
         assert_eq!(s.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn speedup_over_zero_cycle_baseline_is_defined() {
+        // A default (zero-cycle) baseline used to yield NaN silently.
+        let empty = SimStats::default();
+        assert_eq!(empty.speedup_over(&empty), 1.0);
+
+        let real = SimStats { cycles: 10, committed: 0, ..SimStats::default() };
+        // Zero committed: both IPCs zero even with nonzero cycles.
+        assert_eq!(real.speedup_over(&empty), 1.0);
+
+        let progressed = SimStats { cycles: 10, committed: 20, ..SimStats::default() };
+        let stuck = SimStats { cycles: 0, committed: 20, ..SimStats::default() };
+        let speedup = progressed.speedup_over(&stuck);
+        assert!(speedup.is_infinite() && speedup > 0.0);
+        assert!(!progressed.speedup_over(&stuck).is_nan());
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Observability invariants, end to end.
+//!
+//! The two load-bearing properties of the `rvp-obs` layer:
+//!
+//! 1. **Exhaustive cycle accounting** — for every (scheme, recovery)
+//!    combination the CPI-stack buckets sum *exactly* to the run's total
+//!    cycles. The attribution ladder charges each cycle to exactly one
+//!    bucket, so this is an equality, not a tolerance check.
+//! 2. **Self-describing artifacts** — every observability type's JSON
+//!    output survives a parse round-trip bit-for-bit, so downstream
+//!    tools (`rvp-report`, CI artifact consumers) can rely on the text
+//!    form.
+
+use rvp_core::{
+    by_name, Json, ObsConfig, PaperScheme, Recovery, Runner, SimStats, ToJson, WindowSample,
+};
+
+fn quick_runner(recovery: Recovery) -> Runner {
+    Runner {
+        recovery,
+        profile_insts: 60_000,
+        measure_insts: 20_000,
+        traces: None,
+        obs: ObsConfig { sample_interval: 512, ring_capacity: 64, track_pc: true, top_k: 8 },
+        ..Runner::default()
+    }
+}
+
+/// Every cell of the paper grid accounts for every cycle, on a
+/// register-heavy workload and a memory-heavy one.
+#[test]
+fn cpi_stack_sums_to_cycles_for_every_scheme_and_recovery() {
+    for workload in ["li", "go"] {
+        let wl = by_name(workload).expect("workload exists");
+        for &recovery in &[Recovery::Refetch, Recovery::Reissue, Recovery::Selective] {
+            let runner = quick_runner(recovery);
+            for &scheme in PaperScheme::all() {
+                let res = runner.run(&wl, scheme).expect("run succeeds");
+                assert_eq!(
+                    res.stats.cpi.total(),
+                    res.stats.cycles,
+                    "{workload}/{}/{recovery:?}: {:?}",
+                    scheme.label(),
+                    res.stats.cpi
+                );
+                assert!(res.stats.cycles > 0, "{workload}/{}", scheme.label());
+            }
+        }
+    }
+}
+
+/// The instrumented run produces a coherent artifact: windows tile the
+/// run, per-PC tables are bounded by `top_k` and ordered.
+#[test]
+fn obs_report_is_coherent() {
+    let runner = quick_runner(Recovery::Selective);
+    let res = runner.run(&by_name("li").expect("exists"), PaperScheme::DrvpAll).expect("runs");
+    let obs = res.stats.obs.as_ref().expect("instrumented run carries a report");
+    assert_eq!(obs.sample_interval, 512);
+
+    let window_cycles: u64 = obs.samples.iter().map(|w| w.cycles).sum();
+    let window_commits: u64 = obs.samples.iter().map(|w| w.committed).sum();
+    assert_eq!(window_cycles + obs.dropped_windows * 512, res.stats.cycles);
+    if obs.dropped_windows == 0 {
+        assert_eq!(window_commits, res.stats.committed);
+    }
+    for pair in obs.samples.windows(2) {
+        assert!(pair[0].end_cycle < pair[1].end_cycle, "windows must be ordered");
+    }
+
+    assert!(obs.top_costly.len() <= 8);
+    assert!(obs.top_correct.len() <= 8);
+    for pair in obs.top_correct.windows(2) {
+        assert!(pair[0].correct >= pair[1].correct, "top-K must be sorted");
+    }
+    let total_correct: u64 = obs.top_correct.iter().map(|e| e.correct).sum();
+    assert!(total_correct <= res.stats.correct_predictions);
+}
+
+/// The same cell with instrumentation off must time identically —
+/// observation must not perturb the experiment.
+#[test]
+fn instrumentation_does_not_change_timing() {
+    let wl = by_name("li").expect("exists");
+    let on = quick_runner(Recovery::Selective);
+    let off = Runner { obs: ObsConfig::off(), ..quick_runner(Recovery::Selective) };
+    let a = on.run(&wl, PaperScheme::DrvpAllDeadLv).expect("runs");
+    let b = off.run(&wl, PaperScheme::DrvpAllDeadLv).expect("runs");
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.committed, b.stats.committed);
+    assert_eq!(a.stats.cpi, b.stats.cpi);
+    assert!(a.stats.obs.is_some());
+    assert!(b.stats.obs.is_none());
+}
+
+/// Emitted observability JSON parses back to the identical value.
+#[test]
+fn obs_json_round_trips() {
+    let runner = quick_runner(Recovery::Reissue);
+    let res = runner.run(&by_name("go").expect("exists"), PaperScheme::LvpAll).expect("runs");
+
+    let stats_json = res.stats.to_json();
+    let reparsed = Json::parse(&stats_json.to_string()).expect("emitted stats JSON parses");
+    assert_eq!(reparsed, stats_json);
+
+    let obs = res.stats.obs.as_ref().expect("instrumented");
+    let obs_json = obs.to_json();
+    assert_eq!(Json::parse(&obs_json.to_string()).expect("parses"), obs_json);
+
+    let cpi_json = res.stats.cpi.to_json();
+    assert_eq!(Json::parse(&cpi_json.to_string()).expect("parses"), cpi_json);
+
+    let window = WindowSample {
+        end_cycle: 4096,
+        cycles: 4096,
+        committed: 9000,
+        predictions: 120,
+        correct_predictions: 110,
+        iq_int_occupancy_sum: 80_000,
+        iq_fp_occupancy_sum: 12,
+    };
+    let wj = window.to_json();
+    assert_eq!(Json::parse(&wj.to_string()).expect("parses"), wj);
+
+    // The parsed tree exposes the invariant numerically too.
+    let cpi = reparsed.get("cpi").expect("cpi member");
+    let sum: u64 = cpi
+        .as_obj()
+        .expect("object")
+        .iter()
+        .map(|(_, v)| v.as_u64().expect("bucket counts are u64"))
+        .sum();
+    assert_eq!(Some(sum), reparsed.get("cycles").and_then(Json::as_u64));
+}
+
+/// `SimStats` default round-trips too (no obs member at all).
+#[test]
+fn default_stats_json_round_trips() {
+    let j = SimStats::default().to_json();
+    let r = Json::parse(&j.to_string()).expect("parses");
+    assert_eq!(r, j);
+    assert!(r.get("obs").is_none());
+}
