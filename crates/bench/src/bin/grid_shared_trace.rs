@@ -1,0 +1,176 @@
+//! Timed comparison of a fully per-cell grid vs the shared-trace grid.
+//!
+//! Runs a small scheme × workload subset twice and gates on the
+//! wall-clock ratio:
+//!
+//! * **per-cell (live)**: every cell gets a fresh `Runner` with an
+//!   empty profile cache, no trace store and `SourceMode::Live` — each
+//!   cell pays its own train-profile emulation and re-emulates the ref
+//!   input inside the timing run, the behaviour before derived
+//!   artifacts (profiles, committed traces) were shared across cells;
+//! * **shared**: one `Runner` in the default `SourceMode::Shared`,
+//!   traces prewarmed up front — each workload's committed stream is
+//!   captured once and fanned out in memory, and the train profile is
+//!   collected once per workload.
+//!
+//! Both legs run the same cells single-threaded, must produce
+//! bit-identical stats, and the shared leg must be at least 1.5x
+//! faster (override with `RVP_SHARED_BENCH_RATIO`). Timings are
+//! written as a JSON artifact for CI upload.
+//!
+//! ```text
+//! grid_shared_trace [--out FILE] [WORKLOAD...]
+//! ```
+//!
+//! Budgets honor `RVP_MEASURE_INSTS` / `RVP_PROFILE_INSTS`; the gate
+//! is meaningful with a profile-heavy budget (CI uses 600k profiled /
+//! 60k measured), matching the paper methodology where the profile
+//! input is much longer than the measured window.
+
+use std::time::{Duration, Instant};
+
+use rvp_core::{by_name, Json, PaperScheme, RunResult, Runner, SourceMode, Workload};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn base_runner(mode: SourceMode, profile_insts: u64, measure_insts: u64) -> Runner {
+    Runner { source_mode: mode, traces: None, profile_insts, measure_insts, ..Runner::default() }
+}
+
+fn main() {
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(it.next().expect("--out needs a path").into()),
+            _ => names.push(a),
+        }
+    }
+    if names.is_empty() {
+        names = vec!["li".into(), "m88ksim".into()];
+    }
+    let workloads: Vec<Workload> = names
+        .iter()
+        .map(|n| by_name(n).unwrap_or_else(|| panic!("unknown workload {n}")))
+        .collect();
+
+    let profile_insts = env_u64("RVP_PROFILE_INSTS", 600_000);
+    let measure_insts = env_u64("RVP_MEASURE_INSTS", 60_000);
+    let gate: f64 =
+        std::env::var("RVP_SHARED_BENCH_RATIO").ok().and_then(|v| v.parse().ok()).unwrap_or(1.5);
+    let cells: Vec<(&Workload, PaperScheme)> =
+        workloads.iter().flat_map(|wl| PaperScheme::all().iter().map(move |&s| (wl, s))).collect();
+
+    println!(
+        "grid_shared_trace: {} cells ({} workloads x {} schemes), \
+         {profile_insts} profiled / {measure_insts} measured insts, gate {gate:.2}x",
+        cells.len(),
+        workloads.len(),
+        PaperScheme::all().len(),
+    );
+
+    // Shared leg first: any OS warm-up (page cache, allocator) then
+    // benefits the per-cell leg, making the gate conservative.
+    let shared_runner = base_runner(SourceMode::Shared, profile_insts, measure_insts);
+    let t0 = Instant::now();
+    for wl in &workloads {
+        shared_runner.prewarm_trace(wl).expect("prewarm");
+    }
+    let prewarm = t0.elapsed();
+    let (shared_results, shared_cells) = run_leg(&cells, |_| shared_runner.clone());
+    let shared_total = prewarm + total(&shared_cells);
+
+    let (live_results, live_cells) =
+        run_leg(&cells, |_| base_runner(SourceMode::Live, profile_insts, measure_insts));
+    let live_total = total(&live_cells);
+
+    for (s, l) in shared_results.iter().zip(&live_results) {
+        assert_eq!(
+            s.stats,
+            l.stats,
+            "{}/{}: shared and per-cell stats differ",
+            s.workload,
+            s.scheme.label()
+        );
+    }
+
+    let tally = shared_runner.source_counters.total();
+    let speedup = live_total.as_secs_f64() / shared_total.as_secs_f64();
+    println!(
+        "per-cell (live): {:8.2}s  ({:.1}ms/cell)",
+        live_total.as_secs_f64(),
+        1e3 * live_total.as_secs_f64() / cells.len() as f64,
+    );
+    println!(
+        "shared traces:   {:8.2}s  ({:.1}ms/cell + {:.1}ms prewarm; \
+         {} captures, {} shared hits, {} live fallbacks)",
+        shared_total.as_secs_f64(),
+        1e3 * total(&shared_cells).as_secs_f64() / cells.len() as f64,
+        1e3 * prewarm.as_secs_f64(),
+        tally.captures,
+        tally.shared_hits,
+        tally.live_fallbacks,
+    );
+    println!("speedup: {speedup:.2}x (gate {gate:.2}x)");
+
+    if let Some(path) = &out {
+        let per_cell: Vec<Json> = cells
+            .iter()
+            .zip(shared_cells.iter().zip(&live_cells))
+            .map(|((wl, scheme), (s, l))| {
+                Json::obj([
+                    ("workload", wl.name().into()),
+                    ("scheme", scheme.label().into()),
+                    ("shared_ms", (1e3 * s.as_secs_f64()).into()),
+                    ("live_ms", (1e3 * l.as_secs_f64()).into()),
+                ])
+            })
+            .collect();
+        let summary = Json::obj([
+            ("cells", (cells.len() as u64).into()),
+            ("profile_insts", profile_insts.into()),
+            ("measure_insts", measure_insts.into()),
+            ("live_s", live_total.as_secs_f64().into()),
+            ("shared_s", shared_total.as_secs_f64().into()),
+            ("prewarm_s", prewarm.as_secs_f64().into()),
+            ("speedup", speedup.into()),
+            ("gate", gate.into()),
+            ("timings", Json::Arr(per_cell)),
+        ]);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, format!("{summary}\n")).expect("write timings artifact");
+        println!("timings written: {}", path.display());
+    }
+
+    if speedup < gate {
+        eprintln!("FAIL: shared-trace grid speedup {speedup:.2}x is below the {gate:.2}x gate");
+        std::process::exit(1);
+    }
+    println!("PASS: shared traces are >={gate:.2}x faster than fully per-cell runs");
+}
+
+/// Runs every cell with the runner `mk` supplies for it, timing each.
+fn run_leg(
+    cells: &[(&Workload, PaperScheme)],
+    mk: impl Fn(usize) -> Runner,
+) -> (Vec<RunResult>, Vec<Duration>) {
+    let mut results = Vec::with_capacity(cells.len());
+    let mut times = Vec::with_capacity(cells.len());
+    for (i, (wl, scheme)) in cells.iter().enumerate() {
+        let runner = mk(i);
+        let t = Instant::now();
+        let result = runner.run(wl, *scheme).expect("cell");
+        times.push(t.elapsed());
+        results.push(result);
+    }
+    (results, times)
+}
+
+fn total(times: &[Duration]) -> Duration {
+    times.iter().sum()
+}

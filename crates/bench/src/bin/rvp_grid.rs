@@ -5,21 +5,27 @@
 //! directory as it completes, then prints a throughput summary.
 //!
 //! ```text
-//! rvp-grid [OUT_DIR] [--workloads A,B,...] [--metrics-out FILE]
+//! rvp-grid [OUT_DIR] [--workloads A,B,...] [--source MODE] [--metrics-out FILE]
 //! ```
 //!
 //! `OUT_DIR` defaults to `RVP_JSON_DIR`, then `results/`.
 //! `--workloads` restricts the grid to the named workloads (CI runs a
-//! two-workload subset this way). `--metrics-out` enables the optional
-//! instrumentation (time series + per-PC telemetry) on every cell —
-//! the artifacts land inside the cell JSONs — and writes a grid-level
-//! summary (throughput, trace-cache counters, failures) to FILE.
+//! two-workload subset this way). `--source` picks the committed-stream
+//! source for measurement runs: `shared` (default — each workload's
+//! trace is captured once up front and fanned out in memory to every
+//! scheme cell), `replay` (stream each cell from the on-disk trace
+//! cache) or `live` (re-emulate inside every cell, the pre-refactor
+//! behaviour). `--metrics-out` enables the optional instrumentation
+//! (time series + per-PC telemetry) on every cell — the artifacts land
+//! inside the cell JSONs — and writes a grid-level summary (throughput,
+//! trace-cache and per-workload source counters, failures) to FILE.
 //!
 //! The usual budget overrides (`RVP_MEASURE_INSTS`,
 //! `RVP_PROFILE_INSTS`) apply, `RVP_TRACE_DIR` enables the
-//! committed-trace cache, and `RVP_THREADS` caps the worker count.
-//! Failures and cache counters are also emitted as structured events
-//! through the `RVP_LOG` facade.
+//! committed-trace cache, `RVP_SOURCE` is the env equivalent of
+//! `--source`, and `RVP_THREADS` caps the worker count. Failures and
+//! cache counters are also emitted as structured events through the
+//! `RVP_LOG` facade.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,7 +34,10 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use rvp_bench::{emit_cell, runner_from_env};
-use rvp_core::{all_workloads, log, Json, ObsConfig, PaperScheme, RunResult, Runner, Workload};
+use rvp_core::{
+    all_workloads, log, Json, ObsConfig, PaperScheme, RunResult, Runner, SourceMode, ToJson,
+    Workload,
+};
 
 struct Cell {
     workload: Workload,
@@ -46,7 +55,10 @@ fn worker_count(cells: usize) -> usize {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rvp-grid [OUT_DIR] [--workloads A,B,...] [--metrics-out FILE]");
+    eprintln!(
+        "usage: rvp-grid [OUT_DIR] [--workloads A,B,...] [--source live|replay|shared] \
+         [--metrics-out FILE]"
+    );
     ExitCode::from(2)
 }
 
@@ -54,6 +66,7 @@ fn main() -> ExitCode {
     let mut out_dir: Option<PathBuf> = None;
     let mut only: Option<Vec<String>> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut source: Option<SourceMode> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -62,6 +75,10 @@ fn main() -> ExitCode {
                 Some(list) => {
                     only = Some(list.split(',').map(|s| s.trim().to_owned()).collect());
                 }
+                None => return usage(),
+            },
+            "--source" => match it.next().as_deref().and_then(SourceMode::parse) {
+                Some(mode) => source = Some(mode),
                 None => return usage(),
             },
             "--metrics-out" => match it.next() {
@@ -111,6 +128,9 @@ fn main() -> ExitCode {
     };
 
     let mut runner = runner_from_env();
+    if let Some(mode) = source {
+        runner.source_mode = mode;
+    }
     if metrics_out.is_some() {
         runner.obs = ObsConfig::standard();
     }
@@ -123,15 +143,44 @@ fn main() -> ExitCode {
     let workers = worker_count(cells.len());
 
     println!(
-        "rvp-grid: {} workloads x {} schemes = {} cells on {} threads -> {}",
+        "rvp-grid: {} workloads x {} schemes = {} cells on {} threads ({} source) -> {}",
         workloads.len(),
         PaperScheme::all().len(),
         cells.len(),
         workers,
+        runner.source_mode.name(),
         out_dir.display()
     );
 
     let start = Instant::now();
+
+    // Pay every workload's trace capture up front, in parallel, so the
+    // cell fan-out below is pure timing simulation (a no-op for the
+    // live source). A failed prewarm is not fatal: the cell itself will
+    // retry or fall back and report properly.
+    if runner.source_mode != SourceMode::Live {
+        let next_wl = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(workloads.len()) {
+                scope.spawn(|| loop {
+                    let i = next_wl.fetch_add(1, Ordering::Relaxed);
+                    let Some(wl) = workloads.get(i) else { return };
+                    if let Err(e) = runner.prewarm_trace(wl) {
+                        log::warn(
+                            "rvp-grid",
+                            "trace prewarm failed",
+                            &[("workload", wl.name().into()), ("error", e.to_string().into())],
+                        );
+                    }
+                });
+            }
+        });
+        println!(
+            "traces prewarmed: {} workloads in {:.2}s",
+            workloads.len(),
+            start.elapsed().as_secs_f64()
+        );
+    }
     let next = AtomicUsize::new(0);
     let failures: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
     let results: Mutex<Vec<RunResult>> = Mutex::new(Vec::new());
@@ -155,12 +204,30 @@ fn main() -> ExitCode {
         simulated as f64 / elapsed.as_secs_f64() / 1e6,
     );
     println!("profiles collected: {}", runner.profiles.len());
+    let sources = runner.source_counters.snapshot();
+    if !sources.is_empty() {
+        let t = runner.source_counters.total();
+        println!(
+            "committed-stream sources ({}): {} captures, {} shared hits, {} live fallbacks",
+            runner.source_mode.name(),
+            t.captures,
+            t.shared_hits,
+            t.live_fallbacks
+        );
+    }
     let mut summary: Vec<(String, Json)> = vec![
         ("cells".into(), (results.len() as u64).into()),
         ("failures".into(), (failures.len() as u64).into()),
         ("elapsed_s".into(), elapsed.as_secs_f64().into()),
         ("simulated_insts".into(), simulated.into()),
         ("profiles".into(), (runner.profiles.len() as u64).into()),
+        ("source_mode".into(), runner.source_mode.name().into()),
+        (
+            "trace_sources".into(),
+            Json::Obj(
+                sources.iter().map(|(wl, tally)| ((*wl).to_owned(), tally.to_json())).collect(),
+            ),
+        ),
     ];
     if let Some(store) = &runner.traces {
         let c = store.counters();

@@ -12,9 +12,13 @@
 
 use std::path::PathBuf;
 
-use rvp_core::{PaperScheme, RunResult, Runner, SimError, ToJson, UarchConfig, Workload};
+use rvp_core::{
+    PaperScheme, RunResult, Runner, SimError, SourceMode, ToJson, UarchConfig, Workload,
+};
 
-/// Budgets read from the environment with sensible defaults.
+/// Budgets and the committed-stream source read from the environment
+/// with sensible defaults (`RVP_SOURCE` accepts `live`, `replay` or
+/// `shared`; unknown values are ignored).
 pub fn runner_from_env() -> Runner {
     let mut r = Runner::default();
     if let Some(v) = env_u64("RVP_MEASURE_INSTS") {
@@ -22,6 +26,9 @@ pub fn runner_from_env() -> Runner {
     }
     if let Some(v) = env_u64("RVP_PROFILE_INSTS") {
         r.profile_insts = v;
+    }
+    if let Some(mode) = std::env::var("RVP_SOURCE").ok().and_then(|v| SourceMode::parse(&v)) {
+        r.source_mode = mode;
     }
     r
 }

@@ -5,13 +5,16 @@
 //! rvp-report <RESULTS_DIR>
 //! ```
 //!
-//! Three sections:
+//! Four sections:
 //!
 //! 1. an IPC table (scheme rows × workload columns, plus the mean),
 //! 2. per-workload CPI stacks (% of cycles in each attribution bucket),
 //! 3. observability highlights for cells carrying an instrumentation
 //!    artifact (`obs`): warm-up vs. steady IPC and the costliest static
-//!    instruction.
+//!    instruction,
+//! 4. committed-stream source counters (captures / shared hits / live
+//!    fallbacks per workload) when the directory holds a grid summary
+//!    written with `rvp-grid --metrics-out`.
 //!
 //! The binary is read-only: it never simulates, so it renders in
 //! milliseconds even for a full 135-cell grid.
@@ -67,6 +70,7 @@ fn main() -> ExitCode {
     print_ipc_table(&cells, &workloads, &schemes);
     print_cpi_stacks(&cells, &workloads, &schemes);
     print_obs_highlights(&cells);
+    print_trace_sources(Path::new(dir));
     ExitCode::SUCCESS
 }
 
@@ -239,6 +243,48 @@ fn print_obs_highlights(cells: &[Cell]) {
             Some((pc, costly)) => println!(" {:>14}", format!("{pc}({costly})")),
             None => println!(" {:>14}", "-"),
         }
+    }
+}
+
+/// Renders the per-workload committed-stream source tallies from any
+/// grid summary JSON in `dir` (a file with `source_mode` and
+/// `trace_sources` keys — the shape `rvp-grid --metrics-out` writes).
+fn print_trace_sources(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let Some(summary) = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .filter(|j| j.get("trace_sources").is_some())
+        else {
+            continue;
+        };
+        let mode = summary.get("source_mode").and_then(Json::as_str).unwrap_or("?");
+        let Some(Json::Obj(sources)) = summary.get("trace_sources") else { continue };
+        if sources.is_empty() {
+            continue;
+        }
+        println!("\ncommitted-stream sources ({mode} mode, {})", path.display());
+        println!(
+            "{:>22} {:>10} {:>13} {:>16}",
+            "workload", "captures", "shared_hits", "live_fallbacks"
+        );
+        let mut totals = [0u64; 3];
+        for (wl, tally) in sources {
+            let count = |key: &str| tally.get(key).and_then(Json::as_u64).unwrap_or(0);
+            let row = [count("captures"), count("shared_hits"), count("live_fallbacks")];
+            for (t, v) in totals.iter_mut().zip(row) {
+                *t += v;
+            }
+            println!("{wl:>22} {:>10} {:>13} {:>16}", row[0], row[1], row[2]);
+        }
+        println!("{:>22} {:>10} {:>13} {:>16}", "total", totals[0], totals[1], totals[2]);
     }
 }
 

@@ -34,7 +34,10 @@
 
 mod runner;
 
-pub use runner::{PaperScheme, ProfileCache, RunResult, Runner};
+pub use runner::{
+    PaperScheme, ProfileCache, RunResult, Runner, SharedTraceCache, SourceCounters, SourceMode,
+    SourceTally,
+};
 
 pub use rvp_bpred::{BpredConfig, BranchPredictor};
 pub use rvp_emu::{Committed, EmuError, Emulator};
@@ -48,7 +51,10 @@ pub use rvp_trace::{
     capture, program_hash, StoreCounters, TraceError, TraceInput, TraceMeta, TraceReader,
     TraceStore, TraceWriter,
 };
-pub use rvp_uarch::{Latencies, Recovery, Scheme, SimError, SimStats, Simulator, UarchConfig};
+pub use rvp_uarch::{
+    CommittedSource, EmuSource, Latencies, Recovery, ReplaySource, Scheme, SharedSource, SimError,
+    SimStats, Simulator, SourceKind, UarchConfig,
+};
 pub use rvp_vpred::{
     BufferConfig, BufferPredictor, ConfidenceCounter, ConfidenceTable, ContextConfig,
     ContextPredictor, CorrelationConfig, CorrelationPredictor, CounterPolicy, DrvpConfig,

@@ -2,13 +2,17 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
+use rvp_emu::Committed;
 use rvp_isa::Program;
 use rvp_json::{Json, ToJson};
 use rvp_obs::log;
 use rvp_profile::{Assist, Fig1Row, PlanScope, Profile, ProfileConfig, SrvpLevel};
 use rvp_realloc::{reallocate, ReallocOptions};
 use rvp_trace::{TraceInput, TraceMeta, TraceStore};
-use rvp_uarch::{ObsConfig, Recovery, Scheme, SimError, SimStats, Simulator, UarchConfig};
+use rvp_uarch::{
+    CommittedSource, ObsConfig, Recovery, ReplaySource, Scheme, SharedSource, SimError, SimStats,
+    Simulator, UarchConfig,
+};
 use rvp_vpred::{DrvpConfig, LvpConfig, PredictionPlan, Scope};
 use rvp_workloads::{Input, Workload};
 
@@ -177,6 +181,171 @@ impl fmt::Debug for ProfileCache {
     }
 }
 
+/// Where a measurement run's committed-instruction stream comes from.
+///
+/// Value misprediction never changes architectural state, so every
+/// scheme × recovery cell of a workload consumes the *same* committed
+/// stream; all three modes produce bit-identical [`SimStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourceMode {
+    /// Re-emulate the workload inside every cell (the pre-refactor
+    /// behaviour, and the fallback whenever no trace can serve).
+    Live,
+    /// Stream each cell from the on-disk trace cache ([`TraceStore`]),
+    /// degrading to live emulation mid-run on corruption.
+    Replay,
+    /// Decode the committed trace once per workload into an
+    /// `Arc<[Committed]>` shared by every cell — the default: a grid
+    /// pays for functional emulation once per workload, not per cell.
+    #[default]
+    Shared,
+}
+
+impl SourceMode {
+    /// Stable lowercase name (CLI flag values and summary JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceMode::Live => "live",
+            SourceMode::Replay => "replay",
+            SourceMode::Shared => "shared",
+        }
+    }
+
+    /// Parses a [`SourceMode::name`] back; `None` for anything else.
+    pub fn parse(s: &str) -> Option<SourceMode> {
+        match s {
+            "live" => Some(SourceMode::Live),
+            "replay" => Some(SourceMode::Replay),
+            "shared" => Some(SourceMode::Shared),
+            _ => None,
+        }
+    }
+}
+
+/// Cache key for a shared decoded trace: (workload, input, budget) —
+/// the same key shape as [`ProfileKey`], and for the same reason.
+type TraceKey = (&'static str, Input, u64);
+
+/// One shared-trace entry, locked independently of the map.
+type TraceSlot = Arc<Mutex<Option<Arc<[Committed]>>>>;
+
+/// A thread-safe memo of decoded in-memory traces, shared by clones of
+/// a [`Runner`] exactly like [`ProfileCache`]: entries are locked
+/// individually, so grid threads racing on the *same* workload decode
+/// it once while different workloads decode in parallel.
+#[derive(Clone, Default)]
+pub struct SharedTraceCache {
+    slots: Arc<Mutex<HashMap<TraceKey, TraceSlot>>>,
+}
+
+impl SharedTraceCache {
+    /// Returns the cached trace for `key`, materializing it with
+    /// `capture` on first use; the flag reports whether this call did
+    /// the capture. Failures are returned and not cached.
+    fn get_or_capture(
+        &self,
+        key: TraceKey,
+        capture: impl FnOnce() -> Result<Arc<[Committed]>, SimError>,
+    ) -> Result<(Arc<[Committed]>, bool), SimError> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("trace cache poisoned");
+            slots.entry(key).or_default().clone()
+        };
+        let mut entry = slot.lock().expect("trace slot poisoned");
+        if let Some(trace) = entry.as_ref() {
+            return Ok((Arc::clone(trace), false));
+        }
+        let trace = capture()?;
+        *entry = Some(Arc::clone(&trace));
+        Ok((trace, true))
+    }
+
+    /// Number of materialized traces.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("trace cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for SharedTraceCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedTraceCache({} entries)", self.len())
+    }
+}
+
+/// Per-workload tally of how measurement runs were fed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceTally {
+    /// Traces materialized (decoded into memory, or captured to disk
+    /// on behalf of replay runs) for this workload.
+    pub captures: u64,
+    /// Measurement runs served from a captured trace (shared memory or
+    /// clean disk replay).
+    pub shared_hits: u64,
+    /// Measurement runs that fell back to live emulation despite a
+    /// trace-backed mode: register-reallocated programs (no trace
+    /// describes the transformed stream), missing stores, or mid-run
+    /// trace corruption.
+    pub live_fallbacks: u64,
+}
+
+impl ToJson for SourceTally {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("captures", self.captures.into()),
+            ("shared_hits", self.shared_hits.into()),
+            ("live_fallbacks", self.live_fallbacks.into()),
+        ])
+    }
+}
+
+/// Thread-safe per-workload [`SourceTally`] counters, shared by clones
+/// of a [`Runner`] (and so across grid threads).
+#[derive(Clone, Default)]
+pub struct SourceCounters {
+    tallies: Arc<Mutex<HashMap<&'static str, SourceTally>>>,
+}
+
+impl SourceCounters {
+    fn bump(&self, workload: &'static str, f: impl FnOnce(&mut SourceTally)) {
+        let mut tallies = self.tallies.lock().expect("source counters poisoned");
+        f(tallies.entry(workload).or_default());
+    }
+
+    /// All tallies, sorted by workload name.
+    pub fn snapshot(&self) -> Vec<(&'static str, SourceTally)> {
+        let tallies = self.tallies.lock().expect("source counters poisoned");
+        let mut out: Vec<_> = tallies.iter().map(|(&k, &v)| (k, v)).collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Sum over all workloads.
+    pub fn total(&self) -> SourceTally {
+        self.snapshot().into_iter().fold(SourceTally::default(), |mut acc, (_, t)| {
+            acc.captures += t.captures;
+            acc.shared_hits += t.shared_hits;
+            acc.live_fallbacks += t.live_fallbacks;
+            acc
+        })
+    }
+}
+
+impl fmt::Debug for SourceCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.total();
+        write!(
+            f,
+            "SourceCounters(captures {}, shared_hits {}, live_fallbacks {})",
+            t.captures, t.shared_hits, t.live_fallbacks
+        )
+    }
+}
+
 /// Executes paper experiments: profile on train, measure on ref.
 #[derive(Debug, Clone)]
 pub struct Runner {
@@ -199,6 +368,15 @@ pub struct Runner {
     /// collected by replaying traces instead of re-running the emulator.
     /// Defaults to the `RVP_TRACE_DIR` environment variable.
     pub traces: Option<TraceStore>,
+    /// Where measurement runs get their committed stream (shared
+    /// in-memory traces by default).
+    pub source_mode: SourceMode,
+    /// Memo of decoded in-memory traces, shared across clones (and
+    /// therefore across the threads of a parallel grid).
+    pub shared_traces: SharedTraceCache,
+    /// Per-workload capture / shared-hit / live-fallback telemetry,
+    /// shared across clones.
+    pub source_counters: SourceCounters,
     /// Optional instrumentation for measurement runs (time-series
     /// sampling and per-PC telemetry). Off by default; the CPI stack is
     /// always collected.
@@ -215,6 +393,9 @@ impl Default for Runner {
             measure_insts: 400_000,
             profiles: ProfileCache::default(),
             traces: TraceStore::from_env(),
+            source_mode: SourceMode::default(),
+            shared_traces: SharedTraceCache::default(),
+            source_counters: SourceCounters::default(),
             obs: ObsConfig::off(),
         }
     }
@@ -361,10 +542,153 @@ impl Runner {
             }
         };
 
-        let stats = Simulator::new(self.config.clone(), sim_scheme, self.recovery)
-            .with_obs(self.obs.clone())
-            .run(&program, self.measure_insts)?;
+        let reallocated = scheme == P::DrvpAllRealloc;
+        let stats = self.measure(wl, &program, sim_scheme, reallocated)?;
         Ok(RunResult { workload: wl.name(), scheme, stats })
+    }
+
+    /// Runs one timing simulation, feeding the committed stream per
+    /// [`Runner::source_mode`]. A register-reallocated program always
+    /// runs live — the transformation changes the instruction stream
+    /// itself, so no captured trace describes it. (Profile-marked
+    /// `rvp_` opcodes are fine: marking does not change semantics, so
+    /// the unmarked base trace still matches.)
+    fn measure(
+        &self,
+        wl: &Workload,
+        program: &Program,
+        sim_scheme: Scheme,
+        reallocated: bool,
+    ) -> Result<SimStats, SimError> {
+        let name = wl.name();
+        let mut sim = Simulator::new(self.config.clone(), sim_scheme, self.recovery)
+            .with_obs(self.obs.clone());
+        let mode = if reallocated { SourceMode::Live } else { self.source_mode };
+
+        match mode {
+            SourceMode::Live => {
+                if self.source_mode != SourceMode::Live {
+                    self.source_counters.bump(name, |t| t.live_fallbacks += 1);
+                }
+                sim.run(program, self.measure_insts)
+            }
+            SourceMode::Shared => {
+                let trace = self.shared_ref_trace(wl)?;
+                self.source_counters.bump(name, |t| t.shared_hits += 1);
+                let mut source = SharedSource::new(trace);
+                sim.run_with_source(program, &mut source, self.measure_insts)
+            }
+            SourceMode::Replay => {
+                let reader = self.traces.as_ref().and_then(|store| {
+                    let base = wl.program(Input::Ref);
+                    let meta =
+                        TraceMeta::for_program(name, TraceInput::Ref, self.measure_insts, &base);
+                    match store.open(&meta) {
+                        Ok(reader) => Some(reader),
+                        Err(_) => match store.capture(&base, &meta).and_then(|_| store.open(&meta))
+                        {
+                            Ok(reader) => {
+                                self.source_counters.bump(name, |t| t.captures += 1);
+                                Some(reader)
+                            }
+                            Err(e) => {
+                                log::warn(
+                                    "rvp_core::runner",
+                                    "trace unavailable for replay; running live",
+                                    &[("workload", name.into()), ("error", e.to_string().into())],
+                                );
+                                None
+                            }
+                        },
+                    }
+                });
+                let Some(reader) = reader else {
+                    self.source_counters.bump(name, |t| t.live_fallbacks += 1);
+                    return sim.run(program, self.measure_insts);
+                };
+                let mut source = ReplaySource::new(program, reader);
+                let stats = sim.run_with_source(program, &mut source, self.measure_insts)?;
+                if source.degraded() {
+                    self.source_counters.bump(name, |t| t.live_fallbacks += 1);
+                } else {
+                    self.source_counters.bump(name, |t| t.shared_hits += 1);
+                }
+                Ok(stats)
+            }
+        }
+    }
+
+    /// The shared decoded ref trace for `wl`, materialized on first use
+    /// (per (workload, input, budget) key): decoded from the on-disk
+    /// store when one is configured — a decode failure falls back to
+    /// direct in-memory capture — else captured straight from the
+    /// emulator.
+    fn shared_ref_trace(&self, wl: &Workload) -> Result<Arc<[Committed]>, SimError> {
+        let name = wl.name();
+        let (trace, captured) =
+            self.shared_traces.get_or_capture((name, Input::Ref, self.measure_insts), || {
+                let base = wl.program(Input::Ref);
+                if let Some(store) = &self.traces {
+                    let meta =
+                        TraceMeta::for_program(name, TraceInput::Ref, self.measure_insts, &base);
+                    match store
+                        .open_or_capture(&base, &meta)
+                        .and_then(|reader| reader.collect::<Result<Vec<Committed>, _>>())
+                    {
+                        Ok(records) => return Ok(records.into()),
+                        Err(e) => log::warn(
+                            "rvp_core::runner",
+                            "trace decode failed; capturing shared trace live",
+                            &[("workload", name.into()), ("error", e.to_string().into())],
+                        ),
+                    }
+                }
+                SharedSource::capture(&base, self.measure_insts)
+            })?;
+        if captured {
+            self.source_counters.bump(name, |t| t.captures += 1);
+        }
+        Ok(trace)
+    }
+
+    /// Materializes the committed trace serving `wl`'s measurement runs
+    /// ahead of time, so a grid can pay all captures up front before
+    /// fanning cells out to threads. A no-op in [`SourceMode::Live`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulator errors from a live capture. (A replay-mode
+    /// store failure is *not* an error: measurement will fall back to
+    /// live emulation.)
+    pub fn prewarm_trace(&self, wl: &Workload) -> Result<(), SimError> {
+        match self.source_mode {
+            SourceMode::Live => Ok(()),
+            SourceMode::Shared => self.shared_ref_trace(wl).map(drop),
+            SourceMode::Replay => {
+                if let Some(store) = &self.traces {
+                    let base = wl.program(Input::Ref);
+                    let meta = TraceMeta::for_program(
+                        wl.name(),
+                        TraceInput::Ref,
+                        self.measure_insts,
+                        &base,
+                    );
+                    if store.open(&meta).is_err() {
+                        match store.capture(&base, &meta) {
+                            Ok(_) => {
+                                self.source_counters.bump(wl.name(), |t| t.captures += 1);
+                            }
+                            Err(e) => log::warn(
+                                "rvp_core::runner",
+                                "trace prewarm failed; replay will run live",
+                                &[("workload", wl.name().into()), ("error", e.to_string().into())],
+                            ),
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Figure 1 measurement: register-value reuse of loads on the ref
@@ -493,20 +817,60 @@ mod tests {
         let wl = by_name("li").unwrap();
         let scheme = PaperScheme::DrvpAllDeadLv;
 
-        let live = Runner { traces: None, ..quick_runner() };
+        let live = Runner { traces: None, source_mode: SourceMode::Live, ..quick_runner() };
         let want = live.run(&wl, scheme).unwrap();
 
-        // First traced runner captures the trace, then replays it.
+        // First traced runner captures train (profile) and ref
+        // (measurement) traces, then replays them.
         let traced = Runner { traces: Some(store.clone()), ..quick_runner() };
         let replayed = traced.run(&wl, scheme).unwrap();
         assert_eq!(want.stats, replayed.stats);
-        assert_eq!(store.counters().captures(), 1);
+        assert_eq!(store.counters().captures(), 2);
 
-        // A fresh runner (empty profile cache) hits the on-disk trace.
+        // A fresh runner (empty profile and trace caches) hits the
+        // on-disk traces.
         let warm = Runner { traces: Some(store.clone()), ..quick_runner() };
         let from_disk = warm.run(&wl, scheme).unwrap();
         assert_eq!(want.stats, from_disk.stats);
-        assert!(store.counters().hits() >= 1);
+        assert!(store.counters().hits() >= 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_source_modes_agree_and_are_counted() {
+        let dir =
+            std::env::temp_dir().join(format!("rvp-runner-source-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::new(&dir).unwrap();
+        let wl = by_name("m88ksim").unwrap();
+
+        let run_mode = |mode: SourceMode| {
+            let r = Runner { traces: Some(store.clone()), source_mode: mode, ..quick_runner() };
+            r.prewarm_trace(&wl).unwrap();
+            let a = r.run(&wl, PaperScheme::DrvpAll).unwrap();
+            let b = r.run(&wl, PaperScheme::NoPredict).unwrap();
+            let fallback = r.run(&wl, PaperScheme::DrvpAllRealloc).unwrap();
+            (a.stats, b.stats, fallback.stats, r.source_counters.total())
+        };
+
+        let (la, lb, lf, lt) = run_mode(SourceMode::Live);
+        let (ra, rb, rf, rt) = run_mode(SourceMode::Replay);
+        let (sa, sb, sf, st) = run_mode(SourceMode::Shared);
+        assert_eq!(la, ra);
+        assert_eq!(la, sa);
+        assert_eq!(lb, rb);
+        assert_eq!(lb, sb);
+        assert_eq!(lf, rf);
+        assert_eq!(lf, sf);
+
+        // Live mode counts nothing; trace-backed modes each capture one
+        // trace at prewarm (replay to disk, shared into memory — served
+        // from the disk file replay already wrote), serve two runs from
+        // it, and fall back to live for the reallocated cell.
+        assert_eq!(lt, SourceTally::default());
+        assert_eq!(rt, SourceTally { captures: 1, shared_hits: 2, live_fallbacks: 1 });
+        assert_eq!(st, SourceTally { captures: 1, shared_hits: 2, live_fallbacks: 1 });
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,0 +1,81 @@
+//! The [`rvp_core::SourceMode`] contract: live emulation, on-disk
+//! replay and the shared in-memory trace must produce bit-identical
+//! `SimStats` (CPI stacks included) for every paper scheme under every
+//! recovery model. One test per recovery so the matrix parallelizes.
+
+use rvp_core::{
+    by_name, PaperScheme, ProfileCache, Recovery, Runner, SourceMode, TraceStore, Workload,
+};
+
+const WORKLOADS: [&str; 2] = ["li", "hydro2d"];
+
+fn runner(
+    mode: SourceMode,
+    recovery: Recovery,
+    store: &TraceStore,
+    profiles: &ProfileCache,
+) -> Runner {
+    Runner {
+        recovery,
+        profile_insts: 40_000,
+        measure_insts: 20_000,
+        profiles: profiles.clone(),
+        traces: Some(store.clone()),
+        source_mode: mode,
+        ..Runner::default()
+    }
+}
+
+fn check_recovery(recovery: Recovery) {
+    let dir = std::env::temp_dir()
+        .join(format!("rvp-source-equivalence-{recovery:?}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = TraceStore::new(&dir).unwrap();
+    // One profile collection per workload, shared by all nine runners.
+    let profiles = ProfileCache::default();
+
+    for name in WORKLOADS {
+        let wl: Workload = by_name(name).unwrap();
+        let live = runner(SourceMode::Live, recovery, &store, &profiles);
+        let replay = runner(SourceMode::Replay, recovery, &store, &profiles);
+        let shared = runner(SourceMode::Shared, recovery, &store, &profiles);
+
+        for &scheme in PaperScheme::all() {
+            let want = live.run(&wl, scheme).unwrap();
+            let r = replay.run(&wl, scheme).unwrap();
+            let s = shared.run(&wl, scheme).unwrap();
+            assert_eq!(want.stats, r.stats, "{name}/{}/{recovery:?}: replay", scheme.label());
+            assert_eq!(want.stats, s.stats, "{name}/{}/{recovery:?}: shared", scheme.label());
+        }
+
+        // The trace-backed runners must actually have served from
+        // traces: only the register-reallocated cell may run live.
+        for (label, r) in [("replay", &replay), ("shared", &shared)] {
+            let tally = r.source_counters.total();
+            assert_eq!(tally.live_fallbacks, 1, "{name}/{recovery:?}: {label} fallbacks");
+            assert_eq!(
+                tally.shared_hits,
+                PaperScheme::all().len() as u64 - 1,
+                "{name}/{recovery:?}: {label} served runs"
+            );
+        }
+        assert_eq!(live.source_counters.total().shared_hits, 0);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sources_bit_identical_under_refetch() {
+    check_recovery(Recovery::Refetch);
+}
+
+#[test]
+fn sources_bit_identical_under_reissue() {
+    check_recovery(Recovery::Reissue);
+}
+
+#[test]
+fn sources_bit_identical_under_selective() {
+    check_recovery(Recovery::Selective);
+}

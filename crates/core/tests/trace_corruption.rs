@@ -1,0 +1,65 @@
+//! Degradation path: a trace that turns out to be truncated mid-replay
+//! must fall back to live emulation without changing a single stat, and
+//! must announce the degradation as a structured log event.
+//!
+//! This test lives in its own binary because it claims the process-wide
+//! log sink (`RVP_LOG_FILE`) before the first event is emitted.
+
+use std::fs;
+
+use rvp_core::{
+    by_name, Input, Json, PaperScheme, Runner, SourceMode, TraceInput, TraceMeta, TraceStore,
+};
+
+#[test]
+fn truncated_trace_falls_back_to_live_with_structured_event() {
+    let base = std::env::temp_dir().join(format!("rvp-corruption-test-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    fs::create_dir_all(&base).unwrap();
+    let log_path = base.join("events.jsonl");
+    std::env::set_var("RVP_LOG_FILE", &log_path);
+    std::env::set_var("RVP_LOG", "warn");
+
+    let store = TraceStore::new(base.join("traces")).unwrap();
+    let wl = by_name("li").unwrap();
+    let mk = |mode| Runner {
+        source_mode: mode,
+        traces: Some(store.clone()),
+        profile_insts: 40_000,
+        measure_insts: 20_000,
+        ..Runner::default()
+    };
+
+    let want = mk(SourceMode::Live).run(&wl, PaperScheme::NoPredict).unwrap();
+
+    let replay = mk(SourceMode::Replay);
+    replay.prewarm_trace(&wl).unwrap();
+
+    // Chop the tail off the captured ref trace: the header and early
+    // frames stay valid, so the reader fails mid-run, not at open.
+    let program = wl.program(Input::Ref);
+    let meta = TraceMeta::for_program(wl.name(), TraceInput::Ref, 20_000, &program);
+    let path = store.path_for(&meta);
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+
+    let got = replay.run(&wl, PaperScheme::NoPredict).unwrap();
+    assert_eq!(want.stats, got.stats, "degraded replay must stay bit-identical");
+    assert_eq!(replay.source_counters.total().live_fallbacks, 1);
+
+    let events = fs::read_to_string(&log_path).unwrap();
+    let event = events
+        .lines()
+        .filter_map(|line| Json::parse(line).ok())
+        .find(|j| {
+            j.get("module").and_then(Json::as_str) == Some("uarch::source")
+                && j.get("msg").and_then(Json::as_str)
+                    == Some("trace replay failed; falling back to live emulation")
+        })
+        .expect("structured degradation event in the log file");
+    assert_eq!(event.get("level").and_then(Json::as_str), Some("warn"));
+    assert!(event.get("error").and_then(Json::as_str).is_some(), "event names the error");
+    assert!(event.get("produced").and_then(Json::as_u64).is_some(), "event records progress");
+
+    let _ = fs::remove_dir_all(&base);
+}

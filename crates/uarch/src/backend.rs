@@ -1,0 +1,397 @@
+//! The out-of-order back end: wakeup/issue, writeback (completion,
+//! verification, recovery dispatch) and in-order commit.
+//!
+//! The stages here are scan-free on their hot paths: issue walks the
+//! pending-issue bitset instead of the whole ROB, completions come off
+//! a time-ordered heap, loads disambiguate against the store list, and
+//! queue/rename pressure is answered from incremental counters. Debug
+//! builds cross-check all of these against full scans every few cycles
+//! (see `Core::validate_summaries`).
+
+use std::cmp::Reverse;
+
+use rvp_isa::ExecClass;
+use rvp_vpred::Scope;
+
+use crate::core::Core;
+use crate::recovery::RobSet;
+use crate::scheme::{Recovery, Scheme};
+
+impl<'s, 'p> Core<'s, 'p> {
+    /// Availability of the value produced by `dep_seq` at the current
+    /// cycle: `None` = not ready; `Some(taints)` = ready, carrying the
+    /// given speculative taints.
+    fn dep_avail(&self, dep_seq: u64) -> Option<RobSet> {
+        let Some(i) = self.rob_index(dep_seq) else {
+            // Younger than the ROB tail (squashed, awaiting refetch):
+            // not available. Older than the head: committed long ago.
+            let awaiting_refetch = self.rob.back().is_some_and(|t| dep_seq > t.rec.seq);
+            return if awaiting_refetch { None } else { Some(RobSet::EMPTY) };
+        };
+        let p = &self.rob[i];
+        if p.done {
+            return Some(p.taint);
+        }
+        if p.predicted && !p.verified {
+            // Consumers may read the old mapping (the predicted value)
+            // once *that* value is ready.
+            let mut taints = match p.pred_dep {
+                None => RobSet::EMPTY,
+                Some(q) => match self.rob_index(q) {
+                    None => RobSet::EMPTY,
+                    Some(qi) => {
+                        let q = &self.rob[qi];
+                        if !q.done {
+                            return None;
+                        }
+                        q.taint
+                    }
+                },
+            };
+            taints.insert(dep_seq);
+            return Some(taints);
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Completion / verification / recovery
+    // ------------------------------------------------------------------
+
+    pub(crate) fn process_completions(&mut self) {
+        // The heap yields due completions ordered by (cycle, seq); seq
+        // order matters because older mispredicts must recover first.
+        // Stale entries (invalidated or squashed since scheduling) are
+        // recognized by re-validating against the ROB and skipped.
+        while let Some(&Reverse((at, seq))) = self.completions.peek() {
+            if at > self.now {
+                break;
+            }
+            self.completions.pop();
+            let Some(idx) = self.rob_index(seq) else { continue };
+            {
+                let e = &self.rob[idx];
+                if e.done || e.complete_at != Some(self.now) {
+                    continue;
+                }
+            }
+            let e = &self.rob[idx];
+            let stalled_fetch = e.stalled_fetch;
+            let predicted = e.predicted;
+            let pred_correct = e.pred_correct;
+            let first_use = e.first_use;
+            let (pc, is_load, dst, new_value) = (e.rec.pc, e.is_load, e.rec.dst, e.rec.new_value);
+
+            self.rob[idx].done = true;
+
+            // Buffer-based predictors (LVP, stride, context, hybrid)
+            // train at writeback, when the result exists — the standard
+            // modelling point between the paper's two alternatives
+            // ("insert speculative values ... and possibly pollute it, or
+            // hold off inserting values until they become
+            // non-speculative, forcing new instructions to possibly use
+            // stale entries"): entries lag in-flight work by a few
+            // cycles, and squashed-then-replayed instructions retrain.
+            if let (Scheme::Lvp { scope, .. } | Scheme::Buffer { scope, .. }, Some(_)) =
+                (&self.sim.scheme, dst)
+            {
+                if scope.admits(is_load, true) {
+                    self.sim.buffer.as_mut().expect("buffer state").train(pc, new_value);
+                }
+            }
+
+            if stalled_fetch {
+                self.fetch_resume_at = self.fetch_resume_at.max(self.now + 1);
+                if self.stalled_on == Some(seq) {
+                    self.stalled_on = None;
+                }
+            }
+
+            if predicted {
+                self.rob[idx].verified = true;
+                if pred_correct {
+                    self.clear_taint(seq);
+                } else if let Some(fu) = first_use {
+                    self.stats.costly_mispredictions += 1;
+                    if let Some(table) = &mut self.pc_table {
+                        table.record_costly(pc);
+                    }
+                    match self.sim.recovery {
+                        Recovery::Refetch => {
+                            // Younger completions due this cycle whose
+                            // entries get squashed are skipped by the
+                            // heap re-validation above.
+                            self.squash_from(fu);
+                        }
+                        Recovery::Reissue | Recovery::Selective => {
+                            self.invalidate_dependents(seq);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    pub(crate) fn commit(&mut self) {
+        for _ in 0..self.sim.config.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.done || !head.taint.is_empty() || (head.predicted && !head.verified) {
+                break;
+            }
+            let e = self.rob.pop_front().expect("non-empty");
+            debug_assert!(!self.to_issue.contains(e.rec.seq), "committing unissued entry");
+            if e.in_iq {
+                self.iq_occupancy[e.queue as usize] -= 1;
+                if e.issued_at.is_some() {
+                    self.held_issued -= 1;
+                }
+            }
+            if e.is_store {
+                debug_assert_eq!(self.stores.front(), Some(&e.rec.seq));
+                self.stores.pop_front();
+            }
+            self.stats.committed += 1;
+            self.last_commit_cycle = self.now;
+            if e.is_load {
+                self.stats.loads += 1;
+            }
+            if e.predicted {
+                self.stats.predictions += 1;
+                if e.pred_correct {
+                    self.stats.correct_predictions += 1;
+                }
+                if let Some(table) = &mut self.pc_table {
+                    table.record_commit(e.rec.pc, e.pred_correct);
+                }
+            }
+            if let Some(dst) = e.rec.dst {
+                self.writers[dst.class() as usize] -= 1;
+                if self.last_writer[dst.index()] == Some(e.rec.seq) {
+                    self.last_writer[dst.index()] = None;
+                }
+            }
+            // Train value predictors with architectural outcomes. (The
+            // branch predictor trains at fetch with immediate resolution —
+            // perfect history repair, the trace-driven idealization — so
+            // branch behaviour is identical across value-prediction
+            // schemes.)
+            if let Some(dst) = e.rec.dst {
+                let in_scope = |scope: Scope| scope.admits(e.is_load, true);
+                match (&self.sim.scheme, e.pred_value) {
+                    // Buffer predictors train speculatively at dispatch.
+                    (Scheme::DynamicRvp { scope, .. }, Some(v)) if in_scope(*scope) => {
+                        self.sim
+                            .drvp
+                            .as_mut()
+                            .expect("drvp state")
+                            .train(e.rec.pc, v == e.rec.new_value);
+                    }
+                    (Scheme::Gabbay { scope }, _) if in_scope(*scope) => {
+                        self.sim
+                            .gabbay
+                            .as_mut()
+                            .expect("gabbay state")
+                            .train(dst, e.rec.old_value == e.rec.new_value);
+                    }
+                    (Scheme::HwCorrelation { scope, .. }, pv) if in_scope(*scope) => {
+                        let hit = pv == Some(e.rec.new_value);
+                        self.sim.correlation.as_mut().expect("correlation state").train(
+                            e.rec.pc,
+                            hit,
+                            e.corr_observed,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue
+    // ------------------------------------------------------------------
+
+    pub(crate) fn issue(&mut self) {
+        let cfg = &self.sim.config;
+        let (mut int_used, mut fp_used, mut ldst_used) = (0usize, 0usize, 0usize);
+        let lat = cfg.lat;
+        let (int_units, fp_units, ldst_ports) = (cfg.int_units, cfg.fp_units, cfg.ldst_ports);
+
+        let Some(head_seq) = self.rob.front().map(|e| e.rec.seq) else {
+            return;
+        };
+        let rob_len = self.rob.len();
+        // Walk a snapshot of the pending-issue bitset oldest-first; the
+        // live bitset is updated as entries issue (no dispatches happen
+        // mid-issue, so the snapshot cannot go stale the other way).
+        let candidates = self.to_issue;
+        candidates.for_each_in_window(head_seq, rob_len, &mut |seq| {
+            if int_used >= int_units && fp_used >= fp_units {
+                return false;
+            }
+            let i = (seq - head_seq) as usize;
+            let e = &self.rob[i];
+            debug_assert!(e.in_iq && e.issued_at.is_none());
+            if e.earliest_issue > self.now {
+                return true;
+            }
+            // Functional-unit availability.
+            let exec = e.exec;
+            let is_mem = matches!(exec, ExecClass::Load | ExecClass::Store);
+            let is_fp = matches!(exec, ExecClass::FpAdd | ExecClass::FpMul | ExecClass::FpDiv);
+            if is_fp {
+                if fp_used >= fp_units {
+                    return true;
+                }
+            } else if int_used >= int_units || (is_mem && ldst_used >= ldst_ports) {
+                return true;
+            }
+
+            // Register-source readiness.
+            let mut taints = RobSet::EMPTY;
+            for dep in self.rob[i].deps.into_iter().flatten() {
+                match self.dep_avail(dep) {
+                    Some(ts) => taints.union_with(&ts),
+                    None => return true,
+                }
+            }
+
+            // Memory ordering with oracle disambiguation (the
+            // execution-driven simulator knows every effective address):
+            // a load waits only for older stores to the same 8-byte
+            // block, and forwards once that store completes. Independent
+            // stores never block it. Only the store list is examined,
+            // not the whole window.
+            if self.rob[i].is_load {
+                let addr_block = self.rob[i].rec.eff_addr.map(|a| a & !7);
+                for &sseq in &self.stores {
+                    if sseq >= seq {
+                        break;
+                    }
+                    let s = &self.rob[(sseq - head_seq) as usize];
+                    if s.rec.eff_addr.map(|a| a & !7) != addr_block {
+                        continue;
+                    }
+                    if !s.done {
+                        return true; // blocked on an incomplete older store
+                    }
+                    taints.union_with(&s.taint);
+                }
+            }
+
+            // Issue.
+            if is_fp {
+                fp_used += 1;
+            } else {
+                int_used += 1;
+                if is_mem {
+                    ldst_used += 1;
+                }
+            }
+            let mut latency = match exec {
+                ExecClass::IntAlu => lat.int_alu,
+                ExecClass::IntMul => lat.int_mul,
+                ExecClass::IntDiv => lat.int_div,
+                ExecClass::FpAdd => lat.fp_add,
+                ExecClass::FpMul => lat.fp_mul,
+                ExecClass::FpDiv => lat.fp_div,
+                ExecClass::Load => lat.load,
+                ExecClass::Store => lat.store,
+            };
+            let mut mem_extra = 0;
+            if let Some(addr) = self.rob[i].rec.eff_addr {
+                if self.rob[i].is_load {
+                    mem_extra = self.sim.mem.access_data(addr, false);
+                    latency += mem_extra;
+                } else {
+                    // Stores access the hierarchy for state/stats, but a
+                    // write buffer hides their miss latency.
+                    let _ = self.sim.mem.access_data(addr, true);
+                }
+            }
+            let e = &mut self.rob[i];
+            let was_tainted = !e.taint.is_empty();
+            e.issued_at = Some(self.now);
+            e.complete_at = Some(self.now + latency);
+            e.mem_extra = mem_extra;
+            e.taint = taints;
+            match (was_tainted, !taints.is_empty()) {
+                (false, true) => self.tainted += 1,
+                (true, false) => self.tainted -= 1,
+                _ => {}
+            }
+            self.to_issue.remove(seq);
+            self.completions.push(Reverse((self.now + latency, seq)));
+            // Queue-slot release policy per recovery scheme.
+            let e = &mut self.rob[i];
+            match self.sim.recovery {
+                Recovery::Refetch => {
+                    e.in_iq = false;
+                    self.iq_occupancy[e.queue as usize] -= 1;
+                }
+                Recovery::Selective => {
+                    if e.taint.is_empty() && (!e.predicted || e.verified) {
+                        e.in_iq = false;
+                        self.iq_occupancy[e.queue as usize] -= 1;
+                    } else {
+                        self.held_issued += 1;
+                    }
+                }
+                Recovery::Reissue => {
+                    // Released in release_iq_slots.
+                    self.held_issued += 1;
+                }
+            }
+            true
+        });
+        self.release_iq_slots();
+    }
+
+    /// Frees queue slots held by issued instructions once the recovery
+    /// scheme allows. Skipped entirely while nothing holds a slot —
+    /// the common case outside reissue recovery.
+    fn release_iq_slots(&mut self) {
+        if self.held_issued == 0 {
+            return;
+        }
+        match self.sim.recovery {
+            Recovery::Refetch => {}
+            Recovery::Selective => {
+                let mut released = 0usize;
+                for e in &mut self.rob {
+                    if e.in_iq
+                        && e.issued_at.is_some()
+                        && e.taint.is_empty()
+                        && (!e.predicted || e.verified)
+                    {
+                        e.in_iq = false;
+                        self.iq_occupancy[e.queue as usize] -= 1;
+                        released += 1;
+                    }
+                }
+                self.held_issued -= released;
+            }
+            Recovery::Reissue => {
+                // Everything younger than an unverified prediction stays.
+                let oldest_unverified =
+                    self.rob.iter().filter(|e| e.predicted && !e.verified).map(|e| e.rec.seq).min();
+                let mut released = 0usize;
+                for e in &mut self.rob {
+                    if e.in_iq && e.issued_at.is_some() {
+                        let held = oldest_unverified.is_some_and(|s| e.rec.seq > s);
+                        if !held {
+                            e.in_iq = false;
+                            self.iq_occupancy[e.queue as usize] -= 1;
+                            released += 1;
+                        }
+                    }
+                }
+                self.held_issued -= released;
+            }
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! The per-run pipeline state and the cycle loop.
+//!
+//! [`Simulator`] holds the per-run predictor and hierarchy state;
+//! [`Core`] is the transient pipeline (ROB, rename map, fetch state)
+//! driven one cycle at a time over a [`CommittedSource`] stream. The
+//! stage implementations live in sibling modules: `frontend` (fetch,
+//! dispatch, value prediction), `backend` (issue, completion, commit)
+//! and `recovery` (taint tracking, reissue/refetch recovery).
+//!
+//! Besides the architectural structures, `Core` maintains a set of
+//! incrementally-updated summaries of the ROB (queue occupancy, rename
+//! pressure, a pending-issue bitset, a store list and a completion
+//! heap) so the per-cycle stages touch only the entries they act on
+//! instead of scanning the whole window. Debug builds continuously
+//! cross-check every summary against a full scan, so the fast paths
+//! cannot silently diverge from the architectural state.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rvp_bpred::BranchPredictor;
+use rvp_emu::Committed;
+use rvp_isa::{ExecClass, Program, Reg, RegClass, NUM_REGS};
+use rvp_mem::Hierarchy;
+use rvp_obs::{CounterSnapshot, CpiBucket, ObsConfig, ObsReport, PcTable, Sampler};
+use rvp_vpred::{
+    BufferConfig, BufferPredictor, CorrelationPredictor, DrvpPredictor, GabbayPredictor,
+};
+
+use crate::config::UarchConfig;
+use crate::recovery::RobSet;
+use crate::scheme::{Recovery, Scheme};
+use crate::source::{CommittedSource, EmuSource};
+use crate::stats::{SimError, SimStats};
+
+/// Cycles without a commit before the deadlock watchdog trips.
+const WATCHDOG_CYCLES: u64 = 500_000;
+
+/// How often debug builds cross-check the incremental ROB summaries
+/// against a full scan.
+#[cfg(debug_assertions)]
+const VALIDATE_EVERY: u64 = 64;
+
+/// One in-flight instruction (a reorder-buffer entry).
+#[derive(Debug)]
+pub(crate) struct Entry {
+    pub(crate) rec: Committed,
+    pub(crate) queue: RegClass,
+    pub(crate) exec: ExecClass,
+    pub(crate) is_store: bool,
+    pub(crate) is_load: bool,
+    /// Producer seqs for the register sources.
+    pub(crate) deps: [Option<u64>; 2],
+    pub(crate) in_iq: bool,
+    pub(crate) issued_at: Option<u64>,
+    pub(crate) complete_at: Option<u64>,
+    pub(crate) done: bool,
+    /// Earliest cycle this entry may (re)issue.
+    pub(crate) earliest_issue: u64,
+    /// Unverified predicted producers this entry's current result
+    /// depends on.
+    pub(crate) taint: RobSet,
+    // --- value prediction ---
+    pub(crate) predicted: bool,
+    /// The value the scheme would predict (tracked for all in-scope
+    /// instructions so confidence counters can train on it).
+    pub(crate) pred_value: Option<u64>,
+    pub(crate) pred_correct: bool,
+    /// Producer whose completion makes the predicted value readable
+    /// (the *old* register mapping); `None` = readable immediately.
+    pub(crate) pred_dep: Option<u64>,
+    pub(crate) verified: bool,
+    /// Extra memory-hierarchy latency (cache/TLB misses) charged at
+    /// issue; nonzero marks this entry memory-bound for cycle
+    /// accounting.
+    pub(crate) mem_extra: u64,
+    /// This entry was invalidated by a value mispredict and is
+    /// re-executing (reissue/selective recovery).
+    pub(crate) reissued: bool,
+    /// Seq of the first instruction that read this entry's predicted
+    /// value.
+    pub(crate) first_use: Option<u64>,
+    /// For the hardware-correlation scheme: a register observed (at
+    /// rename) to hold the value this instruction produced.
+    pub(crate) corr_observed: Option<Reg>,
+    // --- branches ---
+    /// This branch was mispredicted at fetch and stalled the front end.
+    pub(crate) stalled_fetch: bool,
+    // --- rollback bookkeeping for refetch squashes ---
+    pub(crate) prev_last_value: Option<u64>,
+    pub(crate) had_last_value: bool,
+}
+
+/// A fetched record waiting to enter the ROB.
+#[derive(Debug)]
+pub(crate) struct Fetched {
+    pub(crate) rec: Committed,
+    /// Cycle the record clears the front end and may dispatch.
+    pub(crate) arrival: u64,
+    /// This branch was mispredicted at fetch and stalled the front end.
+    pub(crate) stalled: bool,
+}
+
+/// The out-of-order timing simulator.
+///
+/// Create one per run; [`Simulator::run`] drives a program to completion
+/// (or an instruction budget) and returns [`SimStats`].
+#[derive(Debug)]
+pub struct Simulator {
+    pub(crate) config: UarchConfig,
+    pub(crate) scheme: Scheme,
+    pub(crate) recovery: Recovery,
+    // predictor state
+    pub(crate) bpred: BranchPredictor,
+    pub(crate) mem: Hierarchy,
+    pub(crate) buffer: Option<BufferPredictor>,
+    pub(crate) drvp: Option<DrvpPredictor>,
+    pub(crate) gabbay: Option<GabbayPredictor>,
+    pub(crate) correlation: Option<CorrelationPredictor>,
+    pub(crate) obs: ObsConfig,
+}
+
+impl Simulator {
+    /// Builds a simulator for the given machine, prediction scheme and
+    /// recovery model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.rob_size` exceeds the 256 entries the taint
+    /// bitset representation supports.
+    pub fn new(config: UarchConfig, scheme: Scheme, recovery: Recovery) -> Simulator {
+        assert!(
+            config.rob_size <= RobSet::CAPACITY,
+            "rob_size {} exceeds the supported maximum of {}",
+            config.rob_size,
+            RobSet::CAPACITY,
+        );
+        let buffer = match &scheme {
+            Scheme::Lvp { config, .. } => {
+                Some(BufferPredictor::new(BufferConfig::LastValue(*config)))
+            }
+            Scheme::Buffer { config, .. } => Some(BufferPredictor::new(*config)),
+            _ => None,
+        };
+        let drvp = match &scheme {
+            Scheme::DynamicRvp { config, .. } => Some(DrvpPredictor::new(*config)),
+            _ => None,
+        };
+        let gabbay = match &scheme {
+            Scheme::Gabbay { .. } => Some(GabbayPredictor::paper()),
+            _ => None,
+        };
+        let correlation = match &scheme {
+            Scheme::HwCorrelation { config, .. } => Some(CorrelationPredictor::new(*config)),
+            _ => None,
+        };
+        Simulator {
+            bpred: BranchPredictor::new(config.bpred),
+            mem: Hierarchy::new(config.mem),
+            buffer,
+            drvp,
+            gabbay,
+            correlation,
+            obs: ObsConfig::off(),
+            config,
+            scheme,
+            recovery,
+        }
+    }
+
+    /// Enables optional instrumentation (time-series sampling, per-PC
+    /// telemetry) for subsequent runs. The cycle-accounting CPI stack
+    /// is always on.
+    pub fn with_obs(mut self, obs: ObsConfig) -> Simulator {
+        self.obs = obs;
+        self
+    }
+
+    /// Runs `program` for at most `max_insts` committed instructions,
+    /// live-emulating the committed stream ([`EmuSource`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Emu`] for malformed programs and
+    /// [`SimError::Deadlock`] if the pipeline stops making progress (a
+    /// model invariant violation).
+    pub fn run(&mut self, program: &Program, max_insts: u64) -> Result<SimStats, SimError> {
+        let mut source = EmuSource::new(program);
+        self.run_with_source(program, &mut source, max_insts)
+    }
+
+    /// Runs `program` for at most `max_insts` committed instructions,
+    /// consuming the committed stream from `source` instead of a live
+    /// emulator. All sources produce bit-identical [`SimStats`]; see
+    /// [`crate::source`] for the stream contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`]; source-level failures (emulation errors,
+    /// unrecoverable trace corruption) surface as [`SimError::Emu`].
+    pub fn run_with_source(
+        &mut self,
+        program: &Program,
+        source: &mut dyn CommittedSource,
+        max_insts: u64,
+    ) -> Result<SimStats, SimError> {
+        Core::new(self, program, source, max_insts).run()
+    }
+}
+
+/// Why the front end is (re)filling an empty machine — the stall cause
+/// empty-machine cycles are charged to. Set when a stall begins,
+/// cleared at the next commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Redirect {
+    None,
+    Branch,
+    ICache,
+    ValueRefetch,
+}
+
+/// The running counter totals the sampler windows are deltas of.
+fn snapshot(stats: &SimStats) -> CounterSnapshot {
+    CounterSnapshot {
+        committed: stats.committed,
+        predictions: stats.predictions,
+        correct_predictions: stats.correct_predictions,
+        iq_int_occupancy_sum: stats.iq_int_occupancy_sum,
+        iq_fp_occupancy_sum: stats.iq_fp_occupancy_sum,
+    }
+}
+
+/// Per-run pipeline state.
+pub(crate) struct Core<'s, 'p> {
+    pub(crate) sim: &'s mut Simulator,
+    pub(crate) program: &'p Program,
+    pub(crate) source: &'s mut dyn CommittedSource,
+    pub(crate) max_insts: u64,
+    /// Distinct records consumed so far (== the seq after the youngest).
+    pub(crate) pulled: u64,
+    /// Rewound records the source still owes us (refetch recovery).
+    pub(crate) replay_pending: u64,
+    pub(crate) trace_done: bool,
+    /// Fetched records waiting to enter the ROB.
+    pub(crate) frontend: VecDeque<Fetched>,
+    pub(crate) rob: VecDeque<Entry>,
+    /// Seq of the youngest in-flight writer of each register.
+    pub(crate) last_writer: [Option<u64>; NUM_REGS],
+    /// Program-order register values at the dispatch point.
+    pub(crate) shadow: [u64; NUM_REGS],
+    /// Last committed-path value produced by each static instruction.
+    pub(crate) last_value: Vec<Option<u64>>,
+    /// Seq of the most recently dispatched instance of each static
+    /// instruction (the old mapping of a last-value-exclusive register).
+    pub(crate) last_instance: Vec<Option<u64>>,
+    pub(crate) now: u64,
+    pub(crate) fetch_resume_at: u64,
+    /// Branch seq the fetcher is stalled on, if any.
+    pub(crate) stalled_on: Option<u64>,
+    /// Last I-cache line touched by fetch.
+    pub(crate) last_line: u64,
+    pub(crate) halted_fetch: bool,
+    pub(crate) stats: SimStats,
+    pub(crate) last_commit_cycle: u64,
+    // --- incremental ROB summaries (cross-checked in debug builds) ---
+    /// Occupied queue slots per class, indexed by `RegClass as usize`.
+    pub(crate) iq_occupancy: [usize; 2],
+    /// In-flight destination writers per class (rename pressure).
+    pub(crate) writers: [usize; 2],
+    /// Entries holding a queue slot after issuing (`in_iq && issued`).
+    pub(crate) held_issued: usize,
+    /// Entries with a non-empty taint set.
+    pub(crate) tainted: usize,
+    /// Dispatched-but-not-issued entries, by ROB slot.
+    pub(crate) to_issue: RobSet,
+    /// Seqs of in-flight stores, oldest first (memory disambiguation).
+    pub(crate) stores: VecDeque<u64>,
+    /// Scheduled writebacks as `(complete_at, seq)`; lazily invalidated,
+    /// so entries are re-validated against the ROB when popped.
+    pub(crate) completions: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Reusable buffer for the squash → rewind hand-off.
+    pub(crate) squash_scratch: Vec<Committed>,
+    // --- observability ---
+    /// Most recent front-end redirect cause (cycle accounting).
+    pub(crate) redirect: Redirect,
+    /// Dispatch was blocked by a full ROB/IQ/rename file this cycle.
+    pub(crate) dispatch_blocked: bool,
+    /// Optional windowed time-series sampler.
+    pub(crate) sampler: Option<Sampler>,
+    /// Optional per-static-instruction outcome table.
+    pub(crate) pc_table: Option<PcTable>,
+}
+
+impl<'s, 'p> Core<'s, 'p> {
+    pub(crate) fn new(
+        sim: &'s mut Simulator,
+        program: &'p Program,
+        source: &'s mut dyn CommittedSource,
+        max_insts: u64,
+    ) -> Core<'s, 'p> {
+        let mut shadow = [0u64; NUM_REGS];
+        shadow[rvp_isa::analysis::abi::SP.index()] = rvp_emu::STACK_TOP;
+        let sampler = (sim.obs.sample_interval > 0)
+            .then(|| Sampler::new(sim.obs.sample_interval, sim.obs.ring_capacity));
+        let pc_table = sim.obs.track_pc.then(|| PcTable::new(program.len()));
+        Core {
+            sampler,
+            pc_table,
+            source,
+            program,
+            max_insts,
+            pulled: 0,
+            replay_pending: 0,
+            trace_done: false,
+            frontend: VecDeque::new(),
+            rob: VecDeque::new(),
+            last_writer: [None; NUM_REGS],
+            shadow,
+            last_value: vec![None; program.len()],
+            last_instance: vec![None; program.len()],
+            now: 0,
+            fetch_resume_at: 0,
+            stalled_on: None,
+            last_line: u64::MAX,
+            halted_fetch: false,
+            stats: SimStats::default(),
+            last_commit_cycle: 0,
+            iq_occupancy: [0; 2],
+            writers: [0; 2],
+            held_issued: 0,
+            tainted: 0,
+            to_issue: RobSet::EMPTY,
+            stores: VecDeque::new(),
+            completions: BinaryHeap::new(),
+            squash_scratch: Vec::new(),
+            redirect: Redirect::None,
+            dispatch_blocked: false,
+            sim,
+        }
+    }
+
+    pub(crate) fn run(mut self) -> Result<SimStats, SimError> {
+        loop {
+            let committed_before = self.stats.committed;
+            self.dispatch_blocked = false;
+            self.process_completions();
+            self.commit();
+            self.issue();
+            self.dispatch();
+            self.fetch()?;
+            self.stats.iq_int_occupancy_sum += self.iq_occupancy[RegClass::Int as usize] as u64;
+            self.stats.iq_fp_occupancy_sum += self.iq_occupancy[RegClass::Fp as usize] as u64;
+            #[cfg(debug_assertions)]
+            if self.now.is_multiple_of(VALIDATE_EVERY) {
+                self.validate_summaries();
+            }
+            if self.finished() {
+                break;
+            }
+            if self.now - self.last_commit_cycle > WATCHDOG_CYCLES {
+                return Err(SimError::Deadlock {
+                    cycle: self.now,
+                    committed: self.stats.committed,
+                });
+            }
+            // Cycle accounting: charge this elapsed cycle to exactly one
+            // bucket (the final, non-elapsing iteration is never
+            // charged, so the stack sums to `cycles` by construction).
+            let committed_now = self.stats.committed - committed_before;
+            if committed_now > 0 {
+                self.redirect = Redirect::None;
+            }
+            let bucket = self.classify_cycle(committed_now);
+            self.stats.cpi.add(bucket, 1);
+            if let Some(sampler) = &mut self.sampler {
+                sampler.tick(self.now, snapshot(&self.stats));
+            }
+            self.now += 1;
+        }
+        self.stats.cycles = self.now.max(1);
+        // The degenerate empty run elapses one nominal cycle.
+        let accounted = self.stats.cpi.total();
+        if accounted < self.stats.cycles {
+            self.stats.cpi.add(CpiBucket::Base, self.stats.cycles - accounted);
+        }
+        self.stats.branch = *self.sim.bpred.stats();
+        self.stats.mem = *self.sim.mem.stats();
+        self.finish_obs();
+        Ok(self.stats)
+    }
+
+    /// Folds the optional instrumentation into the final stats.
+    fn finish_obs(&mut self) {
+        if self.sampler.is_none() && self.pc_table.is_none() {
+            return;
+        }
+        let mut report = ObsReport::default();
+        if let Some(mut sampler) = self.sampler.take() {
+            report.sample_interval = sampler.interval();
+            sampler.finish(self.now, snapshot(&self.stats));
+            let (samples, dropped) = sampler.into_windows();
+            report.samples = samples;
+            report.dropped_windows = dropped;
+        }
+        if let Some(table) = self.pc_table.take() {
+            report.top_costly = table.top_by_costly(self.sim.obs.top_k);
+            report.top_correct = table.top_by_correct(self.sim.obs.top_k);
+        }
+        self.stats.obs = Some(report);
+    }
+
+    /// The cycle-attribution priority ladder (documented in DESIGN.md).
+    fn classify_cycle(&self, committed_now: u64) -> CpiBucket {
+        if committed_now > 0 {
+            return CpiBucket::Base;
+        }
+        if let Some(head) = self.rob.front() {
+            if head.reissued && !head.done {
+                return CpiBucket::Reissue;
+            }
+            if !head.done && head.issued_at.is_some() && head.mem_extra > 0 {
+                return CpiBucket::DCache;
+            }
+            if self.dispatch_blocked {
+                return CpiBucket::QueueFull;
+            }
+            return CpiBucket::Base;
+        }
+        // Empty machine: charge the front end by redirect cause.
+        if self.stalled_on.is_some() {
+            return CpiBucket::BranchMispredict;
+        }
+        match self.redirect {
+            Redirect::ValueRefetch => CpiBucket::ValueRefetch,
+            Redirect::Branch => CpiBucket::BranchMispredict,
+            Redirect::ICache => CpiBucket::ICache,
+            Redirect::None => CpiBucket::FetchStall,
+        }
+    }
+
+    fn finished(&mut self) -> bool {
+        self.rob.is_empty()
+            && self.frontend.is_empty()
+            && self.replay_pending == 0
+            && (self.trace_done || self.pulled >= self.max_insts || self.halted_fetch)
+    }
+
+    /// Bookkeeping for one record leaving the source: fresh records
+    /// raise the high-water mark, rewound ones repay the replay debt.
+    pub(crate) fn note_consumed(&mut self, seq: u64) {
+        if seq >= self.pulled {
+            debug_assert_eq!(seq, self.pulled, "committed stream must be consecutive");
+            self.pulled = seq + 1;
+        } else {
+            debug_assert!(self.replay_pending > 0, "unexpected replayed record");
+            self.replay_pending -= 1;
+        }
+    }
+
+    /// Whether fetch may pull another record without exceeding the
+    /// instruction budget (rewound records are always replayable).
+    pub(crate) fn may_pull(&self) -> bool {
+        !self.trace_done && (self.pulled < self.max_insts || self.replay_pending > 0)
+    }
+
+    // ------------------------------------------------------------------
+    // ROB helpers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn rob_index(&self, seq: u64) -> Option<usize> {
+        let head = self.rob.front()?.rec.seq;
+        if seq < head {
+            return None;
+        }
+        let i = (seq - head) as usize;
+        (i < self.rob.len()).then_some(i)
+    }
+
+    /// Cross-checks every incremental ROB summary against a full scan.
+    /// Debug builds only; this is the proof that the scan-free fast
+    /// paths cannot drift from the architectural state.
+    #[cfg(debug_assertions)]
+    fn validate_summaries(&self) {
+        for class in [RegClass::Int, RegClass::Fp] {
+            let iq = self.rob.iter().filter(|e| e.in_iq && e.queue == class).count();
+            assert_eq!(self.iq_occupancy[class as usize], iq, "iq occupancy drift ({class})");
+            let writers =
+                self.rob.iter().filter(|e| e.rec.dst.is_some_and(|d| d.class() == class)).count();
+            assert_eq!(self.writers[class as usize], writers, "writer count drift ({class})");
+        }
+        let held = self.rob.iter().filter(|e| e.in_iq && e.issued_at.is_some()).count();
+        assert_eq!(self.held_issued, held, "held-slot count drift");
+        let tainted = self.rob.iter().filter(|e| !e.taint.is_empty()).count();
+        assert_eq!(self.tainted, tainted, "tainted count drift");
+        let unissued = self.rob.iter().filter(|e| e.issued_at.is_none()).count();
+        assert_eq!(self.to_issue.len(), unissued, "pending-issue bitset drift");
+        for e in &self.rob {
+            assert_eq!(
+                self.to_issue.contains(e.rec.seq),
+                e.issued_at.is_none(),
+                "pending-issue bit drift at seq {}",
+                e.rec.seq
+            );
+            assert!(e.issued_at.is_some() || e.in_iq, "unissued entries hold a queue slot");
+        }
+        let stores: Vec<u64> = self.rob.iter().filter(|e| e.is_store).map(|e| e.rec.seq).collect();
+        assert_eq!(self.stores.iter().copied().collect::<Vec<_>>(), stores, "store list drift");
+    }
+}

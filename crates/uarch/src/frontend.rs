@@ -1,0 +1,320 @@
+//! The front end: fetch from the committed-stream source, plus
+//! dispatch (rename, queue insertion and the value-prediction decision
+//! point).
+//!
+//! Fetch consumes [`crate::source::CommittedSource`] records — peeking
+//! first so the I-cache model can reject a line without losing the
+//! record — and dispatch moves them into the ROB, answering all
+//! structural-hazard questions (queue occupancy, rename pressure) from
+//! the core's incremental counters.
+
+use rvp_bpred::BranchKind;
+use rvp_emu::Committed;
+use rvp_isa::{Flow, Program, Reg, RegClass};
+use rvp_vpred::ReuseKind;
+
+use crate::core::{Core, Entry, Fetched, Redirect};
+use crate::recovery::RobSet;
+use crate::scheme::Scheme;
+
+impl<'s, 'p> Core<'s, 'p> {
+    // ------------------------------------------------------------------
+    // Dispatch (rename + queue insertion + value prediction)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn dispatch(&mut self) {
+        let mut nonload_preds_this_cycle = 0usize;
+        for _ in 0..self.sim.config.dispatch_width {
+            let Some(f) = self.frontend.front() else { break };
+            if f.arrival > self.now {
+                break;
+            }
+            if self.rob.len() >= self.sim.config.rob_size {
+                self.dispatch_blocked = true;
+                break;
+            }
+            let inst = &self.program.insts()[f.rec.pc];
+            let queue = inst.queue_class();
+            if self.iq_occupancy[queue as usize]
+                >= if queue == RegClass::Int {
+                    self.sim.config.iq_int
+                } else {
+                    self.sim.config.iq_fp
+                }
+            {
+                self.dispatch_blocked = true;
+                break;
+            }
+            if let Some(dst) = f.rec.dst {
+                if self.writers[dst.class() as usize] >= self.sim.config.rename_regs {
+                    self.dispatch_blocked = true;
+                    break;
+                }
+            }
+            let Fetched { rec, stalled, .. } = self.frontend.pop_front().expect("non-empty");
+
+            // Source dependences on in-flight producers.
+            let mut deps = [None, None];
+            for (k, src) in inst.srcs().into_iter().enumerate() {
+                if let Some(r) = src {
+                    if !r.is_zero() {
+                        deps[k] = self.last_writer[r.index()];
+                    }
+                }
+            }
+
+            // Value prediction decision. Predicted non-loads need an
+            // extra register read port to fetch the old value for
+            // verification; a configured port count caps them per cycle.
+            let (mut predicted, pred_value, pred_dep) = self.predict(&rec, inst.is_load());
+            if predicted && !inst.is_load() {
+                match self.sim.config.pred_ports {
+                    Some(ports) if nonload_preds_this_cycle >= ports => predicted = false,
+                    _ => nonload_preds_this_cycle += 1,
+                }
+            }
+            let pred_correct = pred_value == Some(rec.new_value);
+
+            // Mark first use on speculative producers.
+            if self.sim.scheme.is_predicting() {
+                let my_seq = rec.seq;
+                for dep in deps.into_iter().flatten() {
+                    if let Some(pi) = self.rob_index(dep) {
+                        let p = &mut self.rob[pi];
+                        if p.predicted && !p.verified && p.first_use.is_none() {
+                            p.first_use = Some(my_seq);
+                        }
+                    }
+                }
+            }
+
+            // Hardware correlation learning: which same-class register
+            // holds the value this instruction is producing (preferring
+            // the destination itself — plain same-register reuse).
+            let corr_observed = match (&self.sim.scheme, rec.dst) {
+                (Scheme::HwCorrelation { scope, .. }, Some(dst))
+                    if scope.admits(inst.is_load(), true) =>
+                {
+                    if rec.old_value == rec.new_value {
+                        Some(dst)
+                    } else {
+                        (0..rvp_isa::NUM_REGS_PER_CLASS)
+                            .map(|n| Reg::new(dst.class(), n))
+                            .find(|r| !r.is_zero() && self.shadow[r.index()] == rec.new_value)
+                    }
+                }
+                _ => None,
+            };
+
+            // Shadow state (with rollback info for refetch squashes).
+            let mut prev_last_value = None;
+            let mut had_last_value = false;
+            if let Some(dst) = rec.dst {
+                self.shadow[dst.index()] = rec.new_value;
+                self.last_writer[dst.index()] = Some(rec.seq);
+                prev_last_value = self.last_value[rec.pc];
+                had_last_value = prev_last_value.is_some();
+                self.last_value[rec.pc] = Some(rec.new_value);
+                self.last_instance[rec.pc] = Some(rec.seq);
+                self.writers[dst.class() as usize] += 1;
+            }
+            self.iq_occupancy[queue as usize] += 1;
+            self.to_issue.insert(rec.seq);
+            if inst.is_store() {
+                self.stores.push_back(rec.seq);
+            }
+
+            self.rob.push_back(Entry {
+                rec,
+                queue,
+                exec: inst.exec_class(),
+                is_store: inst.is_store(),
+                is_load: inst.is_load(),
+                deps,
+                in_iq: true,
+                issued_at: None,
+                complete_at: None,
+                done: false,
+                earliest_issue: 0,
+                mem_extra: 0,
+                reissued: false,
+                taint: RobSet::EMPTY,
+                predicted: predicted && pred_value.is_some(),
+                pred_value,
+                pred_correct,
+                pred_dep,
+                verified: false,
+                first_use: None,
+                corr_observed,
+                stalled_fetch: stalled,
+                prev_last_value: prev_last_value.or(Some(0)).filter(|_| had_last_value),
+                had_last_value,
+            });
+        }
+    }
+
+    /// Scheme-specific prediction at rename time. Returns
+    /// `(predict?, candidate value, producer gating the value's
+    /// availability)`. The candidate is computed for *every* in-scope
+    /// instruction so confidence counters can train on unpredicted ones.
+    fn predict(&mut self, rec: &Committed, is_load: bool) -> (bool, Option<u64>, Option<u64>) {
+        let Some(dst) = rec.dst else { return (false, None, None) };
+        let old_mapping = |core: &Core<'_, '_>| core.last_writer[dst.index()];
+
+        match &self.sim.scheme {
+            Scheme::NoPredict => (false, None, None),
+            Scheme::Lvp { scope, .. } | Scheme::Buffer { scope, .. } => {
+                if !scope.admits(is_load, true) {
+                    return (false, None, None);
+                }
+                // The buffer supplies the value directly: no register
+                // dependence at all.
+                let v = self.sim.buffer.as_ref().expect("buffer state").predict(rec.pc);
+                (v.is_some(), v, None)
+            }
+            Scheme::StaticRvp { plan } => {
+                let Some(kind) = plan.kind(rec.pc) else { return (false, None, None) };
+                let (v, dep) = self.reuse_value(rec, dst, kind);
+                (true, Some(v), dep)
+            }
+            Scheme::DynamicRvp { scope, plan, .. } => {
+                if !scope.admits(is_load, true) {
+                    return (false, None, None);
+                }
+                let kind = plan.kind(rec.pc).unwrap_or(ReuseKind::SameReg);
+                let (v, dep) = self.reuse_value(rec, dst, kind);
+                let confident = self.sim.drvp.as_ref().expect("drvp state").confident(rec.pc);
+                (confident, Some(v), dep)
+            }
+            Scheme::Gabbay { scope } => {
+                if !scope.admits(is_load, true) {
+                    return (false, None, None);
+                }
+                let confident = self.sim.gabbay.as_ref().expect("gabbay state").confident(dst);
+                (confident, Some(rec.old_value), old_mapping(self))
+            }
+            Scheme::HwCorrelation { scope, .. } => {
+                if !scope.admits(is_load, true) {
+                    return (false, None, None);
+                }
+                let p = self.sim.correlation.as_ref().expect("correlation state");
+                match p.candidate(rec.pc) {
+                    Some(r) if r.class() == dst.class() => {
+                        let value = if r == dst { rec.old_value } else { self.shadow[r.index()] };
+                        (p.confident(rec.pc), Some(value), self.last_writer[r.index()])
+                    }
+                    _ => (false, None, None),
+                }
+            }
+        }
+    }
+
+    /// The value a register-reuse relation predicts, and the in-flight
+    /// producer whose completion makes it readable.
+    fn reuse_value(&self, rec: &Committed, dst: Reg, kind: ReuseKind) -> (u64, Option<u64>) {
+        match kind {
+            ReuseKind::SameReg => (rec.old_value, self.last_writer[dst.index()]),
+            ReuseKind::OtherReg(r) => (self.shadow[r.index()], self.last_writer[r.index()]),
+            // The compiler gave the instruction an exclusive register, so
+            // after the first execution the register holds the last
+            // value; its old mapping is this instruction's *previous
+            // dynamic instance*, which has almost always completed.
+            ReuseKind::LastValue => {
+                (self.last_value[rec.pc].unwrap_or(rec.old_value), self.last_instance[rec.pc])
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    pub(crate) fn fetch(&mut self) -> Result<(), crate::stats::SimError> {
+        if self.now < self.fetch_resume_at || self.stalled_on.is_some() {
+            if !self.halted_fetch {
+                self.stats.fetch_stall_cycles += 1;
+            }
+            return Ok(());
+        }
+        if self.halted_fetch {
+            return Ok(());
+        }
+        let mut taken_blocks = 0usize;
+        let arrival = self.now + self.sim.config.frontend_depth;
+
+        for _ in 0..self.sim.config.fetch_width {
+            if !self.may_pull() {
+                break;
+            }
+            let Some(&Committed { pc, .. }) = self.source.peek()? else {
+                self.trace_done = true;
+                break;
+            };
+
+            // Instruction-cache access per new line; a missing line
+            // leaves the peeked record in the source for next time.
+            let line = Program::byte_addr(pc) / self.sim.config.mem.l1i.line_bytes;
+            if line != self.last_line {
+                let extra = self.sim.mem.access_inst(Program::byte_addr(pc));
+                self.last_line = line;
+                if extra > 0 {
+                    self.fetch_resume_at = self.now + extra;
+                    self.redirect = Redirect::ICache;
+                    break;
+                }
+            }
+
+            let rec = self.source.next_record()?.expect("peeked record is consumable");
+            self.note_consumed(rec.seq);
+            let inst = &self.program.insts()[rec.pc];
+
+            if matches!(inst.kind, rvp_isa::Kind::Halt) {
+                self.halted_fetch = true;
+                self.frontend.push_back(Fetched { rec, arrival, stalled: false });
+                break;
+            }
+
+            let bkind = match inst.flow() {
+                Flow::FallThrough => None,
+                Flow::Always(t) => {
+                    if inst.is_call() {
+                        Some(BranchKind::Call { target: t })
+                    } else {
+                        Some(BranchKind::UncondDirect { target: t })
+                    }
+                }
+                Flow::Conditional(t) => Some(BranchKind::CondDirect { target: t }),
+                Flow::Indirect(_) => Some(BranchKind::Indirect),
+                Flow::Return => Some(BranchKind::Return),
+                Flow::Halt => None,
+            };
+
+            let Some(kind) = bkind else {
+                self.frontend.push_back(Fetched { rec, arrival, stalled: false });
+                continue;
+            };
+
+            // Predict and train in one step (perfect history repair):
+            // branch-predictor behaviour is then identical across value-
+            // prediction schemes, isolating the effect under study.
+            let actual_taken = rec.taken.unwrap_or(true);
+            let correct = self.sim.bpred.update(rec.pc, kind, actual_taken, rec.next_pc);
+
+            if !correct {
+                // Fetch goes down the wrong path: bubble until resolve.
+                self.stalled_on = Some(rec.seq);
+                self.redirect = Redirect::Branch;
+                self.frontend.push_back(Fetched { rec, arrival, stalled: true });
+                break;
+            }
+            self.frontend.push_back(Fetched { rec, arrival, stalled: false });
+            if actual_taken {
+                taken_blocks += 1;
+                if taken_blocks >= self.sim.config.fetch_blocks {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}

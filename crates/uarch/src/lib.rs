@@ -18,8 +18,12 @@
 //!   instruction's consumers read the *old* physical mapping of the
 //!   destination register and issue as soon as that value is ready.
 //!
-//! The model is execution-driven over the architectural trace produced by
-//! [`rvp_emu::Emulator`]. Wrong-path instructions after a branch
+//! The model is trace-driven over the architectural committed stream,
+//! consumed through the [`CommittedSource`] abstraction: live emulation
+//! via [`rvp_emu::Emulator`] (the default), streaming replay of a
+//! captured trace, or a shared in-memory trace fanned out to many
+//! simulations of the same workload — all bit-identical in their
+//! resulting [`SimStats`]. Wrong-path instructions after a branch
 //! mispredict are modelled as a fetch bubble whose length equals the
 //! pipeline-refill penalty (7 cycles); wrong value speculation *is*
 //! simulated structurally, including instruction-queue pressure and
@@ -48,14 +52,19 @@
 //! # }
 //! ```
 
+mod backend;
 mod config;
+mod core;
+mod frontend;
+mod recovery;
 mod scheme;
-mod sim;
+pub mod source;
 mod stats;
 
+pub use crate::core::Simulator;
 pub use config::{Latencies, UarchConfig};
 pub use scheme::{Recovery, Scheme};
-pub use sim::Simulator;
+pub use source::{CommittedSource, EmuSource, ReplaySource, SharedSource, SourceKind};
 pub use stats::{SimError, SimStats};
 
 // Re-export the predictor vocabulary `Scheme` is built from, so users

@@ -1,0 +1,453 @@
+//! The committed-instruction stream the timing core consumes.
+//!
+//! The timing model is trace-driven over the architectural
+//! (committed-path) instruction stream: every cell of the paper's
+//! scheme × recovery × workload grid replays the *same* committed
+//! stream for a given workload, because value misprediction never
+//! changes architectural state — only timing. [`CommittedSource`]
+//! abstracts where that stream comes from so the grid can pay for
+//! functional emulation once per workload instead of once per cell:
+//!
+//! * [`EmuSource`] — live functional emulation (the fallback; exactly
+//!   the pre-refactor behaviour);
+//! * [`ReplaySource`] — streaming replay of a previously captured
+//!   trace, degrading to live emulation mid-run if the stream turns
+//!   out to be corrupt;
+//! * [`SharedSource`] — a shared, fully decoded in-memory trace
+//!   (`Arc<[Committed]>`) captured once and handed to every cell.
+//!
+//! All three must produce bit-identical [`crate::SimStats`]; the
+//! integration suite enforces this for every scheme × recovery pair.
+//!
+//! # The rewind contract
+//!
+//! Refetch-style misprediction recovery squashes the ROB tail and
+//! *re-fetches* the squashed instructions. The core hands the squashed
+//! records — sorted ascending by `seq`, a contiguous suffix of what the
+//! source has produced so far — back via [`CommittedSource::rewind`];
+//! the source must replay exactly those records (in order) before
+//! producing new ones. `rewind` drains the vector it is given so the
+//! core can reuse the allocation; [`SharedSource`] simply moves its
+//! cursor back, making refetch recovery allocation-free.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use rvp_emu::{Committed, Emulator};
+use rvp_isa::Program;
+
+use crate::stats::SimError;
+
+// `Committed` records are the unit of every source's storage and of the
+// rewind path; keep them register-file-width cheap to move.
+const _: () = assert!(std::mem::size_of::<Committed>() <= 64);
+
+/// Which implementation a [`CommittedSource`] is (telemetry only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// Live functional emulation.
+    Live,
+    /// Streaming replay of an on-disk trace.
+    Replay,
+    /// Shared in-memory decoded trace.
+    Shared,
+}
+
+impl SourceKind {
+    /// Stable lowercase name (used in logs and summary JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceKind::Live => "live",
+            SourceKind::Replay => "replay",
+            SourceKind::Shared => "shared",
+        }
+    }
+}
+
+/// A stream of committed-path instruction records for the timing core.
+///
+/// The stream starts at `seq == 0` and is consecutive; after a
+/// [`rewind`](CommittedSource::rewind) the already-produced suffix is
+/// replayed before fresh records resume. [`peek`](CommittedSource::peek)
+/// must not advance the stream: the fetch stage inspects the next
+/// record's PC for the I-cache model before deciding to consume it.
+pub trait CommittedSource {
+    /// Which implementation this is.
+    fn kind(&self) -> SourceKind;
+
+    /// The next record, without consuming it. `Ok(None)` means the
+    /// program ended (a `halt` or the end of a captured trace).
+    fn peek(&mut self) -> Result<Option<&Committed>, SimError>;
+
+    /// Consumes and returns the next record.
+    fn next_record(&mut self) -> Result<Option<Committed>, SimError>;
+
+    /// Hands back squashed records (ascending by `seq`, a contiguous
+    /// suffix of everything produced so far) for replay. Drains
+    /// `squashed`.
+    fn rewind(&mut self, squashed: &mut Vec<Committed>);
+
+    /// Whether the source has degraded from its nominal mode (e.g. a
+    /// corrupt trace forced a fall-back to live emulation).
+    fn degraded(&self) -> bool {
+        false
+    }
+}
+
+/// Live functional emulation — the fallback source and the exact
+/// pre-refactor behaviour of the timing core.
+#[derive(Debug)]
+pub struct EmuSource<'p> {
+    emu: Emulator<'p>,
+    /// Rewound records awaiting replay, oldest first; may also hold one
+    /// peeked-but-unconsumed fresh record at the back.
+    pending: VecDeque<Committed>,
+    done: bool,
+}
+
+impl<'p> EmuSource<'p> {
+    /// A live source over `program`, starting at the first instruction.
+    pub fn new(program: &'p Program) -> EmuSource<'p> {
+        EmuSource { emu: Emulator::new(program), pending: VecDeque::new(), done: false }
+    }
+
+    fn fill(&mut self) -> Result<(), SimError> {
+        if self.pending.is_empty() && !self.done {
+            match self.emu.step()? {
+                Some(rec) => self.pending.push_back(rec),
+                None => self.done = true,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl CommittedSource for EmuSource<'_> {
+    fn kind(&self) -> SourceKind {
+        SourceKind::Live
+    }
+
+    fn peek(&mut self) -> Result<Option<&Committed>, SimError> {
+        self.fill()?;
+        Ok(self.pending.front())
+    }
+
+    fn next_record(&mut self) -> Result<Option<Committed>, SimError> {
+        self.fill()?;
+        Ok(self.pending.pop_front())
+    }
+
+    fn rewind(&mut self, squashed: &mut Vec<Committed>) {
+        // Any peeked fresh record in `pending` is younger than every
+        // squashed record, so pushing the squashed suffix to the front
+        // (youngest first) keeps the stream in `seq` order.
+        for rec in squashed.drain(..).rev() {
+            self.pending.push_front(rec);
+        }
+    }
+}
+
+/// Shared in-memory decoded trace: an `Arc<[Committed]>` captured once
+/// per (workload, input, budget) and fanned out to every grid cell.
+///
+/// Because the trace is captured from `seq == 0`, `trace[i].seq == i`,
+/// and rewinding is a cursor move — refetch recovery does no work at
+/// all on this source.
+#[derive(Debug, Clone)]
+pub struct SharedSource {
+    trace: Arc<[Committed]>,
+    cursor: usize,
+}
+
+impl SharedSource {
+    /// A source replaying `trace` from the beginning.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the trace does not start at `seq == 0`
+    /// with consecutive records (the rewind contract needs `seq` to be
+    /// the index).
+    pub fn new(trace: Arc<[Committed]>) -> SharedSource {
+        debug_assert!(trace.iter().enumerate().all(|(i, r)| r.seq as usize == i));
+        SharedSource { trace, cursor: 0 }
+    }
+
+    /// Functionally emulates `program` for at most `max_insts`
+    /// committed instructions and returns the decoded trace.
+    pub fn capture(program: &Program, max_insts: u64) -> Result<Arc<[Committed]>, SimError> {
+        let mut emu = Emulator::new(program);
+        let mut trace = Vec::new();
+        while (trace.len() as u64) < max_insts {
+            match emu.step()? {
+                Some(rec) => trace.push(rec),
+                None => break,
+            }
+        }
+        Ok(trace.into())
+    }
+
+    /// The underlying trace (for sharing with further cells).
+    pub fn trace(&self) -> &Arc<[Committed]> {
+        &self.trace
+    }
+}
+
+impl CommittedSource for SharedSource {
+    fn kind(&self) -> SourceKind {
+        SourceKind::Shared
+    }
+
+    fn peek(&mut self) -> Result<Option<&Committed>, SimError> {
+        Ok(self.trace.get(self.cursor))
+    }
+
+    fn next_record(&mut self) -> Result<Option<Committed>, SimError> {
+        let rec = self.trace.get(self.cursor).copied();
+        if rec.is_some() {
+            self.cursor += 1;
+        }
+        Ok(rec)
+    }
+
+    fn rewind(&mut self, squashed: &mut Vec<Committed>) {
+        if let Some(first) = squashed.first() {
+            debug_assert!(self.trace[first.seq as usize].seq == first.seq);
+            self.cursor = first.seq as usize;
+        }
+        squashed.clear();
+    }
+}
+
+/// Streaming replay of a captured trace, with graceful degradation: if
+/// the stream errors mid-run (truncated or corrupt file), the source
+/// logs a structured warning, fast-forwards a fresh emulator to the
+/// current position and continues live. The checksummed prefix it
+/// already delivered is identical to what emulation produces, so stats
+/// stay bit-identical.
+///
+/// Generic over the record iterator so `rvp-uarch` needs no dependency
+/// on the trace container format; `rvp-trace`'s reader slots in as `I`.
+pub struct ReplaySource<'p, I, E>
+where
+    I: Iterator<Item = Result<Committed, E>>,
+    E: fmt::Display,
+{
+    program: &'p Program,
+    /// The trace stream; `None` once degraded to live emulation.
+    reader: Option<I>,
+    /// The fallback emulator, created on degradation.
+    emu: Option<Emulator<'p>>,
+    /// Rewound records awaiting replay (plus at most one peeked record).
+    pending: VecDeque<Committed>,
+    /// Fresh records produced so far (== the seq of the next fresh one).
+    produced: u64,
+    done: bool,
+    degraded: bool,
+}
+
+impl<'p, I, E> ReplaySource<'p, I, E>
+where
+    I: Iterator<Item = Result<Committed, E>>,
+    E: fmt::Display,
+{
+    /// A source replaying `reader`; `program` backs the live fallback.
+    ///
+    /// The caller is responsible for having validated that the trace
+    /// was captured from this exact program (e.g. via trace metadata);
+    /// the fallback silently re-derives the stream from `program`.
+    pub fn new(program: &'p Program, reader: I) -> ReplaySource<'p, I, E> {
+        ReplaySource {
+            program,
+            reader: Some(reader),
+            emu: None,
+            pending: VecDeque::new(),
+            produced: 0,
+            done: false,
+            degraded: false,
+        }
+    }
+
+    /// Drops the broken reader and fast-forwards a live emulator past
+    /// the `produced` records already delivered.
+    fn degrade(&mut self, error: &dyn fmt::Display) -> Result<(), SimError> {
+        rvp_obs::log::warn(
+            "uarch::source",
+            "trace replay failed; falling back to live emulation",
+            &[
+                ("error", error.to_string().into()),
+                ("produced", rvp_json::Json::from(self.produced)),
+            ],
+        );
+        self.reader = None;
+        self.degraded = true;
+        let mut emu = Emulator::new(self.program);
+        for _ in 0..self.produced {
+            if emu.step()?.is_none() {
+                // The program ends before the trace prefix does: the
+                // trace cannot belong to this program after all.
+                self.done = true;
+                break;
+            }
+        }
+        self.emu = Some(emu);
+        Ok(())
+    }
+
+    fn fill(&mut self) -> Result<(), SimError> {
+        if !self.pending.is_empty() || self.done {
+            return Ok(());
+        }
+        if let Some(reader) = &mut self.reader {
+            match reader.next() {
+                Some(Ok(rec)) => {
+                    self.pending.push_back(rec);
+                    self.produced += 1;
+                    return Ok(());
+                }
+                None => {
+                    self.done = true;
+                    return Ok(());
+                }
+                Some(Err(e)) => {
+                    let msg = e.to_string();
+                    self.degrade(&msg)?;
+                }
+            }
+        }
+        if self.done {
+            return Ok(());
+        }
+        match self.emu.as_mut().expect("degraded source has an emulator").step()? {
+            Some(rec) => {
+                self.pending.push_back(rec);
+                self.produced += 1;
+            }
+            None => self.done = true,
+        }
+        Ok(())
+    }
+}
+
+impl<I, E> CommittedSource for ReplaySource<'_, I, E>
+where
+    I: Iterator<Item = Result<Committed, E>>,
+    E: fmt::Display,
+{
+    fn kind(&self) -> SourceKind {
+        SourceKind::Replay
+    }
+
+    fn peek(&mut self) -> Result<Option<&Committed>, SimError> {
+        self.fill()?;
+        Ok(self.pending.front())
+    }
+
+    fn next_record(&mut self) -> Result<Option<Committed>, SimError> {
+        self.fill()?;
+        Ok(self.pending.pop_front())
+    }
+
+    fn rewind(&mut self, squashed: &mut Vec<Committed>) {
+        for rec in squashed.drain(..).rev() {
+            self.pending.push_front(rec);
+        }
+    }
+
+    fn degraded(&self) -> bool {
+        self.degraded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvp_isa::{ProgramBuilder, Reg};
+
+    fn tiny_program() -> Program {
+        let r = Reg::int(1);
+        let mut b = ProgramBuilder::new();
+        b.li(r, 10);
+        b.label("top");
+        b.subi(r, r, 1);
+        b.bnez(r, "top");
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn drain(src: &mut dyn CommittedSource) -> Vec<Committed> {
+        let mut out = Vec::new();
+        while let Some(rec) = src.next_record().unwrap() {
+            out.push(rec);
+        }
+        out
+    }
+
+    #[test]
+    fn emu_and_shared_sources_agree() {
+        let p = tiny_program();
+        let trace = SharedSource::capture(&p, 1 << 20).unwrap();
+        let mut live = EmuSource::new(&p);
+        let mut shared = SharedSource::new(Arc::clone(&trace));
+        assert_eq!(drain(&mut live), drain(&mut shared));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let p = tiny_program();
+        let mut src = EmuSource::new(&p);
+        let peeked = *src.peek().unwrap().unwrap();
+        assert_eq!(src.next_record().unwrap().unwrap(), peeked);
+        assert_ne!(src.peek().unwrap().unwrap().seq, peeked.seq);
+    }
+
+    #[test]
+    fn rewind_replays_the_squashed_suffix() {
+        let p = tiny_program();
+        let trace = SharedSource::capture(&p, 1 << 20).unwrap();
+        for (name, src) in [
+            ("live", Box::new(EmuSource::new(&p)) as Box<dyn CommittedSource>),
+            ("shared", Box::new(SharedSource::new(Arc::clone(&trace)))),
+        ] {
+            let mut src = src;
+            let mut taken = Vec::new();
+            for _ in 0..6 {
+                taken.push(src.next_record().unwrap().unwrap());
+            }
+            // Squash the last three and expect them again.
+            let mut squashed = taken[3..].to_vec();
+            src.rewind(&mut squashed);
+            assert!(squashed.is_empty(), "{name}: rewind must drain");
+            for expect in &taken[3..] {
+                assert_eq!(&src.next_record().unwrap().unwrap(), expect, "{name}");
+            }
+            assert_eq!(src.next_record().unwrap().unwrap().seq, 6, "{name}");
+        }
+    }
+
+    #[test]
+    fn replay_source_streams_and_degrades() {
+        let p = tiny_program();
+        let trace = SharedSource::capture(&p, 1 << 20).unwrap();
+        let full: Vec<Committed> = trace.to_vec();
+
+        // Clean replay: identical stream, not degraded.
+        let ok = full.iter().copied().map(Ok::<_, String>).collect::<Vec<_>>();
+        let mut src = ReplaySource::new(&p, ok.into_iter());
+        assert_eq!(drain(&mut src), full);
+        assert!(!src.degraded());
+
+        // A stream that errors halfway: the fallback emulator must
+        // reproduce the remainder exactly.
+        let broken: Vec<Result<Committed, String>> = full
+            .iter()
+            .take(5)
+            .copied()
+            .map(Ok)
+            .chain([Err("simulated corruption".to_string())])
+            .collect();
+        let mut src = ReplaySource::new(&p, broken.into_iter());
+        assert_eq!(drain(&mut src), full);
+        assert!(src.degraded());
+    }
+}
