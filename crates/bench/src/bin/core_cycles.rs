@@ -1,0 +1,196 @@
+//! `core_cycles`: throughput of the timing core's cycle loop, tracked
+//! as a perf trajectory in `BENCH_core.json`.
+//!
+//! Runs the default grid subset (every paper scheme over `li` and
+//! `m88ksim`) single-threaded with shared in-memory traces, with all
+//! derived artifacts — train profiles and committed traces — prewarmed
+//! up front so the timed region is (almost) purely the per-cell cycle
+//! loop. Reports committed-instructions-simulated-per-second per cell
+//! and overall.
+//!
+//! ```text
+//! core_cycles [--out FILE] [WORKLOAD...]
+//! ```
+//!
+//! `FILE` (default `BENCH_core.json`) is both the trajectory record and
+//! the gate's baseline: the first run writes its own measurement as the
+//! baseline; later runs keep the stored baseline, update the `current`
+//! measurement, and **fail if current throughput is below
+//! `RVP_CORE_BENCH_RATIO` (default 1.3) times the baseline** — the
+//! floor the hot-loop overhaul must clear over the pre-overhaul core.
+//! Set the ratio to `0` to record without gating (e.g. on a machine the
+//! baseline was not measured on). Budgets honor `RVP_MEASURE_INSTS` /
+//! `RVP_PROFILE_INSTS`.
+//!
+//! Each cell is timed as the best of `RVP_CORE_BENCH_REPS` (default 3)
+//! identical runs: the minimum strips scheduler and frequency noise,
+//! which otherwise swamps the gate at this cell size (~±10% run to
+//! run). The stored baseline must be seeded with the same rep policy
+//! for the ratio to be meaningful.
+
+use std::time::{Duration, Instant};
+
+use rvp_core::{by_name, Json, PaperScheme, Runner, SourceMode, Workload};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One timed cell.
+struct CellTime {
+    workload: &'static str,
+    scheme: PaperScheme,
+    committed: u64,
+    wall: Duration,
+}
+
+impl CellTime {
+    fn minsts_per_s(&self) -> f64 {
+        self.committed as f64 / self.wall.as_secs_f64() / 1e6
+    }
+}
+
+fn main() {
+    let mut out = std::path::PathBuf::from("BENCH_core.json");
+    let mut names: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().expect("--out needs a path").into(),
+            _ => names.push(a),
+        }
+    }
+    if names.is_empty() {
+        names = vec!["li".into(), "m88ksim".into()];
+    }
+    let workloads: Vec<Workload> = names
+        .iter()
+        .map(|n| by_name(n).unwrap_or_else(|| panic!("unknown workload {n}")))
+        .collect();
+
+    let profile_insts = env_u64("RVP_PROFILE_INSTS", 300_000);
+    let measure_insts = env_u64("RVP_MEASURE_INSTS", 200_000);
+    let gate: f64 =
+        std::env::var("RVP_CORE_BENCH_RATIO").ok().and_then(|v| v.parse().ok()).unwrap_or(1.3);
+
+    let runner = Runner {
+        source_mode: SourceMode::Shared,
+        traces: None,
+        profile_insts,
+        measure_insts,
+        ..Runner::default()
+    };
+
+    // Pay for every derived artifact before the clock starts: committed
+    // traces and train profiles are shared across the column, so the
+    // timed region is the per-cell timing simulation itself.
+    let t0 = Instant::now();
+    for wl in &workloads {
+        runner.prewarm_trace(wl).expect("prewarm trace");
+        runner.train_profile(wl).expect("prewarm profile");
+    }
+    let prewarm = t0.elapsed();
+
+    let cells: Vec<(&Workload, PaperScheme)> =
+        workloads.iter().flat_map(|wl| PaperScheme::all().iter().map(move |&s| (wl, s))).collect();
+    println!(
+        "core_cycles: {} cells ({} workloads x {} schemes), {measure_insts} measured insts, \
+         prewarm {:.2}s",
+        cells.len(),
+        workloads.len(),
+        PaperScheme::all().len(),
+        prewarm.as_secs_f64(),
+    );
+
+    let reps = env_u64("RVP_CORE_BENCH_REPS", 3).max(1);
+    let mut times: Vec<CellTime> = Vec::with_capacity(cells.len());
+    for (wl, scheme) in &cells {
+        let mut best: Option<(u64, Duration)> = None;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let result = runner.run(wl, *scheme).expect("cell");
+            let wall = t.elapsed();
+            if best.is_none_or(|(_, w)| wall < w) {
+                best = Some((result.stats.committed, wall));
+            }
+        }
+        let (committed, wall) = best.expect("at least one rep");
+        let cell = CellTime { workload: wl.name(), scheme: *scheme, committed, wall };
+        println!(
+            "  {:<28} {:8.2}ms  {:6.2} Minsts/s",
+            format!("{}/{}", cell.workload, cell.scheme.label()),
+            1e3 * wall.as_secs_f64(),
+            cell.minsts_per_s(),
+        );
+        times.push(cell);
+    }
+
+    let committed: u64 = times.iter().map(|c| c.committed).sum();
+    let elapsed: Duration = times.iter().map(|c| c.wall).sum();
+    let current = committed as f64 / elapsed.as_secs_f64() / 1e6;
+    println!(
+        "\ncurrent: {current:.2} Minsts/s ({committed} committed insts in {:.2}s)",
+        elapsed.as_secs_f64()
+    );
+
+    // The stored baseline survives re-measurement; only the first run
+    // (no file, or no baseline in it) seeds it from itself.
+    let baseline = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|s| Json::parse(&s).ok())
+        .and_then(|j| j.get("baseline")?.get("minsts_per_s")?.as_f64());
+
+    let speedup = baseline.map(|b| current / b);
+    let per_cell: Vec<Json> = times
+        .iter()
+        .map(|c| {
+            Json::obj([
+                ("workload", c.workload.into()),
+                ("scheme", c.scheme.label().into()),
+                ("committed", c.committed.into()),
+                ("wall_ms", (1e3 * c.wall.as_secs_f64()).into()),
+                ("minsts_per_s", c.minsts_per_s().into()),
+            ])
+        })
+        .collect();
+    let measurement = |minsts: f64| {
+        Json::obj([
+            ("minsts_per_s", minsts.into()),
+            ("measure_insts", measure_insts.into()),
+            ("profile_insts", profile_insts.into()),
+        ])
+    };
+    let mut summary = vec![
+        ("bench".into(), "core_cycles".into()),
+        ("baseline".into(), measurement(baseline.unwrap_or(current))),
+        (
+            "current".into(),
+            Json::obj([
+                ("minsts_per_s", current.into()),
+                ("committed", committed.into()),
+                ("elapsed_s", elapsed.as_secs_f64().into()),
+                ("prewarm_s", prewarm.as_secs_f64().into()),
+                ("cells", Json::Arr(per_cell)),
+            ]),
+        ),
+        ("gate".into(), gate.into()),
+    ];
+    if let Some(s) = speedup {
+        summary.push(("speedup".into(), s.into()));
+    }
+    std::fs::write(&out, format!("{}\n", Json::Obj(summary))).expect("write BENCH file");
+    println!("trajectory written: {}", out.display());
+
+    match (baseline, speedup) {
+        (None, _) => println!("no stored baseline; this run seeds it ({current:.2} Minsts/s)"),
+        (Some(b), Some(s)) => {
+            println!("baseline: {b:.2} Minsts/s  speedup: {s:.2}x  (gate {gate:.2}x)");
+            if s < gate {
+                eprintln!("FAIL: core throughput {s:.2}x is below the {gate:.2}x gate");
+                std::process::exit(1);
+            }
+            println!("PASS: core cycle loop is >={gate:.2}x the stored baseline");
+        }
+        _ => unreachable!("speedup exists iff baseline does"),
+    }
+}

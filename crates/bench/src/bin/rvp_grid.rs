@@ -5,12 +5,14 @@
 //! directory as it completes, then prints a throughput summary.
 //!
 //! ```text
-//! rvp-grid [OUT_DIR] [--workloads A,B,...] [--source MODE] [--metrics-out FILE]
+//! rvp-grid [OUT_DIR] [--workloads A,B,...] [--schemes A,B,...] \
+//!          [--source MODE] [--metrics-out FILE]
 //! ```
 //!
 //! `OUT_DIR` defaults to `RVP_JSON_DIR`, then `results/`.
-//! `--workloads` restricts the grid to the named workloads (CI runs a
-//! two-workload subset this way). `--source` picks the committed-stream
+//! `--workloads` restricts the grid to the named workloads and
+//! `--schemes` to the named paper schemes (CI runs a small subset of
+//! both this way). `--source` picks the committed-stream
 //! source for measurement runs: `shared` (default — each workload's
 //! trace is captured once up front and fanned out in memory to every
 //! scheme cell), `replay` (stream each cell from the on-disk trace
@@ -20,6 +22,17 @@
 //! inside the cell JSONs — and writes a grid-level summary (throughput,
 //! trace-cache and per-workload source counters, failures) to FILE.
 //!
+//! ## Cost-model scheduling
+//!
+//! Every run records per-cell wall times into `OUT_DIR/grid_summary.json`
+//! (under `"cell_seconds"`), and the next run schedules the grid
+//! longest-job-first from those timings: on a work-stealing pool the
+//! makespan is set by whatever is still running at the end, so the
+//! expensive cells must start first. Cells with no recorded timing are
+//! estimated from their instruction budget at the observed
+//! seconds-per-instruction rate (or run first when no history exists at
+//! all, which degrades to the stable grid order).
+//!
 //! The usual budget overrides (`RVP_MEASURE_INSTS`,
 //! `RVP_PROFILE_INSTS`) apply, `RVP_TRACE_DIR` enables the
 //! committed-trace cache, `RVP_SOURCE` is the env equivalent of
@@ -27,7 +40,8 @@
 //! cache counters are also emitted as structured events through the
 //! `RVP_LOG` facade.
 
-use std::path::PathBuf;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -44,6 +58,13 @@ struct Cell {
     scheme: PaperScheme,
 }
 
+impl Cell {
+    /// The cell's stable identity in summaries and logs.
+    fn label(&self) -> String {
+        format!("{}/{}", self.workload.name(), self.scheme.label())
+    }
+}
+
 fn worker_count(cells: usize) -> usize {
     let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let cap = std::env::var("RVP_THREADS")
@@ -56,15 +77,66 @@ fn worker_count(cells: usize) -> usize {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rvp-grid [OUT_DIR] [--workloads A,B,...] [--source live|replay|shared] \
-         [--metrics-out FILE]"
+        "usage: rvp-grid [OUT_DIR] [--workloads A,B,...] [--schemes A,B,...] \
+         [--source live|replay|shared] [--metrics-out FILE]"
     );
     ExitCode::from(2)
+}
+
+/// The file (in the output directory) per-cell wall times persist in,
+/// read back by the next run's longest-job-first schedule.
+const SUMMARY_FILE: &str = "grid_summary.json";
+
+/// Per-cell wall times from a previous run's summary, if any.
+fn prior_timings(out_dir: &Path) -> HashMap<String, f64> {
+    let Ok(text) = std::fs::read_to_string(out_dir.join(SUMMARY_FILE)) else {
+        return HashMap::new();
+    };
+    let Ok(json) = Json::parse(&text) else {
+        log::warn(
+            "rvp-grid",
+            "unreadable prior grid summary; scheduling from instruction budgets",
+            &[("path", out_dir.join(SUMMARY_FILE).display().to_string().into())],
+        );
+        return HashMap::new();
+    };
+    json.get("cell_seconds")
+        .and_then(Json::as_obj)
+        .map(|pairs| {
+            pairs
+                .iter()
+                .filter_map(|(label, v)| v.as_f64().map(|secs| (label.clone(), secs)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Orders `cells` longest-estimated-first. Known cells carry their
+/// measured wall time; unknown ones are estimated from the instruction
+/// budget at the mean observed seconds-per-instruction (when nothing is
+/// known the estimates are uniform and the stable sort preserves the
+/// nominal grid order).
+fn schedule(cells: &mut Vec<Cell>, prior: &HashMap<String, f64>, budget: u64) {
+    let known: Vec<f64> = cells.iter().filter_map(|c| prior.get(&c.label()).copied()).collect();
+    let secs_per_inst = match known.len() {
+        0 => 1.0 / budget.max(1) as f64,
+        n => known.iter().sum::<f64>() / n as f64 / budget.max(1) as f64,
+    };
+    let mut keyed: Vec<(f64, Cell)> = cells
+        .drain(..)
+        .map(|c| {
+            let est = prior.get(&c.label()).copied().unwrap_or(budget as f64 * secs_per_inst);
+            (est, c)
+        })
+        .collect();
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+    *cells = keyed.into_iter().map(|(_, c)| c).collect();
 }
 
 fn main() -> ExitCode {
     let mut out_dir: Option<PathBuf> = None;
     let mut only: Option<Vec<String>> = None;
+    let mut only_schemes: Option<Vec<String>> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut source: Option<SourceMode> = None;
 
@@ -74,6 +146,12 @@ fn main() -> ExitCode {
             "--workloads" => match it.next() {
                 Some(list) => {
                     only = Some(list.split(',').map(|s| s.trim().to_owned()).collect());
+                }
+                None => return usage(),
+            },
+            "--schemes" => match it.next() {
+                Some(list) => {
+                    only_schemes = Some(list.split(',').map(|s| s.trim().to_owned()).collect());
                 }
                 None => return usage(),
             },
@@ -127,6 +205,29 @@ fn main() -> ExitCode {
         }
     };
 
+    let schemes: Vec<PaperScheme> = match &only_schemes {
+        None => PaperScheme::all().to_vec(),
+        Some(names) => {
+            let mut selected = Vec::new();
+            for name in names {
+                match PaperScheme::all().iter().find(|s| s.label() == name) {
+                    Some(&scheme) => selected.push(scheme),
+                    None => {
+                        let known =
+                            PaperScheme::all().iter().map(|s| s.label()).collect::<Vec<_>>();
+                        log::error(
+                            "rvp-grid",
+                            "unknown scheme",
+                            &[("scheme", name.as_str().into()), ("known", known.join(", ").into())],
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            selected
+        }
+    };
+
     let mut runner = runner_from_env();
     if let Some(mode) = source {
         runner.source_mode = mode;
@@ -134,22 +235,28 @@ fn main() -> ExitCode {
     if metrics_out.is_some() {
         runner.obs = ObsConfig::standard();
     }
-    let cells: Vec<Cell> = workloads
+    let mut cells: Vec<Cell> = workloads
         .iter()
-        .flat_map(|wl| {
-            PaperScheme::all().iter().map(|&scheme| Cell { workload: wl.clone(), scheme })
-        })
+        .flat_map(|wl| schemes.iter().map(|&scheme| Cell { workload: wl.clone(), scheme }))
         .collect();
+    let prior = prior_timings(&out_dir);
+    let known = cells.iter().filter(|c| prior.contains_key(&c.label())).count();
+    schedule(&mut cells, &prior, runner.measure_insts);
     let workers = worker_count(cells.len());
 
     println!(
         "rvp-grid: {} workloads x {} schemes = {} cells on {} threads ({} source) -> {}",
         workloads.len(),
-        PaperScheme::all().len(),
+        schemes.len(),
         cells.len(),
         workers,
         runner.source_mode.name(),
         out_dir.display()
+    );
+    println!(
+        "schedule: longest-job-first, {known}/{} cells from prior timings, \
+         the rest from instruction budgets",
+        cells.len()
     );
 
     let start = Instant::now();
@@ -184,16 +291,21 @@ fn main() -> ExitCode {
     let next = AtomicUsize::new(0);
     let failures: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
     let results: Mutex<Vec<RunResult>> = Mutex::new(Vec::new());
+    let timings: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| run_cells(&runner, &cells, &next, &out_dir, &results, &failures));
+            scope.spawn(|| {
+                run_cells(&runner, &cells, &next, &out_dir, &results, &failures, &timings)
+            });
         }
     });
 
     let elapsed = start.elapsed();
     let results = results.into_inner().expect("results lock");
     let failures = failures.into_inner().expect("failures lock");
+    let mut timings = timings.into_inner().expect("timings lock");
+    timings.sort_by(|a, b| a.0.cmp(&b.0));
 
     let simulated: u64 = results.iter().map(|r| r.stats.committed).sum();
     println!(
@@ -222,6 +334,10 @@ fn main() -> ExitCode {
         ("simulated_insts".into(), simulated.into()),
         ("profiles".into(), (runner.profiles.len() as u64).into()),
         ("source_mode".into(), runner.source_mode.name().into()),
+        (
+            "cell_seconds".into(),
+            Json::Obj(timings.iter().map(|(label, s)| (label.clone(), (*s).into())).collect()),
+        ),
         (
             "trace_sources".into(),
             Json::Obj(
@@ -267,8 +383,21 @@ fn main() -> ExitCode {
             ("simulated_insts", simulated.into()),
         ],
     );
+    let summary = Json::Obj(summary);
+    // The on-disk summary feeds the next run's schedule; `--metrics-out`
+    // additionally mirrors it wherever CI wants the artifact.
+    if let Err(e) = std::fs::write(out_dir.join(SUMMARY_FILE), format!("{summary}\n")) {
+        log::warn(
+            "rvp-grid",
+            "cannot write grid summary",
+            &[
+                ("path", out_dir.join(SUMMARY_FILE).display().to_string().into()),
+                ("error", e.to_string().into()),
+            ],
+        );
+    }
     if let Some(path) = &metrics_out {
-        if let Err(e) = std::fs::write(path, format!("{}\n", Json::Obj(summary))) {
+        if let Err(e) = std::fs::write(path, format!("{summary}\n")) {
             log::error(
                 "rvp-grid",
                 "cannot write metrics file",
@@ -295,16 +424,22 @@ fn run_cells(
     runner: &Runner,
     cells: &[Cell],
     next: &AtomicUsize,
-    out_dir: &std::path::Path,
+    out_dir: &Path,
     results: &Mutex<Vec<RunResult>>,
     failures: &Mutex<Vec<(String, String)>>,
+    timings: &Mutex<Vec<(String, f64)>>,
 ) {
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(cell) = cells.get(i) else { return };
-        let label = format!("{}/{}", cell.workload.name(), cell.scheme.label());
+        let label = cell.label();
+        let cell_start = Instant::now();
         match runner.run(&cell.workload, cell.scheme) {
             Ok(result) => {
+                timings
+                    .lock()
+                    .expect("timings lock")
+                    .push((label.clone(), cell_start.elapsed().as_secs_f64()));
                 if let Err(e) = emit_cell(out_dir, &result) {
                     failures
                         .lock()

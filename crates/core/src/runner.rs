@@ -9,6 +9,7 @@ use rvp_obs::log;
 use rvp_profile::{Assist, Fig1Row, PlanScope, Profile, ProfileConfig, SrvpLevel};
 use rvp_realloc::{reallocate, ReallocOptions};
 use rvp_trace::{TraceInput, TraceMeta, TraceStore};
+use rvp_uarch::TraceColumns;
 use rvp_uarch::{
     CommittedSource, ObsConfig, Recovery, ReplaySource, Scheme, SharedSource, SimError, SimStats,
     Simulator, UarchConfig,
@@ -195,7 +196,7 @@ pub enum SourceMode {
     /// degrading to live emulation mid-run on corruption.
     Replay,
     /// Decode the committed trace once per workload into an
-    /// `Arc<[Committed]>` shared by every cell — the default: a grid
+    /// columnar [`TraceColumns`] shared by every cell — the default: a grid
     /// pays for functional emulation once per workload, not per cell.
     #[default]
     Shared,
@@ -227,7 +228,7 @@ impl SourceMode {
 type TraceKey = (&'static str, Input, u64);
 
 /// One shared-trace entry, locked independently of the map.
-type TraceSlot = Arc<Mutex<Option<Arc<[Committed]>>>>;
+type TraceSlot = Arc<Mutex<Option<Arc<TraceColumns>>>>;
 
 /// A thread-safe memo of decoded in-memory traces, shared by clones of
 /// a [`Runner`] exactly like [`ProfileCache`]: entries are locked
@@ -245,8 +246,8 @@ impl SharedTraceCache {
     fn get_or_capture(
         &self,
         key: TraceKey,
-        capture: impl FnOnce() -> Result<Arc<[Committed]>, SimError>,
-    ) -> Result<(Arc<[Committed]>, bool), SimError> {
+        capture: impl FnOnce() -> Result<Arc<TraceColumns>, SimError>,
+    ) -> Result<(Arc<TraceColumns>, bool), SimError> {
         let slot = {
             let mut slots = self.slots.lock().expect("trace cache poisoned");
             slots.entry(key).or_default().clone()
@@ -623,7 +624,7 @@ impl Runner {
     /// store when one is configured — a decode failure falls back to
     /// direct in-memory capture — else captured straight from the
     /// emulator.
-    fn shared_ref_trace(&self, wl: &Workload) -> Result<Arc<[Committed]>, SimError> {
+    fn shared_ref_trace(&self, wl: &Workload) -> Result<Arc<TraceColumns>, SimError> {
         let name = wl.name();
         let (trace, captured) =
             self.shared_traces.get_or_capture((name, Input::Ref, self.measure_insts), || {
@@ -635,7 +636,7 @@ impl Runner {
                         .open_or_capture(&base, &meta)
                         .and_then(|reader| reader.collect::<Result<Vec<Committed>, _>>())
                     {
-                        Ok(records) => return Ok(records.into()),
+                        Ok(records) => return Ok(Arc::new(TraceColumns::from_records(&records))),
                         Err(e) => log::warn(
                             "rvp_core::runner",
                             "trace decode failed; capturing shared trace live",
@@ -871,6 +872,56 @@ mod tests {
         assert_eq!(lt, SourceTally::default());
         assert_eq!(rt, SourceTally { captures: 1, shared_hits: 2, live_fallbacks: 1 });
         assert_eq!(st, SourceTally { captures: 1, shared_hits: 2, live_fallbacks: 1 });
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The columnar (SoA) trace view must be bit-identical, record for
+    /// record, with the AoS `Committed` streams all three source modes
+    /// are built on — the structure-of-arrays split is a layout change,
+    /// never a value change.
+    #[test]
+    fn source_equivalence_soa_view_matches_aos_records() {
+        use rvp_uarch::EmuSource;
+
+        let dir = std::env::temp_dir().join(format!("rvp-runner-soa-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::new(&dir).unwrap();
+        let wl = by_name("li").unwrap();
+        let budget = 50_000u64;
+        let program = wl.program(Input::Ref);
+
+        // AoS reference stream straight from the live emulator source.
+        let mut live = EmuSource::new(&program);
+        let mut live_records: Vec<Committed> = Vec::new();
+        while (live_records.len() as u64) < budget {
+            match live.next_record().unwrap() {
+                Some(rec) => live_records.push(rec),
+                None => break,
+            }
+        }
+
+        // AoS stream decoded back from the on-disk trace container.
+        let meta = TraceMeta::for_program(wl.name(), TraceInput::Ref, budget, &program);
+        store.capture(&program, &meta).unwrap();
+        let replay_records: Vec<Committed> =
+            store.open(&meta).unwrap().collect::<Result<_, _>>().unwrap();
+        assert_eq!(live_records, replay_records);
+
+        // The SoA view the shared source serves: identical records, and
+        // the hot PC column agrees with the assembled record at every
+        // index (the fetch stage trusts `peek_pc` alone).
+        let columns = SharedSource::capture(&program, budget).unwrap();
+        assert_eq!(columns.len(), live_records.len());
+        let soa_records: Vec<Committed> = columns.records().collect();
+        assert_eq!(soa_records, live_records);
+
+        let mut shared = SharedSource::new(columns.clone());
+        for want in &live_records {
+            assert_eq!(shared.peek_pc().unwrap(), Some(want.pc));
+            assert_eq!(shared.next_record().unwrap().as_ref(), Some(want));
+        }
+        assert_eq!(shared.next_record().unwrap(), None);
 
         let _ = std::fs::remove_dir_all(&dir);
     }

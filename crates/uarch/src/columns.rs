@@ -1,0 +1,202 @@
+//! Structure-of-arrays layout for a decoded committed trace.
+//!
+//! A shared in-memory trace used to be an `Arc<[Committed]>`: 64 bytes
+//! per dynamic instruction, streamed front to back by every grid cell.
+//! The fetch stage only needs the next record's *PC* to drive the
+//! I-cache model, and several fields (`old_value`, the effective
+//! address, branch metadata) are consulted well after fetch or not at
+//! all for most instructions — yet the AoS layout drags all of them
+//! through the cache together. [`TraceColumns`] splits the trace into
+//! a *hot* group (pc, destination, new value — touched by every
+//! fetch/dispatch) and a *cold* group (old value, effective address,
+//! next-pc and branch outcome), so the hot stream costs 14 bytes per
+//! instruction instead of 64.
+//!
+//! `seq` is not stored at all: a trace is captured from `seq == 0` with
+//! consecutive records, so the index *is* the sequence number. The
+//! round-trip `Committed` → columns → [`TraceColumns::record`] is exact
+//! (a property test enforces this), which is what lets
+//! [`crate::SharedSource`] serve the record API unchanged.
+
+use rvp_emu::Committed;
+use rvp_isa::Reg;
+
+/// Sentinel in the destination column for "writes no register".
+const NO_DST: u8 = u8::MAX;
+
+/// Flag bits for the cold per-record metadata byte.
+const HAS_EFF_ADDR: u8 = 1 << 0;
+const HAS_TAKEN: u8 = 1 << 1;
+const TAKEN: u8 = 1 << 2;
+
+/// A committed trace in columnar (structure-of-arrays) form.
+///
+/// Hot columns are what the per-cycle front end streams; cold columns
+/// are materialized only when a full [`Committed`] record is assembled.
+#[derive(Debug)]
+pub struct TraceColumns {
+    // Hot: one touch per fetched instruction.
+    pc: Box<[u32]>,
+    dst: Box<[u8]>,
+    new_value: Box<[u64]>,
+    // Cold: assembled into records on demand.
+    old_value: Box<[u64]>,
+    eff_addr: Box<[u64]>,
+    next_pc: Box<[u32]>,
+    flags: Box<[u8]>,
+}
+
+impl TraceColumns {
+    /// Transposes `records` into columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the records are not consecutive from `seq == 0` (the
+    /// index-as-seq representation requires it) or a PC exceeds `u32`.
+    pub fn from_records(records: &[Committed]) -> TraceColumns {
+        let n = records.len();
+        let mut pc = Vec::with_capacity(n);
+        let mut dst = Vec::with_capacity(n);
+        let mut new_value = Vec::with_capacity(n);
+        let mut old_value = Vec::with_capacity(n);
+        let mut eff_addr = Vec::with_capacity(n);
+        let mut next_pc = Vec::with_capacity(n);
+        let mut flags = Vec::with_capacity(n);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq as usize, i, "trace must be consecutive from seq 0");
+            pc.push(u32::try_from(r.pc).expect("pc fits u32"));
+            dst.push(r.dst.map_or(NO_DST, |d| d.index() as u8));
+            new_value.push(r.new_value);
+            old_value.push(r.old_value);
+            eff_addr.push(r.eff_addr.unwrap_or(0));
+            next_pc.push(u32::try_from(r.next_pc).expect("pc fits u32"));
+            let mut f = 0u8;
+            if r.eff_addr.is_some() {
+                f |= HAS_EFF_ADDR;
+            }
+            if let Some(t) = r.taken {
+                f |= HAS_TAKEN;
+                if t {
+                    f |= TAKEN;
+                }
+            }
+            flags.push(f);
+        }
+        TraceColumns {
+            pc: pc.into(),
+            dst: dst.into(),
+            new_value: new_value.into(),
+            old_value: old_value.into(),
+            eff_addr: eff_addr.into(),
+            next_pc: next_pc.into(),
+            flags: flags.into(),
+        }
+    }
+
+    /// Number of records in the trace.
+    pub fn len(&self) -> usize {
+        self.pc.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pc.is_empty()
+    }
+
+    /// The PC of record `i`, touching only the hot column — the fetch
+    /// stage's peek path.
+    #[inline]
+    pub fn pc(&self, i: usize) -> Option<usize> {
+        self.pc.get(i).map(|&p| p as usize)
+    }
+
+    /// Assembles the full record at index `i` (its `seq` is `i`).
+    #[inline]
+    pub fn record(&self, i: usize) -> Option<Committed> {
+        if i >= self.len() {
+            return None;
+        }
+        let f = self.flags[i];
+        let d = self.dst[i];
+        Some(Committed {
+            seq: i as u64,
+            pc: self.pc[i] as usize,
+            next_pc: self.next_pc[i] as usize,
+            dst: if d == NO_DST { None } else { Some(Reg::from_index(d as usize)) },
+            old_value: self.old_value[i],
+            new_value: self.new_value[i],
+            eff_addr: if f & HAS_EFF_ADDR != 0 { Some(self.eff_addr[i]) } else { None },
+            taken: if f & HAS_TAKEN != 0 { Some(f & TAKEN != 0) } else { None },
+        })
+    }
+
+    /// Iterates the assembled records in order.
+    pub fn records(&self) -> impl Iterator<Item = Committed> + '_ {
+        (0..self.len()).map(|i| self.record(i).expect("in range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic xorshift so the property test needs no external
+    /// randomness source.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    fn arbitrary_record(seq: u64, rng: &mut XorShift) -> Committed {
+        let r = rng.next();
+        Committed {
+            seq,
+            pc: (rng.next() % 10_000) as usize,
+            next_pc: (rng.next() % 10_000) as usize,
+            dst: if r & 1 != 0 {
+                Some(Reg::from_index((rng.next() % rvp_isa::NUM_REGS as u64) as usize))
+            } else {
+                None
+            },
+            old_value: rng.next(),
+            new_value: rng.next(),
+            eff_addr: if r & 2 != 0 { Some(rng.next()) } else { None },
+            taken: if r & 4 != 0 { Some(r & 8 != 0) } else { None },
+        }
+    }
+
+    #[test]
+    fn round_trips_arbitrary_records_exactly() {
+        let mut rng = XorShift(0x243F_6A88_85A3_08D3);
+        for trial in 0..64 {
+            let n = (rng.next() % 200) as usize;
+            let records: Vec<Committed> =
+                (0..n as u64).map(|seq| arbitrary_record(seq, &mut rng)).collect();
+            let cols = TraceColumns::from_records(&records);
+            assert_eq!(cols.len(), records.len(), "trial {trial}");
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(cols.record(i).as_ref(), Some(r), "trial {trial}, record {i}");
+                assert_eq!(cols.pc(i), Some(r.pc), "trial {trial}, record {i}");
+            }
+            assert_eq!(cols.record(n), None);
+            assert_eq!(cols.pc(n), None);
+            assert_eq!(cols.records().collect::<Vec<_>>(), records);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive")]
+    fn rejects_non_consecutive_seqs() {
+        let mut rng = XorShift(1);
+        let records = vec![arbitrary_record(3, &mut rng)];
+        let _ = TraceColumns::from_records(&records);
+    }
+}

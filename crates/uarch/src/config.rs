@@ -88,6 +88,13 @@ pub struct UarchConfig {
     /// limit; the paper argues a single port suffices because dRVP
     /// averages 0.2–0.5 predictions per cycle.
     pub pred_ports: Option<usize>,
+    /// Fetched-instruction buffer entries between fetch and dispatch.
+    /// Fetch stops (backpressure) when the buffer is full. Sized far
+    /// above the deepest dispatch stall observed on the paper's
+    /// workloads, so on the nominal configurations it bounds memory
+    /// without ever altering timing; it also fixes the frontend queue's
+    /// ring-buffer capacity once, keeping the cycle loop allocation-free.
+    pub fetch_buffer: usize,
 }
 
 impl UarchConfig {
@@ -112,6 +119,7 @@ impl UarchConfig {
             mem: MemConfig::table1(),
             lat: Latencies::default(),
             pred_ports: None,
+            fetch_buffer: 4096,
         }
     }
 

@@ -15,12 +15,9 @@
 //! cross-check every summary against a full scan, so the fast paths
 //! cannot silently diverge from the architectural state.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
-
 use rvp_bpred::BranchPredictor;
 use rvp_emu::Committed;
-use rvp_isa::{ExecClass, Program, Reg, RegClass, NUM_REGS};
+use rvp_isa::{Program, Reg, RegClass, NUM_REGS};
 use rvp_mem::Hierarchy;
 use rvp_obs::{CounterSnapshot, CpiBucket, ObsConfig, ObsReport, PcTable, Sampler};
 use rvp_vpred::{
@@ -28,10 +25,13 @@ use rvp_vpred::{
 };
 
 use crate::config::UarchConfig;
+use crate::meta::PcMeta;
 use crate::recovery::RobSet;
+use crate::ring::BoundedDeque;
 use crate::scheme::{Recovery, Scheme};
 use crate::source::{CommittedSource, EmuSource};
 use crate::stats::{SimError, SimStats};
+use crate::wheel::CompletionWheel;
 
 /// Cycles without a commit before the deadlock watchdog trips.
 const WATCHDOG_CYCLES: u64 = 500_000;
@@ -42,18 +42,27 @@ const WATCHDOG_CYCLES: u64 = 500_000;
 const VALIDATE_EVERY: u64 = 64;
 
 /// One in-flight instruction (a reorder-buffer entry).
+/// Sentinel seq for "no producer / not set" in the compact `Entry`
+/// fields below (a real seq never reaches `u64::MAX`).
+pub(crate) const NO_SEQ: u64 = u64::MAX;
+/// Sentinel cycle for "no writeback scheduled".
+pub(crate) const NO_CYCLE: u64 = u64::MAX;
+
 #[derive(Debug)]
 pub(crate) struct Entry {
     pub(crate) rec: Committed,
     pub(crate) queue: RegClass,
-    pub(crate) exec: ExecClass,
     pub(crate) is_store: bool,
     pub(crate) is_load: bool,
-    /// Producer seqs for the register sources.
-    pub(crate) deps: [Option<u64>; 2],
+    /// Base execution latency (precomputed; cache penalties are added
+    /// at issue).
+    pub(crate) lat: u64,
+    /// Producer seqs for the register sources ([`NO_SEQ`] = none).
+    pub(crate) deps: [u64; 2],
     pub(crate) in_iq: bool,
-    pub(crate) issued_at: Option<u64>,
-    pub(crate) complete_at: Option<u64>,
+    pub(crate) issued: bool,
+    /// Writeback cycle ([`NO_CYCLE`] = not scheduled).
+    pub(crate) complete_at: u64,
     pub(crate) done: bool,
     /// Earliest cycle this entry may (re)issue.
     pub(crate) earliest_issue: u64,
@@ -67,8 +76,8 @@ pub(crate) struct Entry {
     pub(crate) pred_value: Option<u64>,
     pub(crate) pred_correct: bool,
     /// Producer whose completion makes the predicted value readable
-    /// (the *old* register mapping); `None` = readable immediately.
-    pub(crate) pred_dep: Option<u64>,
+    /// (the *old* register mapping); [`NO_SEQ`] = readable immediately.
+    pub(crate) pred_dep: u64,
     pub(crate) verified: bool,
     /// Extra memory-hierarchy latency (cache/TLB misses) charged at
     /// issue; nonzero marks this entry memory-bound for cycle
@@ -78,8 +87,8 @@ pub(crate) struct Entry {
     /// re-executing (reissue/selective recovery).
     pub(crate) reissued: bool,
     /// Seq of the first instruction that read this entry's predicted
-    /// value.
-    pub(crate) first_use: Option<u64>,
+    /// value ([`NO_SEQ`] = unread).
+    pub(crate) first_use: u64,
     /// For the hardware-correlation scheme: a register observed (at
     /// rename) to hold the value this instruction produced.
     pub(crate) corr_observed: Option<Reg>,
@@ -87,7 +96,8 @@ pub(crate) struct Entry {
     /// This branch was mispredicted at fetch and stalled the front end.
     pub(crate) stalled_fetch: bool,
     // --- rollback bookkeeping for refetch squashes ---
-    pub(crate) prev_last_value: Option<u64>,
+    /// Meaningful only when `had_last_value`.
+    pub(crate) prev_last_value: u64,
     pub(crate) had_last_value: bool,
 }
 
@@ -198,10 +208,10 @@ impl Simulator {
     ///
     /// As [`Simulator::run`]; source-level failures (emulation errors,
     /// unrecoverable trace corruption) surface as [`SimError::Emu`].
-    pub fn run_with_source(
+    pub fn run_with_source<S: CommittedSource + ?Sized>(
         &mut self,
         program: &Program,
-        source: &mut dyn CommittedSource,
+        source: &mut S,
         max_insts: u64,
     ) -> Result<SimStats, SimError> {
         Core::new(self, program, source, max_insts).run()
@@ -231,19 +241,22 @@ fn snapshot(stats: &SimStats) -> CounterSnapshot {
 }
 
 /// Per-run pipeline state.
-pub(crate) struct Core<'s, 'p> {
+pub(crate) struct Core<'s, S: CommittedSource + ?Sized> {
     pub(crate) sim: &'s mut Simulator,
-    pub(crate) program: &'p Program,
-    pub(crate) source: &'s mut dyn CommittedSource,
+    /// Dense per-PC static metadata (see [`crate::meta`]); everything
+    /// fetch/dispatch need without re-deriving it from [`rvp_isa::Inst`].
+    pub(crate) meta: Vec<PcMeta>,
+    pub(crate) source: &'s mut S,
     pub(crate) max_insts: u64,
     /// Distinct records consumed so far (== the seq after the youngest).
     pub(crate) pulled: u64,
     /// Rewound records the source still owes us (refetch recovery).
     pub(crate) replay_pending: u64,
     pub(crate) trace_done: bool,
-    /// Fetched records waiting to enter the ROB.
-    pub(crate) frontend: VecDeque<Fetched>,
-    pub(crate) rob: VecDeque<Entry>,
+    /// Fetched records waiting to enter the ROB, bounded by
+    /// `config.fetch_buffer` (fetch backpressure).
+    pub(crate) frontend: BoundedDeque<Fetched>,
+    pub(crate) rob: BoundedDeque<Entry>,
     /// Seq of the youngest in-flight writer of each register.
     pub(crate) last_writer: [Option<u64>; NUM_REGS],
     /// Program-order register values at the dispatch point.
@@ -269,15 +282,47 @@ pub(crate) struct Core<'s, 'p> {
     pub(crate) writers: [usize; 2],
     /// Entries holding a queue slot after issuing (`in_iq && issued`).
     pub(crate) held_issued: usize,
+    /// Seqs of the entries counted by `held_issued` (issued but still
+    /// holding a queue slot), so the per-cycle release pass visits only
+    /// holders instead of scanning the ROB.
+    pub(crate) held_slots: RobSet,
     /// Entries with a non-empty taint set.
     pub(crate) tainted: usize,
-    /// Dispatched-but-not-issued entries, by ROB slot.
-    pub(crate) to_issue: RobSet,
-    /// Seqs of in-flight stores, oldest first (memory disambiguation).
-    pub(crate) stores: VecDeque<u64>,
-    /// Scheduled writebacks as `(complete_at, seq)`; lazily invalidated,
-    /// so entries are re-validated against the ROB when popped.
-    pub(crate) completions: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Dispatched-but-not-issued entries, by ROB slot, split per
+    /// instruction queue (indexed by `RegClass as usize`) so the issue
+    /// stage walks each class against its own unit budget.
+    pub(crate) to_issue: [RobSet; 2],
+    /// Pending entries proven *stably* blocked (an unavailable source
+    /// producer or an incomplete older same-block store). The issue walk
+    /// skips them without a visit; they are woken — removed from this
+    /// set — when their recorded blocker completes (see [`Core::waiters`]),
+    /// and the bit is cleared whenever a seq (re)enters the pending set.
+    /// Wake-ups are conservative: a stale waiter bit merely causes a
+    /// re-check, never a wrong issue.
+    pub(crate) issue_blocked: [RobSet; 2],
+    /// `waiters[s % 256]`: pending entries whose recorded blocker is the
+    /// instruction with seq `s` — the wakeup list consulted when `s`
+    /// completes.
+    pub(crate) waiters: Box<[RobSet]>,
+    /// `taint_members[s % 256]`: entries whose taint set contains the
+    /// predicted producer with seq `s` — the reverse of the per-entry
+    /// taint sets, so verification touches only actual dependents
+    /// instead of scanning the ROB. May carry stale bits (squashed or
+    /// re-issued entries); consumers re-validate with `taint.remove`,
+    /// so a stale bit costs a visit, never a wrong transition.
+    pub(crate) taint_members: Box<[RobSet]>,
+    /// The previous issue pass issued nothing and skipped nothing for a
+    /// transient (unit/timing) reason, and no event since then can have
+    /// made a pending entry ready — the walk would be a no-op, so it is
+    /// skipped. Cleared by dispatch, completion processing, squash and
+    /// invalidation (the only sources of readiness transitions).
+    pub(crate) issue_idle: bool,
+    /// Seqs of in-flight stores, oldest first (memory disambiguation);
+    /// a subset of the ROB, so `rob_size` bounds it.
+    pub(crate) stores: BoundedDeque<u64>,
+    /// Scheduled writebacks on a timing wheel; lazily invalidated, so
+    /// entries are re-validated against the ROB when drained.
+    pub(crate) completions: CompletionWheel,
     /// Reusable buffer for the squash → rewind hand-off.
     pub(crate) squash_scratch: Vec<Committed>,
     // --- observability ---
@@ -291,29 +336,30 @@ pub(crate) struct Core<'s, 'p> {
     pub(crate) pc_table: Option<PcTable>,
 }
 
-impl<'s, 'p> Core<'s, 'p> {
+impl<'s, S: CommittedSource + ?Sized> Core<'s, S> {
     pub(crate) fn new(
         sim: &'s mut Simulator,
-        program: &'p Program,
-        source: &'s mut dyn CommittedSource,
+        program: &Program,
+        source: &'s mut S,
         max_insts: u64,
-    ) -> Core<'s, 'p> {
+    ) -> Core<'s, S> {
         let mut shadow = [0u64; NUM_REGS];
         shadow[rvp_isa::analysis::abi::SP.index()] = rvp_emu::STACK_TOP;
         let sampler = (sim.obs.sample_interval > 0)
             .then(|| Sampler::new(sim.obs.sample_interval, sim.obs.ring_capacity));
         let pc_table = sim.obs.track_pc.then(|| PcTable::new(program.len()));
+        let meta = crate::meta::build(program, &sim.scheme, &sim.config);
         Core {
             sampler,
             pc_table,
+            meta,
             source,
-            program,
             max_insts,
             pulled: 0,
             replay_pending: 0,
             trace_done: false,
-            frontend: VecDeque::new(),
-            rob: VecDeque::new(),
+            frontend: BoundedDeque::with_bound(sim.config.fetch_buffer),
+            rob: BoundedDeque::with_bound(sim.config.rob_size),
             last_writer: [None; NUM_REGS],
             shadow,
             last_value: vec![None; program.len()],
@@ -328,11 +374,16 @@ impl<'s, 'p> Core<'s, 'p> {
             iq_occupancy: [0; 2],
             writers: [0; 2],
             held_issued: 0,
+            held_slots: RobSet::EMPTY,
             tainted: 0,
-            to_issue: RobSet::EMPTY,
-            stores: VecDeque::new(),
-            completions: BinaryHeap::new(),
-            squash_scratch: Vec::new(),
+            to_issue: [RobSet::EMPTY; 2],
+            issue_blocked: [RobSet::EMPTY; 2],
+            waiters: vec![RobSet::EMPTY; RobSet::CAPACITY].into_boxed_slice(),
+            taint_members: vec![RobSet::EMPTY; RobSet::CAPACITY].into_boxed_slice(),
+            issue_idle: false,
+            stores: BoundedDeque::with_bound(sim.config.rob_size),
+            completions: CompletionWheel::new(),
+            squash_scratch: Vec::with_capacity(sim.config.rob_size),
             redirect: Redirect::None,
             dispatch_blocked: false,
             sim,
@@ -418,7 +469,7 @@ impl<'s, 'p> Core<'s, 'p> {
             if head.reissued && !head.done {
                 return CpiBucket::Reissue;
             }
-            if !head.done && head.issued_at.is_some() && head.mem_extra > 0 {
+            if !head.done && head.issued && head.mem_extra > 0 {
                 return CpiBucket::DCache;
             }
             if self.dispatch_blocked {
@@ -488,22 +539,94 @@ impl<'s, 'p> Core<'s, 'p> {
                 self.rob.iter().filter(|e| e.rec.dst.is_some_and(|d| d.class() == class)).count();
             assert_eq!(self.writers[class as usize], writers, "writer count drift ({class})");
         }
-        let held = self.rob.iter().filter(|e| e.in_iq && e.issued_at.is_some()).count();
+        let held = self.rob.iter().filter(|e| e.in_iq && e.issued).count();
         assert_eq!(self.held_issued, held, "held-slot count drift");
-        let tainted = self.rob.iter().filter(|e| !e.taint.is_empty()).count();
-        assert_eq!(self.tainted, tainted, "tainted count drift");
-        let unissued = self.rob.iter().filter(|e| e.issued_at.is_none()).count();
-        assert_eq!(self.to_issue.len(), unissued, "pending-issue bitset drift");
         for e in &self.rob {
             assert_eq!(
-                self.to_issue.contains(e.rec.seq),
-                e.issued_at.is_none(),
+                self.held_slots.contains(e.rec.seq),
+                e.in_iq && e.issued,
+                "held-slot bitset drift at seq {}",
+                e.rec.seq
+            );
+        }
+        let tainted = self.rob.iter().filter(|e| !e.taint.is_empty()).count();
+        assert_eq!(self.tainted, tainted, "tainted count drift");
+        // Reverse taint index: every member of a live taint set must be
+        // able to find the tainted entry back (stale extra bits are
+        // allowed; missing bits would leak a taint forever).
+        if let Some(head) = self.rob.front() {
+            let (head_seq, len) = (head.rec.seq, self.rob.len());
+            for e in &self.rob {
+                let seq = e.rec.seq;
+                e.taint.for_each_in_window(head_seq, len, &mut |s| {
+                    assert!(
+                        self.taint_members[(s % RobSet::CAPACITY as u64) as usize].contains(seq),
+                        "taint member {s} of seq {seq} missing from the reverse index"
+                    );
+                    true
+                });
+            }
+        }
+        for class in [RegClass::Int, RegClass::Fp] {
+            let unissued = self.rob.iter().filter(|e| !e.issued && e.queue == class).count();
+            assert_eq!(
+                self.to_issue[class as usize].len(),
+                unissued,
+                "pending-issue bitset drift ({class})"
+            );
+        }
+        // The store list must equal the in-order store subsequence of
+        // the ROB; compare incrementally instead of materializing both
+        // sides (the validator itself must not allocate).
+        let mut store_list = self.stores.iter();
+        for (i, e) in self.rob.iter().enumerate() {
+            assert_eq!(
+                self.to_issue[e.queue as usize].contains(e.rec.seq),
+                !e.issued,
                 "pending-issue bit drift at seq {}",
                 e.rec.seq
             );
-            assert!(e.issued_at.is_some() || e.in_iq, "unissued entries hold a queue slot");
+            assert!(e.issued || e.in_iq, "unissued entries hold a queue slot");
+            if e.is_store {
+                assert_eq!(store_list.next(), Some(&e.rec.seq), "store list drift");
+            }
+            // A blocked-marked pending entry must really be blocked: a
+            // bit that survived a wake-up it should have received would
+            // stall this entry forever.
+            if !e.issued && self.issue_blocked[e.queue as usize].contains(e.rec.seq) {
+                assert!(
+                    self.is_stably_blocked(i),
+                    "blocked bit on a ready entry at seq {}",
+                    e.rec.seq
+                );
+            }
         }
-        let stores: Vec<u64> = self.rob.iter().filter(|e| e.is_store).map(|e| e.rec.seq).collect();
-        assert_eq!(self.stores.iter().copied().collect::<Vec<_>>(), stores, "store list drift");
+        assert_eq!(store_list.next(), None, "store list has stale entries");
+    }
+
+    /// Whether ROB entry `i` is dep- or store-blocked right now — the
+    /// condition its `issue_blocked` bit claims. Debug builds only.
+    #[cfg(debug_assertions)]
+    fn is_stably_blocked(&self, i: usize) -> bool {
+        let e = &self.rob[i];
+        for dep in e.deps {
+            if dep != NO_SEQ && self.dep_avail(dep).is_err() {
+                return true;
+            }
+        }
+        if e.is_load {
+            let head_seq = self.rob.front().expect("non-empty").rec.seq;
+            let addr_block = e.rec.eff_addr.map(|a| a & !7);
+            for &sseq in &self.stores {
+                if sseq >= e.rec.seq {
+                    break;
+                }
+                let s = &self.rob[(sseq - head_seq) as usize];
+                if s.rec.eff_addr.map(|a| a & !7) == addr_block && !s.done {
+                    return true;
+                }
+            }
+        }
+        false
     }
 }

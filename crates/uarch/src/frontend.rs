@@ -6,18 +6,21 @@
 //! first so the I-cache model can reject a line without losing the
 //! record — and dispatch moves them into the ROB, answering all
 //! structural-hazard questions (queue occupancy, rename pressure) from
-//! the core's incremental counters.
+//! the core's incremental counters. Neither stage touches
+//! [`rvp_isa::Inst`]: every static property (classes, sources, branch
+//! kind, prediction mode) comes from the dense per-PC table built in
+//! [`crate::meta`].
 
-use rvp_bpred::BranchKind;
 use rvp_emu::Committed;
-use rvp_isa::{Flow, Program, Reg, RegClass};
+use rvp_isa::{Reg, RegClass};
 use rvp_vpred::ReuseKind;
 
-use crate::core::{Core, Entry, Fetched, Redirect};
+use crate::core::{Core, Entry, Fetched, Redirect, NO_CYCLE, NO_SEQ};
+use crate::meta::{PredMode, NO_SRC};
 use crate::recovery::RobSet;
-use crate::scheme::Scheme;
+use crate::source::CommittedSource;
 
-impl<'s, 'p> Core<'s, 'p> {
+impl<'s, S: CommittedSource + ?Sized> Core<'s, S> {
     // ------------------------------------------------------------------
     // Dispatch (rename + queue insertion + value prediction)
     // ------------------------------------------------------------------
@@ -33,10 +36,9 @@ impl<'s, 'p> Core<'s, 'p> {
                 self.dispatch_blocked = true;
                 break;
             }
-            let inst = &self.program.insts()[f.rec.pc];
-            let queue = inst.queue_class();
-            if self.iq_occupancy[queue as usize]
-                >= if queue == RegClass::Int {
+            let m = self.meta[f.rec.pc];
+            if self.iq_occupancy[m.queue as usize]
+                >= if m.queue == RegClass::Int {
                     self.sim.config.iq_int
                 } else {
                     self.sim.config.iq_fp
@@ -54,20 +56,18 @@ impl<'s, 'p> Core<'s, 'p> {
             let Fetched { rec, stalled, .. } = self.frontend.pop_front().expect("non-empty");
 
             // Source dependences on in-flight producers.
-            let mut deps = [None, None];
-            for (k, src) in inst.srcs().into_iter().enumerate() {
-                if let Some(r) = src {
-                    if !r.is_zero() {
-                        deps[k] = self.last_writer[r.index()];
-                    }
+            let mut deps = [NO_SEQ, NO_SEQ];
+            for (k, &src) in m.srcs.iter().enumerate() {
+                if src != NO_SRC {
+                    deps[k] = self.last_writer[src as usize].unwrap_or(NO_SEQ);
                 }
             }
 
             // Value prediction decision. Predicted non-loads need an
             // extra register read port to fetch the old value for
             // verification; a configured port count caps them per cycle.
-            let (mut predicted, pred_value, pred_dep) = self.predict(&rec, inst.is_load());
-            if predicted && !inst.is_load() {
+            let (mut predicted, pred_value, pred_dep) = self.predict(&rec, m.mode);
+            if predicted && !m.is_load {
                 match self.sim.config.pred_ports {
                     Some(ports) if nonload_preds_this_cycle >= ports => predicted = false,
                     _ => nonload_preds_this_cycle += 1,
@@ -78,11 +78,14 @@ impl<'s, 'p> Core<'s, 'p> {
             // Mark first use on speculative producers.
             if self.sim.scheme.is_predicting() {
                 let my_seq = rec.seq;
-                for dep in deps.into_iter().flatten() {
+                for dep in deps {
+                    if dep == NO_SEQ {
+                        continue;
+                    }
                     if let Some(pi) = self.rob_index(dep) {
                         let p = &mut self.rob[pi];
-                        if p.predicted && !p.verified && p.first_use.is_none() {
-                            p.first_use = Some(my_seq);
+                        if p.predicted && !p.verified && p.first_use == NO_SEQ {
+                            p.first_use = my_seq;
                         }
                     }
                 }
@@ -91,10 +94,8 @@ impl<'s, 'p> Core<'s, 'p> {
             // Hardware correlation learning: which same-class register
             // holds the value this instruction is producing (preferring
             // the destination itself — plain same-register reuse).
-            let corr_observed = match (&self.sim.scheme, rec.dst) {
-                (Scheme::HwCorrelation { scope, .. }, Some(dst))
-                    if scope.admits(inst.is_load(), true) =>
-                {
+            let corr_observed = match rec.dst {
+                Some(dst) if m.corr_learn => {
                     if rec.old_value == rec.new_value {
                         Some(dst)
                     } else {
@@ -107,33 +108,41 @@ impl<'s, 'p> Core<'s, 'p> {
             };
 
             // Shadow state (with rollback info for refetch squashes).
-            let mut prev_last_value = None;
+            let mut prev_last_value = 0u64;
             let mut had_last_value = false;
             if let Some(dst) = rec.dst {
                 self.shadow[dst.index()] = rec.new_value;
                 self.last_writer[dst.index()] = Some(rec.seq);
-                prev_last_value = self.last_value[rec.pc];
-                had_last_value = prev_last_value.is_some();
+                if let Some(v) = self.last_value[rec.pc] {
+                    prev_last_value = v;
+                    had_last_value = true;
+                }
                 self.last_value[rec.pc] = Some(rec.new_value);
                 self.last_instance[rec.pc] = Some(rec.seq);
                 self.writers[dst.class() as usize] += 1;
             }
-            self.iq_occupancy[queue as usize] += 1;
-            self.to_issue.insert(rec.seq);
-            if inst.is_store() {
+            self.iq_occupancy[m.queue as usize] += 1;
+            self.to_issue[m.queue as usize].insert(rec.seq);
+            // A fresh entry means the issue stage has work again; its
+            // ROB slot may carry a stale blocked bit from a squashed
+            // previous occupant.
+            self.issue_blocked[0].remove(rec.seq);
+            self.issue_blocked[1].remove(rec.seq);
+            self.issue_idle = false;
+            if m.is_store {
                 self.stores.push_back(rec.seq);
             }
 
             self.rob.push_back(Entry {
                 rec,
-                queue,
-                exec: inst.exec_class(),
-                is_store: inst.is_store(),
-                is_load: inst.is_load(),
+                queue: m.queue,
+                is_store: m.is_store,
+                is_load: m.is_load,
+                lat: m.lat,
                 deps,
                 in_iq: true,
-                issued_at: None,
-                complete_at: None,
+                issued: false,
+                complete_at: NO_CYCLE,
                 done: false,
                 earliest_issue: 0,
                 mem_extra: 0,
@@ -142,61 +151,50 @@ impl<'s, 'p> Core<'s, 'p> {
                 predicted: predicted && pred_value.is_some(),
                 pred_value,
                 pred_correct,
-                pred_dep,
+                pred_dep: pred_dep.unwrap_or(NO_SEQ),
                 verified: false,
-                first_use: None,
+                first_use: NO_SEQ,
                 corr_observed,
                 stalled_fetch: stalled,
-                prev_last_value: prev_last_value.or(Some(0)).filter(|_| had_last_value),
+                prev_last_value,
                 had_last_value,
             });
         }
     }
 
-    /// Scheme-specific prediction at rename time. Returns
+    /// Scheme-specific prediction at rename time, driven by the per-PC
+    /// [`PredMode`] resolved ahead of time in [`crate::meta`]. Returns
     /// `(predict?, candidate value, producer gating the value's
     /// availability)`. The candidate is computed for *every* in-scope
     /// instruction so confidence counters can train on unpredicted ones.
-    fn predict(&mut self, rec: &Committed, is_load: bool) -> (bool, Option<u64>, Option<u64>) {
-        let Some(dst) = rec.dst else { return (false, None, None) };
-        let old_mapping = |core: &Core<'_, '_>| core.last_writer[dst.index()];
+    fn predict(&mut self, rec: &Committed, mode: PredMode) -> (bool, Option<u64>, Option<u64>) {
+        if mode == PredMode::Off {
+            return (false, None, None);
+        }
+        let dst = rec.dst.expect("a predicting mode implies a written destination");
 
-        match &self.sim.scheme {
-            Scheme::NoPredict => (false, None, None),
-            Scheme::Lvp { scope, .. } | Scheme::Buffer { scope, .. } => {
-                if !scope.admits(is_load, true) {
-                    return (false, None, None);
-                }
+        match mode {
+            PredMode::Off => unreachable!("handled above"),
+            PredMode::Buffer => {
                 // The buffer supplies the value directly: no register
                 // dependence at all.
                 let v = self.sim.buffer.as_ref().expect("buffer state").predict(rec.pc);
                 (v.is_some(), v, None)
             }
-            Scheme::StaticRvp { plan } => {
-                let Some(kind) = plan.kind(rec.pc) else { return (false, None, None) };
+            PredMode::Static(kind) => {
                 let (v, dep) = self.reuse_value(rec, dst, kind);
                 (true, Some(v), dep)
             }
-            Scheme::DynamicRvp { scope, plan, .. } => {
-                if !scope.admits(is_load, true) {
-                    return (false, None, None);
-                }
-                let kind = plan.kind(rec.pc).unwrap_or(ReuseKind::SameReg);
+            PredMode::Dynamic(kind) => {
                 let (v, dep) = self.reuse_value(rec, dst, kind);
                 let confident = self.sim.drvp.as_ref().expect("drvp state").confident(rec.pc);
                 (confident, Some(v), dep)
             }
-            Scheme::Gabbay { scope } => {
-                if !scope.admits(is_load, true) {
-                    return (false, None, None);
-                }
+            PredMode::Gabbay => {
                 let confident = self.sim.gabbay.as_ref().expect("gabbay state").confident(dst);
-                (confident, Some(rec.old_value), old_mapping(self))
+                (confident, Some(rec.old_value), self.last_writer[dst.index()])
             }
-            Scheme::HwCorrelation { scope, .. } => {
-                if !scope.admits(is_load, true) {
-                    return (false, None, None);
-                }
+            PredMode::Correlation => {
                 let p = self.sim.correlation.as_ref().expect("correlation state");
                 match p.candidate(rec.pc) {
                     Some(r) if r.class() == dst.class() => {
@@ -243,19 +241,19 @@ impl<'s, 'p> Core<'s, 'p> {
         let arrival = self.now + self.sim.config.frontend_depth;
 
         for _ in 0..self.sim.config.fetch_width {
-            if !self.may_pull() {
+            if !self.may_pull() || self.frontend.is_full() {
                 break;
             }
-            let Some(&Committed { pc, .. }) = self.source.peek()? else {
+            let Some(pc) = self.source.peek_pc()? else {
                 self.trace_done = true;
                 break;
             };
 
             // Instruction-cache access per new line; a missing line
             // leaves the peeked record in the source for next time.
-            let line = Program::byte_addr(pc) / self.sim.config.mem.l1i.line_bytes;
+            let line = self.meta[pc].line;
             if line != self.last_line {
-                let extra = self.sim.mem.access_inst(Program::byte_addr(pc));
+                let extra = self.sim.mem.access_inst(rvp_isa::Program::byte_addr(pc));
                 self.last_line = line;
                 if extra > 0 {
                     self.fetch_resume_at = self.now + extra;
@@ -266,30 +264,15 @@ impl<'s, 'p> Core<'s, 'p> {
 
             let rec = self.source.next_record()?.expect("peeked record is consumable");
             self.note_consumed(rec.seq);
-            let inst = &self.program.insts()[rec.pc];
+            let m = &self.meta[rec.pc];
 
-            if matches!(inst.kind, rvp_isa::Kind::Halt) {
+            if m.is_halt {
                 self.halted_fetch = true;
                 self.frontend.push_back(Fetched { rec, arrival, stalled: false });
                 break;
             }
 
-            let bkind = match inst.flow() {
-                Flow::FallThrough => None,
-                Flow::Always(t) => {
-                    if inst.is_call() {
-                        Some(BranchKind::Call { target: t })
-                    } else {
-                        Some(BranchKind::UncondDirect { target: t })
-                    }
-                }
-                Flow::Conditional(t) => Some(BranchKind::CondDirect { target: t }),
-                Flow::Indirect(_) => Some(BranchKind::Indirect),
-                Flow::Return => Some(BranchKind::Return),
-                Flow::Halt => None,
-            };
-
-            let Some(kind) = bkind else {
+            let Some(kind) = m.bkind else {
                 self.frontend.push_back(Fetched { rec, arrival, stalled: false });
                 continue;
             };

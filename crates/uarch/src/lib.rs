@@ -53,15 +53,20 @@
 //! ```
 
 mod backend;
+pub mod columns;
 mod config;
 mod core;
 mod frontend;
+mod meta;
 mod recovery;
+mod ring;
 mod scheme;
 pub mod source;
 mod stats;
+mod wheel;
 
 pub use crate::core::Simulator;
+pub use columns::TraceColumns;
 pub use config::{Latencies, UarchConfig};
 pub use scheme::{Recovery, Scheme};
 pub use source::{CommittedSource, EmuSource, ReplaySource, SharedSource, SourceKind};

@@ -1,0 +1,161 @@
+//! Per-PC static metadata, precomputed once per run.
+//!
+//! The fetch and dispatch stages used to re-derive everything they
+//! needed from [`rvp_isa::Inst`] on every dynamic instruction: queue
+//! and execution class (a nested match over `Kind`), source registers,
+//! control-flow kind (which *cloned* an indirect jump's target table
+//! per fetch), and the scheme's per-PC prediction decision (a hash-map
+//! lookup per dispatch for plan-carrying schemes). All of that is a
+//! pure function of (program, scheme, machine config), so [`PcMeta`]
+//! computes it once in `Core::new` and the hot loop indexes a dense,
+//! cache-friendly table instead.
+
+use rvp_bpred::BranchKind;
+use rvp_isa::{ExecClass, Flow, Program, RegClass};
+use rvp_vpred::ReuseKind;
+
+use crate::config::UarchConfig;
+use crate::scheme::Scheme;
+
+/// Sentinel for "no source register" (or the zero register, which never
+/// carries a dependence) in [`PcMeta::srcs`].
+pub(crate) const NO_SRC: u16 = u16::MAX;
+
+/// The scheme's prediction behaviour for one static instruction,
+/// resolved ahead of time so dispatch never consults the plan map or
+/// scope filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PredMode {
+    /// Never predicted (out of scope, no destination, or `NoPredict`).
+    Off,
+    /// Buffer-based prediction (LVP / stride / context / hybrid).
+    Buffer,
+    /// Static RVP: always predicted through the given reuse relation.
+    Static(ReuseKind),
+    /// Dynamic RVP: predicted through the given relation when the
+    /// PC-indexed confidence counter allows.
+    Dynamic(ReuseKind),
+    /// Gabbay–Mendelson: register-indexed confidence on the old value.
+    Gabbay,
+    /// Hardware correlation: predict through the learned register.
+    Correlation,
+}
+
+/// Everything the per-cycle stages need to know about one static
+/// instruction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PcMeta {
+    /// Which instruction queue it dispatches to.
+    pub(crate) queue: RegClass,
+    pub(crate) is_load: bool,
+    pub(crate) is_store: bool,
+    pub(crate) is_halt: bool,
+    /// Source register indices (`NO_SRC` = absent or the zero register).
+    pub(crate) srcs: [u16; 2],
+    /// Branch kind for the predictor; `None` for straight-line code.
+    pub(crate) bkind: Option<BranchKind>,
+    /// I-cache line index of the instruction's byte address.
+    pub(crate) line: u64,
+    /// Base execution latency (cache penalties are added at issue).
+    pub(crate) lat: u64,
+    /// Resolved prediction behaviour.
+    pub(crate) mode: PredMode,
+    /// Whether the hardware-correlation scheme trains on this PC.
+    pub(crate) corr_learn: bool,
+}
+
+/// Builds the dense per-PC table for `program` under `scheme`.
+pub(crate) fn build(program: &Program, scheme: &Scheme, config: &UarchConfig) -> Vec<PcMeta> {
+    program
+        .insts()
+        .iter()
+        .enumerate()
+        .map(|(pc, inst)| {
+            let exec = inst.exec_class();
+            let is_load = inst.is_load();
+            // Matches `Committed::dst`: the emulator reports zero-register
+            // writes as no destination at all.
+            let writes = inst.dst().is_some_and(|d| !d.is_zero());
+            let mode = match scheme {
+                Scheme::NoPredict => PredMode::Off,
+                _ if !writes => PredMode::Off,
+                Scheme::Lvp { scope, .. } | Scheme::Buffer { scope, .. } => {
+                    if scope.admits(is_load, true) {
+                        PredMode::Buffer
+                    } else {
+                        PredMode::Off
+                    }
+                }
+                Scheme::StaticRvp { plan } => match plan.kind(pc) {
+                    Some(kind) => PredMode::Static(kind),
+                    None => PredMode::Off,
+                },
+                Scheme::DynamicRvp { scope, plan, .. } => {
+                    if scope.admits(is_load, true) {
+                        PredMode::Dynamic(plan.kind(pc).unwrap_or(ReuseKind::SameReg))
+                    } else {
+                        PredMode::Off
+                    }
+                }
+                Scheme::Gabbay { scope } => {
+                    if scope.admits(is_load, true) {
+                        PredMode::Gabbay
+                    } else {
+                        PredMode::Off
+                    }
+                }
+                Scheme::HwCorrelation { scope, .. } => {
+                    if scope.admits(is_load, true) {
+                        PredMode::Correlation
+                    } else {
+                        PredMode::Off
+                    }
+                }
+            };
+            let corr_learn = writes
+                && matches!(scheme, Scheme::HwCorrelation { scope, .. } if scope.admits(is_load, true));
+            let mut srcs = [NO_SRC; 2];
+            for (k, src) in inst.srcs().into_iter().enumerate() {
+                if let Some(r) = src {
+                    if !r.is_zero() {
+                        srcs[k] = r.index() as u16;
+                    }
+                }
+            }
+            let bkind = match inst.flow() {
+                Flow::FallThrough | Flow::Halt => None,
+                Flow::Always(t) => {
+                    if inst.is_call() {
+                        Some(BranchKind::Call { target: t })
+                    } else {
+                        Some(BranchKind::UncondDirect { target: t })
+                    }
+                }
+                Flow::Conditional(t) => Some(BranchKind::CondDirect { target: t }),
+                Flow::Indirect(_) => Some(BranchKind::Indirect),
+                Flow::Return => Some(BranchKind::Return),
+            };
+            PcMeta {
+                queue: inst.queue_class(),
+                is_load,
+                is_store: inst.is_store(),
+                is_halt: matches!(inst.flow(), Flow::Halt),
+                srcs,
+                bkind,
+                line: Program::byte_addr(pc) / config.mem.l1i.line_bytes,
+                lat: match exec {
+                    ExecClass::IntAlu => config.lat.int_alu,
+                    ExecClass::IntMul => config.lat.int_mul,
+                    ExecClass::IntDiv => config.lat.int_div,
+                    ExecClass::FpAdd => config.lat.fp_add,
+                    ExecClass::FpMul => config.lat.fp_mul,
+                    ExecClass::FpDiv => config.lat.fp_div,
+                    ExecClass::Load => config.lat.load,
+                    ExecClass::Store => config.lat.store,
+                },
+                mode,
+                corr_learn,
+            }
+        })
+        .collect()
+}

@@ -12,7 +12,8 @@
 
 use rvp_isa::NUM_REGS;
 
-use crate::core::{Core, Redirect};
+use crate::core::{Core, Redirect, NO_CYCLE, NO_SEQ};
+use crate::source::CommittedSource;
 
 /// A set of in-flight instruction seqs, as a 256-bit mask over ROB
 /// slots (`seq % 256`). Because all members are seqs of instructions
@@ -68,6 +69,21 @@ impl RobSet {
         }
     }
 
+    /// Removes every member of `other` from `self`.
+    #[inline]
+    pub(crate) fn subtract(&mut self, other: &RobSet) {
+        for (a, b) in self.bits.iter_mut().zip(other.bits) {
+            *a &= !b;
+        }
+    }
+
+    /// The members of `self` not in `other`.
+    #[inline]
+    pub(crate) fn and_not(mut self, other: &RobSet) -> RobSet {
+        self.subtract(other);
+        self
+    }
+
     #[cfg(debug_assertions)]
     pub(crate) fn len(&self) -> usize {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
@@ -76,6 +92,7 @@ impl RobSet {
     /// Visits the set members in the seq window `[head_seq,
     /// head_seq + len)` in ascending seq order; stops early when `f`
     /// returns `false`. `len` must be at most [`RobSet::CAPACITY`].
+    #[inline]
     pub(crate) fn for_each_in_window(
         &self,
         head_seq: u64,
@@ -96,6 +113,7 @@ impl RobSet {
     }
 
     /// Visits set slots in `[lo, hi)`; slot `s` reports seq `base + s`.
+    #[inline]
     fn walk(&self, lo: usize, hi: usize, base: u64, f: &mut impl FnMut(u64) -> bool) -> bool {
         let mut w = lo >> 6;
         while (w << 6) < hi {
@@ -120,17 +138,27 @@ impl RobSet {
     }
 }
 
-impl<'s, 'p> Core<'s, 'p> {
-    /// Removes a verified-correct prediction from every taint set.
+impl<'s, S: CommittedSource + ?Sized> Core<'s, S> {
+    /// Removes a verified-correct prediction from every taint set,
+    /// visiting only the entries the reverse index names as dependents.
     pub(crate) fn clear_taint(&mut self, seq: u64) {
-        if self.tainted == 0 {
+        let slot = (seq % RobSet::CAPACITY as u64) as usize;
+        let members = self.taint_members[slot];
+        if self.tainted == 0 || members.is_empty() {
             return;
         }
-        for e in &mut self.rob {
-            if e.taint.remove(seq) && e.taint.is_empty() {
+        self.taint_members[slot] = RobSet::EMPTY;
+        let Some(head) = self.rob.front() else { return };
+        let (head_seq, len) = (head.rec.seq, self.rob.len());
+        members.for_each_in_window(head_seq, len, &mut |m| {
+            let e = &mut self.rob[(m - head_seq) as usize];
+            // Stale member bits (squashed or re-issued entries) fail
+            // this re-validation and are skipped.
+            if e.rec.seq == m && e.taint.remove(seq) && e.taint.is_empty() {
                 self.tainted -= 1;
             }
-        }
+            true
+        });
     }
 
     /// Reissue-style recovery: every issued instruction whose result
@@ -139,30 +167,46 @@ impl<'s, 'p> Core<'s, 'p> {
         if self.tainted == 0 {
             return;
         }
+        let slot = (bad % RobSet::CAPACITY as u64) as usize;
+        let members = self.taint_members[slot];
+        if members.is_empty() {
+            return;
+        }
+        self.taint_members[slot] = RobSet::EMPTY;
+        let Some(head) = self.rob.front() else { return };
+        let (head_seq, len) = (head.rec.seq, self.rob.len());
         let next = self.now + 1;
         let mut reissued = 0u64;
         let mut unheld = 0usize;
-        for e in &mut self.rob {
-            if e.taint.remove(bad) {
+        members.for_each_in_window(head_seq, len, &mut |m| {
+            let e = &mut self.rob[(m - head_seq) as usize];
+            if e.rec.seq == m && e.taint.remove(bad) {
                 if e.taint.is_empty() {
                     self.tainted -= 1;
                 }
-                if e.issued_at.is_some() {
+                if e.issued {
                     debug_assert!(e.in_iq, "a tainted issued entry holds its queue slot");
-                    e.issued_at = None;
-                    e.complete_at = None;
+                    e.issued = false;
+                    e.complete_at = NO_CYCLE;
                     e.done = false;
                     e.earliest_issue = next;
                     e.in_iq = true;
                     e.reissued = true;
-                    self.to_issue.insert(e.rec.seq);
+                    self.to_issue[e.queue as usize].insert(e.rec.seq);
+                    // Re-entering the pending set: drop any stale
+                    // blocked bit so the walk re-examines it.
+                    self.issue_blocked[0].remove(e.rec.seq);
+                    self.issue_blocked[1].remove(e.rec.seq);
+                    self.held_slots.remove(e.rec.seq);
                     unheld += 1;
                     reissued += 1;
                 }
             }
-        }
+            true
+        });
         self.held_issued -= unheld;
         self.stats.reissued_insts += reissued;
+        self.issue_idle = false;
     }
 
     /// Refetch-style recovery: squash everything from the first use of
@@ -192,21 +236,22 @@ impl<'s, 'p> Core<'s, 'p> {
             }
             let e = self.rob.pop_back().expect("non-empty");
             self.stats.squashed_insts += 1;
-            self.to_issue.remove(e.rec.seq);
+            self.to_issue[e.queue as usize].remove(e.rec.seq);
             if !e.taint.is_empty() {
                 self.tainted -= 1;
             }
             if e.in_iq {
                 self.iq_occupancy[e.queue as usize] -= 1;
-                if e.issued_at.is_some() {
+                if e.issued {
                     self.held_issued -= 1;
+                    self.held_slots.remove(e.rec.seq);
                 }
             }
             if let Some(dst) = e.rec.dst {
                 self.writers[dst.class() as usize] -= 1;
                 self.shadow[dst.index()] = e.rec.old_value;
                 self.last_value[e.rec.pc] =
-                    if e.had_last_value { Some(e.prev_last_value.unwrap_or(0)) } else { None };
+                    if e.had_last_value { Some(e.prev_last_value) } else { None };
             }
             records.push(e.rec);
         }
@@ -231,8 +276,9 @@ impl<'s, 'p> Core<'s, 'p> {
         }
         // First-use markers pointing at squashed consumers are stale.
         for e in &mut self.rob {
-            if e.first_use.is_some_and(|f| f >= first) {
-                e.first_use = None;
+            // `NO_SEQ >= first` just rewrites the sentinel to itself.
+            if e.first_use >= first {
+                e.first_use = NO_SEQ;
             }
         }
         if self.stalled_on.is_some_and(|s| s >= first) {
@@ -240,6 +286,7 @@ impl<'s, 'p> Core<'s, 'p> {
         }
         self.halted_fetch = false;
         self.fetch_resume_at = self.fetch_resume_at.max(self.now + 1);
+        self.issue_idle = false;
     }
 }
 

@@ -1,0 +1,114 @@
+//! Fixed-capacity queues for the cycle loop.
+//!
+//! The frontend, ROB and store queues used to be plain `VecDeque`s that
+//! started empty and doubled on demand, so the first thousands of
+//! cycles of every run interleaved simulation with reallocation, and
+//! nothing *guaranteed* the steady state stayed allocation-free. A
+//! [`BoundedDeque`] is a ring buffer whose backing storage is sized
+//! once at construction and never grows: `push_back` asserts the bound
+//! instead of reallocating, so staying within capacity — which the
+//! structural limits of the machine enforce for the ROB and store
+//! queues, and fetch backpressure enforces for the frontend — is a
+//! checked invariant rather than a hope. The zero-allocation window
+//! test in `tests/alloc_gate.rs` pins the result.
+
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+
+/// A ring buffer with a hard capacity fixed at construction.
+///
+/// Dereferences to [`VecDeque`] for everything except insertion, which
+/// is guarded: pushing beyond the bound is a bug in the caller's
+/// occupancy accounting, not a cue to reallocate.
+#[derive(Debug)]
+pub(crate) struct BoundedDeque<T> {
+    q: VecDeque<T>,
+    bound: usize,
+}
+
+impl<T> BoundedDeque<T> {
+    /// An empty queue that can hold at most `bound` elements.
+    pub(crate) fn with_bound(bound: usize) -> BoundedDeque<T> {
+        BoundedDeque { q: VecDeque::with_capacity(bound), bound }
+    }
+
+    /// Whether the queue is at its bound (insertion would be refused).
+    #[inline]
+    pub(crate) fn is_full(&self) -> bool {
+        self.q.len() >= self.bound
+    }
+
+    /// Appends `value`. Every producer checks [`BoundedDeque::is_full`]
+    /// (or a structural-occupancy counter that implies it, like the
+    /// dispatch stage's ROB-size check) before pushing; debug builds
+    /// assert the bound, and the zero-allocation gate test would catch
+    /// a release-mode overflow as queue growth.
+    #[inline]
+    pub(crate) fn push_back(&mut self, value: T) {
+        debug_assert!(!self.is_full(), "bounded queue overflow (bound {})", self.bound);
+        self.q.push_back(value);
+    }
+}
+
+impl<T> Deref for BoundedDeque<T> {
+    type Target = VecDeque<T>;
+
+    fn deref(&self) -> &VecDeque<T> {
+        &self.q
+    }
+}
+
+impl<T> DerefMut for BoundedDeque<T> {
+    fn deref_mut(&mut self) -> &mut VecDeque<T> {
+        &mut self.q
+    }
+}
+
+impl<'a, T> IntoIterator for &'a BoundedDeque<T> {
+    type Item = &'a T;
+    type IntoIter = std::collections::vec_deque::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.q.iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a mut BoundedDeque<T> {
+    type Item = &'a mut T;
+    type IntoIter = std::collections::vec_deque::IterMut<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.q.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_reallocates_within_bound() {
+        let mut q: BoundedDeque<u64> = BoundedDeque::with_bound(8);
+        let cap = q.capacity();
+        for round in 0..5 {
+            for i in 0..8 {
+                q.push_back(round * 8 + i);
+            }
+            assert!(q.is_full());
+            for i in 0..8 {
+                assert_eq!(q.pop_front(), Some(round * 8 + i));
+            }
+        }
+        assert_eq!(q.capacity(), cap);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut q: BoundedDeque<u8> = BoundedDeque::with_bound(2);
+        q.push_back(1);
+        q.push_back(2);
+        q.push_back(3);
+    }
+}

@@ -13,8 +13,9 @@
 //! * [`ReplaySource`] — streaming replay of a previously captured
 //!   trace, degrading to live emulation mid-run if the stream turns
 //!   out to be corrupt;
-//! * [`SharedSource`] — a shared, fully decoded in-memory trace
-//!   (`Arc<[Committed]>`) captured once and handed to every cell.
+//! * [`SharedSource`] — a shared, fully decoded in-memory trace in
+//!   columnar form ([`TraceColumns`]) captured once and handed to
+//!   every cell.
 //!
 //! All three must produce bit-identical [`crate::SimStats`]; the
 //! integration suite enforces this for every scheme × recovery pair.
@@ -37,6 +38,7 @@ use std::sync::Arc;
 use rvp_emu::{Committed, Emulator};
 use rvp_isa::Program;
 
+use crate::columns::TraceColumns;
 use crate::stats::SimError;
 
 // `Committed` records are the unit of every source's storage and of the
@@ -80,6 +82,14 @@ pub trait CommittedSource {
     /// program ended (a `halt` or the end of a captured trace).
     fn peek(&mut self) -> Result<Option<&Committed>, SimError>;
 
+    /// The next record's PC, without consuming it — all the fetch stage
+    /// needs for its I-cache probe. Sources with a columnar backing
+    /// store answer this from the hot PC column alone; the default
+    /// reads it off the peeked record.
+    fn peek_pc(&mut self) -> Result<Option<usize>, SimError> {
+        Ok(self.peek()?.map(|r| r.pc))
+    }
+
     /// Consumes and returns the next record.
     fn next_record(&mut self) -> Result<Option<Committed>, SimError>;
 
@@ -95,6 +105,12 @@ pub trait CommittedSource {
     }
 }
 
+/// Initial capacity of a streaming source's pending queue. The queue
+/// holds rewound records plus at most one peeked fresh record, so a
+/// squash's depth (bounded by the ROB plus the fetched-but-undispatched
+/// suffix) is the realistic high-water mark.
+const PENDING_CAPACITY: usize = 256;
+
 /// Live functional emulation — the fallback source and the exact
 /// pre-refactor behaviour of the timing core.
 #[derive(Debug)]
@@ -109,7 +125,11 @@ pub struct EmuSource<'p> {
 impl<'p> EmuSource<'p> {
     /// A live source over `program`, starting at the first instruction.
     pub fn new(program: &'p Program) -> EmuSource<'p> {
-        EmuSource { emu: Emulator::new(program), pending: VecDeque::new(), done: false }
+        EmuSource {
+            emu: Emulator::new(program),
+            pending: VecDeque::with_capacity(PENDING_CAPACITY),
+            done: false,
+        }
     }
 
     fn fill(&mut self) -> Result<(), SimError> {
@@ -148,34 +168,33 @@ impl CommittedSource for EmuSource<'_> {
     }
 }
 
-/// Shared in-memory decoded trace: an `Arc<[Committed]>` captured once
-/// per (workload, input, budget) and fanned out to every grid cell.
+/// Shared in-memory decoded trace in columnar ([`TraceColumns`]) form,
+/// captured once per (workload, input, budget) and fanned out to every
+/// grid cell.
 ///
-/// Because the trace is captured from `seq == 0`, `trace[i].seq == i`,
-/// and rewinding is a cursor move — refetch recovery does no work at
-/// all on this source.
+/// Because the trace is captured from `seq == 0`, the column index *is*
+/// the seq, and rewinding is a cursor move — refetch recovery does no
+/// work at all on this source. The fetch stage's
+/// [`peek_pc`](CommittedSource::peek_pc) probe touches only the hot PC
+/// column; a full record is assembled once, on consumption.
 #[derive(Debug, Clone)]
 pub struct SharedSource {
-    trace: Arc<[Committed]>,
+    trace: Arc<TraceColumns>,
     cursor: usize,
+    /// Scratch for the record-returning peek path (tests, the live-mode
+    /// trait contract); the hot path goes through `peek_pc`.
+    peeked: Option<Committed>,
 }
 
 impl SharedSource {
     /// A source replaying `trace` from the beginning.
-    ///
-    /// # Panics
-    ///
-    /// In debug builds, panics if the trace does not start at `seq == 0`
-    /// with consecutive records (the rewind contract needs `seq` to be
-    /// the index).
-    pub fn new(trace: Arc<[Committed]>) -> SharedSource {
-        debug_assert!(trace.iter().enumerate().all(|(i, r)| r.seq as usize == i));
-        SharedSource { trace, cursor: 0 }
+    pub fn new(trace: Arc<TraceColumns>) -> SharedSource {
+        SharedSource { trace, cursor: 0, peeked: None }
     }
 
     /// Functionally emulates `program` for at most `max_insts`
-    /// committed instructions and returns the decoded trace.
-    pub fn capture(program: &Program, max_insts: u64) -> Result<Arc<[Committed]>, SimError> {
+    /// committed instructions and returns the decoded columnar trace.
+    pub fn capture(program: &Program, max_insts: u64) -> Result<Arc<TraceColumns>, SimError> {
         let mut emu = Emulator::new(program);
         let mut trace = Vec::new();
         while (trace.len() as u64) < max_insts {
@@ -184,11 +203,11 @@ impl SharedSource {
                 None => break,
             }
         }
-        Ok(trace.into())
+        Ok(Arc::new(TraceColumns::from_records(&trace)))
     }
 
     /// The underlying trace (for sharing with further cells).
-    pub fn trace(&self) -> &Arc<[Committed]> {
+    pub fn trace(&self) -> &Arc<TraceColumns> {
         &self.trace
     }
 }
@@ -199,11 +218,18 @@ impl CommittedSource for SharedSource {
     }
 
     fn peek(&mut self) -> Result<Option<&Committed>, SimError> {
-        Ok(self.trace.get(self.cursor))
+        self.peeked = self.trace.record(self.cursor);
+        Ok(self.peeked.as_ref())
     }
 
+    #[inline]
+    fn peek_pc(&mut self) -> Result<Option<usize>, SimError> {
+        Ok(self.trace.pc(self.cursor))
+    }
+
+    #[inline]
     fn next_record(&mut self) -> Result<Option<Committed>, SimError> {
-        let rec = self.trace.get(self.cursor).copied();
+        let rec = self.trace.record(self.cursor);
         if rec.is_some() {
             self.cursor += 1;
         }
@@ -212,7 +238,7 @@ impl CommittedSource for SharedSource {
 
     fn rewind(&mut self, squashed: &mut Vec<Committed>) {
         if let Some(first) = squashed.first() {
-            debug_assert!(self.trace[first.seq as usize].seq == first.seq);
+            debug_assert_eq!(self.trace.record(first.seq as usize).map(|r| r.seq), Some(first.seq));
             self.cursor = first.seq as usize;
         }
         squashed.clear();
@@ -261,7 +287,7 @@ where
             program,
             reader: Some(reader),
             emu: None,
-            pending: VecDeque::new(),
+            pending: VecDeque::with_capacity(PENDING_CAPACITY),
             produced: 0,
             done: false,
             degraded: false,
@@ -429,7 +455,7 @@ mod tests {
     fn replay_source_streams_and_degrades() {
         let p = tiny_program();
         let trace = SharedSource::capture(&p, 1 << 20).unwrap();
-        let full: Vec<Committed> = trace.to_vec();
+        let full: Vec<Committed> = trace.records().collect();
 
         // Clean replay: identical stream, not degraded.
         let ok = full.iter().copied().map(Ok::<_, String>).collect::<Vec<_>>();

@@ -1,0 +1,164 @@
+//! A calendar wheel for scheduled writebacks.
+//!
+//! The completion queue used to be a `BinaryHeap<Reverse<(cycle, seq)>>`:
+//! every issue paid an O(log n) sift-up and every writeback an O(log n)
+//! sift-down, and the heap showed up prominently in cycle-loop
+//! profiles. Completion times are bounded — base latency plus worst-case
+//! memory-hierarchy penalties, far below the wheel span — so a classic
+//! timing wheel fits: slot `c & (SLOTS-1)` holds the completions due at
+//! cycle `c`, insertion is a `Vec::push`, and the per-cycle drain
+//! touches only the current slot (almost always empty or tiny). A spill
+//! heap keeps correctness for schedules beyond the span, so the wheel
+//! never silently drops or reorders a completion.
+//!
+//! The contract matches the heap it replaces: [`CompletionWheel::collect_due`]
+//! yields the completions due at `now` in ascending seq order (older
+//! mispredicts must recover first), and stale schedules (squashed or
+//! invalidated entries) are the caller's job to re-validate — the wheel
+//! only stores `(cycle, seq)` pairs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Wheel span in cycles; must exceed every schedulable latency for the
+/// fast path (longer ones fall back to the spill heap, which stays
+/// correct but pays heap costs).
+const SLOTS: usize = 1024;
+
+/// Initial per-slot capacity: completions scheduled into one slot are
+/// bounded by issue width per cycle (and wheel-turn aliasing is rare),
+/// so this covers the steady state without per-push reallocation.
+const SLOT_CAPACITY: usize = 16;
+
+/// Scheduled writebacks as `(complete_at, seq)` pairs on a timing
+/// wheel, drained one cycle at a time.
+#[derive(Debug)]
+pub(crate) struct CompletionWheel {
+    slots: Box<[Vec<(u64, u64)>]>,
+    /// Schedules at or beyond `horizon + SLOTS` (rare).
+    spill: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Entries across all slots (fast emptiness check).
+    len: usize,
+    /// Scratch for the due batch of a drain (kept to avoid per-cycle
+    /// allocation).
+    due: Vec<u64>,
+}
+
+impl CompletionWheel {
+    pub(crate) fn new() -> CompletionWheel {
+        CompletionWheel {
+            // Not `vec![...; SLOTS]`: cloning an empty Vec drops its
+            // preallocated capacity, so each slot is built individually.
+            slots: (0..SLOTS).map(|_| Vec::with_capacity(SLOT_CAPACITY)).collect(),
+            spill: BinaryHeap::with_capacity(SLOT_CAPACITY),
+            len: 0,
+            due: Vec::with_capacity(SLOT_CAPACITY),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0 && self.spill.is_empty()
+    }
+
+    /// Schedules `seq` to complete at cycle `at` (which must not be in
+    /// the past relative to the cycles already drained).
+    #[inline]
+    pub(crate) fn schedule(&mut self, now: u64, at: u64, seq: u64) {
+        debug_assert!(at > now, "completions are scheduled in the future");
+        if at - now < SLOTS as u64 {
+            self.slots[(at % SLOTS as u64) as usize].push((at, seq));
+            self.len += 1;
+        } else {
+            self.spill.push(Reverse((at, seq)));
+        }
+    }
+
+    /// Collects the completions due at `now` into an internal buffer —
+    /// ascending by seq — and returns how many there are. Read them
+    /// back with [`CompletionWheel::due_seq`]; the two-phase API lets
+    /// the caller mutate itself (recovery can squash) while iterating.
+    #[inline]
+    pub(crate) fn collect_due(&mut self, now: u64) -> usize {
+        // Migrate spilled schedules that have entered the wheel span.
+        while let Some(&Reverse((at, seq))) = self.spill.peek() {
+            if at - now >= SLOTS as u64 {
+                break;
+            }
+            self.spill.pop();
+            self.slots[(at % SLOTS as u64) as usize].push((at, seq));
+            self.len += 1;
+        }
+        self.due.clear();
+        if self.len == 0 {
+            return 0;
+        }
+        let slot = &mut self.slots[(now % SLOTS as u64) as usize];
+        if slot.is_empty() {
+            return 0;
+        }
+        // A slot may also hold schedules one or more full wheel turns
+        // ahead; keep those and take only what is due now.
+        let due = &mut self.due;
+        slot.retain(|&(at, seq)| {
+            if at == now {
+                due.push(seq);
+                false
+            } else {
+                debug_assert!(at > now, "missed completion");
+                true
+            }
+        });
+        self.len -= due.len();
+        due.sort_unstable();
+        due.len()
+    }
+
+    /// The `k`-th due seq from the last [`CompletionWheel::collect_due`].
+    pub(crate) fn due_seq(&self, k: usize) -> u64 {
+        self.due[k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut CompletionWheel, now: u64) -> Vec<u64> {
+        let n = w.collect_due(now);
+        (0..n).map(|k| w.due_seq(k)).collect()
+    }
+
+    #[test]
+    fn drains_in_seq_order_at_the_right_cycle() {
+        let mut w = CompletionWheel::new();
+        w.schedule(0, 3, 20);
+        w.schedule(0, 3, 7);
+        w.schedule(0, 5, 1);
+        assert!(!w.is_empty());
+        assert_eq!(drain(&mut w, 1), Vec::<u64>::new());
+        assert_eq!(drain(&mut w, 3), vec![7, 20]);
+        assert_eq!(drain(&mut w, 4), Vec::<u64>::new());
+        assert_eq!(drain(&mut w, 5), vec![1]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_schedules_spill_and_come_back() {
+        let mut w = CompletionWheel::new();
+        // Lands in the same slot as cycle 2 but a full turn later, plus
+        // one beyond the span entirely.
+        w.schedule(0, 2 + SLOTS as u64, 9);
+        w.schedule(0, 3 * SLOTS as u64, 4);
+        assert_eq!(drain(&mut w, 2), Vec::<u64>::new());
+        let mut hits = Vec::new();
+        for now in 3..=3 * SLOTS as u64 {
+            let n = w.collect_due(now);
+            for k in 0..n {
+                hits.push((now, w.due_seq(k)));
+            }
+        }
+        assert_eq!(hits, vec![(2 + SLOTS as u64, 9), (3 * SLOTS as u64, 4)]);
+        assert!(w.is_empty());
+    }
+}

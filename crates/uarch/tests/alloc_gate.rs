@@ -1,0 +1,110 @@
+//! Zero-allocation gate for the cycle loop.
+//!
+//! The hot-loop work (bounded ring queues, preallocated squash scratch,
+//! the timing wheel's slot capacities) is only worth anything if it
+//! *stays* allocation-free, so this test pins it: a counting allocator
+//! wraps the system allocator, the same program runs under three
+//! instruction budgets spanning well over 100k cycles of steady state,
+//! and every run must perform exactly the same number of heap
+//! allocations — i.e. all allocation happens during machine
+//! construction, none per cycle, per squash or per validator pass.
+//!
+//! The workload is deliberately hostile: a value-mispredicting load
+//! loop under refetch recovery, so every iteration exercises the
+//! squash → rewind scratch hand-off, plus stores for the
+//! memory-disambiguation queue.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rvp_isa::{Program, ProgramBuilder, Reg};
+use rvp_uarch::{PredictionPlan, Recovery, Scheme, SharedSource, Simulator, UarchConfig};
+
+/// Counts every allocator call (allocations and reallocations; frees
+/// are irrelevant to the gate) on top of the system allocator.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// When the gate regresses, store `before + <failing count>` here ahead
+/// of a run to panic with a backtrace at the offending allocation.
+static TRAP_AT: AtomicU64 = AtomicU64::new(u64::MAX);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let n = ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        if n == TRAP_AT.load(Ordering::Relaxed) {
+            panic!("trapped alloc of {} bytes", layout.size());
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let n = ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        if n == TRAP_AT.load(Ordering::Relaxed) {
+            panic!("trapped realloc {} -> {} bytes", layout.size(), new_size);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// An always-mispredicting load loop (the two loaded slots swap every
+/// iteration) with stores and a long trip count.
+fn hostile_loop(iterations: i64) -> Program {
+    let (ptr, v, n) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    let mut b = ProgramBuilder::new();
+    b.data(0x1000, &[1, 2]);
+    b.li(ptr, 0x1000);
+    b.li(n, iterations);
+    b.label("top");
+    b.ld(v, ptr, 0);
+    b.add(Reg::int(4), v, 1);
+    b.ld(Reg::int(5), ptr, 8);
+    b.st(Reg::int(5), ptr, 0);
+    b.st(v, ptr, 8);
+    b.subi(n, n, 1);
+    b.bnez(n, "top");
+    b.halt();
+    b.build().unwrap()
+}
+
+#[test]
+fn steady_state_makes_no_heap_allocations() {
+    let program = hostile_loop(100_000);
+    let plan: PredictionPlan = [(2usize, rvp_uarch::ReuseKind::SameReg)].into_iter().collect();
+    let trace = SharedSource::capture(&program, 1 << 20).unwrap();
+
+    // (budget in committed insts, measured allocator calls, cycles)
+    let mut runs = Vec::with_capacity(3);
+    for budget in [1_000u64, 20_000, 80_000] {
+        let mut sim = Simulator::new(
+            UarchConfig::table1(),
+            Scheme::StaticRvp { plan: plan.clone() },
+            Recovery::Refetch,
+        );
+        let mut source = SharedSource::new(trace.clone());
+        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        let stats = sim.run_with_source(&program, &mut source, budget).unwrap();
+        let calls = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+        assert_eq!(stats.committed, budget, "workload too short for the gate");
+        runs.push((budget, calls, stats.cycles));
+    }
+
+    // The measured window between the shortest and longest run must be a
+    // real steady-state stretch, not a startup transient.
+    let window = runs.last().unwrap().2 - runs[0].2;
+    assert!(window >= 100_000, "gate window too small: {window} cycles");
+
+    // Construction allocates; cycles must not: every run performs the
+    // identical, budget-independent number of allocator calls.
+    assert!(runs[0].1 > 0, "counting allocator is not engaged");
+    assert_eq!(runs[0].1, runs[1].1, "allocation count grew with run length: {runs:?}");
+    assert_eq!(runs[0].1, runs[2].1, "allocation count grew with run length: {runs:?}");
+}

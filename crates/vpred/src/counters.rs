@@ -52,21 +52,31 @@ impl ConfidenceCounter {
         self.value >= threshold
     }
 
-    /// Records a hit or miss.
+    /// Records a hit or miss. Saturation in both directions is
+    /// branchless (a compare folded into the arithmetic), so the update
+    /// cost does not depend on the counter's current state.
     pub fn record(&mut self, hit: bool) {
-        if hit {
-            self.value = (self.value + 1).min(self.max);
-        } else {
-            self.value = match self.policy {
-                CounterPolicy::Resetting => 0,
-                CounterPolicy::Saturating => self.value.saturating_sub(1),
-            };
-        }
+        self.value = updated(self.value, self.max, self.policy, hit);
     }
 
     /// Resets the counter to zero.
     pub fn reset(&mut self) {
         self.value = 0;
+    }
+}
+
+/// The branchless counter-update kernel shared by [`ConfidenceCounter`]
+/// and the flat [`ConfidenceTable`]: increment saturating at `max` on a
+/// hit; reset or decrement saturating at zero on a miss.
+#[inline]
+fn updated(value: u8, max: u8, policy: CounterPolicy, hit: bool) -> u8 {
+    if hit {
+        value + u8::from(value < max)
+    } else {
+        match policy {
+            CounterPolicy::Resetting => 0,
+            CounterPolicy::Saturating => value - u8::from(value > 0),
+        }
     }
 }
 
@@ -100,24 +110,43 @@ impl Default for TableConfig {
 }
 
 /// A direct-mapped table of confidence counters indexed by PC.
+///
+/// Stored flat: one byte of count per entry in a contiguous array, with
+/// the shared geometry (width, threshold, policy) held once in the
+/// config rather than replicated per counter — a lookup touches exactly
+/// one byte of table state, and a train is a branchless read-modify-
+/// write of that byte.
 #[derive(Debug, Clone)]
 pub struct ConfidenceTable {
     config: TableConfig,
-    counters: Vec<ConfidenceCounter>,
-    tags: Vec<Option<usize>>,
+    /// Saturating counts, one byte per entry.
+    counters: Box<[u8]>,
+    /// PC tags (`NO_TAG` = empty); zero-length when untagged.
+    tags: Box<[u32]>,
+    /// Saturation ceiling `(1 << bits) - 1`, cached out of the config.
+    max: u8,
+    /// Index mask `entries - 1`, cached out of the config.
+    mask: usize,
 }
+
+/// Empty-slot sentinel in a [`ConfidenceTable`]'s tag column.
+const NO_TAG: u32 = u32::MAX;
 
 impl ConfidenceTable {
     /// Creates a table of zeroed counters.
     ///
     /// # Panics
     ///
-    /// Panics if `entries` is not a power of two.
+    /// Panics if `entries` is not a power of two, or the counter width
+    /// is outside `1..=7`.
     pub fn new(config: TableConfig) -> ConfidenceTable {
         assert!(config.entries.is_power_of_two(), "table size must be a power of two");
+        assert!((1..=7).contains(&config.bits), "counter width out of range");
         ConfidenceTable {
-            counters: vec![ConfidenceCounter::new(config.bits, config.policy); config.entries],
-            tags: if config.tagged { vec![None; config.entries] } else { Vec::new() },
+            counters: vec![0u8; config.entries].into(),
+            tags: if config.tagged { vec![NO_TAG; config.entries].into() } else { Box::from([]) },
+            max: (1 << config.bits) - 1,
+            mask: config.entries - 1,
             config,
         }
     }
@@ -128,27 +157,27 @@ impl ConfidenceTable {
     }
 
     fn index(&self, pc: usize) -> usize {
-        pc & (self.config.entries - 1)
+        pc & self.mask
     }
 
     /// Whether `pc`'s counter has reached the threshold (and, if tagged,
     /// the tag matches).
     pub fn confident(&self, pc: usize) -> bool {
         let i = self.index(pc);
-        if self.config.tagged && self.tags[i] != Some(pc) {
+        if self.config.tagged && self.tags[i] != pc as u32 {
             return false;
         }
-        self.counters[i].confident(self.config.threshold)
+        self.counters[i] >= self.config.threshold
     }
 
     /// Trains the entry for `pc` with a hit/miss outcome.
     pub fn train(&mut self, pc: usize, hit: bool) {
         let i = self.index(pc);
-        if self.config.tagged && self.tags[i] != Some(pc) {
-            self.tags[i] = Some(pc);
-            self.counters[i].reset();
+        if self.config.tagged && self.tags[i] != pc as u32 {
+            self.tags[i] = pc as u32;
+            self.counters[i] = 0;
         }
-        self.counters[i].record(hit);
+        self.counters[i] = updated(self.counters[i], self.max, self.config.policy, hit);
     }
 }
 

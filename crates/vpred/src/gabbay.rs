@@ -27,17 +27,16 @@ use crate::counters::{ConfidenceCounter, CounterPolicy};
 /// ```
 #[derive(Debug, Clone)]
 pub struct GabbayPredictor {
-    counters: Vec<ConfidenceCounter>,
+    /// Per-register counters as a flat inline array — the register file
+    /// is small enough that no heap indirection is warranted.
+    counters: [ConfidenceCounter; NUM_REGS],
     threshold: u8,
 }
 
 impl GabbayPredictor {
     /// Creates the predictor with the given counter geometry.
     pub fn new(bits: u8, threshold: u8, policy: CounterPolicy) -> GabbayPredictor {
-        GabbayPredictor {
-            counters: vec![ConfidenceCounter::new(bits, policy); NUM_REGS],
-            threshold,
-        }
+        GabbayPredictor { counters: [ConfidenceCounter::new(bits, policy); NUM_REGS], threshold }
     }
 
     /// The configuration used for the paper's comparison: the same 3-bit
