@@ -1,4 +1,5 @@
-//! `rvp-grid`: the full (workload × scheme) grid, in parallel.
+//! `rvp-grid`: the full (workload × scheme) grid, in parallel and
+//! crash-safe.
 //!
 //! Runs every paper scheme over every workload on a work-stealing pool
 //! of OS threads, streaming one JSON file per cell to the output
@@ -6,7 +7,8 @@
 //!
 //! ```text
 //! rvp-grid [OUT_DIR] [--workloads A,B,...] [--schemes A,B,...] \
-//!          [--source MODE] [--metrics-out FILE]
+//!          [--source MODE] [--metrics-out FILE] [--resume] \
+//!          [--retries N] [--cell-timeout SECS]
 //! ```
 //!
 //! `OUT_DIR` defaults to `RVP_JSON_DIR`, then `results/`.
@@ -22,6 +24,21 @@
 //! inside the cell JSONs — and writes a grid-level summary (throughput,
 //! trace-cache and per-workload source counters, failures) to FILE.
 //!
+//! ## Crash safety and containment
+//!
+//! Every cell JSON and the summary are written atomically (temp file +
+//! fsync + rename), and each completed cell is journaled — durably,
+//! with a checksum — into `OUT_DIR/grid_manifest.jsonl` as it lands.
+//! After a crash or SIGKILL, `--resume` re-verifies the journal against
+//! the bytes on disk and re-runs only the missing cells. A cell that
+//! fails is contained, not fatal: panics are caught, a `--cell-timeout`
+//! watchdog bounds hangs, transient I/O faults are retried (up to
+//! `--retries` extra attempts with backoff), and a still-failing cell
+//! walks the source degradation ladder (shared → replay → live) before
+//! being recorded as *poisoned* in the summary's `failures` section.
+//! The sweep always finishes; a poisoned cell turns the exit code into
+//! 20 and emits a one-line JSON diagnostic on stderr.
+//!
 //! ## Cost-model scheduling
 //!
 //! Every run records per-cell wall times into `OUT_DIR/grid_summary.json`
@@ -36,34 +53,28 @@
 //! The usual budget overrides (`RVP_MEASURE_INSTS`,
 //! `RVP_PROFILE_INSTS`) apply, `RVP_TRACE_DIR` enables the
 //! committed-trace cache, `RVP_SOURCE` is the env equivalent of
-//! `--source`, and `RVP_THREADS` caps the worker count. Failures and
-//! cache counters are also emitted as structured events through the
-//! `RVP_LOG` facade.
+//! `--source`, `RVP_THREADS` caps the worker count, and `RVP_FAIL`
+//! arms the deterministic fault-injection schedule (chaos testing).
+//! Failures and cache counters are also emitted as structured events
+//! through the `RVP_LOG` facade.
 
 use std::collections::HashMap;
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use rvp_bench::{emit_cell, runner_from_env};
-use rvp_core::{
-    all_workloads, log, Json, ObsConfig, PaperScheme, RunResult, Runner, SourceMode, ToJson,
-    Workload,
+use rvp_bench::grid::{
+    grid_config_fnv, load_manifest, run_one_cell, verify_manifest_cell, write_atomic, CellOptions,
+    CellSuccess, GridCell, Manifest, ManifestCell, PoisonedCell,
 };
-
-struct Cell {
-    workload: Workload,
-    scheme: PaperScheme,
-}
-
-impl Cell {
-    /// The cell's stable identity in summaries and logs.
-    fn label(&self) -> String {
-        format!("{}/{}", self.workload.name(), self.scheme.label())
-    }
-}
+use rvp_bench::runner_from_env;
+use rvp_core::{
+    all_workloads, fatal, log, Json, ObsConfig, PaperScheme, Runner, SourceMode, ToJson, Workload,
+    EXIT_CONFIG, EXIT_IO, EXIT_POISONED, EXIT_USAGE,
+};
 
 fn worker_count(cells: usize) -> usize {
     let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -78,9 +89,10 @@ fn worker_count(cells: usize) -> usize {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rvp-grid [OUT_DIR] [--workloads A,B,...] [--schemes A,B,...] \
-         [--source live|replay|shared] [--metrics-out FILE]"
+         [--source live|replay|shared] [--metrics-out FILE] [--resume] \
+         [--retries N] [--cell-timeout SECS]"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
 }
 
 /// The file (in the output directory) per-cell wall times persist in,
@@ -116,13 +128,13 @@ fn prior_timings(out_dir: &Path) -> HashMap<String, f64> {
 /// budget at the mean observed seconds-per-instruction (when nothing is
 /// known the estimates are uniform and the stable sort preserves the
 /// nominal grid order).
-fn schedule(cells: &mut Vec<Cell>, prior: &HashMap<String, f64>, budget: u64) {
+fn schedule(cells: &mut Vec<GridCell>, prior: &HashMap<String, f64>, budget: u64) {
     let known: Vec<f64> = cells.iter().filter_map(|c| prior.get(&c.label()).copied()).collect();
     let secs_per_inst = match known.len() {
         0 => 1.0 / budget.max(1) as f64,
         n => known.iter().sum::<f64>() / n as f64 / budget.max(1) as f64,
     };
-    let mut keyed: Vec<(f64, Cell)> = cells
+    let mut keyed: Vec<(f64, GridCell)> = cells
         .drain(..)
         .map(|c| {
             let est = prior.get(&c.label()).copied().unwrap_or(budget as f64 * secs_per_inst);
@@ -139,6 +151,8 @@ fn main() -> ExitCode {
     let mut only_schemes: Option<Vec<String>> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut source: Option<SourceMode> = None;
+    let mut resume = false;
+    let mut opts = CellOptions::default();
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -163,6 +177,15 @@ fn main() -> ExitCode {
                 Some(p) => metrics_out = Some(p.into()),
                 None => return usage(),
             },
+            "--resume" => resume = true,
+            "--retries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.retries = n,
+                None => return usage(),
+            },
+            "--cell-timeout" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(secs) => opts.timeout_secs = secs,
+                None => return usage(),
+            },
             "--help" | "-h" => return usage(),
             other if !other.starts_with('-') && out_dir.is_none() => out_dir = Some(a.into()),
             _ => return usage(),
@@ -172,12 +195,12 @@ fn main() -> ExitCode {
         .or_else(|| std::env::var("RVP_JSON_DIR").ok().filter(|d| !d.is_empty()).map(Into::into))
         .unwrap_or_else(|| "results".into());
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
-        log::error(
+        return fatal(
             "rvp-grid",
             "cannot create output directory",
+            EXIT_IO,
             &[("dir", out_dir.display().to_string().into()), ("error", e.to_string().into())],
         );
-        return ExitCode::FAILURE;
     }
 
     let workloads: Vec<Workload> = match &only {
@@ -189,15 +212,15 @@ fn main() -> ExitCode {
                     Some(wl) => selected.push(wl.clone()),
                     None => {
                         let known = all_workloads().iter().map(|w| w.name()).collect::<Vec<_>>();
-                        log::error(
+                        return fatal(
                             "rvp-grid",
                             "unknown workload",
+                            EXIT_CONFIG,
                             &[
                                 ("workload", name.as_str().into()),
                                 ("known", known.join(", ").into()),
                             ],
                         );
-                        return ExitCode::FAILURE;
                     }
                 }
             }
@@ -215,12 +238,12 @@ fn main() -> ExitCode {
                     None => {
                         let known =
                             PaperScheme::all().iter().map(|s| s.label()).collect::<Vec<_>>();
-                        log::error(
+                        return fatal(
                             "rvp-grid",
                             "unknown scheme",
+                            EXIT_CONFIG,
                             &[("scheme", name.as_str().into()), ("known", known.join(", ").into())],
                         );
-                        return ExitCode::FAILURE;
                     }
                 }
             }
@@ -235,10 +258,53 @@ fn main() -> ExitCode {
     if metrics_out.is_some() {
         runner.obs = ObsConfig::standard();
     }
-    let mut cells: Vec<Cell> = workloads
+    let mut cells: Vec<GridCell> = workloads
         .iter()
-        .flat_map(|wl| schemes.iter().map(|&scheme| Cell { workload: wl.clone(), scheme }))
+        .flat_map(|wl| schemes.iter().map(|&scheme| GridCell { workload: wl.clone(), scheme }))
         .collect();
+
+    // Resume: re-verify the journal of the crashed/killed run against
+    // the bytes on disk and lift anything that checks out straight into
+    // this run's results.
+    let config_fnv = grid_config_fnv(&workloads, &schemes, &runner);
+    let mut kept: Vec<ManifestCell> = Vec::new();
+    if resume {
+        let planned: HashSet<String> = cells.iter().map(GridCell::label).collect();
+        for cell in load_manifest(&out_dir, config_fnv) {
+            if !planned.contains(&cell.label) {
+                continue;
+            }
+            if verify_manifest_cell(&out_dir, &cell) {
+                kept.push(cell);
+            } else {
+                log::warn(
+                    "rvp-grid",
+                    "journaled cell failed verification; re-running it",
+                    &[("cell", cell.label.as_str().into()), ("file", cell.file.as_str().into())],
+                );
+            }
+        }
+        let done: HashSet<&str> = kept.iter().map(|c| c.label.as_str()).collect();
+        cells.retain(|c| !done.contains(c.label().as_str()));
+    }
+    let manifest = match Manifest::start(&out_dir, config_fnv, &kept) {
+        Ok(m) => m,
+        Err(e) => {
+            return fatal(
+                "rvp-grid",
+                "cannot start run manifest",
+                EXIT_IO,
+                &[
+                    (
+                        "path",
+                        out_dir.join(rvp_bench::grid::MANIFEST_FILE).display().to_string().into(),
+                    ),
+                    ("error", e.to_string().into()),
+                ],
+            );
+        }
+    };
+
     let prior = prior_timings(&out_dir);
     let known = cells.iter().filter(|c| prior.contains_key(&c.label())).count();
     schedule(&mut cells, &prior, runner.measure_insts);
@@ -248,11 +314,19 @@ fn main() -> ExitCode {
         "rvp-grid: {} workloads x {} schemes = {} cells on {} threads ({} source) -> {}",
         workloads.len(),
         schemes.len(),
-        cells.len(),
+        cells.len() + kept.len(),
         workers,
         runner.source_mode.name(),
         out_dir.display()
     );
+    if resume {
+        println!("resume: {} cells verified from the manifest, {} to run", kept.len(), cells.len());
+        log::info(
+            "rvp-grid",
+            "resuming from manifest",
+            &[("verified", (kept.len() as u64).into()), ("remaining", (cells.len() as u64).into())],
+        );
+    }
     println!(
         "schedule: longest-job-first, {known}/{} cells from prior timings, \
          the rest from instruction budgets",
@@ -263,15 +337,20 @@ fn main() -> ExitCode {
 
     // Pay every workload's trace capture up front, in parallel, so the
     // cell fan-out below is pure timing simulation (a no-op for the
-    // live source). A failed prewarm is not fatal: the cell itself will
+    // live source, and skipped for workloads fully restored from the
+    // manifest). A failed prewarm is not fatal: the cell itself will
     // retry or fall back and report properly.
-    if runner.source_mode != SourceMode::Live {
+    let pending: Vec<&Workload> = workloads
+        .iter()
+        .filter(|wl| cells.iter().any(|c| c.workload.name() == wl.name()))
+        .collect();
+    if runner.source_mode != SourceMode::Live && !pending.is_empty() {
         let next_wl = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..workers.min(workloads.len()) {
+            for _ in 0..workers.min(pending.len()) {
                 scope.spawn(|| loop {
                     let i = next_wl.fetch_add(1, Ordering::Relaxed);
-                    let Some(wl) = workloads.get(i) else { return };
+                    let Some(wl) = pending.get(i) else { return };
                     if let Err(e) = runner.prewarm_trace(wl) {
                         log::warn(
                             "rvp-grid",
@@ -284,35 +363,49 @@ fn main() -> ExitCode {
         });
         println!(
             "traces prewarmed: {} workloads in {:.2}s",
-            workloads.len(),
+            pending.len(),
             start.elapsed().as_secs_f64()
         );
     }
     let next = AtomicUsize::new(0);
-    let failures: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
-    let results: Mutex<Vec<RunResult>> = Mutex::new(Vec::new());
-    let timings: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+    let successes: Mutex<Vec<CellSuccess>> = Mutex::new(Vec::new());
+    let poisoned: Mutex<Vec<PoisonedCell>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                run_cells(&runner, &cells, &next, &out_dir, &results, &failures, &timings)
+                run_cells(&runner, &cells, opts, &next, &out_dir, &manifest, &successes, &poisoned)
             });
         }
     });
 
     let elapsed = start.elapsed();
-    let results = results.into_inner().expect("results lock");
-    let failures = failures.into_inner().expect("failures lock");
-    let mut timings = timings.into_inner().expect("timings lock");
-    timings.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut successes = successes.into_inner().expect("successes lock");
+    let mut poisoned = poisoned.into_inner().expect("poisoned lock");
+    // The cells restored from the manifest count as completed work.
+    successes.extend(kept.iter().map(|c| CellSuccess {
+        label: c.label.clone(),
+        result: None,
+        committed: c.committed,
+        file: c.file.clone(),
+        file_fnv: c.file_fnv,
+        seconds: c.seconds,
+        retries: c.retries,
+        source: "manifest",
+        resumed: true,
+    }));
+    successes.sort_by(|a, b| a.label.cmp(&b.label));
+    poisoned.sort_by(|a, b| a.label.cmp(&b.label));
 
-    let simulated: u64 = results.iter().map(|r| r.stats.committed).sum();
+    let simulated: u64 = successes.iter().map(|s| s.committed).sum();
+    let resumed_cells = successes.iter().filter(|s| s.resumed).count();
+    let total_retries: u64 = successes.iter().map(|s| s.retries).sum::<u64>()
+        + poisoned.iter().map(|p| p.attempts.saturating_sub(1)).sum::<u64>();
     println!(
         "\n{} cells in {:.2}s ({:.1} cells/s, {:.1}M simulated insts/s overall)",
-        results.len(),
+        successes.len(),
         elapsed.as_secs_f64(),
-        results.len() as f64 / elapsed.as_secs_f64(),
+        successes.len() as f64 / elapsed.as_secs_f64(),
         simulated as f64 / elapsed.as_secs_f64() / 1e6,
     );
     println!("profiles collected: {}", runner.profiles.len());
@@ -327,16 +420,29 @@ fn main() -> ExitCode {
             t.live_fallbacks
         );
     }
+    let quarantined = runner.traces.as_ref().map_or(0, |s| s.counters().quarantined());
+    let injected = rvp_fail::snapshot();
+    let failures = Json::obj([
+        ("count", (poisoned.len() as u64).into()),
+        ("poisoned", Json::Arr(poisoned.iter().map(PoisonedCell::to_json).collect())),
+        ("retries", total_retries.into()),
+        ("quarantined", quarantined.into()),
+        (
+            "injected",
+            Json::Obj(injected.iter().map(|(site, n)| (site.clone(), (*n).into())).collect()),
+        ),
+    ]);
     let mut summary: Vec<(String, Json)> = vec![
-        ("cells".into(), (results.len() as u64).into()),
-        ("failures".into(), (failures.len() as u64).into()),
+        ("cells".into(), (successes.len() as u64).into()),
+        ("failures".into(), failures),
+        ("resumed_cells".into(), (resumed_cells as u64).into()),
         ("elapsed_s".into(), elapsed.as_secs_f64().into()),
         ("simulated_insts".into(), simulated.into()),
         ("profiles".into(), (runner.profiles.len() as u64).into()),
         ("source_mode".into(), runner.source_mode.name().into()),
         (
             "cell_seconds".into(),
-            Json::Obj(timings.iter().map(|(label, s)| (label.clone(), (*s).into())).collect()),
+            Json::Obj(successes.iter().map(|s| (s.label.clone(), s.seconds.into())).collect()),
         ),
         (
             "trace_sources".into(),
@@ -348,11 +454,12 @@ fn main() -> ExitCode {
     if let Some(store) = &runner.traces {
         let c = store.counters();
         println!(
-            "trace cache ({}): {} hits, {} captures, {} fallbacks",
+            "trace cache ({}): {} hits, {} captures, {} fallbacks, {} quarantined",
             store.dir().display(),
             c.hits(),
             c.captures(),
-            c.fallbacks()
+            c.fallbacks(),
+            c.quarantined()
         );
         log::info(
             "rvp-grid",
@@ -362,6 +469,7 @@ fn main() -> ExitCode {
                 ("hits", c.hits().into()),
                 ("captures", c.captures().into()),
                 ("fallbacks", c.fallbacks().into()),
+                ("quarantined", c.quarantined().into()),
             ],
         );
         summary.push((
@@ -370,6 +478,7 @@ fn main() -> ExitCode {
                 ("hits", c.hits().into()),
                 ("captures", c.captures().into()),
                 ("fallbacks", c.fallbacks().into()),
+                ("quarantined", c.quarantined().into()),
             ]),
         ));
     }
@@ -377,8 +486,9 @@ fn main() -> ExitCode {
         "rvp-grid",
         "grid complete",
         &[
-            ("cells", (results.len() as u64).into()),
-            ("failures", (failures.len() as u64).into()),
+            ("cells", (successes.len() as u64).into()),
+            ("failures", (poisoned.len() as u64).into()),
+            ("resumed", (resumed_cells as u64).into()),
             ("elapsed_s", elapsed.as_secs_f64().into()),
             ("simulated_insts", simulated.into()),
         ],
@@ -386,7 +496,7 @@ fn main() -> ExitCode {
     let summary = Json::Obj(summary);
     // The on-disk summary feeds the next run's schedule; `--metrics-out`
     // additionally mirrors it wherever CI wants the artifact.
-    if let Err(e) = std::fs::write(out_dir.join(SUMMARY_FILE), format!("{summary}\n")) {
+    if let Err(e) = write_atomic(&out_dir.join(SUMMARY_FILE), format!("{summary}\n").as_bytes()) {
         log::warn(
             "rvp-grid",
             "cannot write grid summary",
@@ -397,65 +507,76 @@ fn main() -> ExitCode {
         );
     }
     if let Some(path) = &metrics_out {
-        if let Err(e) = std::fs::write(path, format!("{summary}\n")) {
-            log::error(
+        if let Err(e) = write_atomic(path, format!("{summary}\n").as_bytes()) {
+            return fatal(
                 "rvp-grid",
                 "cannot write metrics file",
+                EXIT_IO,
                 &[("path", path.display().to_string().into()), ("error", e.to_string().into())],
             );
-            return ExitCode::FAILURE;
         }
         println!("grid metrics written: {}", path.display());
     }
-    if !failures.is_empty() {
-        for (cell, err) in &failures {
-            log::error(
-                "rvp-grid",
-                "cell failed",
-                &[("cell", cell.as_str().into()), ("error", err.as_str().into())],
-            );
-        }
-        return ExitCode::FAILURE;
+    if !poisoned.is_empty() {
+        return fatal(
+            "rvp-grid",
+            "sweep completed with poisoned cells",
+            EXIT_POISONED,
+            &[
+                ("poisoned", (poisoned.len() as u64).into()),
+                ("cells", Json::Arr(poisoned.iter().map(|p| p.label.as_str().into()).collect())),
+            ],
+        );
     }
     ExitCode::SUCCESS
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_cells(
     runner: &Runner,
-    cells: &[Cell],
+    cells: &[GridCell],
+    opts: CellOptions,
     next: &AtomicUsize,
     out_dir: &Path,
-    results: &Mutex<Vec<RunResult>>,
-    failures: &Mutex<Vec<(String, String)>>,
-    timings: &Mutex<Vec<(String, f64)>>,
+    manifest: &Manifest,
+    successes: &Mutex<Vec<CellSuccess>>,
+    poisoned: &Mutex<Vec<PoisonedCell>>,
 ) {
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(cell) = cells.get(i) else { return };
-        let label = cell.label();
-        let cell_start = Instant::now();
-        match runner.run(&cell.workload, cell.scheme) {
-            Ok(result) => {
-                timings
-                    .lock()
-                    .expect("timings lock")
-                    .push((label.clone(), cell_start.elapsed().as_secs_f64()));
-                if let Err(e) = emit_cell(out_dir, &result) {
-                    failures
-                        .lock()
-                        .expect("failures lock")
-                        .push((label, format!("cannot write cell JSON: {e}")));
-                    return;
+        match run_one_cell(runner, cell, opts, out_dir) {
+            Ok(done) => {
+                if let Some(result) = &done.result {
+                    println!(
+                        "  {:<28} ipc {:.3}  coverage {:5.1}%  accuracy {:5.1}%",
+                        done.label,
+                        result.stats.ipc(),
+                        100.0 * result.stats.coverage(),
+                        100.0 * result.stats.accuracy()
+                    );
                 }
-                println!(
-                    "  {label:<28} ipc {:.3}  coverage {:5.1}%  accuracy {:5.1}%",
-                    result.stats.ipc(),
-                    100.0 * result.stats.coverage(),
-                    100.0 * result.stats.accuracy()
-                );
-                results.lock().expect("results lock").push(result);
+                let journaled = ManifestCell {
+                    label: done.label.clone(),
+                    file: done.file.clone(),
+                    file_fnv: done.file_fnv,
+                    committed: done.committed,
+                    seconds: done.seconds,
+                    retries: done.retries,
+                    source: done.source.to_owned(),
+                };
+                if let Err(e) = manifest.append(&journaled) {
+                    // The cell JSON is durable; worst case a resume
+                    // re-runs this one cell.
+                    log::warn(
+                        "rvp-grid",
+                        "cannot journal cell",
+                        &[("cell", done.label.as_str().into()), ("error", e.to_string().into())],
+                    );
+                }
+                successes.lock().expect("successes lock").push(done);
             }
-            Err(e) => failures.lock().expect("failures lock").push((label, e.to_string())),
+            Err(p) => poisoned.lock().expect("poisoned lock").push(p),
         }
     }
 }

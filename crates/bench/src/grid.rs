@@ -1,0 +1,611 @@
+//! Crash-safe grid execution.
+//!
+//! Everything `rvp-grid` needs to survive a hostile afternoon lives
+//! here, out of the binary, so the chaos and resume integration tests
+//! can exercise it directly:
+//!
+//! * **atomic cell writes** — every result JSON is written to a temp
+//!   file, fsynced and renamed into place, so a crash (or SIGKILL)
+//!   leaves either the complete old file or the complete new one;
+//! * **a checksummed run manifest** (`grid_manifest.jsonl`) journaling
+//!   each completed cell as it lands — `--resume` replays the journal,
+//!   re-verifies every recorded cell file by checksum, and re-runs only
+//!   what is missing, torn, or was never attempted;
+//! * **per-cell failure containment** — each cell attempt runs under
+//!   `catch_unwind` (optionally on a watchdog thread with a deadline),
+//!   transient I/O faults are retried with bounded backoff, and a
+//!   failing cell walks the degradation ladder (shared → replay → live
+//!   committed-stream source) before it is recorded as *poisoned*. A
+//!   poisoned cell is reported in the grid summary; it never aborts the
+//!   sweep.
+//!
+//! Chaos sites: `grid.cell.run` fires inside the contained attempt
+//! (panics, delays and injected-transient I/O land exactly where a real
+//! fault would), `grid.cell.write` fires in the atomic cell write.
+
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rvp_core::{
+    fnv1a, log, Json, PaperScheme, RunResult, Runner, SimError, SourceMode, ToJson, Workload,
+};
+
+/// One (workload, scheme) cell of the grid.
+pub struct GridCell {
+    /// The workload to simulate.
+    pub workload: Workload,
+    /// The paper scheme to simulate it under.
+    pub scheme: PaperScheme,
+}
+
+impl GridCell {
+    /// The cell's stable identity in summaries, logs and the manifest.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.workload.name(), self.scheme.label())
+    }
+}
+
+/// Containment knobs for one cell attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct CellOptions {
+    /// Extra attempts per ladder stage for *transient* failures
+    /// (injected or real I/O trouble), with exponential backoff.
+    pub retries: u32,
+    /// Wall-clock deadline per attempt; `0` disables the watchdog and
+    /// runs the cell inline on the worker thread.
+    pub timeout_secs: u64,
+}
+
+impl Default for CellOptions {
+    fn default() -> CellOptions {
+        CellOptions { retries: 2, timeout_secs: 0 }
+    }
+}
+
+/// A cell that completed and whose JSON is durably on disk.
+pub struct CellSuccess {
+    /// Cell identity (`workload/scheme`).
+    pub label: String,
+    /// The simulation result (`None` for cells skipped via `--resume`).
+    pub result: Option<RunResult>,
+    /// Committed instructions (kept separately so resumed cells count).
+    pub committed: u64,
+    /// Cell JSON file name within the output directory.
+    pub file: String,
+    /// FNV-1a of the cell JSON bytes, as journaled in the manifest.
+    pub file_fnv: u64,
+    /// Wall seconds this cell took (journaled value for resumed cells).
+    pub seconds: f64,
+    /// Attempts beyond the first this cell needed.
+    pub retries: u64,
+    /// The committed-stream source that finally served the cell.
+    pub source: &'static str,
+    /// Whether the cell was restored from the manifest, not re-run.
+    pub resumed: bool,
+}
+
+/// A cell that failed every rung of the degradation ladder.
+pub struct PoisonedCell {
+    /// Cell identity (`workload/scheme`).
+    pub label: String,
+    /// The last error observed.
+    pub error: String,
+    /// The ladder stage that failed last.
+    pub stage: &'static str,
+    /// Total attempts spent before giving up.
+    pub attempts: u64,
+}
+
+impl PoisonedCell {
+    /// The summary JSON entry for this cell.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cell", self.label.as_str().into()),
+            ("stage", self.stage.into()),
+            ("attempts", self.attempts.into()),
+            ("error", self.error.as_str().into()),
+        ])
+    }
+}
+
+/// The committed-stream sources a cell walks, in order, before it is
+/// declared poisoned. The ladder only descends: each rung re-derives
+/// the identical committed stream with less shared machinery, so a
+/// cell that succeeds on a lower rung is bit-identical to one that
+/// succeeded on the first.
+pub fn ladder(mode: SourceMode, has_store: bool) -> Vec<SourceMode> {
+    match mode {
+        SourceMode::Live => vec![SourceMode::Live],
+        SourceMode::Replay => vec![SourceMode::Replay, SourceMode::Live],
+        SourceMode::Shared if has_store => {
+            vec![SourceMode::Shared, SourceMode::Replay, SourceMode::Live]
+        }
+        SourceMode::Shared => vec![SourceMode::Shared, SourceMode::Live],
+    }
+}
+
+/// How one attempt of one cell ended.
+enum AttemptError {
+    /// Worth retrying on the same ladder rung (bounded, with backoff).
+    Transient(String),
+    /// The simulation itself failed; move down the ladder.
+    Sim(String),
+    /// The attempt panicked; move down the ladder.
+    Panic(String),
+    /// The watchdog deadline passed; move down the ladder.
+    Timeout,
+}
+
+impl AttemptError {
+    fn transient(&self) -> bool {
+        matches!(self, AttemptError::Transient(_))
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            AttemptError::Transient(e) | AttemptError::Sim(e) => e.clone(),
+            AttemptError::Panic(e) => format!("panic: {e}"),
+            AttemptError::Timeout => "cell watchdog timeout".to_owned(),
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// One contained attempt: `catch_unwind` around the simulation, the
+/// `grid.cell.run` chaos site inside the contained region, and an
+/// optional watchdog deadline (the attempt then runs on its own thread;
+/// on timeout the thread is abandoned — it can no longer affect the
+/// sweep, and its result is discarded if it ever arrives).
+fn attempt(runner: &Runner, cell: &GridCell, timeout_secs: u64) -> Result<RunResult, AttemptError> {
+    let body =
+        |r: &Runner, wl: &Workload, scheme: PaperScheme| -> Result<RunResult, AttemptError> {
+            if let Some(fault) = rvp_fail::check("grid.cell.run") {
+                if matches!(
+                    fault,
+                    rvp_fail::Fault::Io | rvp_fail::Fault::ShortRead | rvp_fail::Fault::BitFlip
+                ) {
+                    return Err(AttemptError::Transient(
+                        "injected fault at failpoint grid.cell.run".to_owned(),
+                    ));
+                }
+            }
+            r.run(wl, scheme).map_err(|e: SimError| AttemptError::Sim(e.to_string()))
+        };
+    if timeout_secs == 0 {
+        return catch_unwind(AssertUnwindSafe(|| body(runner, &cell.workload, cell.scheme)))
+            .unwrap_or_else(|p| Err(AttemptError::Panic(panic_message(p))));
+    }
+    let (tx, rx) = mpsc::channel();
+    let r = runner.clone();
+    let wl = cell.workload.clone();
+    let scheme = cell.scheme;
+    let spawned =
+        std::thread::Builder::new().name(format!("cell-{}", cell.label())).spawn(move || {
+            let out = catch_unwind(AssertUnwindSafe(|| body(&r, &wl, scheme)))
+                .unwrap_or_else(|p| Err(AttemptError::Panic(panic_message(p))));
+            let _ = tx.send(out);
+        });
+    if let Err(e) = spawned {
+        return Err(AttemptError::Transient(format!("cannot spawn cell thread: {e}")));
+    }
+    match rx.recv_timeout(Duration::from_secs(timeout_secs)) {
+        Ok(out) => out,
+        Err(_) => Err(AttemptError::Timeout),
+    }
+}
+
+fn backoff(attempt_idx: u32) {
+    let ms = (10u64 << attempt_idx.min(5)).min(200);
+    std::thread::sleep(Duration::from_millis(ms));
+}
+
+/// Runs one cell to durable completion: degradation ladder across
+/// committed-stream sources, bounded retry-with-backoff for transient
+/// faults, containment of panics and hangs, and an atomic, checksummed
+/// cell JSON write. Returns the poisoned record (never panics, never
+/// aborts the sweep) if every rung fails.
+pub fn run_one_cell(
+    runner: &Runner,
+    cell: &GridCell,
+    opts: CellOptions,
+    out_dir: &Path,
+) -> Result<CellSuccess, PoisonedCell> {
+    let label = cell.label();
+    let start = Instant::now();
+    let mut attempts = 0u64;
+    let mut last: Option<AttemptError> = None;
+    let mut last_stage = runner.source_mode.name();
+
+    for mode in ladder(runner.source_mode, runner.traces.is_some()) {
+        let mut r = runner.clone();
+        r.source_mode = mode;
+        last_stage = mode.name();
+        let mut attempt_idx = 0u32;
+        loop {
+            attempts += 1;
+            match attempt(&r, cell, opts.timeout_secs) {
+                Ok(result) => match emit_with_retry(out_dir, &result, opts, &mut attempts) {
+                    Ok((file, file_fnv)) => {
+                        let committed = result.stats.committed;
+                        return Ok(CellSuccess {
+                            label,
+                            result: Some(result),
+                            committed,
+                            file,
+                            file_fnv,
+                            seconds: start.elapsed().as_secs_f64(),
+                            retries: attempts - 1,
+                            source: mode.name(),
+                            resumed: false,
+                        });
+                    }
+                    Err(e) => {
+                        // The simulation succeeded but its result could
+                        // not be made durable even after retries;
+                        // re-simulating will not fix the disk.
+                        return Err(poisoned(&label, &e, mode.name(), attempts));
+                    }
+                },
+                Err(e) => {
+                    log::warn(
+                        "rvp-grid",
+                        "cell attempt failed",
+                        &[
+                            ("cell", label.as_str().into()),
+                            ("stage", mode.name().into()),
+                            ("attempt", attempts.into()),
+                            ("error", e.describe().into()),
+                        ],
+                    );
+                    let retry = e.transient() && attempt_idx < opts.retries;
+                    last = Some(e);
+                    if !retry {
+                        break; // next ladder rung
+                    }
+                    backoff(attempt_idx);
+                    attempt_idx += 1;
+                }
+            }
+        }
+    }
+    let error = last.map_or_else(|| "unknown failure".to_owned(), |e| e.describe());
+    Err(poisoned(&label, &AttemptError::Sim(error), last_stage, attempts))
+}
+
+fn poisoned(label: &str, e: &AttemptError, stage: &'static str, attempts: u64) -> PoisonedCell {
+    let cell = PoisonedCell { label: label.to_owned(), error: e.describe(), stage, attempts };
+    log::error(
+        "rvp-grid",
+        "cell poisoned",
+        &[
+            ("cell", cell.label.as_str().into()),
+            ("stage", stage.into()),
+            ("attempts", attempts.into()),
+            ("error", cell.error.as_str().into()),
+        ],
+    );
+    cell
+}
+
+/// Atomic cell write with its own bounded transient-retry loop; bumps
+/// the shared attempt counter so the retries show up in telemetry.
+fn emit_with_retry(
+    out_dir: &Path,
+    result: &RunResult,
+    opts: CellOptions,
+    attempts: &mut u64,
+) -> Result<(String, u64), AttemptError> {
+    let mut attempt_idx = 0u32;
+    loop {
+        match emit_cell_atomic(out_dir, result) {
+            Ok(done) => return Ok(done),
+            Err(e) => {
+                if attempt_idx >= opts.retries {
+                    return Err(AttemptError::Transient(format!("cannot write cell JSON: {e}")));
+                }
+                log::warn(
+                    "rvp-grid",
+                    "cell JSON write failed; retrying",
+                    &[
+                        ("cell", format!("{}/{}", result.workload, result.scheme.label()).into()),
+                        ("attempt", (attempt_idx + 1).into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+                backoff(attempt_idx);
+                attempt_idx += 1;
+                *attempts += 1;
+            }
+        }
+    }
+}
+
+/// Writes one cell result as `<workload>-<scheme>.json` under `dir`,
+/// atomically (temp file + fsync + rename). Returns the file name and
+/// the FNV-1a checksum of its bytes for the manifest journal.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error (including injected ones at the
+/// `grid.cell.write` chaos site).
+pub fn emit_cell_atomic(dir: &Path, result: &RunResult) -> std::io::Result<(String, u64)> {
+    let name = format!("{}-{}.json", result.workload, result.scheme.label());
+    let text = format!("{}\n", result.to_json());
+    rvp_fail::io_at("grid.cell.write")?;
+    write_atomic(&dir.join(&name), text.as_bytes())?;
+    Ok((name, fnv1a(text.as_bytes())))
+}
+
+/// Write-temp/fsync/rename: after a crash at any point, `path` holds
+/// either its previous contents or the complete new ones.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+// ---------------------------------------------------------------------
+// The run manifest.
+
+/// File name of the run manifest journal within the output directory.
+pub const MANIFEST_FILE: &str = "grid_manifest.jsonl";
+
+/// One journaled completed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestCell {
+    /// Cell identity (`workload/scheme`).
+    pub label: String,
+    /// Cell JSON file name within the output directory.
+    pub file: String,
+    /// FNV-1a of the cell JSON bytes at journal time.
+    pub file_fnv: u64,
+    /// Committed instructions the cell simulated.
+    pub committed: u64,
+    /// Wall seconds the cell took.
+    pub seconds: f64,
+    /// Attempts beyond the first the cell needed.
+    pub retries: u64,
+    /// Committed-stream source that served the cell.
+    pub source: String,
+}
+
+impl ManifestCell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", "cell".into()),
+            ("cell", self.label.as_str().into()),
+            ("file", self.file.as_str().into()),
+            ("file_fnv", self.file_fnv.into()),
+            ("committed", self.committed.into()),
+            ("seconds", self.seconds.into()),
+            ("retries", self.retries.into()),
+            ("source", self.source.as_str().into()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<ManifestCell> {
+        if json.get("kind")?.as_str()? != "cell" {
+            return None;
+        }
+        Some(ManifestCell {
+            label: json.get("cell")?.as_str()?.to_owned(),
+            file: json.get("file")?.as_str()?.to_owned(),
+            file_fnv: json.get("file_fnv")?.as_u64()?,
+            committed: json.get("committed")?.as_u64()?,
+            seconds: json.get("seconds")?.as_f64()?,
+            retries: json.get("retries")?.as_u64()?,
+            source: json.get("source")?.as_str()?.to_owned(),
+        })
+    }
+}
+
+/// A fingerprint of everything that makes two grid runs comparable: a
+/// manifest journaled under a different configuration must not be
+/// resumed from.
+pub fn grid_config_fnv(workloads: &[Workload], schemes: &[PaperScheme], runner: &Runner) -> u64 {
+    let mut key = String::new();
+    for wl in workloads {
+        key.push_str(wl.name());
+        key.push(',');
+    }
+    key.push('|');
+    for s in schemes {
+        key.push_str(s.label());
+        key.push(',');
+    }
+    key.push_str(&format!(
+        "|{}|{}|{}|{:.6}|{:?}",
+        runner.source_mode.name(),
+        runner.measure_insts,
+        runner.profile_insts,
+        runner.threshold,
+        runner.recovery,
+    ));
+    fnv1a(key.as_bytes())
+}
+
+/// Each manifest line is `<fnv1a-of-json:016x> <json>`, so a torn final
+/// line from a crash mid-append is detected and dropped rather than
+/// trusted.
+fn manifest_line(json: &Json) -> String {
+    let text = json.to_string();
+    format!("{:016x} {text}\n", fnv1a(text.as_bytes()))
+}
+
+fn parse_manifest_line(line: &str) -> Option<Json> {
+    let (sum, text) = line.split_once(' ')?;
+    let sum = u64::from_str_radix(sum, 16).ok()?;
+    if fnv1a(text.as_bytes()) != sum {
+        return None;
+    }
+    Json::parse(text).ok()
+}
+
+/// Loads the journaled cells of a previous run from `dir`, dropping
+/// anything unverifiable: a missing/corrupt header, a config
+/// fingerprint mismatch, a torn or checksum-failing line. Returns an
+/// empty list when there is nothing trustworthy to resume from.
+pub fn load_manifest(dir: &Path, config_fnv: u64) -> Vec<ManifestCell> {
+    let Ok(text) = std::fs::read_to_string(dir.join(MANIFEST_FILE)) else {
+        return Vec::new();
+    };
+    let mut lines = text.lines();
+    let Some(header) = lines.next().and_then(parse_manifest_line) else {
+        log::warn("rvp-grid", "manifest header unreadable; not resuming from it", &[]);
+        return Vec::new();
+    };
+    let header_ok = header.get("kind").and_then(Json::as_str) == Some("header")
+        && header.get("config_fnv").and_then(Json::as_u64) == Some(config_fnv);
+    if !header_ok {
+        log::warn(
+            "rvp-grid",
+            "manifest was journaled under a different grid configuration; ignoring it",
+            &[("path", dir.join(MANIFEST_FILE).display().to_string().into())],
+        );
+        return Vec::new();
+    }
+    let mut cells = Vec::new();
+    for line in lines {
+        match parse_manifest_line(line).as_ref().and_then(ManifestCell::from_json) {
+            Some(cell) => cells.push(cell),
+            None => log::warn(
+                "rvp-grid",
+                "dropping unverifiable manifest line",
+                &[("line", line.chars().take(80).collect::<String>().into())],
+            ),
+        }
+    }
+    cells
+}
+
+/// Re-verifies a journaled cell against the bytes actually on disk.
+pub fn verify_manifest_cell(dir: &Path, cell: &ManifestCell) -> bool {
+    match std::fs::read(dir.join(&cell.file)) {
+        Ok(bytes) => fnv1a(&bytes) == cell.file_fnv,
+        Err(_) => false,
+    }
+}
+
+/// The append-only manifest journal for a running sweep. Thread-safe;
+/// every append is flushed and fsynced before it returns, so a cell is
+/// either fully journaled or not journaled at all.
+pub struct Manifest {
+    file: Mutex<std::fs::File>,
+}
+
+impl Manifest {
+    /// Starts a fresh journal at `dir` (atomically replacing any old
+    /// one) holding the header plus the already-verified `kept` cells,
+    /// then reopens it for appending.
+    pub fn start(dir: &Path, config_fnv: u64, kept: &[ManifestCell]) -> std::io::Result<Manifest> {
+        let header = Json::obj([
+            ("kind", "header".into()),
+            ("version", 1u64.into()),
+            ("config_fnv", config_fnv.into()),
+        ]);
+        let mut text = manifest_line(&header);
+        for cell in kept {
+            text.push_str(&manifest_line(&cell.to_json()));
+        }
+        let path = dir.join(MANIFEST_FILE);
+        write_atomic(&path, text.as_bytes())?;
+        let file = std::fs::OpenOptions::new().append(true).open(&path)?;
+        Ok(Manifest { file: Mutex::new(file) })
+    }
+
+    /// Journals one completed cell, durably.
+    pub fn append(&self, cell: &ManifestCell) -> std::io::Result<()> {
+        let line = manifest_line(&cell.to_json());
+        let mut file = self.file.lock().expect("manifest poisoned");
+        file.write_all(line.as_bytes())?;
+        file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_descends_and_respects_store() {
+        assert_eq!(ladder(SourceMode::Live, true), vec![SourceMode::Live]);
+        assert_eq!(ladder(SourceMode::Replay, false), vec![SourceMode::Replay, SourceMode::Live]);
+        assert_eq!(
+            ladder(SourceMode::Shared, true),
+            vec![SourceMode::Shared, SourceMode::Replay, SourceMode::Live]
+        );
+        assert_eq!(ladder(SourceMode::Shared, false), vec![SourceMode::Shared, SourceMode::Live]);
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_torn_lines() {
+        let dir = std::env::temp_dir().join(format!("rvp-manifest-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let cell = ManifestCell {
+            label: "li/lvp".into(),
+            file: "li-lvp.json".into(),
+            file_fnv: 0xabcd,
+            committed: 1234,
+            seconds: 0.5,
+            retries: 1,
+            source: "shared".into(),
+        };
+        let m = Manifest::start(&dir, 42, &[]).unwrap();
+        m.append(&cell).unwrap();
+        assert_eq!(load_manifest(&dir, 42), vec![cell.clone()]);
+        // Wrong config fingerprint: nothing to resume from.
+        assert!(load_manifest(&dir, 43).is_empty());
+
+        // A torn final line (crash mid-append) is dropped, the rest
+        // survives.
+        let path = dir.join(MANIFEST_FILE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("0123456789abcdef {\"kind\":\"cell\",\"cell\":\"go/lv");
+        std::fs::write(&path, &text).unwrap();
+        assert_eq!(load_manifest(&dir, 42), vec![cell.clone()]);
+
+        // Verification: matching bytes pass, tampered bytes fail.
+        assert!(!verify_manifest_cell(&dir, &cell));
+        std::fs::write(dir.join("li-lvp.json"), b"x").unwrap();
+        let honest = ManifestCell { file_fnv: fnv1a(b"x"), ..cell.clone() };
+        assert!(verify_manifest_cell(&dir, &honest));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_cleans_up_temp_on_failure() {
+        let dir = std::env::temp_dir().join(format!("rvp-atomic-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Writing into a missing subdirectory fails at create time and
+        // must leave no temp file behind.
+        let missing = dir.join("nope").join("cell.json");
+        assert!(write_atomic(&missing, b"data").is_err());
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -10,11 +10,11 @@
 //! Instruction budgets can be overridden with the environment variables
 //! `RVP_MEASURE_INSTS` and `RVP_PROFILE_INSTS`.
 
+pub mod grid;
+
 use std::path::PathBuf;
 
-use rvp_core::{
-    PaperScheme, RunResult, Runner, SimError, SourceMode, ToJson, UarchConfig, Workload,
-};
+use rvp_core::{PaperScheme, RunResult, Runner, SimError, SourceMode, UarchConfig, Workload};
 
 /// Budgets and the committed-stream source read from the environment
 /// with sensible defaults (`RVP_SOURCE` accepts `live`, `replay` or
@@ -58,14 +58,14 @@ pub fn json_dir() -> Option<PathBuf> {
 }
 
 /// Writes one simulation result as `<workload>-<scheme>.json` under
-/// `dir`. Used by `rvp-grid` and (via [`ipc_row`]) the fig binaries.
+/// `dir`, atomically. Used by `rvp-grid` and (via [`ipc_row`]) the fig
+/// binaries.
 ///
 /// # Errors
 ///
 /// Returns the underlying I/O error.
 pub fn emit_cell(dir: &std::path::Path, result: &RunResult) -> std::io::Result<()> {
-    let path = dir.join(format!("{}-{}.json", result.workload, result.scheme.label()));
-    std::fs::write(path, format!("{}\n", result.to_json()))
+    grid::emit_cell_atomic(dir, result).map(|_| ())
 }
 
 /// Prints the standard experiment header (machine + budgets).

@@ -1,0 +1,114 @@
+//! Chaos tests: `rvp-grid` under a seeded deterministic failpoint
+//! schedule (`RVP_FAIL`).
+//!
+//! The invariants under fault injection:
+//!
+//! * transient faults are retried and the sweep still succeeds, with
+//!   every surviving cell **bit-identical** to the fault-free run;
+//! * trace-layer corruption degrades to a lower committed-stream
+//!   source, again bit-identically;
+//! * a cell that fails every rung of the degradation ladder is reported
+//!   as poisoned in the summary's `failures` section and turns the exit
+//!   code into 20 — it never aborts the rest of the sweep.
+
+mod common;
+
+use common::{cell_files, failures_u64, run_grid, summary, summary_u64, CELLS};
+use rvp_core::Json;
+
+#[test]
+fn transient_injected_faults_are_retried_bit_identically() {
+    let baseline = common::TempDir::new("chaos-baseline");
+    let out = run_grid(baseline.path(), &[], &[]);
+    assert!(out.status.success(), "baseline failed: {}", String::from_utf8_lossy(&out.stderr));
+    let want = cell_files(baseline.path());
+    assert_eq!(want.len() as u64, CELLS);
+
+    // The second cell attempt of the sweep hits an injected transient
+    // I/O fault; the containment layer retries it on the same ladder
+    // rung and the sweep completes cleanly.
+    let chaotic = common::TempDir::new("chaos-transient");
+    let out = run_grid(chaotic.path(), &[], &[("RVP_FAIL", "seed=42;grid.cell.run=io@2")]);
+    assert!(out.status.success(), "chaotic run failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let got = cell_files(chaotic.path());
+    assert_eq!(got, want, "surviving cells must be bit-identical to the fault-free run");
+
+    let s = summary(chaotic.path());
+    assert_eq!(summary_u64(&s, "cells"), CELLS);
+    assert_eq!(failures_u64(&s, "count"), 0);
+    assert!(failures_u64(&s, "retries") >= 1, "the injected fault must show up as a retry");
+    let injected = s.get("failures").and_then(|f| f.get("injected")).expect("injected section");
+    assert!(
+        injected.get("grid.cell.run").and_then(Json::as_u64) == Some(1),
+        "summary must attribute the injected fault to its site: {injected}"
+    );
+}
+
+#[test]
+fn trace_corruption_degrades_bit_identically() {
+    let baseline = common::TempDir::new("degrade-baseline");
+    let out = run_grid(baseline.path(), &[], &[]);
+    assert!(out.status.success(), "baseline failed: {}", String::from_utf8_lossy(&out.stderr));
+    let want = cell_files(baseline.path());
+
+    // With the on-disk trace cache enabled, flip a bit in the first
+    // frame read back from it: the checksum rejects the frame and the
+    // source layer degrades to live emulation — same committed stream,
+    // same stats, byte for byte.
+    let chaotic = common::TempDir::new("degrade-chaos");
+    let traces = chaotic.path().join("traces");
+    std::fs::create_dir_all(&traces).expect("trace dir");
+    let out = run_grid(
+        chaotic.path(),
+        &[],
+        &[
+            ("RVP_FAIL", "seed=5;trace.reader.frame=flip@1"),
+            ("RVP_TRACE_DIR", traces.to_str().expect("utf8 path")),
+        ],
+    );
+    assert!(out.status.success(), "degraded run failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        cell_files(chaotic.path()),
+        want,
+        "cells served through the degradation path must be bit-identical"
+    );
+    let s = summary(chaotic.path());
+    assert_eq!(failures_u64(&s, "count"), 0);
+}
+
+#[test]
+fn unrecoverable_cell_is_poisoned_and_reported() {
+    let dir = common::TempDir::new("chaos-poison");
+    // Every attempt of the single cell panics, at every ladder rung.
+    let out = run_grid(
+        dir.path(),
+        &["--workloads", "li", "--schemes", "no_predict"],
+        &[("RVP_FAIL", "seed=1;grid.cell.run=panic@1+")],
+    );
+    assert_eq!(out.status.code(), Some(20), "poisoned sweep must exit 20");
+
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("\"fatal\":true") && stderr.contains("\"exit_code\":20"),
+        "fatal diagnostic must be a structured one-liner: {stderr}"
+    );
+
+    let s = summary(dir.path());
+    assert_eq!(summary_u64(&s, "cells"), 0);
+    assert_eq!(failures_u64(&s, "count"), 1);
+    let poisoned = s
+        .get("failures")
+        .and_then(|f| f.get("poisoned"))
+        .and_then(Json::as_arr)
+        .expect("poisoned list");
+    assert_eq!(poisoned.len(), 1);
+    let p = &poisoned[0];
+    assert_eq!(p.get("cell").and_then(Json::as_str), Some("li/no_predict"));
+    assert!(
+        p.get("error").and_then(Json::as_str).is_some_and(|e| e.contains("panic")),
+        "poisoned record must carry the error: {p}"
+    );
+    // Both ladder rungs (shared, then live — no trace store) were tried.
+    assert!(p.get("attempts").and_then(Json::as_u64) >= Some(2));
+}

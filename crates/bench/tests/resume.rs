@@ -1,0 +1,83 @@
+//! Kill-and-resume test: SIGKILL `rvp-grid` mid-sweep, re-run with
+//! `--resume`, and require the merged output — every cell file and the
+//! load-bearing summary fields — to be identical to an uninterrupted
+//! run.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use common::{cell_files, failures_u64, grid_command, run_grid, summary, summary_u64, CELLS};
+
+#[test]
+fn killed_sweep_resumes_to_identical_results() {
+    let baseline = common::TempDir::new("resume-baseline");
+    let out = run_grid(baseline.path(), &[], &[]);
+    assert!(out.status.success(), "baseline failed: {}", String::from_utf8_lossy(&out.stderr));
+    let want = cell_files(baseline.path());
+    let want_summary = summary(baseline.path());
+
+    // Start the same sweep with an injected 400ms delay per cell (the
+    // delay changes timing only, never results), wait until at least
+    // two cells are durably journaled, then SIGKILL the process.
+    let victim = common::TempDir::new("resume-victim");
+    let mut child =
+        grid_command(victim.path(), &[], &[("RVP_FAIL", "seed=9;grid.cell.run=delay400")])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn rvp-grid");
+    let manifest = victim.path().join("grid_manifest.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let journaled = std::fs::read_to_string(&manifest)
+            .map(|t| t.lines().count().saturating_sub(1))
+            .unwrap_or(0);
+        if journaled >= 2 {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("grid finished before it could be killed (status {status}); delay too short");
+        }
+        assert!(Instant::now() < deadline, "no cells journaled within the deadline");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("kill");
+    let _ = child.wait();
+
+    // The interrupted run left a partial manifest and some cell files,
+    // but no summary.
+    let partial = cell_files(victim.path());
+    assert!(!partial.is_empty() && (partial.len() as u64) < CELLS, "kill landed mid-sweep");
+    assert!(!victim.path().join("grid_summary.json").exists());
+
+    // Resume: verified cells are skipped, the rest re-run, and the
+    // merged output is identical to the uninterrupted sweep.
+    let out = run_grid(victim.path(), &["--resume"], &[]);
+    assert!(out.status.success(), "resume failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    assert_eq!(cell_files(victim.path()), want, "merged cells must match the clean run");
+    let s = summary(victim.path());
+    assert_eq!(summary_u64(&s, "cells"), summary_u64(&want_summary, "cells"));
+    assert_eq!(
+        summary_u64(&s, "simulated_insts"),
+        summary_u64(&want_summary, "simulated_insts"),
+        "resumed cells must contribute their journaled instruction counts"
+    );
+    assert_eq!(
+        s.get("source_mode").and_then(rvp_core::Json::as_str),
+        want_summary.get("source_mode").and_then(rvp_core::Json::as_str)
+    );
+    assert_eq!(failures_u64(&s, "count"), 0);
+    assert!(summary_u64(&s, "resumed_cells") >= 2, "the journaled cells must be restored");
+
+    // A tampered cell file is re-verified and re-run on the next
+    // resume, not trusted.
+    let victim_file = victim.path().join("li-no_predict.json");
+    std::fs::write(&victim_file, b"{}\n").expect("tamper");
+    let out = run_grid(victim.path(), &["--resume"], &[]);
+    assert!(out.status.success(), "re-resume failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(cell_files(victim.path()), want, "tampered cell must be recomputed");
+    let s = summary(victim.path());
+    assert_eq!(summary_u64(&s, "resumed_cells"), CELLS - 1);
+}

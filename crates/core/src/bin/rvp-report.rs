@@ -14,7 +14,11 @@
 //!    instruction,
 //! 4. committed-stream source counters (captures / shared hits / live
 //!    fallbacks per workload) when the directory holds a grid summary
-//!    written with `rvp-grid --metrics-out`.
+//!    written with `rvp-grid --metrics-out`,
+//! 5. a resilience section from the same summary: poisoned cells (with
+//!    the ladder stage and error that killed them), total retries,
+//!    quarantined trace files, resumed cells and any injected
+//!    failpoint hits from a chaos run.
 //!
 //! The binary is read-only: it never simulates, so it renders in
 //! milliseconds even for a full 135-cell grid.
@@ -23,7 +27,7 @@ use std::collections::BTreeSet;
 use std::path::Path;
 use std::process::ExitCode;
 
-use rvp_core::{log, CpiBucket, Json, PaperScheme};
+use rvp_core::{fatal, log, CpiBucket, Json, PaperScheme, EXIT_CONFIG, EXIT_IO, EXIT_USAGE};
 
 /// One parsed cell file.
 struct Cell {
@@ -34,7 +38,7 @@ struct Cell {
 
 fn usage() -> ExitCode {
     eprintln!("usage: rvp-report <RESULTS_DIR>");
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn main() -> ExitCode {
@@ -43,17 +47,21 @@ fn main() -> ExitCode {
     let cells = match load_cells(Path::new(dir)) {
         Ok(cells) => cells,
         Err(e) => {
-            log::error(
+            return fatal(
                 "rvp-report",
                 "cannot read results directory",
+                EXIT_IO,
                 &[("dir", dir.as_str().into()), ("error", e.to_string().into())],
             );
-            return ExitCode::FAILURE;
         }
     };
     if cells.is_empty() {
-        log::error("rvp-report", "no cell JSON files found", &[("dir", dir.as_str().into())]);
-        return ExitCode::FAILURE;
+        return fatal(
+            "rvp-report",
+            "no cell JSON files found",
+            EXIT_CONFIG,
+            &[("dir", dir.as_str().into())],
+        );
     }
 
     let workloads: Vec<String> =
@@ -71,6 +79,7 @@ fn main() -> ExitCode {
     print_cpi_stacks(&cells, &workloads, &schemes);
     print_obs_highlights(&cells);
     print_trace_sources(Path::new(dir));
+    print_resilience(Path::new(dir));
     ExitCode::SUCCESS
 }
 
@@ -285,6 +294,64 @@ fn print_trace_sources(dir: &Path) {
             println!("{wl:>22} {:>10} {:>13} {:>16}", row[0], row[1], row[2]);
         }
         println!("{:>22} {:>10} {:>13} {:>16}", "total", totals[0], totals[1], totals[2]);
+    }
+}
+
+/// Renders the failure-containment section of any grid summary in
+/// `dir` (a file with a structured `failures` object — the shape
+/// `rvp-grid` writes): poisoned cells with the degradation-ladder stage
+/// and error that ended them, retry/quarantine/resume counters, and
+/// per-site injected-fault counts from a chaos run.
+fn print_resilience(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let Some(summary) = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .filter(|j| j.get("failures").is_some_and(|f| f.as_obj().is_some()))
+        else {
+            continue;
+        };
+        let failures = summary.get("failures").expect("filtered");
+        let count = |key: &str| failures.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let resumed = summary.get("resumed_cells").and_then(Json::as_u64).unwrap_or(0);
+        println!("\nresilience ({})", path.display());
+        println!(
+            "  poisoned {}  retries {}  quarantined {}  resumed {}",
+            count("count"),
+            count("retries"),
+            count("quarantined"),
+            resumed
+        );
+        if let Some(poisoned) = failures.get("poisoned").and_then(Json::as_arr) {
+            if !poisoned.is_empty() {
+                println!("{:>22} {:>8} {:>9}  error", "cell", "stage", "attempts");
+                for p in poisoned {
+                    let text = |key: &str| p.get(key).and_then(Json::as_str).unwrap_or("?");
+                    println!(
+                        "{:>22} {:>8} {:>9}  {}",
+                        text("cell"),
+                        text("stage"),
+                        p.get("attempts").and_then(Json::as_u64).unwrap_or(0),
+                        text("error")
+                    );
+                }
+            }
+        }
+        if let Some(Json::Obj(injected)) = failures.get("injected") {
+            if !injected.is_empty() {
+                println!("  injected faults:");
+                for (site, n) in injected {
+                    println!("{site:>26} {}", n.as_u64().unwrap_or(0));
+                }
+            }
+        }
     }
 }
 

@@ -19,12 +19,17 @@
 //!
 //! Diagnostics go through the structured log facade: set `RVP_LOG`
 //! (`off`/`error`/`warn`/`info`/`debug`) and optionally `RVP_LOG_FILE`.
+//! Fatal failures emit a one-line JSON diagnostic on stderr and exit
+//! with a class-specific code: 2 usage, 10 emulator error, 11 pipeline
+//! deadlock, 12 train/ref structure mismatch, 13 I/O, 14 unknown
+//! workload/scheme/recovery/machine.
 
 use std::process::ExitCode;
 
 use rvp_core::{
-    log, BufferConfig, ContextConfig, CpiBucket, Emulator, Input, LvpConfig, ObsConfig,
-    PredictionPlan, Program, Recovery, Scheme, Scope, Simulator, StrideConfig, ToJson, UarchConfig,
+    fatal, fatal_sim, BufferConfig, ContextConfig, CpiBucket, Emulator, Input, LvpConfig,
+    ObsConfig, PredictionPlan, Program, Recovery, Scheme, Scope, Simulator, StrideConfig, ToJson,
+    UarchConfig, EXIT_CONFIG, EXIT_EMU, EXIT_IO, EXIT_USAGE,
 };
 
 fn usage() -> ExitCode {
@@ -32,7 +37,7 @@ fn usage() -> ExitCode {
         "usage: rvp-sim <program.asm | --workload NAME> [--scheme S] [--recovery R] \
          [--machine M] [--max-insts N] [--metrics-out PATH] [--emulate]"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn main() -> ExitCode {
@@ -77,19 +82,23 @@ fn main() -> ExitCode {
             let src = match std::fs::read_to_string(p) {
                 Ok(s) => s,
                 Err(e) => {
-                    log::error(
+                    return fatal(
                         "rvp-sim",
                         "cannot read program file",
+                        EXIT_IO,
                         &[("path", p.as_str().into()), ("error", e.to_string().into())],
                     );
-                    return ExitCode::FAILURE;
                 }
             };
             match rvp_core::parse_asm(&src) {
                 Ok(p) => p,
                 Err(e) => {
-                    log::error("rvp-sim", "parse error", &[("error", e.to_string().into())]);
-                    return ExitCode::FAILURE;
+                    return fatal(
+                        "rvp-sim",
+                        "parse error",
+                        EXIT_CONFIG,
+                        &[("error", e.to_string().into())],
+                    );
                 }
             }
         }
@@ -97,12 +106,12 @@ fn main() -> ExitCode {
             Some(wl) => wl.program(Input::Ref),
             None => {
                 let known = rvp_core::all_workloads().iter().map(|w| w.name()).collect::<Vec<_>>();
-                log::error(
+                return fatal(
                     "rvp-sim",
                     "unknown workload",
+                    EXIT_CONFIG,
                     &[("workload", w.as_str().into()), ("known", known.join(", ").into())],
                 );
-                return ExitCode::FAILURE;
             }
         },
         _ => return usage(),
@@ -116,8 +125,12 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             Err(e) => {
-                log::error("rvp-sim", "emulation error", &[("error", e.to_string().into())]);
-                return ExitCode::FAILURE;
+                return fatal(
+                    "rvp-sim",
+                    "emulation error",
+                    EXIT_EMU,
+                    &[("error", e.to_string().into())],
+                );
             }
         }
     }
@@ -146,8 +159,7 @@ fn main() -> ExitCode {
             config: rvp_core::CorrelationConfig::default(),
         },
         other => {
-            log::error("rvp-sim", "unknown scheme", &[("scheme", other.into())]);
-            return usage();
+            return fatal("rvp-sim", "unknown scheme", EXIT_CONFIG, &[("scheme", other.into())]);
         }
     };
     let recovery = match recovery.as_str() {
@@ -155,16 +167,19 @@ fn main() -> ExitCode {
         "reissue" => Recovery::Reissue,
         "selective" => Recovery::Selective,
         other => {
-            log::error("rvp-sim", "unknown recovery", &[("recovery", other.into())]);
-            return usage();
+            return fatal(
+                "rvp-sim",
+                "unknown recovery",
+                EXIT_CONFIG,
+                &[("recovery", other.into())],
+            );
         }
     };
     let config = match machine.as_str() {
         "table1" => UarchConfig::table1(),
         "wide16" => UarchConfig::wide16(),
         other => {
-            log::error("rvp-sim", "unknown machine", &[("machine", other.into())]);
-            return usage();
+            return fatal("rvp-sim", "unknown machine", EXIT_CONFIG, &[("machine", other.into())]);
         }
     };
 
@@ -195,20 +210,17 @@ fn main() -> ExitCode {
             }
             if let Some(path) = metrics_out {
                 if let Err(e) = std::fs::write(&path, format!("{}\n", s.to_json())) {
-                    log::error(
+                    return fatal(
                         "rvp-sim",
                         "cannot write metrics file",
+                        EXIT_IO,
                         &[("path", path.as_str().into()), ("error", e.to_string().into())],
                     );
-                    return ExitCode::FAILURE;
                 }
                 println!("metrics written: {path}");
             }
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            log::error("rvp-sim", "simulation failed", &[("error", e.to_string().into())]);
-            ExitCode::FAILURE
-        }
+        Err(e) => fatal_sim("rvp-sim", &e, &[]),
     }
 }

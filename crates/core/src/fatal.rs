@@ -1,0 +1,94 @@
+//! Fatal-error reporting for the CLI binaries: distinct exit codes per
+//! failure class and a structured one-line JSON diagnostic.
+//!
+//! Every fatal path in `rvp-sim`, `rvp-grid` and `rvp-report` funnels
+//! through [`fatal`]: the process emits exactly one machine-parseable
+//! JSON line on stderr (unconditionally — fatal diagnostics are not
+//! subject to the `RVP_LOG` filter) and exits with a code that names
+//! the failure class, so driver scripts can distinguish a workload bug
+//! from a full disk from a poisoned sweep without scraping prose.
+
+use std::process::ExitCode;
+
+use rvp_json::Json;
+use rvp_uarch::SimError;
+
+/// Bad command-line usage (also what `--help` returns).
+pub const EXIT_USAGE: u8 = 2;
+/// The functional emulator rejected the program ([`SimError::Emu`]).
+pub const EXIT_EMU: u8 = 10;
+/// The pipeline deadlocked ([`SimError::Deadlock`]).
+pub const EXIT_DEADLOCK: u8 = 11;
+/// Train/ref builds disagree ([`SimError::StructureMismatch`]).
+pub const EXIT_STRUCTURE: u8 = 12;
+/// A filesystem operation failed (unwritable output, unreadable input).
+pub const EXIT_IO: u8 = 13;
+/// A named thing does not exist (unknown workload, scheme, machine...).
+pub const EXIT_CONFIG: u8 = 14;
+/// The sweep completed but recorded at least one poisoned cell.
+pub const EXIT_POISONED: u8 = 20;
+
+/// The exit code for a [`SimError`], one per variant.
+pub fn sim_exit_code(e: &SimError) -> u8 {
+    match e {
+        SimError::Emu(_) => EXIT_EMU,
+        SimError::Deadlock { .. } => EXIT_DEADLOCK,
+        SimError::StructureMismatch { .. } => EXIT_STRUCTURE,
+    }
+}
+
+/// Stable kind tag for a [`SimError`], embedded in the fatal JSON line.
+pub fn sim_error_kind(e: &SimError) -> &'static str {
+    match e {
+        SimError::Emu(_) => "emu",
+        SimError::Deadlock { .. } => "deadlock",
+        SimError::StructureMismatch { .. } => "structure_mismatch",
+    }
+}
+
+/// Emits a one-line JSON fatal diagnostic on stderr and returns the
+/// `ExitCode` for `code`. The line always carries `"fatal": true`, the
+/// reporting module, a message, and the exit code, plus any
+/// caller-provided fields.
+pub fn fatal(module: &str, msg: &str, code: u8, fields: &[(&str, Json)]) -> ExitCode {
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("fatal".into(), true.into()),
+        ("module".into(), module.into()),
+        ("msg".into(), msg.into()),
+        ("exit_code".into(), u64::from(code).into()),
+    ];
+    pairs.extend(fields.iter().map(|(k, v)| ((*k).to_string(), v.clone())));
+    eprintln!("{}", Json::Obj(pairs));
+    ExitCode::from(code)
+}
+
+/// [`fatal`] for a [`SimError`], mapping the variant to its exit code
+/// and embedding the error kind and text.
+pub fn fatal_sim(module: &str, e: &SimError, fields: &[(&str, Json)]) -> ExitCode {
+    let mut all: Vec<(&str, Json)> =
+        vec![("error", e.to_string().into()), ("error_kind", sim_error_kind(e).into())];
+    all.extend(fields.iter().map(|(k, v)| (*k, v.clone())));
+    fatal(module, "simulation failed", sim_exit_code(e), &all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvp_emu::EmuError;
+
+    #[test]
+    fn sim_error_codes_are_distinct() {
+        let errs = [
+            SimError::Emu(EmuError::PcOutOfRange { pc: 0 }),
+            SimError::Deadlock { cycle: 1, committed: 0 },
+            SimError::StructureMismatch { train_len: 1, ref_len: 2 },
+        ];
+        let mut codes: Vec<u8> = errs.iter().map(sim_exit_code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errs.len());
+        for code in codes {
+            assert!(code != 0 && code != EXIT_USAGE);
+        }
+    }
+}

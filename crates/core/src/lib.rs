@@ -32,8 +32,13 @@
 //! # }
 //! ```
 
+mod fatal;
 mod runner;
 
+pub use fatal::{
+    fatal, fatal_sim, sim_error_kind, sim_exit_code, EXIT_CONFIG, EXIT_DEADLOCK, EXIT_EMU, EXIT_IO,
+    EXIT_POISONED, EXIT_STRUCTURE, EXIT_USAGE,
+};
 pub use runner::{
     PaperScheme, ProfileCache, RunResult, Runner, SharedTraceCache, SourceCounters, SourceMode,
     SourceTally,
@@ -48,7 +53,7 @@ pub use rvp_obs::{log, CpiBucket, CpiStack, ObsConfig, ObsReport, PcEntry, Windo
 pub use rvp_profile::{Assist, Fig1Row, PlanScope, Profile, ProfileConfig, ReuseLists, SrvpLevel};
 pub use rvp_realloc::{reallocate, ReallocOptions, ReallocOutcome};
 pub use rvp_trace::{
-    capture, program_hash, StoreCounters, TraceError, TraceInput, TraceMeta, TraceReader,
+    capture, fnv1a, program_hash, StoreCounters, TraceError, TraceInput, TraceMeta, TraceReader,
     TraceStore, TraceWriter,
 };
 pub use rvp_uarch::{

@@ -106,6 +106,18 @@ impl<R: Read> TraceReader<R> {
         let res = self.read_exact_or_truncated(&mut frame);
         self.frame = frame;
         res?;
+        // Chaos site: a bit flip or short read in this frame's payload
+        // (`flip`/`short` surface as the checksum mismatch they would
+        // cause in the wild; `io` fails the read itself).
+        if rvp_fail::active() {
+            if let Some(rvp_fail::Fault::Io) =
+                rvp_fail::corrupt_at("trace.reader.frame", &mut self.frame)
+            {
+                return Err(TraceError::Io(std::io::Error::other(
+                    "injected fault at failpoint trace.reader.frame",
+                )));
+            }
+        }
         if fnv1a(&self.frame) != u64::from_le_bytes(checksum) {
             return Err(TraceError::ChecksumMismatch { frame: self.frame_index });
         }

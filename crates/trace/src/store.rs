@@ -1,10 +1,11 @@
-//! On-disk trace cache with graceful fallback.
+//! On-disk trace cache with graceful fallback and corruption quarantine.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rvp_isa::Program;
+use rvp_obs::log;
 
 use crate::format::{TraceError, TraceMeta};
 use crate::reader::TraceReader;
@@ -17,6 +18,7 @@ pub struct StoreCounters {
     hits: AtomicU64,
     captures: AtomicU64,
     fallbacks: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl StoreCounters {
@@ -35,6 +37,12 @@ impl StoreCounters {
     pub fn fallbacks(&self) -> u64 {
         self.fallbacks.load(Ordering::Relaxed)
     }
+
+    /// Rejected cache files moved into the quarantine directory so they
+    /// can never be re-read (and remain available for postmortems).
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
 }
 
 /// A directory of captured traces, keyed by [`TraceMeta`].
@@ -42,19 +50,27 @@ impl StoreCounters {
 /// The store never lets a bad cache entry surface to an experiment:
 /// anything wrong with a cached file — stale format version, checksum
 /// mismatch, truncation, a different program hash — counts as a miss
-/// and triggers a fresh capture over the live emulator.
+/// and triggers a fresh capture over the live emulator. The offending
+/// file is *moved* into `dir/quarantine/` first, so a corrupt entry is
+/// preserved for diagnosis but can never be opened again.
 #[derive(Debug, Clone)]
 pub struct TraceStore {
     dir: PathBuf,
     counters: Arc<StoreCounters>,
 }
 
+/// Subdirectory rejected cache entries are moved into.
+pub const QUARANTINE_SUBDIR: &str = "quarantine";
+
 impl TraceStore {
-    /// Creates a store rooted at `dir` (created if absent).
+    /// Creates a store rooted at `dir` (created if absent). Stale
+    /// temporary files from a previous crashed capture are swept out.
     pub fn new(dir: impl Into<PathBuf>) -> Result<TraceStore, TraceError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(TraceStore { dir, counters: Arc::new(StoreCounters::default()) })
+        let store = TraceStore { dir, counters: Arc::new(StoreCounters::default()) };
+        store.sweep_stale_tmp();
+        Ok(store)
     }
 
     /// Builds a store from the `RVP_TRACE_DIR` environment variable, or
@@ -67,7 +83,11 @@ impl TraceStore {
         match TraceStore::new(&dir) {
             Ok(store) => Some(store),
             Err(e) => {
-                eprintln!("warning: RVP_TRACE_DIR={dir} unusable ({e}); tracing disabled");
+                log::warn(
+                    "rvp_trace::store",
+                    "RVP_TRACE_DIR unusable; tracing disabled",
+                    &[("dir", dir.as_str().into()), ("error", e.to_string().into())],
+                );
                 None
             }
         }
@@ -83,9 +103,36 @@ impl TraceStore {
         &self.dir
     }
 
+    /// Directory quarantined (rejected) cache files are moved into.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(QUARANTINE_SUBDIR)
+    }
+
     /// On-disk path for a given key.
     pub fn path_for(&self, meta: &TraceMeta) -> PathBuf {
         self.dir.join(format!("{}-{}-{}.rvpt", meta.workload, meta.input.tag(), meta.budget))
+    }
+
+    /// Removes leftover `*.tmp.<pid>` files from captures that died
+    /// before their atomic rename. Only files whose pid no longer names
+    /// a temp file written by *this* process are candidates, and the
+    /// sweep is best-effort: a livelocked unlink never fails a run.
+    fn sweep_stale_tmp(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return };
+        let own = format!(".tmp.{}", std::process::id());
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.contains(".tmp.") && !name.ends_with(own.as_str()) {
+                let _ = std::fs::remove_file(&path);
+                log::debug(
+                    "rvp_trace::store",
+                    "removed stale capture temp file",
+                    &[("path", path.display().to_string().into())],
+                );
+            }
+        }
     }
 
     /// Opens the cached trace for `meta` if one exists and is valid in
@@ -95,6 +142,7 @@ impl TraceStore {
         &self,
         meta: &TraceMeta,
     ) -> Result<TraceReader<std::io::BufReader<std::fs::File>>, TraceError> {
+        rvp_fail::io_at("trace.store.open")?;
         let reader = TraceReader::open(&self.path_for(meta))?;
         if let Some(field) = meta_diff(reader.meta(), meta) {
             return Err(TraceError::MetaMismatch { field });
@@ -104,7 +152,7 @@ impl TraceStore {
 
     /// Opens the cached trace for `meta`, capturing it first if absent
     /// or invalid. This is the graceful-fallback entry point: a corrupt
-    /// or stale cache entry is replaced, never reported.
+    /// or stale cache entry is quarantined and replaced, never reported.
     pub fn open_or_capture(
         &self,
         program: &Program,
@@ -116,9 +164,12 @@ impl TraceStore {
                 return Ok(reader);
             }
             Err(TraceError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(_) => {
-                // Stale, corrupt or foreign file: fall back to capture.
+            Err(e) => {
+                // Stale, corrupt or foreign file: quarantine it so the
+                // bad bytes can never be re-read, then fall back to a
+                // fresh capture.
                 self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.quarantine(&self.path_for(meta), &e);
             }
         }
         self.capture(program, meta)?;
@@ -126,15 +177,63 @@ impl TraceStore {
         self.open(meta)
     }
 
+    /// Moves a rejected cache file into the quarantine directory under a
+    /// unique name. Best-effort: when even the move fails the file is
+    /// deleted instead, because leaving it in place would let the next
+    /// open read the same bad bytes again.
+    fn quarantine(&self, path: &Path, reason: &TraceError) {
+        if !path.exists() {
+            return;
+        }
+        let qdir = self.quarantine_dir();
+        let _ = std::fs::create_dir_all(&qdir);
+        let n = self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+        let name = path.file_name().map_or_else(|| "trace".into(), |s| s.to_string_lossy());
+        let dest = qdir.join(format!("{name}.{}.q{n}", std::process::id()));
+        let moved = std::fs::rename(path, &dest);
+        if moved.is_err() {
+            let _ = std::fs::remove_file(path);
+        }
+        log::warn(
+            "rvp_trace::store",
+            "quarantined rejected trace cache entry",
+            &[
+                ("path", path.display().to_string().into()),
+                ("reason", reason.to_string().into()),
+                (
+                    "quarantined_to",
+                    if moved.is_ok() {
+                        dest.display().to_string().into()
+                    } else {
+                        "(deleted; quarantine move failed)".into()
+                    },
+                ),
+            ],
+        );
+    }
+
     /// Captures `program` under `meta`, atomically replacing any
-    /// existing entry (write to a temp file, then rename), so a reader
-    /// in another process never observes a half-written trace.
+    /// existing entry: the trace is written to a temp file, fsynced, and
+    /// renamed into place, so a reader in another process never observes
+    /// a half-written trace — and a failed capture never leaves a
+    /// partial temp file behind.
     pub fn capture(&self, program: &Program, meta: &TraceMeta) -> Result<u64, TraceError> {
         let path = self.path_for(meta);
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        let n = capture(program, meta, &tmp)?;
-        std::fs::rename(&tmp, &path)?;
-        Ok(n)
+        let result = (|| {
+            let n = capture(program, meta, &tmp)?;
+            // Make the bytes durable before the rename publishes them:
+            // after a crash the cache holds either the old entry or the
+            // complete new one, never a torn file.
+            std::fs::File::open(&tmp)?.sync_all()?;
+            rvp_fail::io_at("trace.store.rename")?;
+            std::fs::rename(&tmp, &path)?;
+            Ok(n)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 }
 

@@ -65,6 +65,10 @@ impl<W: Write + Seek> TraceWriter<W> {
         if self.frame_records == 0 {
             return Ok(());
         }
+        // Chaos site: a torn frame write (disk full, I/O error) mid
+        // capture. The caller's cleanup path must remove the partial
+        // file.
+        rvp_fail::io_at("trace.writer.frame")?;
         let mut prefix = Vec::with_capacity(24);
         put_varint(&mut prefix, self.frame_records);
         put_varint(&mut prefix, self.frame.len() as u64);
@@ -80,6 +84,9 @@ impl<W: Write + Seek> TraceWriter<W> {
     /// header's record count. Returns the total records written.
     pub fn finish(mut self) -> Result<u64, TraceError> {
         self.flush_frame()?;
+        // Chaos site: dying between the last frame and the header
+        // patch, which must leave the unfinished sentinel in place.
+        rvp_fail::io_at("trace.writer.finish")?;
         // End marker: a frame with record count zero.
         self.sink.write_all(&[0u8])?;
         self.sink.seek(SeekFrom::Start(COUNT_OFFSET))?;

@@ -333,3 +333,71 @@ fn store_falls_back_on_program_hash_skew() {
     assert_eq!(replayed_stream(reader), emulated_stream(&new_program, budget));
     assert_eq!(store.counters().fallbacks(), 1);
 }
+
+/// Chaos tests reconfigure the process-global failpoint schedule, so
+/// they must not interleave; the `thread=` filters additionally keep
+/// them from cross-firing into the other tests of this binary.
+static CHAOS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn chaos_guard() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn interrupted_store_write_leaves_no_partial_file() {
+    let _guard = chaos_guard();
+    let dir = TempDir::new("interrupted-write");
+    let store = TraceStore::new(dir.path()).expect("store");
+    let program = looping_program(300);
+    let meta = meta_for(&program, 1 << 20);
+
+    // Fail the first frame flush of this thread only: the capture dies
+    // mid-file exactly as a full disk would kill it.
+    rvp_fail::configure("seed=7;trace.writer.frame=io,thread=interrupted_store_write")
+        .expect("valid spec");
+    let result = store.capture(&program, &meta);
+    rvp_fail::disable();
+    assert!(matches!(result, Err(TraceError::Io(_))), "got {result:?}");
+
+    // Neither a half-written trace nor a stray temp file survives.
+    let leftovers: Vec<String> = std::fs::read_dir(dir.path())
+        .expect("read dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().is_file())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(leftovers.is_empty(), "leftover files: {leftovers:?}");
+
+    // The store still works once the fault clears.
+    store.capture(&program, &meta).expect("clean capture");
+    store.open(&meta).expect("replayable");
+}
+
+#[test]
+fn corrupt_cached_trace_is_quarantined() {
+    let _guard = chaos_guard();
+    let dir = TempDir::new("quarantine");
+    let store = TraceStore::new(dir.path()).expect("store");
+    let program = looping_program(50);
+    let meta = meta_for(&program, 1 << 20);
+    store.capture(&program, &meta).expect("capture");
+
+    // Truncate into the header: the next open rejects the file, moves
+    // it into the quarantine directory and re-captures.
+    let path = store.path_for(&meta);
+    let bytes = std::fs::read(&path).expect("read");
+    std::fs::write(&path, &bytes[..10]).expect("truncate into header");
+
+    let reader = store.open_or_capture(&program, &meta).expect("fallback");
+    assert_eq!(replayed_stream(reader), emulated_stream(&program, 1 << 20));
+    assert_eq!(store.counters().quarantined(), 1);
+    assert_eq!(store.counters().fallbacks(), 1);
+
+    let qdir = dir.path().join(rvp_trace::QUARANTINE_SUBDIR);
+    let quarantined = std::fs::read_dir(&qdir).expect("quarantine dir exists").count();
+    assert_eq!(quarantined, 1, "the corrupt bytes are preserved for inspection");
+    // The rejected bytes can never be re-read from the cache path: the
+    // recapture replaced the file wholesale.
+    let fresh = std::fs::read(&path).expect("recaptured file");
+    assert!(fresh.len() > 10);
+}
