@@ -31,8 +31,11 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use rvp_core::{
-    fnv1a, log, Json, PaperScheme, RunResult, Runner, SimError, SourceMode, ToJson, Workload,
+    fnv1a, journal_line, log, parse_journal_line, Json, PaperScheme, RunResult, Runner, SimError,
+    SourceMode, ToJson, Workload,
 };
+
+pub use rvp_core::{grid_config_fnv, write_atomic};
 
 /// One (workload, scheme) cell of the grid.
 pub struct GridCell {
@@ -349,22 +352,6 @@ pub fn emit_cell_atomic(dir: &Path, result: &RunResult) -> std::io::Result<(Stri
     Ok((name, fnv1a(text.as_bytes())))
 }
 
-/// Write-temp/fsync/rename: after a crash at any point, `path` holds
-/// either its previous contents or the complete new ones.
-pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    let result = (|| {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    result
-}
-
 // ---------------------------------------------------------------------
 // The run manifest.
 
@@ -420,48 +407,6 @@ impl ManifestCell {
     }
 }
 
-/// A fingerprint of everything that makes two grid runs comparable: a
-/// manifest journaled under a different configuration must not be
-/// resumed from.
-pub fn grid_config_fnv(workloads: &[Workload], schemes: &[PaperScheme], runner: &Runner) -> u64 {
-    let mut key = String::new();
-    for wl in workloads {
-        key.push_str(wl.name());
-        key.push(',');
-    }
-    key.push('|');
-    for s in schemes {
-        key.push_str(s.label());
-        key.push(',');
-    }
-    key.push_str(&format!(
-        "|{}|{}|{}|{:.6}|{:?}",
-        runner.source_mode.name(),
-        runner.measure_insts,
-        runner.profile_insts,
-        runner.threshold,
-        runner.recovery,
-    ));
-    fnv1a(key.as_bytes())
-}
-
-/// Each manifest line is `<fnv1a-of-json:016x> <json>`, so a torn final
-/// line from a crash mid-append is detected and dropped rather than
-/// trusted.
-fn manifest_line(json: &Json) -> String {
-    let text = json.to_string();
-    format!("{:016x} {text}\n", fnv1a(text.as_bytes()))
-}
-
-fn parse_manifest_line(line: &str) -> Option<Json> {
-    let (sum, text) = line.split_once(' ')?;
-    let sum = u64::from_str_radix(sum, 16).ok()?;
-    if fnv1a(text.as_bytes()) != sum {
-        return None;
-    }
-    Json::parse(text).ok()
-}
-
 /// Loads the journaled cells of a previous run from `dir`, dropping
 /// anything unverifiable: a missing/corrupt header, a config
 /// fingerprint mismatch, a torn or checksum-failing line. Returns an
@@ -471,7 +416,7 @@ pub fn load_manifest(dir: &Path, config_fnv: u64) -> Vec<ManifestCell> {
         return Vec::new();
     };
     let mut lines = text.lines();
-    let Some(header) = lines.next().and_then(parse_manifest_line) else {
+    let Some(header) = lines.next().and_then(parse_journal_line) else {
         log::warn("rvp-grid", "manifest header unreadable; not resuming from it", &[]);
         return Vec::new();
     };
@@ -487,7 +432,7 @@ pub fn load_manifest(dir: &Path, config_fnv: u64) -> Vec<ManifestCell> {
     }
     let mut cells = Vec::new();
     for line in lines {
-        match parse_manifest_line(line).as_ref().and_then(ManifestCell::from_json) {
+        match parse_journal_line(line).as_ref().and_then(ManifestCell::from_json) {
             Some(cell) => cells.push(cell),
             None => log::warn(
                 "rvp-grid",
@@ -524,9 +469,9 @@ impl Manifest {
             ("version", 1u64.into()),
             ("config_fnv", config_fnv.into()),
         ]);
-        let mut text = manifest_line(&header);
+        let mut text = journal_line(&header);
         for cell in kept {
-            text.push_str(&manifest_line(&cell.to_json()));
+            text.push_str(&journal_line(&cell.to_json()));
         }
         let path = dir.join(MANIFEST_FILE);
         write_atomic(&path, text.as_bytes())?;
@@ -536,7 +481,7 @@ impl Manifest {
 
     /// Journals one completed cell, durably.
     pub fn append(&self, cell: &ManifestCell) -> std::io::Result<()> {
-        let line = manifest_line(&cell.to_json());
+        let line = journal_line(&cell.to_json());
         let mut file = self.file.lock().expect("manifest poisoned");
         file.write_all(line.as_bytes())?;
         file.sync_data()

@@ -18,7 +18,13 @@
 //! 5. a resilience section from the same summary: poisoned cells (with
 //!    the ladder stage and error that killed them), total retries,
 //!    quarantined trace files, resumed cells and any injected
-//!    failpoint hits from a chaos run.
+//!    failpoint hits from a chaos run,
+//! 6. a serving section for any `rvp-serve` metrics snapshot in the
+//!    directory (a `/metrics` download, or the `server_metrics` object
+//!    embedded in `BENCH_serve.json`): request/error/job counters,
+//!    cache hit rate, queue high-water mark and the latency histogram
+//!    quantiles. A directory holding only serve metrics (the CI
+//!    artifact case) renders without any cell files.
 //!
 //! The binary is read-only: it never simulates, so it renders in
 //! milliseconds even for a full 135-cell grid.
@@ -56,6 +62,11 @@ fn main() -> ExitCode {
         }
     };
     if cells.is_empty() {
+        // A serve-metrics artifact directory has no cells; render the
+        // serving section alone rather than refusing.
+        if print_serve_metrics(Path::new(dir)) > 0 {
+            return ExitCode::SUCCESS;
+        }
         return fatal(
             "rvp-report",
             "no cell JSON files found",
@@ -80,7 +91,74 @@ fn main() -> ExitCode {
     print_obs_highlights(&cells);
     print_trace_sources(Path::new(dir));
     print_resilience(Path::new(dir));
+    print_serve_metrics(Path::new(dir));
     ExitCode::SUCCESS
+}
+
+/// Renders the daemon-side counters from any `rvp-serve` metrics
+/// snapshot in `dir`: either a raw `/metrics` download or a
+/// `BENCH_serve.json` with the snapshot embedded as `server_metrics`.
+/// Returns how many snapshots were rendered.
+fn print_serve_metrics(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let mut rendered = 0;
+    for path in paths {
+        let Some(parsed) = std::fs::read_to_string(&path).ok().and_then(|t| Json::parse(&t).ok())
+        else {
+            continue;
+        };
+        let metrics = if parsed.get("request_latency").is_some() {
+            parsed.clone()
+        } else {
+            match parsed.get("server_metrics") {
+                Some(m) if m.get("request_latency").is_some() => m.clone(),
+                _ => continue,
+            }
+        };
+        rendered += 1;
+        let count = |key: &str| metrics.get(key).and_then(Json::as_u64).unwrap_or(0);
+        println!("\nserving ({})", path.display());
+        println!(
+            "  requests {}  4xx {}  5xx {}  rejected {}",
+            count("requests"),
+            count("client_errors"),
+            count("server_errors"),
+            count("rejected")
+        );
+        println!(
+            "  jobs: submitted {}  completed {}  resumed {}  queue peak {}",
+            count("jobs_submitted"),
+            count("jobs_completed"),
+            count("jobs_resumed"),
+            count("queue_peak")
+        );
+        let hit_rate = metrics.get("cache_hit_rate").and_then(Json::as_f64).unwrap_or(0.0);
+        println!(
+            "  cells: computed {}  failed {}  cache hits {} ({:.1}% hit rate)",
+            count("cells_computed"),
+            count("cells_failed"),
+            count("cache_hits"),
+            100.0 * hit_rate
+        );
+        if let Some(latency) = metrics.get("request_latency") {
+            let us = |key: &str| latency.get(key).and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "  latency (us): p50 {}  p90 {}  p99 {}  max {}  ({} samples)",
+                us("p50_us"),
+                us("p90_us"),
+                us("p99_us"),
+                us("max_us"),
+                us("count")
+            );
+        }
+    }
+    rendered
 }
 
 /// Parses every `*.json` file in `dir` that has the cell shape; files

@@ -1,0 +1,93 @@
+//! Durable-write primitives shared by everything that persists run
+//! state: the grid's cell files and manifest, and the serve daemon's
+//! job journal and result cache.
+//!
+//! Two building blocks:
+//!
+//! * [`write_atomic`] — write-temp/fsync/rename, so a crash at any
+//!   point leaves either the previous contents or the complete new
+//!   ones, never a torn file;
+//! * [`journal_line`] / [`parse_journal_line`] — one checksummed JSON
+//!   record per line (`<fnv1a:016x> <json>\n`), so an append-only
+//!   journal tolerates a torn final line from a crash mid-append: the
+//!   unverifiable line is detected and dropped rather than trusted.
+
+use std::io::Write;
+use std::path::Path;
+
+use rvp_json::Json;
+use rvp_trace::fnv1a;
+
+/// Write-temp/fsync/rename: after a crash at any point, `path` holds
+/// either its previous contents or the complete new ones.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; the temp file is removed on
+/// failure.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Renders one journal record as `<fnv1a-of-json:016x> <json>\n`.
+pub fn journal_line(json: &Json) -> String {
+    let text = json.to_string();
+    format!("{:016x} {text}\n", fnv1a(text.as_bytes()))
+}
+
+/// Parses one journal line back, returning `None` for anything
+/// unverifiable: a missing checksum, a checksum mismatch (torn or
+/// tampered line), or malformed JSON.
+pub fn parse_journal_line(line: &str) -> Option<Json> {
+    let (sum, text) = line.split_once(' ')?;
+    let sum = u64::from_str_radix(sum, 16).ok()?;
+    if fnv1a(text.as_bytes()) != sum {
+        return None;
+    }
+    Json::parse(text).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_lines_round_trip_and_reject_tampering() {
+        let j = Json::obj([("kind", "job".into()), ("id", 7u64.into())]);
+        let line = journal_line(&j);
+        assert!(line.ends_with('\n'));
+        assert_eq!(parse_journal_line(line.trim_end()), Some(j));
+
+        // A flipped byte in the payload fails the checksum.
+        let tampered = line.trim_end().replace("\"id\":7", "\"id\":8");
+        assert_eq!(parse_journal_line(&tampered), None);
+        // A torn line (truncated mid-record) is dropped.
+        assert_eq!(parse_journal_line(&line[..line.len() / 2]), None);
+        assert_eq!(parse_journal_line("nonsense"), None);
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("rvp-journal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        write_atomic(&path, b"one").unwrap();
+        write_atomic(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        // A failed write (missing parent) leaves no temp file behind.
+        assert!(write_atomic(&dir.join("nope").join("x"), b"data").is_err());
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -33,15 +33,17 @@
 //! ```
 
 mod fatal;
+mod journal;
 mod runner;
 
 pub use fatal::{
     fatal, fatal_sim, sim_error_kind, sim_exit_code, EXIT_CONFIG, EXIT_DEADLOCK, EXIT_EMU, EXIT_IO,
     EXIT_POISONED, EXIT_STRUCTURE, EXIT_USAGE,
 };
+pub use journal::{journal_line, parse_journal_line, write_atomic};
 pub use runner::{
-    PaperScheme, ProfileCache, RunResult, Runner, SharedTraceCache, SourceCounters, SourceMode,
-    SourceTally,
+    grid_config_fnv, PaperScheme, ProfileCache, RunResult, Runner, SharedTraceCache,
+    SourceCounters, SourceMode, SourceTally,
 };
 
 pub use rvp_bpred::{BpredConfig, BranchPredictor};

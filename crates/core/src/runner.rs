@@ -79,6 +79,13 @@ impl PaperScheme {
         }
     }
 
+    /// Looks a scheme up by its [`PaperScheme::label`]; `None` for
+    /// anything unknown (the serve daemon validates request bodies with
+    /// this).
+    pub fn by_label(label: &str) -> Option<PaperScheme> {
+        PaperScheme::all().iter().copied().find(|s| s.label() == label)
+    }
+
     /// All schemes, in a stable order.
     pub fn all() -> &'static [PaperScheme] {
         &[
@@ -706,6 +713,35 @@ impl Runner {
             })?;
         Ok(profile.fig1())
     }
+}
+
+/// A fingerprint of everything that makes two runs of a (workload ×
+/// scheme) grid comparable: the workloads, the schemes, the
+/// committed-stream source, the instruction budgets, the profile
+/// threshold and the recovery model. The grid manifest journals it in
+/// its header (a manifest written under a different configuration must
+/// not be resumed from), and the serve daemon keys its
+/// content-addressed result cache with the single-cell case.
+pub fn grid_config_fnv(workloads: &[Workload], schemes: &[PaperScheme], runner: &Runner) -> u64 {
+    let mut key = String::new();
+    for wl in workloads {
+        key.push_str(wl.name());
+        key.push(',');
+    }
+    key.push('|');
+    for s in schemes {
+        key.push_str(s.label());
+        key.push(',');
+    }
+    key.push_str(&format!(
+        "|{}|{}|{}|{:.6}|{:?}",
+        runner.source_mode.name(),
+        runner.measure_insts,
+        runner.profile_insts,
+        runner.threshold,
+        runner.recovery,
+    ));
+    rvp_trace::fnv1a(key.as_bytes())
 }
 
 fn trace_input(input: Input) -> TraceInput {

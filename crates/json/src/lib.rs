@@ -27,6 +27,14 @@
 
 use std::fmt;
 
+/// Maximum container nesting depth [`Json::parse`] accepts.
+///
+/// The parser recurses once per nested array/object, so attacker-shaped
+/// input like `[[[[...` would otherwise overflow the stack and abort
+/// the process — unacceptable for a server parsing request bodies. A
+/// document deeper than this fails with an ordinary [`ParseError`].
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -68,9 +76,10 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// Returns a [`ParseError`] with a byte offset on malformed input.
+    /// Returns a [`ParseError`] with a byte offset on malformed input,
+    /// including documents nested deeper than [`MAX_PARSE_DEPTH`].
     pub fn parse(s: &str) -> Result<Json, ParseError> {
-        let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: s.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -139,70 +148,100 @@ impl Json {
         }
     }
 
-    fn write(&self, out: &mut String) {
+    fn write(&self, out: &mut dyn fmt::Write) -> fmt::Result {
         match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::UInt(n) => out.push_str(&n.to_string()),
-            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Null => out.write_str("null"),
+            Json::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => write!(out, "{n}"),
+            Json::Int(n) => write!(out, "{n}"),
             Json::Float(x) => {
                 if x.is_finite() {
                     // `{:?}` keeps a decimal point or exponent, so the
                     // value re-parses as a float.
-                    out.push_str(&format!("{x:?}"));
+                    write!(out, "{x:?}")
                 } else {
-                    out.push_str("null");
+                    out.write_str("null")
                 }
             }
             Json::Str(s) => escape_into(s, out),
             Json::Arr(items) => {
-                out.push('[');
+                out.write_char('[')?;
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    item.write(out);
+                    item.write(out)?;
                 }
-                out.push(']');
+                out.write_char(']')
             }
             Json::Obj(pairs) => {
-                out.push('{');
+                out.write_char('{')?;
                 for (i, (k, v)) in pairs.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    escape_into(k, out);
-                    out.push(':');
-                    v.write(out);
+                    escape_into(k, out)?;
+                    out.write_char(':')?;
+                    v.write(out)?;
                 }
-                out.push('}');
+                out.write_char('}')
             }
         }
+    }
+
+    /// Streams the serialized document straight into an [`std::io::Write`]
+    /// sink, without materializing the full text in memory first — the
+    /// server uses this to write response bodies to sockets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink's I/O error.
+    pub fn to_writer(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let mut adaptor = IoAdaptor { inner: w, error: None };
+        match self.write(&mut adaptor) {
+            Ok(()) => Ok(()),
+            Err(_) => Err(adaptor
+                .error
+                .unwrap_or_else(|| std::io::Error::other("formatter error during JSON emission"))),
+        }
+    }
+}
+
+/// Carries an `io::Error` out through the `fmt::Write` plumbing.
+struct IoAdaptor<'a> {
+    inner: &'a mut dyn std::io::Write,
+    error: Option<std::io::Error>,
+}
+
+impl fmt::Write for IoAdaptor<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.inner.write_all(s.as_bytes()).map_err(|e| {
+            self.error = Some(e);
+            fmt::Error
+        })
     }
 }
 
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut s = String::new();
-        self.write(&mut s);
-        f.write_str(&s)
+        self.write(f)
     }
 }
 
-fn escape_into(s: &str, out: &mut String) {
-    out.push('"');
+fn escape_into(s: &str, out: &mut dyn fmt::Write) -> fmt::Result {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')
 }
 
 /// Error from [`Json::parse`]: what went wrong and where.
@@ -225,6 +264,8 @@ impl std::error::Error for ParseError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, bounded by [`MAX_PARSE_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -274,12 +315,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[', "expected '['")?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -290,6 +341,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -299,10 +351,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{', "expected '{'")?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -318,6 +372,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -559,6 +614,62 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "{\"a\" 1}", "[1 2]", "nul"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_rejects_unterminated_strings_with_an_error() {
+        for bad in ["\"abc", "\"abc\\", "\"abc\\u00", "{\"key", "{\"key\":\"va"] {
+            let err = Json::parse(bad).expect_err("unterminated string must not parse");
+            assert!(err.offset <= bad.len(), "offset in range for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_depth_limit_is_an_error_not_a_crash() {
+        // One below the limit parses; past it is a clean ParseError
+        // (without the limit this is a stack overflow, which aborts —
+        // fatal for a server parsing untrusted request bodies).
+        let deep_ok = format!("{}0{}", "[".repeat(MAX_PARSE_DEPTH), "]".repeat(MAX_PARSE_DEPTH));
+        assert!(Json::parse(&deep_ok).is_ok());
+
+        let too_deep = format!("{}0{}", "[".repeat(100_000), "]".repeat(100_000));
+        let err = Json::parse(&too_deep).expect_err("over-deep nesting must error");
+        assert_eq!(err.message, "nesting too deep");
+        let objs = "{\"k\":".repeat(100_000);
+        assert_eq!(Json::parse(&objs).expect_err("deep objects too").message, "nesting too deep");
+
+        // Siblings do not accumulate depth: only the nesting path counts.
+        let wide = format!("[{}]", vec!["[0]"; 10_000].join(","));
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn to_writer_matches_to_string_and_propagates_errors() {
+        let j = Json::obj([
+            ("name", Json::from("a\"b\\c\nd")),
+            ("xs", Json::arr([Json::from(1u64), Json::from(-2i64), Json::from(2.5), Json::Null])),
+            ("nested", Json::obj([("deep", Json::arr([Json::Bool(true)]))])),
+        ]);
+        let mut bytes = Vec::new();
+        j.to_writer(&mut bytes).unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), j.to_string());
+
+        /// A sink that fails after a few bytes, like a hung-up socket.
+        struct Failing(usize);
+        impl std::io::Write for Failing {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(std::io::Error::other("peer went away"));
+                }
+                self.0 = self.0.saturating_sub(buf.len());
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = j.to_writer(&mut Failing(4)).expect_err("sink failure must surface");
+        assert_eq!(err.to_string(), "peer went away");
     }
 
     #[test]

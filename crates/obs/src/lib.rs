@@ -15,6 +15,10 @@
 //! 4. **A structured log facade** ([`log`]) — leveled JSON-lines
 //!    events filtered by `RVP_LOG`, written to stderr or
 //!    `RVP_LOG_FILE`.
+//! 5. **Server-side metrics** ([`ServeMetrics`], [`LatencyHistogram`])
+//!    — lock-free request/queue/cache counters and a power-of-two
+//!    latency histogram for the `rvp-serve` daemon's `/metrics`
+//!    endpoint.
 
 mod config;
 mod cpi;
@@ -22,9 +26,11 @@ pub mod log;
 mod pcstats;
 mod report;
 mod sample;
+mod serve_metrics;
 
 pub use config::ObsConfig;
 pub use cpi::{CpiBucket, CpiStack};
 pub use pcstats::{PcEntry, PcTable};
 pub use report::ObsReport;
 pub use sample::{CounterSnapshot, Sampler, WindowSample};
+pub use serve_metrics::{LatencyHistogram, ServeMetrics};

@@ -1,0 +1,97 @@
+//! `rvp-serve`: the simulator as a daemon.
+//!
+//! ```text
+//! rvp-serve [--addr HOST:PORT] [--state-dir DIR] [--workers N]
+//!           [--max-queue N] [--max-connections N] [--retries N]
+//! ```
+//!
+//! Boots the HTTP/1.1 + JSON service of `rvp_serve::server` and runs
+//! until killed. On startup the job journal in the state directory is
+//! replayed, so a killed daemon picks its in-flight sweeps back up.
+//!
+//! Endpoints:
+//!
+//! * `POST /sweep` — submit a sweep; `{"wait":true}` blocks for the
+//!   results, otherwise a 202 with a job id to poll.
+//! * `GET /jobs/<id>` — job status and per-cell results.
+//! * `GET /metrics` — operational counters and latency histogram.
+//! * `GET /healthz` — liveness.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use rvp_core::{fatal, Json, EXIT_IO, EXIT_USAGE};
+use rvp_serve::{start, ServeConfig};
+
+const USAGE: &str = "usage: rvp-serve [--addr HOST:PORT] [--state-dir DIR] [--workers N] \
+                     [--max-queue N] [--max-connections N] [--retries N]";
+
+fn die(msg: &str, code: u8, fields: &[(&str, Json)]) -> ! {
+    let _ = fatal("rvp-serve", msg, code, fields);
+    std::process::exit(i32::from(code));
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServeConfig::new("127.0.0.1:7341", "rvp-serve-state");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| die(USAGE, EXIT_USAGE, &[("missing_value_for", flag.into())]))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--state-dir" => cfg.state_dir = value("--state-dir").into(),
+            "--workers" => cfg.workers = parse_count(&value("--workers"), "--workers"),
+            "--max-queue" => cfg.max_queue = parse_count(&value("--max-queue"), "--max-queue"),
+            "--max-connections" => {
+                cfg.max_connections = parse_count(&value("--max-connections"), "--max-connections");
+            }
+            "--retries" => cfg.retries = parse_count(&value("--retries"), "--retries") as u32,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                return fatal("rvp-serve", USAGE, EXIT_USAGE, &[("unknown_flag", other.into())])
+            }
+        }
+    }
+
+    let state_dir = cfg.state_dir.clone();
+    let handle = match start(cfg) {
+        Ok(handle) => handle,
+        Err(e) => {
+            return fatal(
+                "rvp-serve",
+                "cannot start server",
+                EXIT_IO,
+                &[
+                    ("state_dir", state_dir.display().to_string().into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
+        }
+    };
+    // The tests and any supervising script parse this exact line to
+    // learn the bound port; keep it first and flushed.
+    println!(
+        "rvp-serve: listening on http://{} (state: {})",
+        handle.local_addr(),
+        state_dir.display()
+    );
+    let _ = std::io::stdout().flush();
+    handle.join();
+    ExitCode::SUCCESS
+}
+
+fn parse_count(text: &str, flag: &str) -> usize {
+    match text.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => die(
+            "flag takes a positive integer",
+            EXIT_USAGE,
+            &[("flag", flag.into()), ("got", text.into())],
+        ),
+    }
+}

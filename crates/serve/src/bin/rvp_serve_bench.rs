@@ -1,0 +1,298 @@
+//! `rvp-serve-bench`: load-test harness and performance gate for the
+//! serve daemon.
+//!
+//! ```text
+//! rvp-serve-bench [--addr HOST:PORT] [--out FILE] [--clients N]
+//!                 [--requests N] [--workers N]
+//! ```
+//!
+//! Without `--addr` the daemon is booted in-process on a loopback port
+//! with a throwaway state directory; with it, an externally booted
+//! `rvp-serve` is driven instead (the CI job does this). Three phases:
+//!
+//! 1. **Cold** — one `wait:true` sweep that must actually simulate;
+//!    its wall time is the baseline.
+//! 2. **Warm** — the identical sweep again; it must be answered 100%
+//!    from the result cache, and the cold/warm ratio is the
+//!    cache-speedup gate (default ≥10x, `RVP_SERVE_SPEEDUP`).
+//! 3. **Load** — `--clients` concurrent connections each issuing
+//!    `--requests` cache-hit sweeps; per-request latency lands in a
+//!    shared histogram and p99 is gated (default ≤2000 ms,
+//!    `RVP_SERVE_P99_MS`). Any non-200 fails the run.
+//!
+//! Results (and the daemon's own `/metrics` snapshot) are written to
+//! `BENCH_serve.json`; a failed gate exits non-zero so CI fails.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rvp_core::{fatal, write_atomic, Json, ToJson, EXIT_CONFIG, EXIT_IO, EXIT_USAGE};
+use rvp_obs::LatencyHistogram;
+use rvp_serve::http;
+use rvp_serve::{start, ServeConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn die(msg: &str, code: u8, fields: &[(&str, Json)]) -> ! {
+    let _ = fatal("rvp-serve-bench", msg, code, fields);
+    std::process::exit(i32::from(code));
+}
+
+struct Options {
+    addr: Option<SocketAddr>,
+    out: String,
+    clients: usize,
+    requests: usize,
+    workers: Option<usize>,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(text) => text
+            .parse()
+            .unwrap_or_else(|_| die("bad env var", EXIT_USAGE, &[(("var"), name.into())])),
+        Err(_) => default,
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        addr: None,
+        out: "BENCH_serve.json".to_owned(),
+        clients: env_u64("RVP_SERVE_CLIENTS", 1000) as usize,
+        requests: env_u64("RVP_SERVE_REQS", 3) as usize,
+        workers: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| die("missing flag value", EXIT_USAGE, &[("flag", flag.into())]))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                let text = value("--addr");
+                opts.addr = Some(text.parse().unwrap_or_else(|_| {
+                    die("unparseable --addr", EXIT_USAGE, &[("got", text.as_str().into())])
+                }));
+            }
+            "--out" => opts.out = value("--out"),
+            "--clients" => opts.clients = parse_count(&value("--clients"), "--clients"),
+            "--requests" => opts.requests = parse_count(&value("--requests"), "--requests"),
+            "--workers" => opts.workers = Some(parse_count(&value("--workers"), "--workers")),
+            other => die("unknown flag", EXIT_USAGE, &[("flag", other.into())]),
+        }
+    }
+    opts
+}
+
+fn parse_count(text: &str, flag: &str) -> usize {
+    match text.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => die(
+            "flag takes a positive integer",
+            EXIT_USAGE,
+            &[("flag", flag.into()), ("got", text.into())],
+        ),
+    }
+}
+
+/// The sweep every phase submits: two schemes over one workload, with
+/// small-but-real budgets so the cold phase simulates for a measurable
+/// interval and a cache hit is decisively cheaper.
+fn sweep_body() -> Json {
+    Json::obj([
+        ("workloads", Json::arr([Json::from("li")])),
+        ("schemes", Json::arr([Json::from("no_predict"), Json::from("lvp")])),
+        ("measure_insts", env_u64("RVP_SERVE_BENCH_MEASURE", 80_000).into()),
+        ("profile_insts", env_u64("RVP_SERVE_BENCH_PROFILE", 150_000).into()),
+        ("wait", true.into()),
+    ])
+}
+
+fn timed_sweep(addr: SocketAddr, what: &str) -> (f64, Json) {
+    let body = sweep_body();
+    let started = Instant::now();
+    let response =
+        http::request(addr, "POST", "/sweep", Some(&body), TIMEOUT).unwrap_or_else(|e| {
+            die(
+                "sweep request failed",
+                EXIT_IO,
+                &[("phase", what.into()), ("error", e.to_string().into())],
+            )
+        });
+    let seconds = started.elapsed().as_secs_f64();
+    if response.status != 200 {
+        die(
+            "sweep not answered with 200",
+            EXIT_CONFIG,
+            &[
+                ("phase", what.into()),
+                ("status", u64::from(response.status).into()),
+                ("body", String::from_utf8_lossy(&response.body).into_owned().into()),
+            ],
+        );
+    }
+    let json = response.json().unwrap_or_else(|| {
+        die("sweep response is not JSON", EXIT_CONFIG, &[("phase", what.into())])
+    });
+    if json.get("failed").and_then(Json::as_u64) != Some(0) {
+        die(
+            "sweep contains failed cells",
+            EXIT_CONFIG,
+            &[("phase", what.into()), ("body", json.to_string().into())],
+        );
+    }
+    (seconds, json)
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+
+    // Boot in-process unless we were pointed at a live daemon.
+    let mut local = None;
+    let state_dir = std::env::temp_dir().join(format!("rvp-serve-bench-{}", std::process::id()));
+    let addr = match opts.addr {
+        Some(addr) => addr,
+        None => {
+            let _ = std::fs::remove_dir_all(&state_dir);
+            let mut cfg = ServeConfig::new("127.0.0.1:0", &state_dir);
+            if let Some(workers) = opts.workers {
+                cfg.workers = workers;
+            }
+            let handle = start(cfg).unwrap_or_else(|e| {
+                die("cannot boot in-process daemon", EXIT_IO, &[("error", e.to_string().into())])
+            });
+            let addr = handle.local_addr();
+            local = Some(handle);
+            addr
+        }
+    };
+
+    // Phase 1: cold (must simulate).
+    let (cold_seconds, cold) = timed_sweep(addr, "cold");
+    let total_cells = cold.get("total").and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "rvp-serve-bench: cold sweep {total_cells} cells in {cold_seconds:.3}s \
+         (computed {}, cached {})",
+        cold.get("computed").and_then(Json::as_u64).unwrap_or(0),
+        cold.get("cached").and_then(Json::as_u64).unwrap_or(0),
+    );
+
+    // Phase 2: warm (must be answered fully from the cache).
+    let (warm_seconds, warm) = timed_sweep(addr, "warm");
+    let warm_cached = warm.get("cached").and_then(Json::as_u64).unwrap_or(0);
+    let fully_cached = warm_cached == total_cells && total_cells > 0;
+    let speedup = if warm_seconds > 0.0 { cold_seconds / warm_seconds } else { f64::INFINITY };
+    println!(
+        "rvp-serve-bench: warm sweep in {warm_seconds:.4}s ({warm_cached}/{total_cells} cached, \
+         {speedup:.1}x vs cold)"
+    );
+
+    // Phase 3: concurrent load, all cache hits.
+    let histogram = Arc::new(LatencyHistogram::new());
+    let errors = Arc::new(AtomicU64::new(0));
+    let load_started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..opts.clients {
+            let histogram = Arc::clone(&histogram);
+            let errors = Arc::clone(&errors);
+            scope.spawn(move || {
+                let body = sweep_body();
+                for _ in 0..opts.requests {
+                    let started = Instant::now();
+                    match http::request(addr, "POST", "/sweep", Some(&body), TIMEOUT) {
+                        Ok(response) if response.status == 200 => {
+                            let us = started.elapsed().as_micros().min(u128::from(u64::MAX));
+                            histogram.record_us(us as u64);
+                        }
+                        Ok(_) | Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let load_seconds = load_started.elapsed().as_secs_f64();
+    let total_requests = (opts.clients * opts.requests) as u64;
+    let error_count = errors.load(Ordering::Relaxed);
+    let throughput = if load_seconds > 0.0 { total_requests as f64 / load_seconds } else { 0.0 };
+    println!(
+        "rvp-serve-bench: {} clients x {} requests in {load_seconds:.3}s \
+         ({throughput:.0} req/s, {error_count} errors, p50 {}us, p99 {}us)",
+        opts.clients,
+        opts.requests,
+        histogram.quantile_us(0.50),
+        histogram.quantile_us(0.99),
+    );
+
+    // Daemon-side view, for the artifact.
+    let server_metrics = http::request(addr, "GET", "/metrics", None, TIMEOUT)
+        .ok()
+        .and_then(|r| r.json())
+        .unwrap_or_else(|| Json::obj([("error", "metrics unavailable".into())]));
+
+    // Gates.
+    let min_speedup = env_u64("RVP_SERVE_SPEEDUP", 10) as f64;
+    let max_p99_ms = env_u64("RVP_SERVE_P99_MS", 2000);
+    let p99_us = histogram.quantile_us(0.99);
+    let pass_speedup = fully_cached && speedup >= min_speedup;
+    let pass_p99 = p99_us <= max_p99_ms * 1000;
+    let pass_errors = error_count == 0;
+    let pass = pass_speedup && pass_p99 && pass_errors;
+
+    let report = Json::obj([
+        ("clients", (opts.clients as u64).into()),
+        ("requests_per_client", (opts.requests as u64).into()),
+        ("total_requests", total_requests.into()),
+        ("errors", error_count.into()),
+        ("cold_seconds", cold_seconds.into()),
+        ("warm_seconds", warm_seconds.into()),
+        ("warm_fully_cached", fully_cached.into()),
+        ("cache_speedup", speedup.into()),
+        ("load_seconds", load_seconds.into()),
+        ("throughput_rps", throughput.into()),
+        ("latency", histogram.to_json()),
+        (
+            "gates",
+            Json::obj([
+                ("min_cache_speedup", min_speedup.into()),
+                ("max_p99_ms", max_p99_ms.into()),
+                ("pass_speedup", pass_speedup.into()),
+                ("pass_p99", pass_p99.into()),
+                ("pass_errors", pass_errors.into()),
+            ]),
+        ),
+        ("pass", pass.into()),
+        ("server_metrics", server_metrics),
+    ]);
+    let text = format!("{report}\n");
+    if let Err(e) = write_atomic(std::path::Path::new(&opts.out), text.as_bytes()) {
+        die(
+            "cannot write bench report",
+            EXIT_IO,
+            &[("path", opts.out.as_str().into()), ("error", e.to_string().into())],
+        );
+    }
+    println!("rvp-serve-bench: report -> {}", opts.out);
+
+    if let Some(handle) = local {
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&state_dir);
+    }
+
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "rvp-serve-bench: GATE FAILURE (speedup {speedup:.1} >= {min_speedup}? {pass_speedup}; \
+             p99 {p99_us}us <= {}us? {pass_p99}; errors {error_count} == 0? {pass_errors})",
+            max_p99_ms * 1000,
+        );
+        ExitCode::FAILURE
+    }
+}

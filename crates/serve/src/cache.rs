@@ -1,0 +1,134 @@
+//! Content-addressed result cache.
+//!
+//! One entry per simulated cell, keyed by the cell's config
+//! fingerprint ([`crate::spec::SweepSpec::cell_fingerprint`]) and
+//! stored as `cache/<key:016x>.json` — the exact bytes `rvp-grid`
+//! would have written for that cell. Entries are written atomically
+//! (temp + fsync + rename) so a killed daemon leaves either a complete
+//! entry or none; a repeat request after restart hits disk instead of
+//! re-simulating.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use rvp_core::write_atomic;
+use rvp_json::Json;
+use rvp_obs::log;
+
+/// Subdirectory of the daemon state dir holding cache entries.
+pub const CACHE_SUBDIR: &str = "cache";
+
+/// Failpoint consulted on every disk read of a cache entry.
+pub const CACHE_READ_SITE: &str = "serve.cache.read";
+
+/// Disk-backed result cache with a write-through in-memory map.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    mem: Mutex<HashMap<u64, Arc<str>>>,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache under `state_dir`.
+    pub fn open(state_dir: &Path) -> io::Result<ResultCache> {
+        let dir = state_dir.join(CACHE_SUBDIR);
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir, mem: Mutex::new(HashMap::new()) })
+    }
+
+    /// Cache directory (entries are `<key:016x>.json`).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// On-disk path of an entry.
+    pub fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    /// Looks a key up: memory first, then disk (the `serve.cache.read`
+    /// failpoint guards the disk path). A disk entry that no longer
+    /// parses as JSON is deleted and reported as a miss — the cell
+    /// simply gets re-simulated — so one corrupt file can never pin a
+    /// bad result. An I/O error (injected or real) propagates; the
+    /// caller turns it into a structured 5xx.
+    pub fn get(&self, key: u64) -> io::Result<Option<Arc<str>>> {
+        if let Some(hit) = self.mem.lock().unwrap().get(&key) {
+            return Ok(Some(Arc::clone(hit)));
+        }
+        rvp_fail::io_at(CACHE_READ_SITE)?;
+        let path = self.path_for(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if Json::parse(&text).is_err() {
+            log::warn(
+                "rvp-serve",
+                "corrupt cache entry; deleting and re-simulating",
+                &[("path", path.display().to_string().into())],
+            );
+            let _ = std::fs::remove_file(&path);
+            return Ok(None);
+        }
+        let text: Arc<str> = text.into();
+        self.mem.lock().unwrap().insert(key, Arc::clone(&text));
+        Ok(Some(text))
+    }
+
+    /// Write-through insert. The disk write is atomic; on failure the
+    /// entry still serves from memory for this daemon's lifetime and
+    /// the error is reported for logging (a later identical request
+    /// re-simulates instead of reading a torn file).
+    pub fn put(&self, key: u64, text: &str) -> io::Result<()> {
+        self.mem.lock().unwrap().insert(key, text.into());
+        write_atomic(&self.path_for(key), text.as_bytes())
+    }
+
+    /// Entries currently resident in memory.
+    pub fn resident(&self) -> usize {
+        self.mem.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rvp-serve-cache-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn cache_roundtrips_and_survives_reopen() {
+        let dir = tmp("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.get(7).unwrap().is_none());
+        cache.put(7, "{\"x\":1}\n").unwrap();
+        assert_eq!(cache.get(7).unwrap().as_deref(), Some("{\"x\":1}\n"));
+        // A fresh instance (daemon restart) reads the same bytes back
+        // from disk.
+        let reopened = ResultCache::open(&dir).unwrap();
+        assert_eq!(reopened.resident(), 0);
+        assert_eq!(reopened.get(7).unwrap().as_deref(), Some("{\"x\":1}\n"));
+        assert_eq!(reopened.resident(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_deleted_and_reported_as_miss() {
+        let dir = tmp("corrupt");
+        let cache = ResultCache::open(&dir).unwrap();
+        std::fs::write(cache.path_for(9), b"{\"torn\":").unwrap();
+        assert!(cache.get(9).unwrap().is_none());
+        assert!(!cache.path_for(9).exists(), "corrupt entry must be removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

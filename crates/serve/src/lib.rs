@@ -1,0 +1,34 @@
+//! `rvp-serve`: the RVP simulator as a long-running service.
+//!
+//! A dependency-free HTTP/1.1 + JSON daemon that accepts sweep
+//! requests (workload × scheme × recovery × budget overrides),
+//! validates them, and schedules their cells on a worker pool using
+//! the grid runner's cost-model (longest-cell-first) scheduling and
+//! containment stack. Three properties define the design:
+//!
+//! * **Durability** — a sweep is journaled (checksummed, fsynced)
+//!   before it is acknowledged; a killed daemon resumes in-flight
+//!   sweeps on restart ([`journal`]).
+//! * **Content addressing** — every cell result is cached under the
+//!   same config fingerprint the grid manifest uses, so repeat queries
+//!   are answered without simulating and a resumed sweep re-runs only
+//!   what the kill interrupted ([`cache`]).
+//! * **Containment** — cells run behind `catch_unwind`, retries and
+//!   the source-degradation ladder; failures surface as structured
+//!   JSON in the affected response, never as a dead daemon
+//!   ([`server`]).
+//!
+//! The load-test harness (`rvp-serve-bench`) drives the daemon with
+//! concurrent clients and gates latency/throughput in
+//! `BENCH_serve.json`.
+
+pub mod cache;
+pub mod http;
+pub mod journal;
+pub mod server;
+pub mod spec;
+
+pub use cache::ResultCache;
+pub use journal::JobJournal;
+pub use server::{start, CellOutcome, Job, ServeConfig, ServerHandle};
+pub use spec::SweepSpec;

@@ -1,0 +1,749 @@
+//! The daemon: listener, handler threads, durable job queue, sim
+//! worker pool and the HTTP API.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! POST /sweep
+//!   parse + validate          -> 400 on anything malformed
+//!   per-cell cache lookup     -> hits answered without simulating
+//!   admission check           -> 429 + Retry-After when the queue is full
+//!   journal append (fsync)    -> 503 if the job cannot be made durable
+//!   schedule misses           -> longest-estimated-cell-first, single-flight
+//!   wait=true  -> block until done, 200 with per-cell results
+//!   wait=false -> 202 {"job": id}, poll GET /jobs/<id>
+//! ```
+//!
+//! A killed daemon restarts by replaying the journal: pending jobs are
+//! re-submitted, their finished cells hit the content-addressed cache
+//! (bit-identical bytes), and only the interrupted remainder
+//! re-simulates.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use rvp_bench::grid::{run_one_cell, CellOptions, GridCell};
+use rvp_core::Runner;
+use rvp_json::{Json, ToJson};
+use rvp_obs::{log, ServeMetrics};
+use rvp_trace::TraceStore;
+
+use crate::cache::ResultCache;
+use crate::http::{read_request, write_json_response, HttpError, Request};
+use crate::journal::JobJournal;
+use crate::spec::SweepSpec;
+
+/// Daemon configuration (CLI flags map 1:1 onto these).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7341` (`:0` picks a free port).
+    pub addr: String,
+    /// State directory: journal, result cache, cell files, trace store.
+    pub state_dir: PathBuf,
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Admission bound: maximum queued-or-running cells. A sweep whose
+    /// misses would push past this is rejected with 429.
+    pub max_queue: usize,
+    /// Maximum concurrent connections; beyond it, accepts are answered
+    /// 503 immediately instead of piling up handler threads.
+    pub max_connections: usize,
+    /// Per-cell transient-failure retries (see [`CellOptions`]).
+    pub retries: u32,
+}
+
+impl ServeConfig {
+    /// Defaults for everything but the address and state directory.
+    pub fn new(addr: impl Into<String>, state_dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            addr: addr.into(),
+            state_dir: state_dir.into(),
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            max_queue: 1024,
+            max_connections: 2048,
+            retries: 2,
+        }
+    }
+}
+
+/// How one cell of a job ended.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// Result JSON (one line, trailing newline), and whether it came
+    /// from the cache rather than a fresh simulation.
+    Done {
+        /// The cell JSON bytes, shared with the cache.
+        text: Arc<str>,
+        /// Served from the result cache.
+        cached: bool,
+    },
+    /// The cell failed every containment rung; the error is reported
+    /// in-band and the rest of the sweep is unaffected.
+    Failed {
+        /// Human-readable failure description.
+        error: String,
+    },
+}
+
+#[derive(Debug)]
+struct CellSlot {
+    label: String,
+    fingerprint: u64,
+    outcome: Option<CellOutcome>,
+}
+
+#[derive(Debug)]
+struct JobState {
+    cells: Vec<CellSlot>,
+    remaining: usize,
+}
+
+/// One admitted sweep.
+#[derive(Debug)]
+pub struct Job {
+    /// Stable id, also across daemon restarts (journaled).
+    pub id: u64,
+    state: Mutex<JobState>,
+    cv: Condvar,
+}
+
+impl Job {
+    fn new(id: u64, slots: Vec<CellSlot>) -> Job {
+        let remaining = slots.iter().filter(|s| s.outcome.is_none()).count();
+        Job { id, state: Mutex::new(JobState { cells: slots, remaining }), cv: Condvar::new() }
+    }
+
+    /// Fills one cell; returns true when this completed the job.
+    fn complete(&self, idx: usize, outcome: CellOutcome) -> bool {
+        let mut state = self.state.lock().unwrap();
+        let slot = &mut state.cells[idx];
+        if slot.outcome.is_some() {
+            return false;
+        }
+        slot.outcome = Some(outcome);
+        state.remaining -= 1;
+        let done = state.remaining == 0;
+        drop(state);
+        if done {
+            self.cv.notify_all();
+        }
+        done
+    }
+
+    /// Whether every cell has an outcome.
+    pub fn is_done(&self) -> bool {
+        self.state.lock().unwrap().remaining == 0
+    }
+
+    /// Blocks until the job completes.
+    pub fn wait(&self) {
+        let mut state = self.state.lock().unwrap();
+        while state.remaining > 0 {
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+
+    /// The job as the API reports it.
+    pub fn to_json(&self) -> Json {
+        let state = self.state.lock().unwrap();
+        let mut cached = 0u64;
+        let mut computed = 0u64;
+        let mut failed = 0u64;
+        let cells: Vec<Json> = state
+            .cells
+            .iter()
+            .map(|slot| {
+                let base = [
+                    ("label", Json::from(slot.label.as_str())),
+                    ("fingerprint", format!("{:016x}", slot.fingerprint).into()),
+                ];
+                match &slot.outcome {
+                    None => Json::obj(base.into_iter().chain([("status", "pending".into())])),
+                    Some(CellOutcome::Done { text, cached: was_cached }) => {
+                        if *was_cached {
+                            cached += 1;
+                        } else {
+                            computed += 1;
+                        }
+                        let result =
+                            Json::parse(text).unwrap_or_else(|_| Json::from("unparseable"));
+                        Json::obj(
+                            base.into_iter()
+                                .chain([("cached", (*was_cached).into()), ("result", result)]),
+                        )
+                    }
+                    Some(CellOutcome::Failed { error }) => {
+                        failed += 1;
+                        Json::obj(base.into_iter().chain([("error", Json::from(error.as_str()))]))
+                    }
+                }
+            })
+            .collect();
+        Json::obj([
+            ("job", self.id.into()),
+            ("status", if state.remaining == 0 { "done" } else { "running" }.into()),
+            ("total", (state.cells.len() as u64).into()),
+            ("remaining", (state.remaining as u64).into()),
+            ("cached", cached.into()),
+            ("computed", computed.into()),
+            ("failed", failed.into()),
+            ("cells", Json::arr(cells)),
+        ])
+    }
+}
+
+/// One schedulable unit: a (workload × scheme × config) cell.
+struct CellTask {
+    /// Estimated cost in arbitrary-but-consistent microseconds; the
+    /// queue is a max-heap on this, so the longest cells start first
+    /// and the sweep's wall clock is not hostage to a long tail.
+    cost_us: u64,
+    /// Admission order; earlier wins ties so equal-cost cells are FIFO.
+    seq: u64,
+    fingerprint: u64,
+    cell: GridCell,
+    runner: Runner,
+}
+
+impl PartialEq for CellTask {
+    fn eq(&self, other: &CellTask) -> bool {
+        self.cost_us == other.cost_us && self.seq == other.seq
+    }
+}
+impl Eq for CellTask {}
+impl PartialOrd for CellTask {
+    fn partial_cmp(&self, other: &CellTask) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CellTask {
+    fn cmp(&self, other: &CellTask) -> std::cmp::Ordering {
+        self.cost_us.cmp(&other.cost_us).then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct Sched {
+    queue: BinaryHeap<CellTask>,
+    /// Fingerprints queued or being simulated right now (single-flight:
+    /// concurrent identical requests share one simulation).
+    inflight: HashSet<u64>,
+    /// Cells waiting on an in-flight fingerprint: `(job, cell index)`.
+    waiters: HashMap<u64, Vec<(Arc<Job>, usize)>>,
+    seq: u64,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    base: Runner,
+    cells_dir: PathBuf,
+    cache: ResultCache,
+    journal: JobJournal,
+    metrics: Arc<ServeMetrics>,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    next_id: AtomicU64,
+    sched: Mutex<Sched>,
+    queue_cv: Condvar,
+    /// Learned per-label cell cost (seconds), EWMA over completions.
+    costs: Mutex<HashMap<String, f64>>,
+    stop: AtomicBool,
+    active_conns: AtomicUsize,
+}
+
+/// Why a sweep submission was refused.
+enum SubmitError {
+    /// Admission queue full; retry later.
+    Busy {
+        /// Cells the sweep needed to enqueue.
+        misses: usize,
+    },
+    /// The result cache failed on the read path.
+    Cache(io::Error),
+    /// The job could not be made durable.
+    Journal(io::Error),
+}
+
+/// A running daemon; dropping the handle does *not* stop it — call
+/// [`ServerHandle::shutdown`], or keep it alive forever via
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server-side metrics, shared with the daemon.
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// Blocks forever serving requests (the binary's main thread).
+    pub fn join(self) {
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Graceful-enough stop for tests and benches: stop accepting,
+    /// wake the workers, join them. In-flight handler threads finish
+    /// their current response on their own; queued-but-unstarted cells
+    /// stay journaled and resume on the next start.
+    pub fn shutdown(self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.inner.queue_cv.notify_all();
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Boots the daemon: opens state, replays the journal, binds the
+/// listener, and spawns the accept thread and the worker pool.
+pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
+    std::fs::create_dir_all(&cfg.state_dir)?;
+    let cells_dir = cfg.state_dir.join("cells");
+    std::fs::create_dir_all(&cells_dir)?;
+    let cache = ResultCache::open(&cfg.state_dir)?;
+    let (journal, pending) = JobJournal::open(&cfg.state_dir)?;
+
+    let mut base = Runner::default();
+    if base.traces.is_none() {
+        base.traces = Some(
+            TraceStore::new(cfg.state_dir.join("traces"))
+                .map_err(|e| io::Error::other(format!("cannot open trace store: {e}")))?,
+        );
+    }
+
+    let next_id = pending.iter().map(|(id, _)| *id).max().unwrap_or(0) + 1;
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+
+    let inner = Arc::new(Inner {
+        cfg,
+        base,
+        cells_dir,
+        cache,
+        journal,
+        metrics: Arc::new(ServeMetrics::new()),
+        jobs: Mutex::new(HashMap::new()),
+        next_id: AtomicU64::new(next_id),
+        sched: Mutex::new(Sched::default()),
+        queue_cv: Condvar::new(),
+        costs: Mutex::new(HashMap::new()),
+        stop: AtomicBool::new(false),
+        active_conns: AtomicUsize::new(0),
+    });
+
+    // Re-submit interrupted jobs before accepting traffic: finished
+    // cells hit the cache, the rest re-simulate.
+    for (id, spec_json) in pending {
+        match SweepSpec::from_json(&spec_json, &inner.base) {
+            Ok(spec) => match submit(&inner, spec, Some(id)) {
+                Ok(job) => {
+                    inner.metrics.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+                    log::info(
+                        "rvp-serve",
+                        "resumed journaled job",
+                        &[("id", id.into()), ("done", job.is_done().into())],
+                    );
+                }
+                Err(_) => {
+                    log::warn("rvp-serve", "could not resume journaled job", &[("id", id.into())])
+                }
+            },
+            Err(e) => log::warn(
+                "rvp-serve",
+                "journaled job spec no longer parses; dropping it",
+                &[("id", id.into()), ("error", e.into())],
+            ),
+        }
+    }
+
+    let workers = (0..inner.cfg.workers)
+        .map(|i| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&inner))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept = {
+        let inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("serve-accept".to_owned())
+            .spawn(move || accept_loop(&inner, listener))
+            .expect("spawn accept loop")
+    };
+
+    Ok(ServerHandle { addr, inner, accept, workers })
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let active = inner.active_conns.fetch_add(1, Ordering::SeqCst) + 1;
+        if active > inner.cfg.max_connections {
+            inner.active_conns.fetch_sub(1, Ordering::SeqCst);
+            inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = write_json_response(
+                &mut stream,
+                503,
+                &[("Retry-After", "1".to_owned())],
+                &Json::obj([("error", "connection limit reached".into())]),
+            );
+            continue;
+        }
+        let inner = Arc::clone(inner);
+        let _ = std::thread::Builder::new().name("serve-conn".to_owned()).spawn(move || {
+            handle_connection(&inner, stream);
+            inner.active_conns.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+}
+
+fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(120)));
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) | Err(HttpError::Io(_)) => return,
+            Err(HttpError::Malformed(why)) => {
+                inner.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                respond(inner, &mut write_half, 400, &[], error_body(why));
+                return;
+            }
+            Err(HttpError::TooLarge(why)) => {
+                inner.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                respond(inner, &mut write_half, 413, &[], error_body(why));
+                return;
+            }
+        };
+        inner.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let (status, headers, body) = route(inner, &request);
+        inner
+            .metrics
+            .request_latency
+            .record_us(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        respond(inner, &mut write_half, status, &headers, body);
+        if !request.keep_alive {
+            return;
+        }
+    }
+}
+
+fn respond(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    status: u16,
+    headers: &[(&str, String)],
+    body: Json,
+) {
+    match status {
+        429 => {
+            inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        400..=499 => {
+            inner.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        500..=599 => {
+            inner.metrics.server_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+    if let Err(e) = write_json_response(stream, status, headers, &body) {
+        log::debug(
+            "rvp-serve",
+            "client went away before the response landed",
+            &[("error", e.to_string().into())],
+        );
+    }
+}
+
+fn error_body(message: impl std::fmt::Display) -> Json {
+    Json::obj([("error", message.to_string().into())])
+}
+
+type Routed = (u16, Vec<(&'static str, String)>, Json);
+
+fn route(inner: &Arc<Inner>, request: &Request) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/sweep") => sweep_endpoint(inner, &request.body),
+        ("GET", "/metrics") => (200, Vec::new(), inner.metrics.to_json()),
+        ("GET", "/healthz") => {
+            let body = Json::obj([
+                ("ok", true.into()),
+                ("jobs", (inner.jobs.lock().unwrap().len() as u64).into()),
+                ("cache_resident", (inner.cache.resident() as u64).into()),
+            ]);
+            (200, Vec::new(), body)
+        }
+        ("GET", path) if path.starts_with("/jobs/") => {
+            match path["/jobs/".len()..].parse::<u64>() {
+                Err(_) => (400, Vec::new(), error_body("job id must be an integer")),
+                Ok(id) => match inner.jobs.lock().unwrap().get(&id) {
+                    None => (404, Vec::new(), error_body(format!("no such job: {id}"))),
+                    Some(job) => (200, Vec::new(), job.to_json()),
+                },
+            }
+        }
+        (_, "/sweep" | "/metrics" | "/healthz") => {
+            (405, Vec::new(), error_body("method not allowed"))
+        }
+        _ => (404, Vec::new(), error_body(format!("no such endpoint: {}", request.path))),
+    }
+}
+
+fn sweep_endpoint(inner: &Arc<Inner>, body: &[u8]) -> Routed {
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return (400, Vec::new(), error_body("body is not UTF-8")),
+    };
+    let parsed = match Json::parse(text) {
+        Ok(parsed) => parsed,
+        Err(e) => return (400, Vec::new(), error_body(format!("bad JSON: {e}"))),
+    };
+    let spec = match SweepSpec::from_json(&parsed, &inner.base) {
+        Ok(spec) => spec,
+        Err(e) => return (400, Vec::new(), error_body(e)),
+    };
+    let wait = parsed.get("wait").and_then(Json::as_bool).unwrap_or(false);
+
+    let job = match submit(inner, spec, None) {
+        Ok(job) => job,
+        Err(SubmitError::Busy { misses }) => {
+            let body = Json::obj([
+                ("error", "admission queue full".into()),
+                ("needed", (misses as u64).into()),
+                ("max_queue", (inner.cfg.max_queue as u64).into()),
+            ]);
+            return (429, vec![("Retry-After", "1".to_owned())], body);
+        }
+        Err(SubmitError::Cache(e)) => {
+            return (500, Vec::new(), error_body(format!("result cache read failed: {e}")));
+        }
+        Err(SubmitError::Journal(e)) => {
+            return (503, Vec::new(), error_body(format!("job journal append failed: {e}")));
+        }
+    };
+    if wait {
+        job.wait();
+    }
+    if job.is_done() {
+        (200, Vec::new(), job.to_json())
+    } else {
+        let body = Json::obj([
+            ("job", job.id.into()),
+            ("status", "queued".into()),
+            ("poll", format!("/jobs/{}", job.id).into()),
+        ]);
+        (202, Vec::new(), body)
+    }
+}
+
+/// Admits one sweep: cache lookups, admission control, durable journal
+/// append, scheduling. `resume_id` marks a journal replay — the job
+/// keeps its id, skips re-journaling (the compacted journal already
+/// has it) and treats cache-read trouble as a miss instead of refusing
+/// the job it must not lose.
+fn submit(
+    inner: &Arc<Inner>,
+    spec: SweepSpec,
+    resume_id: Option<u64>,
+) -> Result<Arc<Job>, SubmitError> {
+    let resumed = resume_id.is_some();
+    let cells = spec.cells();
+    let mut slots = Vec::with_capacity(cells.len());
+    let mut misses: Vec<usize> = Vec::new();
+    for (idx, cell) in cells.iter().enumerate() {
+        let fingerprint = spec.cell_fingerprint(&inner.base, cell);
+        let outcome = match inner.cache.get(fingerprint) {
+            Ok(Some(text)) => {
+                inner.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                Some(CellOutcome::Done { text, cached: true })
+            }
+            Ok(None) => None,
+            Err(e) if resumed => {
+                log::warn(
+                    "rvp-serve",
+                    "cache read failed during resume; re-simulating the cell",
+                    &[("error", e.to_string().into())],
+                );
+                None
+            }
+            Err(e) => return Err(SubmitError::Cache(e)),
+        };
+        if outcome.is_none() {
+            inner.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            misses.push(idx);
+        }
+        slots.push(CellSlot { label: cell.label(), fingerprint, outcome });
+    }
+
+    if !misses.is_empty() {
+        let depth = inner.metrics.queue_depth.load(Ordering::Relaxed) as usize;
+        if depth + misses.len() > inner.cfg.max_queue {
+            return Err(SubmitError::Busy { misses: misses.len() });
+        }
+    }
+
+    let id = resume_id.unwrap_or_else(|| inner.next_id.fetch_add(1, Ordering::SeqCst));
+    if !misses.is_empty() && !resumed {
+        // Durable before acknowledged: a job the daemon accepted must
+        // survive a kill from this point on.
+        let record = Json::obj([("spec", spec.to_json())]);
+        inner.journal.append_job(id, record.get("spec").unwrap()).map_err(SubmitError::Journal)?;
+    }
+
+    let job = Arc::new(Job::new(id, slots));
+    inner.jobs.lock().unwrap().insert(id, Arc::clone(&job));
+    inner.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+
+    if misses.is_empty() {
+        inner.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        if resumed {
+            // The journal still lists this job; close it out.
+            inner.journal.append_done(id);
+        }
+        return Ok(job);
+    }
+
+    let runner = spec.runner_for(&inner.base);
+    let mut enqueued = 0u64;
+    {
+        let mut sched = inner.sched.lock().unwrap();
+        for idx in misses {
+            let fingerprint = {
+                let state = job.state.lock().unwrap();
+                state.cells[idx].fingerprint
+            };
+            sched.waiters.entry(fingerprint).or_default().push((Arc::clone(&job), idx));
+            if !sched.inflight.insert(fingerprint) {
+                // Single-flight: ride the simulation already queued.
+                continue;
+            }
+            let cell =
+                GridCell { workload: cells[idx].workload.clone(), scheme: cells[idx].scheme };
+            let cost_us = estimate_us(inner, &cell, &runner);
+            sched.seq += 1;
+            let seq = sched.seq;
+            sched.queue.push(CellTask { cost_us, seq, fingerprint, cell, runner: runner.clone() });
+            enqueued += 1;
+        }
+    }
+    if enqueued > 0 {
+        inner.metrics.queue_enter(enqueued);
+        inner.queue_cv.notify_all();
+    }
+    Ok(job)
+}
+
+/// Estimated cell cost in scheduler microseconds: the learned per-label
+/// EWMA when one exists, otherwise proportional to the instruction
+/// budgets (the same heuristic the grid scheduler starts from).
+fn estimate_us(inner: &Inner, cell: &GridCell, runner: &Runner) -> u64 {
+    let label = cell.label();
+    if let Some(seconds) = inner.costs.lock().unwrap().get(&label) {
+        return (seconds * 1e6) as u64;
+    }
+    (runner.measure_insts + runner.profile_insts) / 5
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let task = {
+            let mut sched = inner.sched.lock().unwrap();
+            loop {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(task) = sched.queue.pop() {
+                    break task;
+                }
+                sched = inner.queue_cv.wait(sched).unwrap();
+            }
+        };
+        let outcome = execute(inner, &task);
+        let waiters = {
+            let mut sched = inner.sched.lock().unwrap();
+            sched.inflight.remove(&task.fingerprint);
+            sched.waiters.remove(&task.fingerprint).unwrap_or_default()
+        };
+        for (job, idx) in waiters {
+            if job.complete(idx, outcome.clone()) {
+                inner.journal.append_done(job.id);
+                inner.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.metrics.queue_exit(1);
+    }
+}
+
+/// Runs one cell with the grid's full containment stack (panic
+/// catching, transient retries, source-degradation ladder) and caches
+/// the result. Failures come back as data, never as a dead worker.
+fn execute(inner: &Arc<Inner>, task: &CellTask) -> CellOutcome {
+    let opts = CellOptions { retries: inner.cfg.retries, timeout_secs: 0 };
+    let started = Instant::now();
+    match run_one_cell(&task.runner, &task.cell, opts, &inner.cells_dir) {
+        Ok(success) => {
+            let seconds = started.elapsed().as_secs_f64();
+            let mut costs = inner.costs.lock().unwrap();
+            let est = costs.entry(task.cell.label()).or_insert(seconds);
+            *est = 0.5 * *est + 0.5 * seconds;
+            drop(costs);
+            inner.metrics.cells_computed.fetch_add(1, Ordering::Relaxed);
+            let text = match success.result {
+                Some(result) => format!("{}\n", result.to_json()),
+                // Unreachable for freshly-run cells, but stay graceful.
+                None => "{}\n".to_owned(),
+            };
+            if let Err(e) = inner.cache.put(task.fingerprint, &text) {
+                log::warn(
+                    "rvp-serve",
+                    "cell computed but cache write failed; serving from memory only",
+                    &[
+                        ("fingerprint", format!("{:016x}", task.fingerprint).into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+            }
+            CellOutcome::Done { text: text.into(), cached: false }
+        }
+        Err(poisoned) => {
+            inner.metrics.cells_failed.fetch_add(1, Ordering::Relaxed);
+            CellOutcome::Failed {
+                error: format!(
+                    "cell {} poisoned at stage {} after {} attempts: {}",
+                    poisoned.label, poisoned.stage, poisoned.attempts, poisoned.error
+                ),
+            }
+        }
+    }
+}

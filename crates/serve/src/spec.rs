@@ -1,0 +1,226 @@
+//! Sweep request model: parse, validate, and map onto the simulation
+//! grid's cell space.
+
+use rvp_bench::grid::GridCell;
+use rvp_core::{by_name, grid_config_fnv, PaperScheme, Runner, Workload};
+use rvp_json::Json;
+use rvp_uarch_recovery::{parse_recovery, recovery_name, Recovery};
+
+/// Largest committed-instruction budget a request may ask for, per run.
+/// Admission control bounds how many cells queue up; this bounds how
+/// much work one cell can be.
+pub const MAX_INSTS: u64 = 100_000_000;
+
+/// A validated sweep request: the cross product of workloads and
+/// schemes under one recovery model and one set of budget knobs.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Workloads to sweep (validated against the workload registry).
+    pub workloads: Vec<Workload>,
+    /// Schemes to sweep (validated against [`PaperScheme::all`]).
+    pub schemes: Vec<PaperScheme>,
+    /// Value-misprediction recovery model.
+    pub recovery: Recovery,
+    /// Profile threshold for candidate selection.
+    pub threshold: f64,
+    /// Committed-instruction budget for measurement runs.
+    pub measure_insts: u64,
+    /// Committed-instruction budget for profiling runs.
+    pub profile_insts: u64,
+}
+
+impl SweepSpec {
+    /// Parses and validates a request body. Unknown names, bad types
+    /// and out-of-range knobs are reported as a client error string
+    /// (they become a 400, never a panic). Missing knobs default to
+    /// `base`'s values; missing workload/scheme lists are an error —
+    /// an accidental "sweep everything" is too expensive to imply.
+    pub fn from_json(body: &Json, base: &Runner) -> Result<SweepSpec, String> {
+        let workloads = match body.get("workloads").and_then(Json::as_arr) {
+            None => return Err("missing \"workloads\" (array of workload names)".to_owned()),
+            Some(names) => {
+                let mut workloads = Vec::with_capacity(names.len());
+                for name in names {
+                    let name = name.as_str().ok_or("workload names must be strings")?;
+                    let wl = by_name(name).ok_or_else(|| {
+                        let known: Vec<&str> =
+                            rvp_core::all_workloads().iter().map(|w| w.name()).collect();
+                        format!("unknown workload {name:?} (known: {})", known.join(", "))
+                    })?;
+                    workloads.push(wl);
+                }
+                workloads
+            }
+        };
+        let schemes = match body.get("schemes").and_then(Json::as_arr) {
+            None => return Err("missing \"schemes\" (array of scheme labels)".to_owned()),
+            Some(labels) => {
+                let mut schemes = Vec::with_capacity(labels.len());
+                for label in labels {
+                    let label = label.as_str().ok_or("scheme labels must be strings")?;
+                    let scheme = PaperScheme::by_label(label).ok_or_else(|| {
+                        let known: Vec<&str> =
+                            PaperScheme::all().iter().map(|s| s.label()).collect();
+                        format!("unknown scheme {label:?} (known: {})", known.join(", "))
+                    })?;
+                    schemes.push(scheme);
+                }
+                schemes
+            }
+        };
+        if workloads.is_empty() || schemes.is_empty() {
+            return Err("\"workloads\" and \"schemes\" must be non-empty".to_owned());
+        }
+        let recovery = match body.get("recovery") {
+            None => base.recovery,
+            Some(v) => {
+                let name = v.as_str().ok_or("\"recovery\" must be a string")?;
+                parse_recovery(name).ok_or_else(|| {
+                    format!("unknown recovery {name:?} (known: refetch, reissue, selective)")
+                })?
+            }
+        };
+        let threshold = match body.get("threshold") {
+            None => base.threshold,
+            Some(v) => v.as_f64().ok_or("\"threshold\" must be a number")?,
+        };
+        if !(threshold > 0.0 && threshold <= 1.0) {
+            return Err(format!("\"threshold\" must be in (0, 1], got {threshold}"));
+        }
+        let measure_insts = budget(body, "measure_insts", base.measure_insts)?;
+        let profile_insts = budget(body, "profile_insts", base.profile_insts)?;
+        Ok(SweepSpec { workloads, schemes, recovery, threshold, measure_insts, profile_insts })
+    }
+
+    /// Journal form; [`SweepSpec::from_json`] on the result round-trips.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("workloads", Json::arr(self.workloads.iter().map(|w| Json::from(w.name())))),
+            ("schemes", Json::arr(self.schemes.iter().map(|s| Json::from(s.label())))),
+            ("recovery", recovery_name(self.recovery).into()),
+            ("threshold", self.threshold.into()),
+            ("measure_insts", self.measure_insts.into()),
+            ("profile_insts", self.profile_insts.into()),
+        ])
+    }
+
+    /// The cells of this sweep, in stable (workload-major) order.
+    pub fn cells(&self) -> Vec<GridCell> {
+        self.workloads
+            .iter()
+            .flat_map(|wl| {
+                self.schemes.iter().map(|&scheme| GridCell { workload: wl.clone(), scheme })
+            })
+            .collect()
+    }
+
+    /// A runner for this sweep: `base`'s shared caches (profiles,
+    /// in-memory traces, trace store — this is what makes the daemon
+    /// multi-tenant) with this spec's knobs layered on top.
+    pub fn runner_for(&self, base: &Runner) -> Runner {
+        let mut runner = base.clone();
+        runner.recovery = self.recovery;
+        runner.threshold = self.threshold;
+        runner.measure_insts = self.measure_insts;
+        runner.profile_insts = self.profile_insts;
+        runner
+    }
+
+    /// Content address of one cell's result: the same config
+    /// fingerprint the grid manifest journals, specialized to a single
+    /// (workload × scheme) cell. Two requests that would produce
+    /// bit-identical cell JSON get the same key.
+    pub fn cell_fingerprint(&self, base: &Runner, cell: &GridCell) -> u64 {
+        grid_config_fnv(
+            std::slice::from_ref(&cell.workload),
+            &[cell.scheme],
+            &self.runner_for(base),
+        )
+    }
+}
+
+fn budget(body: &Json, key: &str, default: u64) -> Result<u64, String> {
+    let insts = match body.get(key) {
+        None => default,
+        Some(v) => v.as_u64().ok_or_else(|| format!("{key:?} must be a non-negative integer"))?,
+    };
+    if insts == 0 || insts > MAX_INSTS {
+        return Err(format!("{key:?} must be in [1, {MAX_INSTS}], got {insts}"));
+    }
+    Ok(insts)
+}
+
+/// Recovery-name helpers, local because `rvp-uarch` itself keeps
+/// `Recovery` CLI-agnostic.
+mod rvp_uarch_recovery {
+    pub use rvp_core::Recovery;
+
+    /// Wire/journal name of a recovery model.
+    pub fn recovery_name(r: Recovery) -> &'static str {
+        match r {
+            Recovery::Refetch => "refetch",
+            Recovery::Reissue => "reissue",
+            Recovery::Selective => "selective",
+        }
+    }
+
+    /// Inverse of [`recovery_name`].
+    pub fn parse_recovery(s: &str) -> Option<Recovery> {
+        match s {
+            "refetch" => Some(Recovery::Refetch),
+            "reissue" => Some(Recovery::Reissue),
+            "selective" => Some(Recovery::Selective),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Runner {
+        Runner { traces: None, ..Runner::default() }
+    }
+
+    fn parse(text: &str) -> Result<SweepSpec, String> {
+        SweepSpec::from_json(&Json::parse(text).unwrap(), &base())
+    }
+
+    #[test]
+    fn spec_roundtrips_through_journal_json() {
+        let spec = parse(
+            r#"{"workloads":["li","go"],"schemes":["lvp","no_predict"],
+                "recovery":"refetch","threshold":0.9,
+                "measure_insts":50000,"profile_insts":80000}"#,
+        )
+        .unwrap();
+        let again = SweepSpec::from_json(&spec.to_json(), &base()).unwrap();
+        assert_eq!(again.to_json().to_string(), spec.to_json().to_string());
+        assert_eq!(again.cells().len(), 4);
+        // Identical specs address identical cells.
+        let cell = &spec.cells()[0];
+        assert_eq!(spec.cell_fingerprint(&base(), cell), again.cell_fingerprint(&base(), cell));
+        // A different knob re-addresses every cell.
+        let mut other = spec.clone();
+        other.measure_insts += 1;
+        assert_ne!(spec.cell_fingerprint(&base(), cell), other.cell_fingerprint(&base(), cell));
+    }
+
+    #[test]
+    fn spec_validation_is_an_error_not_a_panic() {
+        for bad in [
+            r#"{}"#,
+            r#"{"workloads":["li"],"schemes":[]}"#,
+            r#"{"workloads":["nope"],"schemes":["lvp"]}"#,
+            r#"{"workloads":["li"],"schemes":["nope"]}"#,
+            r#"{"workloads":["li"],"schemes":["lvp"],"recovery":"nope"}"#,
+            r#"{"workloads":["li"],"schemes":["lvp"],"threshold":1.5}"#,
+            r#"{"workloads":["li"],"schemes":["lvp"],"measure_insts":0}"#,
+            r#"{"workloads":["li"],"schemes":["lvp"],"measure_insts":999999999999}"#,
+            r#"{"workloads":[1],"schemes":["lvp"]}"#,
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad}");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Shared scaffolding for the serve daemon integration tests: a
+//! scratch directory, a daemon process wrapper with hermetic
+//! environment, and small HTTP/JSON helpers.
+//!
+//! Each test binary compiles its own copy, so not every helper is
+//! used from every binary.
+#![allow(dead_code)]
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use rvp_core::Json;
+use rvp_serve::http::{self, ClientResponse};
+
+/// A scratch directory unique to one test, removed on drop.
+pub struct TempDir(PathBuf);
+
+impl TempDir {
+    pub fn new(test: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("rvp-serve-test-{}-{test}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A spawned `rvp-serve` process bound to an ephemeral port.
+pub struct Daemon {
+    child: Child,
+    pub addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Spawns the daemon on `127.0.0.1:0` with a hermetic environment,
+    /// parsing the bound port off its first stdout line.
+    pub fn spawn(state_dir: &Path, extra_args: &[&str], envs: &[(&str, &str)]) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_rvp-serve"));
+        cmd.args(["--addr", "127.0.0.1:0", "--state-dir"])
+            .arg(state_dir)
+            .args(extra_args)
+            .env_remove("RVP_FAIL")
+            .env_remove("RVP_TRACE_DIR")
+            .env_remove("RVP_SOURCE")
+            .env_remove("RVP_JSON_DIR")
+            .env_remove("RVP_LOG")
+            .env_remove("RVP_LOG_FILE")
+            .env_remove("RVP_MEASURE_INSTS")
+            .env_remove("RVP_PROFILE_INSTS")
+            .env_remove("RVP_THREADS")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("spawn rvp-serve");
+        let stdout = child.stdout.take().expect("daemon stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout).read_line(&mut line).expect("read listen line");
+        let addr = line
+            .split("http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable listen line: {line:?}"));
+        Daemon { child, addr }
+    }
+
+    /// SIGKILL — the crash the journal must survive.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+pub const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One HTTP request against the daemon, panicking on transport errors.
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&Json>) -> ClientResponse {
+    http::request(addr, method, path, body, TIMEOUT).expect("http request")
+}
+
+/// The standard 2-cell test sweep (small but real budgets).
+pub fn sweep_body(wait: bool) -> Json {
+    Json::obj([
+        ("workloads", Json::arr([Json::from("li")])),
+        ("schemes", Json::arr([Json::from("no_predict"), Json::from("lvp")])),
+        ("measure_insts", 30_000u64.into()),
+        ("profile_insts", 60_000u64.into()),
+        ("wait", wait.into()),
+    ])
+}
+
+/// Polls `probe` until it returns true or `timeout` elapses.
+pub fn wait_for(what: &str, timeout: Duration, mut probe: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if probe() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// All result-cache entries under a daemon state dir (name -> bytes).
+pub fn cache_files(state_dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let dir = state_dir.join("cache");
+    let Ok(entries) = std::fs::read_dir(&dir) else { return BTreeMap::new() };
+    entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .map(|p| {
+            let name = p.file_name().expect("file name").to_string_lossy().into_owned();
+            (name, std::fs::read(&p).expect("read cache file"))
+        })
+        .collect()
+}

@@ -1,0 +1,72 @@
+//! Chaos tests for the serve daemon: seeded faults at the
+//! `serve.journal.append` and `serve.cache.read` failpoints must
+//! surface as structured 5xx JSON on the affected request while the
+//! daemon — and every surviving request — carries on unharmed.
+
+mod common;
+
+use common::{request, sweep_body, Daemon, TempDir};
+use rvp_core::Json;
+
+#[test]
+fn journal_append_fault_is_a_structured_503_and_daemon_survives() {
+    let dir = TempDir::new("chaos-journal");
+    // First append fails; everything after succeeds.
+    let daemon = Daemon::spawn(
+        dir.path(),
+        &["--workers", "1"],
+        &[("RVP_FAIL", "seed=7;serve.journal.append=io@1")],
+    );
+
+    let hit = request(daemon.addr, "POST", "/sweep", Some(&sweep_body(true)));
+    assert_eq!(hit.status, 503, "{:?}", String::from_utf8_lossy(&hit.body));
+    let body = hit.json().expect("503 body is JSON");
+    let error = body.get("error").and_then(Json::as_str).expect("structured error field");
+    assert!(error.contains("journal"), "error names the failing subsystem: {error}");
+
+    // The daemon is alive and the next identical request goes through
+    // end to end (the failpoint armed only the first hit).
+    assert_eq!(request(daemon.addr, "GET", "/healthz", None).status, 200);
+    let retry = request(daemon.addr, "POST", "/sweep", Some(&sweep_body(true)));
+    assert_eq!(retry.status, 200);
+    let retry = retry.json().expect("retry json");
+    assert_eq!(retry.get("computed").and_then(Json::as_u64), Some(2));
+    assert_eq!(retry.get("failed").and_then(Json::as_u64), Some(0));
+
+    let metrics = request(daemon.addr, "GET", "/metrics", None).json().expect("metrics");
+    assert!(metrics.get("server_errors").and_then(Json::as_u64).unwrap_or(0) >= 1);
+}
+
+#[test]
+fn cache_read_fault_is_a_structured_500_and_disk_stays_good() {
+    let dir = TempDir::new("chaos-cache");
+    // Prime the cache with a clean daemon, then SIGKILL it.
+    let mut primer = Daemon::spawn(dir.path(), &["--workers", "1"], &[]);
+    let primed = request(primer.addr, "POST", "/sweep", Some(&sweep_body(true)));
+    assert_eq!(primed.status, 200);
+    primer.kill();
+
+    // Restart with the first disk read of a cache entry armed to fail.
+    let daemon = Daemon::spawn(
+        dir.path(),
+        &["--workers", "1"],
+        &[("RVP_FAIL", "seed=7;serve.cache.read=io@1")],
+    );
+    let hit = request(daemon.addr, "POST", "/sweep", Some(&sweep_body(true)));
+    assert_eq!(hit.status, 500, "{:?}", String::from_utf8_lossy(&hit.body));
+    let body = hit.json().expect("500 body is JSON");
+    let error = body.get("error").and_then(Json::as_str).expect("structured error field");
+    assert!(error.contains("cache"), "error names the failing subsystem: {error}");
+
+    // Surviving requests are unaffected: the entries on disk are
+    // intact, so the retry is a 100% cache hit with zero re-simulation.
+    let retry = request(daemon.addr, "POST", "/sweep", Some(&sweep_body(true)));
+    assert_eq!(retry.status, 200);
+    let retry = retry.json().expect("retry json");
+    assert_eq!(retry.get("cached").and_then(Json::as_u64), Some(2));
+    assert_eq!(retry.get("computed").and_then(Json::as_u64), Some(0));
+
+    let metrics = request(daemon.addr, "GET", "/metrics", None).json().expect("metrics");
+    assert!(metrics.get("server_errors").and_then(Json::as_u64).unwrap_or(0) >= 1);
+    assert_eq!(metrics.get("cells_computed").and_then(Json::as_u64), Some(0));
+}

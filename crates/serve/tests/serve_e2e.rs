@@ -1,0 +1,186 @@
+//! End-to-end tests for the serve daemon over real loopback HTTP: the
+//! API surface, the content-addressed cache, admission control, and
+//! the kill-SIGKILL-restart-resume contract.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{cache_files, request, sweep_body, wait_for, Daemon, TempDir};
+use rvp_core::Json;
+
+#[test]
+fn sweep_computes_then_repeat_is_all_cache_hits() {
+    let dir = TempDir::new("api");
+    let daemon = Daemon::spawn(dir.path(), &["--workers", "2"], &[]);
+
+    // Cold: both cells simulate.
+    let cold = request(daemon.addr, "POST", "/sweep", Some(&sweep_body(true)));
+    assert_eq!(cold.status, 200, "{:?}", String::from_utf8_lossy(&cold.body));
+    let cold = cold.json().expect("cold json");
+    assert_eq!(cold.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(cold.get("computed").and_then(Json::as_u64), Some(2));
+    assert_eq!(cold.get("cached").and_then(Json::as_u64), Some(0));
+    assert_eq!(cold.get("failed").and_then(Json::as_u64), Some(0));
+    let cells = cold.get("cells").and_then(Json::as_arr).expect("cells");
+    assert_eq!(cells.len(), 2);
+    for cell in cells {
+        let result = cell.get("result").expect("cell result");
+        assert!(result.get("stats").is_some(), "cell carries full RunResult JSON");
+    }
+
+    // Warm: the identical sweep is answered entirely from the cache.
+    let warm = request(daemon.addr, "POST", "/sweep", Some(&sweep_body(true)));
+    let warm = warm.json().expect("warm json");
+    assert_eq!(warm.get("cached").and_then(Json::as_u64), Some(2));
+    assert_eq!(warm.get("computed").and_then(Json::as_u64), Some(0));
+
+    // A different knob is a different content address: it simulates.
+    let mut other = sweep_body(true);
+    if let Json::Obj(pairs) = &mut other {
+        for (k, v) in pairs.iter_mut() {
+            if k == "measure_insts" {
+                *v = 31_000u64.into();
+            }
+        }
+    }
+    let other = request(daemon.addr, "POST", "/sweep", Some(&other)).json().expect("json");
+    assert_eq!(other.get("computed").and_then(Json::as_u64), Some(2));
+
+    // Metrics reflect all of the above.
+    let metrics = request(daemon.addr, "GET", "/metrics", None).json().expect("metrics json");
+    assert!(metrics.get("cache_hits").and_then(Json::as_u64).unwrap_or(0) >= 2);
+    assert!(metrics.get("cells_computed").and_then(Json::as_u64).unwrap_or(0) >= 4);
+    assert!(
+        metrics
+            .get("request_latency")
+            .and_then(|l| l.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 3
+    );
+
+    // API edges: health, unknown job, bad bodies, wrong methods.
+    let health = request(daemon.addr, "GET", "/healthz", None);
+    assert_eq!(health.status, 200);
+    assert_eq!(request(daemon.addr, "GET", "/jobs/999999", None).status, 404);
+    assert_eq!(request(daemon.addr, "GET", "/nope", None).status, 404);
+    assert_eq!(request(daemon.addr, "GET", "/sweep", None).status, 405);
+    let bad =
+        request(daemon.addr, "POST", "/sweep", Some(&Json::obj([("workloads", 7u64.into())])));
+    assert_eq!(bad.status, 400);
+    assert!(bad.json().expect("error json").get("error").is_some());
+    let unknown = request(
+        daemon.addr,
+        "POST",
+        "/sweep",
+        Some(&Json::obj([
+            ("workloads", Json::arr([Json::from("nope")])),
+            ("schemes", Json::arr([Json::from("lvp")])),
+        ])),
+    );
+    assert_eq!(unknown.status, 400);
+}
+
+#[test]
+fn sigkill_mid_sweep_then_restart_resumes_bit_identical() {
+    // Reference: the same sweep run to completion without interruption.
+    let dir_ref = TempDir::new("resume-ref");
+    let mut reference = Daemon::spawn(dir_ref.path(), &["--workers", "1"], &[]);
+    let done = request(reference.addr, "POST", "/sweep", Some(&big_sweep(true)));
+    assert_eq!(done.status, 200);
+    let done = done.json().expect("reference json");
+    assert_eq!(done.get("failed").and_then(Json::as_u64), Some(0));
+    let want = cache_files(dir_ref.path());
+    assert_eq!(want.len(), 6, "reference run caches every cell");
+    reference.kill();
+
+    // Victim: submit asynchronously, SIGKILL once at least one cell has
+    // landed, restart on the same state dir.
+    let dir = TempDir::new("resume-victim");
+    let mut victim = Daemon::spawn(dir.path(), &["--workers", "1"], &[]);
+    let accepted = request(victim.addr, "POST", "/sweep", Some(&big_sweep(false)));
+    assert_eq!(accepted.status, 202, "{:?}", String::from_utf8_lossy(&accepted.body));
+    let job_id = accepted.json().expect("json").get("job").and_then(Json::as_u64).expect("job id");
+    wait_for("first cell result on disk", Duration::from_secs(120), || {
+        !cache_files(dir.path()).is_empty()
+    });
+    victim.kill();
+    let partial = cache_files(dir.path());
+    assert!(partial.len() < 6, "kill landed after the whole sweep finished; budgets too small");
+
+    // Restart: the journal re-submits the job under its original id;
+    // finished cells come from the cache, the rest re-simulate.
+    let revived = Daemon::spawn(dir.path(), &["--workers", "1"], &[]);
+    wait_for("resumed job to finish", Duration::from_secs(240), || {
+        let response = request(revived.addr, "GET", &format!("/jobs/{job_id}"), None);
+        assert_ne!(response.status, 404, "resumed daemon must remember job {job_id}");
+        response.json().and_then(|j| j.get("status").map(|s| s.as_str() == Some("done")))
+            == Some(true)
+    });
+    let job = request(revived.addr, "GET", &format!("/jobs/{job_id}"), None).json().expect("json");
+    assert_eq!(job.get("failed").and_then(Json::as_u64), Some(0));
+    assert_eq!(job.get("total").and_then(Json::as_u64), Some(6));
+
+    // The merged results are bit-identical with the uninterrupted run.
+    let got = cache_files(dir.path());
+    assert_eq!(
+        got.keys().collect::<Vec<_>>(),
+        want.keys().collect::<Vec<_>>(),
+        "same content addresses"
+    );
+    for (name, bytes) in &want {
+        assert_eq!(&got[name], bytes, "cache entry {name} differs from uninterrupted run");
+    }
+
+    // Resubmitting the whole sweep is now a 100% cache hit.
+    let repeat = request(revived.addr, "POST", "/sweep", Some(&big_sweep(true)));
+    let repeat = repeat.json().expect("repeat json");
+    assert_eq!(repeat.get("cached").and_then(Json::as_u64), Some(6));
+    assert_eq!(repeat.get("computed").and_then(Json::as_u64), Some(0));
+    let metrics = request(revived.addr, "GET", "/metrics", None).json().expect("metrics");
+    assert!(metrics.get("jobs_resumed").and_then(Json::as_u64).unwrap_or(0) >= 1);
+}
+
+/// 2 workloads x 3 schemes with budgets big enough that a single
+/// debug-build worker takes a while — room to SIGKILL mid-sweep.
+fn big_sweep(wait: bool) -> Json {
+    Json::obj([
+        ("workloads", Json::arr([Json::from("li"), Json::from("go")])),
+        (
+            "schemes",
+            Json::arr([Json::from("no_predict"), Json::from("lvp"), Json::from("drvp_all")]),
+        ),
+        ("measure_insts", 250_000u64.into()),
+        ("profile_insts", 400_000u64.into()),
+        ("wait", wait.into()),
+    ])
+}
+
+#[test]
+fn full_admission_queue_rejects_with_retry_after() {
+    let dir = TempDir::new("backpressure");
+    let daemon = Daemon::spawn(dir.path(), &["--workers", "1", "--max-queue", "1"], &[]);
+
+    // Two misses against a one-slot queue: rejected up front, with a
+    // Retry-After hint and a structured body.
+    let rejected = request(daemon.addr, "POST", "/sweep", Some(&sweep_body(false)));
+    assert_eq!(rejected.status, 429, "{:?}", String::from_utf8_lossy(&rejected.body));
+    assert_eq!(rejected.header("retry-after"), Some("1"));
+    let body = rejected.json().expect("429 body json");
+    assert!(body.get("error").is_some());
+    assert_eq!(body.get("needed").and_then(Json::as_u64), Some(2));
+
+    // A sweep that fits is admitted and completes.
+    let small = Json::obj([
+        ("workloads", Json::arr([Json::from("li")])),
+        ("schemes", Json::arr([Json::from("no_predict")])),
+        ("measure_insts", 20_000u64.into()),
+        ("profile_insts", 40_000u64.into()),
+        ("wait", true.into()),
+    ]);
+    let ok = request(daemon.addr, "POST", "/sweep", Some(&small));
+    assert_eq!(ok.status, 200);
+    let metrics = request(daemon.addr, "GET", "/metrics", None).json().expect("metrics");
+    assert!(metrics.get("rejected").and_then(Json::as_u64).unwrap_or(0) >= 1);
+}

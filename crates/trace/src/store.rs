@@ -117,6 +117,13 @@ impl TraceStore {
     /// before their atomic rename. Only files whose pid no longer names
     /// a temp file written by *this* process are candidates, and the
     /// sweep is best-effort: a livelocked unlink never fails a run.
+    ///
+    /// Several stores may open the same directory at once — a second
+    /// grid process starting up, or the serve daemon opening the store
+    /// while a grid run is active. A candidate vanishing between the
+    /// directory listing and the unlink (someone else swept it, or its
+    /// owner finished the atomic rename) is the expected outcome of
+    /// that race, not an error.
     fn sweep_stale_tmp(&self) {
         let Ok(entries) = std::fs::read_dir(&self.dir) else { return };
         let own = format!(".tmp.{}", std::process::id());
@@ -124,13 +131,21 @@ impl TraceStore {
             let path = entry.path();
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if name.contains(".tmp.") && !name.ends_with(own.as_str()) {
-                let _ = std::fs::remove_file(&path);
-                log::debug(
+            if !name.contains(".tmp.") || name.ends_with(own.as_str()) {
+                continue;
+            }
+            match std::fs::remove_file(&path) {
+                Ok(()) => log::debug(
                     "rvp_trace::store",
                     "removed stale capture temp file",
                     &[("path", path.display().to_string().into())],
-                );
+                ),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => log::debug(
+                    "rvp_trace::store",
+                    "could not remove stale temp file; leaving it",
+                    &[("path", path.display().to_string().into()), ("error", e.to_string().into())],
+                ),
             }
         }
     }

@@ -401,3 +401,35 @@ fn corrupt_cached_trace_is_quarantined() {
     let fresh = std::fs::read(&path).expect("recaptured file");
     assert!(fresh.len() > 10);
 }
+
+#[test]
+fn concurrent_store_startups_tolerate_each_others_sweep() {
+    // The serve daemon opens the store while grid runs may be starting
+    // on the same directory: every startup sweeps stale temp files, so
+    // a candidate can vanish between one sweeper's directory listing
+    // and its unlink. Every startup must succeed regardless of who wins
+    // each race, and all stale files must be gone afterwards.
+    let dir = TempDir::new("concurrent-sweep");
+    for round in 0..8 {
+        for i in 0..64 {
+            // A pid no live process on this machine plausibly owns.
+            let fake_pid = 4_000_000 + i;
+            let name = format!("wl-ref-{round}-{i}.rvpt.tmp.{fake_pid}");
+            std::fs::write(dir.path().join(name), b"stale capture junk").expect("plant stale tmp");
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..8).map(|_| scope.spawn(|| TraceStore::new(dir.path()).map(drop))).collect();
+            for h in handles {
+                h.join().expect("no panic").expect("every concurrent startup succeeds");
+            }
+        });
+        let leftovers: Vec<String> = std::fs::read_dir(dir.path())
+            .expect("read dir")
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stale temp files must be swept: {leftovers:?}");
+    }
+}
