@@ -13,6 +13,12 @@
 //!    configuration's absolute throughput stays in the range the
 //!    `sim_throughput` bench tracks.
 //!
+//! A third scenario arms the span tracer (`rvp_core::span::arm`) for
+//! the same cell and holds it to the same gate: the disarmed path is
+//! one relaxed atomic load per run (the alloc-count test proves it
+//! allocation-free), and the armed path samples once per run plus a
+//! handful of phase spans, so both must stay inside the ratio.
+//!
 //! The gate ratio defaults to 1.25 and can be loosened for noisy
 //! machines with `RVP_OBS_BENCH_RATIO`.
 
@@ -62,6 +68,17 @@ fn main() {
         black_box(full.run(&wl, scheme).expect("instrumented run"));
     });
 
+    // Armed span tracer over the otherwise-off configuration: per run
+    // it costs the sim.run/warmup/steady/finalize spans plus the
+    // bounded recovery-burst records, drained between iterations so the
+    // ring never saturates and every iteration pays the same price.
+    rvp_core::span::arm(rvp_core::span::DEFAULT_RING_CAPACITY);
+    let t_traced = min_time(|| {
+        black_box(off.run(&wl, scheme).expect("traced run"));
+        black_box(rvp_core::span::drain());
+    });
+    rvp_core::span::disarm();
+
     let ratio = |t: Duration| t.as_secs_f64() / t_off.as_secs_f64().max(1e-9);
     println!("obs_overhead/off              min {t_off:>12.3?}");
     println!(
@@ -69,10 +86,11 @@ fn main() {
         ratio(t_sampled)
     );
     println!("obs_overhead/full             min {t_full:>12.3?}  ({:.3}x off)", ratio(t_full));
+    println!("obs_overhead/spans_armed      min {t_traced:>12.3?}  ({:.3}x off)", ratio(t_traced));
 
     let max_ratio: f64 =
         std::env::var("RVP_OBS_BENCH_RATIO").ok().and_then(|v| v.parse().ok()).unwrap_or(1.25);
-    let worst = ratio(t_full).max(ratio(t_sampled));
+    let worst = ratio(t_full).max(ratio(t_sampled)).max(ratio(t_traced));
     assert!(
         worst <= max_ratio,
         "instrumentation overhead {worst:.3}x exceeds the {max_ratio:.2}x gate \

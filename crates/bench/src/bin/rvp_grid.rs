@@ -7,8 +7,8 @@
 //!
 //! ```text
 //! rvp-grid [OUT_DIR] [--workloads A,B,...] [--schemes A,B,...] \
-//!          [--source MODE] [--metrics-out FILE] [--resume] \
-//!          [--retries N] [--cell-timeout SECS]
+//!          [--source MODE] [--metrics-out FILE] [--trace-out FILE] \
+//!          [--resume] [--retries N] [--cell-timeout SECS]
 //! ```
 //!
 //! `OUT_DIR` defaults to `RVP_JSON_DIR`, then `results/`.
@@ -23,6 +23,11 @@
 //! (time series + per-PC telemetry) on every cell — the artifacts land
 //! inside the cell JSONs — and writes a grid-level summary (throughput,
 //! trace-cache and per-workload source counters, failures) to FILE.
+//! `--trace-out` arms the span tracer for the whole run and writes the
+//! collected spans (prewarm, schedule, per-cell run/attempt/write, and
+//! the simulator's phase spans) to FILE: Chrome trace-event JSON by
+//! default — open it in Perfetto or `chrome://tracing` — or
+//! folded-stack text when FILE ends in `.folded`.
 //!
 //! ## Crash safety and containment
 //!
@@ -89,8 +94,8 @@ fn worker_count(cells: usize) -> usize {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rvp-grid [OUT_DIR] [--workloads A,B,...] [--schemes A,B,...] \
-         [--source live|replay|shared] [--metrics-out FILE] [--resume] \
-         [--retries N] [--cell-timeout SECS]"
+         [--source live|replay|shared] [--metrics-out FILE] [--trace-out FILE] \
+         [--resume] [--retries N] [--cell-timeout SECS]"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -150,6 +155,7 @@ fn main() -> ExitCode {
     let mut only: Option<Vec<String>> = None;
     let mut only_schemes: Option<Vec<String>> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut source: Option<SourceMode> = None;
     let mut resume = false;
     let mut opts = CellOptions::default();
@@ -175,6 +181,10 @@ fn main() -> ExitCode {
             },
             "--metrics-out" => match it.next() {
                 Some(p) => metrics_out = Some(p.into()),
+                None => return usage(),
+            },
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p.into()),
                 None => return usage(),
             },
             "--resume" => resume = true,
@@ -258,6 +268,9 @@ fn main() -> ExitCode {
     if metrics_out.is_some() {
         runner.obs = ObsConfig::standard();
     }
+    if trace_out.is_some() {
+        rvp_core::span::arm(rvp_core::span::DEFAULT_RING_CAPACITY);
+    }
     let mut cells: Vec<GridCell> = workloads
         .iter()
         .flat_map(|wl| schemes.iter().map(|&scheme| GridCell { workload: wl.clone(), scheme }))
@@ -307,7 +320,10 @@ fn main() -> ExitCode {
 
     let prior = prior_timings(&out_dir);
     let known = cells.iter().filter(|c| prior.contains_key(&c.label())).count();
-    schedule(&mut cells, &prior, runner.measure_insts);
+    {
+        let _span = rvp_core::span!("grid.schedule", { cells: cells.len(), known });
+        schedule(&mut cells, &prior, runner.measure_insts);
+    }
     let workers = worker_count(cells.len());
 
     println!(
@@ -351,6 +367,7 @@ fn main() -> ExitCode {
                 scope.spawn(|| loop {
                     let i = next_wl.fetch_add(1, Ordering::Relaxed);
                     let Some(wl) = pending.get(i) else { return };
+                    let _span = rvp_core::span!("grid.prewarm", { workload: wl.name() });
                     if let Err(e) = runner.prewarm_trace(wl) {
                         log::warn(
                             "rvp-grid",
@@ -516,6 +533,25 @@ fn main() -> ExitCode {
             );
         }
         println!("grid metrics written: {}", path.display());
+    }
+    if let Some(path) = &trace_out {
+        let data = rvp_core::span::drain();
+        match rvp_core::span::write_trace_file(path, &data) {
+            Ok(()) => println!(
+                "grid trace written: {} ({} spans, {} dropped)",
+                path.display(),
+                data.spans.len(),
+                data.dropped
+            ),
+            Err(e) => {
+                return fatal(
+                    "rvp-grid",
+                    "cannot write trace file",
+                    EXIT_IO,
+                    &[("path", path.display().to_string().into()), ("error", e.to_string().into())],
+                );
+            }
+        }
     }
     if !poisoned.is_empty() {
         return fatal(

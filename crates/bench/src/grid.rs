@@ -227,6 +227,7 @@ pub fn run_one_cell(
     out_dir: &Path,
 ) -> Result<CellSuccess, PoisonedCell> {
     let label = cell.label();
+    let mut cell_span = rvp_core::span!("grid.cell.run", { cell: label.as_str() });
     let start = Instant::now();
     let mut attempts = 0u64;
     let mut last: Option<AttemptError> = None;
@@ -239,29 +240,46 @@ pub fn run_one_cell(
         let mut attempt_idx = 0u32;
         loop {
             attempts += 1;
-            match attempt(&r, cell, opts.timeout_secs) {
-                Ok(result) => match emit_with_retry(out_dir, &result, opts, &mut attempts) {
-                    Ok((file, file_fnv)) => {
-                        let committed = result.stats.committed;
-                        return Ok(CellSuccess {
-                            label,
-                            result: Some(result),
-                            committed,
-                            file,
-                            file_fnv,
-                            seconds: start.elapsed().as_secs_f64(),
-                            retries: attempts - 1,
-                            source: mode.name(),
-                            resumed: false,
-                        });
+            let outcome = {
+                let _span = rvp_core::span!("grid.cell.attempt", {
+                    cell: label.as_str(),
+                    stage: mode.name(),
+                    attempt: attempts,
+                });
+                attempt(&r, cell, opts.timeout_secs)
+            };
+            match outcome {
+                Ok(result) => {
+                    let emitted = {
+                        let _span = rvp_core::span!("grid.cell.write", { cell: label.as_str() });
+                        emit_with_retry(out_dir, &result, opts, &mut attempts)
+                    };
+                    match emitted {
+                        Ok((file, file_fnv)) => {
+                            let committed = result.stats.committed;
+                            cell_span.add_field("source", mode.name());
+                            cell_span.add_field("retries", attempts - 1);
+                            return Ok(CellSuccess {
+                                label,
+                                result: Some(result),
+                                committed,
+                                file,
+                                file_fnv,
+                                seconds: start.elapsed().as_secs_f64(),
+                                retries: attempts - 1,
+                                source: mode.name(),
+                                resumed: false,
+                            });
+                        }
+                        Err(e) => {
+                            // The simulation succeeded but its result
+                            // could not be made durable even after
+                            // retries; re-simulating will not fix the
+                            // disk.
+                            return Err(poisoned(&label, &e, mode.name(), attempts));
+                        }
                     }
-                    Err(e) => {
-                        // The simulation succeeded but its result could
-                        // not be made durable even after retries;
-                        // re-simulating will not fix the disk.
-                        return Err(poisoned(&label, &e, mode.name(), attempts));
-                    }
-                },
+                }
                 Err(e) => {
                     log::warn(
                         "rvp-grid",

@@ -24,7 +24,11 @@
 //!    embedded in `BENCH_serve.json`): request/error/job counters,
 //!    cache hit rate, queue high-water mark and the latency histogram
 //!    quantiles. A directory holding only serve metrics (the CI
-//!    artifact case) renders without any cell files.
+//!    artifact case) renders without any cell files,
+//! 7. a spans section for any Chrome trace-event JSON in the directory
+//!    (written by `--trace-out` or downloaded from `GET /trace`):
+//!    top spans by self time, the critical path under the longest
+//!    root, and the per-job queue-wait vs exec-time breakdown.
 //!
 //! The binary is read-only: it never simulates, so it renders in
 //! milliseconds even for a full 135-cell grid.
@@ -33,6 +37,7 @@ use std::collections::BTreeSet;
 use std::path::Path;
 use std::process::ExitCode;
 
+use rvp_core::span::{self, FieldValue};
 use rvp_core::{fatal, log, CpiBucket, Json, PaperScheme, EXIT_CONFIG, EXIT_IO, EXIT_USAGE};
 
 /// One parsed cell file.
@@ -62,9 +67,9 @@ fn main() -> ExitCode {
         }
     };
     if cells.is_empty() {
-        // A serve-metrics artifact directory has no cells; render the
-        // serving section alone rather than refusing.
-        if print_serve_metrics(Path::new(dir)) > 0 {
+        // A serve-metrics or trace artifact directory has no cells;
+        // render those sections alone rather than refusing.
+        if print_serve_metrics(Path::new(dir)) + print_spans(Path::new(dir)) > 0 {
             return ExitCode::SUCCESS;
         }
         return fatal(
@@ -92,7 +97,77 @@ fn main() -> ExitCode {
     print_trace_sources(Path::new(dir));
     print_resilience(Path::new(dir));
     print_serve_metrics(Path::new(dir));
+    print_spans(Path::new(dir));
     ExitCode::SUCCESS
+}
+
+/// Renders the spans section for every Chrome trace-event JSON file in
+/// `dir` (a `traceEvents` key marks one): top spans by self time, the
+/// critical path under the longest root, and — when the trace carries
+/// serve-side spans — the per-job queue-wait vs exec-time breakdown.
+/// Returns how many traces were rendered.
+fn print_spans(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let mut rendered = 0;
+    for path in paths {
+        let Some(data) = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .filter(|j| j.get("traceEvents").is_some())
+            .and_then(|j| span::from_chrome_trace(&j))
+        else {
+            continue;
+        };
+        if data.spans.is_empty() {
+            continue;
+        }
+        rendered += 1;
+        println!(
+            "\nspans ({}, {} spans, {} dropped)",
+            path.display(),
+            data.spans.len(),
+            data.dropped
+        );
+        println!("{:>26} {:>8} {:>12}", "name", "count", "self_us");
+        for (name, self_us, count) in span::self_time_by_name(&data).into_iter().take(10) {
+            println!("{name:>26} {count:>8} {self_us:>12}");
+        }
+        if let Some(root) = span::roots(&data).first() {
+            let chain: Vec<String> = span::critical_path(&data, root)
+                .iter()
+                .map(|s| format!("{} ({}us)", s.name, s.dur_us))
+                .collect();
+            println!("  critical path: {}", chain.join(" -> "));
+        }
+        // Queue-wait vs exec, keyed by the `job` correlation field the
+        // daemon stamps onto both span kinds.
+        let mut jobs: std::collections::BTreeMap<u64, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for s in &data.spans {
+            let Some(FieldValue::U64(job)) = s.field("job") else { continue };
+            let slot = jobs.entry(*job).or_default();
+            match s.name.as_ref() {
+                "serve.queue.wait" => slot.0 += s.dur_us,
+                "serve.cell.exec" => slot.1 += s.dur_us,
+                _ => {}
+            }
+        }
+        if jobs.values().any(|&(wait, exec)| wait > 0 || exec > 0) {
+            println!("{:>12} {:>14} {:>12} {:>7}", "job", "queue_wait_us", "exec_us", "wait%");
+            for (job, (wait, exec)) in jobs {
+                let total = wait + exec;
+                let share = if total > 0 { 100.0 * wait as f64 / total as f64 } else { 0.0 };
+                println!("{job:>12} {wait:>14} {exec:>12} {share:>6.1}%");
+            }
+        }
+    }
+    rendered
 }
 
 /// Renders the daemon-side counters from any `rvp-serve` metrics

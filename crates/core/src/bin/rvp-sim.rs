@@ -14,6 +14,11 @@
 //!   --max-insts N     committed-instruction budget                [1000000]
 //!   --metrics-out P   write full stats (CPI stack, time series,
 //!                     per-PC top-K tables) as JSON to path P
+//!   --trace-out P     arm the span tracer and write the run's spans
+//!                     (warmup, steady state, recovery bursts, finalize)
+//!                     to P: Chrome trace-event JSON for Perfetto /
+//!                     chrome://tracing, or folded stacks if P ends in
+//!                     `.folded`
 //!   --emulate         run the functional emulator only
 //! ```
 //!
@@ -35,7 +40,7 @@ use rvp_core::{
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rvp-sim <program.asm | --workload NAME> [--scheme S] [--recovery R] \
-         [--machine M] [--max-insts N] [--metrics-out PATH] [--emulate]"
+         [--machine M] [--max-insts N] [--metrics-out PATH] [--trace-out PATH] [--emulate]"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -49,6 +54,7 @@ fn main() -> ExitCode {
     let mut machine = "table1".to_owned();
     let mut max_insts: u64 = 1_000_000;
     let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut emulate = false;
 
     let mut it = args.into_iter();
@@ -67,6 +73,12 @@ fn main() -> ExitCode {
             "--metrics-out" => {
                 metrics_out = it.next();
                 if metrics_out.is_none() {
+                    return usage();
+                }
+            }
+            "--trace-out" => {
+                trace_out = it.next();
+                if trace_out.is_none() {
                     return usage();
                 }
             }
@@ -186,6 +198,9 @@ fn main() -> ExitCode {
     // A metrics file wants the full artifact, so turn the optional
     // instrumentation on for that case only.
     let obs = if metrics_out.is_some() { ObsConfig::standard() } else { ObsConfig::off() };
+    if trace_out.is_some() {
+        rvp_core::span::arm(rvp_core::span::DEFAULT_RING_CAPACITY);
+    }
 
     match Simulator::new(config, scheme, recovery).with_obs(obs).run(&program, max_insts) {
         Ok(s) => {
@@ -218,6 +233,19 @@ fn main() -> ExitCode {
                     );
                 }
                 println!("metrics written: {path}");
+            }
+            if let Some(path) = trace_out {
+                let data = rvp_core::span::drain();
+                if let Err(e) = rvp_core::span::write_trace_file(std::path::Path::new(&path), &data)
+                {
+                    return fatal(
+                        "rvp-sim",
+                        "cannot write trace file",
+                        EXIT_IO,
+                        &[("path", path.as_str().into()), ("error", e.to_string().into())],
+                    );
+                }
+                println!("trace written:   {path} ({} spans)", data.spans.len());
             }
             ExitCode::SUCCESS
         }

@@ -51,7 +51,10 @@ pub use rvp_emu::{Committed, EmuError, Emulator};
 pub use rvp_isa::{parse_asm, AsmError, Program, ProgramBuilder, Reg};
 pub use rvp_json::{Json, ToJson};
 pub use rvp_mem::{Hierarchy, MemConfig};
-pub use rvp_obs::{log, CpiBucket, CpiStack, ObsConfig, ObsReport, PcEntry, WindowSample};
+pub use rvp_obs::{
+    log, span, Clock, CpiBucket, CpiStack, Metric, MetricsRegistry, ObsConfig, ObsReport, PcEntry,
+    WindowSample,
+};
 pub use rvp_profile::{Assist, Fig1Row, PlanScope, Profile, ProfileConfig, ReuseLists, SrvpLevel};
 pub use rvp_realloc::{reallocate, ReallocOptions, ReallocOutcome};
 pub use rvp_trace::{

@@ -332,6 +332,27 @@ impl SourceCounters {
         out
     }
 
+    /// The tallies as unified-registry samples (`rvp_source_*_total`,
+    /// one labelled sample per workload).
+    pub fn metrics(&self) -> Vec<rvp_obs::Metric> {
+        let mut out = Vec::new();
+        for (workload, tally) in self.snapshot() {
+            out.push(
+                rvp_obs::Metric::counter("rvp_source_captures_total", tally.captures)
+                    .with_label("workload", workload),
+            );
+            out.push(
+                rvp_obs::Metric::counter("rvp_source_shared_hits_total", tally.shared_hits)
+                    .with_label("workload", workload),
+            );
+            out.push(
+                rvp_obs::Metric::counter("rvp_source_live_fallbacks_total", tally.live_fallbacks)
+                    .with_label("workload", workload),
+            );
+        }
+        out
+    }
+
     /// Sum over all workloads.
     pub fn total(&self) -> SourceTally {
         self.snapshot().into_iter().fold(SourceTally::default(), |mut acc, (_, t)| {
@@ -443,6 +464,7 @@ impl Runner {
         program: &Program,
         budget: u64,
     ) -> Result<Profile, SimError> {
+        let _span = rvp_obs::span!("runner.profile", { workload: name, budget });
         let cfg = ProfileConfig { max_insts: budget, min_execs: 32 };
         if let Some(store) = &self.traces {
             let meta = TraceMeta::for_program(name, trace_input(input), budget, program);
@@ -572,6 +594,7 @@ impl Runner {
         let mut sim = Simulator::new(self.config.clone(), sim_scheme, self.recovery)
             .with_obs(self.obs.clone());
         let mode = if reallocated { SourceMode::Live } else { self.source_mode };
+        let _span = rvp_obs::span!("runner.measure", { workload: name, source: mode.name() });
 
         match mode {
             SourceMode::Live => {
@@ -635,6 +658,7 @@ impl Runner {
         let name = wl.name();
         let (trace, captured) =
             self.shared_traces.get_or_capture((name, Input::Ref, self.measure_insts), || {
+                let _span = rvp_obs::span!("runner.trace.load", { workload: name });
                 let base = wl.program(Input::Ref);
                 if let Some(store) = &self.traces {
                     let meta =

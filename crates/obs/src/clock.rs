@@ -1,0 +1,89 @@
+//! A monotonic microsecond clock, mockable for tests.
+//!
+//! Spans, the serve latency histogram and the queue-wait accounting all
+//! need the same property: timestamps that only move forward and that
+//! two threads can compare. `SystemTime` gives neither (it can step
+//! backwards under NTP); `Instant` gives both but cannot be faked in a
+//! test. [`Clock`] wraps a process-global `Instant` epoch behind an
+//! enum with a mock variant, so production code pays one subtraction
+//! and tests can advance time by hand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// The process-global epoch all monotonic readings are relative to.
+/// Every [`Clock::monotonic`] shares it, so timestamps from different
+/// clock handles (and different threads) live on one timeline.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process-global epoch.
+pub fn monotonic_us() -> u64 {
+    epoch().elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// A microsecond clock: monotonic in production, hand-advanced in
+/// tests. Cloning is cheap and clones of a mock share their timeline.
+#[derive(Debug, Clone, Default)]
+pub enum Clock {
+    /// Real time relative to the process-global epoch.
+    #[default]
+    Monotonic,
+    /// A manually advanced timeline (shared by clones).
+    Mock(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// The production clock.
+    pub fn monotonic() -> Clock {
+        Clock::Monotonic
+    }
+
+    /// A mock clock starting at `start_us`; advance it with
+    /// [`Clock::advance_us`].
+    pub fn mock(start_us: u64) -> Clock {
+        Clock::Mock(Arc::new(AtomicU64::new(start_us)))
+    }
+
+    /// Current reading in microseconds.
+    pub fn now_us(&self) -> u64 {
+        match self {
+            Clock::Monotonic => monotonic_us(),
+            Clock::Mock(t) => t.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Advances a mock clock; a no-op on the monotonic clock (real time
+    /// does not take instructions).
+    pub fn advance_us(&self, us: u64) {
+        if let Clock::Mock(t) = self {
+            t.fetch_add(us, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_never_decreases() {
+        let clock = Clock::monotonic();
+        let a = clock.now_us();
+        let b = clock.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_advances_and_clones_share_time() {
+        let clock = Clock::mock(100);
+        let twin = clock.clone();
+        assert_eq!(clock.now_us(), 100);
+        twin.advance_us(50);
+        assert_eq!(clock.now_us(), 150, "clones share the mock timeline");
+        Clock::monotonic().advance_us(1_000_000);
+    }
+}

@@ -1,6 +1,6 @@
 //! Observability layer for the RVP reproduction.
 //!
-//! Four pieces, designed so that the simulator's hot loop pays nothing
+//! Seven pieces, designed so that the simulator's hot loop pays nothing
 //! when they are off:
 //!
 //! 1. **Cycle accounting** ([`CpiStack`], [`CpiBucket`]) — the timing
@@ -19,18 +19,32 @@
 //!    — lock-free request/queue/cache counters and a power-of-two
 //!    latency histogram for the `rvp-serve` daemon's `/metrics`
 //!    endpoint.
+//! 6. **Span tracing** ([`span`], the [`span!`] macro) — hierarchical
+//!    wall-clock spans across serve → grid → cell → simulator, with
+//!    Chrome trace-event (Perfetto) and folded-stack exporters.
+//!    Disarmed cost is one relaxed atomic load.
+//! 7. **A unified metrics registry** ([`MetricsRegistry`]) — one pull
+//!    model over the scattered counters, with Prometheus text
+//!    exposition; and the mockable monotonic [`Clock`] everything
+//!    above stamps time with.
 
+pub mod clock;
 mod config;
 mod cpi;
 pub mod log;
 mod pcstats;
+mod registry;
 mod report;
 mod sample;
 mod serve_metrics;
+pub mod span;
 
+pub use clock::Clock;
 pub use config::ObsConfig;
 pub use cpi::{CpiBucket, CpiStack};
 pub use pcstats::{PcEntry, PcTable};
+pub use registry::{Metric, MetricKind, MetricsRegistry};
 pub use report::ObsReport;
 pub use sample::{CounterSnapshot, Sampler, WindowSample};
 pub use serve_metrics::{LatencyHistogram, ServeMetrics};
+pub use span::{SpanGuard, SpanRecord, TraceData};

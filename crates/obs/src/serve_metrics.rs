@@ -10,6 +10,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use rvp_json::{Json, ToJson};
 
+use crate::registry::Metric;
+
 /// Power-of-two-bucketed latency histogram in microseconds.
 ///
 /// Bucket `i` counts samples in `[2^i, 2^(i+1))` microseconds (bucket 0
@@ -154,6 +156,39 @@ impl ServeMetrics {
     /// Drops the queue depth as cells finish.
     pub fn queue_exit(&self, cells: u64) {
         self.queue_depth.fetch_sub(cells, Ordering::Relaxed);
+    }
+
+    /// The counters as registry samples, for the unified
+    /// [`MetricsRegistry`](crate::MetricsRegistry) / Prometheus
+    /// exposition. Names follow Prometheus conventions
+    /// (`rvp_serve_*_total` counters, `rvp_serve_*` gauges).
+    pub fn metrics(&self) -> Vec<Metric> {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let latency = &self.request_latency;
+        vec![
+            Metric::counter("rvp_serve_requests_total", get(&self.requests)),
+            Metric::counter("rvp_serve_client_errors_total", get(&self.client_errors)),
+            Metric::counter("rvp_serve_server_errors_total", get(&self.server_errors)),
+            Metric::counter("rvp_serve_rejected_total", get(&self.rejected)),
+            Metric::counter("rvp_serve_jobs_submitted_total", get(&self.jobs_submitted)),
+            Metric::counter("rvp_serve_jobs_completed_total", get(&self.jobs_completed)),
+            Metric::counter("rvp_serve_jobs_resumed_total", get(&self.jobs_resumed)),
+            Metric::counter("rvp_serve_cache_hits_total", get(&self.cache_hits)),
+            Metric::counter("rvp_serve_cache_misses_total", get(&self.cache_misses)),
+            Metric::gauge("rvp_serve_cache_hit_rate", self.cache_hit_rate()),
+            Metric::counter("rvp_serve_cells_computed_total", get(&self.cells_computed)),
+            Metric::counter("rvp_serve_cells_failed_total", get(&self.cells_failed)),
+            Metric::gauge("rvp_serve_queue_depth", get(&self.queue_depth) as f64),
+            Metric::gauge("rvp_serve_queue_peak", get(&self.queue_peak) as f64),
+            Metric::counter("rvp_serve_request_latency_count", latency.count()),
+            Metric::gauge("rvp_serve_request_latency_us", latency.quantile_us(0.50) as f64)
+                .with_label("quantile", "0.5"),
+            Metric::gauge("rvp_serve_request_latency_us", latency.quantile_us(0.90) as f64)
+                .with_label("quantile", "0.9"),
+            Metric::gauge("rvp_serve_request_latency_us", latency.quantile_us(0.99) as f64)
+                .with_label("quantile", "0.99"),
+            Metric::gauge("rvp_serve_request_latency_max_us", latency.max_us() as f64),
+        ]
     }
 
     /// Fraction of cell lookups served from the cache (0 when idle).

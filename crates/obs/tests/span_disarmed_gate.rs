@@ -1,0 +1,90 @@
+//! Disarmed-overhead gate for the span tracer, in the style of the
+//! uarch `alloc_gate` test: a counting global allocator proves that a
+//! disarmed `span!` makes *zero* allocations, and that the allocation
+//! count is independent of how many disarmed spans run — i.e. the
+//! disarmed path is one relaxed atomic load, not a hidden buffer.
+//!
+//! This lives in its own test binary so the global allocator and the
+//! process-global armed flag cannot interfere with the other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use rvp_obs::{span, Clock};
+
+struct CountingAlloc;
+
+// Per-thread count: the libtest harness thread can allocate at any
+// moment (channel waits, timeout bookkeeping), so a process-global
+// counter makes the gate flaky. Const-init TLS is itself
+// allocation-free, and `try_with` keeps the allocator safe during
+// thread teardown.
+thread_local! {
+    static THREAD_ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    let _ = THREAD_ALLOC_CALLS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOC_CALLS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations made by `iterations` disarmed span scopes (with fields,
+/// nesting and an id probe — the full disarmed API surface).
+fn disarmed_allocs(iterations: u64) -> u64 {
+    let fnv = 0xfeed_faceu64;
+    let before = thread_allocs();
+    for i in 0..iterations {
+        let outer = span!("gate.outer", { fnv, i });
+        let _inner = span!("gate.inner", { label: "li/lvp" });
+        assert_eq!(outer.id(), 0, "disarmed guard has no id");
+        assert_eq!(span::current(), 0);
+    }
+    thread_allocs() - before
+}
+
+#[test]
+fn disarmed_spans_allocate_nothing() {
+    assert!(!span::armed(), "tracer must start disarmed");
+
+    // Warm up once so lazy statics (thread-locals, locks) are paid for
+    // outside the measured windows.
+    disarmed_allocs(10);
+
+    let small = disarmed_allocs(1_000);
+    let large = disarmed_allocs(100_000);
+    assert_eq!(small, 0, "disarmed span scopes must not allocate");
+    assert_eq!(small, large, "allocation count must be independent of disarmed span volume");
+
+    // Sanity: the same scopes *do* record (and may allocate) once armed,
+    // proving the gate is measuring the real API.
+    span::arm_with_clock(1024, Clock::mock(0));
+    {
+        let _outer = span!("gate.outer", { fnv: 1u64 });
+        let _inner = span!("gate.inner");
+    }
+    let data = span::drain();
+    span::disarm();
+    assert_eq!(data.spans.len(), 2);
+}

@@ -1,0 +1,169 @@
+//! Span tracer integration tests: nesting, cross-thread parenting, and
+//! Perfetto (Chrome trace-event) JSON round-trip validity through
+//! `Json::parse`.
+//!
+//! The tracer is process-global, so every test serializes on one lock
+//! and re-arms with its own mock clock.
+
+use std::sync::Mutex;
+
+use rvp_json::Json;
+use rvp_obs::span::{chrome_trace_json, from_chrome_trace, FieldValue, TraceData};
+// `use rvp_obs::span` pulls in both the module and the root-exported
+// `span!` macro (distinct namespaces, one import).
+use rvp_obs::{span, Clock};
+
+fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn nesting_assigns_parents_and_times() {
+    let _lock = test_lock();
+    let clock = Clock::mock(1_000);
+    span::arm_with_clock(1024, clock.clone());
+
+    {
+        let outer = span!("request", { job: 42u64 });
+        let outer_id = outer.id();
+        assert_ne!(outer_id, 0);
+        clock.advance_us(100);
+        {
+            let inner = span!("parse");
+            assert_ne!(inner.id(), outer_id);
+            clock.advance_us(25);
+        }
+        {
+            let mut exec = span!("exec", { label: "li/lvp" });
+            exec.add_field("retries", 1u64);
+            clock.advance_us(300);
+        }
+    }
+
+    let data = span::drain();
+    span::disarm();
+    assert_eq!(data.spans.len(), 3);
+    assert_eq!(data.dropped, 0);
+
+    let request = find(&data, "request");
+    let parse = find(&data, "parse");
+    let exec = find(&data, "exec");
+    assert_eq!(request.parent, 0, "top-level span is a root");
+    assert_eq!(parse.parent, request.id);
+    assert_eq!(exec.parent, request.id);
+    assert_eq!(request.start_us, 1_000);
+    assert_eq!(request.dur_us, 425);
+    assert_eq!(parse.dur_us, 25);
+    assert_eq!(exec.dur_us, 300);
+    assert_eq!(request.field("job"), Some(&FieldValue::U64(42)));
+    assert_eq!(exec.field("label"), Some(&FieldValue::Str("li/lvp".to_owned())));
+    assert_eq!(exec.field("retries"), Some(&FieldValue::U64(1)));
+    // All three ran on this thread.
+    assert_eq!(parse.tid, request.tid);
+    assert_eq!(exec.tid, request.tid);
+}
+
+#[test]
+fn cross_thread_children_keep_their_parent() {
+    let _lock = test_lock();
+    let clock = Clock::mock(0);
+    span::arm_with_clock(1024, clock.clone());
+
+    let parent_id = {
+        let parent = span!("submit");
+        let parent_id = parent.id();
+        clock.advance_us(10);
+        let worker = std::thread::spawn({
+            let clock = clock.clone();
+            move || {
+                let exec = span::child_of(parent_id, "cell.exec", || {
+                    vec![("cell".into(), "li/lvp".into())]
+                });
+                clock.advance_us(50);
+                // Children opened on the worker nest under the handoff.
+                let nested = span!("sim.run");
+                clock.advance_us(5);
+                drop(nested);
+                drop(exec);
+            }
+        });
+        worker.join().unwrap();
+        parent_id
+    };
+
+    let data = span::drain();
+    span::disarm();
+    let submit = find(&data, "submit");
+    let exec = find(&data, "cell.exec");
+    let nested = find(&data, "sim.run");
+    assert_eq!(submit.id, parent_id);
+    assert_eq!(exec.parent, parent_id, "explicit parent crosses the thread boundary");
+    assert_eq!(nested.parent, exec.id, "worker-side nesting continues under the handoff");
+    assert_ne!(exec.tid, submit.tid, "worker ran on its own tid");
+}
+
+#[test]
+fn queue_wait_style_manual_records_land_in_the_ring() {
+    let _lock = test_lock();
+    span::arm_with_clock(16, Clock::mock(0));
+    let id = span::record("queue.wait", 7, 100, 350, vec![("job".into(), 3u64.into())]);
+    assert_ne!(id, 0);
+    let data = span::drain();
+    span::disarm();
+    let wait = find(&data, "queue.wait");
+    assert_eq!(wait.parent, 7);
+    assert_eq!(wait.start_us, 100);
+    assert_eq!(wait.dur_us, 250);
+}
+
+#[test]
+fn perfetto_json_round_trips_through_parse() {
+    let _lock = test_lock();
+    let clock = Clock::mock(500);
+    span::arm_with_clock(1024, clock.clone());
+    {
+        let _root = span!("grid.cell", { fnv: 0xdeadbeefu64, label: "li/lvp" });
+        clock.advance_us(40);
+        let _child = span!("sim.measure");
+        clock.advance_us(10);
+    }
+    let data = span::drain();
+    span::disarm();
+
+    // Export → serialize via to_writer → parse back via Json::parse.
+    let exported = chrome_trace_json(&data);
+    let mut bytes = Vec::new();
+    exported.to_writer(&mut bytes).expect("to_writer");
+    let text = String::from_utf8(bytes).expect("utf-8");
+    let reparsed = Json::parse(&text).expect("valid JSON");
+
+    // Chrome trace-event shape: object form with an X event per span.
+    let events = reparsed.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    assert_eq!(events.len(), 2);
+    for event in events {
+        assert_eq!(event.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(event.get("ts").and_then(Json::as_u64).is_some());
+        assert!(event.get("dur").and_then(Json::as_u64).is_some());
+        assert!(event.get("args").and_then(|a| a.get("span_id")).is_some());
+    }
+
+    // Parent links survive the round trip.
+    let back = from_chrome_trace(&reparsed).expect("parse back");
+    assert_eq!(back.dropped, 0);
+    let root = find(&back, "grid.cell");
+    let child = find(&back, "sim.measure");
+    assert_eq!(root.parent, 0);
+    assert_eq!(child.parent, root.id);
+    assert_eq!(root.start_us, 500);
+    assert_eq!(root.dur_us, 50);
+    assert_eq!(root.field("fnv"), Some(&FieldValue::U64(0xdeadbeef)));
+    assert_eq!(root.field("label"), Some(&FieldValue::Str("li/lvp".to_owned())));
+}
+
+fn find<'a>(data: &'a TraceData, name: &str) -> &'a rvp_obs::SpanRecord {
+    data.spans
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("no span named {name} in {:?}", data.spans))
+}

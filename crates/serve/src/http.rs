@@ -42,8 +42,10 @@ impl From<io::Error> for HttpError {
 pub struct Request {
     /// `GET`, `POST`, ... (uppercased by the sender, not normalized).
     pub method: String,
-    /// Path component only; any `?query` is split off and discarded.
+    /// Path component only; any `?query` is split off into `query`.
     pub path: String,
+    /// Raw query string after the `?` (empty when none was sent).
+    pub query: String,
     /// Raw body bytes (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
@@ -66,7 +68,10 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported HTTP version"));
     }
-    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
 
     let mut content_length = 0usize;
     let mut keep_alive = true;
@@ -99,7 +104,18 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>
 
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(Some(Request { method, path, body, keep_alive }))
+    Ok(Some(Request { method, path, query, body, keep_alive }))
+}
+
+impl Request {
+    /// Value of a `key=value` pair in the query string, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
 }
 
 /// Reads one CRLF-terminated head line, charging it against the shared
@@ -141,6 +157,29 @@ pub fn write_json_response(
     }
     out.write_all(b"\r\n")?;
     out.write_all(&payload)?;
+    out.flush()
+}
+
+/// Writes a plain-text response (Prometheus exposition, folded stacks).
+pub fn write_text_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> io::Result<()> {
+    let mut out = io::BufWriter::new(stream);
+    write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    for (name, value) in extra_headers {
+        write!(out, "{name}: {value}\r\n")?;
+    }
+    out.write_all(b"\r\n")?;
+    out.write_all(body.as_bytes())?;
     out.flush()
 }
 

@@ -30,11 +30,11 @@ use std::time::{Duration, Instant};
 use rvp_bench::grid::{run_one_cell, CellOptions, GridCell};
 use rvp_core::Runner;
 use rvp_json::{Json, ToJson};
-use rvp_obs::{log, ServeMetrics};
+use rvp_obs::{log, span, Clock, Metric, MetricsRegistry, ServeMetrics};
 use rvp_trace::TraceStore;
 
 use crate::cache::ResultCache;
-use crate::http::{read_request, write_json_response, HttpError, Request};
+use crate::http::{read_request, write_json_response, write_text_response, HttpError, Request};
 use crate::journal::JobJournal;
 use crate::spec::SweepSpec;
 
@@ -119,7 +119,10 @@ impl Job {
     }
 
     /// Fills one cell; returns true when this completed the job.
-    fn complete(&self, idx: usize, outcome: CellOutcome) -> bool {
+    /// Deliberately does NOT wake waiters — the worker journals the
+    /// completion first, so a client's 200 can never outrun the done
+    /// record's fsync. Call [`Job::notify_done`] afterwards.
+    fn fill(&self, idx: usize, outcome: CellOutcome) -> bool {
         let mut state = self.state.lock().unwrap();
         let slot = &mut state.cells[idx];
         if slot.outcome.is_some() {
@@ -127,12 +130,12 @@ impl Job {
         }
         slot.outcome = Some(outcome);
         state.remaining -= 1;
-        let done = state.remaining == 0;
-        drop(state);
-        if done {
-            self.cv.notify_all();
-        }
-        done
+        state.remaining == 0
+    }
+
+    /// Wakes everyone blocked in [`Job::wait`].
+    fn notify_done(&self) {
+        self.cv.notify_all();
     }
 
     /// Whether every cell has an outcome.
@@ -206,6 +209,14 @@ struct CellTask {
     /// Admission order; earlier wins ties so equal-cost cells are FIFO.
     seq: u64,
     fingerprint: u64,
+    /// Tracer timestamp at admission; the worker that dequeues this
+    /// task back-fills a `serve.queue.wait` span from it.
+    enqueued_us: u64,
+    /// The admitting request's span id, so the worker-side exec span
+    /// parents onto the request that caused it (cross-thread).
+    parent_span: u64,
+    /// The admitting job's id (correlation with `RVP_LOG` lines).
+    job_id: u64,
     cell: GridCell,
     runner: Runner,
 }
@@ -245,6 +256,12 @@ struct Inner {
     cache: ResultCache,
     journal: JobJournal,
     metrics: Arc<ServeMetrics>,
+    /// Every counter family in the process, unified for `/metrics`.
+    registry: MetricsRegistry,
+    /// Monotonic clock for request latency (mockable in tests).
+    clock: Clock,
+    /// False until the journal replay finishes; `/readyz` gates on it.
+    ready: Arc<AtomicBool>,
     jobs: Mutex<HashMap<u64, Arc<Job>>>,
     next_id: AtomicU64,
     sched: Mutex<Sched>,
@@ -334,6 +351,11 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
 
+    // The daemon always traces: the ring is bounded (drop-newest), the
+    // overhead is covered by the obs_overhead gate, and `GET /trace`
+    // is only useful when there is something in it.
+    span::arm(span::DEFAULT_RING_CAPACITY);
+
     let inner = Arc::new(Inner {
         cfg,
         base,
@@ -341,6 +363,9 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         cache,
         journal,
         metrics: Arc::new(ServeMetrics::new()),
+        registry: MetricsRegistry::new(),
+        clock: Clock::monotonic(),
+        ready: Arc::new(AtomicBool::new(false)),
         jobs: Mutex::new(HashMap::new()),
         next_id: AtomicU64::new(next_id),
         sched: Mutex::new(Sched::default()),
@@ -349,30 +374,45 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         stop: AtomicBool::new(false),
         active_conns: AtomicUsize::new(0),
     });
+    register_collectors(&inner);
 
-    // Re-submit interrupted jobs before accepting traffic: finished
-    // cells hit the cache, the rest re-simulate.
-    for (id, spec_json) in pending {
-        match SweepSpec::from_json(&spec_json, &inner.base) {
-            Ok(spec) => match submit(&inner, spec, Some(id)) {
-                Ok(job) => {
-                    inner.metrics.jobs_resumed.fetch_add(1, Ordering::Relaxed);
-                    log::info(
-                        "rvp-serve",
-                        "resumed journaled job",
-                        &[("id", id.into()), ("done", job.is_done().into())],
-                    );
+    // Re-submit interrupted jobs on a background thread: finished cells
+    // hit the cache, the rest re-simulate. The listener accepts right
+    // away — `/healthz` answers (liveness) while `/readyz` returns 503
+    // until the replay lands every pending job back in the queue.
+    {
+        let inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("serve-replay".to_owned())
+            .spawn(move || {
+                let _span = span!("serve.journal.replay", { pending: pending.len() });
+                for (id, spec_json) in pending {
+                    match SweepSpec::from_json(&spec_json, &inner.base) {
+                        Ok(spec) => match submit(&inner, spec, Some(id)) {
+                            Ok(job) => {
+                                inner.metrics.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+                                log::info(
+                                    "rvp-serve",
+                                    "resumed journaled job",
+                                    &[("id", id.into()), ("done", job.is_done().into())],
+                                );
+                            }
+                            Err(_) => log::warn(
+                                "rvp-serve",
+                                "could not resume journaled job",
+                                &[("id", id.into())],
+                            ),
+                        },
+                        Err(e) => log::warn(
+                            "rvp-serve",
+                            "journaled job spec no longer parses; dropping it",
+                            &[("id", id.into()), ("error", e.into())],
+                        ),
+                    }
                 }
-                Err(_) => {
-                    log::warn("rvp-serve", "could not resume journaled job", &[("id", id.into())])
-                }
-            },
-            Err(e) => log::warn(
-                "rvp-serve",
-                "journaled job spec no longer parses; dropping it",
-                &[("id", id.into()), ("error", e.into())],
-            ),
-        }
+                inner.ready.store(true, Ordering::SeqCst);
+            })
+            .expect("spawn journal replay");
     }
 
     let workers = (0..inner.cfg.workers)
@@ -394,6 +434,27 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
     };
 
     Ok(ServerHandle { addr, inner, accept, workers })
+}
+
+/// Wires every counter family in the process into the unified registry:
+/// the daemon's own [`ServeMetrics`], the runner's per-workload source
+/// tallies, the trace store's cache/quarantine counters, and
+/// `rvp-fail`'s fired-site counters.
+fn register_collectors(inner: &Arc<Inner>) {
+    let metrics = Arc::clone(&inner.metrics);
+    inner.registry.register(move || metrics.metrics());
+    let sources = inner.base.source_counters.clone();
+    inner.registry.register(move || sources.metrics());
+    if let Some(store) = &inner.base.traces {
+        let counters = Arc::clone(store.counters());
+        inner.registry.register(move || counters.metrics());
+    }
+    inner.registry.register(|| {
+        rvp_fail::snapshot()
+            .into_iter()
+            .map(|(site, n)| Metric::counter("rvp_fail_fired_total", n).with_label("site", site))
+            .collect()
+    });
 }
 
 fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
@@ -445,12 +506,15 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
             }
         };
         inner.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        let started = Instant::now();
+        let started_us = inner.clock.now_us();
+        let mut req_span = span!("serve.request", {
+            method: request.method.as_str(),
+            path: request.path.as_str(),
+        });
         let (status, headers, body) = route(inner, &request);
-        inner
-            .metrics
-            .request_latency
-            .record_us(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        req_span.add_field("status", u64::from(status));
+        drop(req_span);
+        inner.metrics.request_latency.record_us(inner.clock.now_us().saturating_sub(started_us));
         respond(inner, &mut write_half, status, &headers, body);
         if !request.keep_alive {
             return;
@@ -458,12 +522,19 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
     }
 }
 
+/// A routed response body: JSON for the API proper, plain text for the
+/// Prometheus exposition and folded stacks.
+enum Body {
+    Json(Json),
+    Text { content_type: &'static str, text: String },
+}
+
 fn respond(
     inner: &Inner,
     stream: &mut TcpStream,
     status: u16,
     headers: &[(&str, String)],
-    body: Json,
+    body: Body,
 ) {
     match status {
         429 => {
@@ -477,7 +548,13 @@ fn respond(
         }
         _ => {}
     }
-    if let Err(e) = write_json_response(stream, status, headers, &body) {
+    let written = match &body {
+        Body::Json(json) => write_json_response(stream, status, headers, json),
+        Body::Text { content_type, text } => {
+            write_text_response(stream, status, content_type, headers, text)
+        }
+    };
+    if let Err(e) = written {
         log::debug(
             "rvp-serve",
             "client went away before the response landed",
@@ -486,34 +563,63 @@ fn respond(
     }
 }
 
-fn error_body(message: impl std::fmt::Display) -> Json {
-    Json::obj([("error", message.to_string().into())])
+fn error_body(message: impl std::fmt::Display) -> Body {
+    Body::Json(Json::obj([("error", message.to_string().into())]))
 }
 
-type Routed = (u16, Vec<(&'static str, String)>, Json);
+type Routed = (u16, Vec<(&'static str, String)>, Body);
 
 fn route(inner: &Arc<Inner>, request: &Request) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/sweep") => sweep_endpoint(inner, &request.body),
-        ("GET", "/metrics") => (200, Vec::new(), inner.metrics.to_json()),
+        ("GET", "/metrics") => {
+            if request.query_param("format") == Some("prom") {
+                let text = inner.registry.to_prometheus();
+                (200, Vec::new(), Body::Text { content_type: "text/plain; version=0.0.4", text })
+            } else {
+                (200, Vec::new(), Body::Json(inner.metrics.to_json()))
+            }
+        }
         ("GET", "/healthz") => {
+            // Liveness only: the process is up and routing requests.
+            // Readiness (journal replayed, safe to submit) is `/readyz`.
             let body = Json::obj([
                 ("ok", true.into()),
                 ("jobs", (inner.jobs.lock().unwrap().len() as u64).into()),
                 ("cache_resident", (inner.cache.resident() as u64).into()),
             ]);
-            (200, Vec::new(), body)
+            (200, Vec::new(), Body::Json(body))
+        }
+        ("GET", "/readyz") => {
+            if inner.ready.load(Ordering::SeqCst) {
+                (200, Vec::new(), Body::Json(Json::obj([("ready", true.into())])))
+            } else {
+                let body = Json::obj([
+                    ("ready", false.into()),
+                    ("reason", "journal replay in progress".into()),
+                ]);
+                (503, vec![("Retry-After", "1".to_owned())], Body::Json(body))
+            }
+        }
+        ("GET", "/trace") => {
+            let data = span::snapshot();
+            if request.query_param("format") == Some("folded") {
+                let text = span::folded_stacks(&data);
+                (200, Vec::new(), Body::Text { content_type: "text/plain", text })
+            } else {
+                (200, Vec::new(), Body::Json(span::chrome_trace_json(&data)))
+            }
         }
         ("GET", path) if path.starts_with("/jobs/") => {
             match path["/jobs/".len()..].parse::<u64>() {
                 Err(_) => (400, Vec::new(), error_body("job id must be an integer")),
                 Ok(id) => match inner.jobs.lock().unwrap().get(&id) {
                     None => (404, Vec::new(), error_body(format!("no such job: {id}"))),
-                    Some(job) => (200, Vec::new(), job.to_json()),
+                    Some(job) => (200, Vec::new(), Body::Json(job.to_json())),
                 },
             }
         }
-        (_, "/sweep" | "/metrics" | "/healthz") => {
+        (_, "/sweep" | "/metrics" | "/healthz" | "/readyz" | "/trace") => {
             (405, Vec::new(), error_body("method not allowed"))
         }
         _ => (404, Vec::new(), error_body(format!("no such endpoint: {}", request.path))),
@@ -521,6 +627,7 @@ fn route(inner: &Arc<Inner>, request: &Request) -> Routed {
 }
 
 fn sweep_endpoint(inner: &Arc<Inner>, body: &[u8]) -> Routed {
+    let parse_span = span!("serve.parse", { bytes: body.len() });
     let text = match std::str::from_utf8(body) {
         Ok(text) => text,
         Err(_) => return (400, Vec::new(), error_body("body is not UTF-8")),
@@ -533,6 +640,7 @@ fn sweep_endpoint(inner: &Arc<Inner>, body: &[u8]) -> Routed {
         Ok(spec) => spec,
         Err(e) => return (400, Vec::new(), error_body(e)),
     };
+    drop(parse_span);
     let wait = parsed.get("wait").and_then(Json::as_bool).unwrap_or(false);
 
     let job = match submit(inner, spec, None) {
@@ -543,7 +651,7 @@ fn sweep_endpoint(inner: &Arc<Inner>, body: &[u8]) -> Routed {
                 ("needed", (misses as u64).into()),
                 ("max_queue", (inner.cfg.max_queue as u64).into()),
             ]);
-            return (429, vec![("Retry-After", "1".to_owned())], body);
+            return (429, vec![("Retry-After", "1".to_owned())], Body::Json(body));
         }
         Err(SubmitError::Cache(e)) => {
             return (500, Vec::new(), error_body(format!("result cache read failed: {e}")));
@@ -556,14 +664,14 @@ fn sweep_endpoint(inner: &Arc<Inner>, body: &[u8]) -> Routed {
         job.wait();
     }
     if job.is_done() {
-        (200, Vec::new(), job.to_json())
+        (200, Vec::new(), Body::Json(job.to_json()))
     } else {
         let body = Json::obj([
             ("job", job.id.into()),
             ("status", "queued".into()),
             ("poll", format!("/jobs/{}", job.id).into()),
         ]);
-        (202, Vec::new(), body)
+        (202, Vec::new(), Body::Json(body))
     }
 }
 
@@ -578,6 +686,10 @@ fn submit(
     resume_id: Option<u64>,
 ) -> Result<Arc<Job>, SubmitError> {
     let resumed = resume_id.is_some();
+    // The enclosing request span (or replay span); queue-wait and
+    // worker-side exec spans parent onto it across threads.
+    let request_span = span::current();
+    let admission_span = span!("serve.admission", { cells: spec.cells().len() });
     let cells = spec.cells();
     let mut slots = Vec::with_capacity(cells.len());
     let mut misses: Vec<usize> = Vec::new();
@@ -612,11 +724,13 @@ fn submit(
             return Err(SubmitError::Busy { misses: misses.len() });
         }
     }
+    drop(admission_span);
 
     let id = resume_id.unwrap_or_else(|| inner.next_id.fetch_add(1, Ordering::SeqCst));
     if !misses.is_empty() && !resumed {
         // Durable before acknowledged: a job the daemon accepted must
         // survive a kill from this point on.
+        let _span = span!("serve.journal.append", { job: id });
         let record = Json::obj([("spec", spec.to_json())]);
         inner.journal.append_job(id, record.get("spec").unwrap()).map_err(SubmitError::Journal)?;
     }
@@ -653,7 +767,16 @@ fn submit(
             let cost_us = estimate_us(inner, &cell, &runner);
             sched.seq += 1;
             let seq = sched.seq;
-            sched.queue.push(CellTask { cost_us, seq, fingerprint, cell, runner: runner.clone() });
+            sched.queue.push(CellTask {
+                cost_us,
+                seq,
+                fingerprint,
+                enqueued_us: span::now_us(),
+                parent_span: request_span,
+                job_id: id,
+                cell,
+                runner: runner.clone(),
+            });
             enqueued += 1;
         }
     }
@@ -689,16 +812,35 @@ fn worker_loop(inner: &Arc<Inner>) {
                 sched = inner.queue_cv.wait(sched).unwrap();
             }
         };
-        let outcome = execute(inner, &task);
+        if span::armed() {
+            // The time this cell sat in the queue, attributed back to
+            // the request (or replay) that admitted it.
+            span::record(
+                "serve.queue.wait",
+                task.parent_span,
+                task.enqueued_us,
+                span::now_us(),
+                vec![("cell".into(), task.cell.label().into()), ("job".into(), task.job_id.into())],
+            );
+        }
+        let outcome = {
+            let _exec = span::child_of(task.parent_span, "serve.cell.exec", || {
+                vec![("cell".into(), task.cell.label().into()), ("job".into(), task.job_id.into())]
+            });
+            execute(inner, &task)
+        };
         let waiters = {
             let mut sched = inner.sched.lock().unwrap();
             sched.inflight.remove(&task.fingerprint);
             sched.waiters.remove(&task.fingerprint).unwrap_or_default()
         };
         for (job, idx) in waiters {
-            if job.complete(idx, outcome.clone()) {
+            if job.fill(idx, outcome.clone()) {
+                // Durable before observable: the done record lands
+                // before any `wait=true` handler can send its 200.
                 inner.journal.append_done(job.id);
                 inner.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                job.notify_done();
             }
         }
         inner.metrics.queue_exit(1);

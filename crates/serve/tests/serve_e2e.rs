@@ -14,6 +14,15 @@ fn sweep_computes_then_repeat_is_all_cache_hits() {
     let dir = TempDir::new("api");
     let daemon = Daemon::spawn(dir.path(), &["--workers", "2"], &[]);
 
+    // Readiness: a fresh daemon has an empty journal to replay, so
+    // `/readyz` flips to 200 almost immediately — but it is a distinct
+    // endpoint from `/healthz` and reports `ready: true`.
+    wait_for("daemon readiness", Duration::from_secs(30), || {
+        request(daemon.addr, "GET", "/readyz", None).status == 200
+    });
+    let ready = request(daemon.addr, "GET", "/readyz", None).json().expect("readyz json");
+    assert_eq!(ready.get("ready").and_then(Json::as_bool), Some(true));
+
     // Cold: both cells simulate.
     let cold = request(daemon.addr, "POST", "/sweep", Some(&sweep_body(true)));
     assert_eq!(cold.status, 200, "{:?}", String::from_utf8_lossy(&cold.body));
@@ -59,6 +68,58 @@ fn sweep_computes_then_repeat_is_all_cache_hits() {
             .unwrap_or(0)
             >= 3
     );
+
+    // The unified registry speaks Prometheus text exposition.
+    let prom = request(daemon.addr, "GET", "/metrics?format=prom", None);
+    assert_eq!(prom.status, 200);
+    assert!(prom.header("content-type").unwrap_or("").starts_with("text/plain"));
+    let prom = String::from_utf8(prom.body).expect("prometheus text is UTF-8");
+    assert!(prom.contains("# TYPE rvp_serve_requests_total counter"), "{prom}");
+    assert!(prom.contains("rvp_serve_cells_computed_total"), "{prom}");
+    assert!(prom.contains("rvp_source_captures_total{workload=\"li\"}"), "{prom}");
+
+    // The span tracer saw the whole request lifecycle: the exported
+    // Chrome trace parses, and the serve → grid → sim span chain links
+    // up through parent ids, across the handler/worker thread handoff.
+    let trace = request(daemon.addr, "GET", "/trace", None).json().expect("trace json");
+    let events = trace.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    assert!(!events.is_empty(), "daemon trace has spans");
+    let span_ids = |name: &str| -> Vec<u64> {
+        events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some(name))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("span_id")).and_then(Json::as_u64))
+            .collect()
+    };
+    let parent_ids = |name: &str| -> Vec<u64> {
+        events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some(name))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("parent_id")).and_then(Json::as_u64))
+            .collect()
+    };
+    for name in ["serve.request", "serve.admission", "serve.cell.exec", "grid.cell.run", "sim.run"]
+    {
+        assert!(!span_ids(name).is_empty(), "trace has {name} spans");
+    }
+    let requests = span_ids("serve.request");
+    assert!(
+        parent_ids("serve.cell.exec").iter().any(|p| requests.contains(p)),
+        "worker-side exec spans parent onto a request span"
+    );
+    let execs = span_ids("serve.cell.exec");
+    assert!(
+        parent_ids("grid.cell.run").iter().any(|p| execs.contains(p)),
+        "grid cell spans nest under the exec span"
+    );
+    assert!(
+        parent_ids("serve.queue.wait").iter().any(|p| requests.contains(p)),
+        "queue-wait spans attribute back to the admitting request"
+    );
+    let folded = request(daemon.addr, "GET", "/trace?format=folded", None);
+    assert_eq!(folded.status, 200);
+    let folded = String::from_utf8(folded.body).expect("folded text is UTF-8");
+    assert!(folded.lines().any(|l| l.contains("serve.request")), "{folded}");
 
     // API edges: health, unknown job, bad bodies, wrong methods.
     let health = request(daemon.addr, "GET", "/healthz", None);

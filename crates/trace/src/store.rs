@@ -27,6 +27,16 @@ impl StoreCounters {
         self.hits.load(Ordering::Relaxed)
     }
 
+    /// The counters as unified-registry samples (`rvp_trace_*`).
+    pub fn metrics(&self) -> Vec<rvp_obs::Metric> {
+        vec![
+            rvp_obs::Metric::counter("rvp_trace_cache_hits_total", self.hits()),
+            rvp_obs::Metric::counter("rvp_trace_captures_total", self.captures()),
+            rvp_obs::Metric::counter("rvp_trace_fallbacks_total", self.fallbacks()),
+            rvp_obs::Metric::counter("rvp_trace_quarantined_total", self.quarantined()),
+        ]
+    }
+
     /// Traces captured because none (valid) existed.
     pub fn captures(&self) -> u64 {
         self.captures.load(Ordering::Relaxed)
@@ -157,6 +167,10 @@ impl TraceStore {
         &self,
         meta: &TraceMeta,
     ) -> Result<TraceReader<std::io::BufReader<std::fs::File>>, TraceError> {
+        let _span = rvp_obs::span!("trace.read", {
+            workload: meta.workload.as_str(),
+            budget: meta.budget,
+        });
         rvp_fail::io_at("trace.store.open")?;
         let reader = TraceReader::open(&self.path_for(meta))?;
         if let Some(field) = meta_diff(reader.meta(), meta) {
@@ -200,6 +214,9 @@ impl TraceStore {
         if !path.exists() {
             return;
         }
+        let _span = rvp_obs::span!("trace.quarantine", {
+            path: path.display().to_string(),
+        });
         let qdir = self.quarantine_dir();
         let _ = std::fs::create_dir_all(&qdir);
         let n = self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
@@ -233,6 +250,10 @@ impl TraceStore {
     /// a half-written trace — and a failed capture never leaves a
     /// partial temp file behind.
     pub fn capture(&self, program: &Program, meta: &TraceMeta) -> Result<u64, TraceError> {
+        let _span = rvp_obs::span!("trace.write", {
+            workload: meta.workload.as_str(),
+            budget: meta.budget,
+        });
         let path = self.path_for(meta);
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         let result = (|| {

@@ -36,6 +36,127 @@ use crate::wheel::CompletionWheel;
 /// Cycles without a commit before the deadlock watchdog trips.
 const WATCHDOG_CYCLES: u64 = 500_000;
 
+/// Recovery-burst spans emitted per run before only counting; keeps a
+/// pathological run from flooding the span ring with sub-µs spans.
+const MAX_BURST_SPANS: u64 = 64;
+
+/// Wall-clock span instrumentation for one sim run: a `sim.run` parent
+/// with `sim.warmup` / `sim.steady` phase children, the first
+/// [`MAX_BURST_SPANS`] recovery bursts as `sim.recovery.burst` spans
+/// (every burst is still counted), and a `sim.finalize` child around
+/// stats finalization. Constructed only when the span tracer is armed,
+/// so the cycle loop's disarmed cost is one `Option` test on a local —
+/// it never touches the tracer's atomics.
+struct SimTracer {
+    run: rvp_obs::SpanGuard,
+    run_id: u64,
+    clock: rvp_obs::Clock,
+    run_start_us: u64,
+    /// Committed-instruction boundary between warmup and steady state.
+    warmup_insts: u64,
+    warmup_end_us: Option<u64>,
+    /// Open recovery burst: (start µs — 0 when past the span budget,
+    /// start cycle).
+    burst_open: Option<(u64, u64)>,
+    bursts: u64,
+    burst_cycles: u64,
+}
+
+impl SimTracer {
+    /// The pipeline-warmup boundary: the first 10% of the budget,
+    /// capped at 10K committed instructions.
+    fn warmup_insts(max_insts: u64) -> u64 {
+        (max_insts / 10).clamp(1, 10_000)
+    }
+
+    fn new(max_insts: u64) -> SimTracer {
+        let run = rvp_obs::span!("sim.run", { budget: max_insts });
+        let clock = rvp_obs::span::clock();
+        let run_start_us = clock.now_us();
+        SimTracer {
+            run_id: run.id(),
+            run,
+            clock,
+            run_start_us,
+            warmup_insts: SimTracer::warmup_insts(max_insts),
+            warmup_end_us: None,
+            burst_open: None,
+            bursts: 0,
+            burst_cycles: 0,
+        }
+    }
+
+    /// Per-cycle hook (armed runs only): tracks the warmup boundary and
+    /// recovery-burst extents.
+    fn on_cycle(&mut self, committed: u64, bucket: CpiBucket, cycle: u64) {
+        if self.warmup_end_us.is_none() && committed >= self.warmup_insts {
+            self.warmup_end_us = Some(self.clock.now_us());
+        }
+        let in_recovery = matches!(bucket, CpiBucket::Reissue | CpiBucket::ValueRefetch);
+        match (self.burst_open, in_recovery) {
+            (None, true) => {
+                let start_us = if self.bursts < MAX_BURST_SPANS { self.clock.now_us() } else { 0 };
+                self.burst_open = Some((start_us, cycle));
+            }
+            (Some((start_us, start_cycle)), false) => {
+                self.bursts += 1;
+                self.burst_cycles += cycle - start_cycle;
+                if start_us > 0 {
+                    rvp_obs::span::record(
+                        "sim.recovery.burst",
+                        self.run_id,
+                        start_us,
+                        self.clock.now_us(),
+                        vec![("cycles".into(), (cycle - start_cycle).into())],
+                    );
+                }
+                self.burst_open = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Emits the phase spans; call when the cycle loop ends.
+    fn finish(mut self, cycle: u64, committed: u64) {
+        if let Some((start_us, start_cycle)) = self.burst_open.take() {
+            self.bursts += 1;
+            self.burst_cycles += cycle - start_cycle;
+            if start_us > 0 {
+                rvp_obs::span::record(
+                    "sim.recovery.burst",
+                    self.run_id,
+                    start_us,
+                    self.clock.now_us(),
+                    vec![("cycles".into(), (cycle - start_cycle).into())],
+                );
+            }
+        }
+        let end_us = self.clock.now_us();
+        let warmup_end = self.warmup_end_us.unwrap_or(end_us);
+        rvp_obs::span::record(
+            "sim.warmup",
+            self.run_id,
+            self.run_start_us,
+            warmup_end,
+            vec![("insts".into(), self.warmup_insts.min(committed).into())],
+        );
+        rvp_obs::span::record(
+            "sim.steady",
+            self.run_id,
+            warmup_end,
+            end_us,
+            vec![
+                ("recovery_bursts".into(), self.bursts.into()),
+                ("recovery_cycles".into(), self.burst_cycles.into()),
+            ],
+        );
+        let mut run = self.run;
+        run.add_field("cycles", cycle);
+        run.add_field("committed", committed);
+        // `run` drops here and records the sim.run parent itself.
+    }
+}
+
 /// How often debug builds cross-check the incremental ROB summaries
 /// against a full scan.
 #[cfg(debug_assertions)]
@@ -391,6 +512,10 @@ impl<'s, S: CommittedSource + ?Sized> Core<'s, S> {
     }
 
     pub(crate) fn run(mut self) -> Result<SimStats, SimError> {
+        // Armed-ness is sampled once per run: the per-cycle tracing cost
+        // is a branch on this local `Option`, and a disarmed run never
+        // touches the tracer again.
+        let mut tracer = rvp_obs::span::armed().then(|| SimTracer::new(self.max_insts));
         loop {
             let committed_before = self.stats.committed;
             self.dispatch_blocked = false;
@@ -423,20 +548,29 @@ impl<'s, S: CommittedSource + ?Sized> Core<'s, S> {
             }
             let bucket = self.classify_cycle(committed_now);
             self.stats.cpi.add(bucket, 1);
+            if let Some(tracer) = &mut tracer {
+                tracer.on_cycle(self.stats.committed, bucket, self.now);
+            }
             if let Some(sampler) = &mut self.sampler {
                 sampler.tick(self.now, snapshot(&self.stats));
             }
             self.now += 1;
         }
         self.stats.cycles = self.now.max(1);
-        // The degenerate empty run elapses one nominal cycle.
-        let accounted = self.stats.cpi.total();
-        if accounted < self.stats.cycles {
-            self.stats.cpi.add(CpiBucket::Base, self.stats.cycles - accounted);
+        {
+            let _finalize = rvp_obs::span::enter("sim.finalize");
+            // The degenerate empty run elapses one nominal cycle.
+            let accounted = self.stats.cpi.total();
+            if accounted < self.stats.cycles {
+                self.stats.cpi.add(CpiBucket::Base, self.stats.cycles - accounted);
+            }
+            self.stats.branch = *self.sim.bpred.stats();
+            self.stats.mem = *self.sim.mem.stats();
+            self.finish_obs();
         }
-        self.stats.branch = *self.sim.bpred.stats();
-        self.stats.mem = *self.sim.mem.stats();
-        self.finish_obs();
+        if let Some(tracer) = tracer {
+            tracer.finish(self.now, self.stats.committed);
+        }
         Ok(self.stats)
     }
 
