@@ -5,7 +5,7 @@
 //! `fig*`/`table2` binaries.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rvp_core::{PaperScheme, Runner, UarchConfig};
+use rvp_core::{Runner, SchemeSpec, UarchConfig};
 
 fn tiny_runner() -> Runner {
     Runner { profile_insts: 40_000, measure_insts: 25_000, ..Runner::default() }
@@ -22,31 +22,31 @@ fn bench_cells(c: &mut Criterion) {
     });
     g.bench_function("fig3_static_rvp_cell", |b| {
         let r = tiny_runner();
-        b.iter(|| black_box(r.run(&wl, PaperScheme::SrvpDead).unwrap()));
+        b.iter(|| black_box(r.run(&wl, &SchemeSpec::parse("srvp_dead").unwrap()).unwrap()));
     });
     g.bench_function("fig4_refetch_cell", |b| {
         let r = Runner { recovery: rvp_core::Recovery::Refetch, ..tiny_runner() };
-        b.iter(|| black_box(r.run(&wl, PaperScheme::SrvpDead).unwrap()));
+        b.iter(|| black_box(r.run(&wl, &SchemeSpec::parse("srvp_dead").unwrap()).unwrap()));
     });
     g.bench_function("fig5_drvp_loads_cell", |b| {
         let r = tiny_runner();
-        b.iter(|| black_box(r.run(&wl, PaperScheme::DrvpDeadLv).unwrap()));
+        b.iter(|| black_box(r.run(&wl, &SchemeSpec::parse("drvp_dead_lv").unwrap()).unwrap()));
     });
     g.bench_function("fig6_drvp_all_cell", |b| {
         let r = tiny_runner();
-        b.iter(|| black_box(r.run(&wl, PaperScheme::DrvpAllDeadLv).unwrap()));
+        b.iter(|| black_box(r.run(&wl, &SchemeSpec::parse("drvp_all_dead_lv").unwrap()).unwrap()));
     });
     g.bench_function("table2_gabbay_cell", |b| {
         let r = tiny_runner();
-        b.iter(|| black_box(r.run(&wl, PaperScheme::GrpAll).unwrap()));
+        b.iter(|| black_box(r.run(&wl, &SchemeSpec::parse("Grp_all").unwrap()).unwrap()));
     });
     g.bench_function("fig7_realloc_cell", |b| {
         let r = tiny_runner();
-        b.iter(|| black_box(r.run(&wl, PaperScheme::DrvpAllRealloc).unwrap()));
+        b.iter(|| black_box(r.run(&wl, &SchemeSpec::parse("drvp_all_realloc").unwrap()).unwrap()));
     });
     g.bench_function("fig8_wide16_cell", |b| {
         let r = Runner { config: UarchConfig::wide16(), ..tiny_runner() };
-        b.iter(|| black_box(r.run(&wl, PaperScheme::DrvpAllDeadLv).unwrap()));
+        b.iter(|| black_box(r.run(&wl, &SchemeSpec::parse("drvp_all_dead_lv").unwrap()).unwrap()));
     });
     g.finish();
 }

@@ -25,7 +25,7 @@
 use std::time::{Duration, Instant};
 
 use criterion::black_box;
-use rvp_core::{by_name, ObsConfig, PaperScheme, Runner};
+use rvp_core::{by_name, ObsConfig, Runner, SchemeSpec};
 
 const RUNS: usize = 7;
 
@@ -47,25 +47,25 @@ fn runner(obs: ObsConfig) -> Runner {
 
 fn main() {
     let wl = by_name("li").expect("workload");
-    let scheme = PaperScheme::DrvpAll;
+    let scheme = SchemeSpec::parse("drvp_all").unwrap();
 
     let off = runner(ObsConfig::off());
     let sampled = runner(ObsConfig { track_pc: false, ..ObsConfig::standard() });
     let full = runner(ObsConfig::standard());
 
     // Warm the shared profile caches out of the timed region.
-    off.run(&wl, scheme).expect("baseline run");
-    sampled.run(&wl, scheme).expect("sampled run");
-    full.run(&wl, scheme).expect("instrumented run");
+    off.run(&wl, &scheme).expect("baseline run");
+    sampled.run(&wl, &scheme).expect("sampled run");
+    full.run(&wl, &scheme).expect("instrumented run");
 
     let t_off = min_time(|| {
-        black_box(off.run(&wl, scheme).expect("baseline run"));
+        black_box(off.run(&wl, &scheme).expect("baseline run"));
     });
     let t_sampled = min_time(|| {
-        black_box(sampled.run(&wl, scheme).expect("sampled run"));
+        black_box(sampled.run(&wl, &scheme).expect("sampled run"));
     });
     let t_full = min_time(|| {
-        black_box(full.run(&wl, scheme).expect("instrumented run"));
+        black_box(full.run(&wl, &scheme).expect("instrumented run"));
     });
 
     // Armed span tracer over the otherwise-off configuration: per run
@@ -74,7 +74,7 @@ fn main() {
     // ring never saturates and every iteration pays the same price.
     rvp_core::span::arm(rvp_core::span::DEFAULT_RING_CAPACITY);
     let t_traced = min_time(|| {
-        black_box(off.run(&wl, scheme).expect("traced run"));
+        black_box(off.run(&wl, &scheme).expect("traced run"));
         black_box(rvp_core::span::drain());
     });
     rvp_core::span::disarm();

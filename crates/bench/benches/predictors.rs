@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rvp_core::{
-    BpredConfig, BranchPredictor, ConfidenceTable, DrvpConfig, DrvpPredictor, GabbayPredictor,
+    BpredConfig, BranchUnit, ConfidenceTable, DrvpConfig, DrvpPredictor, GabbayPredictor,
     LastValuePredictor, LvpConfig, MemConfig, Reg, TableConfig,
 };
 use rvp_mem::Hierarchy;
@@ -52,7 +52,7 @@ fn bench_predictors(c: &mut Criterion) {
     });
 
     g.bench_function("gshare_update", |b| {
-        let mut bp = BranchPredictor::new(BpredConfig::table1());
+        let mut bp = BranchUnit::new(BpredConfig::table1());
         let mut pc = 0usize;
         b.iter(|| {
             pc = (pc + 13) & 0xfff;

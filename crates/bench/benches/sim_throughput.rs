@@ -37,7 +37,7 @@ fn bench_throughput(c: &mut Criterion) {
     g.bench_function("sim_no_predict", |b| {
         b.iter(|| {
             black_box(
-                Simulator::new(UarchConfig::table1(), Scheme::NoPredict, Recovery::Selective)
+                Simulator::new(UarchConfig::table1(), Scheme::no_predict(), Recovery::Selective)
                     .run(&program, INSTS)
                     .unwrap(),
             )
@@ -61,7 +61,7 @@ fn bench_throughput(c: &mut Criterion) {
     g.bench_function("sim_wide16", |b| {
         b.iter(|| {
             black_box(
-                Simulator::new(UarchConfig::wide16(), Scheme::NoPredict, Recovery::Selective)
+                Simulator::new(UarchConfig::wide16(), Scheme::no_predict(), Recovery::Selective)
                     .run(&program, INSTS)
                     .unwrap(),
             )

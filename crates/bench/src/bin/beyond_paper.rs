@@ -12,8 +12,8 @@
 
 use rvp_bench::{mean, print_header, print_row, print_workload_header, runner_from_env};
 use rvp_core::{
-    BufferConfig, ContextConfig, Input, LvpConfig, PaperScheme, PredictionPlan, Recovery, Scheme,
-    Scope, Simulator, StrideConfig, UarchConfig,
+    new_value_predictor, Input, PredictionPlan, Recovery, Scheme, SchemeSpec, Scope, Simulator,
+    UarchConfig,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,23 +27,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut base_ipc = Vec::new();
     for wl in &workloads {
         let program = wl.program(Input::Ref);
-        let s = Simulator::new(UarchConfig::table1(), Scheme::NoPredict, Recovery::Selective)
+        let s = Simulator::new(UarchConfig::table1(), Scheme::no_predict(), Recovery::Selective)
             .run(&program, runner.measure_insts)?;
         base_ipc.push(s.ipc());
     }
-    let configs: [(&str, BufferConfig); 4] = [
-        ("lvp", BufferConfig::LastValue(LvpConfig::paper())),
-        ("stride", BufferConfig::Stride(StrideConfig::default())),
-        ("context(2)", BufferConfig::Context(ContextConfig::default())),
-        ("hybrid", BufferConfig::Hybrid(StrideConfig::default(), LvpConfig::paper())),
-    ];
-    for (name, config) in configs {
+    let configs: [(&str, &str); 4] =
+        [("lvp", "lvp"), ("stride", "stride"), ("context(2)", "fcm"), ("hybrid", "stride_lvp")];
+    for (name, spec) in configs {
         let mut row = Vec::new();
         for (wl, base) in workloads.iter().zip(&base_ipc) {
             let program = wl.program(Input::Ref);
             let s = Simulator::new(
                 UarchConfig::table1(),
-                Scheme::Buffer { scope: Scope::AllInsts, config },
+                Scheme::new(name, Scope::AllInsts, new_value_predictor(spec)?),
                 Recovery::Selective,
             )
             .run(&program, runner.measure_insts)?;
@@ -59,10 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let program = wl.program(Input::Ref);
         let s = Simulator::new(
             UarchConfig::table1(),
-            Scheme::HwCorrelation {
-                scope: Scope::AllInsts,
-                config: rvp_core::CorrelationConfig::default(),
-            },
+            Scheme::new("hw_correlation", Scope::AllInsts, new_value_predictor("hwcorr")?),
             Recovery::Selective,
         )
         .run(&program, runner.measure_insts)?;
@@ -73,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's scheme, for reference.
     let mut row = Vec::new();
     for (wl, base) in workloads.iter().zip(&base_ipc) {
-        let res = runner.run(wl, PaperScheme::DrvpAllDeadLv)?;
+        let res = runner.run(wl, &SchemeSpec::parse("drvp_all_dead_lv")?)?;
         row.push(res.stats.ipc() / base);
     }
     print_row("drvp_all_dead_lv", &row);

@@ -30,7 +30,7 @@
 
 use std::time::{Duration, Instant};
 
-use rvp_core::{by_name, Json, PaperScheme, Runner, SourceMode, Workload};
+use rvp_core::{by_name, paper_schemes, Json, Runner, SchemeSpec, SourceMode, Workload};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -39,7 +39,7 @@ fn env_u64(name: &str, default: u64) -> u64 {
 /// One timed cell.
 struct CellTime {
     workload: &'static str,
-    scheme: PaperScheme,
+    scheme: SchemeSpec,
     committed: u64,
     wall: Duration,
 }
@@ -91,14 +91,15 @@ fn main() {
     }
     let prewarm = t0.elapsed();
 
-    let cells: Vec<(&Workload, PaperScheme)> =
-        workloads.iter().flat_map(|wl| PaperScheme::all().iter().map(move |&s| (wl, s))).collect();
+    let schemes = paper_schemes();
+    let cells: Vec<(&Workload, &SchemeSpec)> =
+        workloads.iter().flat_map(|wl| schemes.iter().map(move |s| (wl, s))).collect();
     println!(
         "core_cycles: {} cells ({} workloads x {} schemes), {measure_insts} measured insts, \
          prewarm {:.2}s",
         cells.len(),
         workloads.len(),
-        PaperScheme::all().len(),
+        schemes.len(),
         prewarm.as_secs_f64(),
     );
 
@@ -108,14 +109,14 @@ fn main() {
         let mut best: Option<(u64, Duration)> = None;
         for _ in 0..reps {
             let t = Instant::now();
-            let result = runner.run(wl, *scheme).expect("cell");
+            let result = runner.run(wl, scheme).expect("cell");
             let wall = t.elapsed();
             if best.is_none_or(|(_, w)| wall < w) {
                 best = Some((result.stats.committed, wall));
             }
         }
         let (committed, wall) = best.expect("at least one rep");
-        let cell = CellTime { workload: wl.name(), scheme: *scheme, committed, wall };
+        let cell = CellTime { workload: wl.name(), scheme: (*scheme).clone(), committed, wall };
         println!(
             "  {:<28} {:8.2}ms  {:6.2} Minsts/s",
             format!("{}/{}", cell.workload, cell.scheme.label()),

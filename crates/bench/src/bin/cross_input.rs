@@ -8,7 +8,7 @@
 //! measured ref accuracy of the train-derived dead/lv plan.
 
 use rvp_bench::{print_header, runner_from_env};
-use rvp_core::{Input, PaperScheme, Profile, ProfileConfig};
+use rvp_core::{Input, Profile, ProfileConfig, SchemeSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runner = runner_from_env();
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rvp_core::PlanScope::AllInsts,
             rvp_core::Assist::DeadLv,
         );
-        let res = runner.run(&wl, PaperScheme::DrvpAllDeadLv)?;
+        let res = runner.run(&wl, &SchemeSpec::parse("drvp_all_dead_lv")?)?;
 
         println!(
             "{:>10} | {:>9.1}% {:>9.1}% {:>5}/{:<6} {:>13.1}%",

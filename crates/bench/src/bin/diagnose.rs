@@ -7,7 +7,7 @@
 //! Usage: `diagnose [workload ...]`
 
 use rvp_bench::{print_header, runner_from_env};
-use rvp_core::PaperScheme;
+use rvp_core::SchemeSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut runner = runner_from_env();
@@ -49,15 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "fstall"
     );
     for wl in &workloads {
-        for scheme in [
-            PaperScheme::NoPredict,
-            PaperScheme::LvpAll,
-            PaperScheme::DrvpAll,
-            PaperScheme::DrvpAllDeadLv,
-            PaperScheme::DrvpAllRealloc,
-            PaperScheme::GrpAll,
-        ] {
-            let s = runner.run(wl, scheme)?.stats;
+        for label in
+            ["no_predict", "lvp_all", "drvp_all", "drvp_all_dead_lv", "drvp_all_realloc", "Grp_all"]
+        {
+            let scheme = SchemeSpec::parse(label)?;
+            let s = runner.run(wl, &scheme)?.stats;
             println!(
                 "{:>10} {:>18} | {:>6.3} {:>7} {:>6.1} {:>6.1} {:>8} {:>8} {:>8} {:>7.3} {:>7.3} {:>7.3} {:>7.2} {:>7.3}",
                 wl.name(),

@@ -5,22 +5,16 @@
 //! threshold, as in the paper.
 
 use rvp_bench::{ipc_row, print_header, print_row, print_workload_header, runner_from_env};
-use rvp_core::PaperScheme;
+use rvp_core::SchemeSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runner = runner_from_env();
     print_header("Figure 3: static RVP (IPC)", &runner);
     let workloads = rvp_core::all_workloads();
     print_workload_header(&workloads);
-    for scheme in [
-        PaperScheme::NoPredict,
-        PaperScheme::Lvp,
-        PaperScheme::SrvpSame,
-        PaperScheme::SrvpDead,
-        PaperScheme::SrvpLive,
-        PaperScheme::SrvpLiveLv,
-    ] {
-        let row = ipc_row(&runner, &workloads, scheme)?;
+    for label in ["no_predict", "lvp", "srvp_same", "srvp_dead", "srvp_live", "srvp_live_lv"] {
+        let scheme = SchemeSpec::parse(label)?;
+        let row = ipc_row(&runner, &workloads, &scheme)?;
         print_row(scheme.label(), &row);
     }
     println!();

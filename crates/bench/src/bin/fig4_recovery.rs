@@ -6,7 +6,7 @@
 //! prediction.
 
 use rvp_bench::{ipc_row, print_header, print_row, print_workload_header, runner_from_env};
-use rvp_core::{PaperScheme, Recovery};
+use rvp_core::{Recovery, SchemeSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut runner = runner_from_env();
@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workloads = rvp_core::all_workloads();
     print_workload_header(&workloads);
 
-    let base = ipc_row(&runner, &workloads, PaperScheme::NoPredict)?;
+    let base = ipc_row(&runner, &workloads, &SchemeSpec::parse("no_predict")?)?;
     print_row("no_predict", &base);
     for (label, recovery) in [
         ("srvp_refetch", Recovery::Refetch),
@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("srvp_selective", Recovery::Selective),
     ] {
         runner.recovery = recovery;
-        let row = ipc_row(&runner, &workloads, PaperScheme::SrvpDead)?;
+        let row = ipc_row(&runner, &workloads, &SchemeSpec::parse("srvp_dead")?)?;
         print_row(label, &row);
     }
     println!();

@@ -5,7 +5,7 @@
 //! drvp_all, drvp_all_dead, drvp_all_dead_lv.
 
 use rvp_bench::{ipc_row, print_header, print_row, print_workload_header, runner_from_env};
-use rvp_core::PaperScheme;
+use rvp_core::SchemeSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runner = runner_from_env();
@@ -13,15 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workloads = rvp_core::all_workloads();
     print_workload_header(&workloads);
 
-    let base = ipc_row(&runner, &workloads, PaperScheme::NoPredict)?;
-    for scheme in [
-        PaperScheme::LvpAll,
-        PaperScheme::GrpAll,
-        PaperScheme::DrvpAll,
-        PaperScheme::DrvpAllDead,
-        PaperScheme::DrvpAllDeadLv,
-    ] {
-        let ipc = ipc_row(&runner, &workloads, scheme)?;
+    let base = ipc_row(&runner, &workloads, &SchemeSpec::parse("no_predict")?)?;
+    for label in ["lvp_all", "Grp_all", "drvp_all", "drvp_all_dead", "drvp_all_dead_lv"] {
+        let scheme = SchemeSpec::parse(label)?;
+        let ipc = ipc_row(&runner, &workloads, &scheme)?;
         let speedup: Vec<f64> = ipc.iter().zip(&base).map(|(a, b)| a / b).collect();
         print_row(scheme.label(), &speedup);
     }

@@ -7,7 +7,7 @@
 //! drvp_all_dead_lv (the ideal-reallocation oracle).
 
 use rvp_bench::{print_header, runner_from_env};
-use rvp_core::PaperScheme;
+use rvp_core::SchemeSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runner = runner_from_env();
@@ -20,15 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for name in names {
         let wl = rvp_core::by_name(name).expect("workload exists");
-        let base = runner.run(&wl, PaperScheme::NoPredict)?.stats;
+        let base = runner.run(&wl, &SchemeSpec::parse("no_predict")?)?.stats;
         let mut cells = Vec::new();
-        for scheme in [
-            PaperScheme::LvpAll,
-            PaperScheme::DrvpAll,
-            PaperScheme::DrvpAllRealloc,
-            PaperScheme::DrvpAllDeadLv,
-        ] {
-            let res = runner.run(&wl, scheme)?;
+        for label in ["lvp_all", "drvp_all", "drvp_all_realloc", "drvp_all_dead_lv"] {
+            let res = runner.run(&wl, &SchemeSpec::parse(label)?)?;
             cells.push(res.stats.ipc() / base.ipc());
         }
         println!(

@@ -6,7 +6,7 @@
 //! per cycle).
 
 use rvp_bench::{ipc_row, print_header, print_row, print_workload_header, wide_runner_from_env};
-use rvp_core::PaperScheme;
+use rvp_core::SchemeSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runner = wide_runner_from_env();
@@ -14,9 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workloads = rvp_core::all_workloads();
     print_workload_header(&workloads);
 
-    let base = ipc_row(&runner, &workloads, PaperScheme::NoPredict)?;
-    for scheme in [PaperScheme::LvpAll, PaperScheme::DrvpAll, PaperScheme::DrvpAllDeadLv] {
-        let ipc = ipc_row(&runner, &workloads, scheme)?;
+    let base = ipc_row(&runner, &workloads, &SchemeSpec::parse("no_predict")?)?;
+    for label in ["lvp_all", "drvp_all", "drvp_all_dead_lv"] {
+        let scheme = SchemeSpec::parse(label)?;
+        let ipc = ipc_row(&runner, &workloads, &scheme)?;
         let speedup: Vec<f64> = ipc.iter().zip(&base).map(|(a, b)| a / b).collect();
         print_row(scheme.label(), &speedup);
     }

@@ -29,7 +29,7 @@
 
 use std::time::{Duration, Instant};
 
-use rvp_core::{by_name, Json, PaperScheme, RunResult, Runner, SourceMode, Workload};
+use rvp_core::{by_name, paper_schemes, Json, RunResult, Runner, SchemeSpec, SourceMode, Workload};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -61,15 +61,16 @@ fn main() {
     let measure_insts = env_u64("RVP_MEASURE_INSTS", 60_000);
     let gate: f64 =
         std::env::var("RVP_SHARED_BENCH_RATIO").ok().and_then(|v| v.parse().ok()).unwrap_or(1.5);
-    let cells: Vec<(&Workload, PaperScheme)> =
-        workloads.iter().flat_map(|wl| PaperScheme::all().iter().map(move |&s| (wl, s))).collect();
+    let schemes = paper_schemes();
+    let cells: Vec<(&Workload, &SchemeSpec)> =
+        workloads.iter().flat_map(|wl| schemes.iter().map(move |s| (wl, s))).collect();
 
     println!(
         "grid_shared_trace: {} cells ({} workloads x {} schemes), \
          {profile_insts} profiled / {measure_insts} measured insts, gate {gate:.2}x",
         cells.len(),
         workloads.len(),
-        PaperScheme::all().len(),
+        schemes.len(),
     );
 
     // Shared leg first: any OS warm-up (page cache, allocator) then
@@ -89,11 +90,9 @@ fn main() {
 
     for (s, l) in shared_results.iter().zip(&live_results) {
         assert_eq!(
-            s.stats,
-            l.stats,
+            s.stats, l.stats,
             "{}/{}: shared and per-cell stats differ",
-            s.workload,
-            s.scheme.label()
+            s.workload, s.scheme
         );
     }
 
@@ -156,7 +155,7 @@ fn main() {
 
 /// Runs every cell with the runner `mk` supplies for it, timing each.
 fn run_leg(
-    cells: &[(&Workload, PaperScheme)],
+    cells: &[(&Workload, &SchemeSpec)],
     mk: impl Fn(usize) -> Runner,
 ) -> (Vec<RunResult>, Vec<Duration>) {
     let mut results = Vec::with_capacity(cells.len());
@@ -164,7 +163,7 @@ fn run_leg(
     for (i, (wl, scheme)) in cells.iter().enumerate() {
         let runner = mk(i);
         let t = Instant::now();
-        let result = runner.run(wl, *scheme).expect("cell");
+        let result = runner.run(wl, scheme).expect("cell");
         times.push(t.elapsed());
         results.push(result);
     }

@@ -13,8 +13,10 @@
 //!
 //! `OUT_DIR` defaults to `RVP_JSON_DIR`, then `results/`.
 //! `--workloads` restricts the grid to the named workloads and
-//! `--schemes` to the named paper schemes (CI runs a small subset of
-//! both this way). `--source` picks the committed-stream
+//! `--schemes` to the named registry schemes — any label the scheme
+//! registry knows, paper or zoo, optionally with predictor parameters
+//! (`drvp_all:entries=4096`); the default is the paper's 15 (CI runs a
+//! small subset of both this way). `--source` picks the committed-stream
 //! source for measurement runs: `shared` (default — each workload's
 //! trace is captured once up front and fanned out in memory to every
 //! scheme cell), `replay` (stream each cell from the on-disk trace
@@ -77,8 +79,8 @@ use rvp_bench::grid::{
 };
 use rvp_bench::runner_from_env;
 use rvp_core::{
-    all_workloads, fatal, log, Json, ObsConfig, PaperScheme, Runner, SourceMode, ToJson, Workload,
-    EXIT_CONFIG, EXIT_IO, EXIT_POISONED, EXIT_USAGE,
+    all_workloads, fatal, log, paper_schemes, Json, ObsConfig, Runner, SchemeSpec, SourceMode,
+    ToJson, Workload, EXIT_CONFIG, EXIT_IO, EXIT_POISONED, EXIT_USAGE,
 };
 
 fn worker_count(cells: usize) -> usize {
@@ -238,21 +240,21 @@ fn main() -> ExitCode {
         }
     };
 
-    let schemes: Vec<PaperScheme> = match &only_schemes {
-        None => PaperScheme::all().to_vec(),
+    // Default to the paper's 15 figure configurations; `--schemes`
+    // accepts anything in the registry, predictor parameters included.
+    let schemes: Vec<SchemeSpec> = match &only_schemes {
+        None => paper_schemes(),
         Some(names) => {
             let mut selected = Vec::new();
             for name in names {
-                match PaperScheme::all().iter().find(|s| s.label() == name) {
-                    Some(&scheme) => selected.push(scheme),
-                    None => {
-                        let known =
-                            PaperScheme::all().iter().map(|s| s.label()).collect::<Vec<_>>();
+                match SchemeSpec::parse(name) {
+                    Ok(spec) => selected.push(spec),
+                    Err(e) => {
                         return fatal(
                             "rvp-grid",
                             "unknown scheme",
                             EXIT_CONFIG,
-                            &[("scheme", name.as_str().into()), ("known", known.join(", ").into())],
+                            &[("error", e.into())],
                         );
                     }
                 }
@@ -273,7 +275,9 @@ fn main() -> ExitCode {
     }
     let mut cells: Vec<GridCell> = workloads
         .iter()
-        .flat_map(|wl| schemes.iter().map(|&scheme| GridCell { workload: wl.clone(), scheme }))
+        .flat_map(|wl| {
+            schemes.iter().map(|scheme| GridCell { workload: wl.clone(), scheme: scheme.clone() })
+        })
         .collect();
 
     // Resume: re-verify the journal of the crashed/killed run against

@@ -7,8 +7,8 @@
 
 use rvp_bench::{print_header, runner_from_env};
 use rvp_core::{
-    Assist, DrvpConfig, Input, PaperScheme, PlanScope, Profile, ProfileConfig, Recovery, Scheme,
-    Simulator,
+    new_value_predictor, Assist, Input, PlanMode, PlanScope, Profile, ProfileConfig, Recovery,
+    Scheme, SchemeSpec, Scope, Simulator,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,13 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for wl in rvp_core::all_workloads() {
         let mut cells = Vec::new();
-        for scheme in [
-            PaperScheme::DrvpAllDead,
-            PaperScheme::DrvpAllDeadLv,
-            PaperScheme::LvpAll,
-            PaperScheme::GrpAll,
-        ] {
-            let res = runner.run(&wl, scheme)?;
+        for label in ["drvp_all_dead", "drvp_all_dead_lv", "lvp_all", "Grp_all"] {
+            let res = runner.run(&wl, &SchemeSpec::parse(label)?)?;
             cells.push(format!(
                 "{:>4.1}/{:<5.1}",
                 100.0 * res.stats.coverage(),
@@ -64,20 +59,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let plan =
             profile.assist_plan(&train, runner.threshold, PlanScope::AllInsts, Assist::DeadLv);
         let program = wl.program(Input::Ref);
-        let base = Simulator::new(runner.config.clone(), Scheme::NoPredict, Recovery::Selective)
+        let base = Simulator::new(runner.config.clone(), Scheme::no_predict(), Recovery::Selective)
             .run(&program, runner.measure_insts)?;
         let mut cells = Vec::new();
-        let small = |mut c: DrvpConfig| {
-            c.table.entries = 16;
-            c
-        };
-        for config in [small(DrvpConfig::paper()), small(DrvpConfig::paper_tagged())] {
-            let stats = Simulator::new(
-                runner.config.clone(),
-                Scheme::DynamicRvp { scope: rvp_core::Scope::AllInsts, plan: plan.clone(), config },
-                Recovery::Selective,
-            )
-            .run(&program, runner.measure_insts)?;
+        for spec in ["drvp:entries=16", "drvp:entries=16,tagged=true"] {
+            let predictor = new_value_predictor(spec)?;
+            let scheme = Scheme::new(spec, Scope::AllInsts, predictor)
+                .with_plan(plan.clone(), PlanMode::Overlay);
+            let stats = Simulator::new(runner.config.clone(), scheme, Recovery::Selective)
+                .run(&program, runner.measure_insts)?;
             cells.push(stats.ipc() / base.ipc());
         }
         println!("{:>10} | {:>9.4} {:>9.4}", wl.name(), cells[0], cells[1]);

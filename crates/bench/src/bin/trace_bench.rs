@@ -22,7 +22,7 @@
 
 use std::time::{Duration, Instant};
 
-use rvp_core::{by_name, PaperScheme, Profile, ProfileConfig, Runner, TraceMeta, TraceStore};
+use rvp_core::{by_name, paper_schemes, Profile, ProfileConfig, Runner, TraceMeta, TraceStore};
 use rvp_workloads::Input;
 
 const REPS: u32 = 3;
@@ -39,13 +39,7 @@ fn main() {
 
     // The profile-guided schemes of one grid column: each of these made
     // `Runner` collect the train profile from scratch before this PR.
-    let guided = PaperScheme::all()
-        .iter()
-        .filter(|s| {
-            use PaperScheme as P;
-            !matches!(s, P::NoPredict | P::Lvp | P::LvpAll | P::GrpAll | P::Drvp | P::DrvpAll)
-        })
-        .count();
+    let guided = paper_schemes().iter().filter(|s| s.needs_profile()).count();
 
     let dir = std::env::temp_dir().join(format!("rvp-trace-bench-{}", std::process::id()));
 

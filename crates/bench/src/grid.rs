@@ -31,7 +31,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use rvp_core::{
-    fnv1a, journal_line, log, parse_journal_line, Json, PaperScheme, RunResult, Runner, SimError,
+    fnv1a, journal_line, log, parse_journal_line, Json, RunResult, Runner, SchemeSpec, SimError,
     SourceMode, ToJson, Workload,
 };
 
@@ -41,8 +41,8 @@ pub use rvp_core::{grid_config_fnv, write_atomic};
 pub struct GridCell {
     /// The workload to simulate.
     pub workload: Workload,
-    /// The paper scheme to simulate it under.
-    pub scheme: PaperScheme,
+    /// The registry scheme to simulate it under.
+    pub scheme: SchemeSpec,
 }
 
 impl GridCell {
@@ -174,7 +174,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// sweep, and its result is discarded if it ever arrives).
 fn attempt(runner: &Runner, cell: &GridCell, timeout_secs: u64) -> Result<RunResult, AttemptError> {
     let body =
-        |r: &Runner, wl: &Workload, scheme: PaperScheme| -> Result<RunResult, AttemptError> {
+        |r: &Runner, wl: &Workload, scheme: &SchemeSpec| -> Result<RunResult, AttemptError> {
             if let Some(fault) = rvp_fail::check("grid.cell.run") {
                 if matches!(
                     fault,
@@ -188,16 +188,16 @@ fn attempt(runner: &Runner, cell: &GridCell, timeout_secs: u64) -> Result<RunRes
             r.run(wl, scheme).map_err(|e: SimError| AttemptError::Sim(e.to_string()))
         };
     if timeout_secs == 0 {
-        return catch_unwind(AssertUnwindSafe(|| body(runner, &cell.workload, cell.scheme)))
+        return catch_unwind(AssertUnwindSafe(|| body(runner, &cell.workload, &cell.scheme)))
             .unwrap_or_else(|p| Err(AttemptError::Panic(panic_message(p))));
     }
     let (tx, rx) = mpsc::channel();
     let r = runner.clone();
     let wl = cell.workload.clone();
-    let scheme = cell.scheme;
+    let scheme = cell.scheme.clone();
     let spawned =
         std::thread::Builder::new().name(format!("cell-{}", cell.label())).spawn(move || {
-            let out = catch_unwind(AssertUnwindSafe(|| body(&r, &wl, scheme)))
+            let out = catch_unwind(AssertUnwindSafe(|| body(&r, &wl, &scheme)))
                 .unwrap_or_else(|p| Err(AttemptError::Panic(panic_message(p))));
             let _ = tx.send(out);
         });
@@ -341,7 +341,7 @@ fn emit_with_retry(
                     "rvp-grid",
                     "cell JSON write failed; retrying",
                     &[
-                        ("cell", format!("{}/{}", result.workload, result.scheme.label()).into()),
+                        ("cell", format!("{}/{}", result.workload, result.scheme).into()),
                         ("attempt", (attempt_idx + 1).into()),
                         ("error", e.to_string().into()),
                     ],
@@ -363,7 +363,7 @@ fn emit_with_retry(
 /// Returns the underlying I/O error (including injected ones at the
 /// `grid.cell.write` chaos site).
 pub fn emit_cell_atomic(dir: &Path, result: &RunResult) -> std::io::Result<(String, u64)> {
-    let name = format!("{}-{}.json", result.workload, result.scheme.label());
+    let name = format!("{}-{}.json", result.workload, result.scheme);
     let text = format!("{}\n", result.to_json());
     rvp_fail::io_at("grid.cell.write")?;
     write_atomic(&dir.join(&name), text.as_bytes())?;

@@ -14,7 +14,7 @@ pub mod grid;
 
 use std::path::PathBuf;
 
-use rvp_core::{PaperScheme, RunResult, Runner, SimError, SourceMode, UarchConfig, Workload};
+use rvp_core::{RunResult, Runner, SchemeSpec, SimError, SourceMode, UarchConfig, Workload};
 
 /// Budgets and the committed-stream source read from the environment
 /// with sensible defaults (`RVP_SOURCE` accepts `live`, `replay` or
@@ -106,7 +106,7 @@ pub fn mean(xs: &[f64]) -> f64 {
 pub fn ipc_row(
     runner: &Runner,
     workloads: &[Workload],
-    scheme: PaperScheme,
+    scheme: &SchemeSpec,
 ) -> Result<Vec<f64>, SimError> {
     let json = json_dir();
     workloads

@@ -1,0 +1,110 @@
+//! Registry conformance suite for [`BranchPredictor`] — the direction
+//! predictors behind [`new_branch_predictor`] carry the same
+//! obligations as the value-predictor zoo: determinism, `reset()`
+//! equals fresh, canonical spec round-trip, and state-carrying clones.
+
+use rvp_bpred::{list_branch_predictors, new_branch_predictor, BranchPredictor};
+
+/// A deterministic conditional-branch stream: loop back-edges (almost
+/// always taken), an alternating branch, and a data-dependent one.
+fn stream() -> Vec<(usize, bool)> {
+    let mut out = Vec::new();
+    let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+    for i in 0..4000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let pc = (x % 11) as usize * 4;
+        let taken = match pc / 4 {
+            0..=3 => i % 64 != 63,     // loop back-edge
+            4..=6 => i % 2 == 0,       // alternating
+            _ => !x.is_multiple_of(3), // noisy
+        };
+        out.push((pc, taken));
+    }
+    out
+}
+
+/// Predict-then-train over the stream, returning the predictions.
+fn drive(p: &mut dyn BranchPredictor, events: &[(usize, bool)]) -> Vec<bool> {
+    events
+        .iter()
+        .map(|&(pc, taken)| {
+            let predicted = p.predict(pc);
+            p.train(pc, taken);
+            predicted
+        })
+        .collect()
+}
+
+#[test]
+fn every_registered_predictor_is_deterministic() {
+    let events = stream();
+    for info in list_branch_predictors() {
+        let mut a = new_branch_predictor(info.name).unwrap();
+        let mut b = new_branch_predictor(info.name).unwrap();
+        assert_eq!(
+            drive(a.as_mut(), &events),
+            drive(b.as_mut(), &events),
+            "{}: two fresh instances diverged",
+            info.name
+        );
+    }
+}
+
+#[test]
+fn reset_restores_the_just_constructed_state() {
+    let events = stream();
+    for info in list_branch_predictors() {
+        let mut fresh = new_branch_predictor(info.name).unwrap();
+        let want = drive(fresh.as_mut(), &events);
+
+        let mut reused = new_branch_predictor(info.name).unwrap();
+        let _ = drive(reused.as_mut(), &events);
+        reused.reset();
+        assert_eq!(
+            drive(reused.as_mut(), &events),
+            want,
+            "{}: reset() left training state behind",
+            info.name
+        );
+    }
+}
+
+#[test]
+fn spec_round_trips_through_the_registry() {
+    let events = stream();
+    for info in list_branch_predictors() {
+        let built = new_branch_predictor(info.name).unwrap();
+        assert_eq!(built.name(), info.name);
+        assert_eq!(built.spec(), info.default_spec, "{}: default_spec drifted", info.name);
+
+        let mut rebuilt = new_branch_predictor(&built.spec())
+            .unwrap_or_else(|e| panic!("{}: {:?} does not parse: {e}", info.name, built.spec()));
+        assert_eq!(rebuilt.spec(), built.spec(), "{}: spec not canonical", info.name);
+        let mut original = new_branch_predictor(info.name).unwrap();
+        assert_eq!(
+            drive(original.as_mut(), &events),
+            drive(rebuilt.as_mut(), &events),
+            "{}: rebuilt-from-spec predictor diverged",
+            info.name
+        );
+    }
+}
+
+#[test]
+fn clone_box_carries_training_state() {
+    let events = stream();
+    let (warmup, tail) = events.split_at(events.len() / 2);
+    for info in list_branch_predictors() {
+        let mut original = new_branch_predictor(info.name).unwrap();
+        let _ = drive(original.as_mut(), warmup);
+        let mut clone = original.clone_box();
+        assert_eq!(
+            drive(original.as_mut(), tail),
+            drive(clone.as_mut(), tail),
+            "{}: clone diverged from its original",
+            info.name
+        );
+    }
+}

@@ -38,7 +38,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use rvp_core::span::{self, FieldValue};
-use rvp_core::{fatal, log, CpiBucket, Json, PaperScheme, EXIT_CONFIG, EXIT_IO, EXIT_USAGE};
+use rvp_core::{fatal, list_schemes, log, CpiBucket, Json, EXIT_CONFIG, EXIT_IO, EXIT_USAGE};
 
 /// One parsed cell file.
 struct Cell {
@@ -289,12 +289,14 @@ fn load_cells(dir: &Path) -> std::io::Result<Vec<Cell>> {
     Ok(cells)
 }
 
-/// Schemes in the paper's figure order, then any others alphabetically.
+/// Schemes in registry order (the paper's figures first, then the
+/// zoo), then any labels the registry does not know — parameterized
+/// cells, future schemes — alphabetically.
 fn scheme_order(cells: &[Cell]) -> Vec<String> {
     let present: BTreeSet<&str> = cells.iter().map(|c| c.scheme.as_str()).collect();
-    let mut out: Vec<String> = PaperScheme::all()
+    let mut out: Vec<String> = list_schemes()
         .iter()
-        .map(|s| s.label())
+        .map(|s| s.name)
         .filter(|l| present.contains(l))
         .map(str::to_owned)
         .collect();

@@ -6,9 +6,12 @@
 //! rvp-sim --workload li [options]
 //!
 //! options:
-//!   --scheme S        no_predict | lvp | lvp_all | stride_all | context_all |
-//!                     hybrid_all | drvp | drvp_all | grp_all |
-//!                     hwcorr_all                                  [drvp_all]
+//!   --scheme S        any registry scheme that needs no train-input
+//!                     profile (no_predict, lvp, lvp_all, drvp,
+//!                     drvp_all, Grp_all, stride_all, stride2_all,
+//!                     fcm_all, hybrid_all, rvp_lvp_all, tage_drvp_all,
+//!                     hwcorr_all, ...), optionally with predictor
+//!                     parameters: e.g. drvp_all:entries=4096 [drvp_all]
 //!   --recovery R      refetch | reissue | selective               [selective]
 //!   --machine M       table1 | wide16                             [table1]
 //!   --max-insts N     committed-instruction budget                [1000000]
@@ -32,9 +35,8 @@
 use std::process::ExitCode;
 
 use rvp_core::{
-    fatal, fatal_sim, BufferConfig, ContextConfig, CpiBucket, Emulator, Input, LvpConfig,
-    ObsConfig, PredictionPlan, Program, Recovery, Scheme, Scope, Simulator, StrideConfig, ToJson,
-    UarchConfig, EXIT_CONFIG, EXIT_EMU, EXIT_IO, EXIT_USAGE,
+    fatal, fatal_sim, CpiBucket, Emulator, Input, ObsConfig, Program, Scheme, SchemeSpec,
+    Simulator, ToJson, UarchConfig, EXIT_CONFIG, EXIT_EMU, EXIT_IO, EXIT_USAGE,
 };
 
 fn usage() -> ExitCode {
@@ -147,43 +149,40 @@ fn main() -> ExitCode {
         }
     }
 
+    // Pre-registry CLI names that are not registry labels.
     let scheme = match scheme.as_str() {
-        "no_predict" => Scheme::NoPredict,
-        "lvp" => Scheme::lvp_loads(),
-        "lvp_all" => Scheme::lvp_all(),
-        "stride_all" => Scheme::Buffer {
-            scope: Scope::AllInsts,
-            config: BufferConfig::Stride(StrideConfig::default()),
-        },
-        "context_all" => Scheme::Buffer {
-            scope: Scope::AllInsts,
-            config: BufferConfig::Context(ContextConfig::default()),
-        },
-        "hybrid_all" => Scheme::Buffer {
-            scope: Scope::AllInsts,
-            config: BufferConfig::Hybrid(StrideConfig::default(), LvpConfig::paper()),
-        },
-        "drvp" => Scheme::drvp(Scope::LoadsOnly, PredictionPlan::new()),
-        "drvp_all" => Scheme::drvp(Scope::AllInsts, PredictionPlan::new()),
-        "grp_all" => Scheme::Gabbay { scope: Scope::AllInsts },
-        "hwcorr_all" => Scheme::HwCorrelation {
-            scope: Scope::AllInsts,
-            config: rvp_core::CorrelationConfig::default(),
-        },
-        other => {
-            return fatal("rvp-sim", "unknown scheme", EXIT_CONFIG, &[("scheme", other.into())]);
+        "grp_all" => "Grp_all".to_owned(),
+        "context_all" => "fcm_all".to_owned(),
+        _ => scheme,
+    };
+    let spec = match SchemeSpec::parse(&scheme) {
+        Ok(spec) => spec,
+        Err(e) => {
+            return fatal("rvp-sim", "unknown scheme", EXIT_CONFIG, &[("error", e.into())]);
         }
     };
-    let recovery = match recovery.as_str() {
-        "refetch" => Recovery::Refetch,
-        "reissue" => Recovery::Reissue,
-        "selective" => Recovery::Selective,
-        other => {
+    // This tool runs one raw program with no train input, so
+    // profile-guided schemes have nothing to profile.
+    if spec.needs_profile() {
+        return fatal(
+            "rvp-sim",
+            "scheme needs a train-input profile; use rvp-grid",
+            EXIT_CONFIG,
+            &[("scheme", spec.label().into())],
+        );
+    }
+    let scheme = match spec.build_predictor() {
+        Some(p) => Scheme::new(spec.label().to_owned(), spec.info().scope, p),
+        None => Scheme::no_predict(),
+    };
+    let recovery = match rvp_core::parse_recovery(&recovery) {
+        Some(r) => r,
+        None => {
             return fatal(
                 "rvp-sim",
                 "unknown recovery",
                 EXIT_CONFIG,
-                &[("recovery", other.into())],
+                &[("recovery", recovery.as_str().into())],
             );
         }
     };

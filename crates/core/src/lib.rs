@@ -13,20 +13,21 @@
 //!    ([`rvp_uarch`]) under the chosen prediction scheme and recovery
 //!    model.
 //!
-//! The paper's figure legends map one-to-one onto [`PaperScheme`]
-//! variants, and [`Runner`] executes a (workload, scheme) cell of any
-//! figure.
+//! The paper's figure legends are entries in the string-keyed scheme
+//! registry ([`list_schemes`]); a [`SchemeSpec`] names one — optionally
+//! with predictor parameters (`"drvp_all:entries=4096"`) — and
+//! [`Runner`] executes a (workload, scheme) cell of any figure.
 //!
 //! # Examples
 //!
 //! ```no_run
-//! use rvp_core::{PaperScheme, Runner};
+//! use rvp_core::{Runner, SchemeSpec};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let runner = Runner::default();
 //! let wl = rvp_workloads::by_name("li").expect("exists");
-//! let base = runner.run(&wl, PaperScheme::NoPredict)?;
-//! let drvp = runner.run(&wl, PaperScheme::DrvpAllDeadLv)?;
+//! let base = runner.run(&wl, &SchemeSpec::parse("no_predict")?)?;
+//! let drvp = runner.run(&wl, &SchemeSpec::parse("drvp_all_dead_lv")?)?;
 //! println!("speedup: {:.3}", drvp.stats.speedup_over(&base.stats));
 //! # Ok(())
 //! # }
@@ -35,6 +36,7 @@
 mod fatal;
 mod journal;
 mod runner;
+mod schemes;
 
 pub use fatal::{
     fatal, fatal_sim, sim_error_kind, sim_exit_code, EXIT_CONFIG, EXIT_DEADLOCK, EXIT_EMU, EXIT_IO,
@@ -42,11 +44,18 @@ pub use fatal::{
 };
 pub use journal::{journal_line, parse_journal_line, write_atomic};
 pub use runner::{
-    grid_config_fnv, PaperScheme, ProfileCache, RunResult, Runner, SharedTraceCache,
-    SourceCounters, SourceMode, SourceTally,
+    grid_config_fnv, ProfileCache, RunResult, Runner, SharedTraceCache, SourceCounters, SourceMode,
+    SourceTally,
+};
+pub use schemes::{
+    list_schemes, paper_schemes, parse_recovery, recovery_name, scheme_names, PlanSource,
+    SchemeInfo, SchemeSpec,
 };
 
-pub use rvp_bpred::{BpredConfig, BranchPredictor};
+pub use rvp_bpred::{
+    branch_predictor_names, list_branch_predictors, new_branch_predictor, BpredConfig,
+    BranchPredictor, BranchUnit,
+};
 pub use rvp_emu::{Committed, EmuError, Emulator};
 pub use rvp_isa::{parse_asm, AsmError, Program, ProgramBuilder, Reg};
 pub use rvp_json::{Json, ToJson};
@@ -62,13 +71,14 @@ pub use rvp_trace::{
     TraceStore, TraceWriter,
 };
 pub use rvp_uarch::{
-    CommittedSource, EmuSource, Latencies, Recovery, ReplaySource, Scheme, SharedSource, SimError,
-    SimStats, Simulator, SourceKind, UarchConfig,
+    CommittedSource, EmuSource, Latencies, PlanMode, Recovery, ReplaySource, Scheme, SharedSource,
+    SimError, SimStats, Simulator, SourceKind, UarchConfig,
 };
 pub use rvp_vpred::{
-    BufferConfig, BufferPredictor, ConfidenceCounter, ConfidenceTable, ContextConfig,
-    ContextPredictor, CorrelationConfig, CorrelationPredictor, CounterPolicy, DrvpConfig,
-    DrvpPredictor, GabbayPredictor, LastValuePredictor, LvpConfig, PredictionPlan, ReuseKind,
-    Scope, StrideConfig, StridePredictor, TableConfig,
+    list_value_predictors, new_value_predictor, value_predictor_names, BufferConfig,
+    BufferPredictor, ConfidenceCounter, ConfidenceTable, ContextConfig, ContextPredictor,
+    CorrelationConfig, CorrelationPredictor, CounterPolicy, DrvpConfig, DrvpPredictor,
+    GabbayPredictor, LastValuePredictor, LvpConfig, PredictionPlan, ReuseKind, Scope, StrideConfig,
+    StridePredictor, TableConfig, ValuePredictor,
 };
 pub use rvp_workloads::{all as all_workloads, by_name, Input, Lang, Workload};

@@ -6,115 +6,25 @@ use rvp_emu::Committed;
 use rvp_isa::Program;
 use rvp_json::{Json, ToJson};
 use rvp_obs::log;
-use rvp_profile::{Assist, Fig1Row, PlanScope, Profile, ProfileConfig, SrvpLevel};
+use rvp_profile::{Fig1Row, PlanScope, Profile, ProfileConfig};
 use rvp_realloc::{reallocate, ReallocOptions};
 use rvp_trace::{TraceInput, TraceMeta, TraceStore};
 use rvp_uarch::TraceColumns;
 use rvp_uarch::{
-    CommittedSource, ObsConfig, Recovery, ReplaySource, Scheme, SharedSource, SimError, SimStats,
-    Simulator, UarchConfig,
+    CommittedSource, ObsConfig, PlanMode, Recovery, ReplaySource, Scheme, SharedSource, SimError,
+    SimStats, Simulator, UarchConfig,
 };
-use rvp_vpred::{DrvpConfig, LvpConfig, PredictionPlan, Scope};
 use rvp_workloads::{Input, Workload};
 
-/// The prediction configurations named in the paper's figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum PaperScheme {
-    /// `no_predict` — the baseline.
-    NoPredict,
-    /// `lvp` — last-value prediction of loads (Figs. 3, 5).
-    Lvp,
-    /// `lvp_all` — last-value prediction of all instructions (Figs. 6, 8).
-    LvpAll,
-    /// `srvp_same` — static RVP, natural same-register reuse only.
-    SrvpSame,
-    /// `srvp_dead` — plus dead-register correlation (Figs. 3, 4).
-    SrvpDead,
-    /// `srvp_live` — plus live-register correlation (move not charged).
-    SrvpLive,
-    /// `srvp_live_lv` — plus last-value registers.
-    SrvpLiveLv,
-    /// `drvp` — dynamic RVP of loads, no compiler support (Fig. 5).
-    Drvp,
-    /// `drvp_dead` — dynamic RVP of loads with dead-register
-    /// reallocation assumed (Fig. 5).
-    DrvpDead,
-    /// `drvp_dead_lv` — plus last-value reallocation (Fig. 5).
-    DrvpDeadLv,
-    /// `drvp_all` — dynamic RVP of all instructions (Figs. 6, 8).
-    DrvpAll,
-    /// `drvp_all_dead` — with dead-register reallocation (Fig. 6).
-    DrvpAllDead,
-    /// `drvp_all_dead_lv` — with dead + last-value reallocation
-    /// (Figs. 6, 8; the "ideal realloc" bar of Fig. 7).
-    DrvpAllDeadLv,
-    /// `Grp_all` — the Gabbay & Mendelson register predictor (Fig. 6).
-    GrpAll,
-    /// `drvp_all_dead_lv_realloc` — dynamic RVP over a program actually
-    /// transformed by the register-reallocation pass (Fig. 7's
-    /// "realistic" bar). No oracle plan: the hardware sees only
-    /// same-register reuse, which the transformation created.
-    DrvpAllRealloc,
-}
-
-impl PaperScheme {
-    /// The paper's label for this configuration.
-    pub fn label(self) -> &'static str {
-        match self {
-            PaperScheme::NoPredict => "no_predict",
-            PaperScheme::Lvp => "lvp",
-            PaperScheme::LvpAll => "lvp_all",
-            PaperScheme::SrvpSame => "srvp_same",
-            PaperScheme::SrvpDead => "srvp_dead",
-            PaperScheme::SrvpLive => "srvp_live",
-            PaperScheme::SrvpLiveLv => "srvp_live_lv",
-            PaperScheme::Drvp => "drvp",
-            PaperScheme::DrvpDead => "drvp_dead",
-            PaperScheme::DrvpDeadLv => "drvp_dead_lv",
-            PaperScheme::DrvpAll => "drvp_all",
-            PaperScheme::DrvpAllDead => "drvp_all_dead",
-            PaperScheme::DrvpAllDeadLv => "drvp_all_dead_lv",
-            PaperScheme::GrpAll => "Grp_all",
-            PaperScheme::DrvpAllRealloc => "drvp_all_realloc",
-        }
-    }
-
-    /// Looks a scheme up by its [`PaperScheme::label`]; `None` for
-    /// anything unknown (the serve daemon validates request bodies with
-    /// this).
-    pub fn by_label(label: &str) -> Option<PaperScheme> {
-        PaperScheme::all().iter().copied().find(|s| s.label() == label)
-    }
-
-    /// All schemes, in a stable order.
-    pub fn all() -> &'static [PaperScheme] {
-        &[
-            PaperScheme::NoPredict,
-            PaperScheme::Lvp,
-            PaperScheme::LvpAll,
-            PaperScheme::SrvpSame,
-            PaperScheme::SrvpDead,
-            PaperScheme::SrvpLive,
-            PaperScheme::SrvpLiveLv,
-            PaperScheme::Drvp,
-            PaperScheme::DrvpDead,
-            PaperScheme::DrvpDeadLv,
-            PaperScheme::DrvpAll,
-            PaperScheme::DrvpAllDead,
-            PaperScheme::DrvpAllDeadLv,
-            PaperScheme::GrpAll,
-            PaperScheme::DrvpAllRealloc,
-        ]
-    }
-}
+use crate::schemes::{PlanSource, SchemeSpec};
 
 /// Result of one (workload, scheme) simulation.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// Workload name.
     pub workload: &'static str,
-    /// Scheme simulated.
-    pub scheme: PaperScheme,
+    /// Label of the scheme simulated ([`SchemeSpec::label`]).
+    pub scheme: String,
     /// Timing and prediction statistics.
     pub stats: SimStats,
 }
@@ -123,7 +33,7 @@ impl ToJson for RunResult {
     fn to_json(&self) -> Json {
         Json::obj([
             ("workload", self.workload.into()),
-            ("scheme", self.scheme.label().into()),
+            ("scheme", self.scheme.as_str().into()),
             ("stats", self.stats.to_json()),
         ])
     }
@@ -491,8 +401,8 @@ impl Runner {
     ///
     /// Propagates simulator errors; these indicate workload or model
     /// bugs, not expected outcomes.
-    pub fn run(&self, wl: &Workload, scheme: PaperScheme) -> Result<RunResult, SimError> {
-        use PaperScheme as P;
+    pub fn run(&self, wl: &Workload, scheme: &SchemeSpec) -> Result<RunResult, SimError> {
+        let info = scheme.info();
         let mut program = wl.program(Input::Ref);
         let train = wl.program(Input::Train);
         if program.len() != train.len() {
@@ -502,21 +412,16 @@ impl Runner {
             });
         }
 
-        let needs_profile =
-            !matches!(scheme, P::NoPredict | P::Lvp | P::LvpAll | P::GrpAll | P::Drvp | P::DrvpAll);
-        let profile = if needs_profile { Some(self.train_profile_for(wl, &train)?) } else { None };
+        let profile =
+            if scheme.needs_profile() { Some(self.train_profile_for(wl, &train)?) } else { None };
 
-        let sim_scheme = match scheme {
-            P::NoPredict => Scheme::NoPredict,
-            P::Lvp => Scheme::Lvp { scope: Scope::LoadsOnly, config: LvpConfig::paper() },
-            P::LvpAll => Scheme::Lvp { scope: Scope::AllInsts, config: LvpConfig::paper() },
-            P::SrvpSame | P::SrvpDead | P::SrvpLive | P::SrvpLiveLv => {
-                let level = match scheme {
-                    P::SrvpSame => SrvpLevel::Same,
-                    P::SrvpDead => SrvpLevel::Dead,
-                    P::SrvpLive => SrvpLevel::Live,
-                    _ => SrvpLevel::LiveLv,
-                };
+        let mut sim_scheme = match scheme.build_predictor() {
+            Some(p) => Scheme::new(scheme.label().to_owned(), info.scope, p),
+            None => Scheme::no_predict(),
+        };
+        match info.plan {
+            PlanSource::NoPlan => {}
+            PlanSource::Static(level) => {
                 let profile = profile.as_ref().expect("profiled");
                 let plan = profile.static_plan(&train, self.threshold, level);
                 // Mark the loads in the program text (`rvp_` opcodes).
@@ -527,35 +432,16 @@ impl Runner {
                         inst.clone()
                     }
                 });
-                Scheme::StaticRvp { plan }
+                sim_scheme = sim_scheme.with_plan(plan, PlanMode::Exhaustive);
             }
-            P::Drvp => Scheme::DynamicRvp {
-                scope: Scope::LoadsOnly,
-                plan: PredictionPlan::new(),
-                config: DrvpConfig::paper(),
-            },
-            P::DrvpAll => Scheme::DynamicRvp {
-                scope: Scope::AllInsts,
-                plan: PredictionPlan::new(),
-                config: DrvpConfig::paper(),
-            },
-            P::DrvpDead | P::DrvpDeadLv | P::DrvpAllDead | P::DrvpAllDeadLv => {
-                let scope = match scheme {
-                    P::DrvpDead | P::DrvpDeadLv => Scope::LoadsOnly,
-                    _ => Scope::AllInsts,
-                };
-                let assist = match scheme {
-                    P::DrvpDead | P::DrvpAllDead => Assist::Dead,
-                    _ => Assist::DeadLv,
-                };
+            PlanSource::Assist(assist) => {
                 let profile = profile.as_ref().expect("profiled");
-                let plan = profile.assist_plan(&train, self.threshold, scope, assist);
-                Scheme::DynamicRvp { scope, plan, config: DrvpConfig::paper() }
+                let plan = profile.assist_plan(&train, self.threshold, info.scope, assist);
+                sim_scheme = sim_scheme.with_plan(plan, PlanMode::Overlay);
             }
-            P::GrpAll => Scheme::Gabbay { scope: Scope::AllInsts },
-            P::DrvpAllRealloc => {
+            PlanSource::Realloc => {
                 // Actually transform the program; the hardware then runs
-                // plain dynamic RVP with no oracle plan.
+                // the plain predictor with no oracle plan.
                 let profile = profile.as_ref().expect("profiled");
                 let opts = ReallocOptions {
                     threshold: self.threshold,
@@ -564,17 +450,12 @@ impl Runner {
                     use_lv: true,
                 };
                 program = reallocate(&program, profile, &opts).program;
-                Scheme::DynamicRvp {
-                    scope: Scope::AllInsts,
-                    plan: PredictionPlan::new(),
-                    config: DrvpConfig::paper(),
-                }
             }
-        };
+        }
 
-        let reallocated = scheme == P::DrvpAllRealloc;
+        let reallocated = info.plan == PlanSource::Realloc;
         let stats = self.measure(wl, &program, sim_scheme, reallocated)?;
-        Ok(RunResult { workload: wl.name(), scheme, stats })
+        Ok(RunResult { workload: wl.name(), scheme: scheme.label().to_owned(), stats })
     }
 
     /// Runs one timing simulation, feeding the committed stream per
@@ -746,7 +627,7 @@ impl Runner {
 /// its header (a manifest written under a different configuration must
 /// not be resumed from), and the serve daemon keys its
 /// content-addressed result cache with the single-cell case.
-pub fn grid_config_fnv(workloads: &[Workload], schemes: &[PaperScheme], runner: &Runner) -> u64 {
+pub fn grid_config_fnv(workloads: &[Workload], schemes: &[SchemeSpec], runner: &Runner) -> u64 {
     let mut key = String::new();
     for wl in workloads {
         key.push_str(wl.name());
@@ -784,11 +665,15 @@ mod tests {
         Runner { profile_insts: 250_000, measure_insts: 120_000, ..Runner::default() }
     }
 
+    fn spec(label: &str) -> SchemeSpec {
+        SchemeSpec::parse(label).unwrap()
+    }
+
     #[test]
     fn m88ksim_has_much_more_reuse_than_go() {
         let r = quick_runner();
-        let m88k = r.run(&by_name("m88ksim").unwrap(), PaperScheme::DrvpAll).unwrap();
-        let go = r.run(&by_name("go").unwrap(), PaperScheme::DrvpAll).unwrap();
+        let m88k = r.run(&by_name("m88ksim").unwrap(), &spec("drvp_all")).unwrap();
+        let go = r.run(&by_name("go").unwrap(), &spec("drvp_all")).unwrap();
         assert!(
             m88k.stats.coverage() > 2.0 * go.stats.coverage(),
             "m88k {:.3} vs go {:.3}",
@@ -801,7 +686,7 @@ mod tests {
     fn drvp_accuracy_is_high() {
         let r = quick_runner();
         for name in ["m88ksim", "hydro2d"] {
-            let res = r.run(&by_name(name).unwrap(), PaperScheme::DrvpAll).unwrap();
+            let res = r.run(&by_name(name).unwrap(), &spec("drvp_all")).unwrap();
             assert!(res.stats.accuracy() > 0.9, "{name}: accuracy {:.3}", res.stats.accuracy());
         }
     }
@@ -810,8 +695,8 @@ mod tests {
     fn dead_lv_assistance_increases_coverage() {
         let r = quick_runner();
         let wl = by_name("hydro2d").unwrap();
-        let plain = r.run(&wl, PaperScheme::DrvpAll).unwrap();
-        let assisted = r.run(&wl, PaperScheme::DrvpAllDeadLv).unwrap();
+        let plain = r.run(&wl, &spec("drvp_all")).unwrap();
+        let assisted = r.run(&wl, &spec("drvp_all_dead_lv")).unwrap();
         assert!(
             assisted.stats.coverage() >= plain.stats.coverage(),
             "assisted {:.3} < plain {:.3}",
@@ -826,8 +711,8 @@ mod tests {
         // destructive interference that PC-indexed counters avoid.
         let r = quick_runner();
         let wl = by_name("m88ksim").unwrap();
-        let drvp = r.run(&wl, PaperScheme::DrvpAll).unwrap();
-        let grp = r.run(&wl, PaperScheme::GrpAll).unwrap();
+        let drvp = r.run(&wl, &spec("drvp_all")).unwrap();
+        let grp = r.run(&wl, &spec("Grp_all")).unwrap();
         assert!(
             grp.stats.coverage() < drvp.stats.coverage(),
             "Grp {:.3} !< dRVP {:.3}",
@@ -840,8 +725,8 @@ mod tests {
     fn prediction_never_changes_committed_count() {
         let r = quick_runner();
         let wl = by_name("ijpeg").unwrap();
-        let base = r.run(&wl, PaperScheme::NoPredict).unwrap();
-        for scheme in [PaperScheme::Lvp, PaperScheme::DrvpAll, PaperScheme::SrvpDead] {
+        let base = r.run(&wl, &spec("no_predict")).unwrap();
+        for scheme in [&spec("lvp"), &spec("drvp_all"), &spec("srvp_dead")] {
             let res = r.run(&wl, scheme).unwrap();
             assert_eq!(res.stats.committed, base.stats.committed, "{scheme:?}");
         }
@@ -864,8 +749,8 @@ mod tests {
     fn train_profiles_are_memoized_per_workload() {
         let r = quick_runner();
         let wl = by_name("li").unwrap();
-        r.run(&wl, PaperScheme::DrvpAll).unwrap();
-        r.run(&wl, PaperScheme::SrvpDead).unwrap();
+        r.run(&wl, &spec("drvp_all")).unwrap();
+        r.run(&wl, &spec("srvp_dead")).unwrap();
         assert_eq!(r.profiles.len(), 1, "two runs must share one train profile");
     }
 
@@ -876,7 +761,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let store = TraceStore::new(&dir).unwrap();
         let wl = by_name("li").unwrap();
-        let scheme = PaperScheme::DrvpAllDeadLv;
+        let scheme = &spec("drvp_all_dead_lv");
 
         let live = Runner { traces: None, source_mode: SourceMode::Live, ..quick_runner() };
         let want = live.run(&wl, scheme).unwrap();
@@ -909,9 +794,9 @@ mod tests {
         let run_mode = |mode: SourceMode| {
             let r = Runner { traces: Some(store.clone()), source_mode: mode, ..quick_runner() };
             r.prewarm_trace(&wl).unwrap();
-            let a = r.run(&wl, PaperScheme::DrvpAll).unwrap();
-            let b = r.run(&wl, PaperScheme::NoPredict).unwrap();
-            let fallback = r.run(&wl, PaperScheme::DrvpAllRealloc).unwrap();
+            let a = r.run(&wl, &spec("drvp_all")).unwrap();
+            let b = r.run(&wl, &spec("no_predict")).unwrap();
+            let fallback = r.run(&wl, &spec("drvp_all_realloc")).unwrap();
             (a.stats, b.stats, fallback.stats, r.source_counters.total())
         };
 
@@ -984,13 +869,5 @@ mod tests {
         assert_eq!(shared.next_record().unwrap(), None);
 
         let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn labels_are_unique() {
-        let mut labels: Vec<&str> = PaperScheme::all().iter().map(|s| s.label()).collect();
-        labels.sort_unstable();
-        labels.dedup();
-        assert_eq!(labels.len(), PaperScheme::all().len());
     }
 }

@@ -1,0 +1,423 @@
+//! The string-keyed scheme registry: every prediction configuration a
+//! figure, grid cell, sweep request or CLI flag can name.
+//!
+//! A *scheme* is a predictor plus the methodology around it: the scope
+//! filter, and the profile-derived compiler product (static `rvp_`
+//! marking, an assistance plan, or a real register reallocation) the
+//! [`crate::Runner`] prepares before the timing run. The registry maps
+//! a stable label (the paper's figure legends, e.g. `drvp_all_dead_lv`)
+//! to that recipe; predictor parameters ride along in the label itself
+//! (`lvp_all:entries=4096` forwards `entries=4096` to the `lvp`
+//! predictor builder), so one string names a complete, reproducible
+//! cell configuration.
+//!
+//! This replaced a closed `PaperScheme` enum: new predictors registered
+//! in `rvp-vpred` become sweepable here by adding one table row, and
+//! every consumer (grid, serve, report) validates against
+//! [`list_schemes`] instead of its own copy of the label set.
+
+use rvp_profile::{Assist, SrvpLevel};
+use rvp_uarch::Recovery;
+use rvp_vpred::{new_value_predictor, Scope, ValuePredictor};
+
+/// Where a scheme's prediction plan comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// No profile involvement: the hardware is on its own.
+    NoPlan,
+    /// Exhaustive static plan at the given profiling level; the runner
+    /// also marks the listed loads in the program text (`rvp_`
+    /// opcodes).
+    Static(SrvpLevel),
+    /// Idealized compiler assistance: an overlay plan listing the
+    /// instructions whose reuse the compiler would have exposed.
+    Assist(Assist),
+    /// A real register reallocation of the program; the hardware then
+    /// sees only the same-register reuse the transformation created.
+    Realloc,
+}
+
+/// One registered scheme: label, recipe, and the registry name of its
+/// value predictor.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeInfo {
+    /// Stable label (the paper's figure legend where one exists).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub summary: &'static str,
+    /// Which instructions may be predicted.
+    pub scope: Scope,
+    /// Profile product the runner prepares.
+    pub plan: PlanSource,
+    /// Value-predictor registry name ([`rvp_vpred::new_value_predictor`]);
+    /// `None` for the no-prediction baseline.
+    pub predictor: Option<&'static str>,
+}
+
+/// Number of leading [`SCHEMES`] rows that are the paper's figure
+/// configurations (in figure order).
+const PAPER_SCHEMES: usize = 15;
+
+static SCHEMES: &[SchemeInfo] = &[
+    SchemeInfo {
+        name: "no_predict",
+        summary: "the baseline: no value prediction",
+        scope: Scope::LoadsOnly,
+        plan: PlanSource::NoPlan,
+        predictor: None,
+    },
+    SchemeInfo {
+        name: "lvp",
+        summary: "last-value prediction of loads (Figs. 3, 5)",
+        scope: Scope::LoadsOnly,
+        plan: PlanSource::NoPlan,
+        predictor: Some("lvp"),
+    },
+    SchemeInfo {
+        name: "lvp_all",
+        summary: "last-value prediction of all instructions (Figs. 6, 8)",
+        scope: Scope::AllInsts,
+        plan: PlanSource::NoPlan,
+        predictor: Some("lvp"),
+    },
+    SchemeInfo {
+        name: "srvp_same",
+        summary: "static RVP, natural same-register reuse only",
+        scope: Scope::LoadsOnly,
+        plan: PlanSource::Static(SrvpLevel::Same),
+        predictor: Some("srvp"),
+    },
+    SchemeInfo {
+        name: "srvp_dead",
+        summary: "static RVP plus dead-register correlation (Figs. 3, 4)",
+        scope: Scope::LoadsOnly,
+        plan: PlanSource::Static(SrvpLevel::Dead),
+        predictor: Some("srvp"),
+    },
+    SchemeInfo {
+        name: "srvp_live",
+        summary: "static RVP plus live-register correlation (move not charged)",
+        scope: Scope::LoadsOnly,
+        plan: PlanSource::Static(SrvpLevel::Live),
+        predictor: Some("srvp"),
+    },
+    SchemeInfo {
+        name: "srvp_live_lv",
+        summary: "static RVP plus last-value registers",
+        scope: Scope::LoadsOnly,
+        plan: PlanSource::Static(SrvpLevel::LiveLv),
+        predictor: Some("srvp"),
+    },
+    SchemeInfo {
+        name: "drvp",
+        summary: "dynamic RVP of loads, no compiler support (Fig. 5)",
+        scope: Scope::LoadsOnly,
+        plan: PlanSource::NoPlan,
+        predictor: Some("drvp"),
+    },
+    SchemeInfo {
+        name: "drvp_dead",
+        summary: "dynamic RVP of loads with dead-register reallocation assumed (Fig. 5)",
+        scope: Scope::LoadsOnly,
+        plan: PlanSource::Assist(Assist::Dead),
+        predictor: Some("drvp"),
+    },
+    SchemeInfo {
+        name: "drvp_dead_lv",
+        summary: "dynamic RVP of loads plus last-value reallocation (Fig. 5)",
+        scope: Scope::LoadsOnly,
+        plan: PlanSource::Assist(Assist::DeadLv),
+        predictor: Some("drvp"),
+    },
+    SchemeInfo {
+        name: "drvp_all",
+        summary: "dynamic RVP of all instructions (Figs. 6, 8)",
+        scope: Scope::AllInsts,
+        plan: PlanSource::NoPlan,
+        predictor: Some("drvp"),
+    },
+    SchemeInfo {
+        name: "drvp_all_dead",
+        summary: "dynamic RVP of all instructions with dead-register reallocation (Fig. 6)",
+        scope: Scope::AllInsts,
+        plan: PlanSource::Assist(Assist::Dead),
+        predictor: Some("drvp"),
+    },
+    SchemeInfo {
+        name: "drvp_all_dead_lv",
+        summary: "dynamic RVP with dead + last-value reallocation (Figs. 6, 8; Fig. 7 ideal)",
+        scope: Scope::AllInsts,
+        plan: PlanSource::Assist(Assist::DeadLv),
+        predictor: Some("drvp"),
+    },
+    SchemeInfo {
+        name: "Grp_all",
+        summary: "the Gabbay & Mendelson register predictor (Fig. 6)",
+        scope: Scope::AllInsts,
+        plan: PlanSource::NoPlan,
+        predictor: Some("gabbay"),
+    },
+    SchemeInfo {
+        name: "drvp_all_realloc",
+        summary: "dynamic RVP over an actually-reallocated program (Fig. 7 realistic)",
+        scope: Scope::AllInsts,
+        plan: PlanSource::Realloc,
+        predictor: Some("drvp"),
+    },
+    // --- beyond the paper: the predictor zoo ---
+    SchemeInfo {
+        name: "stride_all",
+        summary: "1-delta stride buffer over all instructions",
+        scope: Scope::AllInsts,
+        plan: PlanSource::NoPlan,
+        predictor: Some("stride"),
+    },
+    SchemeInfo {
+        name: "stride2_all",
+        summary: "2-delta stride buffer over all instructions",
+        scope: Scope::AllInsts,
+        plan: PlanSource::NoPlan,
+        predictor: Some("stride2"),
+    },
+    SchemeInfo {
+        name: "fcm_all",
+        summary: "finite-context-method buffer over all instructions",
+        scope: Scope::AllInsts,
+        plan: PlanSource::NoPlan,
+        predictor: Some("fcm"),
+    },
+    SchemeInfo {
+        name: "hybrid_all",
+        summary: "stride+last-value hybrid buffer over all instructions",
+        scope: Scope::AllInsts,
+        plan: PlanSource::NoPlan,
+        predictor: Some("stride_lvp"),
+    },
+    SchemeInfo {
+        name: "rvp_lvp_all",
+        summary: "RVP+LVP tournament hybrid over all instructions",
+        scope: Scope::AllInsts,
+        plan: PlanSource::NoPlan,
+        predictor: Some("rvp_lvp"),
+    },
+    SchemeInfo {
+        name: "tage_drvp_all",
+        summary: "TAGE-style reuse confidence for DRVP over all instructions",
+        scope: Scope::AllInsts,
+        plan: PlanSource::NoPlan,
+        predictor: Some("tage_drvp"),
+    },
+    SchemeInfo {
+        name: "hwcorr_all",
+        summary: "hardware-learned register correlation over all instructions",
+        scope: Scope::AllInsts,
+        plan: PlanSource::NoPlan,
+        predictor: Some("hwcorr"),
+    },
+];
+
+/// All registered schemes, in a stable order (the paper's 15 figure
+/// configurations first, then the zoo additions).
+pub fn list_schemes() -> &'static [SchemeInfo] {
+    SCHEMES
+}
+
+/// All registered scheme names, in [`list_schemes`] order.
+pub fn scheme_names() -> Vec<&'static str> {
+    SCHEMES.iter().map(|s| s.name).collect()
+}
+
+/// The paper's 15 figure configurations, parsed, in figure order.
+pub fn paper_schemes() -> Vec<SchemeSpec> {
+    SCHEMES[..PAPER_SCHEMES]
+        .iter()
+        .map(|s| SchemeSpec::parse(s.name).expect("registry rows parse"))
+        .collect()
+}
+
+/// A validated scheme configuration string: a registry name plus
+/// optional predictor parameters (`drvp_all:entries=4096,ctr=2`).
+///
+/// The full string is the scheme's *label* — it keys cell files, grid
+/// fingerprints and the serve result cache, so two labels differing
+/// only in parameters address different cells while the bare paper
+/// labels stay byte-identical to the pre-registry era.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SchemeSpec {
+    spec: String,
+    name_len: usize,
+}
+
+impl SchemeSpec {
+    /// Parses and fully validates a scheme string: the name must be
+    /// registered, and any parameter tail must be accepted by the
+    /// scheme's predictor builder.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending part and listing
+    /// the registered schemes for unknown names (serve returns these
+    /// verbatim as 400 bodies).
+    pub fn parse(spec: &str) -> Result<SchemeSpec, String> {
+        let name_len = spec.find(':').unwrap_or(spec.len());
+        let name = &spec[..name_len];
+        let info = SCHEMES.iter().find(|i| i.name == name).ok_or_else(|| {
+            format!("unknown scheme {name:?} (known: {})", scheme_names().join(", "))
+        })?;
+        let parsed = SchemeSpec { spec: spec.to_owned(), name_len };
+        if name_len < spec.len() {
+            if info.predictor.is_none() {
+                return Err(format!("scheme {name:?} takes no parameters"));
+            }
+            // Forward the tail through the predictor builder so every
+            // key/value is validated up front, not at cell run time.
+            let forwarded = parsed.predictor_spec().expect("predictor present");
+            new_value_predictor(&forwarded).map_err(|e| format!("scheme {name:?}: {e}"))?;
+        }
+        Ok(parsed)
+    }
+
+    /// The full configuration string — the scheme's stable label.
+    pub fn label(&self) -> &str {
+        &self.spec
+    }
+
+    /// The registry name (the label minus any parameter tail).
+    pub fn name(&self) -> &str {
+        &self.spec[..self.name_len]
+    }
+
+    /// The registry row behind this spec.
+    pub fn info(&self) -> &'static SchemeInfo {
+        SCHEMES.iter().find(|i| i.name == self.name()).expect("validated at parse")
+    }
+
+    /// The predictor config string this scheme forwards to
+    /// [`rvp_vpred::new_value_predictor`]; `None` for `no_predict`.
+    pub fn predictor_spec(&self) -> Option<String> {
+        self.info().predictor.map(|p| format!("{}{}", p, &self.spec[self.name_len..]))
+    }
+
+    /// Builds this scheme's value predictor; `None` for `no_predict`.
+    pub fn build_predictor(&self) -> Option<Box<dyn ValuePredictor>> {
+        self.predictor_spec()
+            .map(|s| new_value_predictor(&s).expect("predictor spec validated at parse"))
+    }
+
+    /// Whether running this scheme requires a train-input profile.
+    pub fn needs_profile(&self) -> bool {
+        self.info().plan != PlanSource::NoPlan
+    }
+}
+
+impl std::str::FromStr for SchemeSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SchemeSpec, String> {
+        SchemeSpec::parse(s)
+    }
+}
+
+impl std::fmt::Display for SchemeSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.spec)
+    }
+}
+
+/// Wire/journal name of a recovery model (CLI flags, sweep specs,
+/// report labels — one mapping for every consumer).
+pub fn recovery_name(r: Recovery) -> &'static str {
+    match r {
+        Recovery::Refetch => "refetch",
+        Recovery::Reissue => "reissue",
+        Recovery::Selective => "selective",
+    }
+}
+
+/// Inverse of [`recovery_name`]; `None` for anything unknown.
+pub fn parse_recovery(s: &str) -> Option<Recovery> {
+    match s {
+        "refetch" => Some(Recovery::Refetch),
+        "reissue" => Some(Recovery::Reissue),
+        "selective" => Some(Recovery::Selective),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_paper_prefix_is_stable() {
+        let mut names = scheme_names();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SCHEMES.len());
+        // The paper labels, in figure order, byte-identical to the
+        // pre-registry enum era (cell filenames and grid fingerprints
+        // depend on this).
+        let paper: Vec<&str> = paper_schemes().iter().map(|s| s.info().name).collect();
+        assert_eq!(
+            paper,
+            [
+                "no_predict",
+                "lvp",
+                "lvp_all",
+                "srvp_same",
+                "srvp_dead",
+                "srvp_live",
+                "srvp_live_lv",
+                "drvp",
+                "drvp_dead",
+                "drvp_dead_lv",
+                "drvp_all",
+                "drvp_all_dead",
+                "drvp_all_dead_lv",
+                "Grp_all",
+                "drvp_all_realloc",
+            ]
+        );
+    }
+
+    #[test]
+    fn every_registered_scheme_builds_its_predictor() {
+        for info in list_schemes() {
+            let spec = SchemeSpec::parse(info.name).unwrap();
+            let p = spec.build_predictor();
+            assert_eq!(p.is_some(), info.predictor.is_some(), "{}", info.name);
+            if let (Some(p), Some(name)) = (p, info.predictor) {
+                assert_eq!(p.name(), name);
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_tails_forward_to_the_predictor() {
+        let s = SchemeSpec::parse("drvp_all:entries=4096,ctr=2").unwrap();
+        assert_eq!(s.name(), "drvp_all");
+        assert_eq!(s.label(), "drvp_all:entries=4096,ctr=2");
+        assert_eq!(s.predictor_spec().unwrap(), "drvp:entries=4096,ctr=2");
+        let p = s.build_predictor().unwrap();
+        assert!(p.spec().contains("entries=4096"));
+        assert!(p.spec().contains("ctr=2"));
+    }
+
+    #[test]
+    fn bad_specs_are_errors_listing_the_registry() {
+        let e = SchemeSpec::parse("nope").unwrap_err();
+        assert!(e.contains("unknown scheme"));
+        assert!(e.contains("drvp_all"), "error should list known schemes: {e}");
+        assert!(SchemeSpec::parse("no_predict:entries=4").is_err());
+        assert!(SchemeSpec::parse("drvp_all:bogus=1").is_err());
+        assert!(SchemeSpec::parse("drvp_all:entries=3").is_err(), "non-power-of-two entries");
+    }
+
+    #[test]
+    fn recovery_names_round_trip() {
+        for r in [Recovery::Refetch, Recovery::Reissue, Recovery::Selective] {
+            assert_eq!(parse_recovery(recovery_name(r)), Some(r));
+        }
+        assert_eq!(parse_recovery("nope"), None);
+    }
+}

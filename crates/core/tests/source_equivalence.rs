@@ -4,7 +4,7 @@
 //! recovery model. One test per recovery so the matrix parallelizes.
 
 use rvp_core::{
-    by_name, PaperScheme, ProfileCache, Recovery, Runner, SourceMode, TraceStore, Workload,
+    by_name, paper_schemes, ProfileCache, Recovery, Runner, SourceMode, TraceStore, Workload,
 };
 
 const WORKLOADS: [&str; 2] = ["li", "hydro2d"];
@@ -40,7 +40,7 @@ fn check_recovery(recovery: Recovery) {
         let replay = runner(SourceMode::Replay, recovery, &store, &profiles);
         let shared = runner(SourceMode::Shared, recovery, &store, &profiles);
 
-        for &scheme in PaperScheme::all() {
+        for scheme in &paper_schemes() {
             let want = live.run(&wl, scheme).unwrap();
             let r = replay.run(&wl, scheme).unwrap();
             let s = shared.run(&wl, scheme).unwrap();
@@ -55,7 +55,7 @@ fn check_recovery(recovery: Recovery) {
             assert_eq!(tally.live_fallbacks, 1, "{name}/{recovery:?}: {label} fallbacks");
             assert_eq!(
                 tally.shared_hits,
-                PaperScheme::all().len() as u64 - 1,
+                paper_schemes().len() as u64 - 1,
                 "{name}/{recovery:?}: {label} served runs"
             );
         }

@@ -8,7 +8,7 @@
 use std::fs;
 
 use rvp_core::{
-    by_name, Input, Json, PaperScheme, Runner, SourceMode, TraceInput, TraceMeta, TraceStore,
+    by_name, Input, Json, Runner, SchemeSpec, SourceMode, TraceInput, TraceMeta, TraceStore,
 };
 
 #[test]
@@ -30,7 +30,8 @@ fn truncated_trace_falls_back_to_live_with_structured_event() {
         ..Runner::default()
     };
 
-    let want = mk(SourceMode::Live).run(&wl, PaperScheme::NoPredict).unwrap();
+    let no_predict = SchemeSpec::parse("no_predict").unwrap();
+    let want = mk(SourceMode::Live).run(&wl, &no_predict).unwrap();
 
     let replay = mk(SourceMode::Replay);
     replay.prewarm_trace(&wl).unwrap();
@@ -43,7 +44,7 @@ fn truncated_trace_falls_back_to_live_with_structured_event() {
     let bytes = fs::read(&path).unwrap();
     fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
 
-    let got = replay.run(&wl, PaperScheme::NoPredict).unwrap();
+    let got = replay.run(&wl, &no_predict).unwrap();
     assert_eq!(want.stats, got.stats, "degraded replay must stay bit-identical");
     assert_eq!(replay.source_counters.total().live_fallbacks, 1);
 

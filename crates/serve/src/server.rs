@@ -762,8 +762,10 @@ fn submit(
                 // Single-flight: ride the simulation already queued.
                 continue;
             }
-            let cell =
-                GridCell { workload: cells[idx].workload.clone(), scheme: cells[idx].scheme };
+            let cell = GridCell {
+                workload: cells[idx].workload.clone(),
+                scheme: cells[idx].scheme.clone(),
+            };
             let cost_us = estimate_us(inner, &cell, &runner);
             sched.seq += 1;
             let seq = sched.seq;

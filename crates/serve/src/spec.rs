@@ -2,9 +2,10 @@
 //! grid's cell space.
 
 use rvp_bench::grid::GridCell;
-use rvp_core::{by_name, grid_config_fnv, PaperScheme, Runner, Workload};
+use rvp_core::{
+    by_name, grid_config_fnv, parse_recovery, recovery_name, Recovery, Runner, SchemeSpec, Workload,
+};
 use rvp_json::Json;
-use rvp_uarch_recovery::{parse_recovery, recovery_name, Recovery};
 
 /// Largest committed-instruction budget a request may ask for, per run.
 /// Admission control bounds how many cells queue up; this bounds how
@@ -17,8 +18,9 @@ pub const MAX_INSTS: u64 = 100_000_000;
 pub struct SweepSpec {
     /// Workloads to sweep (validated against the workload registry).
     pub workloads: Vec<Workload>,
-    /// Schemes to sweep (validated against [`PaperScheme::all`]).
-    pub schemes: Vec<PaperScheme>,
+    /// Schemes to sweep (validated against the scheme registry,
+    /// [`rvp_core::list_schemes`], predictor parameters included).
+    pub schemes: Vec<SchemeSpec>,
     /// Value-misprediction recovery model.
     pub recovery: Recovery,
     /// Profile threshold for candidate selection.
@@ -58,12 +60,9 @@ impl SweepSpec {
                 let mut schemes = Vec::with_capacity(labels.len());
                 for label in labels {
                     let label = label.as_str().ok_or("scheme labels must be strings")?;
-                    let scheme = PaperScheme::by_label(label).ok_or_else(|| {
-                        let known: Vec<&str> =
-                            PaperScheme::all().iter().map(|s| s.label()).collect();
-                        format!("unknown scheme {label:?} (known: {})", known.join(", "))
-                    })?;
-                    schemes.push(scheme);
+                    // The registry error already lists every known
+                    // scheme; forward it verbatim into the 400 body.
+                    schemes.push(SchemeSpec::parse(label)?);
                 }
                 schemes
             }
@@ -109,7 +108,9 @@ impl SweepSpec {
         self.workloads
             .iter()
             .flat_map(|wl| {
-                self.schemes.iter().map(|&scheme| GridCell { workload: wl.clone(), scheme })
+                self.schemes
+                    .iter()
+                    .map(|scheme| GridCell { workload: wl.clone(), scheme: scheme.clone() })
             })
             .collect()
     }
@@ -133,7 +134,7 @@ impl SweepSpec {
     pub fn cell_fingerprint(&self, base: &Runner, cell: &GridCell) -> u64 {
         grid_config_fnv(
             std::slice::from_ref(&cell.workload),
-            &[cell.scheme],
+            std::slice::from_ref(&cell.scheme),
             &self.runner_for(base),
         )
     }
@@ -148,31 +149,6 @@ fn budget(body: &Json, key: &str, default: u64) -> Result<u64, String> {
         return Err(format!("{key:?} must be in [1, {MAX_INSTS}], got {insts}"));
     }
     Ok(insts)
-}
-
-/// Recovery-name helpers, local because `rvp-uarch` itself keeps
-/// `Recovery` CLI-agnostic.
-mod rvp_uarch_recovery {
-    pub use rvp_core::Recovery;
-
-    /// Wire/journal name of a recovery model.
-    pub fn recovery_name(r: Recovery) -> &'static str {
-        match r {
-            Recovery::Refetch => "refetch",
-            Recovery::Reissue => "reissue",
-            Recovery::Selective => "selective",
-        }
-    }
-
-    /// Inverse of [`recovery_name`].
-    pub fn parse_recovery(s: &str) -> Option<Recovery> {
-        match s {
-            "refetch" => Some(Recovery::Refetch),
-            "reissue" => Some(Recovery::Reissue),
-            "selective" => Some(Recovery::Selective),
-            _ => None,
-        }
-    }
 }
 
 #[cfg(test)]
@@ -205,6 +181,30 @@ mod tests {
         let mut other = spec.clone();
         other.measure_insts += 1;
         assert_ne!(spec.cell_fingerprint(&base(), cell), other.cell_fingerprint(&base(), cell));
+    }
+
+    #[test]
+    fn unknown_scheme_error_lists_the_whole_registry() {
+        let err = parse(r#"{"workloads":["li"],"schemes":["nope"]}"#).unwrap_err();
+        assert!(err.contains("unknown scheme \"nope\""), "{err}");
+        for info in rvp_core::list_schemes() {
+            assert!(err.contains(info.name), "400 body must name {:?}: {err}", info.name);
+        }
+    }
+
+    #[test]
+    fn parameterized_schemes_are_accepted_and_readdress_cells() {
+        let plain = parse(r#"{"workloads":["li"],"schemes":["drvp_all"]}"#).unwrap();
+        let tuned = parse(r#"{"workloads":["li"],"schemes":["drvp_all:entries=4096"]}"#).unwrap();
+        assert_eq!(tuned.schemes[0].label(), "drvp_all:entries=4096");
+        // The parameter tail is part of the cell's content address.
+        assert_ne!(
+            plain.cell_fingerprint(&base(), &plain.cells()[0]),
+            tuned.cell_fingerprint(&base(), &tuned.cells()[0]),
+        );
+        // Invalid parameters are a 400, same as unknown names.
+        assert!(parse(r#"{"workloads":["li"],"schemes":["drvp_all:bogus=1"]}"#).is_err());
+        assert!(parse(r#"{"workloads":["li"],"schemes":["no_predict:entries=4"]}"#).is_err());
     }
 
     #[test]

@@ -9,11 +9,11 @@
 //! (see `Core::validate_summaries`).
 
 use rvp_isa::RegClass;
-use rvp_vpred::Scope;
+use rvp_vpred::Outcome;
 
 use crate::core::{Core, NO_SEQ};
 use crate::recovery::RobSet;
-use crate::scheme::{Recovery, Scheme};
+use crate::scheme::Recovery;
 use crate::source::CommittedSource;
 
 impl<'s, S: CommittedSource + ?Sized> Core<'s, S> {
@@ -109,7 +109,7 @@ impl<'s, S: CommittedSource + ?Sized> Core<'s, S> {
                 self.waiters[slot] = RobSet::EMPTY;
             }
 
-            // Buffer-based predictors (LVP, stride, context, hybrid)
+            // Value-storing predictors (LVP, stride, context, hybrid)
             // train at writeback, when the result exists — the standard
             // modelling point between the paper's two alternatives
             // ("insert speculative values ... and possibly pollute it, or
@@ -117,11 +117,12 @@ impl<'s, S: CommittedSource + ?Sized> Core<'s, S> {
             // non-speculative, forcing new instructions to possibly use
             // stale entries"): entries lag in-flight work by a few
             // cycles, and squashed-then-replayed instructions retrain.
-            if let (Scheme::Lvp { scope, .. } | Scheme::Buffer { scope, .. }, Some(_)) =
-                (&self.sim.scheme, dst)
-            {
+            if self.sim.value_training && dst.is_some() {
+                let scope = self.sim.scheme.scope;
                 if scope.admits(is_load, true) {
-                    self.sim.buffer.as_mut().expect("buffer state").train(pc, new_value);
+                    if let Some(p) = self.sim.scheme.predictor.as_mut() {
+                        p.train_value(pc, new_value);
+                    }
                 }
             }
 
@@ -203,38 +204,27 @@ impl<'s, S: CommittedSource + ?Sized> Core<'s, S> {
                     self.last_writer[dst.index()] = None;
                 }
             }
-            // Train value predictors with architectural outcomes. (The
-            // branch predictor trains at fetch with immediate resolution —
-            // perfect history repair, the trace-driven idealization — so
-            // branch behaviour is identical across value-prediction
-            // schemes.)
+            // Train the value predictor with the architectural outcome.
+            // (The branch predictor trains at fetch with immediate
+            // resolution — perfect history repair, the trace-driven
+            // idealization — so branch behaviour is identical across
+            // value-prediction schemes.) Each predictor applies its own
+            // internal guard (e.g. dRVP only trains when dispatch
+            // carried a candidate value); value-storing predictors
+            // already trained at writeback.
             if let Some(dst) = e.rec.dst {
-                let in_scope = |scope: Scope| scope.admits(e.is_load, true);
-                match (&self.sim.scheme, e.pred_value) {
-                    // Buffer predictors train speculatively at dispatch.
-                    (Scheme::DynamicRvp { scope, .. }, Some(v)) if in_scope(*scope) => {
-                        self.sim
-                            .drvp
-                            .as_mut()
-                            .expect("drvp state")
-                            .train(e.rec.pc, v == e.rec.new_value);
+                let scope = self.sim.scheme.scope;
+                if scope.admits(e.is_load, true) {
+                    if let Some(p) = self.sim.scheme.predictor.as_mut() {
+                        p.train_outcome(&Outcome {
+                            pc: e.rec.pc,
+                            dst,
+                            predicted: e.pred_value,
+                            actual: e.rec.new_value,
+                            prior: e.rec.old_value,
+                            observed: e.corr_observed,
+                        });
                     }
-                    (Scheme::Gabbay { scope }, _) if in_scope(*scope) => {
-                        self.sim
-                            .gabbay
-                            .as_mut()
-                            .expect("gabbay state")
-                            .train(dst, e.rec.old_value == e.rec.new_value);
-                    }
-                    (Scheme::HwCorrelation { scope, .. }, pv) if in_scope(*scope) => {
-                        let hit = pv == Some(e.rec.new_value);
-                        self.sim.correlation.as_mut().expect("correlation state").train(
-                            e.rec.pc,
-                            hit,
-                            e.corr_observed,
-                        );
-                    }
-                    _ => {}
                 }
             }
         }

@@ -74,8 +74,14 @@ pub struct UarchConfig {
     pub ldst_ports: usize,
     /// FP functional units.
     pub fp_units: usize,
-    /// Branch predictor configuration.
+    /// Branch predictor configuration (BTB/RAS geometry, and the
+    /// default gshare direction predictor when `bpred_spec` is unset).
     pub bpred: BpredConfig,
+    /// Optional direction-predictor override as a registry config
+    /// string (e.g. `"gshare:pht=4096,hist=12"` or `"bimodal"`); see
+    /// [`rvp_bpred::new_branch_predictor`]. `None` keeps the paper's
+    /// gshare built from `bpred`.
+    pub bpred_spec: Option<String>,
     /// Memory hierarchy configuration.
     pub mem: MemConfig,
     /// Execution latencies.
@@ -116,6 +122,7 @@ impl UarchConfig {
             ldst_ports: 4,
             fp_units: 3,
             bpred: BpredConfig::table1(),
+            bpred_spec: None,
             mem: MemConfig::table1(),
             lat: Latencies::default(),
             pred_ports: None,

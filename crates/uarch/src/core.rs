@@ -15,14 +15,11 @@
 //! cross-check every summary against a full scan, so the fast paths
 //! cannot silently diverge from the architectural state.
 
-use rvp_bpred::BranchPredictor;
+use rvp_bpred::BranchUnit;
 use rvp_emu::Committed;
 use rvp_isa::{Program, Reg, RegClass, NUM_REGS};
 use rvp_mem::Hierarchy;
 use rvp_obs::{CounterSnapshot, CpiBucket, ObsConfig, ObsReport, PcTable, Sampler};
-use rvp_vpred::{
-    BufferConfig, BufferPredictor, CorrelationPredictor, DrvpPredictor, GabbayPredictor,
-};
 
 use crate::config::UarchConfig;
 use crate::meta::PcMeta;
@@ -241,13 +238,13 @@ pub struct Simulator {
     pub(crate) config: UarchConfig,
     pub(crate) scheme: Scheme,
     pub(crate) recovery: Recovery,
-    // predictor state
-    pub(crate) bpred: BranchPredictor,
+    /// Cached `scheme.predictor.wants_value_training()` — the flag is a
+    /// per-instance constant, and the writeback loop checks it once per
+    /// completed instruction.
+    pub(crate) value_training: bool,
+    // predictor state (the value predictor lives inside `scheme`)
+    pub(crate) bpred: BranchUnit,
     pub(crate) mem: Hierarchy,
-    pub(crate) buffer: Option<BufferPredictor>,
-    pub(crate) drvp: Option<DrvpPredictor>,
-    pub(crate) gabbay: Option<GabbayPredictor>,
-    pub(crate) correlation: Option<CorrelationPredictor>,
     pub(crate) obs: ObsConfig,
 }
 
@@ -258,7 +255,9 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if `config.rob_size` exceeds the 256 entries the taint
-    /// bitset representation supports.
+    /// bitset representation supports, or if `config.bpred_spec` names
+    /// an unknown branch predictor (validate specs with
+    /// [`rvp_bpred::new_branch_predictor`] before building a simulator).
     pub fn new(config: UarchConfig, scheme: Scheme, recovery: Recovery) -> Simulator {
         assert!(
             config.rob_size <= RobSet::CAPACITY,
@@ -266,36 +265,23 @@ impl Simulator {
             config.rob_size,
             RobSet::CAPACITY,
         );
-        let buffer = match &scheme {
-            Scheme::Lvp { config, .. } => {
-                Some(BufferPredictor::new(BufferConfig::LastValue(*config)))
+        let bpred = match &config.bpred_spec {
+            Some(spec) => {
+                let dir = rvp_bpred::new_branch_predictor(spec)
+                    .unwrap_or_else(|e| panic!("invalid bpred_spec: {e}"));
+                BranchUnit::with_direction(config.bpred, dir)
             }
-            Scheme::Buffer { config, .. } => Some(BufferPredictor::new(*config)),
-            _ => None,
+            None => BranchUnit::new(config.bpred),
         };
-        let drvp = match &scheme {
-            Scheme::DynamicRvp { config, .. } => Some(DrvpPredictor::new(*config)),
-            _ => None,
-        };
-        let gabbay = match &scheme {
-            Scheme::Gabbay { .. } => Some(GabbayPredictor::paper()),
-            _ => None,
-        };
-        let correlation = match &scheme {
-            Scheme::HwCorrelation { config, .. } => Some(CorrelationPredictor::new(*config)),
-            _ => None,
-        };
+        let value_training = scheme.predictor.as_ref().is_some_and(|p| p.wants_value_training());
         Simulator {
-            bpred: BranchPredictor::new(config.bpred),
+            bpred,
             mem: Hierarchy::new(config.mem),
-            buffer,
-            drvp,
-            gabbay,
-            correlation,
             obs: ObsConfig::off(),
             config,
             scheme,
             recovery,
+            value_training,
         }
     }
 

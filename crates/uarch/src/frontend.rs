@@ -13,7 +13,7 @@
 
 use rvp_emu::Committed;
 use rvp_isa::{Reg, RegClass};
-use rvp_vpred::ReuseKind;
+use rvp_vpred::{Decision, ReuseKind};
 
 use crate::core::{Core, Entry, Fetched, Redirect, NO_CYCLE, NO_SEQ};
 use crate::meta::{PredMode, NO_SRC};
@@ -162,47 +162,43 @@ impl<'s, S: CommittedSource + ?Sized> Core<'s, S> {
         }
     }
 
-    /// Scheme-specific prediction at rename time, driven by the per-PC
-    /// [`PredMode`] resolved ahead of time in [`crate::meta`]. Returns
+    /// The prediction decision at rename time: the per-PC [`PredMode`]
+    /// (resolved ahead of time in [`crate::meta`]) gates whether the
+    /// scheme's [`rvp_vpred::ValuePredictor`] is consulted at all, and
+    /// its [`Decision`] is resolved against machine state here. Returns
     /// `(predict?, candidate value, producer gating the value's
-    /// availability)`. The candidate is computed for *every* in-scope
+    /// availability)`. The candidate is carried for *every* tracked
     /// instruction so confidence counters can train on unpredicted ones.
     fn predict(&mut self, rec: &Committed, mode: PredMode) -> (bool, Option<u64>, Option<u64>) {
-        if mode == PredMode::Off {
+        let PredMode::On(kind) = mode else {
             return (false, None, None);
-        }
+        };
         let dst = rec.dst.expect("a predicting mode implies a written destination");
+        let decision = self
+            .sim
+            .scheme
+            .predictor
+            .as_mut()
+            .expect("a predicting mode implies a predictor")
+            .decide(rec.pc, dst);
 
-        match mode {
-            PredMode::Off => unreachable!("handled above"),
-            PredMode::Buffer => {
-                // The buffer supplies the value directly: no register
-                // dependence at all.
-                let v = self.sim.buffer.as_ref().expect("buffer state").predict(rec.pc);
-                (v.is_some(), v, None)
+        match decision {
+            Decision::Idle => (false, None, None),
+            Decision::Track => {
+                let (v, dep) = self.reuse_value(rec, dst, kind);
+                (false, Some(v), dep)
             }
-            PredMode::Static(kind) => {
+            Decision::Predict => {
                 let (v, dep) = self.reuse_value(rec, dst, kind);
                 (true, Some(v), dep)
             }
-            PredMode::Dynamic(kind) => {
-                let (v, dep) = self.reuse_value(rec, dst, kind);
-                let confident = self.sim.drvp.as_ref().expect("drvp state").confident(rec.pc);
-                (confident, Some(v), dep)
-            }
-            PredMode::Gabbay => {
-                let confident = self.sim.gabbay.as_ref().expect("gabbay state").confident(dst);
-                (confident, Some(rec.old_value), self.last_writer[dst.index()])
-            }
-            PredMode::Correlation => {
-                let p = self.sim.correlation.as_ref().expect("correlation state");
-                match p.candidate(rec.pc) {
-                    Some(r) if r.class() == dst.class() => {
-                        let value = if r == dst { rec.old_value } else { self.shadow[r.index()] };
-                        (p.confident(rec.pc), Some(value), self.last_writer[r.index()])
-                    }
-                    _ => (false, None, None),
-                }
+            // The buffer supplies the value directly: no register
+            // dependence at all.
+            Decision::Value(v) => (true, Some(v), None),
+            Decision::TrackReg(r) | Decision::PredictReg(r) => {
+                let value = if r == dst { rec.old_value } else { self.shadow[r.index()] };
+                let predict = matches!(decision, Decision::PredictReg(_));
+                (predict, Some(value), self.last_writer[r.index()])
             }
         }
     }

@@ -6,10 +6,11 @@
 //! 3 FP units, gshare branch prediction and a two-level cache hierarchy —
 //! plus the paper's value-prediction machinery:
 //!
-//! * **prediction schemes** ([`Scheme`]): none, buffer-based last-value
-//!   prediction, static RVP (profile-marked loads), dynamic RVP with
-//!   PC-indexed confidence counters, and the Gabbay–Mendelson register
-//!   predictor;
+//! * **prediction schemes** ([`Scheme`]): a scope filter, a profile
+//!   plan, and any [`rvp_vpred::ValuePredictor`] from the string-keyed
+//!   registry — the paper's static/dynamic RVP, buffer-based last-value
+//!   prediction and the Gabbay–Mendelson register predictor, plus the
+//!   zoo's stride, FCM, tournament-hybrid and TAGE-confidence members;
 //! * **misprediction recovery** ([`Recovery`]): refetch (squash from the
 //!   first use, like a branch mispredict), reissue (everything after the
 //!   first use stays in the instruction queue until non-speculative), and
@@ -45,7 +46,7 @@
 //! b.halt();
 //! let program = b.build()?;
 //!
-//! let stats = Simulator::new(UarchConfig::table1(), Scheme::NoPredict, Recovery::Selective)
+//! let stats = Simulator::new(UarchConfig::table1(), Scheme::no_predict(), Recovery::Selective)
 //!     .run(&program, 10_000)?;
 //! assert!(stats.ipc() > 0.5);
 //! # Ok(())
@@ -68,14 +69,15 @@ mod wheel;
 pub use crate::core::Simulator;
 pub use columns::TraceColumns;
 pub use config::{Latencies, UarchConfig};
-pub use scheme::{Recovery, Scheme};
+pub use scheme::{PlanMode, Recovery, Scheme};
 pub use source::{CommittedSource, EmuSource, ReplaySource, SharedSource, SourceKind};
 pub use stats::{SimError, SimStats};
 
 // Re-export the predictor vocabulary `Scheme` is built from, so users
 // of this crate need not depend on `rvp-vpred` directly.
 pub use rvp_vpred::{
-    BufferConfig, CorrelationConfig, DrvpConfig, LvpConfig, PredictionPlan, ReuseKind, Scope,
+    list_value_predictors, new_value_predictor, value_predictor_names, BufferConfig,
+    CorrelationConfig, DrvpConfig, LvpConfig, PredictionPlan, ReuseKind, Scope, ValuePredictor,
 };
 
 // Re-export the observability vocabulary `SimStats` is built from, so

@@ -15,7 +15,7 @@ use rvp_isa::{ExecClass, Flow, Program, RegClass};
 use rvp_vpred::ReuseKind;
 
 use crate::config::UarchConfig;
-use crate::scheme::Scheme;
+use crate::scheme::{PlanMode, Scheme};
 
 /// Sentinel for "no source register" (or the zero register, which never
 /// carries a dependence) in [`PcMeta::srcs`].
@@ -26,19 +26,13 @@ pub(crate) const NO_SRC: u16 = u16::MAX;
 /// scope filters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum PredMode {
-    /// Never predicted (out of scope, no destination, or `NoPredict`).
+    /// Never predicted (out of scope, no destination, or no predictor).
     Off,
-    /// Buffer-based prediction (LVP / stride / context / hybrid).
-    Buffer,
-    /// Static RVP: always predicted through the given reuse relation.
-    Static(ReuseKind),
-    /// Dynamic RVP: predicted through the given relation when the
-    /// PC-indexed confidence counter allows.
-    Dynamic(ReuseKind),
-    /// Gabbay–Mendelson: register-indexed confidence on the old value.
-    Gabbay,
-    /// Hardware correlation: predict through the learned register.
-    Correlation,
+    /// The predictor is consulted, carrying the plan-resolved
+    /// register-reuse relation its `Track`/`Predict` decisions resolve
+    /// through (buffer and correlation decisions ignore it — they name
+    /// their value source themselves).
+    On(ReuseKind),
 }
 
 /// Everything the per-cycle stages need to know about one static
@@ -60,12 +54,14 @@ pub(crate) struct PcMeta {
     pub(crate) lat: u64,
     /// Resolved prediction behaviour.
     pub(crate) mode: PredMode,
-    /// Whether the hardware-correlation scheme trains on this PC.
+    /// Whether a register-observing predictor (hardware correlation)
+    /// trains on this PC.
     pub(crate) corr_learn: bool,
 }
 
 /// Builds the dense per-PC table for `program` under `scheme`.
 pub(crate) fn build(program: &Program, scheme: &Scheme, config: &UarchConfig) -> Vec<PcMeta> {
+    let observes = scheme.predictor.as_ref().is_some_and(|p| p.observes_registers());
     program
         .insts()
         .iter()
@@ -76,44 +72,26 @@ pub(crate) fn build(program: &Program, scheme: &Scheme, config: &UarchConfig) ->
             // Matches `Committed::dst`: the emulator reports zero-register
             // writes as no destination at all.
             let writes = inst.dst().is_some_and(|d| !d.is_zero());
-            let mode = match scheme {
-                Scheme::NoPredict => PredMode::Off,
-                _ if !writes => PredMode::Off,
-                Scheme::Lvp { scope, .. } | Scheme::Buffer { scope, .. } => {
-                    if scope.admits(is_load, true) {
-                        PredMode::Buffer
-                    } else {
-                        PredMode::Off
-                    }
-                }
-                Scheme::StaticRvp { plan } => match plan.kind(pc) {
-                    Some(kind) => PredMode::Static(kind),
-                    None => PredMode::Off,
-                },
-                Scheme::DynamicRvp { scope, plan, .. } => {
-                    if scope.admits(is_load, true) {
-                        PredMode::Dynamic(plan.kind(pc).unwrap_or(ReuseKind::SameReg))
-                    } else {
-                        PredMode::Off
-                    }
-                }
-                Scheme::Gabbay { scope } => {
-                    if scope.admits(is_load, true) {
-                        PredMode::Gabbay
-                    } else {
-                        PredMode::Off
-                    }
-                }
-                Scheme::HwCorrelation { scope, .. } => {
-                    if scope.admits(is_load, true) {
-                        PredMode::Correlation
-                    } else {
-                        PredMode::Off
+            let mode = if !writes || !scheme.is_predicting() {
+                PredMode::Off
+            } else {
+                match scheme.plan_mode {
+                    // Exhaustive plans bypass the scope filter: the
+                    // compiler's marks are the scope.
+                    PlanMode::Exhaustive => match scheme.plan.kind(pc) {
+                        Some(kind) => PredMode::On(kind),
+                        None => PredMode::Off,
+                    },
+                    PlanMode::Overlay => {
+                        if scheme.scope.admits(is_load, true) {
+                            PredMode::On(scheme.plan.kind(pc).unwrap_or(ReuseKind::SameReg))
+                        } else {
+                            PredMode::Off
+                        }
                     }
                 }
             };
-            let corr_learn = writes
-                && matches!(scheme, Scheme::HwCorrelation { scope, .. } if scope.admits(is_load, true));
+            let corr_learn = writes && observes && scheme.scope.admits(is_load, true);
             let mut srcs = [NO_SRC; 2];
             for (k, src) in inst.srcs().into_iter().enumerate() {
                 if let Some(r) = src {

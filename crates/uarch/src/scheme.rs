@@ -1,4 +1,7 @@
-use rvp_vpred::{BufferConfig, CorrelationConfig, DrvpConfig, LvpConfig, PredictionPlan, Scope};
+use rvp_vpred::{
+    BufferConfig, BufferVp, CorrelationConfig, CorrelationVp, DrvpConfig, DrvpVp, GabbayVp,
+    LvpConfig, PredictionPlan, Scope, SrvpVp, ValuePredictor,
+};
 
 /// Value-misprediction recovery mechanism (paper Section 4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,87 +21,135 @@ pub enum Recovery {
     Selective,
 }
 
-/// The value-prediction scheme the machine runs.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Scheme {
-    /// No value prediction (baseline).
-    NoPredict,
-    /// Buffer-based last-value prediction (the comparison point): a
-    /// tagged value table with confidence counters.
-    Lvp {
-        /// Which instructions may be predicted.
-        scope: Scope,
-        /// Table geometry.
-        config: LvpConfig,
-    },
-    /// Any other buffer-based predictor (stride, context, hybrid) — the
-    /// related-work baselines the paper cites but does not evaluate.
-    Buffer {
-        /// Which instructions may be predicted.
-        scope: Scope,
-        /// Which predictor and its geometry.
-        config: BufferConfig,
-    },
-    /// Static register value prediction: the compiler marked the listed
-    /// loads with `rvp_` opcodes, after reallocating registers so each
-    /// listed load's value tends to already sit in its destination
-    /// register (the plan records *which* reuse relation backs each
-    /// mark). Marked loads are always predicted — no confidence
-    /// hardware.
-    StaticRvp {
-        /// Profile-derived marking plan (loads only).
-        plan: PredictionPlan,
-    },
-    /// Dynamic register value prediction: PC-indexed confidence counters
-    /// and no value storage. Unlisted instructions track natural
-    /// same-register reuse; the plan lists instructions whose reuse the
-    /// compiler exposed via reallocation (dead-register or last-value).
-    DynamicRvp {
-        /// Which instructions may be predicted.
-        scope: Scope,
-        /// Compiler-assistance plan (may be empty).
-        plan: PredictionPlan,
-        /// Confidence-table geometry.
-        config: DrvpConfig,
-    },
-    /// The Gabbay & Mendelson register predictor: confidence counters
-    /// indexed by destination register number.
-    Gabbay {
-        /// Which instructions may be predicted.
-        scope: Scope,
-    },
-    /// Hardware-learned register correlation (Jourdan et al. style):
-    /// storageless like dRVP, but the hardware discovers *which*
-    /// register holds the reusable value instead of relying on compiler
-    /// reallocation — the combination the paper's related-work section
-    /// sketches.
-    HwCorrelation {
-        /// Which instructions may be predicted.
-        scope: Scope,
-        /// Table geometry.
-        config: CorrelationConfig,
-    },
+/// How the profile-derived [`PredictionPlan`] scopes prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMode {
+    /// The plan is exhaustive: only listed PCs are predicted, each
+    /// through its listed reuse relation, and the [`Scope`] filter is
+    /// bypassed (static RVP — the compiler's marks *are* the scope).
+    Exhaustive,
+    /// The plan overlays scope-based defaults: every in-scope writer
+    /// participates, listed PCs through their listed relation and
+    /// unlisted ones through natural same-register reuse (dynamic RVP
+    /// with optional compiler assistance). An empty plan degenerates to
+    /// pure same-register reuse.
+    Overlay,
+}
+
+/// The value-prediction scheme the machine runs: a scope filter, a
+/// profile plan, and a boxed [`ValuePredictor`] from the open registry.
+///
+/// This replaced a closed enum the pipeline matched on. The timing core
+/// now dispatches through the trait only; everything scheme-specific the
+/// hardware would know statically (scope, the compiler's plan) lives
+/// here, and everything it learns dynamically lives inside the
+/// predictor.
+#[derive(Debug, Clone)]
+pub struct Scheme {
+    /// Display label (the registry name of the scheme that built this,
+    /// or a caller-chosen tag for hand-assembled schemes).
+    pub label: String,
+    /// Which instructions may be predicted (and trained on).
+    pub scope: Scope,
+    /// Profile-derived per-PC reuse relations (may be empty).
+    pub plan: PredictionPlan,
+    /// How the plan scopes prediction.
+    pub plan_mode: PlanMode,
+    /// The predictor, or `None` for the no-prediction baseline.
+    pub predictor: Option<Box<dyn ValuePredictor>>,
 }
 
 impl Scheme {
+    /// The no-value-prediction baseline.
+    pub fn no_predict() -> Scheme {
+        Scheme {
+            label: "no_predict".into(),
+            scope: Scope::LoadsOnly,
+            plan: PredictionPlan::new(),
+            plan_mode: PlanMode::Overlay,
+            predictor: None,
+        }
+    }
+
+    /// A scheme around an arbitrary predictor with an empty plan.
+    pub fn new(
+        label: impl Into<String>,
+        scope: Scope,
+        predictor: Box<dyn ValuePredictor>,
+    ) -> Scheme {
+        Scheme {
+            label: label.into(),
+            scope,
+            plan: PredictionPlan::new(),
+            plan_mode: PlanMode::Overlay,
+            predictor: Some(predictor),
+        }
+    }
+
+    /// Attaches a profile plan (builder style).
+    pub fn with_plan(mut self, plan: PredictionPlan, mode: PlanMode) -> Scheme {
+        self.plan = plan;
+        self.plan_mode = mode;
+        self
+    }
+
     /// Convenience constructor: the paper's `lvp` (loads only).
     pub fn lvp_loads() -> Scheme {
-        Scheme::Lvp { scope: Scope::LoadsOnly, config: LvpConfig::paper() }
+        Scheme::new(
+            "lvp",
+            Scope::LoadsOnly,
+            Box::new(BufferVp::new(BufferConfig::LastValue(LvpConfig::paper()))),
+        )
     }
 
     /// Convenience constructor: the paper's `lvp_all`.
     pub fn lvp_all() -> Scheme {
-        Scheme::Lvp { scope: Scope::AllInsts, config: LvpConfig::paper() }
+        Scheme::new(
+            "lvp_all",
+            Scope::AllInsts,
+            Box::new(BufferVp::new(BufferConfig::LastValue(LvpConfig::paper()))),
+        )
+    }
+
+    /// Convenience constructor: any buffer-based predictor (stride,
+    /// context, hybrid) — the related-work baselines.
+    pub fn buffer(scope: Scope, config: BufferConfig) -> Scheme {
+        let p = BufferVp::new(config);
+        Scheme::new(p.name(), scope, Box::new(p))
+    }
+
+    /// Convenience constructor: static RVP over an exhaustive marking
+    /// plan (marked loads are always predicted — no confidence
+    /// hardware).
+    pub fn srvp(plan: PredictionPlan) -> Scheme {
+        Scheme::new("srvp", Scope::LoadsOnly, Box::new(SrvpVp))
+            .with_plan(plan, PlanMode::Exhaustive)
     }
 
     /// Convenience constructor: `drvp` with a given assistance plan.
     pub fn drvp(scope: Scope, plan: PredictionPlan) -> Scheme {
-        Scheme::DynamicRvp { scope, plan, config: DrvpConfig::paper() }
+        Scheme::new("drvp", scope, Box::new(DrvpVp::new(DrvpConfig::paper())))
+            .with_plan(plan, PlanMode::Overlay)
+    }
+
+    /// Convenience constructor: the Gabbay & Mendelson register
+    /// predictor (paper configuration).
+    pub fn gabbay(scope: Scope) -> Scheme {
+        Scheme::new(
+            "gabbay",
+            scope,
+            Box::new(GabbayVp::new(3, 7, rvp_vpred::CounterPolicy::Resetting)),
+        )
+    }
+
+    /// Convenience constructor: hardware-learned register correlation.
+    pub fn hw_correlation(scope: Scope, config: CorrelationConfig) -> Scheme {
+        Scheme::new("hwcorr", scope, Box::new(CorrelationVp::new(config)))
     }
 
     /// Whether the scheme predicts anything at all.
     pub fn is_predicting(&self) -> bool {
-        !matches!(self, Scheme::NoPredict)
+        self.predictor.is_some()
     }
 }
 
@@ -108,9 +159,18 @@ mod tests {
 
     #[test]
     fn constructors() {
-        assert!(matches!(Scheme::lvp_loads(), Scheme::Lvp { scope: Scope::LoadsOnly, .. }));
-        assert!(matches!(Scheme::lvp_all(), Scheme::Lvp { scope: Scope::AllInsts, .. }));
-        assert!(!Scheme::NoPredict.is_predicting());
+        assert_eq!(Scheme::lvp_loads().scope, Scope::LoadsOnly);
+        assert_eq!(Scheme::lvp_all().scope, Scope::AllInsts);
+        assert!(!Scheme::no_predict().is_predicting());
         assert!(Scheme::drvp(Scope::AllInsts, PredictionPlan::new()).is_predicting());
+        assert_eq!(Scheme::srvp(PredictionPlan::new()).plan_mode, PlanMode::Exhaustive);
+    }
+
+    #[test]
+    fn schemes_clone_with_predictor_state() {
+        let s = Scheme::lvp_loads();
+        let t = s.clone();
+        assert_eq!(t.label, "lvp");
+        assert!(t.is_predicting());
     }
 }

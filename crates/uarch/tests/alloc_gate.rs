@@ -84,11 +84,8 @@ fn steady_state_makes_no_heap_allocations() {
     // (budget in committed insts, measured allocator calls, cycles)
     let mut runs = Vec::with_capacity(3);
     for budget in [1_000u64, 20_000, 80_000] {
-        let mut sim = Simulator::new(
-            UarchConfig::table1(),
-            Scheme::StaticRvp { plan: plan.clone() },
-            Recovery::Refetch,
-        );
+        let mut sim =
+            Simulator::new(UarchConfig::table1(), Scheme::srvp(plan.clone()), Recovery::Refetch);
         let mut source = SharedSource::new(trace.clone());
         let before = ALLOC_CALLS.load(Ordering::Relaxed);
         let stats = sim.run_with_source(&program, &mut source, budget).unwrap();

@@ -49,7 +49,7 @@ fn predictable_load_loop() -> Program {
 #[test]
 fn golden_dependent_chain_baseline() {
     let p = dependent_chain();
-    let (cycles, committed) = cycles(&p, Scheme::NoPredict, Recovery::Selective);
+    let (cycles, committed) = cycles(&p, Scheme::no_predict(), Recovery::Selective);
     assert_eq!(committed, 503);
     assert_eq!(cycles, 573, "timing model changed: dependent chain");
 }
@@ -57,7 +57,7 @@ fn golden_dependent_chain_baseline() {
 #[test]
 fn golden_load_loop_baseline_vs_drvp() {
     let p = predictable_load_loop();
-    let (base, committed) = cycles(&p, Scheme::NoPredict, Recovery::Selective);
+    let (base, committed) = cycles(&p, Scheme::no_predict(), Recovery::Selective);
     assert_eq!(committed, 503);
     let (drvp, _) = cycles(
         &p,
@@ -89,9 +89,9 @@ fn golden_recovery_cycle_counts() {
     b.halt();
     let p = b.build().unwrap();
     let plan: PredictionPlan = [(2usize, rvp_uarch::ReuseKind::SameReg)].into_iter().collect();
-    let refetch = cycles(&p, Scheme::StaticRvp { plan: plan.clone() }, Recovery::Refetch).0;
-    let reissue = cycles(&p, Scheme::StaticRvp { plan: plan.clone() }, Recovery::Reissue).0;
-    let selective = cycles(&p, Scheme::StaticRvp { plan }, Recovery::Selective).0;
+    let refetch = cycles(&p, Scheme::srvp(plan.clone()), Recovery::Refetch).0;
+    let reissue = cycles(&p, Scheme::srvp(plan.clone()), Recovery::Reissue).0;
+    let selective = cycles(&p, Scheme::srvp(plan), Recovery::Selective).0;
     assert_eq!(
         (refetch, reissue, selective),
         (974, 484, 456),

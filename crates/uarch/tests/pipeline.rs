@@ -24,7 +24,7 @@ fn run(p: &Program, scheme: Scheme, rec: Recovery) -> SimStats {
 #[test]
 fn commits_every_instruction_exactly_once() {
     let p = counted_loop(500);
-    let s = run(&p, Scheme::NoPredict, Recovery::Selective);
+    let s = run(&p, Scheme::no_predict(), Recovery::Selective);
     // li + 500*(sub+bne) + halt
     assert_eq!(s.committed, 1 + 1000 + 1);
     assert!(s.cycles > 0);
@@ -46,7 +46,7 @@ fn dependent_chain_is_serialized() {
     b.bnez(n, "top");
     b.halt();
     let p = b.build().unwrap();
-    let s = run(&p, Scheme::NoPredict, Recovery::Selective);
+    let s = run(&p, Scheme::no_predict(), Recovery::Selective);
     assert!(s.ipc() < 1.4, "ipc = {}", s.ipc());
     assert!(s.ipc() > 0.8, "ipc = {}", s.ipc());
 }
@@ -70,7 +70,7 @@ fn independent_ops_run_in_parallel() {
     b.bnez(n, "top");
     b.halt();
     let p = b.build().unwrap();
-    let s = run(&p, Scheme::NoPredict, Recovery::Selective);
+    let s = run(&p, Scheme::no_predict(), Recovery::Selective);
     assert!(s.ipc() > 2.5, "ipc = {}", s.ipc());
 }
 
@@ -78,7 +78,7 @@ fn independent_ops_run_in_parallel() {
 fn branch_mispredicts_cost_cycles() {
     // A data-dependent unpredictable branch pattern vs a steady loop.
     let steady = counted_loop(2000);
-    let s1 = run(&steady, Scheme::NoPredict, Recovery::Selective);
+    let s1 = run(&steady, Scheme::no_predict(), Recovery::Selective);
     assert!(s1.branch.direction_accuracy() > 0.95, "accuracy = {}", s1.branch.direction_accuracy());
 }
 
@@ -104,7 +104,7 @@ fn value_prediction_breaks_dependence_chains() {
     b.halt();
     let p = b.build().unwrap();
 
-    let base = run(&p, Scheme::NoPredict, Recovery::Selective);
+    let base = run(&p, Scheme::no_predict(), Recovery::Selective);
     let drvp = run(&p, Scheme::drvp(Scope::LoadsOnly, PredictionPlan::new()), Recovery::Selective);
     assert_eq!(base.committed, drvp.committed);
     assert!(drvp.predictions > 0, "no predictions made");
@@ -146,7 +146,7 @@ fn static_rvp_predicts_marked_loads_always() {
     b.halt();
     let p = b.build().unwrap();
     let plan: PredictionPlan = [(2usize, ReuseKind::SameReg)].into_iter().collect();
-    let s = run(&p, Scheme::StaticRvp { plan }, Recovery::Selective);
+    let s = run(&p, Scheme::srvp(plan), Recovery::Selective);
     assert_eq!(s.predictions, 100);
     // First iteration mispredicts (register held 0), then all hit.
     assert_eq!(s.correct_predictions, 99);
@@ -177,25 +177,25 @@ fn mispredictions_recover_correctly_under_all_schemes() {
     let plan: PredictionPlan = [(2usize, ReuseKind::SameReg)].into_iter().collect();
 
     for rec in [Recovery::Refetch, Recovery::Reissue, Recovery::Selective] {
-        let s = run(&p, Scheme::StaticRvp { plan: plan.clone() }, rec);
+        let s = run(&p, Scheme::srvp(plan.clone()), rec);
         assert_eq!(s.committed, 2 + 200 * 9 + 1);
         assert_eq!(s.predictions, 200);
         // Value alternates every iteration: every prediction wrong.
         assert!(s.accuracy() < 0.05, "accuracy = {}", s.accuracy());
     }
     // All three recovered; refetch squashed, others reissued.
-    let refetch = run(&p, Scheme::StaticRvp { plan: plan.clone() }, Recovery::Refetch);
+    let refetch = run(&p, Scheme::srvp(plan.clone()), Recovery::Refetch);
     assert!(refetch.squashes > 0);
-    let selective = run(&p, Scheme::StaticRvp { plan }, Recovery::Selective);
+    let selective = run(&p, Scheme::srvp(plan), Recovery::Selective);
     assert!(selective.reissued_insts > 0);
 }
 
 #[test]
 fn no_prediction_schemes_agree_on_commit_count() {
     let p = counted_loop(123);
-    let a = run(&p, Scheme::NoPredict, Recovery::Refetch);
-    let b_ = run(&p, Scheme::NoPredict, Recovery::Reissue);
-    let c = run(&p, Scheme::NoPredict, Recovery::Selective);
+    let a = run(&p, Scheme::no_predict(), Recovery::Refetch);
+    let b_ = run(&p, Scheme::no_predict(), Recovery::Reissue);
+    let c = run(&p, Scheme::no_predict(), Recovery::Selective);
     assert_eq!(a.committed, b_.committed);
     assert_eq!(b_.committed, c.committed);
     // Without prediction the recovery scheme is irrelevant.
@@ -205,7 +205,7 @@ fn no_prediction_schemes_agree_on_commit_count() {
 #[test]
 fn max_insts_caps_the_run() {
     let p = counted_loop(1_000_000);
-    let s = Simulator::new(UarchConfig::table1(), Scheme::NoPredict, Recovery::Selective)
+    let s = Simulator::new(UarchConfig::table1(), Scheme::no_predict(), Recovery::Selective)
         .run(&p, 5_000)
         .unwrap();
     assert_eq!(s.committed, 5_000);
@@ -224,10 +224,10 @@ fn wide_machine_is_at_least_as_fast() {
     }
     b.halt();
     let p = b.build().unwrap();
-    let narrow = Simulator::new(UarchConfig::table1(), Scheme::NoPredict, Recovery::Selective)
+    let narrow = Simulator::new(UarchConfig::table1(), Scheme::no_predict(), Recovery::Selective)
         .run(&p, 1 << 20)
         .unwrap();
-    let wide = Simulator::new(UarchConfig::wide16(), Scheme::NoPredict, Recovery::Selective)
+    let wide = Simulator::new(UarchConfig::wide16(), Scheme::no_predict(), Recovery::Selective)
         .run(&p, 1 << 20)
         .unwrap();
     assert!(wide.ipc() >= narrow.ipc() * 0.99);
@@ -327,10 +327,10 @@ fn stride_buffers_go_stale_on_tight_recurrences() {
     let run_buf = |p: &Program| {
         Simulator::new(
             UarchConfig::table1(),
-            Scheme::Buffer {
-                scope: Scope::AllInsts,
-                config: rvp_vpred::BufferConfig::Stride(rvp_vpred::StrideConfig::default()),
-            },
+            Scheme::buffer(
+                Scope::AllInsts,
+                rvp_vpred::BufferConfig::Stride(rvp_vpred::StrideConfig::default()),
+            ),
             Recovery::Selective,
         )
         .run(p, 1 << 20)
@@ -374,8 +374,8 @@ fn refetch_squash_replays_branches_correctly() {
     b.halt();
     let p = b.build().unwrap();
     let plan: PredictionPlan = [(2usize, ReuseKind::SameReg)].into_iter().collect();
-    let base = run(&p, Scheme::NoPredict, Recovery::Refetch);
-    let srvp = run(&p, Scheme::StaticRvp { plan }, Recovery::Refetch);
+    let base = run(&p, Scheme::no_predict(), Recovery::Refetch);
+    let srvp = run(&p, Scheme::srvp(plan), Recovery::Refetch);
     assert_eq!(base.committed, srvp.committed);
     assert!(srvp.squashes > 100, "squashes = {}", srvp.squashes);
 }
@@ -386,7 +386,8 @@ fn tiny_queues_still_drain() {
     // still make progress and commit everything.
     let cfg = UarchConfig { iq_int: 2, iq_fp: 2, rob_size: 4, ..UarchConfig::table1() };
     let p = counted_loop(100);
-    let s = Simulator::new(cfg, Scheme::NoPredict, Recovery::Selective).run(&p, 1 << 20).unwrap();
+    let s =
+        Simulator::new(cfg, Scheme::no_predict(), Recovery::Selective).run(&p, 1 << 20).unwrap();
     assert_eq!(s.committed, 202);
 }
 
@@ -395,8 +396,8 @@ fn rename_register_exhaustion_throttles_but_completes() {
     let cfg = UarchConfig { rename_regs: 2, ..UarchConfig::table1() };
     let p = counted_loop(100);
     let slow =
-        Simulator::new(cfg, Scheme::NoPredict, Recovery::Selective).run(&p, 1 << 20).unwrap();
-    let fast = run(&p, Scheme::NoPredict, Recovery::Selective);
+        Simulator::new(cfg, Scheme::no_predict(), Recovery::Selective).run(&p, 1 << 20).unwrap();
+    let fast = run(&p, Scheme::no_predict(), Recovery::Selective);
     assert_eq!(slow.committed, fast.committed);
     assert!(slow.cycles >= fast.cycles);
 }
@@ -428,10 +429,7 @@ fn hardware_correlation_finds_other_register_reuse_unaided() {
         run(&prog, Scheme::drvp(Scope::AllInsts, PredictionPlan::new()), Recovery::Selective);
     let hw = run(
         &prog,
-        Scheme::HwCorrelation {
-            scope: Scope::AllInsts,
-            config: rvp_vpred::CorrelationConfig::default(),
-        },
+        Scheme::hw_correlation(Scope::AllInsts, rvp_vpred::CorrelationConfig::default()),
         Recovery::Selective,
     );
     assert_eq!(drvp.committed, hw.committed);
@@ -457,7 +455,7 @@ fn gabbay_predictor_runs() {
     b.bnez(n, "top");
     b.halt();
     let p = b.build().unwrap();
-    let s = run(&p, Scheme::Gabbay { scope: Scope::AllInsts }, Recovery::Selective);
+    let s = run(&p, Scheme::gabbay(Scope::AllInsts), Recovery::Selective);
     // The loop counter writer (never reusing) and the constant load
     // (always reusing) share... different registers here, so the load
     // becomes predictable.
@@ -476,10 +474,10 @@ fn cpi_stack_sums_to_cycles() {
 #[test]
 fn obs_report_present_only_when_enabled() {
     let p = counted_loop(200);
-    let off = run(&p, Scheme::NoPredict, Recovery::Selective);
+    let off = run(&p, Scheme::no_predict(), Recovery::Selective);
     assert!(off.obs.is_none());
 
-    let on = Simulator::new(UarchConfig::table1(), Scheme::NoPredict, Recovery::Selective)
+    let on = Simulator::new(UarchConfig::table1(), Scheme::no_predict(), Recovery::Selective)
         .with_obs(ObsConfig { sample_interval: 64, ..ObsConfig::standard() })
         .run(&p, 1_000_000)
         .unwrap();

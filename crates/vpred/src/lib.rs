@@ -40,6 +40,9 @@ mod counters;
 mod gabbay;
 mod lvp;
 mod plan;
+mod registry;
+mod traits;
+mod zoo;
 
 pub use buffers::{
     BufferConfig, BufferPredictor, ContextConfig, ContextPredictor, StrideConfig, StridePredictor,
@@ -49,6 +52,14 @@ pub use counters::{ConfidenceCounter, ConfidenceTable, CounterPolicy, TableConfi
 pub use gabbay::GabbayPredictor;
 pub use lvp::{LastValuePredictor, LvpConfig};
 pub use plan::{PredictionPlan, ReuseKind, Scope};
+pub use registry::{
+    list_value_predictors, new_value_predictor, value_predictor_names, Params, PredictorInfo,
+};
+pub use traits::{Decision, Outcome, ValuePredictor};
+pub use zoo::{
+    BufferVp, CorrelationVp, DrvpVp, GabbayVp, SrvpVp, Stride2Config, Stride2Vp, TageConfVp,
+    TageConfig, TournamentVp,
+};
 
 /// Configuration of the dynamic register value predictor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

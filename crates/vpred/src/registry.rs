@@ -1,0 +1,457 @@
+//! The string-keyed value-predictor registry.
+//!
+//! Predictors are constructed by name from a config string:
+//!
+//! ```text
+//! <name>[:<key>=<value>[,<key>=<value>...]]
+//! ```
+//!
+//! e.g. `lvp`, `lvp:entries=4096,ctr=2`, `fcm:order=3`. Every parameter
+//! is optional (defaults come from the predictor's paper/default
+//! config), unknown names and unknown or duplicate keys are errors, and
+//! [`ValuePredictor::spec`] emits the canonical fully-spelled form that
+//! parses back to an identical predictor.
+//!
+//! # Examples
+//!
+//! ```
+//! use rvp_vpred::{new_value_predictor, list_value_predictors};
+//!
+//! let p = new_value_predictor("lvp:entries=4096,ctr=2").unwrap();
+//! assert_eq!(p.name(), "lvp");
+//! assert!(new_value_predictor(p.spec().as_str()).is_ok());
+//! assert!(list_value_predictors().iter().any(|i| i.name == "tage_drvp"));
+//! ```
+
+use crate::buffers::{BufferConfig, ContextConfig, StrideConfig};
+use crate::correlation::CorrelationConfig;
+use crate::counters::{CounterPolicy, TableConfig};
+use crate::lvp::LvpConfig;
+use crate::traits::ValuePredictor;
+use crate::zoo::{
+    BufferVp, CorrelationVp, DrvpVp, GabbayVp, SrvpVp, Stride2Config, Stride2Vp, TageConfVp,
+    TageConfig, TournamentVp,
+};
+use crate::DrvpConfig;
+
+/// A registered predictor, as listed by [`list_value_predictors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorInfo {
+    /// Registry name (the part of the config string before `:`).
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// The canonical spec of the default configuration.
+    pub default_spec: &'static str,
+}
+
+/// A parsed `name:key=value,...` config string with consumption
+/// tracking, so builders can pull typed parameters (with aliases) and
+/// anything left over is reported as an unknown key.
+#[derive(Debug)]
+pub struct Params {
+    name: String,
+    pairs: Vec<(String, String, bool)>,
+}
+
+impl Params {
+    /// Parses a config string. Rejects empty names, empty parameter
+    /// lists after `:`, malformed pairs and duplicate keys.
+    pub fn parse(spec: &str) -> Result<Params, String> {
+        let (name, rest) = match spec.split_once(':') {
+            Some((n, r)) => (n, Some(r)),
+            None => (spec, None),
+        };
+        if name.is_empty() {
+            return Err(format!("empty predictor name in spec '{spec}'"));
+        }
+        let mut pairs: Vec<(String, String, bool)> = Vec::new();
+        if let Some(rest) = rest {
+            if rest.is_empty() {
+                return Err(format!("empty parameter list in spec '{spec}'"));
+            }
+            for part in rest.split(',') {
+                let (k, v) = part
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed parameter '{part}' (expected key=value)"))?;
+                if k.is_empty() || v.is_empty() {
+                    return Err(format!("malformed parameter '{part}' (expected key=value)"));
+                }
+                if pairs.iter().any(|(pk, ..)| pk == k) {
+                    return Err(format!("duplicate parameter '{k}' in spec '{spec}'"));
+                }
+                pairs.push((k.to_string(), v.to_string(), false));
+            }
+        }
+        Ok(Params { name: name.to_string(), pairs })
+    }
+
+    /// The predictor name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn lookup(&mut self, keys: &[&str]) -> Option<String> {
+        for (k, v, taken) in &mut self.pairs {
+            if keys.iter().any(|want| want == k) {
+                *taken = true;
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    /// An integer parameter under any of `keys`, or `default`.
+    pub fn usize_or(&mut self, keys: &[&str], default: usize) -> Result<usize, String> {
+        match self.lookup(keys) {
+            Some(v) => {
+                v.parse().map_err(|_| format!("parameter '{}': '{v}' is not an integer", keys[0]))
+            }
+            None => Ok(default),
+        }
+    }
+
+    /// A small-integer parameter under any of `keys`, or `default`.
+    pub fn u8_or(&mut self, keys: &[&str], default: u8) -> Result<u8, String> {
+        match self.lookup(keys) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("parameter '{}': '{v}' is not a small integer", keys[0])),
+            None => Ok(default),
+        }
+    }
+
+    /// A boolean parameter (`true`/`false`/`1`/`0`) under any of `keys`.
+    pub fn bool_or(&mut self, keys: &[&str], default: bool) -> Result<bool, String> {
+        match self.lookup(keys).as_deref() {
+            Some("true") | Some("1") => Ok(true),
+            Some("false") | Some("0") => Ok(false),
+            Some(v) => Err(format!("parameter '{}': '{v}' is not a boolean", keys[0])),
+            None => Ok(default),
+        }
+    }
+
+    /// A counter-policy parameter (`reset`/`sat`) under any of `keys`.
+    pub fn policy_or(
+        &mut self,
+        keys: &[&str],
+        default: CounterPolicy,
+    ) -> Result<CounterPolicy, String> {
+        match self.lookup(keys).as_deref() {
+            Some("reset") | Some("resetting") => Ok(CounterPolicy::Resetting),
+            Some("sat") | Some("saturating") => Ok(CounterPolicy::Saturating),
+            Some(v) => Err(format!("parameter '{}': '{v}' is not a policy (reset|sat)", keys[0])),
+            None => Ok(default),
+        }
+    }
+
+    /// Errors if any parameter was never consumed by a builder.
+    pub fn finish(&self) -> Result<(), String> {
+        let leftover: Vec<&str> =
+            self.pairs.iter().filter(|(.., taken)| !taken).map(|(k, ..)| k.as_str()).collect();
+        if leftover.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "unknown parameter{} for '{}': {}",
+                if leftover.len() == 1 { "" } else { "s" },
+                self.name,
+                leftover.join(", ")
+            ))
+        }
+    }
+}
+
+fn pow2(n: usize, what: &str) -> Result<usize, String> {
+    if n.is_power_of_two() {
+        Ok(n)
+    } else {
+        Err(format!("{what} must be a power of two, got {n}"))
+    }
+}
+
+fn counter_bits(b: u8) -> Result<u8, String> {
+    if (1..=7).contains(&b) {
+        Ok(b)
+    } else {
+        Err(format!("ctr width must be 1..=7 bits, got {b}"))
+    }
+}
+
+type Builder = fn(&mut Params) -> Result<Box<dyn ValuePredictor>, String>;
+
+fn build_srvp(_p: &mut Params) -> Result<Box<dyn ValuePredictor>, String> {
+    Ok(Box::new(SrvpVp))
+}
+
+fn lvp_config(p: &mut Params) -> Result<LvpConfig, String> {
+    let d = LvpConfig::paper();
+    Ok(LvpConfig {
+        entries: pow2(p.usize_or(&["entries"], d.entries)?, "entries")?,
+        bits: counter_bits(p.u8_or(&["ctr", "bits"], d.bits)?)?,
+        threshold: p.u8_or(&["threshold", "thr"], d.threshold)?,
+        policy: p.policy_or(&["policy"], d.policy)?,
+        tagged: p.bool_or(&["tagged"], d.tagged)?,
+    })
+}
+
+fn build_lvp(p: &mut Params) -> Result<Box<dyn ValuePredictor>, String> {
+    Ok(Box::new(BufferVp::new(BufferConfig::LastValue(lvp_config(p)?))))
+}
+
+fn build_stride(p: &mut Params) -> Result<Box<dyn ValuePredictor>, String> {
+    let d = StrideConfig::default();
+    let c = StrideConfig {
+        entries: pow2(p.usize_or(&["entries"], d.entries)?, "entries")?,
+        threshold: p.u8_or(&["threshold", "thr"], d.threshold)?,
+    };
+    Ok(Box::new(BufferVp::new(BufferConfig::Stride(c))))
+}
+
+fn build_stride2(p: &mut Params) -> Result<Box<dyn ValuePredictor>, String> {
+    let d = Stride2Config::default();
+    let c = Stride2Config {
+        entries: pow2(p.usize_or(&["entries"], d.entries)?, "entries")?,
+        threshold: p.u8_or(&["threshold", "thr"], d.threshold)?,
+    };
+    Ok(Box::new(Stride2Vp::new(c)))
+}
+
+fn build_fcm(p: &mut Params) -> Result<Box<dyn ValuePredictor>, String> {
+    let d = ContextConfig::default();
+    let order = p.usize_or(&["order"], d.order)?;
+    if order == 0 {
+        return Err("order must be >= 1".to_string());
+    }
+    let c = ContextConfig {
+        entries: pow2(p.usize_or(&["entries"], d.entries)?, "entries")?,
+        vht_entries: pow2(p.usize_or(&["vht"], d.vht_entries)?, "vht")?,
+        order,
+        threshold: p.u8_or(&["threshold", "thr"], d.threshold)?,
+    };
+    Ok(Box::new(BufferVp::new(BufferConfig::Context(c))))
+}
+
+fn build_stride_lvp(p: &mut Params) -> Result<Box<dyn ValuePredictor>, String> {
+    let d = StrideConfig::default();
+    let c = StrideConfig {
+        entries: pow2(p.usize_or(&["entries"], d.entries)?, "entries")?,
+        threshold: p.u8_or(&["threshold", "thr"], d.threshold)?,
+    };
+    Ok(Box::new(BufferVp::new(BufferConfig::Hybrid(c, LvpConfig::paper()))))
+}
+
+fn build_drvp(p: &mut Params) -> Result<Box<dyn ValuePredictor>, String> {
+    let d = DrvpConfig::paper().table;
+    let table = TableConfig {
+        entries: pow2(p.usize_or(&["entries"], d.entries)?, "entries")?,
+        bits: counter_bits(p.u8_or(&["ctr", "bits"], d.bits)?)?,
+        threshold: p.u8_or(&["threshold", "thr"], d.threshold)?,
+        policy: p.policy_or(&["policy"], d.policy)?,
+        tagged: p.bool_or(&["tagged"], d.tagged)?,
+    };
+    Ok(Box::new(DrvpVp::new(DrvpConfig { table })))
+}
+
+fn build_gabbay(p: &mut Params) -> Result<Box<dyn ValuePredictor>, String> {
+    let bits = counter_bits(p.u8_or(&["ctr", "bits"], 3)?)?;
+    let threshold = p.u8_or(&["threshold", "thr"], 7)?;
+    let policy = p.policy_or(&["policy"], CounterPolicy::Resetting)?;
+    Ok(Box::new(GabbayVp::new(bits, threshold, policy)))
+}
+
+fn build_hwcorr(p: &mut Params) -> Result<Box<dyn ValuePredictor>, String> {
+    let d = CorrelationConfig::default();
+    let c = CorrelationConfig {
+        entries: pow2(p.usize_or(&["entries"], d.entries)?, "entries")?,
+        threshold: p.u8_or(&["threshold", "thr"], d.threshold)?,
+    };
+    Ok(Box::new(CorrelationVp::new(c)))
+}
+
+fn build_rvp_lvp(p: &mut Params) -> Result<Box<dyn ValuePredictor>, String> {
+    let d = TableConfig::default();
+    let table = TableConfig {
+        entries: pow2(p.usize_or(&["entries"], d.entries)?, "entries")?,
+        bits: counter_bits(p.u8_or(&["ctr", "bits"], d.bits)?)?,
+        threshold: p.u8_or(&["threshold", "thr"], d.threshold)?,
+        policy: CounterPolicy::Resetting,
+        tagged: false,
+    };
+    Ok(Box::new(TournamentVp::new(table, LvpConfig::paper())))
+}
+
+fn build_tage_drvp(p: &mut Params) -> Result<Box<dyn ValuePredictor>, String> {
+    let d = TageConfig::default();
+    let c = TageConfig {
+        entries: pow2(p.usize_or(&["entries"], d.entries)?, "entries")?,
+        threshold: p.u8_or(&["threshold", "thr"], d.threshold)?,
+    };
+    Ok(Box::new(TageConfVp::new(c)))
+}
+
+struct Entry {
+    info: PredictorInfo,
+    build: Builder,
+}
+
+static REGISTRY: &[Entry] = &[
+    Entry {
+        info: PredictorInfo {
+            name: "srvp",
+            summary: "static RVP: the profile-derived plan decides, always confident",
+            default_spec: "srvp",
+        },
+        build: build_srvp,
+    },
+    Entry {
+        info: PredictorInfo {
+            name: "lvp",
+            summary: "last-value buffer (Lipasti & Shen), tagged, with confidence",
+            default_spec: "lvp:entries=1024,ctr=3,threshold=7,policy=reset,tagged=true",
+        },
+        build: build_lvp,
+    },
+    Entry {
+        info: PredictorInfo {
+            name: "drvp",
+            summary: "dynamic RVP: storageless PC-indexed reuse confidence (the paper)",
+            default_spec: "drvp:entries=1024,ctr=3,threshold=7,policy=reset,tagged=false",
+        },
+        build: build_drvp,
+    },
+    Entry {
+        info: PredictorInfo {
+            name: "gabbay",
+            summary: "Gabbay & Mendelson register-file predictor (per-register counters)",
+            default_spec: "gabbay:ctr=3,threshold=7,policy=reset",
+        },
+        build: build_gabbay,
+    },
+    Entry {
+        info: PredictorInfo {
+            name: "hwcorr",
+            summary: "hardware-learned register correlation (Jourdan et al.)",
+            default_spec: "hwcorr:entries=1024,threshold=7",
+        },
+        build: build_hwcorr,
+    },
+    Entry {
+        info: PredictorInfo {
+            name: "stride",
+            summary: "1-delta stride buffer predictor",
+            default_spec: "stride:entries=1024,threshold=7",
+        },
+        build: build_stride,
+    },
+    Entry {
+        info: PredictorInfo {
+            name: "stride2",
+            summary: "2-delta stride buffer predictor (stride changes only when repeated)",
+            default_spec: "stride2:entries=1024,threshold=7",
+        },
+        build: build_stride2,
+    },
+    Entry {
+        info: PredictorInfo {
+            name: "fcm",
+            summary: "order-N finite-context-method predictor (Sazeides & Smith)",
+            default_spec: "fcm:entries=1024,vht=4096,order=2,threshold=7",
+        },
+        build: build_fcm,
+    },
+    Entry {
+        info: PredictorInfo {
+            name: "stride_lvp",
+            summary: "stride+last-value hybrid buffer (stride preferred)",
+            default_spec: "stride_lvp:entries=1024,threshold=7",
+        },
+        build: build_stride_lvp,
+    },
+    Entry {
+        info: PredictorInfo {
+            name: "rvp_lvp",
+            summary: "RVP+LVP tournament: reuse confidence first, last-value fallback",
+            default_spec: "rvp_lvp:entries=1024,ctr=3,threshold=7",
+        },
+        build: build_rvp_lvp,
+    },
+    Entry {
+        info: PredictorInfo {
+            name: "tage_drvp",
+            summary: "TAGE-style tagged geometric-history reuse confidence for DRVP",
+            default_spec: "tage_drvp:entries=512,threshold=7",
+        },
+        build: build_tage_drvp,
+    },
+];
+
+/// Every registered predictor, in registration order.
+pub fn list_value_predictors() -> Vec<&'static PredictorInfo> {
+    REGISTRY.iter().map(|e| &e.info).collect()
+}
+
+/// The registered predictor names, in registration order.
+pub fn value_predictor_names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|e| e.info.name).collect()
+}
+
+/// Builds a predictor from a `name[:key=value,...]` config string.
+pub fn new_value_predictor(spec: &str) -> Result<Box<dyn ValuePredictor>, String> {
+    let mut p = Params::parse(spec)?;
+    let entry = REGISTRY.iter().find(|e| e.info.name == p.name()).ok_or_else(|| {
+        format!(
+            "unknown value predictor '{}' (known: {})",
+            p.name(),
+            value_predictor_names().join(", ")
+        )
+    })?;
+    let built = (entry.build)(&mut p)?;
+    p.finish()?;
+    Ok(built)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_default_spec_builds_and_round_trips() {
+        for info in list_value_predictors() {
+            let by_name = new_value_predictor(info.name).unwrap();
+            assert_eq!(by_name.name(), info.name);
+            assert_eq!(by_name.spec(), info.default_spec, "canonical spec for {}", info.name);
+            let by_spec = new_value_predictor(info.default_spec).unwrap();
+            assert_eq!(by_spec.spec(), info.default_spec);
+        }
+    }
+
+    #[test]
+    fn unknown_names_and_keys_are_rejected() {
+        let err = new_value_predictor("bogus").unwrap_err();
+        assert!(err.contains("unknown value predictor"), "{err}");
+        assert!(err.contains("tage_drvp"), "{err}");
+        let err = new_value_predictor("lvp:wat=1").unwrap_err();
+        assert!(err.contains("unknown parameter"), "{err}");
+        assert!(new_value_predictor("lvp:").is_err());
+        assert!(new_value_predictor("lvp:entries").is_err());
+        assert!(new_value_predictor("lvp:entries=2,entries=4").is_err());
+    }
+
+    #[test]
+    fn parameters_are_typed_and_validated() {
+        assert!(new_value_predictor("lvp:entries=1000").is_err()); // not a power of two
+        assert!(new_value_predictor("lvp:ctr=9").is_err());
+        assert!(new_value_predictor("lvp:tagged=maybe").is_err());
+        assert!(new_value_predictor("fcm:order=0").is_err());
+        let p = new_value_predictor("lvp:entries=4096,ctr=2").unwrap();
+        assert_eq!(p.spec(), "lvp:entries=4096,ctr=2,threshold=7,policy=reset,tagged=true");
+    }
+
+    #[test]
+    fn ctr_and_bits_are_aliases() {
+        let a = new_value_predictor("drvp:ctr=2").unwrap();
+        let b = new_value_predictor("drvp:bits=2").unwrap();
+        assert_eq!(a.spec(), b.spec());
+    }
+}

@@ -1,0 +1,123 @@
+//! The open-ended value-predictor contract the timing core dispatches
+//! through.
+//!
+//! The pipeline owns every piece of machine state a prediction might
+//! read (the architectural shadow registers, per-PC last values,
+//! in-flight producer tracking); a predictor owns only its private
+//! tables. The [`Decision`] enum is the narrow waist between the two:
+//! at dispatch the predictor says *what kind* of prediction to make and
+//! the pipeline resolves it against machine state, so storageless
+//! register-reuse predictors, buffer predictors and register-correlation
+//! predictors all fit one trait without the pipeline matching on a
+//! closed scheme enum.
+
+use rvp_isa::Reg;
+
+/// What the predictor wants the pipeline to do for one dispatched,
+/// in-scope, register-writing instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Stay out of the way entirely: no prediction, no candidate value
+    /// (e.g. a buffer miss, or a correlation predictor with no learned
+    /// candidate register).
+    Idle,
+    /// Not confident yet: do not predict, but carry the per-PC
+    /// register-reuse candidate through the pipeline so commit-time
+    /// training can score it.
+    Track,
+    /// Confident: predict through the instruction's register-reuse
+    /// relation (the plan-resolved [`crate::ReuseKind`] held by the
+    /// pipeline's per-PC metadata).
+    Predict,
+    /// Buffer hit: predict this concrete value, with no register-file
+    /// dependence at all.
+    Value(u64),
+    /// Correlation tracking: carry the value currently in register `r`
+    /// as the candidate without predicting.
+    TrackReg(Reg),
+    /// Correlation prediction: predict the value currently in register
+    /// `r`.
+    PredictReg(Reg),
+}
+
+/// The commit-time architectural outcome of one in-scope instruction,
+/// handed to [`ValuePredictor::train_outcome`].
+#[derive(Debug, Clone, Copy)]
+pub struct Outcome {
+    /// Static instruction address.
+    pub pc: usize,
+    /// Destination register (commit training only fires for writers).
+    pub dst: Reg,
+    /// The candidate value captured at dispatch, if the decision carried
+    /// one (`None` after [`Decision::Idle`]).
+    pub predicted: Option<u64>,
+    /// The value the instruction actually produced.
+    pub actual: u64,
+    /// The destination register's value before the write — the
+    /// storageless same-register reuse candidate.
+    pub prior: u64,
+    /// The same-class register observed at dispatch to already hold
+    /// `actual`, when the predictor asked for register observation via
+    /// [`ValuePredictor::observes_registers`].
+    pub observed: Option<Reg>,
+}
+
+/// A value predictor the timing core can dispatch through.
+///
+/// Implementations are constructed by the string-keyed registry
+/// ([`crate::new_value_predictor`]); see the registry module for the
+/// config-string grammar and the conformance obligations (determinism,
+/// `reset` == fresh, `spec()` round-trip) every registered predictor
+/// must satisfy.
+pub trait ValuePredictor: Send {
+    /// Registry name this predictor was built under.
+    fn name(&self) -> &'static str;
+
+    /// Canonical config string: parsing it back through the registry
+    /// yields an identically-configured predictor.
+    fn spec(&self) -> String;
+
+    /// The dispatch-time decision for the instruction at `pc` writing
+    /// `dst`. Called once per dispatched in-scope instruction.
+    fn decide(&mut self, pc: usize, dst: Reg) -> Decision;
+
+    /// Writeback-time value training (buffer family): called with the
+    /// produced value as soon as it exists, for every in-scope
+    /// register-writing instruction — only when
+    /// [`ValuePredictor::wants_value_training`] is true.
+    fn train_value(&mut self, _pc: usize, _value: u64) {}
+
+    /// Whether the pipeline should call [`ValuePredictor::train_value`]
+    /// at writeback.
+    fn wants_value_training(&self) -> bool {
+        false
+    }
+
+    /// Commit-time outcome training: called once per committed in-scope
+    /// register-writing instruction, in program order.
+    fn train_outcome(&mut self, _o: &Outcome) {}
+
+    /// Whether dispatch should scan the same-class registers to fill
+    /// [`Outcome::observed`] (register-correlation learning).
+    fn observes_registers(&self) -> bool {
+        false
+    }
+
+    /// Returns the predictor to its just-constructed state.
+    fn reset(&mut self);
+
+    /// Clones the predictor, state included, behind the trait.
+    fn clone_box(&self) -> Box<dyn ValuePredictor>;
+}
+
+impl Clone for Box<dyn ValuePredictor> {
+    fn clone(&self) -> Box<dyn ValuePredictor> {
+        self.clone_box()
+    }
+}
+
+impl std::fmt::Debug for dyn ValuePredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ValuePredictor({})", self.spec())
+    }
+}

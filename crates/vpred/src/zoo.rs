@@ -1,0 +1,742 @@
+//! The predictor zoo: every registered [`ValuePredictor`] implementation.
+//!
+//! Paper schemes are thin adapters over the existing table structures
+//! (`DrvpPredictor`, `GabbayPredictor`, `CorrelationPredictor`, the
+//! buffer family) and reproduce their training semantics exactly — the
+//! pre-refactor cell JSON is pinned bit-identical by the golden tests.
+//! The new zoo members (2-delta stride, RVP+LVP tournament, TAGE-style
+//! confidence) live here outright.
+
+use rvp_isa::Reg;
+
+use crate::buffers::{BufferConfig, BufferPredictor};
+use crate::correlation::{CorrelationConfig, CorrelationPredictor};
+use crate::counters::{ConfidenceCounter, ConfidenceTable, CounterPolicy, TableConfig};
+use crate::gabbay::GabbayPredictor;
+use crate::lvp::{LastValuePredictor, LvpConfig};
+use crate::traits::{Decision, Outcome, ValuePredictor};
+use crate::{DrvpConfig, DrvpPredictor};
+
+pub(crate) fn policy_str(policy: CounterPolicy) -> &'static str {
+    match policy {
+        CounterPolicy::Resetting => "reset",
+        CounterPolicy::Saturating => "sat",
+    }
+}
+
+/// The static-RVP adapter: the profile already decided which
+/// instructions predict (the plan marks them), so the predictor itself
+/// is unconditionally confident.
+#[derive(Debug, Clone)]
+pub struct SrvpVp;
+
+impl ValuePredictor for SrvpVp {
+    fn name(&self) -> &'static str {
+        "srvp"
+    }
+
+    fn spec(&self) -> String {
+        "srvp".to_string()
+    }
+
+    fn decide(&mut self, _pc: usize, _dst: Reg) -> Decision {
+        Decision::Predict
+    }
+
+    fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn ValuePredictor> {
+        Box::new(self.clone())
+    }
+}
+
+/// The paper's dynamic RVP confidence table behind the trait.
+#[derive(Debug, Clone)]
+pub struct DrvpVp {
+    config: DrvpConfig,
+    inner: DrvpPredictor,
+}
+
+impl DrvpVp {
+    pub fn new(config: DrvpConfig) -> DrvpVp {
+        DrvpVp { config, inner: DrvpPredictor::new(config) }
+    }
+}
+
+impl ValuePredictor for DrvpVp {
+    fn name(&self) -> &'static str {
+        "drvp"
+    }
+
+    fn spec(&self) -> String {
+        let t = &self.config.table;
+        format!(
+            "drvp:entries={},ctr={},threshold={},policy={},tagged={}",
+            t.entries,
+            t.bits,
+            t.threshold,
+            policy_str(t.policy),
+            t.tagged
+        )
+    }
+
+    fn decide(&mut self, pc: usize, _dst: Reg) -> Decision {
+        if self.inner.confident(pc) {
+            Decision::Predict
+        } else {
+            Decision::Track
+        }
+    }
+
+    fn train_outcome(&mut self, o: &Outcome) {
+        // Train only when dispatch captured a candidate value — exactly
+        // the legacy guard (out-of-scope and zero-dest instructions
+        // carry no candidate).
+        if let Some(v) = o.predicted {
+            self.inner.train(o.pc, v == o.actual);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.inner = DrvpPredictor::new(self.config);
+    }
+
+    fn clone_box(&self) -> Box<dyn ValuePredictor> {
+        Box::new(self.clone())
+    }
+}
+
+/// The Gabbay & Mendelson register-file predictor behind the trait:
+/// counters indexed by destination register, trained on every committed
+/// writer against the prior register value.
+#[derive(Debug, Clone)]
+pub struct GabbayVp {
+    bits: u8,
+    threshold: u8,
+    policy: CounterPolicy,
+    inner: GabbayPredictor,
+}
+
+impl GabbayVp {
+    pub fn new(bits: u8, threshold: u8, policy: CounterPolicy) -> GabbayVp {
+        GabbayVp { bits, threshold, policy, inner: GabbayPredictor::new(bits, threshold, policy) }
+    }
+}
+
+impl ValuePredictor for GabbayVp {
+    fn name(&self) -> &'static str {
+        "gabbay"
+    }
+
+    fn spec(&self) -> String {
+        format!(
+            "gabbay:ctr={},threshold={},policy={}",
+            self.bits,
+            self.threshold,
+            policy_str(self.policy)
+        )
+    }
+
+    fn decide(&mut self, _pc: usize, dst: Reg) -> Decision {
+        if self.inner.confident(dst) {
+            Decision::Predict
+        } else {
+            Decision::Track
+        }
+    }
+
+    fn train_outcome(&mut self, o: &Outcome) {
+        self.inner.train(o.dst, o.prior == o.actual);
+    }
+
+    fn reset(&mut self) {
+        self.inner = GabbayPredictor::new(self.bits, self.threshold, self.policy);
+    }
+
+    fn clone_box(&self) -> Box<dyn ValuePredictor> {
+        Box::new(self.clone())
+    }
+}
+
+/// The Jourdan-style hardware correlation predictor behind the trait:
+/// learns a source register per PC and predicts through it.
+#[derive(Debug, Clone)]
+pub struct CorrelationVp {
+    config: CorrelationConfig,
+    inner: CorrelationPredictor,
+}
+
+impl CorrelationVp {
+    pub fn new(config: CorrelationConfig) -> CorrelationVp {
+        CorrelationVp { config, inner: CorrelationPredictor::new(config) }
+    }
+}
+
+impl ValuePredictor for CorrelationVp {
+    fn name(&self) -> &'static str {
+        "hwcorr"
+    }
+
+    fn spec(&self) -> String {
+        format!("hwcorr:entries={},threshold={}", self.config.entries, self.config.threshold)
+    }
+
+    fn decide(&mut self, pc: usize, dst: Reg) -> Decision {
+        match self.inner.candidate(pc) {
+            // A candidate of the wrong class can never hold the value:
+            // stand down entirely (no candidate carried, no prediction).
+            Some(r) if r.class() == dst.class() => {
+                if self.inner.confident(pc) {
+                    Decision::PredictReg(r)
+                } else {
+                    Decision::TrackReg(r)
+                }
+            }
+            _ => Decision::Idle,
+        }
+    }
+
+    fn train_outcome(&mut self, o: &Outcome) {
+        self.inner.train(o.pc, o.predicted == Some(o.actual), o.observed);
+    }
+
+    fn observes_registers(&self) -> bool {
+        true
+    }
+
+    fn reset(&mut self) {
+        self.inner = CorrelationPredictor::new(self.config);
+    }
+
+    fn clone_box(&self) -> Box<dyn ValuePredictor> {
+        Box::new(self.clone())
+    }
+}
+
+/// The buffer family (last-value, 1-delta stride, finite-context,
+/// stride+LVP hybrid) behind the trait: the table supplies the value
+/// directly, training happens at writeback as soon as the value exists.
+#[derive(Debug, Clone)]
+pub struct BufferVp {
+    config: BufferConfig,
+    inner: BufferPredictor,
+}
+
+impl BufferVp {
+    pub fn new(config: BufferConfig) -> BufferVp {
+        BufferVp { config, inner: BufferPredictor::new(config) }
+    }
+}
+
+impl ValuePredictor for BufferVp {
+    fn name(&self) -> &'static str {
+        match self.config {
+            BufferConfig::LastValue(_) => "lvp",
+            BufferConfig::Stride(_) => "stride",
+            BufferConfig::Context(_) => "fcm",
+            BufferConfig::Hybrid(..) => "stride_lvp",
+        }
+    }
+
+    fn spec(&self) -> String {
+        match &self.config {
+            BufferConfig::LastValue(c) => format!(
+                "lvp:entries={},ctr={},threshold={},policy={},tagged={}",
+                c.entries,
+                c.bits,
+                c.threshold,
+                policy_str(c.policy),
+                c.tagged
+            ),
+            BufferConfig::Stride(c) => {
+                format!("stride:entries={},threshold={}", c.entries, c.threshold)
+            }
+            BufferConfig::Context(c) => format!(
+                "fcm:entries={},vht={},order={},threshold={}",
+                c.entries, c.vht_entries, c.order, c.threshold
+            ),
+            BufferConfig::Hybrid(s, _) => {
+                format!("stride_lvp:entries={},threshold={}", s.entries, s.threshold)
+            }
+        }
+    }
+
+    fn decide(&mut self, pc: usize, _dst: Reg) -> Decision {
+        match self.inner.predict(pc) {
+            Some(v) => Decision::Value(v),
+            None => Decision::Idle,
+        }
+    }
+
+    fn train_value(&mut self, pc: usize, value: u64) {
+        self.inner.train(pc, value);
+    }
+
+    fn wants_value_training(&self) -> bool {
+        true
+    }
+
+    fn reset(&mut self) {
+        self.inner = BufferPredictor::new(self.config);
+    }
+
+    fn clone_box(&self) -> Box<dyn ValuePredictor> {
+        Box::new(self.clone())
+    }
+}
+
+/// Configuration of the 2-delta stride predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stride2Config {
+    /// Table entries (power of two, PC-indexed, tagged).
+    pub entries: usize,
+    /// Confidence threshold (3-bit resetting counters).
+    pub threshold: u8,
+}
+
+impl Default for Stride2Config {
+    fn default() -> Stride2Config {
+        Stride2Config { entries: 1024, threshold: 7 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stride2Entry {
+    tag: usize,
+    valid: bool,
+    last: u64,
+    /// The committed stride predictions are made with.
+    stride: i64,
+    /// The most recently observed delta; the committed stride only
+    /// follows it once the same delta repeats (the "2-delta" rule).
+    pending: i64,
+    counter: ConfidenceCounter,
+}
+
+/// A 2-delta stride predictor (Eickemeyer & Vassiliadis style): the
+/// stride used for prediction only changes after the same new delta is
+/// observed twice in a row, so a single irregular value (a loop exit, a
+/// pointer re-seed) does not destroy an established stride.
+#[derive(Debug, Clone)]
+pub struct Stride2Vp {
+    config: Stride2Config,
+    entries: Vec<Stride2Entry>,
+}
+
+impl Stride2Vp {
+    pub fn new(config: Stride2Config) -> Stride2Vp {
+        assert!(config.entries.is_power_of_two(), "table size must be a power of two");
+        Stride2Vp {
+            entries: vec![
+                Stride2Entry {
+                    tag: 0,
+                    valid: false,
+                    last: 0,
+                    stride: 0,
+                    pending: 0,
+                    counter: ConfidenceCounter::new(3, CounterPolicy::Resetting),
+                };
+                config.entries
+            ],
+            config,
+        }
+    }
+
+    fn index(&self, pc: usize) -> usize {
+        pc & (self.config.entries - 1)
+    }
+}
+
+impl ValuePredictor for Stride2Vp {
+    fn name(&self) -> &'static str {
+        "stride2"
+    }
+
+    fn spec(&self) -> String {
+        format!("stride2:entries={},threshold={}", self.config.entries, self.config.threshold)
+    }
+
+    fn decide(&mut self, pc: usize, _dst: Reg) -> Decision {
+        let e = &self.entries[self.index(pc)];
+        if e.valid && e.tag == pc && e.counter.confident(self.config.threshold) {
+            Decision::Value(e.last.wrapping_add(e.stride as u64))
+        } else {
+            Decision::Idle
+        }
+    }
+
+    fn train_value(&mut self, pc: usize, value: u64) {
+        let i = self.index(pc);
+        let e = &mut self.entries[i];
+        if !e.valid || e.tag != pc {
+            *e = Stride2Entry {
+                tag: pc,
+                valid: true,
+                last: value,
+                stride: 0,
+                pending: 0,
+                counter: ConfidenceCounter::new(3, CounterPolicy::Resetting),
+            };
+            return;
+        }
+        let observed = value.wrapping_sub(e.last) as i64;
+        e.counter.record(observed == e.stride);
+        if observed == e.pending {
+            e.stride = observed;
+        }
+        e.pending = observed;
+        e.last = value;
+    }
+
+    fn wants_value_training(&self) -> bool {
+        true
+    }
+
+    fn reset(&mut self) {
+        *self = Stride2Vp::new(self.config);
+    }
+
+    fn clone_box(&self) -> Box<dyn ValuePredictor> {
+        Box::new(self.clone())
+    }
+}
+
+/// An RVP+LVP tournament hybrid: storageless same-register reuse when
+/// its PC-indexed confidence is established, otherwise the last-value
+/// buffer, otherwise track. The reuse confidence trains at commit
+/// against the prior register value; the LVP component trains at
+/// writeback like any buffer predictor.
+#[derive(Debug, Clone)]
+pub struct TournamentVp {
+    table: TableConfig,
+    lvp_config: LvpConfig,
+    conf: ConfidenceTable,
+    lvp: LastValuePredictor,
+}
+
+impl TournamentVp {
+    pub fn new(table: TableConfig, lvp_config: LvpConfig) -> TournamentVp {
+        TournamentVp {
+            table,
+            lvp_config,
+            conf: ConfidenceTable::new(table),
+            lvp: LastValuePredictor::new(lvp_config),
+        }
+    }
+}
+
+impl ValuePredictor for TournamentVp {
+    fn name(&self) -> &'static str {
+        "rvp_lvp"
+    }
+
+    fn spec(&self) -> String {
+        format!(
+            "rvp_lvp:entries={},ctr={},threshold={}",
+            self.table.entries, self.table.bits, self.table.threshold
+        )
+    }
+
+    fn decide(&mut self, pc: usize, _dst: Reg) -> Decision {
+        if self.conf.confident(pc) {
+            Decision::Predict
+        } else if let Some(v) = self.lvp.predict(pc) {
+            Decision::Value(v)
+        } else {
+            Decision::Track
+        }
+    }
+
+    fn train_value(&mut self, pc: usize, value: u64) {
+        self.lvp.train(pc, value);
+    }
+
+    fn wants_value_training(&self) -> bool {
+        true
+    }
+
+    fn train_outcome(&mut self, o: &Outcome) {
+        self.conf.train(o.pc, o.prior == o.actual);
+    }
+
+    fn reset(&mut self) {
+        self.conf = ConfidenceTable::new(self.table);
+        self.lvp = LastValuePredictor::new(self.lvp_config);
+    }
+
+    fn clone_box(&self) -> Box<dyn ValuePredictor> {
+        Box::new(self.clone())
+    }
+}
+
+/// Geometric history lengths (in reuse-outcome bits) of the tagged
+/// TAGE tables, shortest first.
+const TAGE_HIST_LENS: [u32; 4] = [2, 4, 8, 16];
+/// Entries in the per-PC reuse-outcome history table.
+const TAGE_HIST_ENTRIES: usize = 1024;
+
+/// Configuration of the TAGE-style DRVP confidence predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TageConfig {
+    /// Entries per tagged table (power of two).
+    pub entries: usize,
+    /// Confidence threshold (3-bit resetting counters).
+    pub threshold: u8,
+}
+
+impl Default for TageConfig {
+    fn default() -> TageConfig {
+        TageConfig { entries: 512, threshold: 7 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TageEntry {
+    tag: u8,
+    valid: bool,
+    counter: ConfidenceCounter,
+}
+
+/// TAGE-style confidence for dynamic RVP: the predict/don't-predict
+/// decision comes from the longest tag-matching entry across four
+/// tagged tables indexed by PC folded with geometrically longer slices
+/// (2/4/8/16 bits) of the per-PC *reuse outcome* history, falling back
+/// to an untagged DRVP-style base table. This catches instructions
+/// whose register-value reuse is phase-dependent — reuse that holds on
+/// some control paths and not others, invisible to a single counter.
+#[derive(Debug, Clone)]
+pub struct TageConfVp {
+    config: TageConfig,
+    base: ConfidenceTable,
+    tables: Vec<Vec<TageEntry>>,
+    hist: Vec<u16>,
+}
+
+impl TageConfVp {
+    pub fn new(config: TageConfig) -> TageConfVp {
+        assert!(config.entries.is_power_of_two(), "table size must be a power of two");
+        TageConfVp {
+            base: ConfidenceTable::new(TableConfig {
+                entries: 1024,
+                bits: 3,
+                threshold: config.threshold,
+                policy: CounterPolicy::Resetting,
+                tagged: false,
+            }),
+            tables: vec![
+                vec![
+                    TageEntry {
+                        tag: 0,
+                        valid: false,
+                        counter: ConfidenceCounter::new(3, CounterPolicy::Resetting),
+                    };
+                    config.entries
+                ];
+                TAGE_HIST_LENS.len()
+            ],
+            hist: vec![0; TAGE_HIST_ENTRIES],
+            config,
+        }
+    }
+
+    /// The (index, tag) slot for table `t` under the current history.
+    fn slot(&self, t: usize, pc: usize) -> (usize, u8) {
+        let len = TAGE_HIST_LENS[t];
+        let mask = ((1u32 << len) - 1) as u16;
+        let h = (self.hist[pc & (TAGE_HIST_ENTRIES - 1)] & mask) as usize;
+        let idx = (pc ^ (h << 1) ^ (h >> 2)) & (self.config.entries - 1);
+        let tag = (((pc >> 9) ^ h ^ (h << 3)) & 0xff) as u8;
+        (idx, tag)
+    }
+
+    /// The longest tag-matching table, if any.
+    fn provider(&self, pc: usize) -> Option<(usize, usize)> {
+        for t in (0..self.tables.len()).rev() {
+            let (idx, tag) = self.slot(t, pc);
+            let e = &self.tables[t][idx];
+            if e.valid && e.tag == tag {
+                return Some((t, idx));
+            }
+        }
+        None
+    }
+}
+
+impl ValuePredictor for TageConfVp {
+    fn name(&self) -> &'static str {
+        "tage_drvp"
+    }
+
+    fn spec(&self) -> String {
+        format!("tage_drvp:entries={},threshold={}", self.config.entries, self.config.threshold)
+    }
+
+    fn decide(&mut self, pc: usize, _dst: Reg) -> Decision {
+        let confident = match self.provider(pc) {
+            Some((t, idx)) => self.tables[t][idx].counter.confident(self.config.threshold),
+            None => self.base.confident(pc),
+        };
+        if confident {
+            Decision::Predict
+        } else {
+            Decision::Track
+        }
+    }
+
+    fn train_outcome(&mut self, o: &Outcome) {
+        let hit = o.prior == o.actual;
+        // The provider is recomputed under the pre-update history, the
+        // same slots decide() read this instruction under.
+        match self.provider(o.pc) {
+            Some((t, idx)) => {
+                self.tables[t][idx].counter.record(hit);
+                if !hit && t + 1 < self.tables.len() {
+                    let (idx, tag) = self.slot(t + 1, o.pc);
+                    self.tables[t + 1][idx] = TageEntry {
+                        tag,
+                        valid: true,
+                        counter: ConfidenceCounter::new(3, CounterPolicy::Resetting),
+                    };
+                }
+            }
+            None => {
+                self.base.train(o.pc, hit);
+                if !hit {
+                    let (idx, tag) = self.slot(0, o.pc);
+                    self.tables[0][idx] = TageEntry {
+                        tag,
+                        valid: true,
+                        counter: ConfidenceCounter::new(3, CounterPolicy::Resetting),
+                    };
+                }
+            }
+        }
+        let h = &mut self.hist[o.pc & (TAGE_HIST_ENTRIES - 1)];
+        *h = (*h << 1) | u16::from(hit);
+    }
+
+    fn reset(&mut self) {
+        *self = TageConfVp::new(self.config);
+    }
+
+    fn clone_box(&self) -> Box<dyn ValuePredictor> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride2_survives_one_irregular_value() {
+        let mut p = Stride2Vp::new(Stride2Config::default());
+        for i in 0..12u64 {
+            p.train_value(4, 100 + 8 * i);
+        }
+        assert_eq!(p.decide(4, Reg::int(1)), Decision::Value(196));
+        // One outlier: the committed stride must not follow it.
+        p.train_value(4, 5000);
+        p.train_value(4, 5008);
+        // The 8-stride survived (confidence took the two misses).
+        let e = p.entries[p.index(4)];
+        assert_eq!(e.stride, 8);
+    }
+
+    #[test]
+    fn stride2_adopts_a_repeated_new_delta() {
+        let mut p = Stride2Vp::new(Stride2Config::default());
+        for i in 0..6u64 {
+            p.train_value(4, 10 + 4 * i);
+        }
+        for i in 0..12u64 {
+            p.train_value(4, 1000 + 16 * i);
+        }
+        let last = 1000 + 16 * 11;
+        assert_eq!(p.decide(4, Reg::int(1)), Decision::Value(last + 16));
+    }
+
+    #[test]
+    fn tournament_prefers_reuse_confidence() {
+        let mut p = TournamentVp::new(
+            TableConfig { tagged: false, ..TableConfig::default() },
+            LvpConfig::paper(),
+        );
+        let o = |predicted| Outcome {
+            pc: 9,
+            dst: Reg::int(3),
+            predicted,
+            actual: 7,
+            prior: 7,
+            observed: None,
+        };
+        for _ in 0..7 {
+            p.train_outcome(&o(None));
+        }
+        assert_eq!(p.decide(9, Reg::int(3)), Decision::Predict);
+    }
+
+    #[test]
+    fn tournament_falls_back_to_lvp() {
+        let mut p = TournamentVp::new(
+            TableConfig { tagged: false, ..TableConfig::default() },
+            LvpConfig::paper(),
+        );
+        for _ in 0..8 {
+            p.train_value(9, 42);
+        }
+        assert_eq!(p.decide(9, Reg::int(3)), Decision::Value(42));
+    }
+
+    #[test]
+    fn tage_learns_phase_dependent_reuse() {
+        // Reuse alternates hit, hit, miss, hit, hit, miss... A single
+        // counter at threshold 7 never fires; a history-indexed entry
+        // learns each phase position separately.
+        let mut p = TageConfVp::new(TageConfig::default());
+        let pattern = [true, true, false];
+        let mk = |hit: bool| Outcome {
+            pc: 33,
+            dst: Reg::int(2),
+            predicted: Some(if hit { 1 } else { 0 }),
+            actual: 1,
+            prior: if hit { 1 } else { 0 },
+            observed: None,
+        };
+        for k in 0..400 {
+            p.train_outcome(&mk(pattern[k % 3]));
+        }
+        // Over one more full period the predictor should be confident
+        // for at least the hit positions more often than a flat counter
+        // (which would be confident never).
+        let mut confident = 0;
+        for k in 400..430 {
+            if p.decide(33, Reg::int(2)) == Decision::Predict && pattern[k % 3] {
+                confident += 1;
+            }
+            p.train_outcome(&mk(pattern[k % 3]));
+        }
+        assert!(confident >= 10, "only {confident} confident-at-hit positions");
+    }
+
+    #[test]
+    fn tage_reset_equals_fresh() {
+        let mut p = TageConfVp::new(TageConfig::default());
+        for k in 0..100usize {
+            p.train_outcome(&Outcome {
+                pc: k * 7,
+                dst: Reg::int(1),
+                predicted: Some(k as u64),
+                actual: 3,
+                prior: k as u64,
+                observed: None,
+            });
+        }
+        p.reset();
+        let fresh = TageConfVp::new(TageConfig::default());
+        for pc in 0..200 {
+            assert_eq!(p.provider(pc), fresh.provider(pc));
+            assert_eq!(p.hist[pc & (TAGE_HIST_ENTRIES - 1)], 0);
+        }
+    }
+}

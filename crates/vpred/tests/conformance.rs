@@ -1,0 +1,155 @@
+//! Registry conformance suite: the obligations every registered
+//! [`ValuePredictor`] must satisfy, checked against the live registry so
+//! a new zoo entry is covered the moment it registers.
+//!
+//! 1. **Determinism** — two fresh instances fed the same dispatch/train
+//!    stream emit the same decision stream.
+//! 2. **`reset()` equals fresh** — after a training run and a `reset()`,
+//!    the instance is indistinguishable from a newly built one.
+//! 3. **Spec round-trip** — `spec()` parses back through the registry
+//!    into an identically-configured (and identically-behaving)
+//!    predictor, and the registry's `default_spec` is the bare name's
+//!    canonical form.
+//! 4. **`clone_box()` carries state** — a mid-stream clone and its
+//!    original continue identically.
+
+use rvp_isa::Reg;
+use rvp_vpred::{list_value_predictors, new_value_predictor, Decision, Outcome, ValuePredictor};
+
+/// A deterministic synthetic stream of committed register writers:
+/// a few hot PCs with high value reuse, a stride walker, and a noisy
+/// tail — enough texture that every predictor family changes state.
+fn stream() -> Vec<(usize, Reg, u64)> {
+    let mut out = Vec::new();
+    let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+    for i in 0..4000u64 {
+        // xorshift keeps the stream reproducible without rand.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let pc = (x % 23) as usize * 4;
+        let dst = Reg::int(1 + (pc % 7) as u8);
+        let value = match pc / 4 {
+            // same value almost always: the RVP sweet spot
+            0..=4 => 42 + u64::from(x.is_multiple_of(16)),
+            // strided
+            5..=9 => i * 8,
+            // bimodal
+            10..=14 => [7, 7, 7, 9][(x % 4) as usize],
+            // noise
+            _ => x,
+        };
+        out.push((pc, dst, value));
+    }
+    out
+}
+
+/// Drives one predictor through the stream the way the pipeline would:
+/// decide at dispatch, value-train at writeback (when requested),
+/// outcome-train at commit. Returns the decision stream.
+fn drive(p: &mut dyn ValuePredictor, events: &[(usize, Reg, u64)]) -> Vec<Decision> {
+    let mut prior = [0u64; 32];
+    let mut decisions = Vec::with_capacity(events.len());
+    for &(pc, dst, value) in events {
+        let d = p.decide(pc, dst);
+        decisions.push(d);
+        if p.wants_value_training() {
+            p.train_value(pc, value);
+        }
+        // The pipeline resolves Track/Predict against machine state;
+        // approximate it with the same-register prior so train_outcome
+        // sees realistic hit/miss texture.
+        let predicted = match d {
+            Decision::Idle => None,
+            Decision::Value(v) => Some(v),
+            _ => Some(prior[dst.index() % 32]),
+        };
+        let o = Outcome {
+            pc,
+            dst,
+            predicted,
+            actual: value,
+            prior: prior[dst.index() % 32],
+            observed: None,
+        };
+        p.train_outcome(&o);
+        prior[dst.index() % 32] = value;
+    }
+    decisions
+}
+
+#[test]
+fn every_registered_predictor_is_deterministic() {
+    let events = stream();
+    for info in list_value_predictors() {
+        let mut a = new_value_predictor(info.name).unwrap();
+        let mut b = new_value_predictor(info.name).unwrap();
+        assert_eq!(
+            drive(a.as_mut(), &events),
+            drive(b.as_mut(), &events),
+            "{}: two fresh instances diverged",
+            info.name
+        );
+    }
+}
+
+#[test]
+fn reset_restores_the_just_constructed_state() {
+    let events = stream();
+    for info in list_value_predictors() {
+        let mut fresh = new_value_predictor(info.name).unwrap();
+        let want = drive(fresh.as_mut(), &events);
+
+        let mut reused = new_value_predictor(info.name).unwrap();
+        let _ = drive(reused.as_mut(), &events);
+        reused.reset();
+        assert_eq!(
+            drive(reused.as_mut(), &events),
+            want,
+            "{}: reset() left training state behind",
+            info.name
+        );
+    }
+}
+
+#[test]
+fn spec_round_trips_through_the_registry() {
+    let events = stream();
+    for info in list_value_predictors() {
+        // The bare name builds the default configuration, and its
+        // canonical spec is the registry's advertised default.
+        let built = new_value_predictor(info.name).unwrap();
+        assert_eq!(built.name(), info.name);
+        assert_eq!(built.spec(), info.default_spec, "{}: default_spec drifted", info.name);
+
+        // spec() -> parse -> spec() is a fixed point, and the rebuilt
+        // predictor behaves identically.
+        let mut rebuilt = new_value_predictor(&built.spec())
+            .unwrap_or_else(|e| panic!("{}: {:?} does not parse: {e}", info.name, built.spec()));
+        assert_eq!(rebuilt.spec(), built.spec(), "{}: spec not canonical", info.name);
+        let mut original = new_value_predictor(info.name).unwrap();
+        assert_eq!(
+            drive(original.as_mut(), &events),
+            drive(rebuilt.as_mut(), &events),
+            "{}: rebuilt-from-spec predictor diverged",
+            info.name
+        );
+    }
+}
+
+#[test]
+fn clone_box_carries_training_state() {
+    let events = stream();
+    let (warmup, tail) = events.split_at(events.len() / 2);
+    for info in list_value_predictors() {
+        let mut original = new_value_predictor(info.name).unwrap();
+        let _ = drive(original.as_mut(), warmup);
+        let mut clone = original.clone_box();
+        assert_eq!(
+            drive(original.as_mut(), tail),
+            drive(clone.as_mut(), tail),
+            "{}: clone diverged from its original",
+            info.name
+        );
+    }
+}

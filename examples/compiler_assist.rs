@@ -45,7 +45,7 @@ fn kernel() -> Program {
 
 fn measure(program: &Program) -> Result<(f64, f64), Box<dyn std::error::Error>> {
     let budget = 300_000;
-    let base = Simulator::new(UarchConfig::table1(), Scheme::NoPredict, Recovery::Selective)
+    let base = Simulator::new(UarchConfig::table1(), Scheme::no_predict(), Recovery::Selective)
         .run(program, budget)?;
     let drvp = Simulator::new(
         UarchConfig::table1(),

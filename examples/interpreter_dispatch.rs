@@ -90,7 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     let budget = 400_000;
-    let base = Simulator::new(UarchConfig::table1(), Scheme::NoPredict, Recovery::Selective)
+    let base = Simulator::new(UarchConfig::table1(), Scheme::no_predict(), Recovery::Selective)
         .run(&program, budget)?;
     println!("{:>28}: IPC {:.3}", "no prediction", base.ipc());
     for (name, scheme) in [

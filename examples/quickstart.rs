@@ -10,7 +10,9 @@
 //! prediction, with buffer-based last-value prediction, and with
 //! storageless dynamic RVP.
 
-use rvp_core::{ProgramBuilder, Recovery, Reg, Scheme, Simulator, UarchConfig};
+use rvp_core::{
+    new_value_predictor, ProgramBuilder, Recovery, Reg, Scheme, Scope, Simulator, UarchConfig,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A traversal whose *address advance* depends on loaded step values —
@@ -40,12 +42,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("simulating {} static instructions on the paper's Table 1 machine\n", program.len());
     let budget = 500_000;
     let mut base_ipc = 0.0;
+    // Predictors come from the string-keyed registry: any spec that
+    // `rvp-grid --schemes` accepts works here too.
     for (name, scheme) in [
-        ("no prediction", Scheme::NoPredict),
-        ("last-value prediction (8 KiB value buffer)", Scheme::lvp_loads()),
+        ("no prediction", Scheme::no_predict()),
+        (
+            "last-value prediction (8 KiB value buffer)",
+            Scheme::new("lvp", Scope::LoadsOnly, new_value_predictor("lvp")?),
+        ),
         (
             "dynamic RVP (384 B of counters, no values)",
-            Scheme::drvp(rvp_core::Scope::LoadsOnly, rvp_core::PredictionPlan::new()),
+            Scheme::new("drvp", Scope::LoadsOnly, new_value_predictor("drvp")?),
         ),
     ] {
         let stats = Simulator::new(UarchConfig::table1(), scheme, Recovery::Selective)

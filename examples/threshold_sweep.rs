@@ -10,8 +10,7 @@
 //! contrasts resetting with saturating counters.
 
 use rvp_core::{
-    CounterPolicy, DrvpConfig, Input, PredictionPlan, Recovery, Scheme, Scope, Simulator,
-    TableConfig, UarchConfig,
+    new_value_predictor, CounterPolicy, Input, Recovery, Scheme, Scope, Simulator, UarchConfig,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = wl.program(Input::Ref);
     let budget = 250_000;
 
-    let base = Simulator::new(UarchConfig::table1(), Scheme::NoPredict, Recovery::Selective)
+    let base = Simulator::new(UarchConfig::table1(), Scheme::no_predict(), Recovery::Selective)
         .run(&program, budget)?;
     println!("workload: hydro2d; baseline IPC {:.3}\n", base.ipc());
     println!(
@@ -29,14 +28,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for recovery in [Recovery::Selective, Recovery::Refetch] {
         for policy in [CounterPolicy::Resetting, CounterPolicy::Saturating] {
             for threshold in [1u8, 3, 5, 7] {
-                let config = DrvpConfig {
-                    table: TableConfig { threshold, policy, ..TableConfig::default() },
+                let name = match policy {
+                    CounterPolicy::Resetting => "reset",
+                    CounterPolicy::Saturating => "sat",
                 };
-                let scheme = Scheme::DynamicRvp {
-                    scope: Scope::AllInsts,
-                    plan: PredictionPlan::new(),
-                    config,
-                };
+                let spec = format!("drvp:threshold={threshold},policy={name}");
+                let scheme =
+                    Scheme::new(spec.clone(), Scope::AllInsts, new_value_predictor(&spec)?);
                 let s = Simulator::new(UarchConfig::table1(), scheme, recovery)
                     .run(&program, budget)?;
                 println!(

@@ -2,7 +2,7 @@
 //! profiler -> reallocation -> timing simulation.
 
 use rvp_core::{
-    reallocate, Emulator, Input, PaperScheme, Profile, ProfileConfig, ReallocOptions, Runner,
+    reallocate, Emulator, Input, Profile, ProfileConfig, ReallocOptions, Runner, SchemeSpec,
 };
 
 fn quick_runner() -> Runner {
@@ -16,20 +16,20 @@ fn schemes_never_change_architectural_behaviour() {
     let r = quick_runner();
     for name in ["li", "mgrid"] {
         let wl = rvp_core::by_name(name).unwrap();
-        let base = r.run(&wl, PaperScheme::NoPredict).unwrap();
-        for scheme in [
-            PaperScheme::Lvp,
-            PaperScheme::LvpAll,
-            PaperScheme::SrvpDead,
-            PaperScheme::DrvpAll,
-            PaperScheme::DrvpAllDeadLv,
-            PaperScheme::GrpAll,
-            PaperScheme::DrvpAllRealloc,
+        let base = r.run(&wl, &SchemeSpec::parse("no_predict").unwrap()).unwrap();
+        for label in [
+            "lvp",
+            "lvp_all",
+            "srvp_dead",
+            "drvp_all",
+            "drvp_all_dead_lv",
+            "Grp_all",
+            "drvp_all_realloc",
         ] {
-            let res = r.run(&wl, scheme).unwrap();
+            let res = r.run(&wl, &SchemeSpec::parse(label).unwrap()).unwrap();
             assert_eq!(
                 res.stats.committed, base.stats.committed,
-                "{name}/{scheme:?} changed the committed count"
+                "{name}/{label} changed the committed count"
             );
         }
     }
@@ -89,20 +89,22 @@ fn fig1_categories_are_cumulative_everywhere() {
 #[test]
 fn paper_shapes_hold_on_average() {
     let r = quick_runner();
-    let speedup = |scheme: PaperScheme| -> (f64, f64) {
+    let speedup = |label: &str| -> (f64, f64) {
+        let scheme = SchemeSpec::parse(label).unwrap();
+        let base_scheme = SchemeSpec::parse("no_predict").unwrap();
         let mut ipcs = Vec::new();
         let mut covs = Vec::new();
         for wl in rvp_core::all_workloads() {
-            let base = r.run(&wl, PaperScheme::NoPredict).unwrap();
-            let res = r.run(&wl, scheme).unwrap();
+            let base = r.run(&wl, &base_scheme).unwrap();
+            let res = r.run(&wl, &scheme).unwrap();
             ipcs.push(res.stats.ipc() / base.stats.ipc());
             covs.push(res.stats.coverage());
         }
         (ipcs.iter().sum::<f64>() / ipcs.len() as f64, covs.iter().sum::<f64>() / covs.len() as f64)
     };
-    let (drvp, drvp_cov) = speedup(PaperScheme::DrvpAll);
-    let (dead_lv, dead_lv_cov) = speedup(PaperScheme::DrvpAllDeadLv);
-    let (grp, grp_cov) = speedup(PaperScheme::GrpAll);
+    let (drvp, drvp_cov) = speedup("drvp_all");
+    let (dead_lv, dead_lv_cov) = speedup("drvp_all_dead_lv");
+    let (grp, grp_cov) = speedup("Grp_all");
 
     // Dynamic RVP gains a few percent on average.
     assert!(drvp > 1.02, "drvp_all average speedup {drvp:.4}");
@@ -140,8 +142,8 @@ fn wide_machine_amplifies_rvp() {
     };
     let wl = rvp_core::by_name("m88ksim").unwrap();
     let gain = |r: &Runner| {
-        let base = r.run(&wl, PaperScheme::NoPredict).unwrap();
-        let rvp = r.run(&wl, PaperScheme::DrvpAllDeadLv).unwrap();
+        let base = r.run(&wl, &SchemeSpec::parse("no_predict").unwrap()).unwrap();
+        let rvp = r.run(&wl, &SchemeSpec::parse("drvp_all_dead_lv").unwrap()).unwrap();
         rvp.stats.ipc() / base.stats.ipc()
     };
     let g_narrow = gain(&narrow);
@@ -171,7 +173,7 @@ fn train_profile_predicts_ref_behaviour() {
     let r = quick_runner();
     for name in ["m88ksim", "hydro2d", "turb3d"] {
         let wl = rvp_core::by_name(name).unwrap();
-        let res = r.run(&wl, PaperScheme::DrvpAllDeadLv).unwrap();
+        let res = r.run(&wl, &SchemeSpec::parse("drvp_all_dead_lv").unwrap()).unwrap();
         assert!(
             res.stats.accuracy() > 0.85,
             "{name}: train-derived plan only {:.1}% accurate on ref",

@@ -1,0 +1,69 @@
+//! Golden-cell bit-identity: the registry refactor's contract with the
+//! past. Every paper scheme's cell JSON — stats, CPI stack, the lot —
+//! must match the fixtures captured from the pre-registry enum
+//! implementation byte for byte, on a register-heavy workload (`li`)
+//! and a memory-heavy one (`go`).
+//!
+//! Fixtures live in `tests/fixtures/golden_cells/<workload>-<label>.json`
+//! and were produced with `RVP_MEASURE_INSTS=60000`,
+//! `RVP_PROFILE_INSTS=120000` and `Runner` defaults otherwise. To
+//! regenerate after an *intentional* modelling change, delete the
+//! fixture files and rerun this test with `RVP_BLESS_GOLDEN=1`.
+
+use std::path::PathBuf;
+
+use rvp_core::{by_name, paper_schemes, Runner, ToJson};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/golden_cells")
+}
+
+#[test]
+fn paper_scheme_cells_are_bit_identical_to_the_fixtures() {
+    let runner = Runner { measure_insts: 60_000, profile_insts: 120_000, ..Runner::default() };
+    let bless = std::env::var_os("RVP_BLESS_GOLDEN").is_some();
+    let mut mismatches = Vec::new();
+
+    for workload in ["li", "go"] {
+        let wl = by_name(workload).expect("workload exists");
+        for scheme in &paper_schemes() {
+            let result = runner.run(&wl, scheme).expect("cell runs");
+            let got = format!("{}\n", result.to_json());
+            let path = fixture_dir().join(format!("{workload}-{}.json", scheme.label()));
+            if bless && !path.exists() {
+                std::fs::write(&path, &got).expect("write fixture");
+                continue;
+            }
+            let want = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+            if got != want {
+                mismatches.push(format!("{workload}/{}", scheme.label()));
+            }
+        }
+    }
+
+    assert!(
+        mismatches.is_empty(),
+        "cell JSON drifted from the pre-registry fixtures: {}",
+        mismatches.join(", ")
+    );
+}
+
+#[test]
+fn fixture_set_covers_exactly_the_paper_grid() {
+    let schemes = paper_schemes();
+    assert_eq!(schemes.len(), 15, "the paper evaluates 15 schemes");
+    let mut expected: Vec<String> = Vec::new();
+    for workload in ["li", "go"] {
+        for scheme in &schemes {
+            expected.push(format!("{workload}-{}.json", scheme.label()));
+        }
+    }
+    let mut on_disk: Vec<String> = std::fs::read_dir(fixture_dir())
+        .expect("fixture dir exists")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    expected.sort();
+    on_disk.sort();
+    assert_eq!(on_disk, expected, "fixture files must match the paper grid exactly");
+}

@@ -12,7 +12,8 @@
 //!    form.
 
 use rvp_core::{
-    by_name, Json, ObsConfig, PaperScheme, Recovery, Runner, SimStats, ToJson, WindowSample,
+    by_name, paper_schemes, Json, ObsConfig, Recovery, Runner, SchemeSpec, SimStats, ToJson,
+    WindowSample,
 };
 
 fn quick_runner(recovery: Recovery) -> Runner {
@@ -34,7 +35,7 @@ fn cpi_stack_sums_to_cycles_for_every_scheme_and_recovery() {
         let wl = by_name(workload).expect("workload exists");
         for &recovery in &[Recovery::Refetch, Recovery::Reissue, Recovery::Selective] {
             let runner = quick_runner(recovery);
-            for &scheme in PaperScheme::all() {
+            for scheme in &paper_schemes() {
                 let res = runner.run(&wl, scheme).expect("run succeeds");
                 assert_eq!(
                     res.stats.cpi.total(),
@@ -54,7 +55,9 @@ fn cpi_stack_sums_to_cycles_for_every_scheme_and_recovery() {
 #[test]
 fn obs_report_is_coherent() {
     let runner = quick_runner(Recovery::Selective);
-    let res = runner.run(&by_name("li").expect("exists"), PaperScheme::DrvpAll).expect("runs");
+    let res = runner
+        .run(&by_name("li").expect("exists"), &SchemeSpec::parse("drvp_all").unwrap())
+        .expect("runs");
     let obs = res.stats.obs.as_ref().expect("instrumented run carries a report");
     assert_eq!(obs.sample_interval, 512);
 
@@ -84,8 +87,9 @@ fn instrumentation_does_not_change_timing() {
     let wl = by_name("li").expect("exists");
     let on = quick_runner(Recovery::Selective);
     let off = Runner { obs: ObsConfig::off(), ..quick_runner(Recovery::Selective) };
-    let a = on.run(&wl, PaperScheme::DrvpAllDeadLv).expect("runs");
-    let b = off.run(&wl, PaperScheme::DrvpAllDeadLv).expect("runs");
+    let scheme = SchemeSpec::parse("drvp_all_dead_lv").unwrap();
+    let a = on.run(&wl, &scheme).expect("runs");
+    let b = off.run(&wl, &scheme).expect("runs");
     assert_eq!(a.stats.cycles, b.stats.cycles);
     assert_eq!(a.stats.committed, b.stats.committed);
     assert_eq!(a.stats.cpi, b.stats.cpi);
@@ -97,7 +101,9 @@ fn instrumentation_does_not_change_timing() {
 #[test]
 fn obs_json_round_trips() {
     let runner = quick_runner(Recovery::Reissue);
-    let res = runner.run(&by_name("go").expect("exists"), PaperScheme::LvpAll).expect("runs");
+    let res = runner
+        .run(&by_name("go").expect("exists"), &SchemeSpec::parse("lvp_all").unwrap())
+        .expect("runs");
 
     let stats_json = res.stats.to_json();
     let reparsed = Json::parse(&stats_json.to_string()).expect("emitted stats JSON parses");

@@ -234,10 +234,10 @@ proptest! {
     fn timing_model_commits_architectural_counts((program, expected) in arb_program()) {
         for recovery in [Recovery::Refetch, Recovery::Reissue, Recovery::Selective] {
             for scheme in [
-                Scheme::NoPredict,
+                Scheme::no_predict(),
                 Scheme::lvp_all(),
                 Scheme::drvp(rvp_core::Scope::AllInsts, PredictionPlan::new()),
-                Scheme::Gabbay { scope: rvp_core::Scope::AllInsts },
+                Scheme::gabbay(rvp_core::Scope::AllInsts),
             ] {
                 let stats = Simulator::new(UarchConfig::table1(), scheme, recovery)
                     .run(&program, 1 << 20)
@@ -276,13 +276,13 @@ proptest! {
         let expected = emu.committed();
         for recovery in [Recovery::Refetch, Recovery::Selective] {
             for scheme in [
-                Scheme::NoPredict,
+                Scheme::no_predict(),
                 Scheme::lvp_all(),
                 Scheme::drvp(rvp_core::Scope::AllInsts, PredictionPlan::new()),
-                Scheme::HwCorrelation {
-                    scope: rvp_core::Scope::AllInsts,
-                    config: rvp_core::CorrelationConfig::default(),
-                },
+                Scheme::hw_correlation(
+                    rvp_core::Scope::AllInsts,
+                    rvp_core::CorrelationConfig::default(),
+                ),
             ] {
                 let stats = Simulator::new(UarchConfig::table1(), scheme, recovery)
                     .run(&program, 1 << 20)
