@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! rvp-grid [OUT_DIR] [--workloads A,B,...] [--schemes A,B,...] \
-//!          [--source MODE] [--metrics-out FILE] [--trace-out FILE] \
+//!          [--source MODE] [--sample SPEC] [--scale N] \
+//!          [--metrics-out FILE] [--trace-out FILE] \
 //!          [--resume] [--retries N] [--cell-timeout SECS]
 //! ```
 //!
@@ -25,6 +26,14 @@
 //! (time series + per-PC telemetry) on every cell — the artifacts land
 //! inside the cell JSONs — and writes a grid-level summary (throughput,
 //! trace-cache and per-workload source counters, failures) to FILE.
+//! `--sample SPEC` measures every cell by SimPoint-style sampled
+//! simulation (`auto`, or `interval=N,warmup=N,dims=N,max_k=N,seed=N`)
+//! and `--scale N` multiplies every workload's outer pass counts —
+//! together they make paper-scale sweeps (100M+ committed instructions
+//! per cell) tractable. Sampled cells land in
+//! `<workload>-<scheme>.sampled.json` files and the manifest
+//! fingerprint covers both knobs, so sampled and detailed sweeps never
+//! resume into each other.
 //! `--trace-out` arms the span tracer for the whole run and writes the
 //! collected spans (prewarm, schedule, per-cell run/attempt/write, and
 //! the simulator's phase spans) to FILE: Chrome trace-event JSON by
@@ -79,8 +88,8 @@ use rvp_bench::grid::{
 };
 use rvp_bench::runner_from_env;
 use rvp_core::{
-    all_workloads, fatal, log, paper_schemes, Json, ObsConfig, Runner, SchemeSpec, SourceMode,
-    ToJson, Workload, EXIT_CONFIG, EXIT_IO, EXIT_POISONED, EXIT_USAGE,
+    all_workloads, by_name_or_err, fatal, log, paper_schemes, Json, ObsConfig, Runner, SampleSpec,
+    SchemeSpec, SourceMode, ToJson, Workload, EXIT_CONFIG, EXIT_IO, EXIT_POISONED, EXIT_USAGE,
 };
 
 fn worker_count(cells: usize) -> usize {
@@ -96,7 +105,8 @@ fn worker_count(cells: usize) -> usize {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rvp-grid [OUT_DIR] [--workloads A,B,...] [--schemes A,B,...] \
-         [--source live|replay|shared] [--metrics-out FILE] [--trace-out FILE] \
+         [--source live|replay|shared] [--sample auto|interval=N,...] [--scale N] \
+         [--metrics-out FILE] [--trace-out FILE] \
          [--resume] [--retries N] [--cell-timeout SECS]"
     );
     ExitCode::from(EXIT_USAGE)
@@ -159,6 +169,8 @@ fn main() -> ExitCode {
     let mut metrics_out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut source: Option<SourceMode> = None;
+    let mut sample: Option<SampleSpec> = None;
+    let mut scale: Option<u64> = None;
     let mut resume = false;
     let mut opts = CellOptions::default();
 
@@ -179,6 +191,22 @@ fn main() -> ExitCode {
             },
             "--source" => match it.next().as_deref().and_then(SourceMode::parse) {
                 Some(mode) => source = Some(mode),
+                None => return usage(),
+            },
+            "--sample" => match it.next().as_deref().map(SampleSpec::parse) {
+                Some(Ok(spec)) => sample = Some(spec),
+                Some(Err(e)) => {
+                    return fatal(
+                        "rvp-grid",
+                        "bad --sample spec",
+                        EXIT_USAGE,
+                        &[("error", e.into())],
+                    );
+                }
+                None => return usage(),
+            },
+            "--scale" => match it.next().and_then(|v| v.parse::<u64>().ok()).filter(|&n| n > 0) {
+                Some(n) => scale = Some(n),
                 None => return usage(),
             },
             "--metrics-out" => match it.next() {
@@ -220,18 +248,15 @@ fn main() -> ExitCode {
         Some(names) => {
             let mut selected = Vec::new();
             for name in names {
-                match all_workloads().iter().find(|w| w.name() == name) {
-                    Some(wl) => selected.push(wl.clone()),
-                    None => {
-                        let known = all_workloads().iter().map(|w| w.name()).collect::<Vec<_>>();
+                // The registry-listing error, mirroring unknown-scheme UX.
+                match by_name_or_err(name) {
+                    Ok(wl) => selected.push(wl),
+                    Err(e) => {
                         return fatal(
                             "rvp-grid",
                             "unknown workload",
                             EXIT_CONFIG,
-                            &[
-                                ("workload", name.as_str().into()),
-                                ("known", known.join(", ").into()),
-                            ],
+                            &[("error", e.into())],
                         );
                     }
                 }
@@ -266,6 +291,12 @@ fn main() -> ExitCode {
     let mut runner = runner_from_env();
     if let Some(mode) = source {
         runner.source_mode = mode;
+    }
+    if let Some(spec) = sample {
+        runner.sampling = Some(spec);
+    }
+    if let Some(n) = scale {
+        runner.workload_scale = n;
     }
     if metrics_out.is_some() {
         runner.obs = ObsConfig::standard();
@@ -339,6 +370,16 @@ fn main() -> ExitCode {
         runner.source_mode.name(),
         out_dir.display()
     );
+    if let Some(spec) = &runner.sampling {
+        let (interval, warmup) = spec.resolve(runner.measure_insts);
+        println!(
+            "sampling: {interval}-inst intervals, {warmup}-inst warmup, \
+             dims {}, max_k {}, workload scale x{}",
+            spec.dims, spec.max_k, runner.workload_scale
+        );
+    } else if runner.workload_scale > 1 {
+        println!("workload scale: x{}", runner.workload_scale);
+    }
     if resume {
         println!("resume: {} cells verified from the manifest, {} to run", kept.len(), cells.len());
         log::info(

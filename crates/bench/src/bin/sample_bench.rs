@@ -1,0 +1,232 @@
+//! `sample_bench`: wall-clock and accuracy comparison of sampled vs
+//! full detailed simulation, tracked in `BENCH_sample.json`.
+//!
+//! Runs every cell of a grid column (default: the paper schemes over
+//! `m88ksim` and `ijpeg`) twice at the same committed-instruction
+//! budget: once measuring every instruction in detail, and once under
+//! the BBV/k-means sampling pipeline (`Runner::sampling`), where the
+//! stream is phase-profiled and clustered once per workload and only
+//! one functionally-warmed representative interval per phase is
+//! simulated in detail. Reports per-cell wall time and IPC for both,
+//! then gates on two numbers:
+//!
+//! * **speedup**: total full wall time over total sampled wall time
+//!   must be at least `RVP_SAMPLE_BENCH_RATIO` (default 10; 0 records
+//!   without gating). The plan and windows are built once per workload
+//!   and shared by every scheme cell, so the speedup grows with the
+//!   number of schemes in the column — bench the full paper column for
+//!   the headline number.
+//! * **accuracy**: every cell's sampled IPC must be within
+//!   `RVP_SAMPLE_ERR` (default 0.02) relative error of its full-run
+//!   IPC.
+//!
+//! ```text
+//! sample_bench [--out FILE] [--schemes a,b,c] [WORKLOAD...]
+//! ```
+//!
+//! Both paths stream the workload live (`SourceMode::Live`, no trace
+//! store): at paper-scale budgets the committed trace of a full run
+//! does not fit in memory, so live emulation is the honest baseline.
+//! The budget is `RVP_SAMPLE_BENCH_INSTS` (default 8M); train profiles
+//! for profile-guided schemes are prewarmed outside the timed region
+//! since both paths share them unchanged.
+
+use std::time::{Duration, Instant};
+
+use rvp_core::{by_name_or_err, paper_schemes, Json, Runner, SampleSpec, SchemeSpec, SourceMode};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One cell measured both ways.
+struct CellPair {
+    workload: &'static str,
+    scheme: String,
+    full_ipc: f64,
+    sampled_ipc: f64,
+    full: Duration,
+    sampled: Duration,
+    k: u64,
+    sampled_insts: u64,
+}
+
+impl CellPair {
+    fn rel_err(&self) -> f64 {
+        (self.sampled_ipc - self.full_ipc).abs() / self.full_ipc
+    }
+}
+
+fn main() {
+    let mut out = std::path::PathBuf::from("BENCH_sample.json");
+    let mut names: Vec<String> = Vec::new();
+    let mut schemes: Vec<SchemeSpec> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().expect("--out needs a path").into(),
+            "--schemes" => {
+                let list = it.next().expect("--schemes needs a comma list");
+                schemes = list
+                    .split(',')
+                    .map(|s| SchemeSpec::parse(s).unwrap_or_else(|e| panic!("{e}")))
+                    .collect();
+            }
+            _ => names.push(a),
+        }
+    }
+    if names.is_empty() {
+        names = vec!["m88ksim".into(), "ijpeg".into()];
+    }
+    if schemes.is_empty() {
+        schemes = paper_schemes();
+    }
+    let workloads: Vec<rvp_core::Workload> =
+        names.iter().map(|n| by_name_or_err(n).unwrap_or_else(|e| panic!("{e}"))).collect();
+
+    let budget = env_u64("RVP_SAMPLE_BENCH_INSTS", 8_000_000);
+    // Seed-era programs halt under 1M committed insts; the generator
+    // scale factor must stretch every stream past the budget or the
+    // "full" run is not actually full.
+    let scale = env_u64("RVP_SAMPLE_BENCH_SCALE", 16).max(1);
+    let profile_insts = env_u64("RVP_PROFILE_INSTS", 1_500_000);
+    let speedup_gate = env_f64("RVP_SAMPLE_BENCH_RATIO", 10.0);
+    let err_gate = env_f64("RVP_SAMPLE_ERR", 0.02);
+    // Same spec knob the rest of the toolchain honors.
+    let spec = match std::env::var("RVP_SAMPLE") {
+        Ok(v) => SampleSpec::parse(&v).unwrap_or_else(|e| panic!("bad RVP_SAMPLE: {e}")),
+        Err(_) => SampleSpec::default(),
+    };
+    let (interval, warmup) = spec.resolve(budget);
+
+    let full_runner = Runner {
+        measure_insts: budget,
+        profile_insts,
+        workload_scale: scale,
+        source_mode: SourceMode::Live,
+        traces: None,
+        ..Runner::default()
+    };
+    // Same machine, same budget, same (prewarmed, clone-shared) train
+    // profiles — the only difference is the sampling pipeline.
+    let sampled_runner = Runner { sampling: Some(spec), ..full_runner.clone() };
+
+    for wl in &workloads {
+        full_runner.train_profile(wl).expect("prewarm profile");
+    }
+
+    println!(
+        "sample_bench: {} cells ({} workloads x {} schemes), {budget} insts/cell at scale x{scale}, \
+         {interval}-inst intervals, {warmup}-inst warmup",
+        workloads.len() * schemes.len(),
+        workloads.len(),
+        schemes.len(),
+    );
+
+    let mut cells: Vec<CellPair> = Vec::new();
+    for wl in &workloads {
+        for scheme in &schemes {
+            let t = Instant::now();
+            let full = full_runner.run(wl, scheme).expect("full cell");
+            let full_wall = t.elapsed();
+
+            let t = Instant::now();
+            let sampled = sampled_runner.run(wl, scheme).expect("sampled cell");
+            let sampled_wall = t.elapsed();
+            let plan = sampled.sampling.as_ref().expect("sampled run carries its plan");
+
+            let cell = CellPair {
+                workload: wl.name(),
+                scheme: scheme.label().to_owned(),
+                full_ipc: full.stats.ipc(),
+                sampled_ipc: sampled.stats.ipc(),
+                full: full_wall,
+                sampled: sampled_wall,
+                k: plan.intervals.len() as u64,
+                sampled_insts: plan.sampled_insts(),
+            };
+            println!(
+                "  {:<28} full {:8.1}ms ipc {:.4} | sampled {:7.1}ms ipc {:.4} \
+                 (k={}, {:.1}% detail, err {:.3}%)",
+                format!("{}/{}", cell.workload, cell.scheme),
+                1e3 * full_wall.as_secs_f64(),
+                cell.full_ipc,
+                1e3 * sampled_wall.as_secs_f64(),
+                cell.sampled_ipc,
+                cell.k,
+                100.0 * cell.sampled_insts as f64 / budget as f64,
+                100.0 * cell.rel_err(),
+            );
+            cells.push(cell);
+        }
+    }
+
+    let full_s: f64 = cells.iter().map(|c| c.full.as_secs_f64()).sum();
+    let sampled_s: f64 = cells.iter().map(|c| c.sampled.as_secs_f64()).sum();
+    let speedup = full_s / sampled_s;
+    let max_err = cells.iter().map(CellPair::rel_err).fold(0.0, f64::max);
+    println!(
+        "\nfull {full_s:.2}s, sampled {sampled_s:.2}s -> {speedup:.1}x speedup, \
+         max IPC error {:.3}%",
+        100.0 * max_err
+    );
+
+    let per_cell: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            Json::obj([
+                ("workload", c.workload.into()),
+                ("scheme", c.scheme.as_str().into()),
+                ("full_ipc", c.full_ipc.into()),
+                ("sampled_ipc", c.sampled_ipc.into()),
+                ("rel_err", c.rel_err().into()),
+                ("full_ms", (1e3 * c.full.as_secs_f64()).into()),
+                ("sampled_ms", (1e3 * c.sampled.as_secs_f64()).into()),
+                ("k", c.k.into()),
+                ("sampled_insts", c.sampled_insts.into()),
+            ])
+        })
+        .collect();
+    let summary = Json::obj([
+        ("bench", "sample_bench".into()),
+        ("budget_insts", budget.into()),
+        ("workload_scale", scale.into()),
+        ("interval_insts", interval.into()),
+        ("warmup_insts", warmup.into()),
+        ("full_s", full_s.into()),
+        ("sampled_s", sampled_s.into()),
+        ("speedup", speedup.into()),
+        ("max_rel_err", max_err.into()),
+        ("speedup_gate", speedup_gate.into()),
+        ("err_gate", err_gate.into()),
+        ("cells", Json::Arr(per_cell)),
+    ]);
+    std::fs::write(&out, format!("{summary}\n")).expect("write BENCH file");
+    println!("trajectory written: {}", out.display());
+
+    let mut failed = false;
+    if max_err > err_gate {
+        eprintln!(
+            "FAIL: max sampled-vs-full IPC error {:.3}% exceeds the {:.1}% gate",
+            100.0 * max_err,
+            100.0 * err_gate
+        );
+        failed = true;
+    }
+    if speedup_gate > 0.0 && speedup < speedup_gate {
+        eprintln!("FAIL: sampling speedup {speedup:.2}x is below the {speedup_gate:.1}x gate");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "PASS: sampled IPC within {:.1}% of full on every cell{}",
+        100.0 * err_gate,
+        if speedup_gate > 0.0 { ", >=10x-class speedup" } else { "" }
+    );
+}

@@ -354,16 +354,20 @@ fn emit_with_retry(
     }
 }
 
-/// Writes one cell result as `<workload>-<scheme>.json` under `dir`,
-/// atomically (temp file + fsync + rename). Returns the file name and
-/// the FNV-1a checksum of its bytes for the manifest journal.
+/// Writes one cell result as `<workload>-<scheme>.json` under `dir` —
+/// `<workload>-<scheme>.sampled.json` for a sampled cell, so a sampled
+/// sweep never overwrites (or masquerades as) a detailed one in the
+/// same output directory — atomically (temp file + fsync + rename).
+/// Returns the file name and the FNV-1a checksum of its bytes for the
+/// manifest journal.
 ///
 /// # Errors
 ///
 /// Returns the underlying I/O error (including injected ones at the
 /// `grid.cell.write` chaos site).
 pub fn emit_cell_atomic(dir: &Path, result: &RunResult) -> std::io::Result<(String, u64)> {
-    let name = format!("{}-{}.json", result.workload, result.scheme);
+    let suffix = if result.sampling.is_some() { ".sampled.json" } else { ".json" };
+    let name = format!("{}-{}{suffix}", result.workload, result.scheme);
     let text = format!("{}\n", result.to_json());
     rvp_fail::io_at("grid.cell.write")?;
     write_atomic(&dir.join(&name), text.as_bytes())?;

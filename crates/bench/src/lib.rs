@@ -8,17 +8,26 @@
 //! the reproduction target recorded in `EXPERIMENTS.md`.
 //!
 //! Instruction budgets can be overridden with the environment variables
-//! `RVP_MEASURE_INSTS` and `RVP_PROFILE_INSTS`.
+//! `RVP_MEASURE_INSTS` and `RVP_PROFILE_INSTS`; `RVP_SCALE` multiplies
+//! every workload's outer pass counts toward paper-scale instruction
+//! counts, and `RVP_SAMPLE` (`auto` or `interval=N,warmup=N,...`)
+//! switches measurement to sampled simulation.
 
 pub mod grid;
 
 use std::path::PathBuf;
 
-use rvp_core::{RunResult, Runner, SchemeSpec, SimError, SourceMode, UarchConfig, Workload};
+use rvp_core::{
+    RunResult, Runner, SampleSpec, SchemeSpec, SimError, SourceMode, UarchConfig, Workload,
+};
 
 /// Budgets and the committed-stream source read from the environment
 /// with sensible defaults (`RVP_SOURCE` accepts `live`, `replay` or
-/// `shared`; unknown values are ignored).
+/// `shared`; unknown values are ignored). `RVP_SCALE` sets
+/// [`Runner::workload_scale`] and `RVP_SAMPLE` (a [`SampleSpec::parse`]
+/// string) enables sampled measurement — a malformed spec is reported
+/// on stderr and ignored rather than silently simulating something
+/// other than what was asked.
 pub fn runner_from_env() -> Runner {
     let mut r = Runner::default();
     if let Some(v) = env_u64("RVP_MEASURE_INSTS") {
@@ -29,6 +38,15 @@ pub fn runner_from_env() -> Runner {
     }
     if let Some(mode) = std::env::var("RVP_SOURCE").ok().and_then(|v| SourceMode::parse(&v)) {
         r.source_mode = mode;
+    }
+    if let Some(v) = env_u64("RVP_SCALE") {
+        r.workload_scale = v.max(1);
+    }
+    if let Ok(text) = std::env::var("RVP_SAMPLE") {
+        match SampleSpec::parse(&text) {
+            Ok(spec) => r.sampling = Some(spec),
+            Err(e) => eprintln!("warning: ignoring RVP_SAMPLE: {e}"),
+        }
     }
     r
 }

@@ -5,27 +5,33 @@
 //! rvp-report <RESULTS_DIR>
 //! ```
 //!
-//! Four sections:
+//! Sections:
 //!
 //! 1. an IPC table (scheme rows × workload columns, plus the mean),
 //! 2. per-workload CPI stacks (% of cycles in each attribution bucket),
 //! 3. observability highlights for cells carrying an instrumentation
 //!    artifact (`obs`): warm-up vs. steady IPC and the costliest static
 //!    instruction,
-//! 4. committed-stream source counters (captures / shared hits / live
+//! 4. a sampling section for cells that carry a `sampling` plan (the
+//!    shape a `--sample` sweep writes into `*.sampled.json` files):
+//!    interval size, chosen k, warmup length, detail share, the
+//!    per-cluster representative weights, and — when the directory
+//!    also holds the matching detailed cell — the sampled-vs-full
+//!    IPC error,
+//! 5. committed-stream source counters (captures / shared hits / live
 //!    fallbacks per workload) when the directory holds a grid summary
 //!    written with `rvp-grid --metrics-out`,
-//! 5. a resilience section from the same summary: poisoned cells (with
+//! 6. a resilience section from the same summary: poisoned cells (with
 //!    the ladder stage and error that killed them), total retries,
 //!    quarantined trace files, resumed cells and any injected
 //!    failpoint hits from a chaos run,
-//! 6. a serving section for any `rvp-serve` metrics snapshot in the
+//! 7. a serving section for any `rvp-serve` metrics snapshot in the
 //!    directory (a `/metrics` download, or the `server_metrics` object
 //!    embedded in `BENCH_serve.json`): request/error/job counters,
 //!    cache hit rate, queue high-water mark and the latency histogram
 //!    quantiles. A directory holding only serve metrics (the CI
 //!    artifact case) renders without any cell files,
-//! 7. a spans section for any Chrome trace-event JSON in the directory
+//! 8. a spans section for any Chrome trace-event JSON in the directory
 //!    (written by `--trace-out` or downloaded from `GET /trace`):
 //!    top spans by self time, the critical path under the longest
 //!    root, and the per-job queue-wait vs exec-time breakdown.
@@ -45,6 +51,9 @@ struct Cell {
     workload: String,
     scheme: String,
     stats: Json,
+    /// The `SamplePlan` object a sampled run embeds; `None` for
+    /// detailed cells.
+    sampling: Option<Json>,
 }
 
 fn usage() -> ExitCode {
@@ -94,6 +103,7 @@ fn main() -> ExitCode {
     print_ipc_table(&cells, &workloads, &schemes);
     print_cpi_stacks(&cells, &workloads, &schemes);
     print_obs_highlights(&cells);
+    print_sampling(&cells);
     print_trace_sources(Path::new(dir));
     print_resilience(Path::new(dir));
     print_serve_metrics(Path::new(dir));
@@ -275,6 +285,7 @@ fn load_cells(dir: &Path) -> std::io::Result<Vec<Cell>> {
                 workload: parsed.get("workload")?.as_str()?.to_owned(),
                 scheme: parsed.get("scheme")?.as_str()?.to_owned(),
                 stats: parsed.get("stats")?.clone(),
+                sampling: parsed.get("sampling").cloned(),
             })
         })();
         match cell {
@@ -308,8 +319,16 @@ fn scheme_order(cells: &[Cell]) -> Vec<String> {
     out
 }
 
+/// When a cell exists both detailed and sampled (a `.json` next to a
+/// `.sampled.json`), the main tables show the detailed one; the
+/// sampling section compares the two.
 fn find<'a>(cells: &'a [Cell], workload: &str, scheme: &str) -> Option<&'a Cell> {
-    cells.iter().find(|c| c.workload == workload && c.scheme == scheme)
+    let mut matches = cells.iter().filter(|c| c.workload == workload && c.scheme == scheme);
+    let first = matches.next()?;
+    if first.sampling.is_none() {
+        return Some(first);
+    }
+    Some(matches.find(|c| c.sampling.is_none()).unwrap_or(first))
 }
 
 fn stat_f64(stats: &Json, key: &str) -> Option<f64> {
@@ -407,6 +426,68 @@ fn print_obs_highlights(cells: &[Cell]) {
             Some((pc, costly)) => println!(" {:>14}", format!("{pc}({costly})")),
             None => println!(" {:>14}", "-"),
         }
+    }
+}
+
+/// Renders the sampling section for every cell carrying a `sampling`
+/// plan: the interval size / k / warmup knobs, how much of the full
+/// stream was simulated in detail, the representative-interval cluster
+/// weights, and the sampled-vs-full IPC error whenever the directory
+/// also holds the matching detailed cell.
+fn print_sampling(cells: &[Cell]) {
+    let sampled: Vec<&Cell> = cells.iter().filter(|c| c.sampling.is_some()).collect();
+    if sampled.is_empty() {
+        return;
+    }
+    println!("\nsampling ({} sampled cells)", sampled.len());
+    println!(
+        "{:>26} {:>9} {:>3} {:>8} {:>8} {:>8} {:>9} {:>7}",
+        "cell", "interval", "k", "warmup", "detail%", "ipc", "full_ipc", "err%"
+    );
+    for cell in sampled {
+        let plan = cell.sampling.as_ref().expect("filtered");
+        let num = |key: &str| plan.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let intervals = plan.get("intervals").and_then(Json::as_arr).unwrap_or(&[]);
+        let total = num("total_insts");
+        let detail: u64 =
+            intervals.iter().filter_map(|r| r.get("len").and_then(Json::as_u64)).sum();
+        let share = if total > 0 { 100.0 * detail as f64 / total as f64 } else { 0.0 };
+        let ipc = stat_f64(&cell.stats, "ipc");
+        let full = cells
+            .iter()
+            .find(|c| {
+                c.sampling.is_none() && c.workload == cell.workload && c.scheme == cell.scheme
+            })
+            .and_then(|c| stat_f64(&c.stats, "ipc"));
+        print!(
+            "{:>26} {:>9} {:>3} {:>8} {:>7.2}%",
+            format!("{}/{}", cell.workload, cell.scheme),
+            num("interval_insts"),
+            num("k"),
+            num("warmup_insts"),
+            share
+        );
+        match ipc {
+            Some(v) => print!(" {v:8.3}"),
+            None => print!(" {:>8}", "-"),
+        }
+        match full {
+            Some(v) => print!(" {v:9.3}"),
+            None => print!(" {:>9}", "-"),
+        }
+        match (ipc, full) {
+            (Some(s), Some(f)) if f > 0.0 => println!(" {:6.2}%", 100.0 * (s - f).abs() / f),
+            _ => println!(" {:>7}", "-"),
+        }
+        let weights: Vec<String> = intervals
+            .iter()
+            .map(|r| {
+                let rn = |key: &str| r.get(key).and_then(Json::as_u64).unwrap_or(0);
+                let w = r.get("weight").and_then(Json::as_f64).unwrap_or(0.0);
+                format!("c{}@{}:{:.3}", rn("cluster"), rn("index"), w)
+            })
+            .collect();
+        println!("{:>26}   weights: {}", "", weights.join("  "));
     }
 }
 

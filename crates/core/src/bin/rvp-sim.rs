@@ -15,6 +15,8 @@
 //!   --recovery R      refetch | reissue | selective               [selective]
 //!   --machine M       table1 | wide16                             [table1]
 //!   --max-insts N     committed-instruction budget                [1000000]
+//!   --scale N         multiply a named workload's outer pass counts
+//!                     (paper-scale instruction counts; workloads only) [1]
 //!   --metrics-out P   write full stats (CPI stack, time series,
 //!                     per-PC top-K tables) as JSON to path P
 //!   --trace-out P     arm the span tracer and write the run's spans
@@ -42,7 +44,8 @@ use rvp_core::{
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rvp-sim <program.asm | --workload NAME> [--scheme S] [--recovery R] \
-         [--machine M] [--max-insts N] [--metrics-out PATH] [--trace-out PATH] [--emulate]"
+         [--machine M] [--max-insts N] [--scale N] [--metrics-out PATH] [--trace-out PATH] \
+         [--emulate]"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -55,6 +58,7 @@ fn main() -> ExitCode {
     let mut recovery = "selective".to_owned();
     let mut machine = "table1".to_owned();
     let mut max_insts: u64 = 1_000_000;
+    let mut scale: u64 = 1;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut emulate = false;
@@ -68,6 +72,12 @@ fn main() -> ExitCode {
             "--machine" => machine = it.next().unwrap_or_default(),
             "--max-insts" => {
                 max_insts = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage(),
+                }
+            }
+            "--scale" => {
+                scale = match it.next().and_then(|v| v.parse().ok()).filter(|&n: &u64| n > 0) {
                     Some(v) => v,
                     None => return usage(),
                 }
@@ -116,16 +126,11 @@ fn main() -> ExitCode {
                 }
             }
         }
-        (None, Some(w)) => match rvp_core::by_name(w) {
-            Some(wl) => wl.program(Input::Ref),
-            None => {
-                let known = rvp_core::all_workloads().iter().map(|w| w.name()).collect::<Vec<_>>();
-                return fatal(
-                    "rvp-sim",
-                    "unknown workload",
-                    EXIT_CONFIG,
-                    &[("workload", w.as_str().into()), ("known", known.join(", ").into())],
-                );
+        // The registry-listing error, mirroring unknown-scheme UX.
+        (None, Some(w)) => match rvp_core::by_name_or_err(w) {
+            Ok(wl) => wl.program_scaled(Input::Ref, scale),
+            Err(e) => {
+                return fatal("rvp-sim", "unknown workload", EXIT_CONFIG, &[("error", e.into())]);
             }
         },
         _ => return usage(),

@@ -36,6 +36,7 @@
 mod fatal;
 mod journal;
 mod runner;
+mod sampling;
 mod schemes;
 
 pub use fatal::{
@@ -47,6 +48,7 @@ pub use runner::{
     grid_config_fnv, ProfileCache, RunResult, Runner, SharedTraceCache, SourceCounters, SourceMode,
     SourceTally,
 };
+pub use sampling::SamplingCaches;
 pub use schemes::{
     list_schemes, paper_schemes, parse_recovery, recovery_name, scheme_names, PlanSource,
     SchemeInfo, SchemeSpec,
@@ -66,6 +68,10 @@ pub use rvp_obs::{
 };
 pub use rvp_profile::{Assist, Fig1Row, PlanScope, Profile, ProfileConfig, ReuseLists, SrvpLevel};
 pub use rvp_realloc::{reallocate, ReallocOptions, ReallocOutcome};
+pub use rvp_sample::{
+    combine_weighted, BbvConfig, BbvProfile, BbvProfiler, RepInterval, SamplePlan, SampleSpec,
+    SampleWindow,
+};
 pub use rvp_trace::{
     capture, fnv1a, program_hash, StoreCounters, TraceError, TraceInput, TraceMeta, TraceReader,
     TraceStore, TraceWriter,
@@ -81,4 +87,6 @@ pub use rvp_vpred::{
     GabbayPredictor, LastValuePredictor, LvpConfig, PredictionPlan, ReuseKind, Scope, StrideConfig,
     StridePredictor, TableConfig, ValuePredictor,
 };
-pub use rvp_workloads::{all as all_workloads, by_name, Input, Lang, Workload};
+pub use rvp_workloads::{
+    all as all_workloads, by_name, by_name_or_err, unknown_workload_error, Input, Lang, Workload,
+};

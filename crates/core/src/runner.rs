@@ -8,6 +8,7 @@ use rvp_json::{Json, ToJson};
 use rvp_obs::log;
 use rvp_profile::{Fig1Row, PlanScope, Profile, ProfileConfig};
 use rvp_realloc::{reallocate, ReallocOptions};
+use rvp_sample::{combine_weighted, SamplePlan, SampleSpec};
 use rvp_trace::{TraceInput, TraceMeta, TraceStore};
 use rvp_uarch::TraceColumns;
 use rvp_uarch::{
@@ -16,6 +17,7 @@ use rvp_uarch::{
 };
 use rvp_workloads::{Input, Workload};
 
+use crate::sampling::{build_plan, extract_plan_windows, sample_key, SamplingCaches};
 use crate::schemes::{PlanSource, SchemeSpec};
 
 /// Result of one (workload, scheme) simulation.
@@ -27,22 +29,30 @@ pub struct RunResult {
     pub scheme: String,
     /// Timing and prediction statistics.
     pub stats: SimStats,
+    /// The sampling plan behind the stats, when the cell was measured
+    /// by sampled simulation ([`Runner::sampling`]); `None` for a full
+    /// detailed run.
+    pub sampling: Option<Arc<SamplePlan>>,
 }
 
 impl ToJson for RunResult {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("workload", self.workload.into()),
             ("scheme", self.scheme.as_str().into()),
             ("stats", self.stats.to_json()),
-        ])
+        ];
+        if let Some(plan) = &self.sampling {
+            fields.push(("sampling", plan.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
 /// Cache key for a collected profile: (workload, input, instruction
-/// budget). The program itself is a pure function of (workload, input),
-/// so it needs no separate key component.
-type ProfileKey = (&'static str, Input, u64);
+/// budget, workload scale). The program itself is a pure function of
+/// (workload, input, scale), so it needs no separate key component.
+type ProfileKey = (&'static str, Input, u64, u64);
 
 /// A thread-safe memo of collected [`Profile`]s, shared by clones of a
 /// [`Runner`].
@@ -140,9 +150,10 @@ impl SourceMode {
     }
 }
 
-/// Cache key for a shared decoded trace: (workload, input, budget) —
-/// the same key shape as [`ProfileKey`], and for the same reason.
-type TraceKey = (&'static str, Input, u64);
+/// Cache key for a shared decoded trace: (workload, input, budget,
+/// scale) — the same key shape as [`ProfileKey`], and for the same
+/// reason.
+type TraceKey = (&'static str, Input, u64, u64);
 
 /// One shared-trace entry, locked independently of the map.
 type TraceSlot = Arc<Mutex<Option<Arc<TraceColumns>>>>;
@@ -300,6 +311,21 @@ pub struct Runner {
     pub profile_insts: u64,
     /// Committed-instruction budget for measurement runs.
     pub measure_insts: u64,
+    /// When set, measurement runs are *sampled*: the committed stream
+    /// is BBV-profiled and clustered into phases, one representative
+    /// interval per phase is simulated in detail after functional
+    /// warmup, and whole-run stats are reconstructed by weight. `None`
+    /// (the default) measures every committed instruction in detail.
+    pub sampling: Option<SampleSpec>,
+    /// Multiplier on every workload's outer pass counts
+    /// ([`Workload::program_scaled`]); 1 (the default) is the seed-era
+    /// program. A few hundred reaches the paper's 100M+ committed
+    /// instructions — pair with [`Runner::sampling`] to keep such runs
+    /// tractable.
+    pub workload_scale: u64,
+    /// Memos of sampling plans and extracted windows, shared across
+    /// clones (and therefore across the threads of a parallel grid).
+    pub samples: SamplingCaches,
     /// Memo of collected profiles, shared across clones (and therefore
     /// across the threads of a parallel grid).
     pub profiles: ProfileCache,
@@ -330,6 +356,9 @@ impl Default for Runner {
             threshold: 0.8,
             profile_insts: 1_500_000,
             measure_insts: 400_000,
+            sampling: None,
+            workload_scale: 1,
+            samples: SamplingCaches::default(),
             profiles: ProfileCache::default(),
             traces: TraceStore::from_env(),
             source_mode: SourceMode::default(),
@@ -346,6 +375,11 @@ impl Runner {
         Runner { config: UarchConfig::wide16(), ..Runner::default() }
     }
 
+    /// The workload's program at this runner's [`Runner::workload_scale`].
+    pub fn program_for(&self, wl: &Workload, input: Input) -> Program {
+        wl.program_scaled(input, self.workload_scale)
+    }
+
     /// The train-input profile used by every profile-guided scheme,
     /// memoized in [`Runner::profiles`] (and served from the trace cache
     /// when one is configured).
@@ -354,11 +388,12 @@ impl Runner {
     ///
     /// Propagates emulator errors from a live profiling run.
     pub fn train_profile(&self, wl: &Workload) -> Result<Arc<Profile>, SimError> {
-        self.train_profile_for(wl, &wl.program(Input::Train))
+        self.train_profile_for(wl, &self.program_for(wl, Input::Train))
     }
 
     fn train_profile_for(&self, wl: &Workload, train: &Program) -> Result<Arc<Profile>, SimError> {
-        self.profiles.get_or_collect((wl.name(), Input::Train, self.profile_insts), || {
+        let key = (wl.name(), Input::Train, self.profile_insts, self.workload_scale);
+        self.profiles.get_or_collect(key, || {
             self.collect_profile(wl.name(), Input::Train, train, self.profile_insts)
         })
     }
@@ -403,8 +438,8 @@ impl Runner {
     /// bugs, not expected outcomes.
     pub fn run(&self, wl: &Workload, scheme: &SchemeSpec) -> Result<RunResult, SimError> {
         let info = scheme.info();
-        let mut program = wl.program(Input::Ref);
-        let train = wl.program(Input::Train);
+        let mut program = self.program_for(wl, Input::Ref);
+        let train = self.program_for(wl, Input::Train);
         if program.len() != train.len() {
             return Err(SimError::StructureMismatch {
                 train_len: train.len(),
@@ -454,8 +489,14 @@ impl Runner {
         }
 
         let reallocated = info.plan == PlanSource::Realloc;
-        let stats = self.measure(wl, &program, sim_scheme, reallocated)?;
-        Ok(RunResult { workload: wl.name(), scheme: scheme.label().to_owned(), stats })
+        let (stats, sampling) = match self.sampling {
+            Some(spec) => {
+                let (stats, plan) = self.measure_sampled(wl, &program, sim_scheme, &spec)?;
+                (stats, Some(plan))
+            }
+            None => (self.measure(wl, &program, sim_scheme, reallocated)?, None),
+        };
+        Ok(RunResult { workload: wl.name(), scheme: scheme.label().to_owned(), stats, sampling })
     }
 
     /// Runs one timing simulation, feeding the committed stream per
@@ -492,7 +533,7 @@ impl Runner {
             }
             SourceMode::Replay => {
                 let reader = self.traces.as_ref().and_then(|store| {
-                    let base = wl.program(Input::Ref);
+                    let base = self.program_for(wl, Input::Ref);
                     let meta =
                         TraceMeta::for_program(name, TraceInput::Ref, self.measure_insts, &base);
                     match store.open(&meta) {
@@ -530,6 +571,60 @@ impl Runner {
         }
     }
 
+    /// Runs one *sampled* timing simulation: plan (cached in memory and
+    /// content-addressed on disk next to the trace store), extract the
+    /// representative windows (cached in memory across the workload's
+    /// scheme cells), then per window run functional warmup followed by
+    /// a detailed simulation of just that interval, and reconstruct
+    /// whole-run stats by cluster weight.
+    ///
+    /// Register-reallocated programs need no special casing here: both
+    /// streaming passes emulate `program` itself, and the plan key
+    /// hashes the program text, so a transformed program gets its own
+    /// plan and windows.
+    fn measure_sampled(
+        &self,
+        wl: &Workload,
+        program: &Program,
+        sim_scheme: Scheme,
+        spec: &SampleSpec,
+    ) -> Result<(SimStats, Arc<SamplePlan>), SimError> {
+        let name = wl.name();
+        let (interval, warmup) = spec.resolve(self.measure_insts);
+        let key = sample_key(
+            name,
+            self.measure_insts,
+            rvp_trace::program_hash(program),
+            interval,
+            warmup,
+            spec,
+        );
+        let _span = rvp_obs::span!("runner.measure", { workload: name, source: "sampled" });
+
+        let plan_dir = self.traces.as_ref().map(|s| s.dir().join("plans"));
+        let plan = self.samples.plan(key, plan_dir.as_deref(), || {
+            build_plan(name, program, self.measure_insts, interval, warmup, spec)
+        })?;
+        let windows = self.samples.windows(key, || extract_plan_windows(&plan, program))?;
+
+        let mut parts = Vec::with_capacity(windows.len());
+        for w in windows.iter() {
+            let _span = rvp_obs::span!("sample.interval", {
+                workload: name,
+                index: w.index as u64,
+                start: w.start,
+                insts: w.detail.len() as u64
+            });
+            let mut sim = Simulator::new(self.config.clone(), sim_scheme.clone(), self.recovery);
+            let warm = sim.functional_warmup(program, &w.warmup);
+            let mut source = SharedSource::new(Arc::clone(&w.detail));
+            let stats =
+                sim.run_warmed_with_source(program, &mut source, w.detail.len() as u64, &warm)?;
+            parts.push((w.weight, stats));
+        }
+        Ok((combine_weighted(plan.total_insts, &parts), plan))
+    }
+
     /// The shared decoded ref trace for `wl`, materialized on first use
     /// (per (workload, input, budget) key): decoded from the on-disk
     /// store when one is configured — a decode failure falls back to
@@ -537,27 +632,26 @@ impl Runner {
     /// emulator.
     fn shared_ref_trace(&self, wl: &Workload) -> Result<Arc<TraceColumns>, SimError> {
         let name = wl.name();
-        let (trace, captured) =
-            self.shared_traces.get_or_capture((name, Input::Ref, self.measure_insts), || {
-                let _span = rvp_obs::span!("runner.trace.load", { workload: name });
-                let base = wl.program(Input::Ref);
-                if let Some(store) = &self.traces {
-                    let meta =
-                        TraceMeta::for_program(name, TraceInput::Ref, self.measure_insts, &base);
-                    match store
-                        .open_or_capture(&base, &meta)
-                        .and_then(|reader| reader.collect::<Result<Vec<Committed>, _>>())
-                    {
-                        Ok(records) => return Ok(Arc::new(TraceColumns::from_records(&records))),
-                        Err(e) => log::warn(
-                            "rvp_core::runner",
-                            "trace decode failed; capturing shared trace live",
-                            &[("workload", name.into()), ("error", e.to_string().into())],
-                        ),
-                    }
+        let key = (name, Input::Ref, self.measure_insts, self.workload_scale);
+        let (trace, captured) = self.shared_traces.get_or_capture(key, || {
+            let _span = rvp_obs::span!("runner.trace.load", { workload: name });
+            let base = self.program_for(wl, Input::Ref);
+            if let Some(store) = &self.traces {
+                let meta = TraceMeta::for_program(name, TraceInput::Ref, self.measure_insts, &base);
+                match store
+                    .open_or_capture(&base, &meta)
+                    .and_then(|reader| reader.collect::<Result<Vec<Committed>, _>>())
+                {
+                    Ok(records) => return Ok(Arc::new(TraceColumns::from_records(&records))),
+                    Err(e) => log::warn(
+                        "rvp_core::runner",
+                        "trace decode failed; capturing shared trace live",
+                        &[("workload", name.into()), ("error", e.to_string().into())],
+                    ),
                 }
-                SharedSource::capture(&base, self.measure_insts)
-            })?;
+            }
+            SharedSource::capture(&base, self.measure_insts)
+        })?;
         if captured {
             self.source_counters.bump(name, |t| t.captures += 1);
         }
@@ -579,7 +673,7 @@ impl Runner {
             SourceMode::Shared => self.shared_ref_trace(wl).map(drop),
             SourceMode::Replay => {
                 if let Some(store) = &self.traces {
-                    let base = wl.program(Input::Ref);
+                    let base = self.program_for(wl, Input::Ref);
                     let meta = TraceMeta::for_program(
                         wl.name(),
                         TraceInput::Ref,
@@ -611,11 +705,11 @@ impl Runner {
     ///
     /// Propagates emulator errors.
     pub fn fig1(&self, wl: &Workload) -> Result<Fig1Row, SimError> {
-        let program = wl.program(Input::Ref);
-        let profile =
-            self.profiles.get_or_collect((wl.name(), Input::Ref, self.measure_insts), || {
-                self.collect_profile(wl.name(), Input::Ref, &program, self.measure_insts)
-            })?;
+        let program = self.program_for(wl, Input::Ref);
+        let key = (wl.name(), Input::Ref, self.measure_insts, self.workload_scale);
+        let profile = self.profiles.get_or_collect(key, || {
+            self.collect_profile(wl.name(), Input::Ref, &program, self.measure_insts)
+        })?;
         Ok(profile.fig1())
     }
 }
@@ -646,6 +740,16 @@ pub fn grid_config_fnv(workloads: &[Workload], schemes: &[SchemeSpec], runner: &
         runner.threshold,
         runner.recovery,
     ));
+    // Sampled and scaled configurations extend the key *only when
+    // active*, so every pre-sampling fingerprint — and the manifests
+    // and cached results journalled under them — stays valid.
+    if let Some(spec) = &runner.sampling {
+        key.push('|');
+        key.push_str(&spec.fingerprint_component());
+    }
+    if runner.workload_scale > 1 {
+        key.push_str(&format!("|scale={}", runner.workload_scale));
+    }
     rvp_trace::fnv1a(key.as_bytes())
 }
 
@@ -819,6 +923,144 @@ mod tests {
         assert_eq!(st, SourceTally { captures: 1, shared_hits: 2, live_fallbacks: 1 });
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Paper-scale methodology gate: for every paper scheme, sampled
+    /// measurement must land within 2% relative IPC error of the full
+    /// detailed run on multiple workloads.
+    #[test]
+    fn sampled_ipc_tracks_full_ipc_for_all_paper_schemes() {
+        let full = quick_runner();
+        let sampled = Runner {
+            sampling: Some(SampleSpec {
+                interval_insts: 20_000,
+                max_k: 4,
+                ..SampleSpec::default()
+            }),
+            ..quick_runner()
+        };
+        for name in ["m88ksim", "ijpeg"] {
+            let wl = by_name(name).unwrap();
+            for scheme in crate::schemes::paper_schemes() {
+                let want = full.run(&wl, &scheme).unwrap();
+                let got = sampled.run(&wl, &scheme).unwrap();
+                let plan = got.sampling.as_ref().expect("sampled cell must carry its plan");
+                assert!(
+                    plan.sampled_insts() < full.measure_insts,
+                    "{name}/{}: plan simulates the whole run in detail",
+                    scheme.label()
+                );
+                assert_eq!(got.stats.committed, want.stats.committed);
+                let err = (got.stats.ipc() - want.stats.ipc()).abs() / want.stats.ipc();
+                assert!(
+                    err <= 0.02,
+                    "{name}/{}: sampled IPC {:.4} vs full {:.4} ({:.2}% error)",
+                    scheme.label(),
+                    got.stats.ipc(),
+                    want.stats.ipc(),
+                    100.0 * err
+                );
+            }
+        }
+    }
+
+    /// Sampled cells reconstruct a CPI stack that still sums to the
+    /// cycle count, and the plan/window memos are shared across scheme
+    /// cells of a workload.
+    #[test]
+    fn sampled_cells_share_one_plan_per_workload() {
+        let r = Runner {
+            sampling: Some(SampleSpec { interval_insts: 20_000, ..SampleSpec::default() }),
+            ..quick_runner()
+        };
+        let wl = by_name("li").unwrap();
+        let a = r.run(&wl, &spec("no_predict")).unwrap();
+        let b = r.run(&wl, &spec("drvp_all")).unwrap();
+        assert_eq!(a.sampling, b.sampling, "scheme cells must share the workload's plan");
+        assert_eq!(r.samples.plans_len(), 1);
+        assert_eq!(r.samples.windows_len(), 1);
+        for res in [&a, &b] {
+            let s = &res.stats;
+            let stack = s.cpi.base
+                + s.cpi.reissue
+                + s.cpi.dcache
+                + s.cpi.queue_full
+                + s.cpi.value_refetch
+                + s.cpi.branch_mispredict
+                + s.cpi.icache
+                + s.cpi.fetch_stall;
+            assert_eq!(s.cycles, stack, "combined CPI stack must sum to cycles");
+        }
+        // The reallocated variant transforms the program, so it gets
+        // its own plan under a distinct content key.
+        r.run(&wl, &spec("drvp_all_realloc")).unwrap();
+        assert_eq!(r.samples.plans_len(), 2);
+    }
+
+    /// The sampling plan is persisted content-addressed next to the
+    /// trace store and reloaded by a fresh runner; a corrupt file is
+    /// rebuilt, not trusted.
+    #[test]
+    fn sample_plan_is_cached_on_disk_and_reloaded() {
+        let dir = std::env::temp_dir().join(format!("rvp-runner-plan-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::new(&dir).unwrap();
+        let wl = by_name("li").unwrap();
+        let sampled = || Runner {
+            traces: Some(store.clone()),
+            sampling: Some(SampleSpec { interval_insts: 20_000, ..SampleSpec::default() }),
+            ..quick_runner()
+        };
+
+        let first = sampled().run(&wl, &spec("no_predict")).unwrap();
+        let plans: Vec<_> = std::fs::read_dir(dir.join("plans"))
+            .expect("plan dir exists after a sampled run")
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(plans.len(), 1, "one content-addressed plan file");
+
+        // A fresh runner (cold in-memory caches) must load the same
+        // plan from disk.
+        let reloaded = sampled().run(&wl, &spec("no_predict")).unwrap();
+        assert_eq!(first.sampling, reloaded.sampling);
+        assert_eq!(first.stats, reloaded.stats);
+
+        // Corruption is detected (plans are parsed, not trusted) and
+        // the plan is rebuilt to the same content.
+        std::fs::write(&plans[0], b"{ not a plan").unwrap();
+        let rebuilt = sampled().run(&wl, &spec("no_predict")).unwrap();
+        assert_eq!(first.sampling, rebuilt.sampling);
+        assert_eq!(first.stats, rebuilt.stats);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Sampled and scaled grids must never share a fingerprint with
+    /// detailed seed-era grids (resume and the serve result cache key
+    /// on it) — while an inactive sampling/scale config leaves the
+    /// seed-era fingerprint untouched.
+    #[test]
+    fn sampled_and_scaled_cells_fingerprint_distinctly() {
+        let wls = vec![by_name("li").unwrap()];
+        let schemes = vec![spec("no_predict")];
+        let base = quick_runner();
+        let sampled = Runner { sampling: Some(SampleSpec::default()), ..quick_runner() };
+        let scaled = Runner { workload_scale: 8, ..quick_runner() };
+        let both =
+            Runner { sampling: Some(SampleSpec::default()), workload_scale: 8, ..quick_runner() };
+        let f = |r: &Runner| grid_config_fnv(&wls, &schemes, r);
+        let fps = [f(&base), f(&sampled), f(&scaled), f(&both)];
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "fingerprints {i} and {j} collide");
+            }
+        }
+        // Different sampling knobs → different fingerprints too.
+        let other_spec = Runner {
+            sampling: Some(SampleSpec { max_k: 3, ..SampleSpec::default() }),
+            ..quick_runner()
+        };
+        assert_ne!(f(&sampled), f(&other_spec));
     }
 
     /// The columnar (SoA) trace view must be bit-identical, record for

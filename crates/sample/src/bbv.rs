@@ -1,0 +1,334 @@
+//! Streaming basic-block-vector (BBV) interval profiling.
+//!
+//! A basic block is a run of committed instructions between control
+//! transfers; the stream is sliced into fixed-size intervals and each
+//! interval is summarized by how many instructions it spent in each
+//! block (execution frequency × block length, the SimPoint weighting).
+//! Storing one dimension per static block would make clustering cost
+//! grow with program size, so each block's contribution is pushed
+//! through a fixed random ±1 projection into [`BbvConfig::dims`]
+//! dimensions as it streams by — the classic dimensionality reduction
+//! from the SimPoint line of work, which preserves relative distances
+//! well enough for phase discovery.
+//!
+//! The profiler is a pure streaming consumer: feed it `(pc, next_pc)`
+//! pairs in commit order via [`BbvProfiler::observe`] and call
+//! [`BbvProfiler::finish`]. It never buffers the stream, so profiling a
+//! 100M-instruction run costs one dense counter increment per
+//! instruction plus a per-interval projection flush.
+
+use rvp_json::Json;
+
+/// Parameters of a BBV profiling pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BbvConfig {
+    /// Committed instructions per interval.
+    pub interval_insts: u64,
+    /// Projected dimensionality (SimPoint uses 15; 16 keeps the
+    /// accumulators a power of two).
+    pub dims: usize,
+    /// Seed of the random projection. Part of the plan's content
+    /// address: two passes with the same seed project identically.
+    pub seed: u64,
+}
+
+impl Default for BbvConfig {
+    fn default() -> BbvConfig {
+        BbvConfig { interval_insts: 100_000, dims: 16, seed: 0x5a6d_9f21 }
+    }
+}
+
+/// The profile of one run: one projected, L2-normalized vector per
+/// interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BbvProfile {
+    /// Interval size the profile was collected at.
+    pub interval_insts: u64,
+    /// Projected dimensionality.
+    pub dims: usize,
+    /// Projection seed.
+    pub seed: u64,
+    /// One unit vector per interval, in stream order.
+    pub vectors: Vec<Vec<f64>>,
+    /// Committed instructions in each interval (only the final interval
+    /// may be short).
+    pub lens: Vec<u64>,
+    /// Total committed instructions observed.
+    pub total_insts: u64,
+}
+
+impl BbvProfile {
+    /// JSON form; [`BbvProfile::from_json`] round-trips it.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("interval_insts", self.interval_insts.into()),
+            ("dims", (self.dims as u64).into()),
+            ("seed", self.seed.into()),
+            ("total_insts", self.total_insts.into()),
+            ("lens", Json::arr(self.lens.iter().map(|&l| Json::from(l)))),
+            (
+                "vectors",
+                Json::arr(self.vectors.iter().map(|v| Json::arr(v.iter().map(|&x| Json::from(x))))),
+            ),
+        ])
+    }
+
+    /// Parses [`BbvProfile::to_json`] back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<BbvProfile, String> {
+        let field = |k: &str| j.get(k).ok_or_else(|| format!("missing {k:?}"));
+        let num = |k: &str| field(k)?.as_u64().ok_or_else(|| format!("{k:?} must be an integer"));
+        let vectors = field("vectors")?
+            .as_arr()
+            .ok_or("\"vectors\" must be an array")?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .ok_or("vector rows must be arrays")?
+                    .iter()
+                    .map(|x| x.as_f64().ok_or("vector entries must be numbers".to_owned()))
+                    .collect()
+            })
+            .collect::<Result<Vec<Vec<f64>>, String>>()?;
+        let lens = field("lens")?
+            .as_arr()
+            .ok_or("\"lens\" must be an array")?
+            .iter()
+            .map(|x| x.as_u64().ok_or("lens entries must be integers".to_owned()))
+            .collect::<Result<Vec<u64>, String>>()?;
+        if lens.len() != vectors.len() {
+            return Err(format!("{} vectors but {} lens", vectors.len(), lens.len()));
+        }
+        Ok(BbvProfile {
+            interval_insts: num("interval_insts")?,
+            dims: num("dims")? as usize,
+            seed: num("seed")?,
+            vectors,
+            lens,
+            total_insts: num("total_insts")?,
+        })
+    }
+}
+
+/// Streaming BBV profiler; see the module docs for the data flow.
+#[derive(Debug)]
+pub struct BbvProfiler {
+    cfg: BbvConfig,
+    /// Per-static-instruction projection cache: `dims` signs for the
+    /// block led by each PC, filled lazily on first execution.
+    projections: Vec<Option<Box<[f64]>>>,
+    /// Instructions attributed to each block leader in the current
+    /// interval (dense, indexed by leader PC).
+    counts: Vec<u64>,
+    /// Leaders touched this interval (sparse companion to `counts`).
+    touched: Vec<usize>,
+    /// Leader of the block the stream is currently inside.
+    leader: usize,
+    /// The previous record was a control transfer (its `next_pc` was not
+    /// its fall-through successor), so the current record starts a block.
+    prev_transferred: bool,
+    /// PCs known to lead a block (targets seen at least once), so a
+    /// fall-through *into* a branch target still starts a new block and
+    /// leadership is stable across approach orders.
+    is_leader: Vec<bool>,
+    in_interval: u64,
+    total: u64,
+    vectors: Vec<Vec<f64>>,
+    lens: Vec<u64>,
+}
+
+impl BbvProfiler {
+    /// A profiler for a program of `program_len` static instructions.
+    pub fn new(program_len: usize, cfg: BbvConfig) -> BbvProfiler {
+        assert!(cfg.interval_insts > 0, "interval size must be positive");
+        assert!(cfg.dims > 0, "projected dimensionality must be positive");
+        BbvProfiler {
+            projections: vec![None; program_len],
+            counts: vec![0; program_len],
+            touched: Vec::new(),
+            leader: 0,
+            prev_transferred: true,
+            is_leader: vec![false; program_len],
+            in_interval: 0,
+            total: 0,
+            vectors: Vec::new(),
+            lens: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Feeds one committed instruction: its PC and the PC of the next
+    /// committed instruction (the pair every `Committed` record carries).
+    pub fn observe(&mut self, pc: usize, next_pc: usize) {
+        // A block starts after a control transfer (the previous record
+        // did not fall through), or at a PC some transfer has targeted
+        // before — without the latter, a straight-line run *into* a loop
+        // head would merge with the loop body depending on approach
+        // order.
+        if self.prev_transferred || self.is_leader[pc] {
+            self.leader = pc;
+            self.is_leader[pc] = true;
+        }
+        self.prev_transferred = next_pc != pc + 1;
+        if self.counts[self.leader] == 0 {
+            self.touched.push(self.leader);
+        }
+        self.counts[self.leader] += 1;
+        self.in_interval += 1;
+        self.total += 1;
+        if self.in_interval == self.cfg.interval_insts {
+            self.flush_interval();
+        }
+    }
+
+    /// Projects and normalizes the finished interval.
+    fn flush_interval(&mut self) {
+        let mut v = vec![0.0f64; self.cfg.dims];
+        let (seed, dims) = (self.cfg.seed, self.cfg.dims);
+        for &leader in &self.touched {
+            let proj = self.projections[leader].get_or_insert_with(|| {
+                (0..dims).map(|d| projection_sign(seed, leader, d)).collect()
+            });
+            let n = self.counts[leader] as f64;
+            for (acc, &p) in v.iter_mut().zip(proj.iter()) {
+                *acc += n * p;
+            }
+            self.counts[leader] = 0;
+        }
+        self.touched.clear();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        self.vectors.push(v);
+        self.lens.push(self.in_interval);
+        self.in_interval = 0;
+    }
+
+    /// Finishes the pass. A trailing partial interval shorter than half
+    /// the interval size is folded into statistics (total, lens) but
+    /// kept as a clusterable vector only when it is at least half full —
+    /// a tiny tail is not a phase, and letting it form its own cluster
+    /// would waste a representative on noise.
+    pub fn finish(mut self) -> BbvProfile {
+        if self.in_interval >= self.cfg.interval_insts.div_ceil(2) {
+            self.flush_interval();
+        } else if self.in_interval > 0 {
+            // Attribute the tail's instructions to the last full
+            // interval's weight so the lens still sum to the total.
+            if let Some(last) = self.lens.last_mut() {
+                *last += self.in_interval;
+            } else {
+                // The whole run was shorter than half an interval:
+                // profile it as a single (only) interval.
+                self.flush_interval();
+            }
+        }
+        BbvProfile {
+            interval_insts: self.cfg.interval_insts,
+            dims: self.cfg.dims,
+            seed: self.cfg.seed,
+            vectors: self.vectors,
+            lens: self.lens,
+            total_insts: self.total,
+        }
+    }
+}
+
+/// The fixed ±1 projection entry for `(leader, dim)` under `seed`
+/// (splitmix64 finalizer over the packed key).
+fn projection_sign(seed: u64, leader: usize, dim: usize) -> f64 {
+    let mut z = seed ^ (leader as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ ((dim as u64) << 56);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    if z & 1 == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_of(stream: &[(usize, usize)], interval: u64) -> BbvProfile {
+        let cfg = BbvConfig { interval_insts: interval, ..BbvConfig::default() };
+        let len = stream.iter().map(|&(pc, _)| pc + 1).max().unwrap_or(1);
+        let mut p = BbvProfiler::new(len, cfg);
+        for &(pc, next) in stream {
+            p.observe(pc, next);
+        }
+        p.finish()
+    }
+
+    /// A simple two-phase stream: a loop over block A, then over block B.
+    fn two_phase(n: usize) -> Vec<(usize, usize)> {
+        let mut s = Vec::new();
+        for _ in 0..n {
+            s.extend([(0, 1), (1, 2), (2, 0)]);
+        }
+        for _ in 0..n {
+            s.extend([(10, 11), (11, 12), (12, 10)]);
+        }
+        s
+    }
+
+    #[test]
+    fn intervals_are_unit_vectors_and_lens_sum_to_total() {
+        let p = profile_of(&two_phase(1000), 300);
+        assert_eq!(p.total_insts, 6000);
+        assert_eq!(p.lens.iter().sum::<u64>(), 6000);
+        for v in &p.vectors {
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "norm {norm}");
+        }
+    }
+
+    #[test]
+    fn phases_project_to_distinct_vectors() {
+        let p = profile_of(&two_phase(1000), 300);
+        // Intervals inside the same phase are identical; across phases
+        // they differ.
+        let first = &p.vectors[0];
+        let last = &p.vectors[p.vectors.len() - 1];
+        let d2: f64 = first.iter().zip(last).map(|(a, b)| (a - b) * (a - b)).sum();
+        assert!(d2 > 0.5, "phases too close: {d2}");
+        let second = &p.vectors[1];
+        let d2same: f64 = first.iter().zip(second).map(|(a, b)| (a - b) * (a - b)).sum();
+        assert!(d2same < 1e-9, "same phase drifted: {d2same}");
+    }
+
+    #[test]
+    fn profiling_is_deterministic() {
+        let a = profile_of(&two_phase(500), 250);
+        let b = profile_of(&two_phase(500), 250);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn short_tail_folds_into_the_previous_interval() {
+        // 10 full intervals of 100 plus a 3-instruction tail.
+        let mut s = Vec::new();
+        for _ in 0..1003 {
+            s.push((0, 0));
+        }
+        let p = profile_of(&s, 100);
+        assert_eq!(p.vectors.len(), 10);
+        assert_eq!(p.lens.iter().sum::<u64>(), 1003);
+        assert_eq!(*p.lens.last().unwrap(), 103);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = profile_of(&two_phase(200), 150);
+        let back = BbvProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,152 @@
+//! Weighted reconstruction of whole-run statistics from per-interval
+//! detailed runs.
+//!
+//! Each sampled interval's [`SimStats`] stands for its cluster's share
+//! of the full run. Every counter is scaled by
+//! `weight * total_insts / interval_committed` — the number of
+//! instructions the interval represents over the number it actually
+//! ran — and summed. Cycles are reconstructed *bucket-wise* through the
+//! CPI stack and then re-summed, so the combined stack still sums
+//! exactly to the combined cycle count (the invariant every detailed
+//! run guarantees and the reports rely on).
+
+use rvp_uarch::SimStats;
+
+/// Folds per-interval stats into a whole-run estimate for a run of
+/// `total_insts` committed instructions. `parts` pairs each interval's
+/// whole-run weight with its detailed stats; weights should sum to ~1.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty or any part committed zero instructions —
+/// both mean the sampling plan upstream was broken, not a stats
+/// question this function can answer.
+pub fn combine_weighted(total_insts: u64, parts: &[(f64, SimStats)]) -> SimStats {
+    assert!(!parts.is_empty(), "cannot combine zero sampled intervals");
+    let factors: Vec<f64> = parts
+        .iter()
+        .map(|(w, s)| {
+            assert!(s.committed > 0, "sampled interval committed nothing");
+            w * total_insts as f64 / s.committed as f64
+        })
+        .collect();
+    let sum = |get: &dyn Fn(&SimStats) -> u64| -> u64 {
+        parts.iter().zip(&factors).map(|((_, s), f)| get(s) as f64 * f).sum::<f64>().round() as u64
+    };
+
+    let mut out = SimStats {
+        committed: total_insts,
+        loads: sum(&|s| s.loads),
+        predictions: sum(&|s| s.predictions),
+        correct_predictions: sum(&|s| s.correct_predictions),
+        costly_mispredictions: sum(&|s| s.costly_mispredictions),
+        squashes: sum(&|s| s.squashes),
+        squashed_insts: sum(&|s| s.squashed_insts),
+        reissued_insts: sum(&|s| s.reissued_insts),
+        fetch_stall_cycles: sum(&|s| s.fetch_stall_cycles),
+        iq_int_occupancy_sum: sum(&|s| s.iq_int_occupancy_sum),
+        iq_fp_occupancy_sum: sum(&|s| s.iq_fp_occupancy_sum),
+        ..SimStats::default()
+    };
+    out.branch.cond_branches = sum(&|s| s.branch.cond_branches);
+    out.branch.cond_mispredicts = sum(&|s| s.branch.cond_mispredicts);
+    out.branch.target_mispredicts = sum(&|s| s.branch.target_mispredicts);
+    out.branch.returns = sum(&|s| s.branch.returns);
+    out.branch.return_mispredicts = sum(&|s| s.branch.return_mispredicts);
+    out.mem.l1i.accesses = sum(&|s| s.mem.l1i.accesses);
+    out.mem.l1i.misses = sum(&|s| s.mem.l1i.misses);
+    out.mem.l1d.accesses = sum(&|s| s.mem.l1d.accesses);
+    out.mem.l1d.misses = sum(&|s| s.mem.l1d.misses);
+    out.mem.l2.accesses = sum(&|s| s.mem.l2.accesses);
+    out.mem.l2.misses = sum(&|s| s.mem.l2.misses);
+    out.mem.itlb_misses = sum(&|s| s.mem.itlb_misses);
+    out.mem.dtlb_misses = sum(&|s| s.mem.dtlb_misses);
+    out.cpi.base = sum(&|s| s.cpi.base);
+    out.cpi.reissue = sum(&|s| s.cpi.reissue);
+    out.cpi.dcache = sum(&|s| s.cpi.dcache);
+    out.cpi.queue_full = sum(&|s| s.cpi.queue_full);
+    out.cpi.value_refetch = sum(&|s| s.cpi.value_refetch);
+    out.cpi.branch_mispredict = sum(&|s| s.cpi.branch_mispredict);
+    out.cpi.icache = sum(&|s| s.cpi.icache);
+    out.cpi.fetch_stall = sum(&|s| s.cpi.fetch_stall);
+    // Cycles come from the buckets, not an independent rounding, so the
+    // CPI-stack invariant (buckets sum to cycles) survives combination.
+    out.cycles = out.cpi.base
+        + out.cpi.reissue
+        + out.cpi.dcache
+        + out.cpi.queue_full
+        + out.cpi.value_refetch
+        + out.cpi.branch_mispredict
+        + out.cpi.icache
+        + out.cpi.fetch_stall;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(committed: u64, base: u64, dcache: u64, preds: u64) -> SimStats {
+        let mut s = SimStats {
+            committed,
+            loads: committed / 4,
+            predictions: preds,
+            correct_predictions: preds / 2,
+            fetch_stall_cycles: 3,
+            ..SimStats::default()
+        };
+        s.cpi.base = base;
+        s.cpi.dcache = dcache;
+        s.cycles = base + dcache;
+        s.branch.cond_branches = committed / 10;
+        s.mem.l1d.accesses = committed / 4;
+        s.mem.l1d.misses = committed / 40;
+        s
+    }
+
+    #[test]
+    fn single_full_weight_part_scales_linearly() {
+        let part = stats(1_000, 400, 100, 200);
+        let whole = combine_weighted(10_000, &[(1.0, part.clone())]);
+        assert_eq!(whole.committed, 10_000);
+        assert_eq!(whole.cycles, 5_000);
+        assert_eq!(whole.predictions, 2_000);
+        assert_eq!(whole.mem.l1d.misses, 250);
+        assert!((whole.ipc() - part.ipc()).abs() < 1e-12, "IPC is scale-invariant");
+    }
+
+    #[test]
+    fn cpi_stack_sums_to_cycles_after_weighting() {
+        // Weights and committed counts chosen so per-bucket scale
+        // factors are non-integral.
+        let parts = vec![(0.6, stats(997, 401, 99, 10)), (0.4, stats(1_003, 777, 3, 500))];
+        let whole = combine_weighted(123_457, &parts);
+        let stack_sum = whole.cpi.base
+            + whole.cpi.reissue
+            + whole.cpi.dcache
+            + whole.cpi.queue_full
+            + whole.cpi.value_refetch
+            + whole.cpi.branch_mispredict
+            + whole.cpi.icache
+            + whole.cpi.fetch_stall;
+        assert_eq!(whole.cycles, stack_sum);
+        assert_eq!(whole.committed, 123_457);
+    }
+
+    #[test]
+    fn weights_blend_phase_behaviour() {
+        // Phase A: IPC 2.0; phase B: IPC 0.5. A 50/50 blend lands at
+        // CPI (0.5 + 2.0) / 2 = 1.25 → IPC 0.8.
+        let a = stats(1_000, 500, 0, 0);
+        let b = stats(1_000, 2_000, 0, 0);
+        let whole = combine_weighted(2_000, &[(0.5, a), (0.5, b)]);
+        assert_eq!(whole.cycles, 2_500);
+        assert!((whole.ipc() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot combine zero sampled intervals")]
+    fn empty_parts_are_rejected() {
+        let _ = combine_weighted(1_000, &[]);
+    }
+}

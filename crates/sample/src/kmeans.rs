@@ -1,0 +1,265 @@
+//! Seeded, fully deterministic k-means with a BIC-guided choice of k.
+//!
+//! Clustering runs once per (workload, sampling-config) pair and its
+//! output is content-addressed and journaled, so determinism is a hard
+//! requirement: the same points and seed must yield bit-identical
+//! centroids and assignments on every machine. All randomness comes
+//! from a local splitmix64 generator — no global RNG, no HashMap
+//! iteration order — and every tie (equidistant centroids, equal BIC)
+//! breaks toward the lowest index.
+//!
+//! The k selection follows the SimPoint recipe: score k = 1..=max_k
+//! with the Bayesian Information Criterion under a spherical-Gaussian
+//! model (X-means' formulation) and pick the *smallest* k whose score
+//! reaches 90% of the observed BIC range — more clusters always fit
+//! better, so "best BIC" alone would pin k at max_k.
+
+/// Result of one clustering: `assignments[i]` is the cluster of point
+/// `i`, `centroids[c]` its center, `inertia` the summed squared
+/// distance of points to their centroids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kmeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Cluster centers, `k` rows.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared point-to-centroid distances.
+    pub inertia: f64,
+}
+
+/// splitmix64: the statelessly-seedable generator used for k-means++
+/// sampling. Deterministic and dependency-free.
+#[derive(Debug, Clone)]
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Lloyd iterations stop after this many rounds even without
+/// convergence (they essentially always converge much earlier).
+const MAX_ITERS: usize = 64;
+
+/// Clusters `points` into `k` groups with k-means++ seeding and Lloyd
+/// refinement. Deterministic in (`points`, `k`, `seed`).
+///
+/// # Panics
+///
+/// Panics if `points` is empty, `k` is zero, or the points have
+/// mismatched dimensionality.
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Kmeans {
+    assert!(!points.is_empty(), "cannot cluster zero points");
+    assert!(k > 0, "k must be positive");
+    let k = k.min(points.len());
+    let dims = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dims), "mismatched dimensionality");
+    let mut rng = SplitMix(seed ^ 0x6b6d_6561_6e73); // "kmeans"
+
+    // k-means++ seeding: first center uniform, then proportional to
+    // squared distance from the nearest chosen center.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[(rng.next_u64() % points.len() as u64) as usize].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining mass is on chosen centers (duplicate
+            // points): fall back to a uniform pick.
+            (rng.next_u64() % points.len() as u64) as usize
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut pick = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    pick = i;
+                    break;
+                }
+                target -= w;
+            }
+            pick
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = dist2(p, &centroids[centroids.len() - 1]);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+
+    // Lloyd refinement.
+    let mut assignments = vec![0usize; points.len()];
+    for _ in 0..MAX_ITERS {
+        let mut moved = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = (0usize, f64::INFINITY);
+            for (c, center) in centroids.iter().enumerate() {
+                let d = dist2(p, center);
+                // Strict `<` breaks distance ties toward the lowest
+                // cluster index.
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            if assignments[i] != best.0 {
+                assignments[i] = best.0;
+                moved = true;
+            }
+        }
+        let mut sums = vec![vec![0.0f64; dims]; centroids.len()];
+        let mut counts = vec![0u64; centroids.len()];
+        for (p, &c) in points.iter().zip(&assignments) {
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (c, sum) in sums.into_iter().enumerate() {
+            if counts[c] > 0 {
+                centroids[c] = sum.into_iter().map(|s| s / counts[c] as f64).collect();
+            }
+            // An emptied cluster keeps its old center; the BIC layer
+            // prefers smaller k anyway, so we do not re-seed it.
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    let inertia = points.iter().zip(&assignments).map(|(p, &c)| dist2(p, &centroids[c])).sum();
+    Kmeans { k: centroids.len(), centroids, assignments, inertia }
+}
+
+/// The X-means BIC of a clustering under a spherical-Gaussian model
+/// (larger is better).
+fn bic(points: &[Vec<f64>], km: &Kmeans) -> f64 {
+    let r = points.len() as f64;
+    let d = points[0].len() as f64;
+    let k = km.k as f64;
+    // Maximum-likelihood variance, floored so duplicate-point degenerate
+    // clusterings stay finite.
+    let sigma2 = (km.inertia / (r - k).max(1.0)).max(1e-12);
+    let mut counts = vec![0u64; km.k];
+    for &c in &km.assignments {
+        counts[c] += 1;
+    }
+    let loglik: f64 = counts
+        .iter()
+        .filter(|&&n| n > 0)
+        .map(|&n| {
+            let rn = n as f64;
+            rn * (rn / r).ln() - rn * d / 2.0 * (2.0 * std::f64::consts::PI * sigma2).ln()
+        })
+        .sum::<f64>()
+        - (r - k) * d / 2.0;
+    let params = k * (d + 1.0);
+    loglik - params / 2.0 * r.ln()
+}
+
+/// Clusters `points` for each k in `1..=max_k` and returns the
+/// clustering at the *smallest* k whose BIC reaches 90% of the observed
+/// BIC range — the SimPoint selection rule. Deterministic in
+/// (`points`, `max_k`, `seed`).
+///
+/// # Panics
+///
+/// As [`kmeans`].
+pub fn choose_k(points: &[Vec<f64>], max_k: usize, seed: u64) -> Kmeans {
+    let max_k = max_k.clamp(1, points.len());
+    let runs: Vec<Kmeans> = (1..=max_k).map(|k| kmeans(points, k, seed)).collect();
+    let scores: Vec<f64> = runs.iter().map(|km| bic(points, km)).collect();
+    let lo = scores.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let threshold = if hi > lo { lo + 0.9 * (hi - lo) } else { lo };
+    let pick = scores.iter().position(|&s| s >= threshold).unwrap_or(scores.len() - 1);
+    runs.into_iter().nth(pick).expect("pick is in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three tight, well-separated blobs on a line (deterministic).
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for center in [0.0, 10.0, 20.0] {
+            for i in 0..20 {
+                let jitter = (i as f64 - 9.5) / 100.0;
+                pts.push(vec![center + jitter, center - jitter]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn fixed_seed_fixed_clustering() {
+        let pts = blobs();
+        let a = kmeans(&pts, 3, 42);
+        let b = kmeans(&pts, 3, 42);
+        assert_eq!(a, b, "same seed must reproduce bit-identical output");
+        // Pin the exact assignment layout: blob membership must match
+        // exactly (labels may permute across seeds but not across runs).
+        assert_eq!(a.assignments[..20], [a.assignments[0]; 20]);
+        assert_eq!(a.assignments[20..40], [a.assignments[20]; 20]);
+        assert_eq!(a.assignments[40..60], [a.assignments[40]; 20]);
+        assert!(a.inertia < 0.5, "tight blobs, inertia {}", a.inertia);
+    }
+
+    #[test]
+    fn centroids_land_on_blob_centers() {
+        let pts = blobs();
+        let km = kmeans(&pts, 3, 7);
+        let mut firsts: Vec<f64> = km.centroids.iter().map(|c| c[0]).collect();
+        firsts.sort_by(f64::total_cmp);
+        for (got, want) in firsts.iter().zip([0.0, 10.0, 20.0]) {
+            assert!((got - want).abs() < 0.1, "centroid {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn bic_recovers_the_true_cluster_count() {
+        let km = choose_k(&blobs(), 8, 1);
+        assert_eq!(km.k, 3, "BIC should find the three blobs");
+    }
+
+    #[test]
+    fn choose_k_handles_degenerate_inputs() {
+        // One point, duplicate points, k larger than the point count.
+        let one = choose_k(&[vec![1.0, 2.0]], 5, 3);
+        assert_eq!(one.k, 1);
+        let dup = choose_k(&vec![vec![4.0]; 10], 4, 3);
+        assert_eq!(dup.k, 1, "identical points are one phase");
+        let km = kmeans(&[vec![0.0], vec![1.0]], 5, 9);
+        assert!(km.k <= 2);
+    }
+
+    #[test]
+    fn different_seeds_may_permute_but_cover_identically() {
+        let pts = blobs();
+        for seed in [1u64, 2, 3, 999] {
+            let km = kmeans(&pts, 3, seed);
+            // Every blob stays within one cluster.
+            for blob in 0..3 {
+                let base = km.assignments[blob * 20];
+                assert!(km.assignments[blob * 20..(blob + 1) * 20].iter().all(|&c| c == base));
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Second streaming pass: extract each representative interval (plus
+//! its functional-warmup prefix) from the committed stream into
+//! shareable in-memory trace columns.
+//!
+//! Only the planned windows are materialized — a 100M-instruction run
+//! with a handful of 250K-instruction representatives keeps a few MB in
+//! memory instead of the ~3.4GB a full [`TraceColumns`] would need.
+//! Detail records are re-based to seq 0 so each window is a
+//! self-contained committed stream any [`rvp_uarch::SharedSource`] can
+//! serve (the columns' `from_records` requires consecutive seqs from
+//! zero, and the timing core asserts stream contiguity).
+
+use std::sync::Arc;
+
+use rvp_emu::Committed;
+use rvp_uarch::TraceColumns;
+
+use crate::plan::SamplePlan;
+
+/// One representative interval, materialized.
+#[derive(Debug, Clone)]
+pub struct SampleWindow {
+    /// Index of the interval in the profiled stream.
+    pub index: usize,
+    /// First committed seq of the detail interval in the full stream.
+    pub start: u64,
+    /// Whole-run instruction share this window's stats stand for.
+    pub weight: f64,
+    /// Cluster the representative was drawn from.
+    pub cluster: usize,
+    /// Functional-warmup records (original seqs), immediately preceding
+    /// `start`; shorter than the plan's window at the stream head.
+    pub warmup: Arc<Vec<Committed>>,
+    /// The detail interval, re-based to seq 0.
+    pub detail: Arc<TraceColumns>,
+}
+
+/// Extracts every planned window from `records` (the committed stream
+/// in order, e.g. an emulator or trace-reader iterator). Stops pulling
+/// as soon as the last planned window is complete.
+///
+/// # Errors
+///
+/// Propagates the first stream error.
+///
+/// # Panics
+///
+/// Panics if the stream ends before a planned window does — the plan
+/// was built from the same stream, so that means the caller replayed a
+/// different (shorter) run than the one profiled.
+pub fn extract_windows<E>(
+    plan: &SamplePlan,
+    records: impl Iterator<Item = Result<Committed, E>>,
+) -> Result<Vec<SampleWindow>, E> {
+    let _span = rvp_obs::span!("sample.extract", {
+        windows: plan.intervals.len() as u64,
+        replayed: plan.replayed_insts()
+    });
+    // (warmup range, detail range) per representative, in stream order.
+    struct Pending {
+        warmup_start: u64,
+        detail_start: u64,
+        detail_end: u64,
+        warmup: Vec<Committed>,
+        detail: Vec<Committed>,
+    }
+    let mut pending: Vec<Pending> = plan
+        .intervals
+        .iter()
+        .map(|r| Pending {
+            warmup_start: r.start.saturating_sub(plan.warmup_insts),
+            detail_start: r.start,
+            detail_end: r.start + r.len,
+            warmup: Vec::new(),
+            detail: Vec::with_capacity(r.len as usize),
+        })
+        .collect();
+    let last_end = pending.last().map_or(0, |p| p.detail_end);
+
+    // A record can belong to several windows (an adjacent
+    // representative's detail range overlaps the next one's warmup
+    // range when warmup spans a whole interval), so each record is
+    // offered to every still-open window.
+    for (i, rec) in records.enumerate() {
+        let seq = i as u64;
+        if seq >= last_end {
+            break;
+        }
+        let rec = rec?;
+        debug_assert_eq!(rec.seq, seq, "committed stream must be consecutive");
+        for p in &mut pending {
+            if seq >= p.warmup_start && seq < p.detail_start {
+                p.warmup.push(rec);
+            } else if seq >= p.detail_start && seq < p.detail_end {
+                let mut rebased = rec;
+                rebased.seq -= p.detail_start;
+                p.detail.push(rebased);
+            }
+        }
+    }
+
+    Ok(plan
+        .intervals
+        .iter()
+        .zip(pending)
+        .map(|(r, p)| {
+            assert_eq!(
+                p.detail.len() as u64,
+                r.len,
+                "stream ended inside planned interval {} (stream/plan mismatch)",
+                r.index
+            );
+            SampleWindow {
+                index: r.index,
+                start: r.start,
+                weight: r.weight,
+                cluster: r.cluster,
+                warmup: Arc::new(p.warmup),
+                detail: Arc::new(TraceColumns::from_records(&p.detail)),
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::RepInterval;
+
+    fn rec(seq: u64) -> Committed {
+        Committed {
+            seq,
+            pc: (seq % 7) as usize,
+            next_pc: ((seq + 1) % 7) as usize,
+            dst: None,
+            old_value: seq,
+            new_value: seq + 1,
+            eff_addr: None,
+            taken: None,
+        }
+    }
+
+    fn plan_with(intervals: Vec<RepInterval>, warmup: u64) -> SamplePlan {
+        SamplePlan {
+            interval_insts: 10,
+            warmup_insts: warmup,
+            dims: 4,
+            k: intervals.len(),
+            seed: 0,
+            total_insts: 100,
+            intervals,
+        }
+    }
+
+    #[test]
+    fn windows_are_rebased_and_warmup_clipped_at_stream_head() {
+        let plan = plan_with(
+            vec![
+                RepInterval {
+                    index: 0,
+                    start: 0,
+                    len: 10,
+                    weight: 0.5,
+                    cluster: 0,
+                    cluster_size: 1,
+                },
+                RepInterval {
+                    index: 3,
+                    start: 30,
+                    len: 10,
+                    weight: 0.5,
+                    cluster: 1,
+                    cluster_size: 1,
+                },
+            ],
+            5,
+        );
+        let stream = (0..100).map(|s| Ok::<_, ()>(rec(s)));
+        let windows = extract_windows(&plan, stream).unwrap();
+        assert_eq!(windows.len(), 2);
+        // First window starts at the stream head: no warmup available.
+        assert!(windows[0].warmup.is_empty());
+        assert_eq!(windows[0].detail.len(), 10);
+        assert_eq!(windows[0].detail.record(0).unwrap().old_value, 0);
+        // Second window: warmup seqs 25..30 (original), detail rebased.
+        let w = &windows[1];
+        assert_eq!(w.warmup.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![25, 26, 27, 28, 29]);
+        let d0 = w.detail.record(0).unwrap();
+        assert_eq!(d0.seq, 0, "detail must be rebased");
+        assert_eq!(d0.old_value, 30, "rebased record keeps its payload");
+    }
+
+    #[test]
+    fn extraction_stops_at_the_last_window() {
+        let plan = plan_with(
+            vec![RepInterval {
+                index: 1,
+                start: 10,
+                len: 10,
+                weight: 1.0,
+                cluster: 0,
+                cluster_size: 1,
+            }],
+            4,
+        );
+        let mut pulled = 0u64;
+        let stream = (0..100).map(|s| {
+            pulled += 1;
+            Ok::<_, ()>(rec(s))
+        });
+        let windows = extract_windows(&plan, stream).unwrap();
+        assert_eq!(windows[0].detail.len(), 10);
+        assert!(pulled <= 21, "pulled {pulled} records for a window ending at 20");
+    }
+
+    #[test]
+    #[should_panic(expected = "stream ended inside planned interval")]
+    fn short_stream_is_a_loud_mismatch() {
+        let plan = plan_with(
+            vec![RepInterval {
+                index: 5,
+                start: 50,
+                len: 10,
+                weight: 1.0,
+                cluster: 0,
+                cluster_size: 1,
+            }],
+            0,
+        );
+        let stream = (0..55).map(|s| Ok::<_, ()>(rec(s)));
+        let _ = extract_windows(&plan, stream);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the BBV profile serialization.
+//!
+//! Plans and profiles are cached on disk next to the traces they
+//! describe, so the JSON form must reproduce the in-memory profile
+//! *exactly* — any drift in a vector component would shift k-means
+//! assignments and silently change which intervals a cached plan
+//! simulates.
+
+use proptest::prelude::*;
+use rvp_json::Json;
+use rvp_sample::{BbvConfig, BbvProfile, BbvProfiler};
+
+/// Builds a profile by streaming a synthetic committed walk derived
+/// from the raw byte pairs: each step visits a PC and either falls
+/// through or transfers, which is all the profiler observes.
+fn profile_from(steps: &[(u8, bool)], interval: u64, dims: usize, seed: u64) -> BbvProfile {
+    let cfg = BbvConfig { interval_insts: interval, dims, seed };
+    let mut p = BbvProfiler::new(256, cfg);
+    let mut pc = 0usize;
+    for &(target, transfer) in steps {
+        let next = if transfer { target as usize } else { pc + 1 };
+        // Stay inside the 256-instruction "program".
+        let next = next % 255;
+        p.observe(pc, next);
+        pc = next;
+    }
+    p.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bbv_profile_json_round_trips_exactly(
+        steps in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..2000),
+        interval in 1u64..300,
+        dims in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let profile = profile_from(&steps, interval, dims, seed);
+        let text = profile.to_json().to_string();
+        let parsed = Json::parse(&text).expect("profile JSON must parse");
+        let back = BbvProfile::from_json(&parsed).expect("profile JSON must round trip");
+        // Exact equality, floats included: the serializer must use a
+        // round-trip float representation, not a fixed precision.
+        prop_assert_eq!(&profile, &back);
+        // And the re-serialized form is byte-stable (content addresses
+        // of cached profiles depend on this).
+        prop_assert_eq!(text, back.to_json().to_string());
+    }
+
+    #[test]
+    fn bbv_profile_invariants_hold_for_any_stream(
+        steps in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..2000),
+        interval in 1u64..300,
+    ) {
+        let profile = profile_from(&steps, interval, 8, 0xbb5);
+        prop_assert_eq!(profile.total_insts, steps.len() as u64);
+        prop_assert_eq!(profile.lens.iter().sum::<u64>(), steps.len() as u64);
+        for v in &profile.vectors {
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            prop_assert!((norm - 1.0).abs() < 1e-9, "non-unit interval vector: {}", norm);
+        }
+    }
+}

@@ -3,7 +3,8 @@
 
 use rvp_bench::grid::GridCell;
 use rvp_core::{
-    by_name, grid_config_fnv, parse_recovery, recovery_name, Recovery, Runner, SchemeSpec, Workload,
+    by_name_or_err, grid_config_fnv, parse_recovery, recovery_name, Recovery, Runner, SampleSpec,
+    SchemeSpec, Workload,
 };
 use rvp_json::Json;
 
@@ -11,6 +12,11 @@ use rvp_json::Json;
 /// Admission control bounds how many cells queue up; this bounds how
 /// much work one cell can be.
 pub const MAX_INSTS: u64 = 100_000_000;
+
+/// Largest workload scale factor a request may ask for. Combined with
+/// [`MAX_INSTS`] this bounds both how long a program is and how much of
+/// it one cell may simulate.
+pub const MAX_SCALE: u64 = 4_096;
 
 /// A validated sweep request: the cross product of workloads and
 /// schemes under one recovery model and one set of budget knobs.
@@ -29,6 +35,12 @@ pub struct SweepSpec {
     pub measure_insts: u64,
     /// Committed-instruction budget for profiling runs.
     pub profile_insts: u64,
+    /// Sampled-measurement knobs (`"sample"`, a [`SampleSpec::parse`]
+    /// string); `None` measures every committed instruction in detail.
+    pub sampling: Option<SampleSpec>,
+    /// Workload outer-pass scale factor (`"scale"`); 1 is the seed-era
+    /// program.
+    pub workload_scale: u64,
 }
 
 impl SweepSpec {
@@ -44,12 +56,9 @@ impl SweepSpec {
                 let mut workloads = Vec::with_capacity(names.len());
                 for name in names {
                     let name = name.as_str().ok_or("workload names must be strings")?;
-                    let wl = by_name(name).ok_or_else(|| {
-                        let known: Vec<&str> =
-                            rvp_core::all_workloads().iter().map(|w| w.name()).collect();
-                        format!("unknown workload {name:?} (known: {})", known.join(", "))
-                    })?;
-                    workloads.push(wl);
+                    // The registry error lists every known workload;
+                    // forward it verbatim into the 400 body.
+                    workloads.push(by_name_or_err(name)?);
                 }
                 workloads
             }
@@ -88,19 +97,54 @@ impl SweepSpec {
         }
         let measure_insts = budget(body, "measure_insts", base.measure_insts)?;
         let profile_insts = budget(body, "profile_insts", base.profile_insts)?;
-        Ok(SweepSpec { workloads, schemes, recovery, threshold, measure_insts, profile_insts })
+        let sampling = match body.get("sample") {
+            None => base.sampling,
+            Some(v) => {
+                let text = v.as_str().ok_or("\"sample\" must be a spec string or \"auto\"")?;
+                Some(SampleSpec::parse(text)?)
+            }
+        };
+        let workload_scale = match body.get("scale") {
+            None => base.workload_scale,
+            Some(v) => {
+                let n = v.as_u64().ok_or("\"scale\" must be a positive integer")?;
+                if n == 0 || n > MAX_SCALE {
+                    return Err(format!("\"scale\" must be in [1, {MAX_SCALE}], got {n}"));
+                }
+                n
+            }
+        };
+        Ok(SweepSpec {
+            workloads,
+            schemes,
+            recovery,
+            threshold,
+            measure_insts,
+            profile_insts,
+            sampling,
+            workload_scale,
+        })
     }
 
     /// Journal form; [`SweepSpec::from_json`] on the result round-trips.
+    /// The sampling/scale knobs are emitted only when active, so
+    /// journals written before they existed still round-trip.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("workloads", Json::arr(self.workloads.iter().map(|w| Json::from(w.name())))),
             ("schemes", Json::arr(self.schemes.iter().map(|s| Json::from(s.label())))),
             ("recovery", recovery_name(self.recovery).into()),
             ("threshold", self.threshold.into()),
             ("measure_insts", self.measure_insts.into()),
             ("profile_insts", self.profile_insts.into()),
-        ])
+        ];
+        if let Some(spec) = &self.sampling {
+            fields.push(("sample", spec.to_spec_string().into()));
+        }
+        if self.workload_scale > 1 {
+            fields.push(("scale", self.workload_scale.into()));
+        }
+        Json::obj(fields)
     }
 
     /// The cells of this sweep, in stable (workload-major) order.
@@ -124,6 +168,8 @@ impl SweepSpec {
         runner.threshold = self.threshold;
         runner.measure_insts = self.measure_insts;
         runner.profile_insts = self.profile_insts;
+        runner.sampling = self.sampling;
+        runner.workload_scale = self.workload_scale;
         runner
     }
 
@@ -205,6 +251,34 @@ mod tests {
         // Invalid parameters are a 400, same as unknown names.
         assert!(parse(r#"{"workloads":["li"],"schemes":["drvp_all:bogus=1"]}"#).is_err());
         assert!(parse(r#"{"workloads":["li"],"schemes":["no_predict:entries=4"]}"#).is_err());
+    }
+
+    #[test]
+    fn sampled_and_scaled_sweeps_round_trip_and_readdress_cells() {
+        let plain = parse(r#"{"workloads":["li"],"schemes":["lvp"]}"#).unwrap();
+        let sampled =
+            parse(r#"{"workloads":["li"],"schemes":["lvp"],"sample":"interval=30000","scale":16}"#)
+                .unwrap();
+        assert_eq!(sampled.sampling.unwrap().interval_insts, 30_000);
+        assert_eq!(sampled.workload_scale, 16);
+        // Journal round trip preserves both knobs exactly.
+        let again = SweepSpec::from_json(&sampled.to_json(), &base()).unwrap();
+        assert_eq!(again.to_json().to_string(), sampled.to_json().to_string());
+        // Sampled and detailed results of the same cell are distinct
+        // entries in the content-addressed result cache.
+        let cell = &plain.cells()[0];
+        assert_ne!(plain.cell_fingerprint(&base(), cell), sampled.cell_fingerprint(&base(), cell));
+        assert_eq!(
+            sampled.cell_fingerprint(&base(), cell),
+            again.cell_fingerprint(&base(), &again.cells()[0])
+        );
+        // `"sample":"auto"` is valid and distinct from no sampling.
+        let auto = parse(r#"{"workloads":["li"],"schemes":["lvp"],"sample":"auto"}"#).unwrap();
+        assert_ne!(plain.cell_fingerprint(&base(), cell), auto.cell_fingerprint(&base(), cell));
+        // Bad specs and out-of-range scales are 400s, not panics.
+        assert!(parse(r#"{"workloads":["li"],"schemes":["lvp"],"sample":"bogus=1"}"#).is_err());
+        assert!(parse(r#"{"workloads":["li"],"schemes":["lvp"],"scale":0}"#).is_err());
+        assert!(parse(r#"{"workloads":["li"],"schemes":["lvp"],"scale":99999}"#).is_err());
     }
 
     #[test]

@@ -64,6 +64,7 @@ mod ring;
 mod scheme;
 pub mod source;
 mod stats;
+mod warmup;
 mod wheel;
 
 pub use crate::core::Simulator;
@@ -72,6 +73,7 @@ pub use config::{Latencies, UarchConfig};
 pub use scheme::{PlanMode, Recovery, Scheme};
 pub use source::{CommittedSource, EmuSource, ReplaySource, SharedSource, SourceKind};
 pub use stats::{SimError, SimStats};
+pub use warmup::WarmState;
 
 // Re-export the predictor vocabulary `Scheme` is built from, so users
 // of this crate need not depend on `rvp-vpred` directly.

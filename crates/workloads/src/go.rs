@@ -18,7 +18,7 @@ use crate::Input;
 const BOARD: u64 = 0x1_0000;
 const CELLS: usize = 361; // 19 x 19
 
-pub fn build(input: Input) -> Program {
+pub fn build(input: Input, factor: u64) -> Program {
     let mut r = rng(1, input);
     let board: Vec<u64> = (0..CELLS)
         .map(|_| {
@@ -31,7 +31,7 @@ pub fn build(input: Input) -> Program {
             }
         })
         .collect();
-    let passes = scale(input, 40, 110);
+    let passes = scale(input, factor, 40, 110);
 
     let bptr = Reg::int(1);
     let i = Reg::int(2);

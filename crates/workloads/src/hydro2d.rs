@@ -32,7 +32,7 @@ const GRID_B: u64 = 0x14_0000;
 const COEF: u64 = 0x16_0000;
 const N: usize = 36; // N x N grid
 
-pub fn build(input: Input) -> Program {
+pub fn build(input: Input, factor: u64) -> Program {
     let mut r = rng(6, input);
     let mut init = vec![2.0f64; N * N];
     // A few per-input hot spots: the active region of the field.
@@ -41,7 +41,7 @@ pub fn build(input: Input) -> Program {
         let j = r.gen_range(4..N - 4);
         init[i * N + j] = r.gen_range(4.0..9.0);
     }
-    let timesteps = scale(input, 3, 7);
+    let timesteps = scale(input, factor, 3, 7);
 
     let (ap, bp, cp, ip) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(16));
     let (i, j, t, ts) = (Reg::int(4), Reg::int(5), Reg::int(6), Reg::int(7));

@@ -19,14 +19,14 @@ const QUANT: u64 = 0x3_0000;
 const COEFF: u64 = 0x4_0000;
 const CODES: u64 = 0x4_8000; // Huffman-ish code table, indexed by symbol
 
-pub fn build(input: Input) -> Program {
+pub fn build(input: Input, factor: u64) -> Program {
     let mut r = rng(2, input);
     let pixels: Vec<u64> = (0..64).map(|_| r.gen_range(96..160u64)).collect();
     // Quantization by arithmetic shift (the fast-JPEG idiom): everything
     // past the first ~16 coefficients shifts to zero, giving the RLE pass
     // its long zero runs (the real encoder's high-frequency tail).
     let quant: Vec<u64> = (0..64u64).map(|i| 4 + i / 4).collect();
-    let blocks = scale(input, 180, 520);
+    let blocks = scale(input, factor, 180, 520);
 
     let (pp, qp, cp) = (Reg::int(1), Reg::int(2), Reg::int(3));
     let (i, px, q, out) = (Reg::int(4), Reg::int(5), Reg::int(6), Reg::int(7));

@@ -28,20 +28,20 @@ const TAG_NIL: u64 = 0;
 const TAG_NUM: u64 = 1;
 const TAG_PAIR: u64 = 2;
 
-pub fn build(input: Input) -> Program {
+pub fn build(input: Input, factor: u64) -> Program {
     // Two-pass build: the jump table's contents are label addresses.
-    let first = emit(input, &[0, 0, 0]);
+    let first = emit(input, factor, &[0, 0, 0]);
     let table = [
         first.label("do_nil").expect("label") as u64,
         first.label("do_num").expect("label") as u64,
         first.label("do_pair").expect("label") as u64,
     ];
-    let second = emit(input, &table);
+    let second = emit(input, factor, &table);
     debug_assert_eq!(second.label("do_nil"), first.label("do_nil"));
     second
 }
 
-fn emit(input: Input, table: &[u64; 3]) -> Program {
+fn emit(input: Input, factor: u64, table: &[u64; 3]) -> Program {
     let mut r = rng(3, input);
 
     // Heap of cells: [tag, value, car, cdr] (4 words each). Chains whose
@@ -81,7 +81,7 @@ fn emit(input: Input, table: &[u64; 3]) -> Program {
         heap[i * 4] = TAG_NIL;
     }
     let roots: Vec<u64> = (0..NROOTS).map(|_| cell_addr(r.gen_range(0..NCELLS))).collect();
-    let passes = scale(input, 120, 320);
+    let passes = scale(input, factor, 120, 320);
 
     let cur = Reg::int(1);
     let tag = Reg::int(2);

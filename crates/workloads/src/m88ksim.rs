@@ -19,7 +19,7 @@ const GMEM: u64 = 0x9_0000; // guest program
 const GRF: u64 = 0xA_0000; // guest register file (32 regs)
 const GLOOP: usize = 96; // guest loop length in guest instructions
 
-pub fn build(input: Input) -> Program {
+pub fn build(input: Input, factor: u64) -> Program {
     let mut r = rng(4, input);
 
     // Guest encodings: op | rs<<8 | rt<<16 | rd<<24. Ops: 0 = multiply
@@ -58,7 +58,7 @@ pub fn build(input: Input) -> Program {
     for g in grf.iter_mut().skip(18).take(8) {
         *g = r.gen_range(0..3); // tiny values: ands/adds mostly reproduce them
     }
-    let steps = scale(input, 9_000, 26_000);
+    let steps = scale(input, factor, 9_000, 26_000);
 
     let gpc = Reg::int(1);
     let enc = Reg::int(2);

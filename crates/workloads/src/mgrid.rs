@@ -19,7 +19,7 @@ const OUT: u64 = 0x1A_0000;
 const COEF: u64 = 0x1E_0000;
 const N: usize = 20; // N^3 grid
 
-pub fn build(input: Input) -> Program {
+pub fn build(input: Input, factor: u64) -> Program {
     let mut r = rng(7, input);
     let mut grid = vec![0.0f64; N * N * N];
     // Clustered sparsity: the residual has support on a band of planes
@@ -32,7 +32,7 @@ pub fn build(input: Input) -> Program {
             *v = r.gen_range(0.5..2.0);
         }
     }
-    let sweeps = scale(input, 1, 3);
+    let sweeps = scale(input, factor, 1, 3);
     let plane = (N * N * 8) as i64;
     let rowb = (N * 8) as i64;
 

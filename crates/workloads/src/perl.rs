@@ -24,18 +24,18 @@ const OP_ADD: u64 = 1;
 const OP_GET: u64 = 2;
 const OP_PUT: u64 = 3;
 
-pub fn build(input: Input) -> Program {
-    let first = emit(input, &[0; 4]);
+pub fn build(input: Input, factor: u64) -> Program {
+    let first = emit(input, factor, &[0; 4]);
     let table = [
         first.label("op_push").expect("label") as u64,
         first.label("op_add").expect("label") as u64,
         first.label("op_get").expect("label") as u64,
         first.label("op_put").expect("label") as u64,
     ];
-    emit(input, &table)
+    emit(input, factor, &table)
 }
 
-fn emit(input: Input, table: &[u64; 4]) -> Program {
+fn emit(input: Input, factor: u64, table: &[u64; 4]) -> Program {
     let mut r = rng(5, input);
 
     // Op stream: op | operand<<8. Keys are Zipf-ish: a few hot keys.
@@ -61,7 +61,7 @@ fn emit(input: Input, table: &[u64; 4]) -> Program {
     }
     let hash: Vec<u64> =
         (0..NBUCKETS * 2).map(|i| if i % 2 == 0 { 0 } else { r.gen_range(0..50u64) }).collect();
-    let passes = scale(input, 60, 170);
+    let passes = scale(input, factor, 60, 170);
 
     let opp = Reg::int(1);
     let enc = Reg::int(2);

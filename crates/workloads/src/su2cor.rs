@@ -20,7 +20,7 @@ const LINKS: u64 = 0x24_0000; // 8 matrices x 4 entries
 const VECS: u64 = 0x26_0000;
 const SITES: usize = 1500;
 
-pub fn build(input: Input) -> Program {
+pub fn build(input: Input, factor: u64) -> Program {
     let mut r = rng(8, input);
     // Gauge links: half are exact identities, the rest small rotations.
     let mut links = Vec::with_capacity(8 * 4);
@@ -34,8 +34,8 @@ pub fn build(input: Input) -> Program {
         }
     }
     let vecs: Vec<f64> = (0..SITES * 2).map(|_| r.gen_range(-1.0..1.0)).collect();
-    let init_iters = scale(input, 2_500, 7_000);
-    let compute_passes = scale(input, 8, 24);
+    let init_iters = scale(input, factor, 2_500, 7_000);
+    let compute_passes = scale(input, factor, 8, 24);
 
     let (lp, t, n, seed) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
     let (site, mp, vp, idx) = (Reg::int(5), Reg::int(6), Reg::int(7), Reg::int(8));

@@ -19,7 +19,7 @@ const COMMON: u64 = 0x2E_0000; // "common block": wrap mask, unit stride
 const LOGN: usize = 8;
 const NPTS: usize = 1 << LOGN; // 256 complex points
 
-pub fn build(input: Input) -> Program {
+pub fn build(input: Input, factor: u64) -> Program {
     let mut r = rng(9, input);
     let data: Vec<f64> = (0..NPTS * 2).map(|_| r.gen_range(-1.0..1.0)).collect();
     // One (re, im) twiddle per stage — reloaded for every butterfly.
@@ -29,7 +29,7 @@ pub fn build(input: Input) -> Program {
             [a.cos(), a.sin()]
         })
         .collect();
-    let ffts = scale(input, 5, 14);
+    let ffts = scale(input, factor, 5, 14);
 
     let (dp, tp, stage) = (Reg::int(1), Reg::int(2), Reg::int(3));
     let (bi, a_off, b_off, t) = (Reg::int(5), Reg::int(6), Reg::int(7), Reg::int(8));

@@ -16,10 +16,17 @@ pub fn rng(workload_id: u64, input: Input) -> StdRng {
     StdRng::seed_from_u64(workload_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt)
 }
 
-/// Scales an iteration count by the input set: ref runs are larger.
-pub fn scale(input: Input, train: i64, reff: i64) -> i64 {
-    match input {
+/// Scales an iteration count by the input set and the workload length
+/// factor: ref runs are larger, and `factor` multiplies the pass count
+/// so the same kernel can be stretched to 100M+ committed instructions
+/// (factor 1 reproduces the original program bit for bit — golden
+/// fixtures depend on that). Only loop-trip immediates go through this
+/// helper, never data sizes, so scaling leaves the static structure and
+/// memory footprint untouched.
+pub fn scale(input: Input, factor: u64, train: i64, reff: i64) -> i64 {
+    let base = match input {
         Input::Train => train,
         Input::Ref => reff,
-    }
+    };
+    base.saturating_mul(factor.max(1) as i64)
 }
