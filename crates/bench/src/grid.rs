@@ -31,8 +31,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use rvp_core::{
-    fnv1a, journal_line, log, parse_journal_line, Json, RunResult, Runner, SchemeSpec, SimError,
-    SourceMode, ToJson, Workload,
+    fnv1a, journal_line, log, parse_journal_line, CancelToken, Json, RunResult, Runner, SchemeSpec,
+    SimError, SourceMode, ToJson, Workload,
 };
 
 pub use rvp_core::{grid_config_fnv, write_atomic};
@@ -91,7 +91,8 @@ pub struct CellSuccess {
     pub resumed: bool,
 }
 
-/// A cell that failed every rung of the degradation ladder.
+/// A cell that failed every rung of the degradation ladder — or was
+/// cancelled cooperatively before it could finish.
 pub struct PoisonedCell {
     /// Cell identity (`workload/scheme`).
     pub label: String,
@@ -101,6 +102,10 @@ pub struct PoisonedCell {
     pub stage: &'static str,
     /// Total attempts spent before giving up.
     pub attempts: u64,
+    /// The cell was squashed by a fired [`CancelToken`] (job abort,
+    /// deadline, drain), not by a model or I/O failure; it is safe to
+    /// re-run later.
+    pub cancelled: bool,
 }
 
 impl PoisonedCell {
@@ -111,6 +116,7 @@ impl PoisonedCell {
             ("stage", self.stage.into()),
             ("attempts", self.attempts.into()),
             ("error", self.error.as_str().into()),
+            ("cancelled", self.cancelled.into()),
         ])
     }
 }
@@ -141,6 +147,9 @@ enum AttemptError {
     Panic(String),
     /// The watchdog deadline passed; move down the ladder.
     Timeout,
+    /// The cell's own [`CancelToken`] fired; abandon the whole cell
+    /// (no retries, no ladder descent — the caller wants it gone).
+    Cancelled(String),
 }
 
 impl AttemptError {
@@ -153,6 +162,7 @@ impl AttemptError {
             AttemptError::Transient(e) | AttemptError::Sim(e) => e.clone(),
             AttemptError::Panic(e) => format!("panic: {e}"),
             AttemptError::Timeout => "cell watchdog timeout".to_owned(),
+            AttemptError::Cancelled(e) => format!("cancelled: {e}"),
         }
     }
 }
@@ -169,9 +179,10 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// One contained attempt: `catch_unwind` around the simulation, the
 /// `grid.cell.run` chaos site inside the contained region, and an
-/// optional watchdog deadline (the attempt then runs on its own thread;
-/// on timeout the thread is abandoned — it can no longer affect the
-/// sweep, and its result is discarded if it ever arrives).
+/// optional *cooperative* watchdog deadline — the attempt then runs on
+/// its own thread with a deadline-armed [`CancelToken`]; on expiry the
+/// cycle loop observes the token, squashes, and the thread is joined
+/// (no abandoned threads, no leaked allocations).
 fn attempt(runner: &Runner, cell: &GridCell, timeout_secs: u64) -> Result<RunResult, AttemptError> {
     let body =
         |r: &Runner, wl: &Workload, scheme: &SchemeSpec| -> Result<RunResult, AttemptError> {
@@ -185,14 +196,25 @@ fn attempt(runner: &Runner, cell: &GridCell, timeout_secs: u64) -> Result<RunRes
                     ));
                 }
             }
-            r.run(wl, scheme).map_err(|e: SimError| AttemptError::Sim(e.to_string()))
+            r.run(wl, scheme).map_err(|e: SimError| match e {
+                SimError::Cancelled { .. } => AttemptError::Cancelled(e.to_string()),
+                other => AttemptError::Sim(other.to_string()),
+            })
         };
     if timeout_secs == 0 {
         return catch_unwind(AssertUnwindSafe(|| body(runner, &cell.workload, &cell.scheme)))
             .unwrap_or_else(|p| Err(AttemptError::Panic(panic_message(p))));
     }
+
+    // The watchdogged thread gets its own token with the attempt
+    // deadline; the caller's token (if any) is *forwarded* into it from
+    // the wait loop below, so a job abort or drain squash still lands
+    // while the watchdog is standing guard.
+    let parent = runner.cancel.clone();
+    let watchdog = CancelToken::with_deadline(Duration::from_secs(timeout_secs));
+    let mut r = runner.clone();
+    r.cancel = Some(watchdog.clone());
     let (tx, rx) = mpsc::channel();
-    let r = runner.clone();
     let wl = cell.workload.clone();
     let scheme = cell.scheme.clone();
     let spawned =
@@ -201,12 +223,67 @@ fn attempt(runner: &Runner, cell: &GridCell, timeout_secs: u64) -> Result<RunRes
                 .unwrap_or_else(|p| Err(AttemptError::Panic(panic_message(p))));
             let _ = tx.send(out);
         });
-    if let Err(e) = spawned {
-        return Err(AttemptError::Transient(format!("cannot spawn cell thread: {e}")));
-    }
-    match rx.recv_timeout(Duration::from_secs(timeout_secs)) {
-        Ok(out) => out,
-        Err(_) => Err(AttemptError::Timeout),
+    let handle = match spawned {
+        Ok(handle) => handle,
+        Err(e) => return Err(AttemptError::Transient(format!("cannot spawn cell thread: {e}"))),
+    };
+
+    // After the token fires the simulation squashes within one poll
+    // window (milliseconds); this grace bound only matters if an
+    // attempt is stuck somewhere that genuinely cannot poll.
+    const WAIT_SLICE: Duration = Duration::from_millis(25);
+    const SQUASH_GRACE: Duration = Duration::from_secs(10);
+    let parent_fired = || parent.as_ref().is_some_and(CancelToken::is_cancelled);
+    let mut fired_at: Option<Instant> = None;
+    loop {
+        match rx.recv_timeout(WAIT_SLICE) {
+            Ok(out) => {
+                let _ = handle.join();
+                return match out {
+                    // The squash the thread reports is the watchdog's
+                    // unless the caller's own token fired: a deadline is
+                    // an ordinary per-attempt timeout (ladder descent),
+                    // a forwarded cancel abandons the cell.
+                    Err(AttemptError::Cancelled(detail)) => {
+                        if parent_fired() {
+                            Err(AttemptError::Cancelled(detail))
+                        } else {
+                            Err(AttemptError::Timeout)
+                        }
+                    }
+                    other => other,
+                };
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let _ = handle.join();
+                return Err(AttemptError::Panic("cell thread exited without a result".to_owned()));
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if let Some(p) = &parent {
+                    if p.poll().is_some() {
+                        watchdog.cancel(&p.detail().unwrap_or_else(|| "caller cancelled".into()));
+                    }
+                }
+                let _ = watchdog.poll(); // promote an expired deadline to fired
+                if watchdog.is_cancelled() {
+                    let since = *fired_at.get_or_insert_with(Instant::now);
+                    if since.elapsed() > SQUASH_GRACE {
+                        // Should be unreachable — every long stage polls.
+                        // Abandon the thread as a last resort and say so.
+                        log::error(
+                            "rvp-grid",
+                            "cell ignored its cancel token past the grace window; abandoning it",
+                            &[("cell", cell.label().into())],
+                        );
+                        return Err(if parent_fired() {
+                            AttemptError::Cancelled("cell unresponsive to cancel".to_owned())
+                        } else {
+                            AttemptError::Timeout
+                        });
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -291,6 +368,12 @@ pub fn run_one_cell(
                             ("error", e.describe().into()),
                         ],
                     );
+                    // A fired cancel token abandons the cell outright:
+                    // no retry and no ladder descent — re-running the
+                    // work the caller just squashed wastes the squash.
+                    if matches!(e, AttemptError::Cancelled(_)) {
+                        return Err(poisoned(&label, &e, mode.name(), attempts));
+                    }
                     let retry = e.transient() && attempt_idx < opts.retries;
                     last = Some(e);
                     if !retry {
@@ -307,7 +390,13 @@ pub fn run_one_cell(
 }
 
 fn poisoned(label: &str, e: &AttemptError, stage: &'static str, attempts: u64) -> PoisonedCell {
-    let cell = PoisonedCell { label: label.to_owned(), error: e.describe(), stage, attempts };
+    let cell = PoisonedCell {
+        label: label.to_owned(),
+        error: e.describe(),
+        stage,
+        attempts,
+        cancelled: matches!(e, AttemptError::Cancelled(_)),
+    };
     log::error(
         "rvp-grid",
         "cell poisoned",

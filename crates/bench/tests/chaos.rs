@@ -16,6 +16,75 @@ mod common;
 use common::{cell_files, failures_u64, run_grid, summary, summary_u64, CELLS};
 use rvp_core::Json;
 
+/// Threads alive in this process right now (`/proc/self/task`); 0 when
+/// the proc filesystem is unavailable (non-Linux).
+fn live_threads() -> usize {
+    std::fs::read_dir("/proc/self/task").map(|d| d.count()).unwrap_or(0)
+}
+
+/// `--cell-timeout` used to abandon the watchdogged thread: every fired
+/// timeout leaked a thread still grinding its simulation. The watchdog
+/// is now a cooperative cancel token the cell polls, so a timed-out
+/// attempt squashes and joins. Run a cell that cannot finish inside its
+/// timeout and assert the process thread count returns to baseline.
+#[test]
+fn fired_cell_timeout_leaves_no_thread_behind() {
+    use rvp_bench::grid::{run_one_cell, CellOptions, GridCell};
+    use rvp_core::{by_name_or_err, Runner, SampleSpec};
+
+    let baseline = live_threads();
+    if baseline == 0 {
+        return; // no /proc: nothing to measure on this platform
+    }
+
+    let dir = common::TempDir::new("timeout-leak");
+    let mut runner = Runner { traces: None, ..Runner::default() };
+    // Minutes of debug-build work against a 1-second timeout; the
+    // sampling planner polls the token every few thousand records.
+    runner.measure_insts = 50_000_000;
+    runner.profile_insts = 4_000;
+    runner.workload_scale = 512;
+    runner.sampling = Some(SampleSpec::parse("interval=30000").expect("sample spec"));
+    let cell = GridCell {
+        workload: by_name_or_err("li").expect("workload"),
+        scheme: rvp_core::SchemeSpec::parse("no_predict").expect("scheme"),
+    };
+
+    let started = std::time::Instant::now();
+    let opts = CellOptions { retries: 1, timeout_secs: 1 };
+    let poisoned = match run_one_cell(&runner, &cell, opts, dir.path()) {
+        Ok(_) => panic!("a 1s timeout must poison this cell"),
+        Err(poisoned) => poisoned,
+    };
+    assert!(
+        poisoned.error.contains("timeout") || poisoned.error.contains("cancel"),
+        "poison reason names the timeout: {}",
+        poisoned.error
+    );
+    // Cooperative squash, not the 10s abandon-grace path: every ladder
+    // rung (2 at most here) times out at ~1s and joins within a poll.
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(15),
+        "squash took {:?}; cell ignored its token",
+        started.elapsed()
+    );
+
+    // The leak assertion: every spawned cell/watchdog thread is joined.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        if live_threads() <= baseline {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "thread leak: {} threads at baseline, {} after timed-out cell",
+            baseline,
+            live_threads()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+}
+
 #[test]
 fn transient_injected_faults_are_retried_bit_identically() {
     let baseline = common::TempDir::new("chaos-baseline");

@@ -242,6 +242,25 @@ fn print_serve_metrics(dir: &Path) -> usize {
                 us("count")
             );
         }
+        // Runtime governance: squashes, shedding, drains and eviction.
+        // Older snapshots predate these counters; print only when the
+        // daemon that wrote the snapshot had the governance layer.
+        if metrics.get("jobs_cancelled").is_some() {
+            println!(
+                "  governance: jobs cancelled {}  cells squashed {}  shed {}  drains {}",
+                count("jobs_cancelled"),
+                count("cells_cancelled"),
+                count("shed"),
+                count("drains"),
+            );
+            println!(
+                "  governance: 408s {}  disconnects {}  cache evictions {}  queue-delay ewma {}us",
+                count("request_timeouts"),
+                count("client_disconnects"),
+                count("cache_evictions"),
+                count("queue_delay_ewma_us"),
+            );
+        }
     }
     rendered
 }
@@ -557,10 +576,20 @@ fn print_resilience(dir: &Path) {
         let failures = summary.get("failures").expect("filtered");
         let count = |key: &str| failures.get(key).and_then(Json::as_u64).unwrap_or(0);
         let resumed = summary.get("resumed_cells").and_then(Json::as_u64).unwrap_or(0);
+        let cancelled = failures
+            .get("poisoned")
+            .and_then(Json::as_arr)
+            .map(|list| {
+                list.iter()
+                    .filter(|p| p.get("cancelled").and_then(Json::as_bool) == Some(true))
+                    .count()
+            })
+            .unwrap_or(0);
         println!("\nresilience ({})", path.display());
         println!(
-            "  poisoned {}  retries {}  quarantined {}  resumed {}",
+            "  poisoned {}  cancelled {}  retries {}  quarantined {}  resumed {}",
             count("count"),
+            cancelled,
             count("retries"),
             count("quarantined"),
             resumed
@@ -570,12 +599,18 @@ fn print_resilience(dir: &Path) {
                 println!("{:>22} {:>8} {:>9}  error", "cell", "stage", "attempts");
                 for p in poisoned {
                     let text = |key: &str| p.get(key).and_then(Json::as_str).unwrap_or("?");
+                    let squashed = if p.get("cancelled").and_then(Json::as_bool) == Some(true) {
+                        " [cancelled]"
+                    } else {
+                        ""
+                    };
                     println!(
-                        "{:>22} {:>8} {:>9}  {}",
+                        "{:>22} {:>8} {:>9}  {}{}",
                         text("cell"),
                         text("stage"),
                         p.get("attempts").and_then(Json::as_u64).unwrap_or(0),
-                        text("error")
+                        text("error"),
+                        squashed
                     );
                 }
             }

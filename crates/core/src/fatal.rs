@@ -27,6 +27,9 @@ pub const EXIT_IO: u8 = 13;
 pub const EXIT_CONFIG: u8 = 14;
 /// The sweep completed but recorded at least one poisoned cell.
 pub const EXIT_POISONED: u8 = 20;
+/// The run was cancelled cooperatively ([`SimError::Cancelled`]: a
+/// deadline, an operator abort, or a drain-window squash).
+pub const EXIT_CANCELLED: u8 = 21;
 
 /// The exit code for a [`SimError`], one per variant.
 pub fn sim_exit_code(e: &SimError) -> u8 {
@@ -34,6 +37,7 @@ pub fn sim_exit_code(e: &SimError) -> u8 {
         SimError::Emu(_) => EXIT_EMU,
         SimError::Deadlock { .. } => EXIT_DEADLOCK,
         SimError::StructureMismatch { .. } => EXIT_STRUCTURE,
+        SimError::Cancelled { .. } => EXIT_CANCELLED,
     }
 }
 
@@ -43,6 +47,7 @@ pub fn sim_error_kind(e: &SimError) -> &'static str {
         SimError::Emu(_) => "emu",
         SimError::Deadlock { .. } => "deadlock",
         SimError::StructureMismatch { .. } => "structure_mismatch",
+        SimError::Cancelled { .. } => "cancelled",
     }
 }
 
@@ -82,6 +87,11 @@ mod tests {
             SimError::Emu(EmuError::PcOutOfRange { pc: 0 }),
             SimError::Deadlock { cycle: 1, committed: 0 },
             SimError::StructureMismatch { train_len: 1, ref_len: 2 },
+            SimError::Cancelled {
+                cycle: 1,
+                committed: 0,
+                reason: rvp_obs::CancelReason::Cancelled,
+            },
         ];
         let mut codes: Vec<u8> = errs.iter().map(sim_exit_code).collect();
         codes.sort_unstable();

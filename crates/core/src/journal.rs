@@ -14,6 +14,7 @@
 
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rvp_json::Json;
 use rvp_trace::fnv1a;
@@ -21,12 +22,19 @@ use rvp_trace::fnv1a;
 /// Write-temp/fsync/rename: after a crash at any point, `path` holds
 /// either its previous contents or the complete new ones.
 ///
+/// The temp name is unique per process *and* per call, so concurrent
+/// writers targeting the same path (e.g. two serve workers emitting
+/// the same cell label) never share a temp file — each rename
+/// publishes its own complete bytes and the last rename wins.
+///
 /// # Errors
 ///
 /// Returns the underlying I/O error; the temp file is removed on
 /// failure.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
     let result = (|| {
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(bytes)?;
@@ -87,6 +95,36 @@ mod tests {
         assert_eq!(std::fs::read(&path).unwrap(), b"two");
         // A failed write (missing parent) leaves no temp file behind.
         assert!(write_atomic(&dir.join("nope").join("x"), b"data").is_err());
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_path_never_collide() {
+        let dir = std::env::temp_dir().join(format!("rvp-journal-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cell.json");
+        // Same-process threads used to share one temp name, so one
+        // writer's rename could steal (or truncate) another's temp
+        // file mid-write — surfacing as spurious ENOENT under two
+        // serve workers emitting the same cell label.
+        std::thread::scope(|scope| {
+            for t in 0u8..8 {
+                let path = &path;
+                scope.spawn(move || {
+                    let payload = vec![b'a' + t; 4096];
+                    for _ in 0..50 {
+                        write_atomic(path, &payload).expect("concurrent write_atomic");
+                    }
+                });
+            }
+        });
+        // The survivor is one writer's complete payload, never a mix.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), 4096);
+        assert!(bytes.windows(2).all(|w| w[0] == w[1]), "torn interleaved write");
+        // No temp droppings left behind.
         assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -40,8 +40,8 @@ mod sampling;
 mod schemes;
 
 pub use fatal::{
-    fatal, fatal_sim, sim_error_kind, sim_exit_code, EXIT_CONFIG, EXIT_DEADLOCK, EXIT_EMU, EXIT_IO,
-    EXIT_POISONED, EXIT_STRUCTURE, EXIT_USAGE,
+    fatal, fatal_sim, sim_error_kind, sim_exit_code, EXIT_CANCELLED, EXIT_CONFIG, EXIT_DEADLOCK,
+    EXIT_EMU, EXIT_IO, EXIT_POISONED, EXIT_STRUCTURE, EXIT_USAGE,
 };
 pub use journal::{journal_line, parse_journal_line, write_atomic};
 pub use runner::{
@@ -63,8 +63,8 @@ pub use rvp_isa::{parse_asm, AsmError, Program, ProgramBuilder, Reg};
 pub use rvp_json::{Json, ToJson};
 pub use rvp_mem::{Hierarchy, MemConfig};
 pub use rvp_obs::{
-    log, span, Clock, CpiBucket, CpiStack, Metric, MetricsRegistry, ObsConfig, ObsReport, PcEntry,
-    WindowSample,
+    log, span, CancelReason, CancelToken, Clock, CpiBucket, CpiStack, Metric, MetricsRegistry,
+    ObsConfig, ObsReport, PcEntry, WindowSample,
 };
 pub use rvp_profile::{Assist, Fig1Row, PlanScope, Profile, ProfileConfig, ReuseLists, SrvpLevel};
 pub use rvp_realloc::{reallocate, ReallocOptions, ReallocOutcome};

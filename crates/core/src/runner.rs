@@ -1,5 +1,6 @@
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rvp_emu::Committed;
@@ -162,9 +163,19 @@ type TraceSlot = Arc<Mutex<Option<Arc<TraceColumns>>>>;
 /// a [`Runner`] exactly like [`ProfileCache`]: entries are locked
 /// individually, so grid threads racing on the *same* workload decode
 /// it once while different workloads decode in parallel.
+///
+/// With a byte budget set ([`SharedTraceCache::set_budget_bytes`],
+/// accounted via [`TraceColumns::approx_bytes`]), the least-recently
+/// used traces are dropped after each materialization until the cache
+/// fits — threads still holding an evicted trace keep their `Arc` (the
+/// memory frees when the last one drops); the next request for that
+/// key simply re-materializes.
 #[derive(Clone, Default)]
 pub struct SharedTraceCache {
-    slots: Arc<Mutex<HashMap<TraceKey, TraceSlot>>>,
+    slots: Arc<Mutex<HashMap<TraceKey, (TraceSlot, u64)>>>,
+    tick: Arc<AtomicU64>,
+    budget_bytes: Arc<AtomicU64>,
+    evicted: Arc<AtomicU64>,
 }
 
 impl SharedTraceCache {
@@ -178,7 +189,10 @@ impl SharedTraceCache {
     ) -> Result<(Arc<TraceColumns>, bool), SimError> {
         let slot = {
             let mut slots = self.slots.lock().expect("trace cache poisoned");
-            slots.entry(key).or_default().clone()
+            let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+            let entry = slots.entry(key).or_default();
+            entry.1 = tick;
+            entry.0.clone()
         };
         let mut entry = slot.lock().expect("trace slot poisoned");
         if let Some(trace) = entry.as_ref() {
@@ -186,12 +200,81 @@ impl SharedTraceCache {
         }
         let trace = capture()?;
         *entry = Some(Arc::clone(&trace));
+        drop(entry);
+        self.evict_to_budget(&key);
         Ok((trace, true))
+    }
+
+    /// Sets the resident-byte budget (`0` = ungoverned). Shared across
+    /// clones, so one call governs every runner of a grid or daemon.
+    pub fn set_budget_bytes(&self, bytes: u64) {
+        self.budget_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Traces dropped by the budget governor so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Drops least-recently-used traces until resident bytes fit the
+    /// budget, never dropping `keep` (just materialized). Slots being
+    /// filled right now hold their own lock — `try_lock` skips them,
+    /// which is correct: an in-progress fill is by definition in use.
+    fn evict_to_budget(&self, keep: &TraceKey) {
+        let budget = self.budget_bytes.load(Ordering::Relaxed);
+        if budget == 0 {
+            return;
+        }
+        let slots = self.slots.lock().expect("trace cache poisoned");
+        let mut resident: Vec<(u64, TraceKey, u64)> = Vec::new();
+        for (key, (slot, last_use)) in slots.iter() {
+            if let Ok(guard) = slot.try_lock() {
+                if let Some(trace) = guard.as_ref() {
+                    resident.push((*last_use, *key, trace.approx_bytes()));
+                }
+            }
+        }
+        let mut total: u64 = resident.iter().map(|(_, _, bytes)| bytes).sum();
+        if total <= budget {
+            return;
+        }
+        resident.sort_by_key(|(last_use, _, _)| *last_use);
+        let mut dropped = 0u64;
+        for (_, key, bytes) in resident {
+            if total <= budget {
+                break;
+            }
+            if key == *keep {
+                continue;
+            }
+            if let Some((slot, _)) = slots.get(&key) {
+                if let Ok(mut guard) = slot.try_lock() {
+                    *guard = None;
+                    total -= bytes;
+                    dropped += 1;
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if dropped > 0 && rvp_obs::span::armed() {
+            rvp_obs::span::record(
+                "cache.evict",
+                rvp_obs::span::current(),
+                rvp_obs::span::now_us(),
+                rvp_obs::span::now_us(),
+                vec![("cache".into(), "shared.traces".into()), ("evicted".into(), dropped.into())],
+            );
+        }
     }
 
     /// Number of materialized traces.
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("trace cache poisoned").len()
+        self.slots
+            .lock()
+            .expect("trace cache poisoned")
+            .values()
+            .filter(|(slot, _)| slot.try_lock().map(|g| g.is_some()).unwrap_or(true))
+            .count()
     }
 
     /// Whether the cache is empty.
@@ -346,10 +429,26 @@ pub struct Runner {
     /// sampling and per-PC telemetry). Off by default; the CPI stack is
     /// always collected.
     pub obs: ObsConfig,
+    /// Cooperative cancellation handle. When set, measurement cycle
+    /// loops and the sampling passes poll it on an amortized schedule
+    /// and fail fast with [`SimError::Cancelled`]; `None` (the default)
+    /// costs nothing.
+    pub cancel: Option<rvp_obs::CancelToken>,
 }
 
 impl Default for Runner {
     fn default() -> Runner {
+        let shared_traces = SharedTraceCache::default();
+        // Resource governance knob: cap the resident bytes of decoded
+        // shared traces (`RVP_SHARED_TRACE_BUDGET_MB`); unset or 0
+        // leaves the cache ungoverned, the seed-era behavior.
+        if let Some(mb) = std::env::var("RVP_SHARED_TRACE_BUDGET_MB")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|mb| *mb > 0)
+        {
+            shared_traces.set_budget_bytes(mb * 1024 * 1024);
+        }
         Runner {
             config: UarchConfig::table1(),
             recovery: Recovery::Selective,
@@ -362,9 +461,10 @@ impl Default for Runner {
             profiles: ProfileCache::default(),
             traces: TraceStore::from_env(),
             source_mode: SourceMode::default(),
-            shared_traces: SharedTraceCache::default(),
+            shared_traces,
             source_counters: SourceCounters::default(),
             obs: ObsConfig::off(),
+            cancel: None,
         }
     }
 }
@@ -378,6 +478,19 @@ impl Runner {
     /// The workload's program at this runner's [`Runner::workload_scale`].
     pub fn program_for(&self, wl: &Workload, input: Input) -> Program {
         wl.program_scaled(input, self.workload_scale)
+    }
+
+    /// Fails fast with [`SimError::Cancelled`] if this runner's token
+    /// has fired — called between the coarse stages of a cell (profile,
+    /// plan, window, measure) so cancellation lands promptly even when
+    /// the current stage is not a polled cycle loop.
+    fn check_cancel(&self) -> Result<(), SimError> {
+        if let Some(token) = &self.cancel {
+            if let Some(reason) = token.poll() {
+                return Err(SimError::Cancelled { cycle: 0, committed: 0, reason });
+            }
+        }
+        Ok(())
     }
 
     /// The train-input profile used by every profile-guided scheme,
@@ -437,6 +550,7 @@ impl Runner {
     /// Propagates simulator errors; these indicate workload or model
     /// bugs, not expected outcomes.
     pub fn run(&self, wl: &Workload, scheme: &SchemeSpec) -> Result<RunResult, SimError> {
+        self.check_cancel()?;
         let info = scheme.info();
         let mut program = self.program_for(wl, Input::Ref);
         let train = self.program_for(wl, Input::Train);
@@ -515,6 +629,9 @@ impl Runner {
         let name = wl.name();
         let mut sim = Simulator::new(self.config.clone(), sim_scheme, self.recovery)
             .with_obs(self.obs.clone());
+        if let Some(token) = &self.cancel {
+            sim = sim.with_cancel(token.clone());
+        }
         let mode = if reallocated { SourceMode::Live } else { self.source_mode };
         let _span = rvp_obs::span!("runner.measure", { workload: name, source: mode.name() });
 
@@ -603,12 +720,15 @@ impl Runner {
 
         let plan_dir = self.traces.as_ref().map(|s| s.dir().join("plans"));
         let plan = self.samples.plan(key, plan_dir.as_deref(), || {
-            build_plan(name, program, self.measure_insts, interval, warmup, spec)
+            build_plan(name, program, self.measure_insts, interval, warmup, spec, self.cancel.as_ref())
         })?;
-        let windows = self.samples.windows(key, || extract_plan_windows(&plan, program))?;
+        let windows = self
+            .samples
+            .windows(key, || extract_plan_windows(&plan, program, self.cancel.as_ref()))?;
 
         let mut parts = Vec::with_capacity(windows.len());
         for w in windows.iter() {
+            self.check_cancel()?;
             let _span = rvp_obs::span!("sample.interval", {
                 workload: name,
                 index: w.index as u64,
@@ -616,6 +736,9 @@ impl Runner {
                 insts: w.detail.len() as u64
             });
             let mut sim = Simulator::new(self.config.clone(), sim_scheme.clone(), self.recovery);
+            if let Some(token) = &self.cancel {
+                sim = sim.with_cancel(token.clone());
+            }
             let warm = sim.functional_warmup(program, &w.warmup);
             let mut source = SharedSource::new(Arc::clone(&w.detail));
             let stats =

@@ -166,6 +166,12 @@ fn store_plan(path: &Path, plan: &SamplePlan) {
 /// instructions through the BBV profiler ([`sample.profile`] span),
 /// then cluster ([`sample.cluster`] span inside
 /// [`SamplePlan::build`]).
+/// Cancel polls in the streaming emulation passes happen every
+/// `CANCEL_CHECK_MASK + 1` committed records — the same amortization
+/// idea as the cycle loop's, so a sampled cell squashes within
+/// milliseconds of its token firing even while profiling.
+const CANCEL_CHECK_MASK: u64 = 0x1FFF;
+
 pub(crate) fn build_plan(
     workload: &'static str,
     program: &Program,
@@ -173,6 +179,7 @@ pub(crate) fn build_plan(
     interval: u64,
     warmup: u64,
     spec: &SampleSpec,
+    cancel: Option<&rvp_obs::CancelToken>,
 ) -> Result<SamplePlan, SimError> {
     let profile = {
         let _span = rvp_obs::span!("sample.profile", { workload, budget, interval });
@@ -181,6 +188,11 @@ pub(crate) fn build_plan(
         let mut emu = Emulator::new(program);
         let mut seen = 0u64;
         while seen < budget {
+            if seen & CANCEL_CHECK_MASK == 0 {
+                if let Some(reason) = cancel.and_then(rvp_obs::CancelToken::poll) {
+                    return Err(SimError::Cancelled { cycle: 0, committed: seen, reason });
+                }
+            }
             match emu.step().map_err(SimError::Emu)? {
                 Some(rec) => {
                     prof.observe(rec.pc, rec.next_pc);
@@ -195,11 +207,29 @@ pub(crate) fn build_plan(
 }
 
 /// The second streaming pass: re-emulate the program and pull out just
-/// the planned windows.
+/// the planned windows. A fired cancel token ends the stream early and
+/// surfaces as [`SimError::Cancelled`] rather than a short-trace error.
 pub(crate) fn extract_plan_windows(
     plan: &SamplePlan,
     program: &Program,
+    cancel: Option<&rvp_obs::CancelToken>,
 ) -> Result<Vec<SampleWindow>, SimError> {
     let mut emu = Emulator::new(program);
-    extract_windows(plan, std::iter::from_fn(|| emu.step().transpose())).map_err(SimError::Emu)
+    let mut seen = 0u64;
+    let result = extract_windows(
+        plan,
+        std::iter::from_fn(|| {
+            if seen & CANCEL_CHECK_MASK == 0
+                && cancel.and_then(rvp_obs::CancelToken::poll).is_some()
+            {
+                return None;
+            }
+            seen += 1;
+            emu.step().transpose()
+        }),
+    );
+    if let Some(reason) = cancel.and_then(|t| t.reason()) {
+        return Err(SimError::Cancelled { cycle: 0, committed: seen, reason });
+    }
+    result.map_err(SimError::Emu)
 }

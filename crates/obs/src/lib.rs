@@ -28,6 +28,7 @@
 //!    exposition; and the mockable monotonic [`Clock`] everything
 //!    above stamps time with.
 
+pub mod cancel;
 pub mod clock;
 mod config;
 mod cpi;
@@ -39,6 +40,7 @@ mod sample;
 mod serve_metrics;
 pub mod span;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use clock::Clock;
 pub use config::ObsConfig;
 pub use cpi::{CpiBucket, CpiStack};

@@ -133,6 +133,25 @@ pub struct ServeMetrics {
     pub cells_computed: AtomicU64,
     /// Cells that failed (contained; reported per-request, never fatal).
     pub cells_failed: AtomicU64,
+    /// Jobs cancelled by the client (`DELETE /jobs/<id>`).
+    pub jobs_cancelled: AtomicU64,
+    /// In-flight cells squashed cooperatively (deadline, cancel, drain).
+    pub cells_cancelled: AtomicU64,
+    /// Sweeps shed with 429 by the overload governor (queue-delay EWMA
+    /// over target while the queue was backed up).
+    pub shed: AtomicU64,
+    /// Drains initiated (SIGTERM or `POST /shutdown`); idempotent
+    /// repeats are not counted.
+    pub drains: AtomicU64,
+    /// Connections answered 408 after stalling mid-request (slowloris).
+    pub request_timeouts: AtomicU64,
+    /// Waiting clients that disconnected before their job finished.
+    pub client_disconnects: AtomicU64,
+    /// Result-cache entries evicted to stay under the disk budget.
+    pub cache_evictions: AtomicU64,
+    /// EWMA of queue wait (enqueue to worker pickup), microseconds —
+    /// the signal the overload governor sheds on.
+    pub queue_delay_ewma_us: AtomicU64,
     /// Cells currently queued or running.
     pub queue_depth: AtomicU64,
     /// High-water mark of [`ServeMetrics::queue_depth`].
@@ -158,6 +177,16 @@ impl ServeMetrics {
         self.queue_depth.fetch_sub(cells, Ordering::Relaxed);
     }
 
+    /// Folds one measured queue wait into the shedding EWMA
+    /// (`new = 0.7*old + 0.3*sample`; the first sample seeds it). A
+    /// torn read/write race only smears monitoring data, so plain
+    /// relaxed load/store is fine.
+    pub fn observe_queue_delay(&self, us: u64) {
+        let old = self.queue_delay_ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 { us } else { (old * 7 + us * 3) / 10 };
+        self.queue_delay_ewma_us.store(new, Ordering::Relaxed);
+    }
+
     /// The counters as registry samples, for the unified
     /// [`MetricsRegistry`](crate::MetricsRegistry) / Prometheus
     /// exposition. Names follow Prometheus conventions
@@ -178,6 +207,14 @@ impl ServeMetrics {
             Metric::gauge("rvp_serve_cache_hit_rate", self.cache_hit_rate()),
             Metric::counter("rvp_serve_cells_computed_total", get(&self.cells_computed)),
             Metric::counter("rvp_serve_cells_failed_total", get(&self.cells_failed)),
+            Metric::counter("rvp_serve_jobs_cancelled_total", get(&self.jobs_cancelled)),
+            Metric::counter("rvp_serve_cells_cancelled_total", get(&self.cells_cancelled)),
+            Metric::counter("rvp_serve_shed_total", get(&self.shed)),
+            Metric::counter("rvp_serve_drains_total", get(&self.drains)),
+            Metric::counter("rvp_serve_request_timeouts_total", get(&self.request_timeouts)),
+            Metric::counter("rvp_serve_client_disconnects_total", get(&self.client_disconnects)),
+            Metric::counter("rvp_serve_cache_evictions_total", get(&self.cache_evictions)),
+            Metric::gauge("rvp_serve_queue_delay_ewma_us", get(&self.queue_delay_ewma_us) as f64),
             Metric::gauge("rvp_serve_queue_depth", get(&self.queue_depth) as f64),
             Metric::gauge("rvp_serve_queue_peak", get(&self.queue_peak) as f64),
             Metric::counter("rvp_serve_request_latency_count", latency.count()),
@@ -219,6 +256,14 @@ impl ToJson for ServeMetrics {
             ("cache_hit_rate", self.cache_hit_rate().into()),
             ("cells_computed", get(&self.cells_computed)),
             ("cells_failed", get(&self.cells_failed)),
+            ("jobs_cancelled", get(&self.jobs_cancelled)),
+            ("cells_cancelled", get(&self.cells_cancelled)),
+            ("shed", get(&self.shed)),
+            ("drains", get(&self.drains)),
+            ("request_timeouts", get(&self.request_timeouts)),
+            ("client_disconnects", get(&self.client_disconnects)),
+            ("cache_evictions", get(&self.cache_evictions)),
+            ("queue_delay_ewma_us", get(&self.queue_delay_ewma_us)),
             ("queue_depth", get(&self.queue_depth)),
             ("queue_peak", get(&self.queue_peak)),
             ("request_latency", self.request_latency.to_json()),

@@ -7,11 +7,19 @@
 //! (temp + fsync + rename) so a killed daemon leaves either a complete
 //! entry or none; a repeat request after restart hits disk instead of
 //! re-simulating.
+//!
+//! When a byte budget is configured the cache is *governed*: every
+//! disk hit touches the entry's mtime, and after every write the
+//! least-recently-used entries are evicted until the directory is back
+//! under budget. Eviction is loss of a cache, never loss of data — an
+//! evicted cell simply re-simulates on its next request.
 
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
 
 use rvp_core::write_atomic;
 use rvp_json::Json;
@@ -23,19 +31,39 @@ pub const CACHE_SUBDIR: &str = "cache";
 /// Failpoint consulted on every disk read of a cache entry.
 pub const CACHE_READ_SITE: &str = "serve.cache.read";
 
+/// Failpoint consulted on every disk write of a cache entry — the
+/// disk-full drill. An injected fault here behaves exactly like a full
+/// disk: the write fails, the entry serves from memory for this
+/// daemon's lifetime, and (when a budget is set) an eviction sweep
+/// frees space for the next write.
+pub const DISK_FULL_SITE: &str = "store.disk.full";
+
 /// Disk-backed result cache with a write-through in-memory map.
 #[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
     mem: Mutex<HashMap<u64, Arc<str>>>,
+    /// Disk budget in bytes; 0 means ungoverned (never evict).
+    budget_bytes: u64,
+    evictions: Arc<AtomicU64>,
 }
 
 impl ResultCache {
     /// Opens (creating if needed) the cache under `state_dir`.
     pub fn open(state_dir: &Path) -> io::Result<ResultCache> {
+        ResultCache::open_with_budget(state_dir, 0)
+    }
+
+    /// Opens the cache with a disk budget in bytes (`0` = unlimited).
+    pub fn open_with_budget(state_dir: &Path, budget_bytes: u64) -> io::Result<ResultCache> {
         let dir = state_dir.join(CACHE_SUBDIR);
         std::fs::create_dir_all(&dir)?;
-        Ok(ResultCache { dir, mem: Mutex::new(HashMap::new()) })
+        Ok(ResultCache {
+            dir,
+            mem: Mutex::new(HashMap::new()),
+            budget_bytes,
+            evictions: Arc::new(AtomicU64::new(0)),
+        })
     }
 
     /// Cache directory (entries are `<key:016x>.json`).
@@ -46,6 +74,12 @@ impl ResultCache {
     /// On-disk path of an entry.
     pub fn path_for(&self, key: u64) -> PathBuf {
         self.dir.join(format!("{key:016x}.json"))
+    }
+
+    /// Entries evicted so far; shared so a metrics collector can read
+    /// it without holding the cache.
+    pub fn evictions(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.evictions)
     }
 
     /// Looks a key up: memory first, then disk (the `serve.cache.read`
@@ -74,6 +108,12 @@ impl ResultCache {
             let _ = std::fs::remove_file(&path);
             return Ok(None);
         }
+        if self.budget_bytes > 0 {
+            // Touch-on-hit keeps eviction order LRU rather than FIFO.
+            if let Ok(f) = std::fs::File::open(&path) {
+                let _ = f.set_modified(SystemTime::now());
+            }
+        }
         let text: Arc<str> = text.into();
         self.mem.lock().unwrap().insert(key, Arc::clone(&text));
         Ok(Some(text))
@@ -82,15 +122,92 @@ impl ResultCache {
     /// Write-through insert. The disk write is atomic; on failure the
     /// entry still serves from memory for this daemon's lifetime and
     /// the error is reported for logging (a later identical request
-    /// re-simulates instead of reading a torn file).
+    /// re-simulates instead of reading a torn file). A configured
+    /// budget is enforced after every write; a failed write (disk
+    /// full, injected at `store.disk.full`) also runs the sweep so the
+    /// *next* write has room.
     pub fn put(&self, key: u64, text: &str) -> io::Result<()> {
         self.mem.lock().unwrap().insert(key, text.into());
-        write_atomic(&self.path_for(key), text.as_bytes())
+        let written = rvp_fail::io_at(DISK_FULL_SITE)
+            .and_then(|()| write_atomic(&self.path_for(key), text.as_bytes()));
+        if self.budget_bytes > 0 {
+            self.evict_to_budget(Some(key));
+        }
+        written
     }
 
     /// Entries currently resident in memory.
     pub fn resident(&self) -> usize {
         self.mem.lock().unwrap().len()
+    }
+
+    /// Total bytes of cache entries on disk.
+    pub fn disk_bytes(&self) -> u64 {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return 0 };
+        entries
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    /// Evicts least-recently-used entries (by mtime; hits touch) until
+    /// the directory is back under budget, never evicting `keep` (the
+    /// entry just written). Evicted keys leave the in-memory map too,
+    /// so memory stays proportional to the governed disk set.
+    fn evict_to_budget(&self, keep: Option<u64>) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return };
+        let mut files: Vec<(SystemTime, PathBuf, u64, Option<u64>)> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .filter_map(|p| {
+                let meta = std::fs::metadata(&p).ok()?;
+                let key = p
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(|s| u64::from_str_radix(s, 16).ok());
+                Some((meta.modified().ok()?, p, meta.len(), key))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, _, len, _)| len).sum();
+        if total <= self.budget_bytes {
+            return;
+        }
+        files.sort_by_key(|(mtime, _, _, _)| *mtime);
+        let over = total.saturating_sub(self.budget_bytes);
+        let start_us = rvp_obs::span::now_us();
+        let mut evicted = 0u64;
+        for (_, path, len, key) in files {
+            if total <= self.budget_bytes {
+                break;
+            }
+            if key.is_some() && key == keep {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total -= len;
+                evicted += 1;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(key) = key {
+                    self.mem.lock().unwrap().remove(&key);
+                }
+            }
+        }
+        if evicted > 0 && rvp_obs::span::armed() {
+            rvp_obs::span::record(
+                "cache.evict",
+                rvp_obs::span::current(),
+                start_us,
+                rvp_obs::span::now_us(),
+                vec![
+                    ("cache".into(), "serve.results".into()),
+                    ("evicted".into(), evicted.into()),
+                    ("over_bytes".into(), over.into()),
+                ],
+            );
+        }
     }
 }
 
@@ -129,6 +246,56 @@ mod tests {
         std::fs::write(cache.path_for(9), b"{\"torn\":").unwrap();
         assert!(cache.get(9).unwrap().is_none());
         assert!(!cache.path_for(9).exists(), "corrupt entry must be removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_evicts_lru_and_never_the_fresh_entry() {
+        let dir = tmp("budget");
+        let entry = "{\"n\":0}\n"; // 8 bytes
+        let budget = 3 * entry.len() as u64;
+        let cache = ResultCache::open_with_budget(&dir, budget).unwrap();
+        for key in 1..=3u64 {
+            cache.put(key, entry).unwrap();
+            // mtime granularity can be coarse; space the writes out so
+            // LRU order is unambiguous.
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        assert!(cache.disk_bytes() <= budget);
+        // Touch entry 1 (the oldest) via a disk hit from a cold map,
+        // then overflow: entry 2 is now the least recently used.
+        let warm = ResultCache::open_with_budget(&dir, budget).unwrap();
+        assert!(warm.get(1).unwrap().is_some());
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        warm.put(4, entry).unwrap();
+        assert!(warm.disk_bytes() <= budget, "budget enforced after put");
+        assert!(warm.path_for(4).exists(), "the fresh entry survives its own sweep");
+        assert!(warm.path_for(1).exists(), "the touched entry was most recently used");
+        assert!(!warm.path_for(2).exists(), "the LRU entry is the one evicted");
+        assert_eq!(warm.evictions().load(Ordering::Relaxed), 1);
+        // The evicted key is gone from memory too: a get re-reports miss.
+        assert!(warm.get(2).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_full_fault_still_serves_from_memory() {
+        let dir = tmp("diskfull");
+        let cache = ResultCache::open(&dir).unwrap();
+        rvp_fail::configure(&format!(
+            "seed=3;{DISK_FULL_SITE}=io@1,thread=disk_full_fault_still_serves"
+        ))
+        .expect("valid spec");
+        let first = cache.put(5, "{\"x\":5}\n");
+        let second = cache.put(6, "{\"x\":6}\n");
+        rvp_fail::disable();
+        first.expect_err("first write hits the injected disk-full fault");
+        second.expect("the fault only arms the first write");
+        // The failed write still serves from memory and left no torn
+        // file on disk.
+        assert_eq!(cache.get(5).unwrap().as_deref(), Some("{\"x\":5}\n"));
+        assert!(!cache.path_for(5).exists());
+        assert!(cache.path_for(6).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

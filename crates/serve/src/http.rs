@@ -13,6 +13,12 @@ use std::time::Duration;
 
 use rvp_json::Json;
 
+/// Whether an I/O error is a socket read timeout (either kind the
+/// platform may report for `SO_RCVTIMEO`).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
 /// Upper bound on the request line plus all headers, in bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
@@ -27,6 +33,11 @@ pub enum HttpError {
     Malformed(&'static str),
     /// Head or body over the fixed limits; 431/413 and close.
     TooLarge(&'static str),
+    /// The peer stalled *mid-request* past the socket read timeout
+    /// (slowloris): the connection gets a structured 408 and is closed.
+    /// An idle keep-alive connection that times out *between* requests
+    /// is reaped silently instead (reported as [`HttpError::Io`]).
+    Timeout(&'static str),
     /// The socket itself failed mid-request.
     Io(io::Error),
 }
@@ -55,10 +66,30 @@ pub struct Request {
 /// Reads one request off a connection. `Ok(None)` means the peer
 /// closed cleanly between requests (normal end of a keep-alive
 /// conversation).
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, HttpError> {
+///
+/// Generic over any [`BufRead`] so the property tests can drive the
+/// parser from in-memory byte vectors; the daemon passes a
+/// `BufReader<TcpStream>`, whose read timeout turns a stalled client
+/// into [`HttpError::Timeout`] (mid-request) or a silent idle reap
+/// (between requests).
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
     let mut head_bytes = 0usize;
     let mut line = String::new();
-    if read_head_line(reader, &mut line, &mut head_bytes)? == 0 {
+    let first = match read_head_line(reader, &mut line, &mut head_bytes) {
+        Ok(n) => n,
+        // Timed out with nothing read: an idle keep-alive connection,
+        // reaped without a response. Partial bytes then a stall is a
+        // slowloris request head — that one gets the structured 408.
+        Err(HttpError::Io(e)) if is_timeout(&e) => {
+            return if line.is_empty() {
+                Err(HttpError::Io(e))
+            } else {
+                Err(HttpError::Timeout("timed out reading request line"))
+            };
+        }
+        Err(e) => return Err(e),
+    };
+    if first == 0 {
         return Ok(None);
     }
     let mut parts = line.split_whitespace();
@@ -77,7 +108,14 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>
     let mut keep_alive = true;
     loop {
         line.clear();
-        if read_head_line(reader, &mut line, &mut head_bytes)? == 0 {
+        let n = match read_head_line(reader, &mut line, &mut head_bytes) {
+            Ok(n) => n,
+            Err(HttpError::Io(e)) if is_timeout(&e) => {
+                return Err(HttpError::Timeout("timed out reading headers"));
+            }
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
             return Err(HttpError::Malformed("connection closed inside headers"));
         }
         let trimmed = line.trim_end();
@@ -103,7 +141,11 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>
     }
 
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    match reader.read_exact(&mut body) {
+        Ok(()) => {}
+        Err(e) if is_timeout(&e) => return Err(HttpError::Timeout("timed out reading body")),
+        Err(e) => return Err(HttpError::Io(e)),
+    }
     Ok(Some(Request { method, path, query, body, keep_alive }))
 }
 
@@ -120,8 +162,8 @@ impl Request {
 
 /// Reads one CRLF-terminated head line, charging it against the shared
 /// head budget. Returns the number of bytes read (0 at EOF).
-fn read_head_line(
-    reader: &mut BufReader<TcpStream>,
+fn read_head_line<R: BufRead>(
+    reader: &mut R,
     line: &mut String,
     head_bytes: &mut usize,
 ) -> Result<usize, HttpError> {
@@ -191,6 +233,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",

@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 use rvp_bench::grid::{run_one_cell, CellOptions, GridCell};
 use rvp_core::Runner;
 use rvp_json::{Json, ToJson};
-use rvp_obs::{log, span, Clock, Metric, MetricsRegistry, ServeMetrics};
+use rvp_obs::{log, span, CancelToken, Clock, Metric, MetricsRegistry, ServeMetrics};
 use rvp_trace::TraceStore;
 
 use crate::cache::ResultCache;
@@ -55,6 +55,27 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Per-cell transient-failure retries (see [`CellOptions`]).
     pub retries: u32,
+    /// Default per-job deadline in seconds (`0` = none). A request can
+    /// only tighten it (`deadline_ms` in the sweep body); a job over
+    /// deadline has its in-flight cells cooperatively squashed.
+    pub deadline_secs: u64,
+    /// Graceful-drain window in seconds: how long SIGTERM or
+    /// `POST /shutdown` lets in-flight jobs finish before squashing
+    /// the survivors (their journal records stay pending for resume).
+    pub drain_secs: u64,
+    /// Overload shedding threshold: when the queue-wait EWMA exceeds
+    /// this many milliseconds *and* the queue is deeper than the worker
+    /// pool, new sweeps are shed with 429 (`0` = disabled).
+    pub shed_delay_ms: u64,
+    /// Result-cache disk budget in bytes (`0` = unlimited); beyond it,
+    /// least-recently-used entries are evicted after each write.
+    pub cache_budget_bytes: u64,
+    /// Trace-store disk budget in bytes (`0` = unlimited).
+    pub trace_budget_bytes: u64,
+    /// Socket read timeout in seconds: a client that stalls mid-request
+    /// this long gets a 408; an idle keep-alive connection is reaped
+    /// silently (the slowloris guard).
+    pub read_timeout_secs: u64,
 }
 
 impl ServeConfig {
@@ -67,6 +88,12 @@ impl ServeConfig {
             max_queue: 1024,
             max_connections: 2048,
             retries: 2,
+            deadline_secs: 0,
+            drain_secs: 30,
+            shed_delay_ms: 0,
+            cache_budget_bytes: 0,
+            trace_budget_bytes: 0,
+            read_timeout_secs: 10,
         }
     }
 }
@@ -108,6 +135,9 @@ struct JobState {
 pub struct Job {
     /// Stable id, also across daemon restarts (journaled).
     pub id: u64,
+    /// Fired when the job is aborted (`DELETE /jobs/<id>`, client
+    /// disconnect, deadline, drain squash); sticky, first reason wins.
+    pub cancel: CancelToken,
     state: Mutex<JobState>,
     cv: Condvar,
 }
@@ -115,7 +145,12 @@ pub struct Job {
 impl Job {
     fn new(id: u64, slots: Vec<CellSlot>) -> Job {
         let remaining = slots.iter().filter(|s| s.outcome.is_none()).count();
-        Job { id, state: Mutex::new(JobState { cells: slots, remaining }), cv: Condvar::new() }
+        Job {
+            id,
+            cancel: CancelToken::new(),
+            state: Mutex::new(JobState { cells: slots, remaining }),
+            cv: Condvar::new(),
+        }
     }
 
     /// Fills one cell; returns true when this completed the job.
@@ -149,6 +184,18 @@ impl Job {
         while state.remaining > 0 {
             state = self.cv.wait(state).unwrap();
         }
+    }
+
+    /// Blocks for at most `timeout`; returns whether the job is done.
+    /// Handlers use short slices of this so they can interleave
+    /// client-disconnect and drain checks with the wait.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let state = self.state.lock().unwrap();
+        if state.remaining == 0 {
+            return true;
+        }
+        let (state, _timed_out) = self.cv.wait_timeout(state, timeout).unwrap();
+        state.remaining == 0
     }
 
     /// The job as the API reports it.
@@ -190,6 +237,7 @@ impl Job {
         Json::obj([
             ("job", self.id.into()),
             ("status", if state.remaining == 0 { "done" } else { "running" }.into()),
+            ("cancelled", self.cancel.is_cancelled().into()),
             ("total", (state.cells.len() as u64).into()),
             ("remaining", (state.remaining as u64).into()),
             ("cached", cached.into()),
@@ -217,6 +265,9 @@ struct CellTask {
     parent_span: u64,
     /// The admitting job's id (correlation with `RVP_LOG` lines).
     job_id: u64,
+    /// The task's cancel token; also installed on `runner` so the sim
+    /// loop polls it. Fired by job abort, deadline expiry or drain.
+    cancel: CancelToken,
     cell: GridCell,
     runner: Runner,
 }
@@ -246,6 +297,10 @@ struct Sched {
     inflight: HashSet<u64>,
     /// Cells waiting on an in-flight fingerprint: `(job, cell index)`.
     waiters: HashMap<u64, Vec<(Arc<Job>, usize)>>,
+    /// Cancel token per in-flight fingerprint. A job abort only fires
+    /// a task token once the fingerprint's waiter list is empty, so
+    /// cancelling one job never squashes a cell another job shares.
+    tokens: HashMap<u64, CancelToken>,
     seq: u64,
 }
 
@@ -269,6 +324,12 @@ struct Inner {
     /// Learned per-label cell cost (seconds), EWMA over completions.
     costs: Mutex<HashMap<String, f64>>,
     stop: AtomicBool,
+    /// Set by SIGTERM / `POST /shutdown`: new sweeps get 503, workers
+    /// finish or squash, then the daemon stops.
+    draining: AtomicBool,
+    /// The bound address; the drain sequence pokes it to unblock the
+    /// accept loop.
+    addr: SocketAddr,
     active_conns: AtomicUsize,
 }
 
@@ -283,6 +344,14 @@ enum SubmitError {
     Cache(io::Error),
     /// The job could not be made durable.
     Journal(io::Error),
+    /// The daemon is draining; nothing new is admitted.
+    Draining,
+    /// The overload governor shed the sweep: measured queue delay over
+    /// the configured target with the queue backed up.
+    Shed {
+        /// The queue-wait EWMA that triggered the shed, milliseconds.
+        delay_ms: u64,
+    },
 }
 
 /// A running daemon; dropping the handle does *not* stop it — call
@@ -328,6 +397,25 @@ impl ServerHandle {
             let _ = w.join();
         }
     }
+
+    /// Whether a stop (drain completion or [`ServerHandle::shutdown`])
+    /// has been requested; the binary's main loop polls this.
+    pub fn stopping(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain (the SIGTERM path): refuse new sweeps with 503,
+    /// let in-flight jobs finish within the configured window, squash
+    /// the survivors cooperatively (their journal records stay pending
+    /// for resume on the next start), then stop and join every thread.
+    /// Idempotent with a concurrent `POST /shutdown`.
+    pub fn drain(self) {
+        drain(&self.inner);
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
 }
 
 /// Boots the daemon: opens state, replays the journal, binds the
@@ -336,15 +424,20 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
     std::fs::create_dir_all(&cfg.state_dir)?;
     let cells_dir = cfg.state_dir.join("cells");
     std::fs::create_dir_all(&cells_dir)?;
-    let cache = ResultCache::open(&cfg.state_dir)?;
+    let cache = ResultCache::open_with_budget(&cfg.state_dir, cfg.cache_budget_bytes)?;
     let (journal, pending) = JobJournal::open(&cfg.state_dir)?;
 
     let mut base = Runner::default();
     if base.traces.is_none() {
         base.traces = Some(
-            TraceStore::new(cfg.state_dir.join("traces"))
+            TraceStore::with_budget(cfg.state_dir.join("traces"), cfg.trace_budget_bytes)
                 .map_err(|e| io::Error::other(format!("cannot open trace store: {e}")))?,
         );
+    }
+    if cfg.trace_budget_bytes > 0 {
+        // One budget governs both trace tiers: the on-disk store above
+        // and the decoded in-memory copies the workers share.
+        base.shared_traces.set_budget_bytes(cfg.trace_budget_bytes);
     }
 
     let next_id = pending.iter().map(|(id, _)| *id).max().unwrap_or(0) + 1;
@@ -372,6 +465,8 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         queue_cv: Condvar::new(),
         costs: Mutex::new(HashMap::new()),
         stop: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
+        addr,
         active_conns: AtomicUsize::new(0),
     });
     register_collectors(&inner);
@@ -388,7 +483,7 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
                 let _span = span!("serve.journal.replay", { pending: pending.len() });
                 for (id, spec_json) in pending {
                     match SweepSpec::from_json(&spec_json, &inner.base) {
-                        Ok(spec) => match submit(&inner, spec, Some(id)) {
+                        Ok(spec) => match submit(&inner, spec, Some(id), None) {
                             Ok(job) => {
                                 inner.metrics.jobs_resumed.fetch_add(1, Ordering::Relaxed);
                                 log::info(
@@ -485,7 +580,10 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
 }
 
 fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+    // The read timeout doubles as the slowloris guard: a client that
+    // stalls mid-request gets a 408 below, one idling between
+    // keep-alive requests is reaped silently.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(inner.cfg.read_timeout_secs.max(1))));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(120)));
     let Ok(write_half) = stream.try_clone() else { return };
     let mut write_half = write_half;
@@ -504,6 +602,12 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
                 respond(inner, &mut write_half, 413, &[], error_body(why));
                 return;
             }
+            Err(HttpError::Timeout(why)) => {
+                inner.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.request_timeouts.fetch_add(1, Ordering::Relaxed);
+                respond(inner, &mut write_half, 408, &[], error_body(why));
+                return;
+            }
         };
         inner.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let started_us = inner.clock.now_us();
@@ -511,7 +615,7 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
             method: request.method.as_str(),
             path: request.path.as_str(),
         });
-        let (status, headers, body) = route(inner, &request);
+        let (status, headers, body) = route(inner, &request, &write_half);
         req_span.add_field("status", u64::from(status));
         drop(req_span);
         inner.metrics.request_latency.record_us(inner.clock.now_us().saturating_sub(started_us));
@@ -569,10 +673,26 @@ fn error_body(message: impl std::fmt::Display) -> Body {
 
 type Routed = (u16, Vec<(&'static str, String)>, Body);
 
-fn route(inner: &Arc<Inner>, request: &Request) -> Routed {
+fn route(inner: &Arc<Inner>, request: &Request, stream: &TcpStream) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/sweep") => sweep_endpoint(inner, &request.body),
+        ("POST", "/sweep") => sweep_endpoint(inner, request, stream),
+        ("POST", "/shutdown") => {
+            let window = inner.cfg.drain_secs;
+            let drainer = Arc::clone(inner);
+            let _ = std::thread::Builder::new()
+                .name("serve-drain".to_owned())
+                .spawn(move || drain(&drainer));
+            let body =
+                Json::obj([("draining", true.into()), ("window_secs", window.into())]);
+            (202, Vec::new(), Body::Json(body))
+        }
         ("GET", "/metrics") => {
+            // The eviction counter lives on the cache; mirror it into
+            // the snapshot the endpoint renders.
+            inner
+                .metrics
+                .cache_evictions
+                .store(inner.cache.evictions().load(Ordering::Relaxed), Ordering::Relaxed);
             if request.query_param("format") == Some("prom") {
                 let text = inner.registry.to_prometheus();
                 (200, Vec::new(), Body::Text { content_type: "text/plain; version=0.0.4", text })
@@ -619,14 +739,31 @@ fn route(inner: &Arc<Inner>, request: &Request) -> Routed {
                 },
             }
         }
-        (_, "/sweep" | "/metrics" | "/healthz" | "/readyz" | "/trace") => {
+        ("DELETE", path) if path.starts_with("/jobs/") => {
+            match path["/jobs/".len()..].parse::<u64>() {
+                Err(_) => (400, Vec::new(), error_body("job id must be an integer")),
+                Ok(id) => match cancel_job(inner, id, "client abort (DELETE)") {
+                    None => (404, Vec::new(), error_body(format!("no such job: {id}"))),
+                    Some(cancelled) => {
+                        let body = Json::obj([
+                            ("job", id.into()),
+                            ("cancelled", cancelled.into()),
+                            ("status", if cancelled { "cancelled" } else { "done" }.into()),
+                        ]);
+                        (200, Vec::new(), Body::Json(body))
+                    }
+                },
+            }
+        }
+        (_, "/sweep" | "/shutdown" | "/metrics" | "/healthz" | "/readyz" | "/trace") => {
             (405, Vec::new(), error_body("method not allowed"))
         }
         _ => (404, Vec::new(), error_body(format!("no such endpoint: {}", request.path))),
     }
 }
 
-fn sweep_endpoint(inner: &Arc<Inner>, body: &[u8]) -> Routed {
+fn sweep_endpoint(inner: &Arc<Inner>, request: &Request, stream: &TcpStream) -> Routed {
+    let body = &request.body;
     let parse_span = span!("serve.parse", { bytes: body.len() });
     let text = match std::str::from_utf8(body) {
         Ok(text) => text,
@@ -642,8 +779,19 @@ fn sweep_endpoint(inner: &Arc<Inner>, body: &[u8]) -> Routed {
     };
     drop(parse_span);
     let wait = parsed.get("wait").and_then(Json::as_bool).unwrap_or(false);
+    // The effective deadline is the server default tightened by the
+    // request (`deadline_ms`). It governs cancellation, not identity:
+    // it never enters the cell fingerprint, so a deadlined request
+    // still hits the cache entries of an undeadlined one.
+    let requested_ms = parsed.get("deadline_ms").and_then(Json::as_u64).filter(|ms| *ms > 0);
+    let default_ms = Some(inner.cfg.deadline_secs * 1000).filter(|ms| *ms > 0);
+    let deadline = match (requested_ms, default_ms) {
+        (Some(a), Some(b)) => Some(Duration::from_millis(a.min(b))),
+        (Some(ms), None) | (None, Some(ms)) => Some(Duration::from_millis(ms)),
+        (None, None) => None,
+    };
 
-    let job = match submit(inner, spec, None) {
+    let job = match submit(inner, spec, None, deadline) {
         Ok(job) => job,
         Err(SubmitError::Busy { misses }) => {
             let body = Json::obj([
@@ -653,6 +801,18 @@ fn sweep_endpoint(inner: &Arc<Inner>, body: &[u8]) -> Routed {
             ]);
             return (429, vec![("Retry-After", "1".to_owned())], Body::Json(body));
         }
+        Err(SubmitError::Shed { delay_ms }) => {
+            let retry = (delay_ms / 1000).clamp(1, 30);
+            let body = Json::obj([
+                ("error", "overloaded; shedding load".into()),
+                ("queue_delay_ms", delay_ms.into()),
+            ]);
+            return (429, vec![("Retry-After", retry.to_string())], Body::Json(body));
+        }
+        Err(SubmitError::Draining) => {
+            let body = Json::obj([("error", "draining; retry against the restarted daemon".into())]);
+            return (503, vec![("Retry-After", "5".to_owned())], Body::Json(body));
+        }
         Err(SubmitError::Cache(e)) => {
             return (500, Vec::new(), error_body(format!("result cache read failed: {e}")));
         }
@@ -661,7 +821,22 @@ fn sweep_endpoint(inner: &Arc<Inner>, body: &[u8]) -> Routed {
         }
     };
     if wait {
-        job.wait();
+        // Short wait slices so a vanished client or a drain is noticed
+        // within ~250ms instead of holding a handler thread forever.
+        loop {
+            if job.wait_timeout(Duration::from_millis(250)) {
+                break;
+            }
+            if inner.draining.load(Ordering::SeqCst) {
+                let body = job.to_json();
+                return (503, vec![("Retry-After", "5".to_owned())], Body::Json(body));
+            }
+            if client_gone(stream) {
+                inner.metrics.client_disconnects.fetch_add(1, Ordering::Relaxed);
+                cancel_job(inner, job.id, "client disconnected");
+                break;
+            }
+        }
     }
     if job.is_done() {
         (200, Vec::new(), Body::Json(job.to_json()))
@@ -675,6 +850,24 @@ fn sweep_endpoint(inner: &Arc<Inner>, body: &[u8]) -> Routed {
     }
 }
 
+/// Whether the peer of a waiting `wait=true` connection has gone away:
+/// a non-blocking peek that returns EOF (or a hard error) means the
+/// client hung up and nobody will read the response.
+fn client_gone(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
 /// Admits one sweep: cache lookups, admission control, durable journal
 /// append, scheduling. `resume_id` marks a journal replay — the job
 /// keeps its id, skips re-journaling (the compacted journal already
@@ -684,8 +877,14 @@ fn submit(
     inner: &Arc<Inner>,
     spec: SweepSpec,
     resume_id: Option<u64>,
+    deadline: Option<Duration>,
 ) -> Result<Arc<Job>, SubmitError> {
     let resumed = resume_id.is_some();
+    // A draining daemon admits nothing new; journal replays are the
+    // exception — those jobs were admitted before and must not be lost.
+    if !resumed && inner.draining.load(Ordering::SeqCst) {
+        return Err(SubmitError::Draining);
+    }
     // The enclosing request span (or replay span); queue-wait and
     // worker-side exec spans parent onto it across threads.
     let request_span = span::current();
@@ -723,6 +922,18 @@ fn submit(
         if depth + misses.len() > inner.cfg.max_queue {
             return Err(SubmitError::Busy { misses: misses.len() });
         }
+        // Adaptive shedding: the hard queue bound above caps memory,
+        // but a queue of slow cells can be "not full" and still hours
+        // deep. When the measured queue wait says new work would sit
+        // past the target, shed at admission instead of timing out
+        // after the client already waited. Resumed jobs are exempt.
+        if !resumed && inner.cfg.shed_delay_ms > 0 && depth > inner.cfg.workers {
+            let delay_ms = inner.metrics.queue_delay_ewma_us.load(Ordering::Relaxed) / 1000;
+            if delay_ms > inner.cfg.shed_delay_ms {
+                inner.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Shed { delay_ms });
+            }
+        }
     }
     drop(admission_span);
 
@@ -736,6 +947,9 @@ fn submit(
     }
 
     let job = Arc::new(Job::new(id, slots));
+    if let Some(d) = deadline {
+        job.cancel.set_deadline(d);
+    }
     inner.jobs.lock().unwrap().insert(id, Arc::clone(&job));
     inner.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
 
@@ -760,8 +974,18 @@ fn submit(
             sched.waiters.entry(fingerprint).or_default().push((Arc::clone(&job), idx));
             if !sched.inflight.insert(fingerprint) {
                 // Single-flight: ride the simulation already queued.
+                // Deadlines only tighten, so a shared cell squashes at
+                // its earliest sharer's deadline.
+                if let (Some(d), Some(token)) = (deadline, sched.tokens.get(&fingerprint)) {
+                    token.set_deadline(d);
+                }
                 continue;
             }
+            let token = match deadline {
+                Some(d) => CancelToken::with_deadline(d),
+                None => CancelToken::new(),
+            };
+            sched.tokens.insert(fingerprint, token.clone());
             let cell = GridCell {
                 workload: cells[idx].workload.clone(),
                 scheme: cells[idx].scheme.clone(),
@@ -769,6 +993,8 @@ fn submit(
             let cost_us = estimate_us(inner, &cell, &runner);
             sched.seq += 1;
             let seq = sched.seq;
+            let mut cell_runner = runner.clone();
+            cell_runner.cancel = Some(token.clone());
             sched.queue.push(CellTask {
                 cost_us,
                 seq,
@@ -776,8 +1002,9 @@ fn submit(
                 enqueued_us: span::now_us(),
                 parent_span: request_span,
                 job_id: id,
+                cancel: token,
                 cell,
-                runner: runner.clone(),
+                runner: cell_runner,
             });
             enqueued += 1;
         }
@@ -814,6 +1041,8 @@ fn worker_loop(inner: &Arc<Inner>) {
                 sched = inner.queue_cv.wait(sched).unwrap();
             }
         };
+        let dequeued_us = span::now_us();
+        inner.metrics.observe_queue_delay(dequeued_us.saturating_sub(task.enqueued_us));
         if span::armed() {
             // The time this cell sat in the queue, attributed back to
             // the request (or replay) that admitted it.
@@ -821,11 +1050,12 @@ fn worker_loop(inner: &Arc<Inner>) {
                 "serve.queue.wait",
                 task.parent_span,
                 task.enqueued_us,
-                span::now_us(),
+                dequeued_us,
                 vec![("cell".into(), task.cell.label().into()), ("job".into(), task.job_id.into())],
             );
         }
-        let outcome = {
+        let exec_start_us = span::now_us();
+        let (outcome, cancelled) = {
             let _exec = span::child_of(task.parent_span, "serve.cell.exec", || {
                 vec![("cell".into(), task.cell.label().into()), ("job".into(), task.job_id.into())]
             });
@@ -834,8 +1064,36 @@ fn worker_loop(inner: &Arc<Inner>) {
         let waiters = {
             let mut sched = inner.sched.lock().unwrap();
             sched.inflight.remove(&task.fingerprint);
+            sched.tokens.remove(&task.fingerprint);
             sched.waiters.remove(&task.fingerprint).unwrap_or_default()
         };
+        if cancelled {
+            inner.metrics.cells_cancelled.fetch_add(1, Ordering::Relaxed);
+            if span::armed() {
+                span::record(
+                    "cancel.squash",
+                    task.parent_span,
+                    exec_start_us,
+                    span::now_us(),
+                    vec![
+                        ("cell".into(), task.cell.label().into()),
+                        ("job".into(), task.job_id.into()),
+                        (
+                            "reason".into(),
+                            task.cancel.detail().unwrap_or_else(|| "cancelled".to_owned()).into(),
+                        ),
+                    ],
+                );
+            }
+        }
+        if cancelled && inner.draining.load(Ordering::SeqCst) {
+            // Drain squash: the cell's jobs stay *pending* — no fill,
+            // no done record — so the journal resumes them, and their
+            // finished cells re-serve from the cache, on the next
+            // start. Nothing admitted is ever lost.
+            inner.metrics.queue_exit(1);
+            continue;
+        }
         for (job, idx) in waiters {
             if job.fill(idx, outcome.clone()) {
                 // Durable before observable: the done record lands
@@ -851,8 +1109,10 @@ fn worker_loop(inner: &Arc<Inner>) {
 
 /// Runs one cell with the grid's full containment stack (panic
 /// catching, transient retries, source-degradation ladder) and caches
-/// the result. Failures come back as data, never as a dead worker.
-fn execute(inner: &Arc<Inner>, task: &CellTask) -> CellOutcome {
+/// the result. Failures come back as data, never as a dead worker; the
+/// second return value is whether the cell was cooperatively squashed
+/// (the task token fired) rather than genuinely failing.
+fn execute(inner: &Arc<Inner>, task: &CellTask) -> (CellOutcome, bool) {
     let opts = CellOptions { retries: inner.cfg.retries, timeout_secs: 0 };
     let started = Instant::now();
     match run_one_cell(&task.runner, &task.cell, opts, &inner.cells_dir) {
@@ -878,16 +1138,141 @@ fn execute(inner: &Arc<Inner>, task: &CellTask) -> CellOutcome {
                     ],
                 );
             }
-            CellOutcome::Done { text: text.into(), cached: false }
+            (CellOutcome::Done { text: text.into(), cached: false }, false)
         }
         Err(poisoned) => {
-            inner.metrics.cells_failed.fetch_add(1, Ordering::Relaxed);
-            CellOutcome::Failed {
+            if !poisoned.cancelled {
+                inner.metrics.cells_failed.fetch_add(1, Ordering::Relaxed);
+            }
+            let outcome = CellOutcome::Failed {
                 error: format!(
                     "cell {} poisoned at stage {} after {} attempts: {}",
                     poisoned.label, poisoned.stage, poisoned.attempts, poisoned.error
                 ),
+            };
+            (outcome, poisoned.cancelled)
+        }
+    }
+}
+
+/// Aborts a job: fires its token, detaches it from the scheduler
+/// (cancelling a shared cell's task token only when no other job still
+/// waits on it), fails its pending cells so waiters wake, and closes
+/// its journal record. Returns `None` for an unknown id, `Some(false)`
+/// for a job that had already finished, `Some(true)` on a real abort.
+fn cancel_job(inner: &Arc<Inner>, id: u64, why: &str) -> Option<bool> {
+    let job = inner.jobs.lock().unwrap().get(&id).cloned()?;
+    if job.is_done() {
+        return Some(false);
+    }
+    job.cancel.cancel(why);
+    inner.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut sched = inner.sched.lock().unwrap();
+        let mut orphaned: Vec<u64> = Vec::new();
+        for (fingerprint, list) in sched.waiters.iter_mut() {
+            list.retain(|(waiter, _)| waiter.id != id);
+            if list.is_empty() {
+                orphaned.push(*fingerprint);
+            }
+        }
+        for fingerprint in orphaned {
+            sched.waiters.remove(&fingerprint);
+            // Nobody wants this cell anymore: squash it. The queued or
+            // running worker notices within one poll mask and frees up.
+            if let Some(token) = sched.tokens.get(&fingerprint) {
+                token.cancel(why);
             }
         }
     }
+    let completed = {
+        let mut state = job.state.lock().unwrap();
+        let JobState { cells, remaining } = &mut *state;
+        for slot in cells.iter_mut() {
+            if slot.outcome.is_none() {
+                slot.outcome = Some(CellOutcome::Failed { error: format!("job cancelled: {why}") });
+                *remaining -= 1;
+            }
+        }
+        *remaining == 0
+    };
+    if completed {
+        // The abort is final: close the journal record so a restart
+        // does not resurrect work the client explicitly killed.
+        inner.journal.append_done(id);
+        job.notify_done();
+    }
+    log::info("rvp-serve", "job cancelled", &[("id", id.into()), ("why", why.into())]);
+    Some(true)
+}
+
+/// The drain window in 25ms polls: let in-flight jobs finish, then
+/// cooperatively squash the stragglers (their journal records stay
+/// pending, so the next start resumes them), then stop every thread.
+/// Idempotent: SIGTERM and `POST /shutdown` can race freely.
+fn drain(inner: &Arc<Inner>) {
+    if inner.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    inner.metrics.drains.fetch_add(1, Ordering::Relaxed);
+    let start_us = span::now_us();
+    let window = Duration::from_secs(inner.cfg.drain_secs.max(1));
+    log::info(
+        "rvp-serve",
+        "draining: refusing new sweeps, finishing in-flight jobs",
+        &[("window_secs", inner.cfg.drain_secs.into())],
+    );
+    let deadline = Instant::now() + window;
+    let mut squashed = false;
+    loop {
+        let all_done = inner.jobs.lock().unwrap().values().all(|job| job.is_done());
+        if all_done {
+            break;
+        }
+        if Instant::now() >= deadline {
+            squashed = true;
+            log::warn(
+                "rvp-serve",
+                "drain window expired; squashing in-flight cells (journal preserves them)",
+                &[],
+            );
+            {
+                let sched = inner.sched.lock().unwrap();
+                for token in sched.tokens.values() {
+                    token.cancel("drain window expired");
+                }
+            }
+            for job in inner.jobs.lock().unwrap().values() {
+                if !job.is_done() {
+                    job.cancel.cancel("drain window expired");
+                }
+            }
+            // Bounded grace for the workers to squash out of their
+            // cells; a cooperative squash takes milliseconds, so this
+            // only runs long if a cell is wedged below the poll mask.
+            let grace = Instant::now() + Duration::from_secs(10);
+            while inner.metrics.queue_depth.load(Ordering::Relaxed) > 0 && Instant::now() < grace {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    if span::armed() {
+        span::record(
+            "serve.drain",
+            0,
+            start_us,
+            span::now_us(),
+            vec![
+                ("squashed".into(), u64::from(squashed).into()),
+                ("jobs".into(), (inner.jobs.lock().unwrap().len() as u64).into()),
+            ],
+        );
+    }
+    log::info("rvp-serve", "drain complete; stopping", &[("squashed", squashed.into())]);
+    inner.stop.store(true, Ordering::SeqCst);
+    // Unblock the accept loop and the idle workers.
+    let _ = TcpStream::connect(inner.addr);
+    inner.queue_cv.notify_all();
 }

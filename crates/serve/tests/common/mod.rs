@@ -85,6 +85,29 @@ impl Daemon {
         let _ = self.child.kill();
         let _ = self.child.wait();
     }
+
+    /// SIGTERM — the graceful-drain signal. The daemon keeps running;
+    /// follow with [`Daemon::wait_exit`] to observe the drain finish.
+    pub fn sigterm(&self) {
+        let status = Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status()
+            .expect("send SIGTERM");
+        assert!(status.success(), "kill -TERM failed");
+    }
+
+    /// Waits for the daemon to exit on its own, panicking after
+    /// `timeout`. Returns the exit status.
+    pub fn wait_exit(&mut self, timeout: Duration) -> std::process::ExitStatus {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status;
+            }
+            assert!(Instant::now() < deadline, "daemon did not exit within {timeout:?}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
 }
 
 impl Drop for Daemon {

@@ -19,6 +19,7 @@ pub struct StoreCounters {
     captures: AtomicU64,
     fallbacks: AtomicU64,
     quarantined: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl StoreCounters {
@@ -34,6 +35,7 @@ impl StoreCounters {
             rvp_obs::Metric::counter("rvp_trace_captures_total", self.captures()),
             rvp_obs::Metric::counter("rvp_trace_fallbacks_total", self.fallbacks()),
             rvp_obs::Metric::counter("rvp_trace_quarantined_total", self.quarantined()),
+            rvp_obs::Metric::counter("rvp_trace_evicted_total", self.evicted()),
         ]
     }
 
@@ -53,6 +55,11 @@ impl StoreCounters {
     pub fn quarantined(&self) -> u64 {
         self.quarantined.load(Ordering::Relaxed)
     }
+
+    /// Entries evicted to stay under the store's byte budget.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
 }
 
 /// A directory of captured traces, keyed by [`TraceMeta`].
@@ -67,18 +74,33 @@ impl StoreCounters {
 pub struct TraceStore {
     dir: PathBuf,
     counters: Arc<StoreCounters>,
+    /// Disk budget in bytes over `*.rvpt` entries and persisted
+    /// sampling plans; 0 = ungoverned (never evict).
+    budget_bytes: u64,
 }
 
 /// Subdirectory rejected cache entries are moved into.
 pub const QUARANTINE_SUBDIR: &str = "quarantine";
 
+/// Failpoint consulted before every capture write — the disk-full
+/// drill. The same site name as the serve result cache's, so one
+/// armed plan exercises both stores.
+pub const DISK_FULL_SITE: &str = "store.disk.full";
+
 impl TraceStore {
     /// Creates a store rooted at `dir` (created if absent). Stale
     /// temporary files from a previous crashed capture are swept out.
     pub fn new(dir: impl Into<PathBuf>) -> Result<TraceStore, TraceError> {
+        TraceStore::with_budget(dir, 0)
+    }
+
+    /// Creates a store with a disk budget in bytes (`0` = unlimited).
+    /// Beyond it, the least-recently-used traces and sampling plans are
+    /// evicted after each capture; eviction only costs a re-capture.
+    pub fn with_budget(dir: impl Into<PathBuf>, budget_bytes: u64) -> Result<TraceStore, TraceError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        let store = TraceStore { dir, counters: Arc::new(StoreCounters::default()) };
+        let store = TraceStore { dir, counters: Arc::new(StoreCounters::default()), budget_bytes };
         store.sweep_stale_tmp();
         Ok(store)
     }
@@ -172,9 +194,16 @@ impl TraceStore {
             budget: meta.budget,
         });
         rvp_fail::io_at("trace.store.open")?;
-        let reader = TraceReader::open(&self.path_for(meta))?;
+        let path = self.path_for(meta);
+        let reader = TraceReader::open(&path)?;
         if let Some(field) = meta_diff(reader.meta(), meta) {
             return Err(TraceError::MetaMismatch { field });
+        }
+        if self.budget_bytes > 0 {
+            // Touch-on-hit keeps the budget sweep LRU rather than FIFO.
+            if let Ok(f) = std::fs::File::open(&path) {
+                let _ = f.set_modified(std::time::SystemTime::now());
+            }
         }
         Ok(reader)
     }
@@ -257,6 +286,7 @@ impl TraceStore {
         let path = self.path_for(meta);
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         let result = (|| {
+            rvp_fail::io_at(DISK_FULL_SITE)?;
             let n = capture(program, meta, &tmp)?;
             // Make the bytes durable before the rename publishes them:
             // after a crash the cache holds either the old entry or the
@@ -269,7 +299,83 @@ impl TraceStore {
         if result.is_err() {
             let _ = std::fs::remove_file(&tmp);
         }
+        if self.budget_bytes > 0 {
+            // Enforce the budget even after a failed write (a full disk
+            // is exactly when freeing space helps the next capture).
+            self.evict_to_budget(&path);
+        }
         result
+    }
+
+    /// Total bytes of governed files (traces and persisted sampling
+    /// plans; quarantined files are diagnostic state, not cache).
+    pub fn disk_bytes(&self) -> u64 {
+        self.governed_files().into_iter().map(|(_, _, len)| len).sum()
+    }
+
+    fn governed_files(&self) -> Vec<(std::time::SystemTime, PathBuf, u64)> {
+        let mut files = Vec::new();
+        let mut scan = |dir: &Path, ext: &str| {
+            let Ok(entries) = std::fs::read_dir(dir) else { return };
+            for path in entries.filter_map(Result::ok).map(|e| e.path()) {
+                if !path.extension().is_some_and(|x| x == ext) {
+                    continue;
+                }
+                let Ok(meta) = std::fs::metadata(&path) else { continue };
+                let Ok(mtime) = meta.modified() else { continue };
+                files.push((mtime, path, meta.len()));
+            }
+        };
+        scan(&self.dir, "rvpt");
+        scan(&self.dir.join("plans"), "json");
+        files
+    }
+
+    /// Evicts least-recently-used governed files (hits touch mtime)
+    /// until the store fits its budget, never evicting `keep` (the
+    /// entry just captured). Loss here is only a cache loss: an evicted
+    /// trace re-captures, an evicted plan re-profiles.
+    fn evict_to_budget(&self, keep: &Path) {
+        let mut files = self.governed_files();
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        if total <= self.budget_bytes {
+            return;
+        }
+        files.sort_by_key(|(mtime, _, _)| *mtime);
+        let start_us = rvp_obs::span::now_us();
+        let over = total - self.budget_bytes;
+        let mut evicted = 0u64;
+        for (_, path, len) in files {
+            if total <= self.budget_bytes {
+                break;
+            }
+            if path == keep {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total -= len;
+                evicted += 1;
+                self.counters.evicted.fetch_add(1, Ordering::Relaxed);
+                log::debug(
+                    "rvp_trace::store",
+                    "evicted cache entry to stay under budget",
+                    &[("path", path.display().to_string().into())],
+                );
+            }
+        }
+        if evicted > 0 && rvp_obs::span::armed() {
+            rvp_obs::span::record(
+                "cache.evict",
+                rvp_obs::span::current(),
+                start_us,
+                rvp_obs::span::now_us(),
+                vec![
+                    ("cache".into(), "trace.store".into()),
+                    ("evicted".into(), evicted.into()),
+                    ("over_bytes".into(), over.into()),
+                ],
+            );
+        }
     }
 }
 

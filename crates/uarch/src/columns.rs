@@ -98,6 +98,13 @@ impl TraceColumns {
         self.pc.len()
     }
 
+    /// Approximate resident size: the seven columns cost 34 bytes per
+    /// record (4+1+8 hot, 8+8+4+1 cold). This is the unit the shared
+    /// in-memory trace cache's byte budget accounts in.
+    pub fn approx_bytes(&self) -> u64 {
+        self.len() as u64 * 34
+    }
+
     /// Whether the trace is empty.
     pub fn is_empty(&self) -> bool {
         self.pc.is_empty()

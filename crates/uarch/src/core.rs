@@ -33,6 +33,13 @@ use crate::wheel::CompletionWheel;
 /// Cycles without a commit before the deadlock watchdog trips.
 const WATCHDOG_CYCLES: u64 = 500_000;
 
+/// Cancel polls happen on cycles where `now & CANCEL_CHECK_MASK == 0` —
+/// every 8192 cycles. Wide enough that the poll (one atomic load, plus
+/// a clock read only when a deadline is armed) vanishes against the
+/// per-cycle pipeline work; narrow enough that a fired token squashes a
+/// run within well under a millisecond of wall time.
+const CANCEL_CHECK_MASK: u64 = 0x1FFF;
+
 /// Recovery-burst spans emitted per run before only counting; keeps a
 /// pathological run from flooding the span ring with sub-µs spans.
 const MAX_BURST_SPANS: u64 = 64;
@@ -246,6 +253,10 @@ pub struct Simulator {
     pub(crate) bpred: BranchUnit,
     pub(crate) mem: Hierarchy,
     pub(crate) obs: ObsConfig,
+    /// Cooperative cancellation handle; polled every
+    /// [`CANCEL_CHECK_MASK`]` + 1` cycles when present. `None` costs one
+    /// predictable branch per cycle.
+    pub(crate) cancel: Option<rvp_obs::CancelToken>,
 }
 
 impl Simulator {
@@ -282,6 +293,7 @@ impl Simulator {
             scheme,
             recovery,
             value_training,
+            cancel: None,
         }
     }
 
@@ -290,6 +302,15 @@ impl Simulator {
     /// is always on.
     pub fn with_obs(mut self, obs: ObsConfig) -> Simulator {
         self.obs = obs;
+        self
+    }
+
+    /// Attaches a cooperative [`rvp_obs::CancelToken`]. The cycle loop
+    /// polls it on an amortized schedule (every few thousand cycles), so
+    /// runs fail fast with [`SimError::Cancelled`] once the token fires
+    /// without slowing the steady-state loop.
+    pub fn with_cancel(mut self, cancel: rvp_obs::CancelToken) -> Simulator {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -524,6 +545,22 @@ impl<'s, S: CommittedSource + ?Sized> Core<'s, S> {
                     cycle: self.now,
                     committed: self.stats.committed,
                 });
+            }
+            if let Some(token) = &self.sim.cancel {
+                if self.now & CANCEL_CHECK_MASK == 0 {
+                    if let Some(reason) = token.poll() {
+                        let cycle = self.now;
+                        let committed = self.stats.committed;
+                        let _squash = rvp_obs::span::enter_with("cancel.squash", || {
+                            vec![
+                                (std::borrow::Cow::Borrowed("reason"), reason.as_str().into()),
+                                (std::borrow::Cow::Borrowed("cycle"), cycle.into()),
+                                (std::borrow::Cow::Borrowed("committed"), committed.into()),
+                            ]
+                        });
+                        return Err(SimError::Cancelled { cycle, committed, reason });
+                    }
+                }
             }
             // Cycle accounting: charge this elapsed cycle to exactly one
             // bucket (the final, non-elapsing iteration is never

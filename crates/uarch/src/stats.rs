@@ -29,6 +29,17 @@ pub enum SimError {
         /// Static length of the ref build.
         ref_len: usize,
     },
+    /// The run's [`rvp_obs::CancelToken`] fired (job abort, deadline,
+    /// drain, or watchdog) and the cycle loop squashed cooperatively.
+    /// Not a model bug: the partial work is simply discarded.
+    Cancelled {
+        /// Cycle at which the cancel check observed the token.
+        cycle: u64,
+        /// Instructions committed by then.
+        committed: u64,
+        /// Why the token fired.
+        reason: rvp_obs::CancelReason,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -45,6 +56,13 @@ impl fmt::Display for SimError {
                      static structure"
                 )
             }
+            SimError::Cancelled { cycle, committed, reason } => {
+                write!(
+                    f,
+                    "run cancelled ({}) at cycle {cycle} after {committed} commits",
+                    reason.as_str()
+                )
+            }
         }
     }
 }
@@ -53,7 +71,9 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Emu(e) => Some(e),
-            SimError::Deadlock { .. } | SimError::StructureMismatch { .. } => None,
+            SimError::Deadlock { .. }
+            | SimError::StructureMismatch { .. }
+            | SimError::Cancelled { .. } => None,
         }
     }
 }
